@@ -1,0 +1,24 @@
+//! Criterion bench: farm riding out a load spike, adaptive vs rigid — supports E7.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grasp_bench::{spike_grid, standard_farm_tasks};
+use grasp_core::{GraspConfig, TaskFarm};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptation_response");
+    group.sample_size(10);
+    let tasks = standard_farm_tasks(200, 60.0);
+    for (name, cfg) in [
+        ("adaptive", GraspConfig::default()),
+        ("rigid", GraspConfig::static_baseline()),
+    ] {
+        group.bench_with_input(BenchmarkId::new("variant", name), &cfg, |b, cfg| {
+            b.iter(|| {
+                let grid = spike_grid(16, 40.0, 0.5, 40.0, 1e6);
+                TaskFarm::new(*cfg).run(&grid, &tasks).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

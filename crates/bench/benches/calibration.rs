@@ -1,0 +1,38 @@
+//! Criterion bench: cost of Algorithm 1 (calibration) per mode — supports E1.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grasp_bench::{transient_load_grid, ScenarioSeed};
+use grasp_core::calibration::{CalibrationMode, Calibrator};
+use grasp_core::{CalibrationConfig, TaskSpec};
+use gridmon::MonitorRegistry;
+use gridsim::{NodeId, SimTime};
+
+fn bench(c: &mut Criterion) {
+    let grid = transient_load_grid(32, 400.0, ScenarioSeed::default());
+    let tasks = TaskSpec::uniform(256, 60.0, 32 * 1024, 32 * 1024);
+    let mut group = c.benchmark_group("calibration");
+    group.sample_size(20);
+    for mode in [
+        CalibrationMode::TimeOnly,
+        CalibrationMode::Univariate,
+        CalibrationMode::Multivariate,
+    ] {
+        group.bench_with_input(BenchmarkId::new("mode", mode.name()), &mode, |b, &mode| {
+            let cfg = CalibrationConfig {
+                mode,
+                samples_per_node: 3,
+                selection_fraction: 0.5,
+                ..CalibrationConfig::default()
+            };
+            let calibrator = Calibrator::new(cfg);
+            b.iter(|| {
+                let mut registry = MonitorRegistry::new(NodeId(0), 64);
+                calibrator
+                    .calibrate(&grid, &mut registry, &grid.node_ids(), &tasks, NodeId(0), SimTime::ZERO)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench: whole-job cost at different calibration sample sizes — supports E5.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grasp_bench::{loaded_heterogeneous_grid, standard_farm_tasks, ScenarioSeed};
+use grasp_core::{Grasp, GraspConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calibration_overhead");
+    group.sample_size(10);
+    let tasks = standard_farm_tasks(150, 60.0);
+    for samples in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("samples", samples), &samples, |b, &samples| {
+            let mut cfg = GraspConfig::default();
+            cfg.calibration.samples_per_node = samples;
+            b.iter(|| {
+                let grid = loaded_heterogeneous_grid(16, ScenarioSeed::default());
+                Grasp::new(cfg).try_run_farm(&grid, &tasks).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

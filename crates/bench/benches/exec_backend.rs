@@ -1,0 +1,41 @@
+//! Criterion bench: the real-thread shared-memory backend (farm + pipeline).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grasp_core::SchedulePolicy;
+use grasp_exec::{ThreadFarm, ThreadPipeline};
+use grasp_workloads::mandelbrot::MandelbrotJob;
+
+fn bench(c: &mut Criterion) {
+    let job = MandelbrotJob {
+        width: 256,
+        height: 192,
+        tiles_x: 8,
+        tiles_y: 6,
+        max_iter: 300,
+        ..MandelbrotJob::default()
+    };
+    let tiles = job.tiles();
+    let mut group = c.benchmark_group("exec_farm_mandelbrot");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &w| {
+            let farm = ThreadFarm::new(w).with_policy(SchedulePolicy::Guided { min_chunk: 1 });
+            b.iter(|| farm.run(&tiles, |t| job.render_tile(t)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("exec_pipeline");
+    group.sample_size(10);
+    group.bench_function("three_stage_u64", |b| {
+        b.iter(|| {
+            let pipeline = ThreadPipeline::new()
+                .stage(|x: u64| x.wrapping_mul(2862933555777941757).wrapping_add(1))
+                .stage(|x: u64| x.rotate_left(17) ^ 0xABCD)
+                .stage(|x: u64| x | 1);
+            pipeline.run((0..2_000u64).collect())
+        })
+    });
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

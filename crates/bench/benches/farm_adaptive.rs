@@ -1,0 +1,25 @@
+//! Criterion bench: adaptive farm vs baselines on the bursty grid — supports E2.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grasp_bench::{bursty_grid, standard_farm_tasks, ScenarioSeed};
+use grasp_core::{GraspConfig, TaskFarm};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("farm_adaptive");
+    group.sample_size(10);
+    let tasks = standard_farm_tasks(200, 60.0);
+    for (name, cfg) in [
+        ("adaptive", GraspConfig::default()),
+        ("static", GraspConfig::static_baseline()),
+        ("self-sched", GraspConfig::self_scheduling_baseline()),
+    ] {
+        group.bench_with_input(BenchmarkId::new("policy", name), &cfg, |b, cfg| {
+            b.iter(|| {
+                let grid = bursty_grid(16, 40.0, ScenarioSeed::default());
+                TaskFarm::new(*cfg).run(&grid, &tasks).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench: forecaster update/prediction cost and OLS fits — supports E8.
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridmon::{AdaptiveForecaster, Ar1Forecaster, Forecaster};
+use gridstats::{linear_regression, multivariate_regression};
+
+fn bench(c: &mut Criterion) {
+    let series: Vec<f64> = (0..10_000).map(|i| 0.4 + 0.3 * ((i as f64) / 50.0).sin()).collect();
+    c.bench_function("forecast/adaptive_10k_updates", |b| {
+        b.iter(|| {
+            let mut f = AdaptiveForecaster::standard();
+            for &v in &series {
+                f.observe(v);
+            }
+            f.predict()
+        })
+    });
+    c.bench_function("forecast/ar1_10k_updates", |b| {
+        b.iter(|| {
+            let mut f = Ar1Forecaster::new(64);
+            for &v in &series {
+                f.observe(v);
+            }
+            f.predict()
+        })
+    });
+    let x: Vec<f64> = (0..512).map(|i| i as f64).collect();
+    let y: Vec<f64> = x.iter().map(|v| 3.0 + 0.5 * v).collect();
+    c.bench_function("stats/univariate_ols_512", |b| {
+        b.iter(|| linear_regression(&x, &y).unwrap())
+    });
+    let rows: Vec<Vec<f64>> = (0..512)
+        .map(|i| vec![i as f64, ((i * 13) % 11) as f64, ((i * 7) % 5) as f64])
+        .collect();
+    let ym: Vec<f64> = rows.iter().map(|r| 1.0 + r[0] - 2.0 * r[1] + 0.5 * r[2]).collect();
+    c.bench_function("stats/multivariate_ols_512x3", |b| {
+        b.iter(|| multivariate_regression(&rows, &ym).unwrap())
+    });
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench: the real workload kernels used by the examples and the
+//! shared-memory backend.
+use criterion::{criterion_group, criterion_main, Criterion};
+use grasp_workloads::{
+    blackscholes::BlackScholesSweep, imaging::ImagePipeline, mandelbrot::MandelbrotJob,
+    matmul::MatMulJob, quadrature::QuadratureJob, seqmatch::SequenceMatchJob,
+};
+
+fn bench(c: &mut Criterion) {
+    let mb = MandelbrotJob::small();
+    let tile = mb.tiles()[5];
+    c.bench_function("kernels/mandelbrot_tile", |b| b.iter(|| mb.render_tile(&tile)));
+
+    let mm = MatMulJob::small();
+    let (a, bmat) = mm.generate_inputs();
+    c.bench_function("kernels/matmul_band_64", |b| {
+        b.iter(|| mm.multiply_band(&a, &bmat, 0, mm.block_rows))
+    });
+
+    let quad = QuadratureJob::small();
+    c.bench_function("kernels/quadrature_panel", |b| b.iter(|| quad.integrate_panel(3)));
+
+    let seq = SequenceMatchJob::small();
+    let queries = seq.generate_queries();
+    let subjects = seq.generate_subjects();
+    c.bench_function("kernels/smith_waterman_query", |b| {
+        b.iter(|| seq.score_query(&queries[0], &subjects))
+    });
+
+    let img = ImagePipeline::small();
+    let frame = img.frame(0);
+    c.bench_function("kernels/image_pipeline_frame", |b| b.iter(|| img.process_frame(&frame)));
+
+    let bs = BlackScholesSweep::small();
+    c.bench_function("kernels/black_scholes_batch", |b| b.iter(|| bs.price_batch(0)));
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

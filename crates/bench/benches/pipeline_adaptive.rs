@@ -1,0 +1,28 @@
+//! Criterion bench: adaptive vs rigid pipeline with a load spike — supports E3.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grasp_bench::spike_grid;
+use grasp_core::{GraspConfig, Pipeline, StageSpec};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_adaptive");
+    group.sample_size(10);
+    let stages = vec![
+        StageSpec::new(0, 20.0, 256 * 1024, 512 * 1024),
+        StageSpec::new(1, 40.0, 256 * 1024, 512 * 1024),
+        StageSpec::new(2, 30.0, 256 * 1024, 512 * 1024),
+        StageSpec::new(3, 10.0, 256 * 1024, 512 * 1024),
+    ];
+    let mut rigid = GraspConfig::default();
+    rigid.execution.adaptive = false;
+    for (name, cfg) in [("adaptive", GraspConfig::default()), ("rigid", rigid)] {
+        group.bench_with_input(BenchmarkId::new("variant", name), &cfg, |b, cfg| {
+            b.iter(|| {
+                let grid = spike_grid(6, 40.0, 0.67, 25.0, 1e6);
+                Pipeline::new(*cfg).run(&grid, &stages, 200).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench: adaptive farm at growing pool sizes — supports E6.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grasp_bench::{bursty_grid, standard_farm_tasks, ScenarioSeed};
+use grasp_core::{GraspConfig, TaskFarm};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability");
+    group.sample_size(10);
+    let tasks = standard_farm_tasks(200, 60.0);
+    for nodes in [8usize, 32, 64] {
+        group.bench_with_input(BenchmarkId::new("nodes", nodes), &nodes, |b, &nodes| {
+            b.iter(|| {
+                let grid = bursty_grid(nodes, 40.0, ScenarioSeed::default());
+                TaskFarm::new(GraspConfig::default()).run(&grid, &tasks).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

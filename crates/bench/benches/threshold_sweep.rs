@@ -1,0 +1,23 @@
+//! Criterion bench: farm execution across threshold factors — supports E4.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grasp_bench::{bursty_grid, standard_farm_tasks, ScenarioSeed};
+use grasp_core::{GraspConfig, TaskFarm, ThresholdPolicy};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threshold_sweep");
+    group.sample_size(10);
+    let tasks = standard_farm_tasks(150, 60.0);
+    for factor in [1.25_f64, 2.0, 4.0] {
+        group.bench_with_input(BenchmarkId::new("factor", factor), &factor, |b, &factor| {
+            let mut cfg = GraspConfig::default();
+            cfg.execution.threshold = ThresholdPolicy::Factor { factor };
+            b.iter(|| {
+                let grid = bursty_grid(12, 40.0, ScenarioSeed::default());
+                TaskFarm::new(cfg).run(&grid, &tasks).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

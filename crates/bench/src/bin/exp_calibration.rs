@@ -1,0 +1,10 @@
+//! E1 — calibration ranking quality (Algorithm 1 ablation).
+//!
+//! Run with `cargo run --release -p grasp-bench --bin exp_calibration`.
+use grasp_bench::experiments::e1_calibration_quality;
+use grasp_bench::{format_table, ScenarioSeed};
+
+fn main() {
+    let table = e1_calibration_quality(32, 3, ScenarioSeed::default());
+    println!("{}", format_table(&table));
+}

@@ -1,0 +1,11 @@
+//! E2 — adaptive task farm vs static block vs self-scheduling (bursty grid).
+//!
+//! Run with `cargo run --release -p grasp-bench --bin exp_farm`.
+use grasp_bench::experiments::e2_farm_comparison;
+use grasp_bench::{format_series, format_table, ScenarioSeed};
+
+fn main() {
+    let (table, series) = e2_farm_comparison(&[4, 8, 16, 32, 64], 600, ScenarioSeed::default());
+    println!("{}", format_table(&table));
+    println!("{}", format_series(&series));
+}

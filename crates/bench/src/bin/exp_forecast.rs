@@ -1,0 +1,9 @@
+//! E8 — forecaster accuracy of the monitoring substrate.
+//!
+//! Run with `cargo run --release -p grasp-bench --bin exp_forecast`.
+use grasp_bench::experiments::e8_forecaster_accuracy;
+use grasp_bench::format_table;
+
+fn main() {
+    println!("{}", format_table(&e8_forecaster_accuracy(2_000)));
+}

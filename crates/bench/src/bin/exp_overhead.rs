@@ -1,0 +1,10 @@
+//! E5 — calibration overhead and its contribution to the overall job.
+//!
+//! Run with `cargo run --release -p grasp-bench --bin exp_overhead`.
+use grasp_bench::experiments::e5_calibration_overhead;
+use grasp_bench::{format_table, ScenarioSeed};
+
+fn main() {
+    let table = e5_calibration_overhead(&[1, 2, 4, 8, 16], 16, 400, ScenarioSeed::default());
+    println!("{}", format_table(&table));
+}

@@ -1,0 +1,11 @@
+//! E3 — adaptive pipeline vs rigid stage mapping with a mid-run load spike.
+//!
+//! Run with `cargo run --release -p grasp-bench --bin exp_pipeline`.
+use grasp_bench::experiments::e3_pipeline_adaptation;
+use grasp_bench::{format_series, format_table};
+
+fn main() {
+    let (table, series) = e3_pipeline_adaptation(600);
+    println!("{}", format_table(&table));
+    println!("{}", format_series(&series));
+}

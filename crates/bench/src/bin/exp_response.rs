@@ -1,0 +1,11 @@
+//! E7 — adaptation response: throughput over time around a load spike.
+//!
+//! Run with `cargo run --release -p grasp-bench --bin exp_response`.
+use grasp_bench::experiments::e7_adaptation_response;
+use grasp_bench::{format_series, format_table};
+
+fn main() {
+    let (table, series) = e7_adaptation_response(16, 800);
+    println!("{}", format_table(&table));
+    println!("{}", format_series(&series));
+}

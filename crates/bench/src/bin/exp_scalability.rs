@@ -1,0 +1,10 @@
+//! E6 — adaptive vs static efficiency as the grid grows.
+//!
+//! Run with `cargo run --release -p grasp-bench --bin exp_scalability`.
+use grasp_bench::experiments::e6_scalability;
+use grasp_bench::{format_series, ScenarioSeed};
+
+fn main() {
+    let series = e6_scalability(&[8, 16, 32, 64, 128], 800, ScenarioSeed::default());
+    println!("{}", format_series(&series));
+}

@@ -1,0 +1,12 @@
+//! E4 — sensitivity to the performance threshold Z (Algorithm 2 ablation).
+//!
+//! Run with `cargo run --release -p grasp-bench --bin exp_threshold`.
+use grasp_bench::experiments::e4_threshold_sweep;
+use grasp_bench::{format_series, format_table, ScenarioSeed};
+
+fn main() {
+    let factors = [1.05, 1.25, 1.5, 2.0, 3.0, 4.0];
+    let (table, series) = e4_threshold_sweep(&factors, 16, 400, ScenarioSeed::default());
+    println!("{}", format_table(&table));
+    println!("{}", format_series(&series));
+}

@@ -1,0 +1,479 @@
+//! The experiments of DESIGN.md's index (E1–E8), as reusable functions.
+//!
+//! Each function runs one experiment at a caller-chosen scale and returns a
+//! [`Table`] and/or [`Series`] ready to print.  The `exp_*` binaries call
+//! them at "paper scale"; the unit tests call them at a reduced scale to keep
+//! the suite fast while still asserting the qualitative shape of each result
+//! (who wins, in which direction parameters move the outcome).
+
+use crate::report::{Series, Table};
+use crate::scenarios::{
+    bursty_grid, loaded_heterogeneous_grid, spike_grid, standard_farm_tasks, transient_load_grid,
+    ScenarioSeed,
+};
+use grasp_core::prelude::*;
+use grasp_core::calibration::Calibrator;
+use gridmon::{
+    mean_absolute_error, AdaptiveForecaster, Ar1Forecaster, ExponentialSmoothing, Forecaster,
+    LastValue, RunningMean, SlidingWindowMean, SlidingWindowMedian,
+};
+use gridsim::{Grid, LoadModel, NodeId, PeriodicLoad, RandomWalkLoad, SimTime, SpikeLoad};
+use gridstats::spearman_rho;
+
+/// E1 — calibration ranking quality (time-only vs univariate vs multivariate).
+///
+/// Half the nodes carry a *transient* load that is present only while the
+/// calibration samples run; the ground truth the ranking is judged against is
+/// the node's intrinsic (post-transient) speed.  Time-only calibration
+/// penalises the transiently loaded nodes; statistical calibration should
+/// discount the observed load and rank closer to the truth.
+///
+/// Reports, per calibration mode: Spearman correlation between the calibrated
+/// ranking and the ground-truth ranking, precision of the selected top-half,
+/// and the virtual time the calibration consumed.
+pub fn e1_calibration_quality(nodes: usize, samples_per_node: usize, seed: ScenarioSeed) -> Table {
+    let grid = transient_load_grid(nodes, 400.0, seed);
+    let tasks = standard_farm_tasks(nodes * samples_per_node.max(1) * 2, 60.0);
+    let mut table = Table::new(
+        format!("E1: calibration ranking quality ({nodes} nodes, half transiently loaded)"),
+        &[
+            "mode",
+            "spearman_rho",
+            "top_half_precision",
+            "calibration_s",
+            "tasks_consumed",
+        ],
+    );
+    // Ground truth: intrinsic node speed (what matters once the transient
+    // external load has gone away).
+    let truth: Vec<f64> = grid
+        .node_ids()
+        .iter()
+        .map(|&n| grid.node(n).map(|s| s.base_speed).unwrap_or(0.0))
+        .collect();
+    let truth_rank = gridstats::argsort_descending(&truth);
+    let top_half: std::collections::BTreeSet<usize> =
+        truth_rank[..nodes / 2].iter().copied().collect();
+
+    for mode in [
+        CalibrationMode::TimeOnly,
+        CalibrationMode::Univariate,
+        CalibrationMode::Multivariate,
+    ] {
+        let mut cfg = CalibrationConfig::default();
+        cfg.mode = mode;
+        cfg.samples_per_node = samples_per_node;
+        cfg.selection_fraction = 0.5;
+        let calibrator = Calibrator::new(cfg);
+        let mut registry = gridmon::MonitorRegistry::new(NodeId(0), 64);
+        let report = calibrator
+            .calibrate(&grid, &mut registry, &grid.node_ids(), &tasks, NodeId(0), SimTime::ZERO)
+            .expect("calibration must succeed on an all-up grid");
+        // Spearman between adjusted time and 1/effective-speed.
+        let adjusted: Vec<f64> = report.table.iter().map(|c| c.adjusted_time).collect();
+        let inv_truth: Vec<f64> = truth.iter().map(|s| 1.0 / s.max(1e-9)).collect();
+        let rho = spearman_rho(&adjusted, &inv_truth).unwrap_or(0.0);
+        let hits = report
+            .chosen
+            .iter()
+            .filter(|n| top_half.contains(&n.index()))
+            .count();
+        let precision = hits as f64 / report.chosen.len().max(1) as f64;
+        table.push_row(vec![
+            mode.name().to_string(),
+            format!("{rho:.3}"),
+            format!("{precision:.3}"),
+            format!("{:.3}", report.duration.as_secs()),
+            report.tasks_consumed.to_string(),
+        ]);
+    }
+    table
+}
+
+/// One completion-time measurement for E2/E6.
+fn farm_makespan(grid: &Grid, tasks: &[TaskSpec], config: GraspConfig) -> FarmOutcome {
+    TaskFarm::new(config)
+        .run(grid, tasks)
+        .expect("farm experiment run failed")
+}
+
+/// E2 — adaptive farm vs static block vs self-scheduling under bursty load.
+///
+/// Returns the per-node-count completion times (table) and the speedup of
+/// each policy relative to the single fastest node (series, figure style).
+pub fn e2_farm_comparison(node_counts: &[usize], tasks_n: usize, seed: ScenarioSeed) -> (Table, Series) {
+    let mut table = Table::new(
+        format!("E2: task farm under bursty load ({tasks_n} tasks)"),
+        &["nodes", "adaptive_s", "static_s", "selfsched_s", "adaptive_speedup_vs_static"],
+    );
+    let mut series = Series::new(
+        "E2: completion time vs pool size",
+        &["nodes", "adaptive_s", "static_s", "selfsched_s"],
+    );
+    for &n in node_counts {
+        let tasks = standard_farm_tasks(tasks_n, 60.0);
+        let grid = bursty_grid(n, 40.0, seed);
+        let adaptive = farm_makespan(&grid, &tasks, GraspConfig::default());
+        let grid = bursty_grid(n, 40.0, seed);
+        let statics = farm_makespan(&grid, &tasks, GraspConfig::static_baseline());
+        let grid = bursty_grid(n, 40.0, seed);
+        let selfs = farm_makespan(&grid, &tasks, GraspConfig::self_scheduling_baseline());
+        let a = adaptive.makespan.as_secs();
+        let s = statics.makespan.as_secs();
+        let d = selfs.makespan.as_secs();
+        table.push_row(vec![
+            n.to_string(),
+            format!("{a:.1}"),
+            format!("{s:.1}"),
+            format!("{d:.1}"),
+            format!("{:.2}", s / a.max(1e-9)),
+        ]);
+        series.push(vec![n as f64, a, s, d]);
+    }
+    (table, series)
+}
+
+/// E3 — adaptive pipeline vs rigid mapping with a mid-run load spike.
+///
+/// Returns per-interval throughput series for both variants plus a summary
+/// table (makespan, steady-state throughput, remaps).
+pub fn e3_pipeline_adaptation(items: usize) -> (Table, Series) {
+    let stages = vec![
+        StageSpec::new(0, 20.0, 256 * 1024, 512 * 1024),
+        StageSpec::new(1, 40.0, 256 * 1024, 512 * 1024),
+        StageSpec::new(2, 30.0, 256 * 1024, 512 * 1024),
+        StageSpec::new(3, 10.0, 256 * 1024, 512 * 1024),
+    ];
+    let make_grid = || spike_grid(6, 40.0, 0.67, 25.0, 1e6);
+
+    let adaptive = Pipeline::new(GraspConfig::default())
+        .run(&make_grid(), &stages, items)
+        .expect("adaptive pipeline run failed");
+    let mut rigid_cfg = GraspConfig::default();
+    rigid_cfg.execution.adaptive = false;
+    let rigid = Pipeline::new(rigid_cfg)
+        .run(&make_grid(), &stages, items)
+        .expect("rigid pipeline run failed");
+
+    let mut table = Table::new(
+        format!("E3: image-style pipeline with a load spike ({items} items)"),
+        &["variant", "makespan_s", "steady_items_per_s", "stage_remaps"],
+    );
+    table.push_row(vec![
+        "adaptive".into(),
+        format!("{:.1}", adaptive.makespan.as_secs()),
+        format!("{:.3}", adaptive.steady_state_throughput()),
+        adaptive.adaptation.stage_remaps().to_string(),
+    ]);
+    table.push_row(vec![
+        "rigid".into(),
+        format!("{:.1}", rigid.makespan.as_secs()),
+        format!("{:.3}", rigid.steady_state_throughput()),
+        rigid.adaptation.stage_remaps().to_string(),
+    ]);
+
+    let mut series = Series::new(
+        "E3: pipeline throughput over time (items/s per interval)",
+        &["t_s", "adaptive", "rigid"],
+    );
+    let a_rates = adaptive.timeline.rates();
+    let r_rates = rigid.timeline.rates();
+    let interval = adaptive.timeline.interval();
+    for i in 0..a_rates.len().max(r_rates.len()) {
+        series.push(vec![
+            i as f64 * interval,
+            a_rates.get(i).copied().unwrap_or(0.0),
+            r_rates.get(i).copied().unwrap_or(0.0),
+        ]);
+    }
+    (table, series)
+}
+
+/// E4 — sensitivity to the performance threshold Z.
+///
+/// Sweeps the threshold factor and reports recalibration count, demotions and
+/// completion time on the bursty grid.
+pub fn e4_threshold_sweep(factors: &[f64], nodes: usize, tasks_n: usize, seed: ScenarioSeed) -> (Table, Series) {
+    let mut table = Table::new(
+        "E4: threshold sensitivity (adaptive farm, bursty grid)",
+        &["factor", "recalibrations", "demotions", "makespan_s"],
+    );
+    let mut series = Series::new(
+        "E4: makespan and recalibrations vs threshold factor",
+        &["factor", "makespan_s", "recalibrations"],
+    );
+    for &factor in factors {
+        let grid = bursty_grid(nodes, 40.0, seed);
+        let tasks = standard_farm_tasks(tasks_n, 60.0);
+        let mut cfg = GraspConfig::default();
+        cfg.execution.threshold = ThresholdPolicy::Factor { factor };
+        let out = farm_makespan(&grid, &tasks, cfg);
+        table.push_row(vec![
+            format!("{factor:.2}"),
+            out.adaptation.recalibrations().to_string(),
+            out.adaptation.demotions().to_string(),
+            format!("{:.1}", out.makespan.as_secs()),
+        ]);
+        series.push(vec![
+            factor,
+            out.makespan.as_secs(),
+            out.adaptation.recalibrations() as f64,
+        ]);
+    }
+    (table, series)
+}
+
+/// E5 — calibration overhead and its contribution to the job.
+///
+/// Sweeps the number of calibration samples per node and reports the
+/// calibration duration, its fraction of the total makespan, and how many
+/// job tasks the calibration itself completed.
+pub fn e5_calibration_overhead(samples: &[usize], nodes: usize, tasks_n: usize, seed: ScenarioSeed) -> Table {
+    let mut table = Table::new(
+        "E5: calibration overhead vs sample size",
+        &[
+            "samples_per_node",
+            "calibration_s",
+            "calibration_fraction",
+            "calib_tasks",
+            "makespan_s",
+        ],
+    );
+    for &s in samples {
+        let grid = loaded_heterogeneous_grid(nodes, seed);
+        let tasks = standard_farm_tasks(tasks_n, 60.0);
+        let mut cfg = GraspConfig::default();
+        cfg.calibration.samples_per_node = s;
+        let report = Grasp::new(cfg)
+            .try_run_farm(&grid, &tasks)
+            .expect("farm run failed");
+        table.push_row(vec![
+            s.to_string(),
+            format!("{:.2}", report.phases.calibration.as_secs()),
+            format!("{:.3}", report.phases.calibration_fraction()),
+            report
+                .outcome
+                .task_outcomes
+                .iter()
+                .filter(|o| o.during_calibration)
+                .count()
+                .to_string(),
+            format!("{:.1}", report.outcome.makespan.as_secs()),
+        ]);
+    }
+    table
+}
+
+/// E6 — scalability: adaptive vs static efficiency as the pool grows.
+pub fn e6_scalability(node_counts: &[usize], tasks_n: usize, seed: ScenarioSeed) -> Series {
+    let mut series = Series::new(
+        "E6: efficiency vs pool size (bursty grid)",
+        &["nodes", "adaptive_efficiency", "static_efficiency"],
+    );
+    for &n in node_counts {
+        let tasks = standard_farm_tasks(tasks_n, 60.0);
+        // Reference: one dedicated node of the same class.
+        let reference = {
+            let quiet = Grid::dedicated(gridsim::TopologyBuilder::uniform_cluster(1, 40.0));
+            TaskFarm::sequential_reference(&quiet, NodeId(0), &tasks).unwrap_or(1.0)
+        };
+        let adaptive = farm_makespan(&bursty_grid(n, 40.0, seed), &tasks, GraspConfig::default());
+        let statics = farm_makespan(
+            &bursty_grid(n, 40.0, seed),
+            &tasks,
+            GraspConfig::static_baseline(),
+        );
+        series.push(vec![
+            n as f64,
+            efficiency(reference, adaptive.makespan.as_secs(), n),
+            efficiency(reference, statics.makespan.as_secs(), n),
+        ]);
+    }
+    series
+}
+
+/// E7 — adaptation response: farm throughput over time around a load spike.
+pub fn e7_adaptation_response(nodes: usize, tasks_n: usize) -> (Table, Series) {
+    let spike_start = 40.0;
+    let make_grid = || spike_grid(nodes, 40.0, 0.5, spike_start, 1e6);
+    let tasks = standard_farm_tasks(tasks_n, 60.0);
+
+    let mut adaptive_cfg = GraspConfig::default();
+    adaptive_cfg.calibration.selection_fraction = 1.0;
+    adaptive_cfg.execution.monitor_interval_s = 10.0;
+    let adaptive = farm_makespan(&make_grid(), &tasks, adaptive_cfg);
+    let rigid = farm_makespan(&make_grid(), &tasks, GraspConfig::static_baseline());
+
+    let mut table = Table::new(
+        format!("E7: adaptation response to a 50% pool load spike at t={spike_start}s"),
+        &["variant", "makespan_s", "adaptations", "min_interval_throughput"],
+    );
+    table.push_row(vec![
+        "adaptive".into(),
+        format!("{:.1}", adaptive.makespan.as_secs()),
+        adaptive.adaptation.len().to_string(),
+        format!("{:.3}", adaptive.timeline.min_rate()),
+    ]);
+    table.push_row(vec![
+        "rigid".into(),
+        format!("{:.1}", rigid.makespan.as_secs()),
+        rigid.adaptation.len().to_string(),
+        format!("{:.3}", rigid.timeline.min_rate()),
+    ]);
+
+    let mut series = Series::new(
+        "E7: farm throughput over time (tasks/s per interval)",
+        &["t_s", "adaptive", "rigid"],
+    );
+    let a = adaptive.timeline.rates();
+    let r = rigid.timeline.rates();
+    let interval = adaptive.timeline.interval();
+    for i in 0..a.len().max(r.len()) {
+        series.push(vec![
+            i as f64 * interval,
+            a.get(i).copied().unwrap_or(0.0),
+            r.get(i).copied().unwrap_or(0.0),
+        ]);
+    }
+    (table, series)
+}
+
+/// E8 — forecaster accuracy on representative load signals.
+pub fn e8_forecaster_accuracy(samples: usize) -> Table {
+    let signals: Vec<(&str, Box<dyn LoadModel>)> = vec![
+        ("periodic", Box::new(PeriodicLoad::new(0.4, 0.3, 120.0, 0.0))),
+        ("random-walk", Box::new(RandomWalkLoad::new(0.35, 0.04, 5.0, 5_000.0, 99))),
+        (
+            "spike",
+            Box::new(SpikeLoad::new(
+                0.05,
+                0.85,
+                SimTime::new(samples as f64 * 2.0),
+                SimTime::new(samples as f64 * 4.0),
+            )),
+        ),
+    ];
+    let mut table = Table::new(
+        "E8: one-step forecaster mean absolute error by load signal",
+        &["forecaster", "periodic", "random-walk", "spike"],
+    );
+    let forecaster_builders: Vec<(&str, fn() -> Box<dyn Forecaster>)> = vec![
+        ("last", || Box::new(LastValue::new())),
+        ("running-mean", || Box::new(RunningMean::new())),
+        ("window-mean", || Box::new(SlidingWindowMean::new(8))),
+        ("window-median", || Box::new(SlidingWindowMedian::new(8))),
+        ("exp-smooth", || Box::new(ExponentialSmoothing::new(0.3))),
+        ("ar1", || Box::new(Ar1Forecaster::new(32))),
+        ("adaptive", || Box::new(AdaptiveForecaster::standard())),
+    ];
+    // Pre-sample each signal at a 5-second cadence.
+    let sampled: Vec<Vec<f64>> = signals
+        .iter()
+        .map(|(_, m)| {
+            (0..samples)
+                .map(|i| m.load_at(SimTime::new(i as f64 * 5.0)))
+                .collect()
+        })
+        .collect();
+    for (name, build) in &forecaster_builders {
+        let mut row = vec![name.to_string()];
+        for series in &sampled {
+            let mut f = build();
+            let mae = mean_absolute_error(f.as_mut(), series).unwrap_or(f64::NAN);
+            row.push(format!("{mae:.4}"));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seed() -> ScenarioSeed {
+        ScenarioSeed(77)
+    }
+
+    #[test]
+    fn e1_statistical_calibration_is_at_least_as_good_as_time_only() {
+        let table = e1_calibration_quality(16, 2, seed());
+        assert_eq!(table.len(), 3);
+        let rho_of = |row: usize| table.rows[row][1].parse::<f64>().unwrap();
+        // Univariate (row 1) should not be worse than time-only (row 0).
+        assert!(rho_of(1) >= rho_of(0) - 0.05, "{} vs {}", rho_of(1), rho_of(0));
+        // All modes must correlate positively with the ground truth.
+        assert!(rho_of(0) > 0.3);
+    }
+
+    #[test]
+    fn e2_adaptive_is_not_slower_than_static_under_bursty_load() {
+        let (table, series) = e2_farm_comparison(&[8], 120, seed());
+        assert_eq!(table.len(), 1);
+        assert_eq!(series.len(), 1);
+        let adaptive = series.points[0][1];
+        let statics = series.points[0][2];
+        assert!(
+            adaptive <= statics * 1.05,
+            "adaptive {adaptive} should not lose clearly to static {statics}"
+        );
+    }
+
+    #[test]
+    fn e3_adaptive_pipeline_wins_after_the_spike() {
+        let (table, series) = e3_pipeline_adaptation(120);
+        assert_eq!(table.len(), 2);
+        assert!(!series.is_empty());
+        let adaptive_makespan: f64 = table.rows[0][1].parse().unwrap();
+        let rigid_makespan: f64 = table.rows[1][1].parse().unwrap();
+        assert!(adaptive_makespan < rigid_makespan);
+    }
+
+    #[test]
+    fn e4_lower_thresholds_trigger_at_least_as_many_recalibrations() {
+        let (table, series) = e4_threshold_sweep(&[1.2, 4.0], 8, 100, seed());
+        assert_eq!(table.len(), 2);
+        let low: f64 = series.points[0][2];
+        let high: f64 = series.points[1][2];
+        assert!(low >= high, "tight threshold {low} vs loose {high}");
+    }
+
+    #[test]
+    fn e5_more_samples_mean_more_calibration_time() {
+        let table = e5_calibration_overhead(&[1, 4], 8, 80, seed());
+        assert_eq!(table.len(), 2);
+        let c1: f64 = table.rows[0][1].parse().unwrap();
+        let c4: f64 = table.rows[1][1].parse().unwrap();
+        assert!(c4 > c1);
+    }
+
+    #[test]
+    fn e6_reports_one_point_per_pool_size() {
+        let series = e6_scalability(&[4, 8], 80, seed());
+        assert_eq!(series.len(), 2);
+        assert!(series.points.iter().all(|p| p[1] > 0.0 && p[2] > 0.0));
+    }
+
+    #[test]
+    fn e7_adaptive_farm_recovers_better_than_rigid() {
+        let (table, series) = e7_adaptation_response(8, 160);
+        assert_eq!(table.len(), 2);
+        assert!(!series.is_empty());
+        let adaptive_makespan: f64 = table.rows[0][1].parse().unwrap();
+        let rigid_makespan: f64 = table.rows[1][1].parse().unwrap();
+        assert!(adaptive_makespan <= rigid_makespan * 1.05);
+    }
+
+    #[test]
+    fn e8_produces_one_row_per_forecaster() {
+        let table = e8_forecaster_accuracy(300);
+        assert_eq!(table.len(), 7);
+        // Every MAE cell parses and is finite and non-negative.
+        for row in &table.rows {
+            for cell in &row[1..] {
+                let v: f64 = cell.parse().unwrap();
+                assert!(v.is_finite() && v >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # grasp-bench — the experiment harness
+//!
+//! One module per experiment of DESIGN.md's experiment index (E1–E8), plus
+//! shared scenario builders and plain-text table/series formatters.  The
+//! `exp_*` binaries under `src/bin/` print the tables and figure series the
+//! paper-style evaluation reports; the Criterion benches under `benches/`
+//! measure the wall-clock cost of the same code paths.
+//!
+//! Everything here is deterministic: scenarios are seeded, and the simulated
+//! grid advances virtual time only.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod experiments;
+pub mod report;
+pub mod scenarios;
+
+pub use report::{format_series, format_table, Series, Table};
+pub use scenarios::{
+    bursty_grid, loaded_heterogeneous_grid, spike_grid, standard_farm_tasks, transient_load_grid,
+    ScenarioSeed,
+};

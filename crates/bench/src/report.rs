@@ -1,0 +1,166 @@
+//! Plain-text report formatting (aligned tables and CSV-style series).
+//!
+//! The experiment binaries print their results through these helpers so the
+//! output of `cargo run -p grasp-bench --bin exp_*` can be pasted directly
+//! into EXPERIMENTS.md.
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Table title printed above the header.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (each row should match the header length).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Format a [`Table`] with aligned columns.
+pub fn format_table(table: &Table) -> String {
+    let mut widths: Vec<usize> = table.headers.iter().map(|h| h.len()).collect();
+    for row in &table.rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            } else {
+                widths.push(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {} ==\n", table.title));
+    let header: Vec<String> = table
+        .headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{:<width$}", h, width = widths[i]))
+        .collect();
+    out.push_str(&header.join("  "));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in &table.rows {
+        let cells: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+            .collect();
+        out.push_str(&cells.join("  "));
+        out.push('\n');
+    }
+    out
+}
+
+/// A named (x, y…) series, printed as CSV — the "figure" output format.
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    /// Series title printed above the CSV block.
+    pub title: String,
+    /// Column names (first is the x axis).
+    pub columns: Vec<String>,
+    /// Data points.
+    pub points: Vec<Vec<f64>>,
+}
+
+impl Series {
+    /// Create a series with the given title and column names.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Series {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a data point.
+    pub fn push(&mut self, point: Vec<f64>) {
+        self.points.push(point);
+    }
+
+    /// Number of data points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// Format a [`Series`] as a titled CSV block.
+pub fn format_series(series: &Series) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {} ==\n", series.title));
+    out.push_str(&series.columns.join(","));
+    out.push('\n');
+    for p in &series.points {
+        let cells: Vec<String> = p.iter().map(|v| format!("{v:.6}")).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_formats_aligned_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.push_row(vec!["a".into(), "1".into()]);
+        t.push_row(vec!["long-name".into(), "22".into()]);
+        let s = format_table(&t);
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("long-name"));
+        assert_eq!(s.lines().count(), 5);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn series_formats_as_csv() {
+        let mut s = Series::new("fig", &["x", "y"]);
+        s.push(vec![1.0, 2.0]);
+        s.push(vec![2.0, 4.0]);
+        let text = format_series(&s);
+        assert!(text.contains("x,y"));
+        assert!(text.contains("2.000000,4.000000"));
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn ragged_rows_do_not_panic() {
+        let mut t = Table::new("ragged", &["a"]);
+        t.push_row(vec!["1".into(), "extra".into()]);
+        assert!(format_table(&t).contains("extra"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Standard experiment scenarios.
+//!
+//! Every experiment builds its grid through one of these constructors so that
+//! the same external-load regimes are used consistently across tables and
+//! figures, and so that seeds are the only source of variation between
+//! repetitions.
+
+use gridsim::{
+    BurstyLoad, ConstantLoad, Grid, GridBuilder, LoadModel, RandomWalkLoad, SpikeLoad,
+    TopologyBuilder,
+};
+use grasp_core::TaskSpec;
+use std::sync::Arc;
+
+/// Seed bundle used to derive every per-node seed of a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioSeed(pub u64);
+
+impl Default for ScenarioSeed {
+    fn default() -> Self {
+        ScenarioSeed(2007)
+    }
+}
+
+impl ScenarioSeed {
+    /// Derive a per-node seed.
+    pub fn for_node(&self, node_index: usize) -> u64 {
+        self.0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(node_index as u64)
+    }
+}
+
+/// A heterogeneous cluster (speed ratio ≈ 1–8×) where half the nodes carry a
+/// constant external load — the scenario used by the calibration-quality
+/// experiment (E1).
+pub fn loaded_heterogeneous_grid(nodes: usize, seed: ScenarioSeed) -> Grid {
+    let topo = TopologyBuilder::heterogeneous_cluster(nodes, 10.0, 80.0, seed.0);
+    let node_ids = topo.node_ids();
+    let mut builder = GridBuilder::new(topo);
+    for &n in &node_ids {
+        let load = if n.index() % 2 == 1 { 0.5 } else { 0.05 };
+        builder = builder.node_load(n, ConstantLoad::new(load));
+    }
+    builder.build()
+}
+
+/// A heterogeneous cluster where half the nodes carry a *transient* load that
+/// is present while calibration samples run (the first `transient_until`
+/// seconds) and vanishes afterwards — the situation in which time-only
+/// calibration misjudges nodes and statistical calibration should not
+/// (experiment E1).
+pub fn transient_load_grid(nodes: usize, transient_until: f64, seed: ScenarioSeed) -> Grid {
+    let topo = TopologyBuilder::heterogeneous_cluster(nodes, 10.0, 80.0, seed.0);
+    let node_ids = topo.node_ids();
+    let mut builder = GridBuilder::new(topo).quantum(0.25);
+    for &n in &node_ids {
+        if n.index() % 2 == 1 {
+            builder = builder.node_load(
+                n,
+                SpikeLoad::new(
+                    0.02,
+                    0.6,
+                    gridsim::SimTime::ZERO,
+                    gridsim::SimTime::new(transient_until),
+                ),
+            );
+        } else {
+            builder = builder.node_load(n, ConstantLoad::new(0.02));
+        }
+    }
+    builder.build()
+}
+
+/// A non-dedicated cluster in the style of a shared departmental grid: nodes
+/// have identical hardware, but their *external* load differs persistently —
+/// roughly 60 % are mostly idle, 25 % carry moderate competing work and 15 %
+/// are heavily used — and every node additionally sees slowly drifting
+/// random-walk load and occasional bursts.  This is the regime of the farm
+/// experiments (E2, E4, E6): a rigid equal share per node is wrong, and the
+/// right share changes over time.
+pub fn bursty_grid(nodes: usize, base_speed: f64, seed: ScenarioSeed) -> Grid {
+    let topo = TopologyBuilder::uniform_cluster(nodes, base_speed);
+    GridBuilder::new(topo)
+        .node_loads_with(|id| {
+            let s = seed.for_node(id.index());
+            // Persistent per-node regime: mostly idle / moderate / heavy.
+            let mean = match s % 10 {
+                0..=5 => 0.05,
+                6..=8 => 0.40,
+                _ => 0.75,
+            };
+            let walk = RandomWalkLoad::new(mean, 0.03, 5.0, 2_000.0, s ^ 0xABCD);
+            let bursts = BurstyLoad::new(0.0, 0.5, 150.0, 30.0, 2_000.0, s);
+            Arc::new(gridsim::CompositeLoad::new().with(Box::new(walk)).with(Box::new(bursts)))
+                as Arc<dyn LoadModel>
+        })
+        .quantum(0.25)
+        .build()
+}
+
+/// A quiet cluster in which a subset of nodes suffers a sustained load spike
+/// during `[spike_start, spike_end)` — the adaptation-response scenario
+/// (E3, E7).
+pub fn spike_grid(
+    nodes: usize,
+    base_speed: f64,
+    loaded_fraction: f64,
+    spike_start: f64,
+    spike_end: f64,
+) -> Grid {
+    let topo = TopologyBuilder::uniform_cluster(nodes, base_speed);
+    let node_ids = topo.node_ids();
+    let loaded = ((nodes as f64) * loaded_fraction.clamp(0.0, 1.0)).round() as usize;
+    let mut builder = GridBuilder::new(topo).quantum(0.25);
+    for &n in &node_ids {
+        if n.index() < loaded {
+            builder = builder.node_load(
+                n,
+                SpikeLoad::new(
+                    0.02,
+                    0.92,
+                    gridsim::SimTime::new(spike_start),
+                    gridsim::SimTime::new(spike_end),
+                ),
+            );
+        } else {
+            builder = builder.node_load(n, ConstantLoad::new(0.02));
+        }
+    }
+    builder.build()
+}
+
+/// The standard farm workload used when an experiment does not sweep the
+/// workload itself: `n` uniform tasks of `work` units with 32 KiB in/out.
+pub fn standard_farm_tasks(n: usize, work: f64) -> Vec<TaskSpec> {
+    TaskSpec::uniform(n, work, 32 * 1024, 32 * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsim::{NodeId, SimTime};
+
+    #[test]
+    fn scenario_seeds_are_distinct_per_node() {
+        let s = ScenarioSeed(9);
+        assert_ne!(s.for_node(0), s.for_node(1));
+    }
+
+    #[test]
+    fn loaded_heterogeneous_grid_alternates_load() {
+        let g = loaded_heterogeneous_grid(8, ScenarioSeed::default());
+        assert_eq!(g.node_ids().len(), 8);
+        assert!(g.cpu_load(NodeId(1), SimTime::ZERO) > g.cpu_load(NodeId(0), SimTime::ZERO));
+    }
+
+    #[test]
+    fn bursty_grid_is_deterministic_per_seed() {
+        let a = bursty_grid(4, 40.0, ScenarioSeed(1));
+        let b = bursty_grid(4, 40.0, ScenarioSeed(1));
+        let c = bursty_grid(4, 40.0, ScenarioSeed(2));
+        let t = SimTime::new(123.0);
+        assert_eq!(a.cpu_load(NodeId(2), t), b.cpu_load(NodeId(2), t));
+        let differs = (0..4).any(|i| a.cpu_load(NodeId(i), t) != c.cpu_load(NodeId(i), t));
+        assert!(differs);
+    }
+
+    #[test]
+    fn spike_grid_loads_only_the_requested_fraction() {
+        let g = spike_grid(10, 40.0, 0.3, 10.0, 100.0);
+        let during = SimTime::new(50.0);
+        let loaded: usize = (0..10)
+            .filter(|&i| g.cpu_load(NodeId(i), during) > 0.5)
+            .count();
+        assert_eq!(loaded, 3);
+        // Before the spike everything is quiet.
+        assert!(g.cpu_load(NodeId(0), SimTime::ZERO) < 0.1);
+    }
+
+    #[test]
+    fn standard_tasks_have_expected_shape() {
+        let tasks = standard_farm_tasks(10, 25.0);
+        assert_eq!(tasks.len(), 10);
+        assert!(tasks.iter().all(|t| t.work == 25.0 && t.input_bytes == 32 * 1024));
+    }
+}

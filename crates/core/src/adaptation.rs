@@ -1,0 +1,224 @@
+//! Adaptation actions and their audit log.
+//!
+//! When the execution monitor (Algorithm 2) finds the performance threshold
+//! exceeded, "the skeleton takes action, e.g., feeding back to the
+//! calibration phase and/or modifying the task scheduling according to the
+//! inherent properties of the skeleton in hand".  Every such action is
+//! recorded in an [`AdaptationLog`] so experiments can report how often and
+//! why a run adapted.
+
+use gridsim::{NodeId, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One adaptation decision taken during execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AdaptationAction {
+    /// The monitor fed back into the calibration phase: the node pool was
+    /// re-sampled and re-ranked.
+    Recalibrated {
+        /// Nodes chosen after the recalibration.
+        new_chosen: Vec<NodeId>,
+    },
+    /// One node was dropped from the chosen set without a full recalibration
+    /// because its recent times exceeded the demotion threshold.
+    NodeDemoted {
+        /// The demoted node.
+        node: NodeId,
+        /// Its recent mean per-task time when demoted.
+        recent_mean_time: f64,
+    },
+    /// A node was found down/revoked and its in-flight work re-queued.
+    NodeLost {
+        /// The lost node.
+        node: NodeId,
+        /// Number of tasks returned to the pending queue.
+        requeued_tasks: usize,
+    },
+    /// A pipeline stage was remapped to a different node.
+    StageRemapped {
+        /// Index of the remapped stage.
+        stage: usize,
+        /// Node the stage ran on before.
+        from: NodeId,
+        /// Node the stage runs on now.
+        to: NodeId,
+    },
+}
+
+impl AdaptationAction {
+    /// Short kind label used when aggregating logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AdaptationAction::Recalibrated { .. } => "recalibrated",
+            AdaptationAction::NodeDemoted { .. } => "node-demoted",
+            AdaptationAction::NodeLost { .. } => "node-lost",
+            AdaptationAction::StageRemapped { .. } => "stage-remapped",
+        }
+    }
+}
+
+/// A timestamped adaptation event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptationEvent {
+    /// When the action was taken.
+    pub time: SimTime,
+    /// The action.
+    pub action: AdaptationAction,
+    /// The threshold *Z* in force when the action was taken.
+    pub threshold: f64,
+    /// The observation that triggered it (e.g. the minimum recent mean time).
+    pub trigger_value: f64,
+}
+
+/// Chronological record of every adaptation taken during one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AdaptationLog {
+    events: Vec<AdaptationEvent>,
+}
+
+impl AdaptationLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event.
+    pub fn record(&mut self, time: SimTime, action: AdaptationAction, threshold: f64, trigger_value: f64) {
+        self.events.push(AdaptationEvent {
+            time,
+            action,
+            threshold,
+            trigger_value,
+        });
+    }
+
+    /// All events in chronological order.
+    pub fn events(&self) -> &[AdaptationEvent] {
+        &self.events
+    }
+
+    /// Total number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when the run never adapted.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of full recalibrations.
+    pub fn recalibrations(&self) -> usize {
+        self.count_kind("recalibrated")
+    }
+
+    /// Number of node demotions.
+    pub fn demotions(&self) -> usize {
+        self.count_kind("node-demoted")
+    }
+
+    /// Number of node losses handled.
+    pub fn node_losses(&self) -> usize {
+        self.count_kind("node-lost")
+    }
+
+    /// Number of pipeline stage remaps.
+    pub fn stage_remaps(&self) -> usize {
+        self.count_kind("stage-remapped")
+    }
+
+    fn count_kind(&self, kind: &str) -> usize {
+        self.events.iter().filter(|e| e.action.kind() == kind).count()
+    }
+
+    /// Render a compact text summary for reports.
+    pub fn summary(&self) -> String {
+        format!(
+            "adaptations: {} (recalibrations {}, demotions {}, losses {}, remaps {})",
+            self.len(),
+            self.recalibrations(),
+            self.demotions(),
+            self.node_losses(),
+            self.stage_remaps()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_counts_by_kind() {
+        let mut log = AdaptationLog::new();
+        assert!(log.is_empty());
+        log.record(
+            SimTime::new(1.0),
+            AdaptationAction::Recalibrated {
+                new_chosen: vec![NodeId(0)],
+            },
+            2.0,
+            3.0,
+        );
+        log.record(
+            SimTime::new(2.0),
+            AdaptationAction::NodeDemoted {
+                node: NodeId(3),
+                recent_mean_time: 9.0,
+            },
+            2.0,
+            9.0,
+        );
+        log.record(
+            SimTime::new(3.0),
+            AdaptationAction::NodeLost {
+                node: NodeId(3),
+                requeued_tasks: 4,
+            },
+            2.0,
+            0.0,
+        );
+        log.record(
+            SimTime::new(4.0),
+            AdaptationAction::StageRemapped {
+                stage: 1,
+                from: NodeId(2),
+                to: NodeId(5),
+            },
+            2.0,
+            7.0,
+        );
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.recalibrations(), 1);
+        assert_eq!(log.demotions(), 1);
+        assert_eq!(log.node_losses(), 1);
+        assert_eq!(log.stage_remaps(), 1);
+        assert!(log.summary().contains("adaptations: 4"));
+        assert_eq!(log.events()[0].time, SimTime::new(1.0));
+    }
+
+    #[test]
+    fn action_kinds_are_distinct() {
+        let kinds = [
+            AdaptationAction::Recalibrated { new_chosen: vec![] }.kind(),
+            AdaptationAction::NodeDemoted {
+                node: NodeId(0),
+                recent_mean_time: 0.0,
+            }
+            .kind(),
+            AdaptationAction::NodeLost {
+                node: NodeId(0),
+                requeued_tasks: 0,
+            }
+            .kind(),
+            AdaptationAction::StageRemapped {
+                stage: 0,
+                from: NodeId(0),
+                to: NodeId(1),
+            }
+            .kind(),
+        ];
+        let unique: std::collections::HashSet<&str> = kinds.into_iter().collect();
+        assert_eq!(unique.len(), 4);
+    }
+}

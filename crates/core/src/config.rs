@@ -1,0 +1,226 @@
+//! Configuration of the four GRASP phases.
+//!
+//! The programming phase "parameterises the API calls to GRASP"; everything
+//! tunable about calibration and adaptive execution is collected here so that
+//! the experiment harness can sweep it.
+
+use crate::calibration::CalibrationMode;
+use crate::error::GraspError;
+use crate::scheduler::SchedulePolicy;
+use crate::threshold::ThresholdPolicy;
+use gridsim::NodeId;
+use gridstats::OutlierPolicy;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the calibration phase (Algorithm 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationConfig {
+    /// How node performance is extrapolated from the samples.
+    pub mode: CalibrationMode,
+    /// How many sample tasks each allocated node executes.
+    pub samples_per_node: usize,
+    /// Fraction of the candidate pool selected as "fittest" (0, 1].
+    pub selection_fraction: f64,
+    /// Never select fewer than this many nodes (provided enough are up).
+    pub min_nodes: usize,
+    /// Outlier rejection applied to each node's sample times before ranking.
+    pub outlier_policy: OutlierPolicy,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        CalibrationConfig {
+            mode: CalibrationMode::TimeOnly,
+            samples_per_node: 1,
+            // Keep the whole pool by default: on a mostly homogeneous grid the
+            // transient losers at calibration time still contribute capacity
+            // later.  Strongly heterogeneous or WAN-separated pools should
+            // lower this (the calibration experiments use 0.5).
+            selection_fraction: 1.0,
+            min_nodes: 1,
+            outlier_policy: OutlierPolicy::Iqr { k: 1.5 },
+        }
+    }
+}
+
+/// Parameters of the adaptive execution phase (Algorithm 2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionConfig {
+    /// How the performance threshold *Z* is derived from calibration.
+    pub threshold: ThresholdPolicy,
+    /// Monitoring period in virtual seconds: how often the monitor node
+    /// collects execution times and evaluates the threshold.
+    pub monitor_interval_s: f64,
+    /// Upper bound on recalibrations per job (guards against thrashing).
+    pub max_recalibrations: usize,
+    /// Master switch: `false` turns Algorithm 2 off entirely (the
+    /// non-adaptive baseline used throughout the evaluation).
+    pub adaptive: bool,
+    /// A node whose recent mean time exceeds `demote_factor × Z` is demoted
+    /// (dropped from the chosen set) without waiting for a full recalibration.
+    pub demote_factor: f64,
+    /// Never adapt below this many active nodes.
+    pub min_active_nodes: usize,
+}
+
+impl Default for ExecutionConfig {
+    fn default() -> Self {
+        ExecutionConfig {
+            threshold: ThresholdPolicy::default(),
+            monitor_interval_s: 5.0,
+            max_recalibrations: 10,
+            adaptive: true,
+            demote_factor: 3.0,
+            min_active_nodes: 2,
+        }
+    }
+}
+
+/// Complete configuration of a GRASP job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GraspConfig {
+    /// Calibration-phase parameters.
+    pub calibration: CalibrationConfig,
+    /// Execution-phase parameters.
+    pub execution: ExecutionConfig,
+    /// Farm chunking policy.
+    pub scheduler: SchedulePolicy,
+    /// Master / root node; `None` selects the first candidate node.
+    pub master: Option<NodeId>,
+    /// Seed for any randomised decisions (kept for reproducibility).
+    pub seed: u64,
+}
+
+impl Default for GraspConfig {
+    fn default() -> Self {
+        GraspConfig {
+            calibration: CalibrationConfig::default(),
+            execution: ExecutionConfig::default(),
+            scheduler: SchedulePolicy::default(),
+            master: None,
+            seed: 42,
+        }
+    }
+}
+
+impl GraspConfig {
+    /// The fully adaptive configuration with statistical (multivariate)
+    /// calibration — the "everything on" setting.
+    pub fn adaptive_multivariate() -> Self {
+        let mut c = GraspConfig::default();
+        c.calibration.mode = CalibrationMode::Multivariate;
+        c
+    }
+
+    /// A non-adaptive baseline: no node selection (every node is used), no
+    /// monitoring, static block scheduling.  This is the classic rigid
+    /// implementation the paper's adaptive skeletons are compared against.
+    pub fn static_baseline() -> Self {
+        GraspConfig {
+            calibration: CalibrationConfig {
+                mode: CalibrationMode::TimeOnly,
+                samples_per_node: 0,
+                selection_fraction: 1.0,
+                min_nodes: 1,
+                outlier_policy: OutlierPolicy::None,
+            },
+            execution: ExecutionConfig {
+                adaptive: false,
+                ..ExecutionConfig::default()
+            },
+            scheduler: SchedulePolicy::StaticBlock,
+            master: None,
+            seed: 42,
+        }
+    }
+
+    /// A demand-driven (self-scheduling) baseline without calibration or
+    /// monitoring — adaptivity through greedy work stealing only.
+    pub fn self_scheduling_baseline() -> Self {
+        let mut c = GraspConfig::static_baseline();
+        c.scheduler = SchedulePolicy::SelfScheduling;
+        c
+    }
+
+    /// Validate internal consistency; returns the offending reason on error.
+    pub fn validate(&self) -> Result<(), GraspError> {
+        if !(0.0..=1.0).contains(&self.calibration.selection_fraction)
+            || self.calibration.selection_fraction == 0.0
+        {
+            return Err(GraspError::InvalidConfig(
+                "selection_fraction must be in (0, 1]".to_string(),
+            ));
+        }
+        if self.execution.monitor_interval_s <= 0.0 {
+            return Err(GraspError::InvalidConfig(
+                "monitor_interval_s must be positive".to_string(),
+            ));
+        }
+        if self.execution.demote_factor < 1.0 {
+            return Err(GraspError::InvalidConfig(
+                "demote_factor must be at least 1.0".to_string(),
+            ));
+        }
+        if self.calibration.min_nodes == 0 {
+            return Err(GraspError::InvalidConfig(
+                "min_nodes must be at least 1".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        assert!(GraspConfig::default().validate().is_ok());
+        assert!(GraspConfig::adaptive_multivariate().validate().is_ok());
+        assert!(GraspConfig::static_baseline().validate().is_ok());
+        assert!(GraspConfig::self_scheduling_baseline().validate().is_ok());
+    }
+
+    #[test]
+    fn baseline_configs_disable_adaptation() {
+        let b = GraspConfig::static_baseline();
+        assert!(!b.execution.adaptive);
+        assert_eq!(b.scheduler, SchedulePolicy::StaticBlock);
+        assert_eq!(b.calibration.selection_fraction, 1.0);
+        let s = GraspConfig::self_scheduling_baseline();
+        assert_eq!(s.scheduler, SchedulePolicy::SelfScheduling);
+    }
+
+    #[test]
+    fn adaptive_multivariate_uses_statistical_calibration() {
+        assert_eq!(
+            GraspConfig::adaptive_multivariate().calibration.mode,
+            CalibrationMode::Multivariate
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_fraction() {
+        let mut c = GraspConfig::default();
+        c.calibration.selection_fraction = 0.0;
+        assert!(matches!(c.validate(), Err(GraspError::InvalidConfig(_))));
+        c.calibration.selection_fraction = 1.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_interval_and_factors() {
+        let mut c = GraspConfig::default();
+        c.execution.monitor_interval_s = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = GraspConfig::default();
+        c.execution.demote_factor = 0.5;
+        assert!(c.validate().is_err());
+
+        let mut c = GraspConfig::default();
+        c.calibration.min_nodes = 0;
+        assert!(c.validate().is_err());
+    }
+}

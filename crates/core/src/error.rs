@@ -1,0 +1,53 @@
+//! Error type for the GRASP layers.
+
+use std::fmt;
+
+/// Errors surfaced by calibration, execution and the driver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraspError {
+    /// The skeleton was given no work.
+    EmptyWorkload,
+    /// The grid offers no usable node for the requested execution.
+    NoUsableNodes,
+    /// A pipeline was declared with no stages.
+    EmptyPipeline,
+    /// Calibration could not produce a ranking (e.g. every node is down).
+    CalibrationFailed(String),
+    /// The configuration is internally inconsistent.
+    InvalidConfig(String),
+    /// A task could not be completed on any node within the simulation horizon.
+    TaskLost {
+        /// Identifier of the lost task.
+        task: usize,
+    },
+}
+
+impl fmt::Display for GraspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraspError::EmptyWorkload => write!(f, "the skeleton was given no tasks"),
+            GraspError::NoUsableNodes => write!(f, "no usable nodes available in the grid"),
+            GraspError::EmptyPipeline => write!(f, "a pipeline needs at least one stage"),
+            GraspError::CalibrationFailed(why) => write!(f, "calibration failed: {why}"),
+            GraspError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+            GraspError::TaskLost { task } => write!(f, "task {task} could not be completed"),
+        }
+    }
+}
+
+impl std::error::Error for GraspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(GraspError::EmptyWorkload.to_string().contains("no tasks"));
+        assert!(GraspError::NoUsableNodes.to_string().contains("no usable nodes"));
+        assert!(GraspError::EmptyPipeline.to_string().contains("stage"));
+        assert!(GraspError::CalibrationFailed("x".into()).to_string().contains("x"));
+        assert!(GraspError::InvalidConfig("bad".into()).to_string().contains("bad"));
+        assert!(GraspError::TaskLost { task: 3 }.to_string().contains('3'));
+    }
+}

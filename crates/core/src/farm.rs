@@ -1,0 +1,795 @@
+//! The adaptive task farm skeleton.
+//!
+//! GRASP's first skeleton (reference [6] of the paper: "Self-adaptive
+//! skeletal task farm for computational grids").  A master holds a bag of
+//! independent tasks; workers request chunks, compute them and return the
+//! results.  The GRASP instrumentation wraps the classic farm with:
+//!
+//! * an initial **calibration** (Algorithm 1) that consumes the first few
+//!   tasks to rank nodes and select the fittest subset;
+//! * **adaptive chunking** — chunk sizes weighted by each node's calibrated
+//!   relative speed;
+//! * an execution **monitor** (Algorithm 2) that compares recent per-task
+//!   times against the performance threshold *Z* and reacts by demoting
+//!   individual nodes, requeueing work from revoked nodes, or feeding back
+//!   into calibration (re-ranking the whole pool);
+//! * a complete audit trail ([`crate::adaptation::AdaptationLog`],
+//!   throughput timeline, per-node accounting) for the experiments.
+//!
+//! The farm runs against the simulated [`gridsim::Grid`]; a real-thread
+//! shared-memory farm with the same surface lives in `grasp-exec`.
+
+use crate::adaptation::{AdaptationAction, AdaptationLog};
+use crate::calibration::{CalibrationReport, Calibrator};
+use crate::config::GraspConfig;
+use crate::error::GraspError;
+use crate::execution::ExecutionMonitor;
+use crate::metrics::ThroughputTimeline;
+use crate::properties::SkeletonProperties;
+use crate::task::{total_work, TaskOutcome, TaskSpec};
+use gridmon::MonitorRegistry;
+use gridsim::{EventQueue, Grid, NodeId, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Horizon (simulated seconds) after which an in-flight chunk on a node is
+/// declared lost instead of waiting for the node to recover.
+const CHUNK_HORIZON_S: f64 = 1e6;
+
+/// The adaptive task-farm skeleton.
+#[derive(Debug, Clone)]
+pub struct TaskFarm {
+    config: GraspConfig,
+    properties: SkeletonProperties,
+}
+
+/// Everything a farm run produced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FarmOutcome {
+    /// Virtual time from job start to the last result arriving at the master.
+    pub makespan: SimTime,
+    /// Every completed task (calibration samples included).
+    pub task_outcomes: Vec<TaskOutcome>,
+    /// The initial calibration report.
+    pub calibration: CalibrationReport,
+    /// Adaptations taken during execution.
+    pub adaptation: AdaptationLog,
+    /// Completions over time.
+    pub timeline: ThroughputTimeline,
+    /// Tasks completed per node.
+    pub per_node_tasks: BTreeMap<NodeId, usize>,
+    /// How many monitoring evaluations the monitor node performed.
+    pub monitor_evaluations: usize,
+    /// Nodes active (eligible for dispatch) when the job finished.
+    pub final_active_nodes: Vec<NodeId>,
+}
+
+impl FarmOutcome {
+    /// Number of completed tasks.
+    pub fn completed_tasks(&self) -> usize {
+        self.task_outcomes.len()
+    }
+
+    /// Fraction of tasks executed by each node.
+    pub fn node_shares(&self) -> BTreeMap<NodeId, f64> {
+        let total = self.completed_tasks().max(1) as f64;
+        self.per_node_tasks
+            .iter()
+            .map(|(&n, &c)| (n, c as f64 / total))
+            .collect()
+    }
+
+    /// Mean per-task latency (dispatch to completion) in seconds.
+    pub fn mean_task_latency(&self) -> f64 {
+        let durs: Vec<f64> = self
+            .task_outcomes
+            .iter()
+            .map(|o| o.duration().as_secs())
+            .collect();
+        gridstats::mean(&durs).unwrap_or(0.0)
+    }
+
+    /// Effective throughput over the whole run (tasks per virtual second).
+    pub fn throughput(&self) -> f64 {
+        if self.makespan.as_secs() <= 0.0 {
+            0.0
+        } else {
+            self.completed_tasks() as f64 / self.makespan.as_secs()
+        }
+    }
+}
+
+/// Internal event: a dispatched chunk finished (or was found lost).
+struct ChunkCompletion {
+    node: NodeId,
+    outcomes: Vec<TaskOutcome>,
+    /// Tasks that could not be completed because the node died.
+    lost: Vec<TaskSpec>,
+}
+
+impl TaskFarm {
+    /// A farm with the given configuration; the computation/communication
+    /// ratio of the properties is derived from the task list at run time.
+    pub fn new(config: GraspConfig) -> Self {
+        TaskFarm {
+            config,
+            properties: SkeletonProperties::task_farm(1.0),
+        }
+    }
+
+    /// Override the skeleton properties (used by compositions).
+    pub fn with_properties(mut self, properties: SkeletonProperties) -> Self {
+        self.properties = properties;
+        self
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &GraspConfig {
+        &self.config
+    }
+
+    /// The skeleton's intrinsic properties.
+    pub fn properties(&self) -> &SkeletonProperties {
+        &self.properties
+    }
+
+    /// Run the farm over `tasks` on `grid`, using every node of the grid as
+    /// the candidate pool.
+    pub fn run(&self, grid: &Grid, tasks: &[TaskSpec]) -> Result<FarmOutcome, GraspError> {
+        self.run_on(grid, &grid.node_ids(), tasks)
+    }
+
+    /// Run the farm over `tasks` on an explicit candidate node pool.
+    pub fn run_on(
+        &self,
+        grid: &Grid,
+        candidates: &[NodeId],
+        tasks: &[TaskSpec],
+    ) -> Result<FarmOutcome, GraspError> {
+        self.config.validate()?;
+        if tasks.is_empty() {
+            return Err(GraspError::EmptyWorkload);
+        }
+        if candidates.is_empty() {
+            return Err(GraspError::NoUsableNodes);
+        }
+        let master = self.config.master.unwrap_or(candidates[0]);
+        let mut registry = MonitorRegistry::new(master, 256);
+        let calibrator = Calibrator::new(self.config.calibration);
+
+        // --------------------------- Calibration ---------------------------
+        let calibration = calibrator.calibrate(
+            grid,
+            &mut registry,
+            candidates,
+            tasks,
+            master,
+            SimTime::ZERO,
+        )?;
+        let mut pending: VecDeque<TaskSpec> =
+            tasks[calibration.tasks_consumed.min(tasks.len())..]
+                .iter()
+                .copied()
+                .collect();
+
+        let exec_cfg = &self.config.execution;
+        let threshold = exec_cfg.threshold.compute(&calibration.chosen_reference_times());
+        let mut monitor = ExecutionMonitor::new(
+            threshold,
+            exec_cfg.monitor_interval_s,
+            exec_cfg.demote_factor,
+        );
+        monitor.reset(calibration.duration);
+
+        let mut active: Vec<NodeId> = calibration.chosen.clone();
+        let mut weights: BTreeMap<NodeId, f64> = calibration
+            .table
+            .iter()
+            .map(|c| (c.node, c.weight.max(0.0)))
+            .collect();
+
+        // ----------------------------- Execution ----------------------------
+        let mut outcomes: Vec<TaskOutcome> = calibration.outcomes.clone();
+        let mut per_node: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for o in &outcomes {
+            *per_node.entry(o.node).or_insert(0) += 1;
+        }
+        let mut timeline = ThroughputTimeline::new(exec_cfg.monitor_interval_s);
+        for o in &outcomes {
+            timeline.record(o.completed);
+        }
+        let mut adaptation = AdaptationLog::new();
+        let mut recalibrations = 0usize;
+        // Dispatching is held back until the initial calibration barrier has
+        // passed; recalibrations are barrier-free (see below).
+        let recalibrating_until = calibration.duration;
+        let mut makespan = calibration.duration;
+
+        let mut events: EventQueue<ChunkCompletion> = EventQueue::new();
+        let mut busy: BTreeMap<NodeId, bool> = BTreeMap::new();
+
+        // Prime every chosen node with an initial chunk.
+        let start = calibration.duration;
+        let initial_nodes = active.clone();
+        for node in initial_nodes {
+            Self::dispatch_to(
+                grid,
+                &mut pending,
+                &mut events,
+                &mut busy,
+                &self.config,
+                &weights,
+                &active,
+                node,
+                master,
+                start,
+            );
+        }
+
+        // If nothing could be dispatched (e.g. calibration consumed all
+        // tasks) the job is already done.
+        while let Some(ev) = events.pop() {
+            let now = ev.time;
+            let completion = ev.payload;
+            busy.insert(completion.node, false);
+
+            if !completion.lost.is_empty() {
+                // The node died mid-chunk: requeue its work and drop the node.
+                for spec in completion.lost.iter().rev() {
+                    pending.push_front(*spec);
+                }
+                active.retain(|&n| n != completion.node);
+                adaptation.record(
+                    now,
+                    AdaptationAction::NodeLost {
+                        node: completion.node,
+                        requeued_tasks: completion.lost.len(),
+                    },
+                    monitor.threshold(),
+                    0.0,
+                );
+            }
+
+            for o in &completion.outcomes {
+                outcomes.push(*o);
+                *per_node.entry(o.node).or_insert(0) += 1;
+                timeline.record(o.completed);
+                makespan = makespan.max(o.completed);
+                monitor.record(o.node, o.duration().as_secs());
+                registry.observe(grid, o.node, o.completed);
+            }
+
+            // ----------------------- Algorithm 2 -----------------------
+            if exec_cfg.adaptive {
+                if let Some(verdict) = monitor.evaluate(now) {
+                    // Demote individually pathological nodes first.
+                    for slow in &verdict.demote {
+                        if active.len() > exec_cfg.min_active_nodes && active.contains(slow) {
+                            active.retain(|n| n != slow);
+                            let mean = verdict
+                                .per_node_mean
+                                .iter()
+                                .find(|(n, _)| n == slow)
+                                .map(|(_, m)| *m)
+                                .unwrap_or(f64::NAN);
+                            adaptation.record(
+                                now,
+                                AdaptationAction::NodeDemoted {
+                                    node: *slow,
+                                    recent_mean_time: mean,
+                                },
+                                verdict.threshold,
+                                verdict.min_time,
+                            );
+                        }
+                    }
+                    // Whole-pool degradation: feed back into calibration.
+                    //
+                    // The initial calibration runs Algorithm 1 verbatim
+                    // (sample tasks on every node).  Recalibration re-uses
+                    // the monitoring data instead of re-sampling: the pool is
+                    // re-ranked from the nodes' base speeds scaled by their
+                    // currently observed availability, the chunking weights
+                    // and the chosen set are recomputed, and the threshold Z
+                    // is re-based on the execution times the monitor just
+                    // collected — so the feedback itself costs the job no
+                    // extra work and imposes no barrier.
+                    if verdict.recalibrate
+                        && recalibrations < exec_cfg.max_recalibrations
+                        && !pending.is_empty()
+                    {
+                        let mut ranked: Vec<(NodeId, f64)> = candidates
+                            .iter()
+                            .copied()
+                            .filter(|&n| grid.is_up(n, now))
+                            .map(|n| {
+                                let obs = registry.observe(grid, n, now);
+                                let base = grid.node(n).map(|s| s.base_speed).unwrap_or(1.0);
+                                (n, base * (1.0 - obs.cpu_load).max(0.02))
+                            })
+                            .collect();
+                        ranked.sort_by(|a, b| {
+                            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
+                        });
+                        if !ranked.is_empty() {
+                            let frac = self.config.calibration.selection_fraction.clamp(1e-6, 1.0);
+                            let want = ((ranked.len() as f64) * frac).ceil() as usize;
+                            let count = want
+                                .max(self.config.calibration.min_nodes.max(1))
+                                .max(exec_cfg.min_active_nodes)
+                                .min(ranked.len());
+                            active = ranked[..count].iter().map(|(n, _)| *n).collect();
+                            let chosen_mean = ranked[..count].iter().map(|(_, s)| *s).sum::<f64>()
+                                / count as f64;
+                            weights = ranked
+                                .iter()
+                                .map(|(n, s)| {
+                                    let w = if active.contains(n) && chosen_mean > 0.0 {
+                                        s / chosen_mean
+                                    } else {
+                                        0.0
+                                    };
+                                    (*n, w)
+                                })
+                                .collect();
+                            // Re-base Z on what the retained nodes just achieved.
+                            let retained_recent: Vec<f64> = verdict
+                                .per_node_mean
+                                .iter()
+                                .filter(|(n, _)| active.contains(n))
+                                .map(|(_, m)| *m)
+                                .collect();
+                            if !retained_recent.is_empty() {
+                                monitor
+                                    .set_threshold(exec_cfg.threshold.compute(&retained_recent));
+                            }
+                            monitor.reset(now);
+                            recalibrations += 1;
+                            adaptation.record(
+                                now,
+                                AdaptationAction::Recalibrated {
+                                    new_chosen: active.clone(),
+                                },
+                                verdict.threshold,
+                                verdict.min_time,
+                            );
+                        }
+                    }
+                }
+            }
+
+            // Keep every idle active node fed (unless a recalibration barrier
+            // is still in progress).
+            if now >= recalibrating_until {
+                let idle: Vec<NodeId> = active
+                    .iter()
+                    .copied()
+                    .filter(|n| !busy.get(n).copied().unwrap_or(false))
+                    .collect();
+                for node in idle {
+                    if pending.is_empty() {
+                        break;
+                    }
+                    Self::dispatch_to(
+                        grid,
+                        &mut pending,
+                        &mut events,
+                        &mut busy,
+                        &self.config,
+                        &weights,
+                        &active,
+                        node,
+                        master,
+                        now,
+                    );
+                }
+            } else if events.is_empty() {
+                // Everything is waiting on the recalibration barrier: dispatch
+                // from the barrier time.
+                let at = recalibrating_until;
+                let nodes = active.clone();
+                for node in nodes {
+                    if pending.is_empty() {
+                        break;
+                    }
+                    Self::dispatch_to(
+                        grid,
+                        &mut pending,
+                        &mut events,
+                        &mut busy,
+                        &self.config,
+                        &weights,
+                        &active,
+                        node,
+                        master,
+                        at,
+                    );
+                }
+            }
+
+            // Starvation guard: work remains but nothing is in flight.
+            if events.is_empty() && !pending.is_empty() {
+                let usable: Vec<NodeId> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&n| grid.is_up(n, now))
+                    .collect();
+                if usable.is_empty() {
+                    return Err(GraspError::TaskLost {
+                        task: pending.front().map(|t| t.id).unwrap_or(0),
+                    });
+                }
+                // Fall back to every node that is still up.
+                active = usable;
+                let nodes = active.clone();
+                for node in nodes {
+                    if pending.is_empty() {
+                        break;
+                    }
+                    Self::dispatch_to(
+                        grid,
+                        &mut pending,
+                        &mut events,
+                        &mut busy,
+                        &self.config,
+                        &weights,
+                        &active,
+                        node,
+                        master,
+                        now,
+                    );
+                }
+                if events.is_empty() {
+                    return Err(GraspError::TaskLost {
+                        task: pending.front().map(|t| t.id).unwrap_or(0),
+                    });
+                }
+            }
+        }
+
+        Ok(FarmOutcome {
+            makespan,
+            task_outcomes: outcomes,
+            calibration,
+            adaptation,
+            timeline,
+            per_node_tasks: per_node,
+            monitor_evaluations: monitor.evaluations(),
+            final_active_nodes: active,
+        })
+    }
+
+    /// Hand one chunk of pending tasks to `node`, scheduling its completion
+    /// event.  Does nothing when there is no pending work.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_to(
+        grid: &Grid,
+        pending: &mut VecDeque<TaskSpec>,
+        events: &mut EventQueue<ChunkCompletion>,
+        busy: &mut BTreeMap<NodeId, bool>,
+        config: &GraspConfig,
+        weights: &BTreeMap<NodeId, f64>,
+        active: &[NodeId],
+        node: NodeId,
+        master: NodeId,
+        now: SimTime,
+    ) {
+        if pending.is_empty() {
+            return;
+        }
+        let weight = weights.get(&node).copied().unwrap_or(1.0);
+        let chunk_size = config
+            .scheduler
+            .next_chunk(pending.len(), active.len().max(1), if weight > 0.0 { weight } else { 1.0 });
+        if chunk_size == 0 {
+            return;
+        }
+        let chunk: Vec<TaskSpec> = (0..chunk_size).filter_map(|_| pending.pop_front()).collect();
+
+        let mut t = now;
+        let mut completed = Vec::with_capacity(chunk.len());
+        let mut lost = Vec::new();
+        for (i, spec) in chunk.iter().enumerate() {
+            let dispatched = t;
+            let after_in = match grid.transfer(master, node, spec.input_bytes, t) {
+                Some(est) => t + est.duration,
+                None => t,
+            };
+            match grid.execute_within(node, spec.work, after_in, CHUNK_HORIZON_S) {
+                Some(after_compute) => {
+                    let done = match grid.transfer(node, master, spec.output_bytes, after_compute) {
+                        Some(est) => after_compute + est.duration,
+                        None => after_compute,
+                    };
+                    completed.push(TaskOutcome {
+                        task: spec.id,
+                        node,
+                        dispatched,
+                        completed: done,
+                        during_calibration: false,
+                    });
+                    t = done;
+                }
+                None => {
+                    // Node died: this task and the rest of the chunk are lost.
+                    lost.extend(chunk[i..].iter().copied());
+                    break;
+                }
+            }
+        }
+        busy.insert(node, true);
+        // The completion event fires when the node finished its whole chunk;
+        // if everything was lost, report the loss at the dispatch time.
+        let fire_at = if completed.is_empty() { now } else { t };
+        events.schedule_at(
+            fire_at,
+            ChunkCompletion {
+                node,
+                outcomes: completed,
+                lost,
+            },
+        );
+    }
+
+    /// Time a single (fault-free, idle) reference node would need for the
+    /// whole task list — the sequential baseline used for speedup numbers.
+    pub fn sequential_reference(grid: &Grid, node: NodeId, tasks: &[TaskSpec]) -> Option<f64> {
+        let spec = grid.node(node)?;
+        Some(total_work(tasks) / spec.base_speed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::CalibrationMode;
+    use crate::scheduler::SchedulePolicy;
+    use crate::threshold::ThresholdPolicy;
+    use gridsim::{
+        ConstantLoad, FaultPlan, GridBuilder, LinkSpec, SpikeLoad, TopologyBuilder,
+    };
+
+    fn uniform_tasks(n: usize) -> Vec<TaskSpec> {
+        TaskSpec::uniform(n, 50.0, 32 * 1024, 32 * 1024)
+    }
+
+    fn het_grid(nodes: usize) -> Grid {
+        Grid::dedicated(TopologyBuilder::heterogeneous_cluster(nodes, 20.0, 80.0, 7))
+    }
+
+    #[test]
+    fn all_tasks_complete_exactly_once_on_idle_grid() {
+        let grid = het_grid(8);
+        let tasks = uniform_tasks(120);
+        let farm = TaskFarm::new(GraspConfig::default());
+        let out = farm.run(&grid, &tasks).unwrap();
+        assert_eq!(out.completed_tasks(), 120);
+        let mut ids: Vec<usize> = out.task_outcomes.iter().map(|o| o.task).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 120, "every task exactly once");
+        assert!(out.makespan.as_secs() > 0.0);
+        assert!(out.throughput() > 0.0);
+        assert!(out.mean_task_latency() > 0.0);
+        let share_sum: f64 = out.node_shares().values().sum();
+        assert!((share_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_workload_is_rejected() {
+        let grid = het_grid(4);
+        let farm = TaskFarm::new(GraspConfig::default());
+        assert!(matches!(farm.run(&grid, &[]), Err(GraspError::EmptyWorkload)));
+    }
+
+    #[test]
+    fn empty_candidate_pool_is_rejected() {
+        let grid = het_grid(4);
+        let farm = TaskFarm::new(GraspConfig::default());
+        assert!(matches!(
+            farm.run_on(&grid, &[], &uniform_tasks(10)),
+            Err(GraspError::NoUsableNodes)
+        ));
+    }
+
+    #[test]
+    fn farm_beats_single_node() {
+        let grid = Grid::dedicated(TopologyBuilder::uniform_cluster(8, 40.0));
+        let tasks = uniform_tasks(160);
+        let farm = TaskFarm::new(GraspConfig::default());
+        let out = farm.run(&grid, &tasks).unwrap();
+        let seq = TaskFarm::sequential_reference(&grid, NodeId(0), &tasks).unwrap();
+        assert!(
+            out.makespan.as_secs() < seq / 3.0,
+            "8 workers should be much faster than 1: {} vs {}",
+            out.makespan.as_secs(),
+            seq
+        );
+    }
+
+    #[test]
+    fn adaptive_farm_beats_static_block_under_external_load() {
+        // Half the nodes are heavily loaded; the adaptive farm should route
+        // work away from them while the static farm suffers the stragglers.
+        let topo = TopologyBuilder::uniform_cluster(8, 40.0);
+        let node_ids = topo.node_ids();
+        let mut builder = GridBuilder::new(topo);
+        for &n in &node_ids {
+            let load = if n.index() >= 4 { 0.85 } else { 0.05 };
+            builder = builder.node_load(n, ConstantLoad::new(load));
+        }
+        let grid = builder.build();
+        let tasks = uniform_tasks(200);
+
+        let adaptive = TaskFarm::new(GraspConfig::default()).run(&grid, &tasks).unwrap();
+        let static_farm = TaskFarm::new(GraspConfig::static_baseline())
+            .run(&grid, &tasks)
+            .unwrap();
+        assert_eq!(adaptive.completed_tasks(), 200);
+        assert_eq!(static_farm.completed_tasks(), 200);
+        assert!(
+            adaptive.makespan < static_farm.makespan,
+            "adaptive {}s vs static {}s",
+            adaptive.makespan.as_secs(),
+            static_farm.makespan.as_secs()
+        );
+    }
+
+    #[test]
+    fn load_spike_triggers_adaptation() {
+        // All nodes quiet except: at t=30 every node in the second half of
+        // the pool becomes 95 % loaded.  The monitor must notice and adapt.
+        let topo = TopologyBuilder::uniform_cluster(6, 30.0);
+        let node_ids = topo.node_ids();
+        let mut builder = GridBuilder::new(topo).quantum(0.25);
+        for &n in &node_ids {
+            if n.index() >= 2 {
+                builder = builder.node_load(
+                    n,
+                    SpikeLoad::new(0.0, 0.95, SimTime::new(30.0), SimTime::new(10_000.0)),
+                );
+            }
+        }
+        let grid = builder.build();
+        let mut cfg = GraspConfig::default();
+        cfg.calibration.selection_fraction = 1.0;
+        cfg.execution.monitor_interval_s = 10.0;
+        cfg.execution.threshold = ThresholdPolicy::Factor { factor: 1.5 };
+        let tasks = TaskSpec::uniform(400, 60.0, 16 * 1024, 16 * 1024);
+        let out = TaskFarm::new(cfg).run(&grid, &tasks).unwrap();
+        assert_eq!(out.completed_tasks(), 400);
+        assert!(
+            !out.adaptation.is_empty(),
+            "the spike should have triggered at least one adaptation"
+        );
+        assert!(out.monitor_evaluations > 0);
+    }
+
+    #[test]
+    fn revoked_node_work_is_requeued_and_job_completes() {
+        let topo = TopologyBuilder::uniform_cluster(4, 30.0);
+        // Node 2 is revoked early and never comes back.
+        let faults = FaultPlan::none().with_outage(NodeId(2), SimTime::new(5.0), SimTime::new(1e9));
+        let grid = GridBuilder::new(topo).faults(faults).build();
+        let mut cfg = GraspConfig::default();
+        cfg.calibration.selection_fraction = 1.0;
+        let tasks = TaskSpec::uniform(120, 80.0, 8 * 1024, 8 * 1024);
+        let out = TaskFarm::new(cfg).run(&grid, &tasks).unwrap();
+        assert_eq!(out.completed_tasks(), 120, "lost chunk must be re-executed");
+        assert!(out.adaptation.node_losses() >= 1);
+        assert!(!out.final_active_nodes.contains(&NodeId(2)));
+        let mut ids: Vec<usize> = out.task_outcomes.iter().map(|o| o.task).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 120);
+    }
+
+    #[test]
+    fn whole_grid_down_is_an_error() {
+        let topo = TopologyBuilder::uniform_cluster(2, 30.0);
+        let faults = FaultPlan::none()
+            .with_outage(NodeId(0), SimTime::ZERO, SimTime::new(1e12))
+            .with_outage(NodeId(1), SimTime::ZERO, SimTime::new(1e12));
+        let grid = GridBuilder::new(topo).faults(faults).build();
+        let farm = TaskFarm::new(GraspConfig::default());
+        assert!(farm.run(&grid, &uniform_tasks(10)).is_err());
+    }
+
+    #[test]
+    fn calibration_work_counts_toward_the_job() {
+        let grid = het_grid(4);
+        let mut cfg = GraspConfig::default();
+        cfg.calibration.samples_per_node = 2;
+        let tasks = uniform_tasks(40);
+        let out = TaskFarm::new(cfg).run(&grid, &tasks).unwrap();
+        let calib_tasks = out
+            .task_outcomes
+            .iter()
+            .filter(|o| o.during_calibration)
+            .count();
+        assert_eq!(calib_tasks, 8, "4 nodes × 2 samples");
+        assert_eq!(out.completed_tasks(), 40);
+    }
+
+    #[test]
+    fn selection_fraction_limits_the_worker_set_on_a_quiet_grid() {
+        let grid = het_grid(8);
+        let mut cfg = GraspConfig::default();
+        cfg.calibration.selection_fraction = 0.5;
+        cfg.execution.adaptive = false; // keep the chosen set fixed
+        let out = TaskFarm::new(cfg).run(&grid, &uniform_tasks(80)).unwrap();
+        // Only calibration touches all 8 nodes; execution should use 4.
+        let exec_nodes: std::collections::BTreeSet<NodeId> = out
+            .task_outcomes
+            .iter()
+            .filter(|o| !o.during_calibration)
+            .map(|o| o.node)
+            .collect();
+        assert!(exec_nodes.len() <= 4, "got {exec_nodes:?}");
+    }
+
+    #[test]
+    fn self_scheduling_baseline_completes_everything() {
+        let grid = het_grid(6);
+        let out = TaskFarm::new(GraspConfig::self_scheduling_baseline())
+            .run(&grid, &uniform_tasks(60))
+            .unwrap();
+        assert_eq!(out.completed_tasks(), 60);
+        assert!(out.adaptation.is_empty(), "baseline must not adapt");
+    }
+
+    #[test]
+    fn weighted_chunking_gives_fast_nodes_more_tasks() {
+        // Two obviously different speeds, no adaptation needed.
+        let mut b = TopologyBuilder::new();
+        let s = b.add_site("c", LinkSpec::lan());
+        b.add_node(s, "slow", 10.0);
+        b.add_node(s, "slow2", 10.0);
+        b.add_node(s, "fast", 80.0);
+        b.add_node(s, "fast2", 80.0);
+        let grid = Grid::dedicated(b.build());
+        let mut cfg = GraspConfig::default();
+        cfg.calibration.selection_fraction = 1.0;
+        cfg.scheduler = SchedulePolicy::AdaptiveWeighted { min_chunk: 1 };
+        let out = TaskFarm::new(cfg).run(&grid, &uniform_tasks(200)).unwrap();
+        let slow_tasks = out.per_node_tasks.get(&NodeId(0)).copied().unwrap_or(0)
+            + out.per_node_tasks.get(&NodeId(1)).copied().unwrap_or(0);
+        let fast_tasks = out.per_node_tasks.get(&NodeId(2)).copied().unwrap_or(0)
+            + out.per_node_tasks.get(&NodeId(3)).copied().unwrap_or(0);
+        assert!(
+            fast_tasks > slow_tasks * 2,
+            "fast nodes should do most of the work: fast={fast_tasks} slow={slow_tasks}"
+        );
+    }
+
+    #[test]
+    fn statistical_calibration_mode_runs_end_to_end() {
+        let topo = TopologyBuilder::uniform_cluster(6, 40.0);
+        let node_ids = topo.node_ids();
+        let mut builder = GridBuilder::new(topo);
+        for &n in &node_ids {
+            builder = builder.node_load(n, ConstantLoad::new(0.1 * (n.index() % 3) as f64));
+        }
+        let grid = builder.build();
+        let mut cfg = GraspConfig::adaptive_multivariate();
+        cfg.calibration.samples_per_node = 2;
+        let out = TaskFarm::new(cfg).run(&grid, &uniform_tasks(90)).unwrap();
+        assert_eq!(out.completed_tasks(), 90);
+        assert_eq!(out.calibration.mode, CalibrationMode::Multivariate);
+    }
+
+    #[test]
+    fn makespan_is_never_before_the_last_completion() {
+        let grid = het_grid(5);
+        let out = TaskFarm::new(GraspConfig::default())
+            .run(&grid, &uniform_tasks(50))
+            .unwrap();
+        let last = out
+            .task_outcomes
+            .iter()
+            .map(|o| o.completed)
+            .fold(SimTime::ZERO, SimTime::max);
+        assert_eq!(out.makespan, last);
+        assert_eq!(out.timeline.total() as usize, out.completed_tasks());
+    }
+}

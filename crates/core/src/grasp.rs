@@ -1,0 +1,235 @@
+//! The four-phase GRASP driver (Figure 1 of the paper).
+//!
+//! [`Grasp`] packages the methodology end to end:
+//!
+//! 1. **Programming** — the user constructs the driver with a
+//!    [`GraspConfig`] and describes the job (farm tasks or pipeline stages);
+//!    this is the only part the application programmer writes.
+//! 2. **Compilation** — the job is bound to the parallel environment (the
+//!    grid and its candidate node pool).  Static; no feedback from the
+//!    platform yet.
+//! 3. **Calibration** — Algorithm 1 runs on the allocated nodes.
+//! 4. **Execution** — Algorithm 2 runs the remaining work adaptively.
+//!
+//! The driver returns a [`GraspRunReport`] containing the phase timings, the
+//! calibration table and the skeleton-specific outcome, which is exactly the
+//! information the experiment harness needs.
+
+use crate::config::GraspConfig;
+use crate::error::GraspError;
+use crate::farm::{FarmOutcome, TaskFarm};
+use crate::pipeline::{Pipeline, PipelineOutcome, StageSpec};
+use crate::properties::SkeletonProperties;
+use crate::task::TaskSpec;
+use gridsim::{Grid, NodeId, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Virtual-time accounting of the four phases.
+///
+/// Programming and compilation are static phases; they consume no *virtual*
+/// time (their cost is developer/compiler time, not grid time), but they are
+/// kept in the report so the life-cycle of Figure 1 is visible to callers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTimings {
+    /// Programming phase (static, always zero virtual seconds).
+    pub programming: SimTime,
+    /// Compilation phase (static, always zero virtual seconds).
+    pub compilation: SimTime,
+    /// Calibration phase duration.
+    pub calibration: SimTime,
+    /// Execution phase duration (job end minus calibration end).
+    pub execution: SimTime,
+}
+
+impl PhaseTimings {
+    /// Total virtual time of the dynamic phases.
+    pub fn total(&self) -> SimTime {
+        self.programming + self.compilation + self.calibration + self.execution
+    }
+
+    /// Calibration's share of the total dynamic time in `[0, 1]`.
+    pub fn calibration_fraction(&self) -> f64 {
+        let total = self.total().as_secs();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.calibration.as_secs() / total
+        }
+    }
+}
+
+/// The result of driving a job through all four phases.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GraspRunReport<O> {
+    /// Per-phase virtual-time accounting.
+    pub phases: PhaseTimings,
+    /// The skeleton-specific outcome (farm or pipeline).
+    pub outcome: O,
+}
+
+/// The GRASP driver.
+#[derive(Debug, Clone)]
+pub struct Grasp {
+    config: GraspConfig,
+}
+
+impl Grasp {
+    /// Programming phase: create a driver with the chosen parameterisation.
+    pub fn new(config: GraspConfig) -> Self {
+        Grasp { config }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &GraspConfig {
+        &self.config
+    }
+
+    /// Run a task farm over every node of the grid.  Panics are never used
+    /// for error handling; an invalid job yields a best-effort empty report
+    /// via [`Grasp::try_run_farm`]'s error instead — this convenience wrapper
+    /// unwraps because the common calling pattern (examples, benches) wants
+    /// the happy path.
+    pub fn run_farm(&self, grid: &Grid, tasks: &[TaskSpec]) -> GraspRunReport<FarmOutcome> {
+        self.try_run_farm(grid, tasks)
+            .expect("farm run failed; use try_run_farm to handle errors")
+    }
+
+    /// Fallible farm run.
+    pub fn try_run_farm(
+        &self,
+        grid: &Grid,
+        tasks: &[TaskSpec],
+    ) -> Result<GraspRunReport<FarmOutcome>, GraspError> {
+        self.try_run_farm_on(grid, &grid.node_ids(), tasks)
+    }
+
+    /// Fallible farm run on an explicit candidate pool.
+    pub fn try_run_farm_on(
+        &self,
+        grid: &Grid,
+        candidates: &[NodeId],
+        tasks: &[TaskSpec],
+    ) -> Result<GraspRunReport<FarmOutcome>, GraspError> {
+        let properties = SkeletonProperties::task_farm(Self::comp_comm_ratio(grid, tasks));
+        let farm = TaskFarm::new(self.config).with_properties(properties);
+        let outcome = farm.run_on(grid, candidates, tasks)?;
+        let phases = PhaseTimings {
+            programming: SimTime::ZERO,
+            compilation: SimTime::ZERO,
+            calibration: outcome.calibration.duration,
+            execution: outcome.makespan - outcome.calibration.duration,
+        };
+        Ok(GraspRunReport { phases, outcome })
+    }
+
+    /// Run a pipeline over every node of the grid.
+    pub fn run_pipeline(
+        &self,
+        grid: &Grid,
+        stages: &[StageSpec],
+        items: usize,
+    ) -> GraspRunReport<PipelineOutcome> {
+        self.try_run_pipeline(grid, stages, items)
+            .expect("pipeline run failed; use try_run_pipeline to handle errors")
+    }
+
+    /// Fallible pipeline run.
+    pub fn try_run_pipeline(
+        &self,
+        grid: &Grid,
+        stages: &[StageSpec],
+        items: usize,
+    ) -> Result<GraspRunReport<PipelineOutcome>, GraspError> {
+        self.try_run_pipeline_on(grid, &grid.node_ids(), stages, items)
+    }
+
+    /// Fallible pipeline run on an explicit candidate pool.
+    pub fn try_run_pipeline_on(
+        &self,
+        grid: &Grid,
+        candidates: &[NodeId],
+        stages: &[StageSpec],
+        items: usize,
+    ) -> Result<GraspRunReport<PipelineOutcome>, GraspError> {
+        let total_work: f64 = stages.iter().map(|s| s.work_per_item).sum();
+        let total_bytes: u64 = stages.iter().map(|s| s.forward_bytes).sum();
+        let ratio = Self::ratio_from(grid, total_work, total_bytes);
+        let pipeline =
+            Pipeline::new(self.config).with_properties(SkeletonProperties::pipeline(ratio, true));
+        let outcome = pipeline.run_on(grid, candidates, stages, items)?;
+        let phases = PhaseTimings {
+            programming: SimTime::ZERO,
+            compilation: SimTime::ZERO,
+            calibration: outcome.calibration.duration,
+            execution: outcome.makespan - outcome.calibration.duration,
+        };
+        Ok(GraspRunReport { phases, outcome })
+    }
+
+    /// Estimate the computation/communication ratio of a farm job on this
+    /// grid: mean dedicated compute seconds per task over mean transfer
+    /// seconds per task on the reference (LAN) link.
+    fn comp_comm_ratio(grid: &Grid, tasks: &[TaskSpec]) -> f64 {
+        if tasks.is_empty() {
+            return 1.0;
+        }
+        let mean_work: f64 = tasks.iter().map(|t| t.work).sum::<f64>() / tasks.len() as f64;
+        let mean_bytes: u64 =
+            tasks.iter().map(|t| t.total_bytes()).sum::<u64>() / tasks.len() as u64;
+        Self::ratio_from(grid, mean_work, mean_bytes)
+    }
+
+    fn ratio_from(grid: &Grid, work: f64, bytes: u64) -> f64 {
+        let speed = grid.topology().max_speed().max(1e-9);
+        let compute_s = work / speed;
+        let comm_s = gridsim::LinkSpec::lan().transfer_time(bytes, 1.0).max(1e-9);
+        (compute_s / comm_s).max(1e-3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsim::TopologyBuilder;
+
+    #[test]
+    fn farm_report_accounts_for_all_phases() {
+        let grid = Grid::dedicated(TopologyBuilder::heterogeneous_cluster(6, 20.0, 60.0, 2));
+        let tasks = TaskSpec::uniform(60, 40.0, 16 * 1024, 16 * 1024);
+        let report = Grasp::new(GraspConfig::default()).run_farm(&grid, &tasks);
+        assert_eq!(report.outcome.completed_tasks(), 60);
+        assert_eq!(report.phases.programming, SimTime::ZERO);
+        assert_eq!(report.phases.compilation, SimTime::ZERO);
+        assert!(report.phases.calibration.as_secs() > 0.0);
+        assert!(report.phases.execution.as_secs() > 0.0);
+        assert!(report.phases.calibration_fraction() > 0.0);
+        assert!(report.phases.calibration_fraction() < 1.0);
+        assert_eq!(report.phases.total(), report.outcome.makespan);
+    }
+
+    #[test]
+    fn pipeline_report_wraps_the_outcome() {
+        let grid = Grid::dedicated(TopologyBuilder::uniform_cluster(5, 40.0));
+        let stages = StageSpec::balanced(3, 15.0, 8 * 1024);
+        let report = Grasp::new(GraspConfig::default()).run_pipeline(&grid, &stages, 40);
+        assert_eq!(report.outcome.items, 40);
+        assert!(report.phases.execution.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn fallible_variants_report_errors() {
+        let grid = Grid::dedicated(TopologyBuilder::uniform_cluster(2, 40.0));
+        let g = Grasp::new(GraspConfig::default());
+        assert!(g.try_run_farm(&grid, &[]).is_err());
+        assert!(g.try_run_pipeline(&grid, &[], 10).is_err());
+        assert!(g
+            .try_run_farm_on(&grid, &[], &TaskSpec::uniform(5, 1.0, 0, 0))
+            .is_err());
+    }
+
+    #[test]
+    fn config_is_accessible() {
+        let g = Grasp::new(GraspConfig::static_baseline());
+        assert!(!g.config().execution.adaptive);
+    }
+}

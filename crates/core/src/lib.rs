@@ -1,0 +1,78 @@
+//! # grasp-core — Adaptive Structured Parallelism (GRASP)
+//!
+//! A Rust reproduction of the GRASP methodology from *González-Vélez & Cole,
+//! "Adaptive structured parallelism for computational grids", PPoPP 2007*.
+//!
+//! GRASP instruments **algorithmic skeletons** — here the paper's two
+//! skeletons, the [`farm::TaskFarm`] and the [`pipeline::Pipeline`], plus
+//! compositions — with their intrinsic structural properties so that a
+//! program running on a non-dedicated, heterogeneous grid can *steer its own
+//! execution*:
+//!
+//! 1. **Programming** — the user picks a skeleton and parameterises it
+//!    ([`grasp::Grasp`], [`task::TaskSpec`], [`pipeline::StageSpec`]).
+//! 2. **Compilation** — the skeleton is bound to a grid, a monitoring
+//!    registry, and a [`config::GraspConfig`] (static phase).
+//! 3. **Calibration** — Algorithm 1: every allocated node executes a sample
+//!    of the real work; nodes are ranked by extrapolated performance, either
+//!    from execution times alone or adjusted by univariate / multivariate
+//!    regression over CPU load and bandwidth ([`calibration`]).
+//! 4. **Execution** — Algorithm 2: the chosen nodes execute the remaining
+//!    work while a monitor compares observed times against a performance
+//!    threshold *Z*; exceeding it triggers recalibration and/or rescheduling
+//!    according to the skeleton's properties ([`execution`], [`adaptation`]).
+//!
+//! The crate is backend-agnostic in spirit, but its reference backend is the
+//! [`gridsim`] simulated grid (see DESIGN.md for the substitution rationale);
+//! a real-thread shared-memory backend for the same skeleton API lives in the
+//! companion `grasp-exec` crate.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use grasp_core::prelude::*;
+//! use gridsim::{Grid, TopologyBuilder};
+//!
+//! // A small heterogeneous cluster (idle, so purely illustrative).
+//! let grid = Grid::dedicated(TopologyBuilder::heterogeneous_cluster(8, 20.0, 80.0, 1));
+//! // 200 identical farm tasks of 50 work units, 1 KiB in/out.
+//! let tasks = TaskSpec::uniform(200, 50.0, 1024, 1024);
+//! let report = Grasp::new(GraspConfig::default()).run_farm(&grid, &tasks);
+//! assert_eq!(report.outcome.completed_tasks(), 200);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod adaptation;
+pub mod calibration;
+pub mod config;
+pub mod error;
+pub mod execution;
+pub mod farm;
+pub mod grasp;
+pub mod metrics;
+pub mod pipeline;
+pub mod properties;
+pub mod scheduler;
+pub mod task;
+pub mod threshold;
+
+/// Convenient glob import for downstream users.
+pub mod prelude {
+    pub use crate::adaptation::{AdaptationAction, AdaptationLog};
+    pub use crate::calibration::{CalibrationMode, CalibrationReport, Calibrator};
+    pub use crate::config::{CalibrationConfig, ExecutionConfig, GraspConfig};
+    pub use crate::error::GraspError;
+    pub use crate::execution::ExecutionMonitor;
+    pub use crate::farm::{FarmOutcome, TaskFarm};
+    pub use crate::grasp::{Grasp, GraspRunReport, PhaseTimings};
+    pub use crate::metrics::{efficiency, speedup, ThroughputTimeline};
+    pub use crate::pipeline::{Pipeline, PipelineOutcome, StageSpec};
+    pub use crate::properties::{SkeletonKind, SkeletonProperties};
+    pub use crate::scheduler::SchedulePolicy;
+    pub use crate::task::{TaskOutcome, TaskSpec};
+    pub use crate::threshold::ThresholdPolicy;
+}
+
+pub use prelude::*;

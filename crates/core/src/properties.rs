@@ -1,0 +1,164 @@
+//! Intrinsic skeleton properties.
+//!
+//! The paper's central claim is that "by identifying the intrinsic properties
+//! of an algorithmic skeleton, which capture its essence and distinguish it
+//! from the rest, the GRASP methodology enables its instrumentation and
+//! indeed its adaptivity".  This module makes those properties a first-class
+//! value: the calibration and adaptation layers consult them rather than
+//! hard-coding per-skeleton behaviour, so new skeletons can be added by
+//! describing their properties.
+
+use serde::{Deserialize, Serialize};
+
+/// Which structured pattern a job uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SkeletonKind {
+    /// Independent tasks distributed from a master to workers.
+    TaskFarm,
+    /// A linear chain of stages each item flows through.
+    Pipeline,
+    /// A farm whose workers are themselves pipelines (composition).
+    FarmOfPipelines,
+    /// A pipeline whose stages are internally farmed (composition).
+    PipelineOfFarms,
+}
+
+impl SkeletonKind {
+    /// Short lowercase name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SkeletonKind::TaskFarm => "task-farm",
+            SkeletonKind::Pipeline => "pipeline",
+            SkeletonKind::FarmOfPipelines => "farm-of-pipelines",
+            SkeletonKind::PipelineOfFarms => "pipeline-of-farms",
+        }
+    }
+}
+
+/// How work may be redistributed when the skeleton adapts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Rebalancing {
+    /// Any pending task may be given to any worker (farm-like freedom).
+    AnyTaskAnyWorker,
+    /// Only whole stages can be moved between nodes (pipeline-like).
+    StageRemapping,
+}
+
+/// The intrinsic, structural properties of a skeleton instance that GRASP
+/// instruments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SkeletonProperties {
+    /// The pattern.
+    pub kind: SkeletonKind,
+    /// Whether tasks/items are mutually independent (true for a farm; items
+    /// of a pipeline are independent but stages are ordered).
+    pub independent_tasks: bool,
+    /// Whether results must be delivered in submission order.
+    pub ordered_results: bool,
+    /// Whether the skeleton carries per-stage state that must move with a
+    /// stage when it is remapped.
+    pub stateful_stages: bool,
+    /// How the adaptation layer may redistribute work.
+    pub rebalancing: Rebalancing,
+    /// Nominal computation-to-communication ratio of the instantiated
+    /// skeleton (dedicated seconds of compute per second of communication on
+    /// the reference link); fixed by the programming-phase parameterisation.
+    pub comp_comm_ratio: f64,
+}
+
+impl SkeletonProperties {
+    /// Properties of a task farm with the given computation/communication ratio.
+    pub fn task_farm(comp_comm_ratio: f64) -> Self {
+        SkeletonProperties {
+            kind: SkeletonKind::TaskFarm,
+            independent_tasks: true,
+            ordered_results: false,
+            stateful_stages: false,
+            rebalancing: Rebalancing::AnyTaskAnyWorker,
+            comp_comm_ratio: comp_comm_ratio.max(0.0),
+        }
+    }
+
+    /// Properties of a pipeline with the given computation/communication ratio.
+    pub fn pipeline(comp_comm_ratio: f64, stateful_stages: bool) -> Self {
+        SkeletonProperties {
+            kind: SkeletonKind::Pipeline,
+            independent_tasks: false,
+            ordered_results: true,
+            stateful_stages,
+            rebalancing: Rebalancing::StageRemapping,
+            comp_comm_ratio: comp_comm_ratio.max(0.0),
+        }
+    }
+
+    /// Is the workload dominated by communication (ratio below 1)?
+    pub fn communication_bound(&self) -> bool {
+        self.comp_comm_ratio < 1.0
+    }
+
+    /// A granularity hint used by adaptive chunking: coarse-grained jobs can
+    /// be dispatched in larger chunks without hurting balance, fine-grained
+    /// jobs should be dispatched in small chunks to amortise per-message cost
+    /// only as far as necessary.
+    pub fn suggested_chunking(&self, workers: usize) -> usize {
+        if workers == 0 {
+            return 1;
+        }
+        if self.comp_comm_ratio >= 10.0 {
+            1
+        } else if self.comp_comm_ratio >= 1.0 {
+            2
+        } else {
+            // Communication-bound: batch aggressively.
+            (4.0 / self.comp_comm_ratio.max(0.05)).ceil() as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(SkeletonKind::TaskFarm.name(), "task-farm");
+        assert_eq!(SkeletonKind::Pipeline.name(), "pipeline");
+        assert_eq!(SkeletonKind::FarmOfPipelines.name(), "farm-of-pipelines");
+        assert_eq!(SkeletonKind::PipelineOfFarms.name(), "pipeline-of-farms");
+    }
+
+    #[test]
+    fn farm_properties_allow_free_rebalancing() {
+        let p = SkeletonProperties::task_farm(5.0);
+        assert!(p.independent_tasks);
+        assert!(!p.ordered_results);
+        assert_eq!(p.rebalancing, Rebalancing::AnyTaskAnyWorker);
+        assert!(!p.communication_bound());
+    }
+
+    #[test]
+    fn pipeline_properties_require_stage_remapping() {
+        let p = SkeletonProperties::pipeline(0.5, true);
+        assert!(!p.independent_tasks);
+        assert!(p.ordered_results);
+        assert!(p.stateful_stages);
+        assert_eq!(p.rebalancing, Rebalancing::StageRemapping);
+        assert!(p.communication_bound());
+    }
+
+    #[test]
+    fn chunking_grows_as_ratio_shrinks() {
+        let coarse = SkeletonProperties::task_farm(50.0).suggested_chunking(8);
+        let medium = SkeletonProperties::task_farm(2.0).suggested_chunking(8);
+        let fine = SkeletonProperties::task_farm(0.1).suggested_chunking(8);
+        assert!(coarse <= medium && medium <= fine);
+        assert_eq!(coarse, 1);
+        assert!(fine >= 4);
+        assert_eq!(SkeletonProperties::task_farm(1.0).suggested_chunking(0), 1);
+    }
+
+    #[test]
+    fn negative_ratio_is_clamped() {
+        assert_eq!(SkeletonProperties::task_farm(-3.0).comp_comm_ratio, 0.0);
+    }
+}

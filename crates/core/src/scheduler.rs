@@ -1,0 +1,205 @@
+//! Task-to-worker scheduling policies for the farm.
+//!
+//! "The key challenges in improving such performance include … the correct
+//! adjustment of algorithmic parameters (for example, blocking of
+//! communications, granularity)".  In a task farm the visible knob is the
+//! *chunk size*: how many tasks the master hands a worker per request.  The
+//! classic loop-scheduling spectrum is implemented as baselines, plus GRASP's
+//! adaptive policy which weights chunks by the calibrated relative speed of
+//! the requesting node.
+
+use serde::{Deserialize, Serialize};
+
+/// Chunking policy used when a worker requests work.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SchedulePolicy {
+    /// Split the workload into one equal block per worker up front.  No
+    /// adaptation at all — the classic static baseline.
+    StaticBlock,
+    /// One task per request (pure self-scheduling / demand-driven).
+    SelfScheduling,
+    /// A fixed number of tasks per request.
+    FixedChunk {
+        /// Tasks per request (≥ 1).
+        chunk: usize,
+    },
+    /// Guided self-scheduling: each request takes `remaining / workers`,
+    /// bounded below by `min_chunk`.
+    Guided {
+        /// Smallest chunk ever handed out.
+        min_chunk: usize,
+    },
+    /// Factoring: batches of `remaining × factor` split evenly over workers.
+    Factoring {
+        /// Fraction of the remaining work scheduled per batch (0, 1].
+        factor: f64,
+    },
+    /// GRASP's adaptive policy: like guided, but the chunk is weighted by the
+    /// requesting node's calibrated relative speed, so fast nodes receive
+    /// proportionally more work per round trip.
+    AdaptiveWeighted {
+        /// Smallest chunk ever handed out.
+        min_chunk: usize,
+    },
+}
+
+impl Default for SchedulePolicy {
+    fn default() -> Self {
+        SchedulePolicy::AdaptiveWeighted { min_chunk: 1 }
+    }
+}
+
+impl SchedulePolicy {
+    /// Decide how many tasks to hand to a worker.
+    ///
+    /// * `remaining` — tasks still waiting to be dispatched.
+    /// * `workers` — number of active workers.
+    /// * `weight` — the requesting worker's relative speed (1.0 = pool mean);
+    ///   only the adaptive policy uses it.
+    ///
+    /// Always returns at least 1 when `remaining > 0`, and never more than
+    /// `remaining`.
+    pub fn next_chunk(&self, remaining: usize, workers: usize, weight: f64) -> usize {
+        if remaining == 0 {
+            return 0;
+        }
+        let workers = workers.max(1);
+        let chunk = match *self {
+            SchedulePolicy::StaticBlock => remaining.div_ceil(workers),
+            SchedulePolicy::SelfScheduling => 1,
+            SchedulePolicy::FixedChunk { chunk } => chunk.max(1),
+            SchedulePolicy::Guided { min_chunk } => {
+                (remaining / workers).max(min_chunk.max(1))
+            }
+            SchedulePolicy::Factoring { factor } => {
+                let f = factor.clamp(0.05, 1.0);
+                (((remaining as f64) * f / workers as f64).ceil() as usize).max(1)
+            }
+            SchedulePolicy::AdaptiveWeighted { min_chunk } => {
+                // Weighted factoring: schedule roughly a quarter of the
+                // remaining work per round, split over the workers, scaled by
+                // the requesting node's calibrated relative speed.  Small
+                // enough that a node degrading mid-run strands little work,
+                // large enough to amortise dispatch overhead.
+                let base = remaining as f64 / (workers as f64 * 4.0);
+                let weighted = (base * weight.clamp(0.1, 10.0)).ceil() as usize;
+                weighted.max(min_chunk.max(1))
+            }
+        };
+        chunk.min(remaining)
+    }
+
+    /// Whether this policy reacts to calibration weights.
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, SchedulePolicy::AdaptiveWeighted { .. })
+    }
+
+    /// A short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulePolicy::StaticBlock => "static-block",
+            SchedulePolicy::SelfScheduling => "self-scheduling",
+            SchedulePolicy::FixedChunk { .. } => "fixed-chunk",
+            SchedulePolicy::Guided { .. } => "guided",
+            SchedulePolicy::Factoring { .. } => "factoring",
+            SchedulePolicy::AdaptiveWeighted { .. } => "adaptive-weighted",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_remaining_gives_zero() {
+        for p in [
+            SchedulePolicy::StaticBlock,
+            SchedulePolicy::SelfScheduling,
+            SchedulePolicy::default(),
+        ] {
+            assert_eq!(p.next_chunk(0, 4, 1.0), 0);
+        }
+    }
+
+    #[test]
+    fn chunks_never_exceed_remaining() {
+        let policies = [
+            SchedulePolicy::StaticBlock,
+            SchedulePolicy::SelfScheduling,
+            SchedulePolicy::FixedChunk { chunk: 64 },
+            SchedulePolicy::Guided { min_chunk: 4 },
+            SchedulePolicy::Factoring { factor: 0.5 },
+            SchedulePolicy::AdaptiveWeighted { min_chunk: 2 },
+        ];
+        for p in policies {
+            for remaining in [1usize, 3, 10, 1000] {
+                for workers in [1usize, 4, 32] {
+                    for weight in [0.2, 1.0, 4.0] {
+                        let c = p.next_chunk(remaining, workers, weight);
+                        assert!(c >= 1 && c <= remaining, "{p:?} gave {c} for {remaining}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn static_block_splits_evenly() {
+        assert_eq!(SchedulePolicy::StaticBlock.next_chunk(100, 4, 1.0), 25);
+        assert_eq!(SchedulePolicy::StaticBlock.next_chunk(101, 4, 1.0), 26);
+    }
+
+    #[test]
+    fn self_scheduling_is_one_at_a_time() {
+        assert_eq!(SchedulePolicy::SelfScheduling.next_chunk(100, 4, 5.0), 1);
+    }
+
+    #[test]
+    fn guided_shrinks_as_work_drains() {
+        let p = SchedulePolicy::Guided { min_chunk: 2 };
+        let big = p.next_chunk(1000, 10, 1.0);
+        let small = p.next_chunk(30, 10, 1.0);
+        assert!(big > small);
+        assert_eq!(p.next_chunk(5, 10, 1.0), 2, "bounded below by min_chunk");
+    }
+
+    #[test]
+    fn factoring_takes_a_fraction_per_worker() {
+        let p = SchedulePolicy::Factoring { factor: 0.5 };
+        assert_eq!(p.next_chunk(100, 5, 1.0), 10);
+    }
+
+    #[test]
+    fn adaptive_gives_fast_nodes_bigger_chunks() {
+        let p = SchedulePolicy::AdaptiveWeighted { min_chunk: 1 };
+        let slow = p.next_chunk(1000, 10, 0.5);
+        let fast = p.next_chunk(1000, 10, 3.0);
+        assert!(fast > slow, "fast={fast} slow={slow}");
+        assert!(p.is_adaptive());
+        assert!(!SchedulePolicy::StaticBlock.is_adaptive());
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<&str> = [
+            SchedulePolicy::StaticBlock.name(),
+            SchedulePolicy::SelfScheduling.name(),
+            SchedulePolicy::FixedChunk { chunk: 2 }.name(),
+            SchedulePolicy::Guided { min_chunk: 1 }.name(),
+            SchedulePolicy::Factoring { factor: 0.5 }.name(),
+            SchedulePolicy::AdaptiveWeighted { min_chunk: 1 }.name(),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn degenerate_parameters_are_clamped() {
+        assert_eq!(SchedulePolicy::FixedChunk { chunk: 0 }.next_chunk(10, 2, 1.0), 1);
+        assert_eq!(SchedulePolicy::Guided { min_chunk: 0 }.next_chunk(1, 8, 1.0), 1);
+        assert!(SchedulePolicy::Factoring { factor: 0.0 }.next_chunk(100, 4, 1.0) >= 1);
+        assert!(SchedulePolicy::AdaptiveWeighted { min_chunk: 0 }.next_chunk(10, 100, 0.0) >= 1);
+    }
+}

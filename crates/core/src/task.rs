@@ -1,0 +1,137 @@
+//! Tasks: the unit of work a task farm distributes.
+//!
+//! The programming phase parameterises the skeleton "with correct meaning for
+//! the given problem instance"; for a farm that means describing each task's
+//! computational weight and the size of the data shipped to and from the
+//! worker, which together fix the computation/communication ratio GRASP's
+//! pragmatic rules depend on.
+
+use gridsim::{NodeId, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Static description of one farm task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Task identifier, unique within a job.
+    pub id: usize,
+    /// Computational weight in abstract work units (a node of base speed `s`
+    /// needs `work / s` dedicated seconds).
+    pub work: f64,
+    /// Bytes shipped from the master to the worker before computing.
+    pub input_bytes: u64,
+    /// Bytes shipped back from the worker after computing.
+    pub output_bytes: u64,
+}
+
+impl TaskSpec {
+    /// Create a task.
+    pub fn new(id: usize, work: f64, input_bytes: u64, output_bytes: u64) -> Self {
+        TaskSpec {
+            id,
+            work: work.max(0.0),
+            input_bytes,
+            output_bytes,
+        }
+    }
+
+    /// `n` identical tasks.
+    pub fn uniform(n: usize, work: f64, input_bytes: u64, output_bytes: u64) -> Vec<TaskSpec> {
+        (0..n)
+            .map(|id| TaskSpec::new(id, work, input_bytes, output_bytes))
+            .collect()
+    }
+
+    /// `n` tasks whose work follows a linear ramp from `min_work` to
+    /// `max_work` — a simple irregular workload.
+    pub fn ramp(n: usize, min_work: f64, max_work: f64, input_bytes: u64, output_bytes: u64) -> Vec<TaskSpec> {
+        let n = n.max(1);
+        (0..n)
+            .map(|id| {
+                let frac = if n == 1 { 0.0 } else { id as f64 / (n - 1) as f64 };
+                TaskSpec::new(
+                    id,
+                    min_work + (max_work - min_work) * frac,
+                    input_bytes,
+                    output_bytes,
+                )
+            })
+            .collect()
+    }
+
+    /// Total bytes moved for this task (input + output).
+    pub fn total_bytes(&self) -> u64 {
+        self.input_bytes + self.output_bytes
+    }
+}
+
+/// Sum of work units over a set of tasks.
+pub fn total_work(tasks: &[TaskSpec]) -> f64 {
+    tasks.iter().map(|t| t.work).sum()
+}
+
+/// The record of one completed task, as logged by the execution phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskOutcome {
+    /// Which task completed.
+    pub task: usize,
+    /// Node it ran on.
+    pub node: NodeId,
+    /// Dispatch time (input transfer begins).
+    pub dispatched: SimTime,
+    /// Completion time (output transfer finished at the master).
+    pub completed: SimTime,
+    /// Whether the task was executed as part of the calibration sample
+    /// ("the processing performed during the calibration contributes to the
+    /// overall job").
+    pub during_calibration: bool,
+}
+
+impl TaskOutcome {
+    /// Wall-clock (virtual) duration from dispatch to completion.
+    pub fn duration(&self) -> SimTime {
+        self.completed - self.dispatched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_tasks_share_parameters() {
+        let tasks = TaskSpec::uniform(5, 10.0, 100, 200);
+        assert_eq!(tasks.len(), 5);
+        assert!(tasks.iter().enumerate().all(|(i, t)| t.id == i));
+        assert!(tasks.iter().all(|t| t.work == 10.0 && t.total_bytes() == 300));
+        assert_eq!(total_work(&tasks), 50.0);
+    }
+
+    #[test]
+    fn ramp_tasks_span_the_range() {
+        let tasks = TaskSpec::ramp(11, 10.0, 20.0, 0, 0);
+        assert_eq!(tasks[0].work, 10.0);
+        assert_eq!(tasks[10].work, 20.0);
+        assert!((tasks[5].work - 15.0).abs() < 1e-9);
+        // Degenerate single task uses the minimum.
+        assert_eq!(TaskSpec::ramp(1, 5.0, 9.0, 0, 0)[0].work, 5.0);
+        // Zero count is clamped to one.
+        assert_eq!(TaskSpec::ramp(0, 5.0, 9.0, 0, 0).len(), 1);
+    }
+
+    #[test]
+    fn negative_work_is_clamped() {
+        assert_eq!(TaskSpec::new(0, -5.0, 0, 0).work, 0.0);
+    }
+
+    #[test]
+    fn outcome_duration() {
+        let o = TaskOutcome {
+            task: 1,
+            node: NodeId(2),
+            dispatched: SimTime::new(3.0),
+            completed: SimTime::new(7.5),
+            during_calibration: false,
+        };
+        assert!((o.duration().as_secs() - 4.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests over the GRASP core: calibration, monitor, adaptation
+//! bookkeeping and configuration validation.
+
+use grasp_core::calibration::Calibrator;
+use grasp_core::execution::ExecutionMonitor;
+use grasp_core::prelude::*;
+use gridmon::MonitorRegistry;
+use gridsim::{Grid, NodeId, SimTime, TopologyBuilder};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Calibration on a dedicated pool always selects the requested fraction
+    /// (rounded up, floored by min_nodes) and ranks fastest-first.
+    #[test]
+    fn calibration_selects_the_requested_fraction(
+        nodes in 2usize..24,
+        fraction in 0.1f64..1.0,
+        min_nodes in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let grid = Grid::dedicated(TopologyBuilder::heterogeneous_cluster(nodes, 10.0, 90.0, seed));
+        let tasks = TaskSpec::uniform(nodes * 2, 40.0, 1024, 1024);
+        let cfg = CalibrationConfig {
+            samples_per_node: 1,
+            selection_fraction: fraction,
+            min_nodes,
+            ..CalibrationConfig::default()
+        };
+        let mut registry = MonitorRegistry::new(NodeId(0), 32);
+        let report = Calibrator::new(cfg)
+            .calibrate(&grid, &mut registry, &grid.node_ids(), &tasks, NodeId(0), SimTime::ZERO)
+            .unwrap();
+        let expected = ((nodes as f64 * fraction).ceil() as usize)
+            .max(min_nodes)
+            .min(nodes);
+        prop_assert_eq!(report.chosen.len(), expected);
+        // Ranking is fastest-first: adjusted times must be non-decreasing.
+        let times: Vec<f64> = report
+            .ranking
+            .iter()
+            .map(|n| report.table.iter().find(|c| c.node == *n).unwrap().adjusted_time)
+            .collect();
+        prop_assert!(times.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        // Chosen nodes are exactly the ranking prefix.
+        prop_assert_eq!(&report.chosen[..], &report.ranking[..expected]);
+    }
+
+    /// The execution monitor recalibrates exactly when the minimum recent
+    /// mean exceeds the threshold.
+    #[test]
+    fn monitor_verdict_matches_definition(
+        times in prop::collection::vec((0usize..6, 0.01f64..20.0), 1..60),
+        threshold in 0.1f64..10.0,
+    ) {
+        let mut monitor = ExecutionMonitor::new(threshold, 1.0, 3.0);
+        for (node, t) in &times {
+            monitor.record(NodeId(*node), *t);
+        }
+        let verdict = monitor.evaluate(SimTime::new(10.0)).unwrap();
+        let min_mean = verdict
+            .per_node_mean
+            .iter()
+            .map(|(_, m)| *m)
+            .fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(verdict.recalibrate, min_mean > threshold);
+        for node in &verdict.demote {
+            let m = verdict.per_node_mean.iter().find(|(n, _)| n == node).unwrap().1;
+            prop_assert!(m > threshold * 3.0);
+        }
+    }
+
+    /// Config validation accepts exactly the documented parameter ranges.
+    #[test]
+    fn config_validation_matches_ranges(
+        fraction in -0.5f64..1.5,
+        interval in -1.0f64..10.0,
+        demote in 0.0f64..5.0,
+    ) {
+        let mut cfg = GraspConfig::default();
+        cfg.calibration.selection_fraction = fraction;
+        cfg.execution.monitor_interval_s = interval;
+        cfg.execution.demote_factor = demote;
+        let ok = fraction > 0.0 && fraction <= 1.0 && interval > 0.0 && demote >= 1.0;
+        prop_assert_eq!(cfg.validate().is_ok(), ok);
+    }
+
+    /// Farm node shares always sum to one and per-node counts to the total.
+    #[test]
+    fn farm_accounting_is_consistent(
+        tasks_n in 5usize..50,
+        nodes in 2usize..6,
+        work in 5.0f64..100.0,
+    ) {
+        let grid = Grid::dedicated(TopologyBuilder::uniform_cluster(nodes, 40.0));
+        let tasks = TaskSpec::uniform(tasks_n, work, 2048, 2048);
+        let out = TaskFarm::new(GraspConfig::default()).run(&grid, &tasks).unwrap();
+        let counted: usize = out.per_node_tasks.values().sum();
+        prop_assert_eq!(counted, out.completed_tasks());
+        let share_sum: f64 = out.node_shares().values().sum();
+        prop_assert!((share_sum - 1.0).abs() < 1e-9);
+        prop_assert_eq!(out.timeline.total() as usize, out.completed_tasks());
+    }
+}

@@ -1,0 +1,331 @@
+//! A real-thread task farm.
+//!
+//! The farm mirrors the GRASP life-cycle on shared memory:
+//!
+//! 1. **Calibration** — every worker thread executes a small probe sample of
+//!    the real tasks; the observed per-task times establish each worker's
+//!    relative speed (on an otherwise idle machine they are equal, but when
+//!    the machine is shared they are not) and the initial chunk size.
+//! 2. **Execution** — remaining tasks are dispensed demand-driven in chunks
+//!    decided by the configured [`SchedulePolicy`]; results are written into
+//!    their original slots so output order always matches input order.
+//!
+//! The implementation uses scoped threads and `parking_lot` mutexes only —
+//! no unsafe code, no dependency on a global thread pool.
+
+use grasp_core::SchedulePolicy;
+use gridstats::mean;
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// Per-run statistics reported by [`ThreadFarm::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FarmStats {
+    /// Number of worker threads used.
+    pub workers: usize,
+    /// Tasks completed per worker.
+    pub tasks_per_worker: Vec<usize>,
+    /// Mean per-task execution time per worker (seconds), as measured during
+    /// the run (calibration probes included).
+    pub mean_task_time_per_worker: Vec<f64>,
+    /// Wall-clock duration of the calibration pass.
+    pub calibration: Duration,
+    /// Wall-clock duration of the whole run.
+    pub total: Duration,
+    /// Chunk size chosen after calibration (for fixed/guided policies this is
+    /// the first chunk actually dispensed).
+    pub initial_chunk: usize,
+}
+
+impl FarmStats {
+    /// Ratio between the busiest and least busy worker's task counts
+    /// (1.0 = perfectly balanced; higher = more imbalance).
+    pub fn imbalance(&self) -> f64 {
+        let max = self.tasks_per_worker.iter().copied().max().unwrap_or(0) as f64;
+        let min = self.tasks_per_worker.iter().copied().min().unwrap_or(0) as f64;
+        if min <= 0.0 {
+            max.max(1.0)
+        } else {
+            max / min
+        }
+    }
+}
+
+/// A shared-memory task farm.
+#[derive(Debug, Clone)]
+pub struct ThreadFarm {
+    workers: usize,
+    policy: SchedulePolicy,
+    calibration_samples: usize,
+}
+
+impl Default for ThreadFarm {
+    fn default() -> Self {
+        ThreadFarm::new(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2))
+    }
+}
+
+impl ThreadFarm {
+    /// A farm with `workers` threads and the default (adaptive) policy.
+    pub fn new(workers: usize) -> Self {
+        ThreadFarm {
+            workers: workers.max(1),
+            policy: SchedulePolicy::Guided { min_chunk: 1 },
+            calibration_samples: 2,
+        }
+    }
+
+    /// Override the scheduling policy.
+    pub fn with_policy(mut self, policy: SchedulePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Override how many probe tasks each worker executes during calibration
+    /// (0 disables the calibration pass).
+    pub fn with_calibration_samples(mut self, samples: usize) -> Self {
+        self.calibration_samples = samples;
+        self
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Execute `worker` over every item, returning the results in input
+    /// order together with run statistics.
+    pub fn run<T, R, F>(&self, items: &[T], worker: F) -> (Vec<R>, FarmStats)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let n = items.len();
+        let started = Instant::now();
+        let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+        results.resize_with(n, || None);
+
+        if n == 0 {
+            return (
+                Vec::new(),
+                FarmStats {
+                    workers: self.workers,
+                    tasks_per_worker: vec![0; self.workers],
+                    mean_task_time_per_worker: vec![0.0; self.workers],
+                    calibration: Duration::ZERO,
+                    total: started.elapsed(),
+                    initial_chunk: 0,
+                },
+            );
+        }
+
+        let results_slots: Vec<Mutex<&mut [Option<R>]>> =
+            results.chunks_mut(1).map(Mutex::new).collect();
+        // A single cursor protected by a mutex dispenses chunks; per-worker
+        // bookkeeping lives behind its own lock.
+        struct Shared {
+            next: usize,
+            total: usize,
+        }
+        let shared = Mutex::new(Shared { next: 0, total: n });
+        let per_worker_counts: Vec<Mutex<usize>> = (0..self.workers).map(|_| Mutex::new(0)).collect();
+        let per_worker_times: Vec<Mutex<Vec<f64>>> =
+            (0..self.workers).map(|_| Mutex::new(Vec::new())).collect();
+        let calibration_done = Mutex::new(Duration::ZERO);
+        let initial_chunk = Mutex::new(0usize);
+
+        let calib_samples = self.calibration_samples;
+        let policy = self.policy;
+        let workers = self.workers;
+
+        std::thread::scope(|scope| {
+            for wid in 0..workers {
+                let shared = &shared;
+                let results_slots = &results_slots;
+                let per_worker_counts = &per_worker_counts;
+                let per_worker_times = &per_worker_times;
+                let calibration_done = &calibration_done;
+                let initial_chunk = &initial_chunk;
+                let worker_fn = &worker;
+                scope.spawn(move || {
+                    // ----------------- calibration pass -----------------
+                    let calib_start = Instant::now();
+                    for _ in 0..calib_samples {
+                        let idx = {
+                            let mut s = shared.lock();
+                            if s.next >= s.total {
+                                break;
+                            }
+                            let i = s.next;
+                            s.next += 1;
+                            i
+                        };
+                        let t0 = Instant::now();
+                        let out = worker_fn(&items[idx]);
+                        let dt = t0.elapsed().as_secs_f64();
+                        *results_slots[idx].lock().first_mut().unwrap() = Some(out);
+                        per_worker_times[wid].lock().push(dt);
+                        *per_worker_counts[wid].lock() += 1;
+                    }
+                    if calib_samples > 0 {
+                        let elapsed = calib_start.elapsed();
+                        let mut cd = calibration_done.lock();
+                        if elapsed > *cd {
+                            *cd = elapsed;
+                        }
+                    }
+
+                    // ----------------- execution pass -----------------
+                    loop {
+                        // Weight = pool mean time / this worker's mean time.
+                        let my_mean = mean(&per_worker_times[wid].lock()).unwrap_or(0.0);
+                        let pool_mean = {
+                            let all: Vec<f64> = per_worker_times
+                                .iter()
+                                .filter_map(|m| mean(&m.lock()))
+                                .collect();
+                            mean(&all).unwrap_or(0.0)
+                        };
+                        let weight = if my_mean > 0.0 && pool_mean > 0.0 {
+                            pool_mean / my_mean
+                        } else {
+                            1.0
+                        };
+                        let (start, count) = {
+                            let mut s = shared.lock();
+                            let remaining = s.total - s.next;
+                            if remaining == 0 {
+                                break;
+                            }
+                            let c = policy.next_chunk(remaining, workers, weight);
+                            let start = s.next;
+                            s.next += c;
+                            (start, c)
+                        };
+                        {
+                            let mut ic = initial_chunk.lock();
+                            if *ic == 0 {
+                                *ic = count;
+                            }
+                        }
+                        for idx in start..start + count {
+                            let t0 = Instant::now();
+                            let out = worker_fn(&items[idx]);
+                            let dt = t0.elapsed().as_secs_f64();
+                            *results_slots[idx].lock().first_mut().unwrap() = Some(out);
+                            per_worker_times[wid].lock().push(dt);
+                            *per_worker_counts[wid].lock() += 1;
+                        }
+                    }
+                });
+            }
+        });
+
+        drop(results_slots);
+        let output: Vec<R> = results
+            .into_iter()
+            .map(|r| r.expect("every task slot must have been filled"))
+            .collect();
+        let stats = FarmStats {
+            workers: self.workers,
+            tasks_per_worker: per_worker_counts.iter().map(|m| *m.lock()).collect(),
+            mean_task_time_per_worker: per_worker_times
+                .iter()
+                .map(|m| mean(&m.lock()).unwrap_or(0.0))
+                .collect(),
+            calibration: *calibration_done.lock(),
+            total: started.elapsed(),
+            initial_chunk: *initial_chunk.lock(),
+        };
+        (output, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin_work(n: u64) -> u64 {
+        // A small, optimisation-resistant busy loop.
+        let mut acc = 0u64;
+        for i in 0..n {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        acc
+    }
+
+    #[test]
+    fn results_preserve_input_order() {
+        let farm = ThreadFarm::new(4);
+        let items: Vec<u64> = (0..200).collect();
+        let (out, stats) = farm.run(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(stats.workers, 4);
+        assert_eq!(stats.tasks_per_worker.iter().sum::<usize>(), 200);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        let farm = ThreadFarm::new(2);
+        let (out, stats) = farm.run(&[] as &[u32], |&x| x);
+        assert!(out.is_empty());
+        assert_eq!(stats.tasks_per_worker.iter().sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn single_worker_still_completes() {
+        let farm = ThreadFarm::new(1).with_policy(SchedulePolicy::SelfScheduling);
+        let items: Vec<u64> = (0..50).collect();
+        let (out, stats) = farm.run(&items, |&x| x + 1);
+        assert_eq!(out.len(), 50);
+        assert_eq!(stats.tasks_per_worker, vec![50]);
+        assert_eq!(stats.imbalance(), 50.0_f64.max(1.0) / 50.0);
+    }
+
+    #[test]
+    fn every_policy_completes_the_workload() {
+        let items: Vec<u64> = (0..300).collect();
+        for policy in [
+            SchedulePolicy::StaticBlock,
+            SchedulePolicy::SelfScheduling,
+            SchedulePolicy::FixedChunk { chunk: 7 },
+            SchedulePolicy::Guided { min_chunk: 2 },
+            SchedulePolicy::Factoring { factor: 0.5 },
+            SchedulePolicy::AdaptiveWeighted { min_chunk: 1 },
+        ] {
+            let farm = ThreadFarm::new(3).with_policy(policy);
+            let (out, _) = farm.run(&items, |&x| spin_work(x % 64) ^ x);
+            assert_eq!(out.len(), 300, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn calibration_can_be_disabled() {
+        let farm = ThreadFarm::new(2).with_calibration_samples(0);
+        let items: Vec<u64> = (0..20).collect();
+        let (out, stats) = farm.run(&items, |&x| x);
+        assert_eq!(out.len(), 20);
+        assert_eq!(stats.calibration, Duration::ZERO);
+    }
+
+    #[test]
+    fn irregular_work_is_shared_among_workers() {
+        // Irregular per-item cost: demand-driven scheduling should keep every
+        // worker busy (no worker should end up with almost nothing).  Items
+        // are heavy enough that the workload outlives thread start-up.
+        let farm = ThreadFarm::new(4).with_policy(SchedulePolicy::SelfScheduling);
+        let items: Vec<u64> = (0..200).map(|i| (i % 37) * 20_000 + 5_000).collect();
+        let (out, stats) = farm.run(&items, |&x| spin_work(x));
+        assert_eq!(out.len(), 200);
+        assert!(stats.tasks_per_worker.iter().all(|&c| c > 0));
+        assert!(stats.mean_task_time_per_worker.iter().all(|&t| t >= 0.0));
+        assert!(stats.total >= stats.calibration);
+    }
+
+    #[test]
+    fn default_uses_available_parallelism() {
+        let farm = ThreadFarm::default();
+        assert!(farm.workers() >= 1);
+    }
+}

@@ -1,0 +1,30 @@
+//! # grasp-exec — shared-memory execution backend for GRASP skeletons
+//!
+//! The reference backend of `grasp-core` drives a *simulated* grid so that
+//! the adaptive behaviour can be studied reproducibly.  This crate provides
+//! the complementary piece a downstream user wants on a real machine: the
+//! same two skeletons — task farm and pipeline — executing user closures on
+//! real threads.
+//!
+//! The shared-memory backend keeps the GRASP shape:
+//!
+//! * [`farm::ThreadFarm`] runs a **calibration pass** (a few probe tasks per
+//!   worker) before settling on a chunk size, then executes the remaining
+//!   tasks demand-driven, recording per-worker statistics.
+//! * [`pipeline::ThreadPipeline`] runs each stage on its own thread connected
+//!   by bounded channels, measures per-stage service times, and can
+//!   **replicate the bottleneck stage** when its observed service time
+//!   exceeds the adaptation threshold — the shared-memory analogue of
+//!   remapping a stage to a faster node.
+//!
+//! Both skeletons guarantee that results are delivered in submission order,
+//! and neither uses `unsafe`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod farm;
+pub mod pipeline;
+
+pub use farm::{FarmStats, ThreadFarm};
+pub use pipeline::{PipelineStats, ThreadPipeline};

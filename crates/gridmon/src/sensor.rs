@@ -1,0 +1,156 @@
+//! Sensors: how the monitor observes the grid.
+//!
+//! A sensor turns the simulated grid's ground truth into the kind of reading
+//! a deployed monitor would produce.  [`NoisySensor`] adds bounded,
+//! deterministic measurement noise so that the calibration layer is exercised
+//! against imperfect observations, exactly as it would be against a real
+//! NWS deployment.
+
+use gridsim::{Grid, NodeId, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// A source of scalar observations about the grid.
+pub trait Sensor: Send {
+    /// Take a reading at virtual time `t`.
+    fn sample(&mut self, t: SimTime) -> f64;
+
+    /// What this sensor measures, for reports.
+    fn describe(&self) -> String;
+}
+
+/// Samples the external CPU load of one node.
+pub struct CpuLoadSensor {
+    grid: Arc<Grid>,
+    node: NodeId,
+}
+
+impl CpuLoadSensor {
+    /// Sensor for `node` on `grid`.
+    pub fn new(grid: Arc<Grid>, node: NodeId) -> Self {
+        CpuLoadSensor { grid, node }
+    }
+}
+
+impl Sensor for CpuLoadSensor {
+    fn sample(&mut self, t: SimTime) -> f64 {
+        self.grid.cpu_load(self.node, t)
+    }
+    fn describe(&self) -> String {
+        format!("cpu-load({})", self.node)
+    }
+}
+
+/// Samples the available bandwidth fraction between two nodes.
+pub struct BandwidthSensor {
+    grid: Arc<Grid>,
+    from: NodeId,
+    to: NodeId,
+}
+
+impl BandwidthSensor {
+    /// Sensor for the path `from → to` on `grid`.
+    pub fn new(grid: Arc<Grid>, from: NodeId, to: NodeId) -> Self {
+        BandwidthSensor { grid, from, to }
+    }
+}
+
+impl Sensor for BandwidthSensor {
+    fn sample(&mut self, t: SimTime) -> f64 {
+        self.grid.bandwidth_availability(self.from, self.to, t)
+    }
+    fn describe(&self) -> String {
+        format!("bandwidth({}->{})", self.from, self.to)
+    }
+}
+
+/// Wraps another sensor and perturbs its readings with bounded uniform noise,
+/// clamping the result to `[0, 1]` (all monitored quantities are fractions).
+pub struct NoisySensor<S: Sensor> {
+    inner: S,
+    noise: f64,
+    rng: StdRng,
+}
+
+impl<S: Sensor> NoisySensor<S> {
+    /// Add `±noise` uniform perturbation to `inner`'s readings
+    /// (deterministic per seed).
+    pub fn new(inner: S, noise: f64, seed: u64) -> Self {
+        NoisySensor {
+            inner,
+            noise: noise.abs(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl<S: Sensor> Sensor for NoisySensor<S> {
+    fn sample(&mut self, t: SimTime) -> f64 {
+        let v = self.inner.sample(t);
+        if self.noise == 0.0 {
+            return v;
+        }
+        let e = self.rng.gen_range(-self.noise..self.noise);
+        (v + e).clamp(0.0, 1.0)
+    }
+    fn describe(&self) -> String {
+        format!("noisy({}, ±{:.3})", self.inner.describe(), self.noise)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsim::{ConstantLoad, GridBuilder, TopologyBuilder};
+
+    fn loaded_grid() -> Arc<Grid> {
+        let topo = TopologyBuilder::multi_site(&[(2, 10.0), (2, 10.0)]);
+        Arc::new(
+            GridBuilder::new(topo)
+                .node_load(NodeId(1), ConstantLoad::new(0.6))
+                .default_link_load(ConstantLoad::new(0.25))
+                .build(),
+        )
+    }
+
+    #[test]
+    fn cpu_sensor_reads_ground_truth() {
+        let grid = loaded_grid();
+        let mut idle = CpuLoadSensor::new(grid.clone(), NodeId(0));
+        let mut busy = CpuLoadSensor::new(grid, NodeId(1));
+        assert_eq!(idle.sample(SimTime::ZERO), 0.0);
+        assert!((busy.sample(SimTime::ZERO) - 0.6).abs() < 1e-12);
+        assert!(busy.describe().contains("cpu-load"));
+    }
+
+    #[test]
+    fn bandwidth_sensor_reads_link_availability() {
+        let grid = loaded_grid();
+        let mut s = BandwidthSensor::new(grid, NodeId(0), NodeId(2));
+        assert!((s.sample(SimTime::ZERO) - 0.75).abs() < 1e-12);
+        assert!(s.describe().contains("bandwidth"));
+    }
+
+    #[test]
+    fn noisy_sensor_stays_bounded_and_deterministic() {
+        let grid = loaded_grid();
+        let mut a = NoisySensor::new(CpuLoadSensor::new(grid.clone(), NodeId(1)), 0.1, 7);
+        let mut b = NoisySensor::new(CpuLoadSensor::new(grid, NodeId(1)), 0.1, 7);
+        for i in 0..50 {
+            let t = SimTime::new(i as f64);
+            let va = a.sample(t);
+            let vb = b.sample(t);
+            assert_eq!(va, vb, "same seed must give same noise");
+            assert!((0.0..=1.0).contains(&va));
+            assert!((va - 0.6).abs() <= 0.1 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_noise_passes_through() {
+        let grid = loaded_grid();
+        let mut s = NoisySensor::new(CpuLoadSensor::new(grid, NodeId(1)), 0.0, 1);
+        assert!((s.sample(SimTime::ZERO) - 0.6).abs() < 1e-12);
+    }
+}

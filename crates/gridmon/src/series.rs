@@ -1,0 +1,172 @@
+//! Bounded time series of observations.
+//!
+//! Each monitored quantity (CPU load on node *n*, bandwidth between two
+//! sites, task execution time on a worker) is stored as a bounded series of
+//! `(time, value)` pairs.  The bound keeps long-running executions from
+//! growing memory without limit and matches how NWS-style monitors only keep
+//! a sliding history.
+
+use gridsim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A bounded, append-only series of timestamped observations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeSeries {
+    capacity: usize,
+    times: VecDeque<f64>,
+    values: VecDeque<f64>,
+}
+
+impl TimeSeries {
+    /// Create a series that retains at most `capacity` observations
+    /// (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TimeSeries {
+            capacity,
+            times: VecDeque::with_capacity(capacity),
+            values: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Maximum number of retained observations.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of stored observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no observations are stored.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Record an observation, evicting the oldest if the series is full.
+    /// NaN values are ignored.
+    pub fn push(&mut self, t: SimTime, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        if self.values.len() == self.capacity {
+            self.times.pop_front();
+            self.values.pop_front();
+        }
+        self.times.push_back(t.as_secs());
+        self.values.push_back(value);
+    }
+
+    /// Most recent value.
+    pub fn last(&self) -> Option<f64> {
+        self.values.back().copied()
+    }
+
+    /// Most recent observation time.
+    pub fn last_time(&self) -> Option<SimTime> {
+        self.times.back().copied().map(SimTime::new)
+    }
+
+    /// All stored values, oldest first.
+    pub fn values(&self) -> Vec<f64> {
+        self.values.iter().copied().collect()
+    }
+
+    /// All stored observation times, oldest first.
+    pub fn times(&self) -> Vec<f64> {
+        self.times.iter().copied().collect()
+    }
+
+    /// The `n` most recent values, oldest first.
+    pub fn last_n(&self, n: usize) -> Vec<f64> {
+        let start = self.values.len().saturating_sub(n);
+        self.values.iter().skip(start).copied().collect()
+    }
+
+    /// Mean of the `n` most recent values; `None` when empty.
+    pub fn mean_of_last(&self, n: usize) -> Option<f64> {
+        let vals = self.last_n(n);
+        gridstats::mean(&vals)
+    }
+
+    /// Values observed at or after `since`, oldest first.
+    pub fn since(&self, since: SimTime) -> Vec<f64> {
+        self.times
+            .iter()
+            .zip(self.values.iter())
+            .filter(|(t, _)| **t >= since.as_secs())
+            .map(|(_, v)| *v)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::new(s)
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let mut s = TimeSeries::with_capacity(10);
+        s.push(t(1.0), 0.5);
+        s.push(t(2.0), 0.6);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.last(), Some(0.6));
+        assert_eq!(s.last_time(), Some(t(2.0)));
+        assert_eq!(s.values(), vec![0.5, 0.6]);
+        assert_eq!(s.times(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut s = TimeSeries::with_capacity(3);
+        for i in 0..5 {
+            s.push(t(i as f64), i as f64);
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.values(), vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut s = TimeSeries::with_capacity(0);
+        s.push(t(0.0), 1.0);
+        s.push(t(1.0), 2.0);
+        assert_eq!(s.capacity(), 1);
+        assert_eq!(s.values(), vec![2.0]);
+    }
+
+    #[test]
+    fn nan_observations_are_dropped() {
+        let mut s = TimeSeries::with_capacity(4);
+        s.push(t(0.0), f64::NAN);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn last_n_and_mean_of_last() {
+        let mut s = TimeSeries::with_capacity(10);
+        for i in 1..=5 {
+            s.push(t(i as f64), i as f64);
+        }
+        assert_eq!(s.last_n(2), vec![4.0, 5.0]);
+        assert_eq!(s.last_n(99).len(), 5);
+        assert!((s.mean_of_last(2).unwrap() - 4.5).abs() < 1e-12);
+        assert!(TimeSeries::with_capacity(3).mean_of_last(2).is_none());
+    }
+
+    #[test]
+    fn since_filters_by_time() {
+        let mut s = TimeSeries::with_capacity(10);
+        for i in 0..5 {
+            s.push(t(i as f64 * 10.0), i as f64);
+        }
+        assert_eq!(s.since(t(20.0)), vec![2.0, 3.0, 4.0]);
+        assert!(s.since(t(100.0)).is_empty());
+    }
+}

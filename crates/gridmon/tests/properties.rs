@@ -1,0 +1,94 @@
+//! Property-based tests over the monitoring and forecasting library.
+
+use gridmon::*;
+use gridsim::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every forecaster, fed values from [0, 1], predicts within a modestly
+    /// widened range (AR extrapolation may overshoot slightly but never wildly).
+    #[test]
+    fn forecasts_stay_near_the_observed_range(
+        values in prop::collection::vec(0.0f64..1.0, 1..200),
+    ) {
+        let mut forecasters: Vec<Box<dyn Forecaster>> = vec![
+            Box::new(LastValue::new()),
+            Box::new(RunningMean::new()),
+            Box::new(SlidingWindowMean::new(8)),
+            Box::new(SlidingWindowMedian::new(8)),
+            Box::new(ExponentialSmoothing::new(0.3)),
+            Box::new(Ar1Forecaster::new(32)),
+            Box::new(AdaptiveForecaster::standard()),
+        ];
+        for f in &mut forecasters {
+            for &v in &values {
+                f.observe(v);
+            }
+            let p = f.predict().unwrap();
+            prop_assert!(p.is_finite(), "{} produced a non-finite forecast", f.name());
+            prop_assert!((-1.0..=2.0).contains(&p), "{} forecast {} far outside [0,1]", f.name(), p);
+        }
+    }
+
+    /// Resetting a forecaster returns it to the "no prediction" state.
+    #[test]
+    fn reset_clears_every_forecaster(values in prop::collection::vec(0.0f64..1.0, 1..50)) {
+        let mut forecasters: Vec<Box<dyn Forecaster>> = vec![
+            Box::new(LastValue::new()),
+            Box::new(RunningMean::new()),
+            Box::new(SlidingWindowMean::new(4)),
+            Box::new(ExponentialSmoothing::new(0.5)),
+            Box::new(Ar1Forecaster::new(16)),
+            Box::new(AdaptiveForecaster::standard()),
+        ];
+        for f in &mut forecasters {
+            for &v in &values {
+                f.observe(v);
+            }
+            f.reset();
+            prop_assert!(f.predict().is_none(), "{} still predicts after reset", f.name());
+        }
+    }
+
+    /// The bounded time series never exceeds its capacity and always reports
+    /// the most recent value as `last()`.
+    #[test]
+    fn time_series_respects_capacity(
+        capacity in 1usize..64,
+        values in prop::collection::vec(0.0f64..1.0, 1..200),
+    ) {
+        let mut s = TimeSeries::with_capacity(capacity);
+        for (i, &v) in values.iter().enumerate() {
+            s.push(SimTime::new(i as f64), v);
+        }
+        prop_assert!(s.len() <= capacity);
+        prop_assert_eq!(s.last(), values.last().copied());
+        let expected_tail: Vec<f64> =
+            values[values.len().saturating_sub(capacity)..].to_vec();
+        prop_assert_eq!(s.values(), expected_tail);
+    }
+
+    /// The adaptive forecaster's error is never much worse than the best
+    /// individual candidate on the same series (it may tie or slightly exceed
+    /// during the learning prefix).
+    #[test]
+    fn adaptive_forecaster_tracks_the_best_candidate(
+        values in prop::collection::vec(0.0f64..1.0, 30..300),
+    ) {
+        let best_single = [
+            mean_absolute_error(&mut LastValue::new(), &values),
+            mean_absolute_error(&mut RunningMean::new(), &values),
+            mean_absolute_error(&mut SlidingWindowMean::new(8), &values),
+            mean_absolute_error(&mut ExponentialSmoothing::new(0.3), &values),
+        ]
+        .into_iter()
+        .flatten()
+        .fold(f64::INFINITY, f64::min);
+        let adaptive =
+            mean_absolute_error(&mut AdaptiveForecaster::standard(), &values).unwrap_or(0.0);
+        prop_assert!(adaptive <= best_single * 3.0 + 0.05,
+            "adaptive {} vs best single {}", adaptive, best_single);
+    }
+}

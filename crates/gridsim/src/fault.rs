@@ -1,0 +1,210 @@
+//! Fault injection: node revocation and recovery.
+//!
+//! Grid nodes are non-dedicated; the local administrator (or a higher-priority
+//! local job) may reclaim a node at any moment.  GRASP's execution phase must
+//! treat such a node as a performance catastrophe and route around it.  A
+//! [`FaultPlan`] is a deterministic schedule of down/up transitions per node
+//! that the [`crate::grid::Grid`] consults when reporting availability.
+
+use crate::clock::SimTime;
+use crate::node::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// What happens to the node at the event time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The node is revoked: it stops making progress and loses in-flight work.
+    Revoke,
+    /// The node becomes available again.
+    Recover,
+}
+
+/// One scheduled state transition for a node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Affected node.
+    pub node: NodeId,
+    /// When the transition happens.
+    pub time: SimTime,
+    /// Transition direction.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of node revocations/recoveries.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan: every node is up forever.
+    pub fn none() -> Self {
+        FaultPlan { events: Vec::new() }
+    }
+
+    /// Build a plan from explicit events (sorted internally by time).
+    pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by(|a, b| a.time.cmp(&b.time));
+        FaultPlan { events }
+    }
+
+    /// Revoke `node` during `[start, end)`.
+    pub fn with_outage(mut self, node: NodeId, start: SimTime, end: SimTime) -> Self {
+        self.events.push(FaultEvent {
+            node,
+            time: start,
+            kind: FaultKind::Revoke,
+        });
+        if end > start {
+            self.events.push(FaultEvent {
+                node,
+                time: end,
+                kind: FaultKind::Recover,
+            });
+        }
+        self.events.sort_by(|a, b| a.time.cmp(&b.time));
+        self
+    }
+
+    /// Generate a random plan: each of `nodes` suffers an outage with
+    /// probability `p_outage`, starting uniformly in `[0, horizon)` and
+    /// lasting `mean_outage_s` on average.  Deterministic per seed.
+    pub fn random(
+        nodes: &[NodeId],
+        p_outage: f64,
+        horizon_s: f64,
+        mean_outage_s: f64,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        for &node in nodes {
+            if rng.gen_range(0.0..1.0) < p_outage.clamp(0.0, 1.0) {
+                let start = rng.gen_range(0.0..horizon_s.max(1.0));
+                let u: f64 = rng.gen_range(1e-9..1.0);
+                let dur = -mean_outage_s.max(1.0) * u.ln();
+                events.push(FaultEvent {
+                    node,
+                    time: SimTime::new(start),
+                    kind: FaultKind::Revoke,
+                });
+                events.push(FaultEvent {
+                    node,
+                    time: SimTime::new(start + dur),
+                    kind: FaultKind::Recover,
+                });
+            }
+        }
+        FaultPlan::from_events(events)
+    }
+
+    /// All scheduled events in time order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Is `node` up at time `t`?  Nodes start up; the most recent transition
+    /// at or before `t` decides the state.
+    pub fn is_up(&self, node: NodeId, t: SimTime) -> bool {
+        let mut up = true;
+        for ev in &self.events {
+            if ev.time > t {
+                break;
+            }
+            if ev.node == node {
+                up = matches!(ev.kind, FaultKind::Recover);
+            }
+        }
+        up
+    }
+
+    /// The next transition affecting `node` strictly after `t`, if any.
+    pub fn next_transition(&self, node: NodeId, t: SimTime) -> Option<FaultEvent> {
+        self.events
+            .iter()
+            .find(|ev| ev.node == node && ev.time > t)
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_keeps_everything_up() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        assert!(plan.is_up(NodeId(0), SimTime::new(1e9)));
+    }
+
+    #[test]
+    fn outage_window_takes_node_down_then_up() {
+        let plan = FaultPlan::none().with_outage(NodeId(2), SimTime::new(10.0), SimTime::new(20.0));
+        assert!(plan.is_up(NodeId(2), SimTime::new(9.9)));
+        assert!(!plan.is_up(NodeId(2), SimTime::new(10.0)));
+        assert!(!plan.is_up(NodeId(2), SimTime::new(19.9)));
+        assert!(plan.is_up(NodeId(2), SimTime::new(20.0)));
+        // Other nodes are unaffected.
+        assert!(plan.is_up(NodeId(3), SimTime::new(15.0)));
+    }
+
+    #[test]
+    fn events_are_sorted_by_time() {
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent {
+                node: NodeId(0),
+                time: SimTime::new(5.0),
+                kind: FaultKind::Recover,
+            },
+            FaultEvent {
+                node: NodeId(0),
+                time: SimTime::new(1.0),
+                kind: FaultKind::Revoke,
+            },
+        ]);
+        assert_eq!(plan.events()[0].time, SimTime::new(1.0));
+        assert!(plan.is_up(NodeId(0), SimTime::new(6.0)));
+    }
+
+    #[test]
+    fn next_transition_finds_the_following_event() {
+        let plan = FaultPlan::none().with_outage(NodeId(1), SimTime::new(10.0), SimTime::new(30.0));
+        let next = plan.next_transition(NodeId(1), SimTime::new(0.0)).unwrap();
+        assert_eq!(next.kind, FaultKind::Revoke);
+        let next = plan.next_transition(NodeId(1), SimTime::new(15.0)).unwrap();
+        assert_eq!(next.kind, FaultKind::Recover);
+        assert!(plan.next_transition(NodeId(1), SimTime::new(40.0)).is_none());
+        assert!(plan.next_transition(NodeId(9), SimTime::new(0.0)).is_none());
+    }
+
+    #[test]
+    fn random_plan_is_deterministic_per_seed() {
+        let nodes: Vec<NodeId> = (0..20).map(NodeId).collect();
+        let a = FaultPlan::random(&nodes, 0.5, 100.0, 20.0, 9);
+        let b = FaultPlan::random(&nodes, 0.5, 100.0, 20.0, 9);
+        assert_eq!(a.events(), b.events());
+        let c = FaultPlan::random(&nodes, 0.5, 100.0, 20.0, 10);
+        assert_ne!(a.events(), c.events());
+    }
+
+    #[test]
+    fn random_plan_respects_probability_extremes() {
+        let nodes: Vec<NodeId> = (0..10).map(NodeId).collect();
+        assert!(FaultPlan::random(&nodes, 0.0, 100.0, 10.0, 1).is_empty());
+        let all = FaultPlan::random(&nodes, 1.0, 100.0, 10.0, 1);
+        assert_eq!(all.len(), 20, "every node gets a revoke + recover pair");
+    }
+}

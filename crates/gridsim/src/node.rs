@@ -1,0 +1,135 @@
+//! Grid nodes.
+//!
+//! A node models one processing element of the grid: a base speed in abstract
+//! *work units per second*, a core count, memory, and the administrative site
+//! it belongs to.  Heterogeneity — the central difficulty GRASP addresses —
+//! is expressed through differing base speeds and differing external load.
+
+use crate::site::SiteId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node within a [`crate::topology::GridTopology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl NodeId {
+    /// The raw index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// Static description of a grid node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Node identifier (assigned by the topology builder).
+    pub id: NodeId,
+    /// Human-readable name, e.g. `"edinburgh-03"`.
+    pub name: String,
+    /// Base processing speed in work units per virtual second, with the whole
+    /// machine to itself.  Heterogeneity is expressed as differing speeds.
+    pub base_speed: f64,
+    /// Number of cores.  GRASP's task farm may place several workers on a
+    /// multi-core node.
+    pub cores: usize,
+    /// Main memory in MiB (used only for capacity-style filtering).
+    pub memory_mib: u64,
+    /// Administrative site (cluster / virtual organisation) this node is in.
+    pub site: SiteId,
+}
+
+impl NodeSpec {
+    /// Create a node spec with the given speed and a single core.
+    pub fn new(id: NodeId, name: impl Into<String>, base_speed: f64, site: SiteId) -> Self {
+        NodeSpec {
+            id,
+            name: name.into(),
+            base_speed: if base_speed > 0.0 { base_speed } else { 1.0 },
+            cores: 1,
+            memory_mib: 2048,
+            site,
+        }
+    }
+
+    /// Builder-style core-count override.
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores = cores.max(1);
+        self
+    }
+
+    /// Builder-style memory override.
+    pub fn with_memory_mib(mut self, memory_mib: u64) -> Self {
+        self.memory_mib = memory_mib;
+        self
+    }
+
+    /// Time to execute `work` units at full availability.
+    pub fn dedicated_time(&self, work: f64) -> f64 {
+        work / self.base_speed
+    }
+}
+
+/// Dynamic state of a node maintained by the [`crate::grid::Grid`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeState {
+    /// Available for work (subject to external load).
+    Up,
+    /// Revoked / crashed; work dispatched to it is lost.
+    Down,
+}
+
+impl Default for NodeState {
+    fn default() -> Self {
+        NodeState::Up
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(format!("{}", NodeId(7)), "n7");
+        assert_eq!(NodeId(7).index(), 7);
+    }
+
+    #[test]
+    fn spec_clamps_nonpositive_speed() {
+        let n = NodeSpec::new(NodeId(0), "x", 0.0, SiteId(0));
+        assert_eq!(n.base_speed, 1.0);
+        let n = NodeSpec::new(NodeId(0), "x", -3.0, SiteId(0));
+        assert_eq!(n.base_speed, 1.0);
+    }
+
+    #[test]
+    fn dedicated_time_scales_with_speed() {
+        let slow = NodeSpec::new(NodeId(0), "slow", 10.0, SiteId(0));
+        let fast = NodeSpec::new(NodeId(1), "fast", 40.0, SiteId(0));
+        assert_eq!(slow.dedicated_time(100.0), 10.0);
+        assert_eq!(fast.dedicated_time(100.0), 2.5);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let n = NodeSpec::new(NodeId(0), "x", 5.0, SiteId(1))
+            .with_cores(8)
+            .with_memory_mib(16384);
+        assert_eq!(n.cores, 8);
+        assert_eq!(n.memory_mib, 16384);
+        let n0 = NodeSpec::new(NodeId(0), "x", 5.0, SiteId(1)).with_cores(0);
+        assert_eq!(n0.cores, 1, "core count must stay positive");
+    }
+
+    #[test]
+    fn default_state_is_up() {
+        assert_eq!(NodeState::default(), NodeState::Up);
+    }
+}

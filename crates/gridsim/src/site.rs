@@ -1,0 +1,91 @@
+//! Administrative sites (clusters / virtual organisations).
+//!
+//! Computational grids are federations of independently administered
+//! clusters.  GRASP's "grid resource co-allocation" and "inter-domain
+//! scheduling" concerns show up here as the grouping of nodes into sites:
+//! intra-site communication uses the site's local-area link, inter-site
+//! communication uses the (slower) wide-area links declared in the topology.
+
+use crate::link::LinkSpec;
+use crate::node::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a site within a topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SiteId(pub usize);
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site{}", self.0)
+    }
+}
+
+impl SiteId {
+    /// The raw index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// An administrative domain: a named cluster with a local interconnect.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Site {
+    /// Site identifier (assigned by the topology builder).
+    pub id: SiteId,
+    /// Human-readable name, e.g. `"edinburgh"`.
+    pub name: String,
+    /// Local-area interconnect used for node-to-node transfers inside the
+    /// site (typically high bandwidth / low latency).
+    pub local_link: LinkSpec,
+    /// Nodes belonging to this site.
+    pub nodes: Vec<NodeId>,
+}
+
+impl Site {
+    /// Create an empty site with the given local interconnect.
+    pub fn new(id: SiteId, name: impl Into<String>, local_link: LinkSpec) -> Self {
+        Site {
+            id,
+            name: name.into(),
+            local_link,
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Number of nodes registered in this site.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the site has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// `true` when the node belongs to this site.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_display_and_index() {
+        assert_eq!(format!("{}", SiteId(2)), "site2");
+        assert_eq!(SiteId(2).index(), 2);
+    }
+
+    #[test]
+    fn site_membership() {
+        let mut s = Site::new(SiteId(0), "edi", LinkSpec::lan());
+        assert!(s.is_empty());
+        s.nodes.push(NodeId(3));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(NodeId(3)));
+        assert!(!s.contains(NodeId(4)));
+    }
+}

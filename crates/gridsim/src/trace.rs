@@ -1,0 +1,163 @@
+//! Recorded load traces.
+//!
+//! A [`LoadTrace`] is a fixed-interval sampling of a load signal.  Traces are
+//! used in two directions: the monitoring layer *records* them from a live
+//! (simulated) grid, and the [`crate::load::TraceLoad`] model *replays* them
+//! — which stands in for the production workload traces the paper's grid
+//! testbed would have provided (see DESIGN.md substitution table).
+
+use crate::clock::SimTime;
+use crate::load::LoadModel;
+use serde::{Deserialize, Serialize};
+
+/// A load signal sampled at a fixed interval starting at time zero.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadTrace {
+    interval_s: f64,
+    samples: Vec<f64>,
+}
+
+impl LoadTrace {
+    /// Create a trace from raw samples taken every `interval_s` seconds.
+    /// A non-positive interval is clamped to 1 s.
+    pub fn new(interval_s: f64, samples: Vec<f64>) -> Self {
+        LoadTrace {
+            interval_s: if interval_s > 0.0 { interval_s } else { 1.0 },
+            samples,
+        }
+    }
+
+    /// Record a trace by sampling `model` every `interval_s` seconds for
+    /// `duration_s` seconds.
+    pub fn record(model: &dyn LoadModel, interval_s: f64, duration_s: f64) -> Self {
+        let interval_s = if interval_s > 0.0 { interval_s } else { 1.0 };
+        let n = (duration_s / interval_s).ceil().max(1.0) as usize;
+        let samples = (0..n)
+            .map(|i| model.load_at(SimTime::new(i as f64 * interval_s)))
+            .collect();
+        LoadTrace {
+            interval_s,
+            samples,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when the trace holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sampling interval in seconds.
+    pub fn interval(&self) -> f64 {
+        self.interval_s
+    }
+
+    /// Total covered duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.samples.len() as f64 * self.interval_s
+    }
+
+    /// Raw samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Step-wise sample at `t`; `0.0` for an empty trace, last sample beyond
+    /// the end.
+    pub fn sample(&self, t: SimTime) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let idx = (t.as_secs() / self.interval_s).floor() as usize;
+        self.samples[idx.min(self.samples.len() - 1)]
+    }
+
+    /// Step-wise sample at `t`, repeating the trace cyclically.
+    pub fn sample_cyclic(&self, t: SimTime) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let idx = (t.as_secs() / self.interval_s).floor() as usize % self.samples.len();
+        self.samples[idx]
+    }
+
+    /// Mean load over the whole trace (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Render as CSV lines `time_s,load` (used by the experiment binaries).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_s,load\n");
+        for (i, s) in self.samples.iter().enumerate() {
+            out.push_str(&format!("{:.3},{:.6}\n", i as f64 * self.interval_s, s));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::{ConstantLoad, PeriodicLoad};
+
+    #[test]
+    fn record_and_sample_roundtrip() {
+        let model = ConstantLoad::new(0.25);
+        let trace = LoadTrace::record(&model, 1.0, 10.0);
+        assert_eq!(trace.len(), 10);
+        assert_eq!(trace.sample(SimTime::new(3.5)), 0.25);
+        assert!((trace.mean() - 0.25).abs() < 1e-12);
+        assert_eq!(trace.duration(), 10.0);
+    }
+
+    #[test]
+    fn sample_clamps_past_end_and_cycles() {
+        let trace = LoadTrace::new(1.0, vec![0.1, 0.2, 0.3]);
+        assert_eq!(trace.sample(SimTime::new(99.0)), 0.3);
+        assert_eq!(trace.sample_cyclic(SimTime::new(3.0)), 0.1);
+        assert_eq!(trace.sample_cyclic(SimTime::new(4.0)), 0.2);
+    }
+
+    #[test]
+    fn empty_trace_is_zero() {
+        let trace = LoadTrace::new(1.0, vec![]);
+        assert!(trace.is_empty());
+        assert_eq!(trace.sample(SimTime::new(1.0)), 0.0);
+        assert_eq!(trace.sample_cyclic(SimTime::new(1.0)), 0.0);
+        assert_eq!(trace.mean(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_interval_is_clamped() {
+        let trace = LoadTrace::new(0.0, vec![0.5]);
+        assert_eq!(trace.interval(), 1.0);
+    }
+
+    #[test]
+    fn recorded_periodic_trace_preserves_oscillation() {
+        let model = PeriodicLoad::new(0.5, 0.3, 20.0, 0.0);
+        let trace = LoadTrace::record(&model, 1.0, 40.0);
+        let max = trace.samples().iter().cloned().fold(f64::MIN, f64::max);
+        let min = trace.samples().iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max > 0.7 && min < 0.3);
+    }
+
+    #[test]
+    fn csv_export_has_header_and_rows() {
+        let trace = LoadTrace::new(2.0, vec![0.1, 0.2]);
+        let csv = trace.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "time_s,load");
+        assert!(lines[2].starts_with("2.000,"));
+    }
+}

@@ -1,0 +1,232 @@
+//! Fixed-width histograms.
+//!
+//! The benchmark harness uses histograms to summarise task completion-time
+//! distributions (e.g. to show how adaptation tightens the tail after a load
+//! spike) and the adaptive execution layer uses them to pick percentile-based
+//! thresholds.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-width histogram over `[lo, hi)` with values outside the range
+/// accumulated in underflow/overflow counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Create a histogram with `bins ≥ 1` equal-width bins spanning `[lo, hi)`.
+    /// Returns `None` for an invalid range or zero bins.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Option<Self> {
+        if bins == 0 || !(hi > lo) || !lo.is_finite() || !hi.is_finite() {
+            return None;
+        }
+        Some(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+            sum: 0.0,
+        })
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Bin width.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Record an observation.  NaNs are ignored.
+    pub fn record(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        self.total += 1;
+        self.sum += value;
+        if value < self.lo {
+            self.underflow += 1;
+        } else if value >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((value - self.lo) / self.bin_width()) as usize;
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Record many observations.
+    pub fn record_all(&mut self, values: &[f64]) {
+        for &v in values {
+            self.record(v);
+        }
+    }
+
+    /// Total observations recorded (including under/overflow, excluding NaN).
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Mean of all recorded observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Lower edge of bin `i`.
+    pub fn bin_lower(&self, i: usize) -> f64 {
+        self.lo + i as f64 * self.bin_width()
+    }
+
+    /// Approximate quantile `q ∈ [0,1]` from the binned data (midpoint of the
+    /// bin containing the q-th in-range observation).  `None` when no
+    /// observation fell inside the range or `q` is out of bounds.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let in_range: u64 = self.counts.iter().sum();
+        if in_range == 0 {
+            return None;
+        }
+        let target = (q * (in_range as f64 - 1.0)).round() as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if c > 0 && cum > target {
+                return Some(self.bin_lower(i) + 0.5 * self.bin_width());
+            }
+        }
+        // Should be unreachable, but fall back to the last non-empty bin.
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|i| self.bin_lower(i) + 0.5 * self.bin_width())
+    }
+
+    /// Render the histogram as a simple ASCII bar chart, one bin per line.
+    pub fn to_ascii(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar = "#".repeat((c as usize * width) / max as usize);
+            out.push_str(&format!(
+                "[{:>10.3}, {:>10.3}) |{:<width$}| {}\n",
+                self.bin_lower(i),
+                self.bin_lower(i) + self.bin_width(),
+                bar,
+                c,
+                width = width
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_construction() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_none());
+        assert!(Histogram::new(1.0, 1.0, 4).is_none());
+        assert!(Histogram::new(2.0, 1.0, 4).is_none());
+        assert!(Histogram::new(0.0, f64::INFINITY, 4).is_none());
+    }
+
+    #[test]
+    fn records_into_correct_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.record(0.5);
+        h.record(5.5);
+        h.record(9.99);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn underflow_and_overflow_counted() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.record(-1.0);
+        h.record(1.0);
+        h.record(2.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn mean_tracks_all_observations() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        h.record_all(&[1.0, 2.0, 3.0, 14.0]);
+        assert!((h.mean() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_of_uniform_spread() {
+        let mut h = Histogram::new(0.0, 100.0, 100).unwrap();
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        let med = h.quantile(0.5).unwrap();
+        assert!((med - 50.0).abs() <= 1.5);
+        let p95 = h.quantile(0.95).unwrap();
+        assert!((p95 - 94.5).abs() <= 1.5);
+    }
+
+    #[test]
+    fn quantile_handles_empty_and_invalid() {
+        let h = Histogram::new(0.0, 1.0, 4).unwrap();
+        assert!(h.quantile(0.5).is_none());
+        let mut h2 = Histogram::new(0.0, 1.0, 4).unwrap();
+        h2.record(0.5);
+        assert!(h2.quantile(1.5).is_none());
+    }
+
+    #[test]
+    fn ascii_render_has_one_line_per_bin() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        h.record_all(&[0.5, 1.5, 1.6, 3.5]);
+        let art = h.to_ascii(20);
+        assert_eq!(art.lines().count(), 4);
+    }
+}

@@ -1,0 +1,54 @@
+//! # gridstats — statistical substrate for GRASP calibration
+//!
+//! The GRASP calibration phase (Algorithm 1 of the PPoPP'07 paper) ranks grid
+//! nodes "by extrapolating their performance based on the execution times
+//! only (the faster a node the fitter it is), or on statistical functions,
+//! such as univariate and multivariate linear regression involving execution
+//! time, processor load, and bandwidth utilisation".
+//!
+//! This crate provides, from scratch and without external numeric
+//! dependencies, everything those statistical functions need:
+//!
+//! * [`descriptive`] — means, variances, medians, quantiles, coefficients of
+//!   variation, weighted means and z-scores;
+//! * [`matrix`] — a small dense row-major matrix with the operations needed
+//!   by ordinary least squares (multiplication, transpose, Gaussian
+//!   elimination with partial pivoting, inversion);
+//! * [`regression`] — univariate and multivariate ordinary least squares,
+//!   with goodness-of-fit diagnostics (R², adjusted R², residuals);
+//! * [`ranking`] — ranking utilities (argsort, dense ranks, rank
+//!   correlation) used to order nodes by fitness;
+//! * [`outlier`] — robust outlier rejection (median absolute deviation,
+//!   interquartile fences) used to discard pathological calibration samples;
+//! * [`histogram`] — fixed-width histograms used by the benchmark harness to
+//!   summarise completion-time distributions.
+//!
+//! All routines operate on `f64` slices, are deterministic, and are
+//! panic-free on well-formed input; degenerate inputs (empty slices, singular
+//! systems) are reported through `Option`/[`StatsError`] rather than panics so
+//! that the calibration layer can fall back to time-only ranking.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod descriptive;
+pub mod histogram;
+pub mod matrix;
+pub mod outlier;
+pub mod ranking;
+pub mod regression;
+
+pub use descriptive::{
+    coefficient_of_variation, geometric_mean, harmonic_mean, max, mean, median, min, percentile,
+    population_variance, sample_variance, std_dev, weighted_mean, zscores, Summary,
+};
+pub use histogram::Histogram;
+pub use matrix::Matrix;
+pub use outlier::{iqr_fences, mad, reject_outliers, OutlierPolicy};
+pub use ranking::{argsort_ascending, argsort_descending, dense_ranks, spearman_rho};
+pub use regression::{
+    linear_regression, multivariate_regression, LinearFit, MultivariateFit, StatsError,
+};
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, StatsError>;

@@ -1,0 +1,191 @@
+//! Ranking utilities.
+//!
+//! Algorithm 1 of the paper ends with "Rank P by extrapolating performance
+//! based on T; Select Chosen from P".  These helpers provide the sorting and
+//! rank bookkeeping that the calibration module builds that step on, plus a
+//! Spearman rank-correlation used by the test-suite and the calibration
+//! quality experiment (E1) to compare a computed ranking against the ground
+//! truth ordering of the simulated grid.
+
+/// Indices that would sort `values` ascending (stable).
+///
+/// NaNs are sorted last so that a node whose measurement failed can never be
+/// ranked as fittest.
+pub fn argsort_ascending(values: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| {
+        let va = values[a];
+        let vb = values[b];
+        match (va.is_nan(), vb.is_nan()) {
+            (true, true) => std::cmp::Ordering::Equal,
+            (true, false) => std::cmp::Ordering::Greater,
+            (false, true) => std::cmp::Ordering::Less,
+            (false, false) => va.partial_cmp(&vb).unwrap(),
+        }
+    });
+    idx
+}
+
+/// Indices that would sort `values` descending (stable). NaNs sort last.
+pub fn argsort_descending(values: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| {
+        let va = values[a];
+        let vb = values[b];
+        match (va.is_nan(), vb.is_nan()) {
+            (true, true) => std::cmp::Ordering::Equal,
+            (true, false) => std::cmp::Ordering::Greater,
+            (false, true) => std::cmp::Ordering::Less,
+            (false, false) => vb.partial_cmp(&va).unwrap(),
+        }
+    });
+    idx
+}
+
+/// Dense ranks (1-based) of each element when sorted ascending; ties receive
+/// the same rank and the next distinct value gets the next consecutive rank.
+pub fn dense_ranks(values: &[f64]) -> Vec<usize> {
+    let order = argsort_ascending(values);
+    let mut ranks = vec![0usize; values.len()];
+    let mut rank = 0usize;
+    let mut prev: Option<f64> = None;
+    for &i in &order {
+        let v = values[i];
+        let is_new = match prev {
+            None => true,
+            Some(p) => (v - p).abs() > f64::EPSILON || (v.is_nan() && !p.is_nan()),
+        };
+        if is_new {
+            rank += 1;
+            prev = Some(v);
+        }
+        ranks[i] = rank;
+    }
+    ranks
+}
+
+/// Average (fractional) ranks, 1-based, ties sharing the mean of the ranks
+/// they span.  This is the definition Spearman's ρ requires.
+fn average_ranks(values: &[f64]) -> Vec<f64> {
+    let order = argsort_ascending(values);
+    let n = values.len();
+    let mut ranks = vec![0.0f64; n];
+    let mut i = 0usize;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && (values[order[j + 1]] - values[order[i]]).abs() <= f64::EPSILON {
+            j += 1;
+        }
+        // positions i..=j (0-based) share rank mean of (i+1)..=(j+1)
+        let shared = (i + 1 + j + 1) as f64 / 2.0;
+        for &k in &order[i..=j] {
+            ranks[k] = shared;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman rank-correlation coefficient between two samples of equal length.
+///
+/// Returns `None` when the lengths differ, there are fewer than two samples,
+/// or either ranking is constant (undefined correlation).
+pub fn spearman_rho(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let ra = average_ranks(a);
+    let rb = average_ranks(b);
+    pearson(&ra, &rb)
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> Option<f64> {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut saa = 0.0;
+    let mut sbb = 0.0;
+    let mut sab = 0.0;
+    for i in 0..a.len() {
+        let da = a[i] - ma;
+        let db = b[i] - mb;
+        saa += da * da;
+        sbb += db * db;
+        sab += da * db;
+    }
+    if saa < 1e-15 || sbb < 1e-15 {
+        return None;
+    }
+    Some(sab / (saa * sbb).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argsort_ascending_basic() {
+        assert_eq!(argsort_ascending(&[3.0, 1.0, 2.0]), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn argsort_descending_basic() {
+        assert_eq!(argsort_descending(&[3.0, 1.0, 2.0]), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn argsort_puts_nan_last() {
+        assert_eq!(argsort_ascending(&[f64::NAN, 1.0, 2.0]), vec![1, 2, 0]);
+        assert_eq!(argsort_descending(&[f64::NAN, 1.0, 2.0]), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn argsort_is_stable_for_ties() {
+        assert_eq!(argsort_ascending(&[1.0, 1.0, 0.5]), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn dense_ranks_with_ties() {
+        assert_eq!(dense_ranks(&[10.0, 20.0, 10.0, 30.0]), vec![1, 2, 1, 3]);
+    }
+
+    #[test]
+    fn dense_ranks_of_sorted_sequence() {
+        assert_eq!(dense_ranks(&[1.0, 2.0, 3.0]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn spearman_perfect_agreement() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((spearman_rho(&a, &b).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spearman_perfect_disagreement() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman_rho(&a, &b).unwrap() + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let a = [1.0, 2.0, 2.0, 3.0];
+        let b = [1.0, 2.5, 2.5, 4.0];
+        let rho = spearman_rho(&a, &b).unwrap();
+        assert!((rho - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spearman_rejects_degenerate() {
+        assert!(spearman_rho(&[1.0], &[1.0]).is_none());
+        assert!(spearman_rho(&[1.0, 2.0], &[5.0, 5.0]).is_none());
+        assert!(spearman_rho(&[1.0, 2.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn average_ranks_split_ties() {
+        let r = average_ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+}

@@ -1,0 +1,262 @@
+//! A four-stage image-processing pipeline for the pipeline skeleton.
+//!
+//! Stream items are synthetic greyscale frames; the stages are a 3×3 Gaussian
+//! blur, an unsharp-mask sharpen, a Sobel edge detector and a binary
+//! threshold — a representative mix of cheap and expensive stencil stages
+//! whose costs differ enough that stage→node mapping matters.
+
+use grasp_core::StageSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A synthetic greyscale frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticImage {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row-major pixel intensities in `[0, 255]`.
+    pub pixels: Vec<f32>,
+}
+
+impl SyntheticImage {
+    /// A deterministic pseudo-random frame with a bright diagonal band (so
+    /// edge detection has structure to find).
+    pub fn generate(width: usize, height: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pixels = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                let band = if (x as i64 - y as i64).unsigned_abs() < (width / 8).max(1) as u64 {
+                    120.0
+                } else {
+                    0.0
+                };
+                pixels.push((band + rng.gen_range(0.0..64.0)) as f32);
+            }
+        }
+        SyntheticImage {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Bytes of one frame (4 bytes per pixel).
+    pub fn byte_size(&self) -> u64 {
+        (self.pixels.len() * 4) as u64
+    }
+
+    fn at(&self, x: isize, y: isize) -> f32 {
+        let x = x.clamp(0, self.width as isize - 1) as usize;
+        let y = y.clamp(0, self.height as isize - 1) as usize;
+        self.pixels[y * self.width + x]
+    }
+
+    fn convolve3x3(&self, kernel: &[f32; 9], divisor: f32) -> SyntheticImage {
+        let mut out = vec![0.0f32; self.pixels.len()];
+        for y in 0..self.height as isize {
+            for x in 0..self.width as isize {
+                let mut acc = 0.0f32;
+                for ky in -1..=1isize {
+                    for kx in -1..=1isize {
+                        let k = kernel[((ky + 1) * 3 + (kx + 1)) as usize];
+                        acc += k * self.at(x + kx, y + ky);
+                    }
+                }
+                out[y as usize * self.width + x as usize] = acc / divisor;
+            }
+        }
+        SyntheticImage {
+            width: self.width,
+            height: self.height,
+            pixels: out,
+        }
+    }
+
+    /// 3×3 Gaussian blur.
+    pub fn blur(&self) -> SyntheticImage {
+        self.convolve3x3(&[1.0, 2.0, 1.0, 2.0, 4.0, 2.0, 1.0, 2.0, 1.0], 16.0)
+    }
+
+    /// Unsharp-mask sharpen.
+    pub fn sharpen(&self) -> SyntheticImage {
+        self.convolve3x3(&[0.0, -1.0, 0.0, -1.0, 5.0, -1.0, 0.0, -1.0, 0.0], 1.0)
+    }
+
+    /// Sobel gradient magnitude.
+    pub fn edges(&self) -> SyntheticImage {
+        let gx = self.convolve3x3(&[-1.0, 0.0, 1.0, -2.0, 0.0, 2.0, -1.0, 0.0, 1.0], 1.0);
+        let gy = self.convolve3x3(&[-1.0, -2.0, -1.0, 0.0, 0.0, 0.0, 1.0, 2.0, 1.0], 1.0);
+        let pixels = gx
+            .pixels
+            .iter()
+            .zip(&gy.pixels)
+            .map(|(a, b)| (a * a + b * b).sqrt())
+            .collect();
+        SyntheticImage {
+            width: self.width,
+            height: self.height,
+            pixels,
+        }
+    }
+
+    /// Binary threshold at `level`.
+    pub fn threshold(&self, level: f32) -> SyntheticImage {
+        SyntheticImage {
+            width: self.width,
+            height: self.height,
+            pixels: self
+                .pixels
+                .iter()
+                .map(|&p| if p >= level { 255.0 } else { 0.0 })
+                .collect(),
+        }
+    }
+
+    /// Mean intensity (useful for sanity checks).
+    pub fn mean_intensity(&self) -> f32 {
+        if self.pixels.is_empty() {
+            0.0
+        } else {
+            self.pixels.iter().sum::<f32>() / self.pixels.len() as f32
+        }
+    }
+}
+
+/// The four-stage image pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImagePipeline {
+    /// Frame width.
+    pub width: usize,
+    /// Frame height.
+    pub height: usize,
+    /// Number of frames streamed through the pipeline.
+    pub frames: usize,
+    /// Seed for frame generation.
+    pub seed: u64,
+}
+
+impl Default for ImagePipeline {
+    fn default() -> Self {
+        ImagePipeline {
+            width: 640,
+            height: 480,
+            frames: 200,
+            seed: 11,
+        }
+    }
+}
+
+impl ImagePipeline {
+    /// A small pipeline suitable for unit tests.
+    pub fn small() -> Self {
+        ImagePipeline {
+            width: 64,
+            height: 48,
+            frames: 10,
+            seed: 11,
+        }
+    }
+
+    /// Generate frame `i` deterministically.
+    pub fn frame(&self, i: usize) -> SyntheticImage {
+        SyntheticImage::generate(self.width, self.height, self.seed.wrapping_add(i as u64))
+    }
+
+    /// Run the whole four-stage chain on one frame (the real kernel).
+    pub fn process_frame(&self, frame: &SyntheticImage) -> SyntheticImage {
+        frame.blur().sharpen().edges().threshold(96.0)
+    }
+
+    /// Relative per-pixel costs of the four stages (in 3×3-convolution
+    /// equivalents): blur 1, sharpen 1, Sobel 2 (+magnitude ≈ 2.2), threshold
+    /// 0.1.
+    pub fn stage_cost_weights() -> [f64; 4] {
+        [1.0, 1.0, 2.2, 0.1]
+    }
+
+    /// The pipeline as abstract stage descriptors.  Work units are pixels ×
+    /// stage weight / `pixels_per_work_unit`; every stage forwards a full
+    /// frame; stage state (filter buffers) is one frame.
+    pub fn as_stages(&self, pixels_per_work_unit: f64) -> Vec<StageSpec> {
+        let scale = pixels_per_work_unit.max(1.0);
+        let pixels = (self.width * self.height) as f64;
+        let frame_bytes = (self.width * self.height * 4) as u64;
+        Self::stage_cost_weights()
+            .iter()
+            .enumerate()
+            .map(|(id, &w)| StageSpec::new(id, pixels * w / scale, frame_bytes, frame_bytes))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_frames_are_deterministic() {
+        let p = ImagePipeline::small();
+        assert_eq!(p.frame(0), p.frame(0));
+        assert_ne!(p.frame(0), p.frame(1));
+        assert_eq!(p.frame(0).pixels.len(), 64 * 48);
+    }
+
+    #[test]
+    fn blur_smooths_the_image() {
+        let img = SyntheticImage::generate(32, 32, 1);
+        let blurred = img.blur();
+        // Blur preserves the mean approximately but reduces local variance.
+        let var = |im: &SyntheticImage| {
+            let m = im.mean_intensity();
+            im.pixels.iter().map(|p| (p - m) * (p - m)).sum::<f32>() / im.pixels.len() as f32
+        };
+        assert!((img.mean_intensity() - blurred.mean_intensity()).abs() < 5.0);
+        assert!(var(&blurred) < var(&img));
+    }
+
+    #[test]
+    fn edges_light_up_on_the_diagonal_band() {
+        let img = SyntheticImage::generate(64, 64, 2);
+        let edges = img.blur().edges();
+        // Edge response near the band boundary should exceed the response in
+        // the flat background far from it.
+        let near_band = edges.at(8, 16).max(edges.at(16, 8));
+        let background = edges.at(60, 5);
+        assert!(near_band > background);
+    }
+
+    #[test]
+    fn threshold_is_binary() {
+        let img = SyntheticImage::generate(16, 16, 3);
+        let t = img.threshold(50.0);
+        assert!(t.pixels.iter().all(|&p| p == 0.0 || p == 255.0));
+    }
+
+    #[test]
+    fn process_frame_produces_binary_output_of_same_size() {
+        let p = ImagePipeline::small();
+        let out = p.process_frame(&p.frame(0));
+        assert_eq!(out.pixels.len(), 64 * 48);
+        assert!(out.pixels.iter().all(|&v| v == 0.0 || v == 255.0));
+    }
+
+    #[test]
+    fn stage_descriptors_reflect_cost_weights() {
+        let p = ImagePipeline::small();
+        let stages = p.as_stages(1000.0);
+        assert_eq!(stages.len(), 4);
+        assert!(stages[2].work_per_item > stages[0].work_per_item);
+        assert!(stages[3].work_per_item < stages[0].work_per_item);
+        assert_eq!(stages[0].forward_bytes, (64 * 48 * 4) as u64);
+    }
+
+    #[test]
+    fn byte_size_matches_pixel_count() {
+        let img = SyntheticImage::generate(10, 10, 0);
+        assert_eq!(img.byte_size(), 400);
+    }
+}

@@ -1,0 +1,166 @@
+//! Blocked dense matrix multiplication: a regular, compute-bound farm.
+//!
+//! `C = A × B` is decomposed into row-band tasks: each task computes
+//! `block_rows` rows of `C`.  Unlike Mandelbrot tiles the tasks are all the
+//! same size, so this workload isolates the effect of node heterogeneity and
+//! external load from workload irregularity.
+
+use grasp_core::TaskSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A blocked mat-mul job description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatMulJob {
+    /// Matrix dimension (square `n × n` matrices).
+    pub n: usize,
+    /// Rows of `C` computed per task.
+    pub block_rows: usize,
+    /// Seed used to generate the input matrices.
+    pub seed: u64,
+}
+
+impl Default for MatMulJob {
+    fn default() -> Self {
+        MatMulJob {
+            n: 512,
+            block_rows: 32,
+            seed: 1,
+        }
+    }
+}
+
+impl MatMulJob {
+    /// A small job suitable for unit tests.
+    pub fn small() -> Self {
+        MatMulJob {
+            n: 64,
+            block_rows: 16,
+            seed: 1,
+        }
+    }
+
+    /// Generate the two input matrices (row-major) deterministically.
+    pub fn generate_inputs(&self) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let a: Vec<f64> = (0..self.n * self.n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f64> = (0..self.n * self.n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        (a, b)
+    }
+
+    /// Number of row-band tasks.
+    pub fn task_count(&self) -> usize {
+        self.n.div_ceil(self.block_rows.max(1))
+    }
+
+    /// Compute rows `[row0, row0+rows)` of `C = A × B` (the real kernel).
+    pub fn multiply_band(&self, a: &[f64], b: &[f64], row0: usize, rows: usize) -> Vec<f64> {
+        let n = self.n;
+        let rows = rows.min(n.saturating_sub(row0));
+        let mut c = vec![0.0; rows * n];
+        for i in 0..rows {
+            let ai = (row0 + i) * n;
+            for k in 0..n {
+                let aik = a[ai + k];
+                if aik == 0.0 {
+                    continue;
+                }
+                let bk = k * n;
+                for j in 0..n {
+                    c[i * n + j] += aik * b[bk + j];
+                }
+            }
+        }
+        c
+    }
+
+    /// Floating-point operations per row-band task (2·rows·n²).
+    pub fn flops_per_task(&self) -> f64 {
+        2.0 * self.block_rows as f64 * (self.n * self.n) as f64
+    }
+
+    /// The job as abstract farm tasks: identical work per band, input = the
+    /// band of `A` plus all of `B` is amortised as just the band (B is
+    /// broadcast once in practice), output = the band of `C`.
+    pub fn as_tasks(&self, flops_per_work_unit: f64) -> Vec<TaskSpec> {
+        let scale = flops_per_work_unit.max(1.0);
+        let band_bytes = (self.block_rows * self.n * 8) as u64;
+        (0..self.task_count())
+            .map(|id| TaskSpec::new(id, self.flops_per_task() / scale, band_bytes, band_bytes))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_multiplication_matches_naive_full_product() {
+        let job = MatMulJob {
+            n: 16,
+            block_rows: 8,
+            seed: 3,
+        };
+        let (a, b) = job.generate_inputs();
+        // Naive reference.
+        let mut expected = vec![0.0; 16 * 16];
+        for i in 0..16 {
+            for k in 0..16 {
+                for j in 0..16 {
+                    expected[i * 16 + j] += a[i * 16 + k] * b[k * 16 + j];
+                }
+            }
+        }
+        let band0 = job.multiply_band(&a, &b, 0, 8);
+        let band1 = job.multiply_band(&a, &b, 8, 8);
+        let got: Vec<f64> = band0.into_iter().chain(band1).collect();
+        for (g, e) in got.iter().zip(&expected) {
+            assert!((g - e).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn inputs_are_deterministic_per_seed() {
+        let job = MatMulJob::small();
+        assert_eq!(job.generate_inputs(), job.generate_inputs());
+        let other = MatMulJob {
+            seed: 2,
+            ..MatMulJob::small()
+        };
+        assert_ne!(job.generate_inputs().0, other.generate_inputs().0);
+    }
+
+    #[test]
+    fn task_count_covers_all_rows() {
+        let job = MatMulJob {
+            n: 100,
+            block_rows: 32,
+            seed: 0,
+        };
+        assert_eq!(job.task_count(), 4);
+        assert_eq!(MatMulJob::small().task_count(), 4);
+    }
+
+    #[test]
+    fn tasks_are_uniform() {
+        let job = MatMulJob::small();
+        let tasks = job.as_tasks(1e6);
+        assert_eq!(tasks.len(), 4);
+        assert!(tasks.windows(2).all(|w| (w[0].work - w[1].work).abs() < 1e-12));
+        assert!(tasks[0].work > 0.0);
+    }
+
+    #[test]
+    fn partial_last_band_is_handled() {
+        let job = MatMulJob {
+            n: 10,
+            block_rows: 8,
+            seed: 5,
+        };
+        let (a, b) = job.generate_inputs();
+        let band = job.multiply_band(&a, &b, 8, 8);
+        assert_eq!(band.len(), 2 * 10, "only two rows remain");
+    }
+}

@@ -1,0 +1,72 @@
+//! Adaptive pipeline: a four-stage image-processing stream on a loaded grid.
+//!
+//! ```text
+//! cargo run --example pipeline_imaging
+//! ```
+//!
+//! The stage costs come from the real image kernels (blur, sharpen, Sobel,
+//! threshold); the grid develops a load spike on the initially chosen nodes,
+//! and the adaptive pipeline remaps its stages while the rigid one suffers.
+
+use grasp_repro::grasp_core::prelude::*;
+use grasp_repro::grasp_workloads::imaging::ImagePipeline;
+use grasp_repro::gridsim::{ConstantLoad, GridBuilder, SimTime, SpikeLoad, TopologyBuilder};
+
+fn build_grid() -> grasp_repro::gridsim::Grid {
+    let topo = TopologyBuilder::uniform_cluster(8, 50.0);
+    let node_ids = topo.node_ids();
+    let mut builder = GridBuilder::new(topo).quantum(0.1);
+    for &n in &node_ids {
+        if n.index() < 5 {
+            builder = builder.node_load(
+                n,
+                SpikeLoad::new(0.02, 0.9, SimTime::new(30.0), SimTime::new(100_000.0)),
+            );
+        } else {
+            builder = builder.node_load(n, ConstantLoad::new(0.02));
+        }
+    }
+    builder.build()
+}
+
+fn main() {
+    let job = ImagePipeline {
+        width: 1280,
+        height: 720,
+        frames: 400,
+        seed: 11,
+    };
+    // ~2e4 pixels per simulated work unit.
+    let stages = job.as_stages(2e4);
+    println!(
+        "image pipeline: {} stages, {} frames of {}x{}",
+        stages.len(),
+        job.frames,
+        job.width,
+        job.height
+    );
+
+    let adaptive = Grasp::new(GraspConfig::default()).run_pipeline(&build_grid(), &stages, job.frames);
+    let mut rigid_cfg = GraspConfig::default();
+    rigid_cfg.execution.adaptive = false;
+    let rigid = Grasp::new(rigid_cfg).run_pipeline(&build_grid(), &stages, job.frames);
+
+    println!("\n== adaptive pipeline ==");
+    println!(
+        "makespan {:.1}s, steady throughput {:.2} frames/s, {} stage remaps",
+        adaptive.outcome.makespan.as_secs(),
+        adaptive.outcome.steady_state_throughput(),
+        adaptive.outcome.adaptation.stage_remaps()
+    );
+    println!("final stage assignment: {:?}", adaptive.outcome.stage_assignment);
+    println!("\n== rigid pipeline (baseline) ==");
+    println!(
+        "makespan {:.1}s, steady throughput {:.2} frames/s",
+        rigid.outcome.makespan.as_secs(),
+        rigid.outcome.steady_state_throughput()
+    );
+    println!(
+        "\nadaptive sustains {:.2}x the rigid throughput under the spike",
+        adaptive.outcome.steady_state_throughput() / rigid.outcome.steady_state_throughput()
+    );
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the GRASP reproduction workspace.
+//!
+//! This crate re-exports the public surfaces of the member crates so that the
+//! examples under `examples/` and the integration tests under `tests/` can
+//! address the whole system through a single dependency.  Downstream users
+//! would normally depend on [`grasp_core`] directly.
+
+pub use grasp_core;
+pub use grasp_exec;
+pub use grasp_workloads;
+pub use gridmon;
+pub use gridsim;
+pub use gridstats;

@@ -1,0 +1,58 @@
+//! Cross-crate integration: the real-thread backend executing the real
+//! workload kernels.
+
+use grasp_repro::grasp_core::SchedulePolicy;
+use grasp_repro::grasp_exec::{ThreadFarm, ThreadPipeline};
+use grasp_repro::grasp_workloads::imaging::ImagePipeline;
+use grasp_repro::grasp_workloads::mandelbrot::MandelbrotJob;
+use grasp_repro::grasp_workloads::seqmatch::SequenceMatchJob;
+
+#[test]
+fn thread_farm_renders_mandelbrot_tiles_identically_to_sequential() {
+    let job = MandelbrotJob::small();
+    let tiles = job.tiles();
+    let sequential: Vec<Vec<u32>> = tiles.iter().map(|t| job.render_tile(t)).collect();
+    let farm = ThreadFarm::new(4).with_policy(SchedulePolicy::SelfScheduling);
+    let (parallel, stats) = farm.run(&tiles, |t| job.render_tile(t));
+    assert_eq!(parallel, sequential, "parallel result must equal sequential");
+    assert_eq!(stats.tasks_per_worker.iter().sum::<usize>(), tiles.len());
+}
+
+#[test]
+fn thread_farm_scores_sequences_identically_across_policies() {
+    let job = SequenceMatchJob::small();
+    let queries = job.generate_queries();
+    let subjects = job.generate_subjects();
+    let reference: Vec<Vec<i64>> = queries.iter().map(|q| job.score_query(q, &subjects)).collect();
+    for policy in [
+        SchedulePolicy::StaticBlock,
+        SchedulePolicy::Guided { min_chunk: 1 },
+        SchedulePolicy::AdaptiveWeighted { min_chunk: 1 },
+    ] {
+        let farm = ThreadFarm::new(3).with_policy(policy);
+        let (scores, _) = farm.run(&queries, |q| job.score_query(q, &subjects));
+        assert_eq!(scores, reference, "{policy:?}");
+    }
+}
+
+#[test]
+fn thread_pipeline_matches_sequential_image_processing() {
+    let job = ImagePipeline::small();
+    let frames: Vec<_> = (0..6).map(|i| job.frame(i)).collect();
+    let sequential: Vec<_> = frames.iter().map(|f| job.process_frame(f)).collect();
+
+    let j = job;
+    let pipeline = ThreadPipeline::new()
+        .stage(move |f: grasp_repro::grasp_workloads::imaging::SyntheticImage| f.blur())
+        .stage(|f| f.sharpen())
+        .stage(|f| f.edges())
+        .stage(|f| f.threshold(96.0));
+    let _ = j;
+    let (out, stats) = pipeline.run(frames);
+    assert_eq!(out.len(), 6);
+    for (a, b) in out.iter().zip(&sequential) {
+        assert_eq!(a.pixels.len(), b.pixels.len());
+        assert_eq!(a.pixels, b.pixels, "pipeline output must match sequential");
+    }
+    assert_eq!(stats.items_per_stage, vec![6, 6, 6, 6]);
+}

@@ -1,0 +1,88 @@
+//! Integration tests of the four-phase GRASP life-cycle and of the
+//! methodology-level invariants the paper states.
+
+use grasp_repro::grasp_core::prelude::*;
+use grasp_repro::gridsim::{ConstantLoad, Grid, GridBuilder, TopologyBuilder};
+
+fn grid() -> Grid {
+    let topo = TopologyBuilder::heterogeneous_cluster(10, 20.0, 80.0, 17);
+    let ids = topo.node_ids();
+    let mut b = GridBuilder::new(topo);
+    for &n in &ids {
+        b = b.node_load(n, ConstantLoad::new(0.05 * (n.index() % 5) as f64));
+    }
+    b.build()
+}
+
+#[test]
+fn calibration_work_is_part_of_the_job_not_wasted() {
+    // Paper: "the processing performed during the calibration contributes to
+    // the overall job".
+    let tasks = TaskSpec::uniform(100, 40.0, 8 * 1024, 8 * 1024);
+    let mut cfg = GraspConfig::default();
+    cfg.calibration.samples_per_node = 3;
+    let report = Grasp::new(cfg).run_farm(&grid(), &tasks);
+    let calib: Vec<_> = report
+        .outcome
+        .task_outcomes
+        .iter()
+        .filter(|o| o.during_calibration)
+        .collect();
+    assert_eq!(calib.len(), 30, "10 nodes x 3 samples drawn from the job");
+    assert_eq!(report.outcome.completed_tasks(), 100, "none of them run twice");
+}
+
+#[test]
+fn static_phases_consume_no_grid_time() {
+    let tasks = TaskSpec::uniform(40, 40.0, 1024, 1024);
+    let report = Grasp::new(GraspConfig::default()).run_farm(&grid(), &tasks);
+    assert!(report.phases.programming.is_zero());
+    assert!(report.phases.compilation.is_zero());
+    assert!(report.phases.calibration.as_secs() > 0.0);
+}
+
+#[test]
+fn threshold_factor_controls_how_often_the_farm_adapts() {
+    // A tighter threshold can only produce at least as many adaptations.
+    let tasks = TaskSpec::uniform(200, 40.0, 8 * 1024, 8 * 1024);
+    let run = |factor: f64| {
+        let mut cfg = GraspConfig::default();
+        cfg.execution.threshold = ThresholdPolicy::Factor { factor };
+        cfg.execution.monitor_interval_s = 2.0;
+        Grasp::new(cfg).run_farm(&grid(), &tasks).outcome.adaptation.len()
+    };
+    let tight = run(1.05);
+    let loose = run(8.0);
+    assert!(tight >= loose, "tight {tight} vs loose {loose}");
+}
+
+#[test]
+fn disabling_adaptation_reproduces_a_rigid_run() {
+    let tasks = TaskSpec::uniform(80, 40.0, 8 * 1024, 8 * 1024);
+    let mut cfg = GraspConfig::default();
+    cfg.execution.adaptive = false;
+    let report = Grasp::new(cfg).run_farm(&grid(), &tasks);
+    assert!(report.outcome.adaptation.is_empty());
+    assert_eq!(report.outcome.monitor_evaluations, 0);
+}
+
+#[test]
+fn runs_are_deterministic_for_equal_inputs() {
+    let tasks = TaskSpec::uniform(60, 40.0, 8 * 1024, 8 * 1024);
+    let a = Grasp::new(GraspConfig::default()).run_farm(&grid(), &tasks);
+    let b = Grasp::new(GraspConfig::default()).run_farm(&grid(), &tasks);
+    assert_eq!(a.outcome.makespan, b.outcome.makespan);
+    assert_eq!(a.outcome.per_node_tasks, b.outcome.per_node_tasks);
+    assert_eq!(a.outcome.adaptation.len(), b.outcome.adaptation.len());
+}
+
+#[test]
+fn skeleton_properties_reflect_the_workload_shape() {
+    // Coarse-grained tasks (lots of compute, little data) give a high
+    // computation/communication ratio; fine-grained tasks a low one.
+    let coarse = SkeletonProperties::task_farm(100.0);
+    let fine = SkeletonProperties::task_farm(0.2);
+    assert!(!coarse.communication_bound());
+    assert!(fine.communication_bound());
+    assert!(coarse.suggested_chunking(8) <= fine.suggested_chunking(8));
+}
