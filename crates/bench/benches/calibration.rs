@@ -27,7 +27,14 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let mut registry = MonitorRegistry::new(NodeId(0), 64);
                 calibrator
-                    .calibrate(&grid, &mut registry, &grid.node_ids(), &tasks, NodeId(0), SimTime::ZERO)
+                    .calibrate(
+                        &grid,
+                        &mut registry,
+                        &grid.node_ids(),
+                        &tasks,
+                        NodeId(0),
+                        SimTime::ZERO,
+                    )
                     .unwrap()
             });
         });

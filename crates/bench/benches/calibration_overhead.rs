@@ -8,14 +8,18 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     let tasks = standard_farm_tasks(150, 60.0);
     for samples in [1usize, 4, 16] {
-        group.bench_with_input(BenchmarkId::new("samples", samples), &samples, |b, &samples| {
-            let mut cfg = GraspConfig::default();
-            cfg.calibration.samples_per_node = samples;
-            b.iter(|| {
-                let grid = loaded_heterogeneous_grid(16, ScenarioSeed::default());
-                Grasp::new(cfg).try_run_farm(&grid, &tasks).unwrap()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("samples", samples),
+            &samples,
+            |b, &samples| {
+                let mut cfg = GraspConfig::default();
+                cfg.calibration.samples_per_node = samples;
+                b.iter(|| {
+                    let grid = loaded_heterogeneous_grid(16, ScenarioSeed::default());
+                    Grasp::new(cfg).try_run_farm(&grid, &tasks).unwrap()
+                });
+            },
+        );
     }
     group.finish();
 }

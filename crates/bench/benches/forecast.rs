@@ -4,7 +4,9 @@ use gridmon::{AdaptiveForecaster, Ar1Forecaster, Forecaster};
 use gridstats::{linear_regression, multivariate_regression};
 
 fn bench(c: &mut Criterion) {
-    let series: Vec<f64> = (0..10_000).map(|i| 0.4 + 0.3 * ((i as f64) / 50.0).sin()).collect();
+    let series: Vec<f64> = (0..10_000)
+        .map(|i| 0.4 + 0.3 * ((i as f64) / 50.0).sin())
+        .collect();
     c.bench_function("forecast/adaptive_10k_updates", |b| {
         b.iter(|| {
             let mut f = AdaptiveForecaster::standard();
@@ -31,7 +33,10 @@ fn bench(c: &mut Criterion) {
     let rows: Vec<Vec<f64>> = (0..512)
         .map(|i| vec![i as f64, ((i * 13) % 11) as f64, ((i * 7) % 5) as f64])
         .collect();
-    let ym: Vec<f64> = rows.iter().map(|r| 1.0 + r[0] - 2.0 * r[1] + 0.5 * r[2]).collect();
+    let ym: Vec<f64> = rows
+        .iter()
+        .map(|r| 1.0 + r[0] - 2.0 * r[1] + 0.5 * r[2])
+        .collect();
     c.bench_function("stats/multivariate_ols_512x3", |b| {
         b.iter(|| multivariate_regression(&rows, &ym).unwrap())
     });

@@ -9,7 +9,9 @@ use grasp_workloads::{
 fn bench(c: &mut Criterion) {
     let mb = MandelbrotJob::small();
     let tile = mb.tiles()[5];
-    c.bench_function("kernels/mandelbrot_tile", |b| b.iter(|| mb.render_tile(&tile)));
+    c.bench_function("kernels/mandelbrot_tile", |b| {
+        b.iter(|| mb.render_tile(&tile))
+    });
 
     let mm = MatMulJob::small();
     let (a, bmat) = mm.generate_inputs();
@@ -18,7 +20,9 @@ fn bench(c: &mut Criterion) {
     });
 
     let quad = QuadratureJob::small();
-    c.bench_function("kernels/quadrature_panel", |b| b.iter(|| quad.integrate_panel(3)));
+    c.bench_function("kernels/quadrature_panel", |b| {
+        b.iter(|| quad.integrate_panel(3))
+    });
 
     let seq = SequenceMatchJob::small();
     let queries = seq.generate_queries();
@@ -29,10 +33,14 @@ fn bench(c: &mut Criterion) {
 
     let img = ImagePipeline::small();
     let frame = img.frame(0);
-    c.bench_function("kernels/image_pipeline_frame", |b| b.iter(|| img.process_frame(&frame)));
+    c.bench_function("kernels/image_pipeline_frame", |b| {
+        b.iter(|| img.process_frame(&frame))
+    });
 
     let bs = BlackScholesSweep::small();
-    c.bench_function("kernels/black_scholes_batch", |b| b.iter(|| bs.price_batch(0)));
+    c.bench_function("kernels/black_scholes_batch", |b| {
+        b.iter(|| bs.price_batch(0))
+    });
 }
 criterion_group!(benches, bench);
 criterion_main!(benches);

@@ -11,7 +11,9 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("nodes", nodes), &nodes, |b, &nodes| {
             b.iter(|| {
                 let grid = bursty_grid(nodes, 40.0, ScenarioSeed::default());
-                TaskFarm::new(GraspConfig::default()).run(&grid, &tasks).unwrap()
+                TaskFarm::new(GraspConfig::default())
+                    .run(&grid, &tasks)
+                    .unwrap()
             });
         });
     }

@@ -13,8 +13,14 @@ fn main() {
     println!("{}\n{}", format_table(&t3), format_series(&s3));
     let (t4, s4) = e4_threshold_sweep(&[1.05, 1.25, 1.5, 2.0, 3.0, 4.0], 16, 400, seed);
     println!("{}\n{}", format_table(&t4), format_series(&s4));
-    println!("{}", format_table(&e5_calibration_overhead(&[1, 2, 4, 8, 16], 16, 400, seed)));
-    println!("{}", format_series(&e6_scalability(&[8, 16, 32, 64, 128], 800, seed)));
+    println!(
+        "{}",
+        format_table(&e5_calibration_overhead(&[1, 2, 4, 8, 16], 16, 400, seed))
+    );
+    println!(
+        "{}",
+        format_series(&e6_scalability(&[8, 16, 32, 64, 128], 800, seed))
+    );
     let (t7, s7) = e7_adaptation_response(16, 800);
     println!("{}\n{}", format_table(&t7), format_series(&s7));
     println!("{}", format_table(&e8_forecaster_accuracy(2_000)));

@@ -11,8 +11,8 @@ use crate::scenarios::{
     bursty_grid, loaded_heterogeneous_grid, spike_grid, standard_farm_tasks, transient_load_grid,
     ScenarioSeed,
 };
-use grasp_core::prelude::*;
 use grasp_core::calibration::Calibrator;
+use grasp_core::prelude::*;
 use gridmon::{
     mean_absolute_error, AdaptiveForecaster, Ar1Forecaster, ExponentialSmoothing, Forecaster,
     LastValue, RunningMean, SlidingWindowMean, SlidingWindowMedian,
@@ -60,14 +60,23 @@ pub fn e1_calibration_quality(nodes: usize, samples_per_node: usize, seed: Scena
         CalibrationMode::Univariate,
         CalibrationMode::Multivariate,
     ] {
-        let mut cfg = CalibrationConfig::default();
-        cfg.mode = mode;
-        cfg.samples_per_node = samples_per_node;
-        cfg.selection_fraction = 0.5;
+        let cfg = CalibrationConfig {
+            mode,
+            samples_per_node,
+            selection_fraction: 0.5,
+            ..CalibrationConfig::default()
+        };
         let calibrator = Calibrator::new(cfg);
         let mut registry = gridmon::MonitorRegistry::new(NodeId(0), 64);
         let report = calibrator
-            .calibrate(&grid, &mut registry, &grid.node_ids(), &tasks, NodeId(0), SimTime::ZERO)
+            .calibrate(
+                &grid,
+                &mut registry,
+                &grid.node_ids(),
+                &tasks,
+                NodeId(0),
+                SimTime::ZERO,
+            )
             .expect("calibration must succeed on an all-up grid");
         // Spearman between adjusted time and 1/effective-speed.
         let adjusted: Vec<f64> = report.table.iter().map(|c| c.adjusted_time).collect();
@@ -101,10 +110,20 @@ fn farm_makespan(grid: &Grid, tasks: &[TaskSpec], config: GraspConfig) -> FarmOu
 ///
 /// Returns the per-node-count completion times (table) and the speedup of
 /// each policy relative to the single fastest node (series, figure style).
-pub fn e2_farm_comparison(node_counts: &[usize], tasks_n: usize, seed: ScenarioSeed) -> (Table, Series) {
+pub fn e2_farm_comparison(
+    node_counts: &[usize],
+    tasks_n: usize,
+    seed: ScenarioSeed,
+) -> (Table, Series) {
     let mut table = Table::new(
         format!("E2: task farm under bursty load ({tasks_n} tasks)"),
-        &["nodes", "adaptive_s", "static_s", "selfsched_s", "adaptive_speedup_vs_static"],
+        &[
+            "nodes",
+            "adaptive_s",
+            "static_s",
+            "selfsched_s",
+            "adaptive_speedup_vs_static",
+        ],
     );
     let mut series = Series::new(
         "E2: completion time vs pool size",
@@ -157,7 +176,12 @@ pub fn e3_pipeline_adaptation(items: usize) -> (Table, Series) {
 
     let mut table = Table::new(
         format!("E3: image-style pipeline with a load spike ({items} items)"),
-        &["variant", "makespan_s", "steady_items_per_s", "stage_remaps"],
+        &[
+            "variant",
+            "makespan_s",
+            "steady_items_per_s",
+            "stage_remaps",
+        ],
     );
     table.push_row(vec![
         "adaptive".into(),
@@ -193,7 +217,12 @@ pub fn e3_pipeline_adaptation(items: usize) -> (Table, Series) {
 ///
 /// Sweeps the threshold factor and reports recalibration count, demotions and
 /// completion time on the bursty grid.
-pub fn e4_threshold_sweep(factors: &[f64], nodes: usize, tasks_n: usize, seed: ScenarioSeed) -> (Table, Series) {
+pub fn e4_threshold_sweep(
+    factors: &[f64],
+    nodes: usize,
+    tasks_n: usize,
+    seed: ScenarioSeed,
+) -> (Table, Series) {
     let mut table = Table::new(
         "E4: threshold sensitivity (adaptive farm, bursty grid)",
         &["factor", "recalibrations", "demotions", "makespan_s"],
@@ -228,7 +257,12 @@ pub fn e4_threshold_sweep(factors: &[f64], nodes: usize, tasks_n: usize, seed: S
 /// Sweeps the number of calibration samples per node and reports the
 /// calibration duration, its fraction of the total makespan, and how many
 /// job tasks the calibration itself completed.
-pub fn e5_calibration_overhead(samples: &[usize], nodes: usize, tasks_n: usize, seed: ScenarioSeed) -> Table {
+pub fn e5_calibration_overhead(
+    samples: &[usize],
+    nodes: usize,
+    tasks_n: usize,
+    seed: ScenarioSeed,
+) -> Table {
     let mut table = Table::new(
         "E5: calibration overhead vs sample size",
         &[
@@ -306,7 +340,12 @@ pub fn e7_adaptation_response(nodes: usize, tasks_n: usize) -> (Table, Series) {
 
     let mut table = Table::new(
         format!("E7: adaptation response to a 50% pool load spike at t={spike_start}s"),
-        &["variant", "makespan_s", "adaptations", "min_interval_throughput"],
+        &[
+            "variant",
+            "makespan_s",
+            "adaptations",
+            "min_interval_throughput",
+        ],
     );
     table.push_row(vec![
         "adaptive".into(),
@@ -341,8 +380,14 @@ pub fn e7_adaptation_response(nodes: usize, tasks_n: usize) -> (Table, Series) {
 /// E8 — forecaster accuracy on representative load signals.
 pub fn e8_forecaster_accuracy(samples: usize) -> Table {
     let signals: Vec<(&str, Box<dyn LoadModel>)> = vec![
-        ("periodic", Box::new(PeriodicLoad::new(0.4, 0.3, 120.0, 0.0))),
-        ("random-walk", Box::new(RandomWalkLoad::new(0.35, 0.04, 5.0, 5_000.0, 99))),
+        (
+            "periodic",
+            Box::new(PeriodicLoad::new(0.4, 0.3, 120.0, 0.0)),
+        ),
+        (
+            "random-walk",
+            Box::new(RandomWalkLoad::new(0.35, 0.04, 5.0, 5_000.0, 99)),
+        ),
         (
             "spike",
             Box::new(SpikeLoad::new(
@@ -357,7 +402,8 @@ pub fn e8_forecaster_accuracy(samples: usize) -> Table {
         "E8: one-step forecaster mean absolute error by load signal",
         &["forecaster", "periodic", "random-walk", "spike"],
     );
-    let forecaster_builders: Vec<(&str, fn() -> Box<dyn Forecaster>)> = vec![
+    type ForecasterBuilder = (&'static str, fn() -> Box<dyn Forecaster>);
+    let forecaster_builders: Vec<ForecasterBuilder> = vec![
         ("last", || Box::new(LastValue::new())),
         ("running-mean", || Box::new(RunningMean::new())),
         ("window-mean", || Box::new(SlidingWindowMean::new(8))),
@@ -401,7 +447,12 @@ mod tests {
         assert_eq!(table.len(), 3);
         let rho_of = |row: usize| table.rows[row][1].parse::<f64>().unwrap();
         // Univariate (row 1) should not be worse than time-only (row 0).
-        assert!(rho_of(1) >= rho_of(0) - 0.05, "{} vs {}", rho_of(1), rho_of(0));
+        assert!(
+            rho_of(1) >= rho_of(0) - 0.05,
+            "{} vs {}",
+            rho_of(1),
+            rho_of(0)
+        );
         // All modes must correlate positively with the ground truth.
         assert!(rho_of(0) > 0.3);
     }

@@ -69,7 +69,13 @@ pub fn format_table(table: &Table) -> String {
         let cells: Vec<String> = row
             .iter()
             .enumerate()
-            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+            .map(|(i, c)| {
+                format!(
+                    "{:<width$}",
+                    c,
+                    width = widths.get(i).copied().unwrap_or(c.len())
+                )
+            })
             .collect();
         out.push_str(&cells.join("  "));
         out.push('\n');

@@ -5,11 +5,11 @@
 //! figures, and so that seeds are the only source of variation between
 //! repetitions.
 
+use grasp_core::TaskSpec;
 use gridsim::{
     BurstyLoad, ConstantLoad, Grid, GridBuilder, LoadModel, RandomWalkLoad, SpikeLoad,
     TopologyBuilder,
 };
-use grasp_core::TaskSpec;
 use std::sync::Arc;
 
 /// Seed bundle used to derive every per-node seed of a scenario.
@@ -92,8 +92,11 @@ pub fn bursty_grid(nodes: usize, base_speed: f64, seed: ScenarioSeed) -> Grid {
             };
             let walk = RandomWalkLoad::new(mean, 0.03, 5.0, 2_000.0, s ^ 0xABCD);
             let bursts = BurstyLoad::new(0.0, 0.5, 150.0, 30.0, 2_000.0, s);
-            Arc::new(gridsim::CompositeLoad::new().with(Box::new(walk)).with(Box::new(bursts)))
-                as Arc<dyn LoadModel>
+            Arc::new(
+                gridsim::CompositeLoad::new()
+                    .with(Box::new(walk))
+                    .with(Box::new(bursts)),
+            ) as Arc<dyn LoadModel>
         })
         .quantum(0.25)
         .build()
@@ -182,6 +185,8 @@ mod tests {
     fn standard_tasks_have_expected_shape() {
         let tasks = standard_farm_tasks(10, 25.0);
         assert_eq!(tasks.len(), 10);
-        assert!(tasks.iter().all(|t| t.work == 25.0 && t.input_bytes == 32 * 1024));
+        assert!(tasks
+            .iter()
+            .all(|t| t.work == 25.0 && t.input_bytes == 32 * 1024));
     }
 }

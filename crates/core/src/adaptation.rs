@@ -24,7 +24,7 @@ pub enum AdaptationAction {
     NodeDemoted {
         /// The demoted node.
         node: NodeId,
-        /// Its recent mean per-task time when demoted.
+        /// Its recent mean per-work-unit time when demoted.
         recent_mean_time: f64,
     },
     /// A node was found down/revoked and its in-flight work re-queued.
@@ -83,7 +83,13 @@ impl AdaptationLog {
     }
 
     /// Append an event.
-    pub fn record(&mut self, time: SimTime, action: AdaptationAction, threshold: f64, trigger_value: f64) {
+    pub fn record(
+        &mut self,
+        time: SimTime,
+        action: AdaptationAction,
+        threshold: f64,
+        trigger_value: f64,
+    ) {
         self.events.push(AdaptationEvent {
             time,
             action,
@@ -128,7 +134,10 @@ impl AdaptationLog {
     }
 
     fn count_kind(&self, kind: &str) -> usize {
-        self.events.iter().filter(|e| e.action.kind() == kind).count()
+        self.events
+            .iter()
+            .filter(|e| e.action.kind() == kind)
+            .count()
     }
 
     /// Render a compact text summary for reports.

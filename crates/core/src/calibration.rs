@@ -55,11 +55,13 @@ impl CalibrationMode {
 pub struct NodeCalibration {
     /// The node.
     pub node: NodeId,
-    /// Observed per-task times of the node's samples (seconds).
+    /// Observed times of the node's samples, in seconds per work unit
+    /// (normalised by each sample task's `work` so irregular task sizes do
+    /// not skew the ranking).
     pub sample_times: Vec<f64>,
-    /// Mean observed per-task time after outlier rejection.
+    /// Mean observed per-work-unit time after outlier rejection.
     pub mean_time: f64,
-    /// Extrapolated ("adjusted") per-task time used for ranking.
+    /// Extrapolated ("adjusted") per-work-unit time used for ranking.
     pub adjusted_time: f64,
     /// External CPU load observed on the node during calibration.
     pub cpu_load: f64,
@@ -92,8 +94,8 @@ pub struct CalibrationReport {
 }
 
 impl CalibrationReport {
-    /// Per-task reference times of the chosen nodes, used to derive the
-    /// performance threshold *Z*.
+    /// Per-work-unit reference times of the chosen nodes, used to derive
+    /// the performance threshold *Z*.
     pub fn chosen_reference_times(&self) -> Vec<f64> {
         self.table
             .iter()
@@ -131,7 +133,11 @@ impl CalibrationReport {
                 row.cpu_load,
                 row.bandwidth_availability,
                 row.weight,
-                if self.chosen.contains(&row.node) { "*" } else { "" }
+                if self.chosen.contains(&row.node) {
+                    "*"
+                } else {
+                    ""
+                }
             ));
         }
         out
@@ -205,6 +211,11 @@ impl Calibrator {
         let mean_work = mean(&tasks.iter().map(|t| t.work).collect::<Vec<_>>()).unwrap_or(1.0);
         let mean_in = tasks.iter().map(|t| t.input_bytes).sum::<u64>() / tasks.len() as u64;
         let mean_out = tasks.iter().map(|t| t.output_bytes).sum::<u64>() / tasks.len() as u64;
+        // The job's unit system is decided once: seconds per work unit when
+        // any task carries real work, raw seconds for an all-zero-work
+        // (pure-transfer) job.  Mixing the two across nodes would make the
+        // ranking compare incomparable values.
+        let job_has_work = tasks.iter().any(|t| t.work > 0.0);
 
         for &node in candidates {
             if !grid.is_up(node, start) {
@@ -233,7 +244,10 @@ impl Calibrator {
                     task_cursor += 1;
                     (s, true)
                 } else {
-                    (TaskSpec::new(usize::MAX, mean_work, mean_in, mean_out), false)
+                    (
+                        TaskSpec::new(usize::MAX, mean_work, mean_in, mean_out),
+                        false,
+                    )
                 };
                 let dispatched = node_now;
                 let after_in = match grid.transfer(master, node, spec.input_bytes, node_now) {
@@ -252,12 +266,17 @@ impl Calibrator {
                     Some(t) => after_compute + t.duration,
                     None => after_compute,
                 };
-                sample_times.push((done - dispatched).as_secs());
+                // Recorded as (work, seconds); normalised per work unit
+                // below so irregular task sizes do not masquerade as node
+                // speed differences (the nominal report's 1/speed entries
+                // are in the same seconds-per-work-unit unit).
+                sample_times.push((spec.work, (done - dispatched).as_secs()));
                 node_now = done;
                 if is_real {
                     outcomes.push(TaskOutcome {
                         task: spec.id,
                         node,
+                        work: spec.work,
                         dispatched,
                         completed: done,
                         during_calibration: true,
@@ -267,6 +286,33 @@ impl Calibrator {
             calibration_end = calibration_end.max(node_now);
 
             let usable = !sample_times.is_empty();
+            // In a job with real work, zero-work (pure-communication)
+            // samples carry no per-work-unit signal and are dropped; a node
+            // that drew *only* such samples falls back to its nominal speed
+            // (the same seconds-per-work-unit unit), never to raw seconds —
+            // raw seconds are used only when the whole job is zero-work, so
+            // every node is in the same unit either way.
+            let normalized: Vec<f64> = if job_has_work {
+                let with_work: Vec<f64> = sample_times
+                    .iter()
+                    .filter(|&&(w, _)| w > 0.0)
+                    .map(|&(w, s)| crate::task::normalize_time(w, s))
+                    .collect();
+                if with_work.is_empty() && usable {
+                    vec![
+                        1.0 / grid
+                            .node(node)
+                            .map(|s| s.base_speed)
+                            .unwrap_or(1.0)
+                            .max(1e-9),
+                    ]
+                } else {
+                    with_work
+                }
+            } else {
+                sample_times.iter().map(|&(_, s)| s).collect()
+            };
+            let sample_times: Vec<f64> = normalized;
             let filtered = reject_outliers(&sample_times, self.config.outlier_policy);
             let mean_time = mean(&filtered).unwrap_or(f64::INFINITY);
             table.push(NodeCalibration {
@@ -350,8 +396,10 @@ impl Calibrator {
         if matches!(self.config.mode, CalibrationMode::TimeOnly) {
             return;
         }
-        let usable: Vec<&NodeCalibration> =
-            table.iter().filter(|c| c.usable && c.mean_time.is_finite()).collect();
+        let usable: Vec<&NodeCalibration> = table
+            .iter()
+            .filter(|c| c.usable && c.mean_time.is_finite())
+            .collect();
         if usable.len() < 3 {
             return;
         }
@@ -479,7 +527,14 @@ mod tests {
         let grid = Grid::dedicated(b.build());
         let cal = Calibrator::new(cfg(CalibrationMode::TimeOnly));
         let report = cal
-            .calibrate(&grid, &mut registry(), &grid.node_ids(), &tasks(64), NodeId(0), SimTime::ZERO)
+            .calibrate(
+                &grid,
+                &mut registry(),
+                &grid.node_ids(),
+                &tasks(64),
+                NodeId(0),
+                SimTime::ZERO,
+            )
             .unwrap();
         assert_eq!(report.ranking[0], NodeId(3));
         assert_eq!(report.ranking[3], NodeId(0));
@@ -492,7 +547,9 @@ mod tests {
         assert_eq!(report.tasks_consumed, 8);
         assert_eq!(report.outcomes.len(), 8);
         assert!(report.outcomes.iter().all(|o| o.during_calibration));
-        assert!(report.to_table_string().contains("calibration mode=time-only"));
+        assert!(report
+            .to_table_string()
+            .contains("calibration mode=time-only"));
     }
 
     #[test]
@@ -501,11 +558,21 @@ mod tests {
         let cal = Calibrator::new(cfg(CalibrationMode::TimeOnly));
         let ts = tasks(100);
         let report = cal
-            .calibrate(&grid, &mut registry(), &grid.node_ids(), &ts, NodeId(0), SimTime::ZERO)
+            .calibrate(
+                &grid,
+                &mut registry(),
+                &grid.node_ids(),
+                &ts,
+                NodeId(0),
+                SimTime::ZERO,
+            )
             .unwrap();
         let ids: Vec<usize> = report.outcomes.iter().map(|o| o.task).collect();
         assert_eq!(report.tasks_consumed, 8);
-        assert!(ids.iter().all(|&id| id < 8), "only the first 8 tasks are consumed");
+        assert!(
+            ids.iter().all(|&id| id < 8),
+            "only the first 8 tasks are consumed"
+        );
     }
 
     #[test]
@@ -523,10 +590,24 @@ mod tests {
         let grid = builder.build();
 
         let time_only = Calibrator::new(cfg(CalibrationMode::TimeOnly))
-            .calibrate(&grid, &mut registry(), &node_ids, &tasks(64), NodeId(0), SimTime::ZERO)
+            .calibrate(
+                &grid,
+                &mut registry(),
+                &node_ids,
+                &tasks(64),
+                NodeId(0),
+                SimTime::ZERO,
+            )
             .unwrap();
         let univariate = Calibrator::new(cfg(CalibrationMode::Univariate))
-            .calibrate(&grid, &mut registry(), &node_ids, &tasks(64), NodeId(0), SimTime::ZERO)
+            .calibrate(
+                &grid,
+                &mut registry(),
+                &node_ids,
+                &tasks(64),
+                NodeId(0),
+                SimTime::ZERO,
+            )
             .unwrap();
 
         // Time-only: loaded nodes have ~2.5x the time of idle nodes.
@@ -569,10 +650,24 @@ mod tests {
         let heavy_tasks: Vec<TaskSpec> = TaskSpec::uniform(64, 20.0, 4 * 1024 * 1024, 1024 * 1024);
 
         let raw = Calibrator::new(cfg(CalibrationMode::TimeOnly))
-            .calibrate(&grid, &mut registry(), &node_ids, &heavy_tasks, NodeId(0), SimTime::ZERO)
+            .calibrate(
+                &grid,
+                &mut registry(),
+                &node_ids,
+                &heavy_tasks,
+                NodeId(0),
+                SimTime::ZERO,
+            )
             .unwrap();
         let multi = Calibrator::new(cfg(CalibrationMode::Multivariate))
-            .calibrate(&grid, &mut registry(), &node_ids, &heavy_tasks, NodeId(0), SimTime::ZERO)
+            .calibrate(
+                &grid,
+                &mut registry(),
+                &node_ids,
+                &heavy_tasks,
+                NodeId(0),
+                SimTime::ZERO,
+            )
             .unwrap();
         let remote_ratio = |r: &CalibrationReport| {
             let local: Vec<f64> = r.table[..4].iter().map(|c| c.adjusted_time).collect();
@@ -593,7 +688,14 @@ mod tests {
             ..CalibrationConfig::default()
         });
         let report = cal
-            .calibrate(&grid, &mut registry(), &node_ids, &tasks(64), NodeId(0), SimTime::ZERO)
+            .calibrate(
+                &grid,
+                &mut registry(),
+                &node_ids,
+                &tasks(64),
+                NodeId(0),
+                SimTime::ZERO,
+            )
             .unwrap();
         // Spearman correlation between adjusted time and 1/speed should be ~1.
         let adj: Vec<f64> = report.table.iter().map(|c| c.adjusted_time).collect();
@@ -616,7 +718,14 @@ mod tests {
             ..CalibrationConfig::default()
         });
         let report = cal
-            .calibrate(&grid, &mut registry(), &grid.node_ids(), &tasks(16), NodeId(0), SimTime::ZERO)
+            .calibrate(
+                &grid,
+                &mut registry(),
+                &grid.node_ids(),
+                &tasks(16),
+                NodeId(0),
+                SimTime::ZERO,
+            )
             .unwrap();
         assert!(!report.chosen.contains(&NodeId(1)));
         assert_eq!(report.chosen.len(), 3);
@@ -634,7 +743,14 @@ mod tests {
         let grid = GridBuilder::new(topo).faults(faults).build();
         let cal = Calibrator::new(CalibrationConfig::default());
         let err = cal
-            .calibrate(&grid, &mut registry(), &grid.node_ids(), &tasks(4), NodeId(0), SimTime::ZERO)
+            .calibrate(
+                &grid,
+                &mut registry(),
+                &grid.node_ids(),
+                &tasks(4),
+                NodeId(0),
+                SimTime::ZERO,
+            )
             .unwrap_err();
         assert!(matches!(err, GraspError::CalibrationFailed(_)));
     }
@@ -644,7 +760,14 @@ mod tests {
         let grid = Grid::dedicated(TopologyBuilder::uniform_cluster(2, 50.0));
         let cal = Calibrator::new(CalibrationConfig::default());
         assert!(matches!(
-            cal.calibrate(&grid, &mut registry(), &[], &tasks(4), NodeId(0), SimTime::ZERO),
+            cal.calibrate(
+                &grid,
+                &mut registry(),
+                &[],
+                &tasks(4),
+                NodeId(0),
+                SimTime::ZERO
+            ),
             Err(GraspError::NoUsableNodes)
         ));
     }
@@ -658,7 +781,14 @@ mod tests {
             ..CalibrationConfig::default()
         });
         let report = cal
-            .calibrate(&grid, &mut registry(), &grid.node_ids(), &tasks(16), NodeId(0), SimTime::ZERO)
+            .calibrate(
+                &grid,
+                &mut registry(),
+                &grid.node_ids(),
+                &tasks(16),
+                NodeId(0),
+                SimTime::ZERO,
+            )
             .unwrap();
         assert_eq!(report.tasks_consumed, 0);
         assert!(report.outcomes.is_empty());
@@ -667,9 +797,7 @@ mod tests {
         // Still ranked by (nominal) speed.
         let fastest = report.ranking[0];
         let slowest = *report.ranking.last().unwrap();
-        assert!(
-            grid.node(fastest).unwrap().base_speed >= grid.node(slowest).unwrap().base_speed
-        );
+        assert!(grid.node(fastest).unwrap().base_speed >= grid.node(slowest).unwrap().base_speed);
     }
 
     #[test]
@@ -682,7 +810,14 @@ mod tests {
             ..CalibrationConfig::default()
         });
         let report = cal
-            .calibrate(&grid, &mut registry(), &grid.node_ids(), &tasks(32), NodeId(0), SimTime::ZERO)
+            .calibrate(
+                &grid,
+                &mut registry(),
+                &grid.node_ids(),
+                &tasks(32),
+                NodeId(0),
+                SimTime::ZERO,
+            )
             .unwrap();
         assert_eq!(report.chosen.len(), 4);
     }
@@ -697,10 +832,21 @@ mod tests {
         });
         // Only 4 tasks but 4 nodes × 3 samples wanted.
         let report = cal
-            .calibrate(&grid, &mut registry(), &grid.node_ids(), &tasks(4), NodeId(0), SimTime::ZERO)
+            .calibrate(
+                &grid,
+                &mut registry(),
+                &grid.node_ids(),
+                &tasks(4),
+                NodeId(0),
+                SimTime::ZERO,
+            )
             .unwrap();
         assert_eq!(report.tasks_consumed, 4);
-        assert_eq!(report.outcomes.len(), 4, "synthetic probes are not job outcomes");
+        assert_eq!(
+            report.outcomes.len(),
+            4,
+            "synthetic probes are not job outcomes"
+        );
         assert_eq!(report.chosen.len(), 4);
     }
 }

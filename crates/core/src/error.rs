@@ -44,10 +44,16 @@ mod tests {
     #[test]
     fn display_messages_are_informative() {
         assert!(GraspError::EmptyWorkload.to_string().contains("no tasks"));
-        assert!(GraspError::NoUsableNodes.to_string().contains("no usable nodes"));
+        assert!(GraspError::NoUsableNodes
+            .to_string()
+            .contains("no usable nodes"));
         assert!(GraspError::EmptyPipeline.to_string().contains("stage"));
-        assert!(GraspError::CalibrationFailed("x".into()).to_string().contains("x"));
-        assert!(GraspError::InvalidConfig("bad".into()).to_string().contains("bad"));
+        assert!(GraspError::CalibrationFailed("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(GraspError::InvalidConfig("bad".into())
+            .to_string()
+            .contains("bad"));
         assert!(GraspError::TaskLost { task: 3 }.to_string().contains('3'));
     }
 }

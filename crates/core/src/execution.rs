@@ -33,7 +33,9 @@ use std::collections::BTreeMap;
 pub struct MonitorVerdict {
     /// When the verdict was produced.
     pub time: SimTime,
-    /// Per-node mean execution time over the elapsed interval (the table *T*).
+    /// Per-node mean execution time over the elapsed interval (the table
+    /// *T*), in the unit the workers report — seconds per work unit for the
+    /// farm.
     pub per_node_mean: Vec<(NodeId, f64)>,
     /// Minimum of the per-node means (`min T`).
     pub min_time: f64,
@@ -59,7 +61,9 @@ pub struct ExecutionMonitor {
 impl ExecutionMonitor {
     /// Create a monitor.
     ///
-    /// * `threshold` — the performance threshold *Z* (seconds per task).
+    /// * `threshold` — the performance threshold *Z*, in whatever time unit
+    ///   the callers report (the farm reports seconds per work unit so that
+    ///   irregular task sizes do not trip the monitor).
     /// * `interval_s` — monitoring period in virtual seconds.
     /// * `demote_factor` — per-node demotion multiplier (≥ 1).
     pub fn new(threshold: f64, interval_s: f64, demote_factor: f64) -> Self {

@@ -20,7 +20,7 @@
 //! shared-memory farm with the same surface lives in `grasp-exec`.
 
 use crate::adaptation::{AdaptationAction, AdaptationLog};
-use crate::calibration::{CalibrationReport, Calibrator};
+use crate::calibration::{CalibrationMode, CalibrationReport, Calibrator};
 use crate::config::GraspConfig;
 use crate::error::GraspError;
 use crate::execution::ExecutionMonitor;
@@ -156,6 +156,9 @@ impl TaskFarm {
         let master = self.config.master.unwrap_or(candidates[0]);
         let mut registry = MonitorRegistry::new(master, 256);
         let calibrator = Calibrator::new(self.config.calibration);
+        // Mirrors the calibrator's unit decision: per-work-unit times when
+        // the job has real work, raw seconds for a pure-transfer job.
+        let job_has_work = tasks.iter().any(|t| t.work > 0.0);
 
         // --------------------------- Calibration ---------------------------
         let calibration = calibrator.calibrate(
@@ -166,14 +169,15 @@ impl TaskFarm {
             master,
             SimTime::ZERO,
         )?;
-        let mut pending: VecDeque<TaskSpec> =
-            tasks[calibration.tasks_consumed.min(tasks.len())..]
-                .iter()
-                .copied()
-                .collect();
+        let mut pending: VecDeque<TaskSpec> = tasks[calibration.tasks_consumed.min(tasks.len())..]
+            .iter()
+            .copied()
+            .collect();
 
         let exec_cfg = &self.config.execution;
-        let threshold = exec_cfg.threshold.compute(&calibration.chosen_reference_times());
+        let threshold = exec_cfg
+            .threshold
+            .compute(&calibration.chosen_reference_times());
         let mut monitor = ExecutionMonitor::new(
             threshold,
             exec_cfg.monitor_interval_s,
@@ -255,7 +259,14 @@ impl TaskFarm {
                 *per_node.entry(o.node).or_insert(0) += 1;
                 timeline.record(o.completed);
                 makespan = makespan.max(o.completed);
-                monitor.record(o.node, o.duration().as_secs());
+                // The monitor's unit matches the job's (see calibration):
+                // per-work-unit when the job has real work — zero-work tasks
+                // carry no signal in that unit and would spuriously demote
+                // their node — and raw seconds for an all-zero-work job,
+                // where normalized_time() already returns raw durations.
+                if o.work > 0.0 || !job_has_work {
+                    monitor.record(o.node, o.normalized_time());
+                }
                 registry.observe(grid, o.node, o.completed);
             }
 
@@ -298,14 +309,19 @@ impl TaskFarm {
                         && recalibrations < exec_cfg.max_recalibrations
                         && !pending.is_empty()
                     {
-                        let mut ranked: Vec<(NodeId, f64)> = candidates
+                        // (node, effective speed, bandwidth availability)
+                        let mut ranked: Vec<(NodeId, f64, f64)> = candidates
                             .iter()
                             .copied()
                             .filter(|&n| grid.is_up(n, now))
                             .map(|n| {
                                 let obs = registry.observe(grid, n, now);
                                 let base = grid.node(n).map(|s| s.base_speed).unwrap_or(1.0);
-                                (n, base * (1.0 - obs.cpu_load).max(0.02))
+                                (
+                                    n,
+                                    base * (1.0 - obs.cpu_load).max(0.02),
+                                    obs.bandwidth_availability.clamp(0.02, 1.0),
+                                )
                             })
                             .collect();
                         ranked.sort_by(|a, b| {
@@ -318,12 +334,13 @@ impl TaskFarm {
                                 .max(self.config.calibration.min_nodes.max(1))
                                 .max(exec_cfg.min_active_nodes)
                                 .min(ranked.len());
-                            active = ranked[..count].iter().map(|(n, _)| *n).collect();
-                            let chosen_mean = ranked[..count].iter().map(|(_, s)| *s).sum::<f64>()
-                                / count as f64;
+                            active = ranked[..count].iter().map(|(n, _, _)| *n).collect();
+                            let chosen_mean =
+                                ranked[..count].iter().map(|(_, s, _)| *s).sum::<f64>()
+                                    / count as f64;
                             weights = ranked
                                 .iter()
-                                .map(|(n, s)| {
+                                .map(|(n, s, _)| {
                                     let w = if active.contains(n) && chosen_mean > 0.0 {
                                         s / chosen_mean
                                     } else {
@@ -332,16 +349,62 @@ impl TaskFarm {
                                     (*n, w)
                                 })
                                 .collect();
-                            // Re-base Z on what the retained nodes just achieved.
-                            let retained_recent: Vec<f64> = verdict
-                                .per_node_mean
+                            // Re-base Z on what the retained nodes are *expected*
+                            // to achieve under the observed conditions.  The
+                            // verdict's window means straddle the degradation
+                            // onset and would under-estimate the new steady
+                            // state, re-triggering a spurious second
+                            // recalibration.  Expected time = degraded compute
+                            // (1/effective-speed, the calibration table's
+                            // seconds-per-work-unit unit) plus the node's
+                            // calibrated communication overhead scaled by its
+                            // currently observed bandwidth availability —
+                            // dropping either term would under-shoot Z on
+                            // communication-heavy workloads or congested links
+                            // and loop instead.
+                            let retained_expected: Vec<f64> = ranked[..count]
                                 .iter()
-                                .filter(|(n, _)| active.contains(n))
-                                .map(|(_, m)| *m)
+                                .map(|(n, s, bw)| {
+                                    // Comm at nominal bandwidth = calibrated
+                                    // total − calibrated compute, rescaled to
+                                    // nominal bandwidth.  What "calibrated"
+                                    // means depends on the mode: TimeOnly
+                                    // rows hold raw totals at the degraded
+                                    // speed and observed bandwidth, while the
+                                    // statistical modes have already removed
+                                    // the load (and, for Multivariate, the
+                                    // bandwidth) effect from adjusted_time.
+                                    let nominal_comm = calibration
+                                        .table
+                                        .iter()
+                                        .find(|c| c.node == *n)
+                                        .map(|c| {
+                                            let base = grid
+                                                .node(*n)
+                                                .map(|sp| sp.base_speed)
+                                                .unwrap_or(1.0)
+                                                .max(1e-9);
+                                            let (compute_ref, bw_scale) = match calibration.mode {
+                                                CalibrationMode::TimeOnly => (
+                                                    1.0 / (base * (1.0 - c.cpu_load).max(0.02)),
+                                                    c.bandwidth_availability.clamp(0.02, 1.0),
+                                                ),
+                                                CalibrationMode::Univariate => (
+                                                    1.0 / base,
+                                                    c.bandwidth_availability.clamp(0.02, 1.0),
+                                                ),
+                                                CalibrationMode::Multivariate => (1.0 / base, 1.0),
+                                            };
+                                            (c.adjusted_time - compute_ref).max(0.0) * bw_scale
+                                        })
+                                        .filter(|c| c.is_finite())
+                                        .unwrap_or(0.0);
+                                    1.0 / s.max(1e-9) + nominal_comm / bw
+                                })
                                 .collect();
-                            if !retained_recent.is_empty() {
+                            if !retained_expected.is_empty() {
                                 monitor
-                                    .set_threshold(exec_cfg.threshold.compute(&retained_recent));
+                                    .set_threshold(exec_cfg.threshold.compute(&retained_expected));
                             }
                             monitor.reset(now);
                             recalibrations += 1;
@@ -478,13 +541,17 @@ impl TaskFarm {
             return;
         }
         let weight = weights.get(&node).copied().unwrap_or(1.0);
-        let chunk_size = config
-            .scheduler
-            .next_chunk(pending.len(), active.len().max(1), if weight > 0.0 { weight } else { 1.0 });
+        let chunk_size = config.scheduler.next_chunk(
+            pending.len(),
+            active.len().max(1),
+            if weight > 0.0 { weight } else { 1.0 },
+        );
         if chunk_size == 0 {
             return;
         }
-        let chunk: Vec<TaskSpec> = (0..chunk_size).filter_map(|_| pending.pop_front()).collect();
+        let chunk: Vec<TaskSpec> = (0..chunk_size)
+            .filter_map(|_| pending.pop_front())
+            .collect();
 
         let mut t = now;
         let mut completed = Vec::with_capacity(chunk.len());
@@ -504,6 +571,7 @@ impl TaskFarm {
                     completed.push(TaskOutcome {
                         task: spec.id,
                         node,
+                        work: spec.work,
                         dispatched,
                         completed: done,
                         during_calibration: false,
@@ -542,12 +610,9 @@ impl TaskFarm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::calibration::CalibrationMode;
     use crate::scheduler::SchedulePolicy;
     use crate::threshold::ThresholdPolicy;
-    use gridsim::{
-        ConstantLoad, FaultPlan, GridBuilder, LinkSpec, SpikeLoad, TopologyBuilder,
-    };
+    use gridsim::{ConstantLoad, FaultPlan, GridBuilder, LinkSpec, SpikeLoad, TopologyBuilder};
 
     fn uniform_tasks(n: usize) -> Vec<TaskSpec> {
         TaskSpec::uniform(n, 50.0, 32 * 1024, 32 * 1024)
@@ -579,7 +644,10 @@ mod tests {
     fn empty_workload_is_rejected() {
         let grid = het_grid(4);
         let farm = TaskFarm::new(GraspConfig::default());
-        assert!(matches!(farm.run(&grid, &[]), Err(GraspError::EmptyWorkload)));
+        assert!(matches!(
+            farm.run(&grid, &[]),
+            Err(GraspError::EmptyWorkload)
+        ));
     }
 
     #[test]
@@ -621,7 +689,9 @@ mod tests {
         let grid = builder.build();
         let tasks = uniform_tasks(200);
 
-        let adaptive = TaskFarm::new(GraspConfig::default()).run(&grid, &tasks).unwrap();
+        let adaptive = TaskFarm::new(GraspConfig::default())
+            .run(&grid, &tasks)
+            .unwrap();
         let static_farm = TaskFarm::new(GraspConfig::static_baseline())
             .run(&grid, &tasks)
             .unwrap();
@@ -663,6 +733,124 @@ mod tests {
             "the spike should have triggered at least one adaptation"
         );
         assert!(out.monitor_evaluations > 0);
+    }
+
+    #[test]
+    fn synthetic_slow_pool_triggers_recalibration_exactly_once() {
+        // Guard on Algorithm 2's hot path: a deterministic run in which the
+        // *whole* pool degrades (every node is hit by the same synthetic load
+        // spike injected through gridsim) must trip the threshold-Z feedback
+        // (`min T > Z`) — and only once, because the recalibration re-bases Z
+        // on the degraded times, after which the pool is "healthy" again
+        // relative to the new baseline.
+        let topo = TopologyBuilder::uniform_cluster(4, 40.0);
+        let node_ids = topo.node_ids();
+        let mut builder = GridBuilder::new(topo).quantum(0.25);
+        for &n in &node_ids {
+            // Quiet during calibration, then 90 % external load forever: every
+            // task takes 10× its calibrated time, far beyond Z = 2× best.
+            builder = builder.node_load(
+                n,
+                SpikeLoad::new(0.0, 0.9, SimTime::new(20.0), SimTime::new(1e9)),
+            );
+        }
+        let grid = builder.build();
+        let mut cfg = GraspConfig::default();
+        cfg.calibration.selection_fraction = 1.0;
+        cfg.execution.monitor_interval_s = 10.0;
+        cfg.execution.max_recalibrations = 10; // not the limiting factor
+        let tasks = TaskSpec::uniform(300, 60.0, 8 * 1024, 8 * 1024);
+        let out = TaskFarm::new(cfg).run(&grid, &tasks).unwrap();
+        assert_eq!(out.completed_tasks(), 300);
+        assert_eq!(
+            out.adaptation.recalibrations(),
+            1,
+            "uniform degradation must recalibrate exactly once: {}",
+            out.adaptation.summary()
+        );
+        // The whole pool slowed down uniformly, so no individual node may be
+        // singled out for demotion.
+        assert_eq!(
+            out.adaptation.demotions(),
+            0,
+            "{}",
+            out.adaptation.summary()
+        );
+    }
+
+    #[test]
+    fn communication_heavy_degradation_does_not_thrash_recalibration() {
+        // Tasks dominated by data movement (32 MiB each way over a
+        // ~110 MiB/s LAN vs ~25 ms of compute) on workers separate from the
+        // master, with the *link* — not the CPUs — degrading mid-run.  The
+        // legitimate first recalibration must re-base Z including the
+        // communication component at the observed bandwidth; a compute-only
+        // (or nominal-bandwidth) Z would sit far below every observed time
+        // and re-trigger at every interval until max_recalibrations.
+        let topo = TopologyBuilder::uniform_cluster(4, 40.0);
+        let site = topo.sites()[0].id;
+        let grid = GridBuilder::new(topo)
+            .quantum(0.25)
+            .link_load(
+                site,
+                site,
+                SpikeLoad::new(0.0, 0.8, SimTime::new(8.0), SimTime::new(1e9)),
+            )
+            .build();
+        for mode in [
+            CalibrationMode::TimeOnly,
+            CalibrationMode::Univariate,
+            CalibrationMode::Multivariate,
+        ] {
+            let mut cfg = GraspConfig::default();
+            cfg.calibration.mode = mode;
+            cfg.calibration.selection_fraction = 1.0;
+            cfg.execution.monitor_interval_s = 10.0;
+            cfg.execution.max_recalibrations = 10;
+            // Node 0 is the master only; nodes 1–3 are the workers, so every
+            // task pays the (degrading) transfer cost.
+            cfg.master = Some(NodeId(0));
+            let workers = [NodeId(1), NodeId(2), NodeId(3)];
+            let tasks = TaskSpec::uniform(90, 1.0, 32 << 20, 32 << 20);
+            let out = TaskFarm::new(cfg).run_on(&grid, &workers, &tasks).unwrap();
+            assert_eq!(out.completed_tasks(), 90);
+            assert_eq!(
+                out.adaptation.recalibrations(),
+                1,
+                "{mode:?}: link degradation must recalibrate once, not thrash: {}",
+                out.adaptation.summary()
+            );
+        }
+    }
+
+    #[test]
+    fn pure_transfer_workload_completes_and_still_adapts() {
+        // An all-zero-work job falls back to raw-second units consistently
+        // (calibration and monitor alike), so Algorithm 2 must still notice
+        // a mid-run link collapse rather than being silently disabled.
+        let topo = TopologyBuilder::uniform_cluster(4, 40.0);
+        let site = topo.sites()[0].id;
+        let grid = GridBuilder::new(topo)
+            .quantum(0.25)
+            .link_load(
+                site,
+                site,
+                SpikeLoad::new(0.0, 0.8, SimTime::new(3.0), SimTime::new(1e9)),
+            )
+            .build();
+        let mut cfg = GraspConfig::default();
+        cfg.calibration.selection_fraction = 1.0;
+        cfg.execution.monitor_interval_s = 5.0;
+        cfg.master = Some(NodeId(0));
+        let workers = [NodeId(1), NodeId(2), NodeId(3)];
+        let tasks = TaskSpec::uniform(300, 0.0, 8 << 20, 8 << 20);
+        let out = TaskFarm::new(cfg).run_on(&grid, &workers, &tasks).unwrap();
+        assert_eq!(out.completed_tasks(), 300);
+        assert!(
+            out.adaptation.recalibrations() >= 1,
+            "link collapse must still trigger Algorithm 2 on a pure-transfer job: {}",
+            out.adaptation.summary()
+        );
     }
 
     #[test]

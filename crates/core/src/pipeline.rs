@@ -282,9 +282,7 @@ impl Pipeline {
                 stage_free[s] = finish;
 
                 // ---------------- per-stage Algorithm 2 ----------------
-                if exec_cfg.adaptive
-                    && remaps_budget > 0
-                    && recent[s].len() >= self.monitor_window
+                if exec_cfg.adaptive && remaps_budget > 0 && recent[s].len() >= self.monitor_window
                 {
                     let recent_mean =
                         mean(&recent[s].iter().copied().collect::<Vec<_>>()).unwrap_or(0.0);
@@ -385,7 +383,10 @@ impl Pipeline {
             .zip(assignment)
             .map(|(s, &(_, node))| {
                 let speed = grid.effective_speed(node, now).max(1e-9);
-                config.execution.threshold.compute(&[s.work_per_item / speed])
+                config
+                    .execution
+                    .threshold
+                    .compute(&[s.work_per_item / speed])
             })
             .collect()
     }
@@ -495,10 +496,7 @@ mod tests {
         assert_eq!(out.items, 50);
         assert_eq!(out.item_completions.len(), 50);
         // Completions are monotonically non-decreasing (stream order holds).
-        assert!(out
-            .item_completions
-            .windows(2)
-            .all(|w| w[0] <= w[1]));
+        assert!(out.item_completions.windows(2).all(|w| w[0] <= w[1]));
         assert!(out.throughput > 0.0);
         assert!(out.steady_state_throughput() > 0.0);
         assert_eq!(out.per_stage_service.len(), 4);
@@ -509,7 +507,10 @@ mod tests {
     fn rejects_degenerate_inputs() {
         let grid = quiet_grid(4);
         let p = Pipeline::new(GraspConfig::default());
-        assert!(matches!(p.run(&grid, &[], 10), Err(GraspError::EmptyPipeline)));
+        assert!(matches!(
+            p.run(&grid, &[], 10),
+            Err(GraspError::EmptyPipeline)
+        ));
         assert!(matches!(
             p.run(&grid, &stages4(), 0),
             Err(GraspError::EmptyWorkload)
@@ -538,7 +539,12 @@ mod tests {
             .find(|(id, _)| *id == 1)
             .unwrap()
             .1;
-        assert_eq!(heaviest, NodeId(3), "assignment: {:?}", out.stage_assignment);
+        assert_eq!(
+            heaviest,
+            NodeId(3),
+            "assignment: {:?}",
+            out.stage_assignment
+        );
     }
 
     #[test]
@@ -550,10 +556,7 @@ mod tests {
             .unwrap();
         // Bottleneck service time = 20 work / 40 speed = 0.5 s/item → ~2 items/s.
         let tput = out.steady_state_throughput();
-        assert!(
-            (tput - 2.0).abs() < 0.5,
-            "expected ~2 items/s, got {tput}"
-        );
+        assert!((tput - 2.0).abs() < 0.5, "expected ~2 items/s, got {tput}");
     }
 
     #[test]
@@ -587,7 +590,10 @@ mod tests {
         let rigid = Pipeline::new(rigid_cfg)
             .run(&make_grid(), &stages, 200)
             .unwrap();
-        assert!(adaptive.adaptation.stage_remaps() > 0, "expected at least one remap");
+        assert!(
+            adaptive.adaptation.stage_remaps() > 0,
+            "expected at least one remap"
+        );
         assert!(
             adaptive.makespan.as_secs() < rigid.makespan.as_secs() * 0.6,
             "adaptive {}s vs rigid {}s",
@@ -612,10 +618,7 @@ mod tests {
             .unwrap();
         assert_eq!(out.items, 120);
         // The final assignment must avoid the revoked nodes.
-        assert!(out
-            .stage_assignment
-            .iter()
-            .all(|(_, n)| n.index() >= 2));
+        assert!(out.stage_assignment.iter().all(|(_, n)| n.index() >= 2));
     }
 
     #[test]

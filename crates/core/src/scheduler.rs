@@ -68,9 +68,7 @@ impl SchedulePolicy {
             SchedulePolicy::StaticBlock => remaining.div_ceil(workers),
             SchedulePolicy::SelfScheduling => 1,
             SchedulePolicy::FixedChunk { chunk } => chunk.max(1),
-            SchedulePolicy::Guided { min_chunk } => {
-                (remaining / workers).max(min_chunk.max(1))
-            }
+            SchedulePolicy::Guided { min_chunk } => (remaining / workers).max(min_chunk.max(1)),
             SchedulePolicy::Factoring { factor } => {
                 let f = factor.clamp(0.05, 1.0);
                 (((remaining as f64) * f / workers as f64).ceil() as usize).max(1)
@@ -197,8 +195,14 @@ mod tests {
 
     #[test]
     fn degenerate_parameters_are_clamped() {
-        assert_eq!(SchedulePolicy::FixedChunk { chunk: 0 }.next_chunk(10, 2, 1.0), 1);
-        assert_eq!(SchedulePolicy::Guided { min_chunk: 0 }.next_chunk(1, 8, 1.0), 1);
+        assert_eq!(
+            SchedulePolicy::FixedChunk { chunk: 0 }.next_chunk(10, 2, 1.0),
+            1
+        );
+        assert_eq!(
+            SchedulePolicy::Guided { min_chunk: 0 }.next_chunk(1, 8, 1.0),
+            1
+        );
         assert!(SchedulePolicy::Factoring { factor: 0.0 }.next_chunk(100, 4, 1.0) >= 1);
         assert!(SchedulePolicy::AdaptiveWeighted { min_chunk: 0 }.next_chunk(10, 100, 0.0) >= 1);
     }

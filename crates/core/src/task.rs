@@ -43,11 +43,21 @@ impl TaskSpec {
 
     /// `n` tasks whose work follows a linear ramp from `min_work` to
     /// `max_work` — a simple irregular workload.
-    pub fn ramp(n: usize, min_work: f64, max_work: f64, input_bytes: u64, output_bytes: u64) -> Vec<TaskSpec> {
+    pub fn ramp(
+        n: usize,
+        min_work: f64,
+        max_work: f64,
+        input_bytes: u64,
+        output_bytes: u64,
+    ) -> Vec<TaskSpec> {
         let n = n.max(1);
         (0..n)
             .map(|id| {
-                let frac = if n == 1 { 0.0 } else { id as f64 / (n - 1) as f64 };
+                let frac = if n == 1 {
+                    0.0
+                } else {
+                    id as f64 / (n - 1) as f64
+                };
                 TaskSpec::new(
                     id,
                     min_work + (max_work - min_work) * frac,
@@ -61,6 +71,26 @@ impl TaskSpec {
     /// Total bytes moved for this task (input + output).
     pub fn total_bytes(&self) -> u64 {
         self.input_bytes + self.output_bytes
+    }
+
+    /// Convert an observed duration for this task into seconds per work
+    /// unit; see [`normalize_time`].
+    pub fn normalize_time(&self, seconds: f64) -> f64 {
+        normalize_time(self.work, seconds)
+    }
+}
+
+/// Convert an observed duration into seconds per work unit.  Zero-work tasks
+/// are pure communication: their duration carries no per-work-unit meaning,
+/// so it is reported unnormalised rather than divided by an epsilon (which
+/// would inflate it by ~10⁹ and poison the monitor and calibration ranking).
+/// Callers comparing against a per-work-unit threshold should skip zero-work
+/// observations entirely (the farm's monitor does).
+pub fn normalize_time(work: f64, seconds: f64) -> f64 {
+    if work > 0.0 {
+        seconds / work
+    } else {
+        seconds
     }
 }
 
@@ -76,6 +106,10 @@ pub struct TaskOutcome {
     pub task: usize,
     /// Node it ran on.
     pub node: NodeId,
+    /// Computational weight of the task (copied from its [`TaskSpec`]), so
+    /// observed times can be normalised per work unit when tasks are
+    /// irregular.
+    pub work: f64,
     /// Dispatch time (input transfer begins).
     pub dispatched: SimTime,
     /// Completion time (output transfer finished at the master).
@@ -91,6 +125,15 @@ impl TaskOutcome {
     pub fn duration(&self) -> SimTime {
         self.completed - self.dispatched
     }
+
+    /// Duration per work unit — the size-independent performance signal fed
+    /// to calibration ranking and the execution monitor.  Irregular tasks
+    /// would otherwise make a fast node that drew a heavy task look slow.
+    /// Zero-work (pure-communication) tasks report their raw duration; see
+    /// [`normalize_time`].
+    pub fn normalized_time(&self) -> f64 {
+        normalize_time(self.work, self.duration().as_secs())
+    }
 }
 
 #[cfg(test)]
@@ -102,7 +145,9 @@ mod tests {
         let tasks = TaskSpec::uniform(5, 10.0, 100, 200);
         assert_eq!(tasks.len(), 5);
         assert!(tasks.iter().enumerate().all(|(i, t)| t.id == i));
-        assert!(tasks.iter().all(|t| t.work == 10.0 && t.total_bytes() == 300));
+        assert!(tasks
+            .iter()
+            .all(|t| t.work == 10.0 && t.total_bytes() == 300));
         assert_eq!(total_work(&tasks), 50.0);
     }
 
@@ -128,10 +173,28 @@ mod tests {
         let o = TaskOutcome {
             task: 1,
             node: NodeId(2),
+            work: 9.0,
             dispatched: SimTime::new(3.0),
             completed: SimTime::new(7.5),
             during_calibration: false,
         };
         assert!((o.duration().as_secs() - 4.5).abs() < 1e-12);
+        assert!((o.normalized_time() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_work_tasks_report_raw_duration() {
+        let o = TaskOutcome {
+            task: 0,
+            node: NodeId(0),
+            work: 0.0,
+            dispatched: SimTime::new(1.0),
+            completed: SimTime::new(1.25),
+            during_calibration: false,
+        };
+        // Pure-communication task: no epsilon-division blow-up.
+        assert!((o.normalized_time() - 0.25).abs() < 1e-12);
+        let spec = TaskSpec::new(0, 0.0, 1024, 0);
+        assert!((spec.normalize_time(0.25) - 0.25).abs() < 1e-12);
     }
 }

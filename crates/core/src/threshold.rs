@@ -13,25 +13,26 @@ use serde::{Deserialize, Serialize};
 /// How the performance threshold *Z* is computed.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ThresholdPolicy {
-    /// `Z = factor × (best calibrated per-task time)`.  The paper's basic
-    /// scheme: tolerate slowdowns up to a fixed multiple of what the fittest
-    /// node achieved at calibration time.
+    /// `Z = factor × (best calibrated per-work-unit time)`.  The paper's
+    /// basic scheme: tolerate slowdowns up to a fixed multiple of what the
+    /// fittest node achieved at calibration time.
     Factor {
         /// Tolerated slowdown factor (≥ 1).
         factor: f64,
     },
-    /// `Z = factor × (p-th percentile of the calibrated per-task times)` —
-    /// more robust when the calibration sample itself was noisy.
+    /// `Z = factor × (p-th percentile of the calibrated per-work-unit
+    /// times)` — more robust when the calibration sample itself was noisy.
     Percentile {
         /// Percentile of the calibration distribution in `[0, 100]`.
         percentile: f64,
         /// Tolerated slowdown factor (≥ 1).
         factor: f64,
     },
-    /// An absolute per-task time budget in virtual seconds, independent of
+    /// An absolute time budget in virtual seconds **per work unit** (the
+    /// farm reports work-normalised times to the monitor), independent of
     /// calibration (useful for deadline-style runs and for tests).
     Absolute {
-        /// The budget in seconds.
+        /// The budget in seconds per work unit.
         seconds: f64,
     },
 }
@@ -44,8 +45,8 @@ impl Default for ThresholdPolicy {
 }
 
 impl ThresholdPolicy {
-    /// Compute the threshold from the calibration's per-task reference times
-    /// (one entry per chosen node, already outlier-filtered).  Falls back to
+    /// Compute the threshold from the calibration's per-work-unit reference
+    /// times (one entry per chosen node, already outlier-filtered).  Falls back to
     /// `f64::INFINITY` (never adapt) when the sample is empty, except for the
     /// absolute policy which needs no sample.
     pub fn compute(&self, calibrated_times: &[f64]) -> f64 {
@@ -107,7 +108,10 @@ mod tests {
     fn absolute_policy_ignores_the_sample() {
         let z = ThresholdPolicy::Absolute { seconds: 7.5 }.compute(&[]);
         assert_eq!(z, 7.5);
-        assert_eq!(ThresholdPolicy::Absolute { seconds: -1.0 }.compute(&[]), 0.0);
+        assert_eq!(
+            ThresholdPolicy::Absolute { seconds: -1.0 }.compute(&[]),
+            0.0
+        );
     }
 
     #[test]
@@ -126,7 +130,9 @@ mod tests {
     #[test]
     fn describe_names_the_policy() {
         assert!(ThresholdPolicy::default().describe().contains("factor"));
-        assert!(ThresholdPolicy::Absolute { seconds: 1.0 }.describe().contains("absolute"));
+        assert!(ThresholdPolicy::Absolute { seconds: 1.0 }
+            .describe()
+            .contains("absolute"));
         assert!(ThresholdPolicy::Percentile {
             percentile: 75.0,
             factor: 2.0

@@ -61,7 +61,11 @@ pub struct ThreadFarm {
 
 impl Default for ThreadFarm {
     fn default() -> Self {
-        ThreadFarm::new(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2))
+        ThreadFarm::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2),
+        )
     }
 }
 
@@ -129,7 +133,8 @@ impl ThreadFarm {
             total: usize,
         }
         let shared = Mutex::new(Shared { next: 0, total: n });
-        let per_worker_counts: Vec<Mutex<usize>> = (0..self.workers).map(|_| Mutex::new(0)).collect();
+        let per_worker_counts: Vec<Mutex<usize>> =
+            (0..self.workers).map(|_| Mutex::new(0)).collect();
         let per_worker_times: Vec<Mutex<Vec<f64>>> =
             (0..self.workers).map(|_| Mutex::new(Vec::new())).collect();
         let calibration_done = Mutex::new(Duration::ZERO);

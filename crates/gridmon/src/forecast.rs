@@ -496,11 +496,7 @@ mod tests {
         }
         let errs = f.candidate_errors();
         let running_mean_err = errs.iter().find(|(n, _)| *n == "running-mean").unwrap().1;
-        let best_err = errs
-            .iter()
-            .find(|(n, _)| *n == f.best_name())
-            .unwrap()
-            .1;
+        let best_err = errs.iter().find(|(n, _)| *n == f.best_name()).unwrap().1;
         assert!(best_err < running_mean_err);
         assert!(f.predict().is_some());
     }

@@ -74,7 +74,12 @@ impl MonitorRegistry {
 
     /// Sample every given node from the grid at time `t`, updating series and
     /// forecasters, and return the fresh observations.
-    pub fn observe_all(&mut self, grid: &Grid, nodes: &[NodeId], t: SimTime) -> Vec<NodeObservation> {
+    pub fn observe_all(
+        &mut self,
+        grid: &Grid,
+        nodes: &[NodeId],
+        t: SimTime,
+    ) -> Vec<NodeObservation> {
         nodes.iter().map(|&n| self.observe(grid, n, t)).collect()
     }
 

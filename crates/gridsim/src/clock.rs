@@ -152,7 +152,7 @@ impl VirtualClock {
 
     /// Advance the clock *by* a duration.
     pub fn advance_by(&mut self, dt: SimTime) {
-        self.now = self.now + SimTime::new(dt.as_secs());
+        self.now += SimTime::new(dt.as_secs());
     }
 }
 

@@ -46,7 +46,7 @@ impl FaultPlan {
 
     /// Build a plan from explicit events (sorted internally by time).
     pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
-        events.sort_by(|a, b| a.time.cmp(&b.time));
+        events.sort_by_key(|e| e.time);
         FaultPlan { events }
     }
 
@@ -64,7 +64,7 @@ impl FaultPlan {
                 kind: FaultKind::Recover,
             });
         }
-        self.events.sort_by(|a, b| a.time.cmp(&b.time));
+        self.events.sort_by_key(|e| e.time);
         self
     }
 
@@ -186,7 +186,9 @@ mod tests {
         assert_eq!(next.kind, FaultKind::Revoke);
         let next = plan.next_transition(NodeId(1), SimTime::new(15.0)).unwrap();
         assert_eq!(next.kind, FaultKind::Recover);
-        assert!(plan.next_transition(NodeId(1), SimTime::new(40.0)).is_none());
+        assert!(plan
+            .next_transition(NodeId(1), SimTime::new(40.0))
+            .is_none());
         assert!(plan.next_transition(NodeId(9), SimTime::new(0.0)).is_none());
     }
 

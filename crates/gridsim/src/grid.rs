@@ -147,7 +147,7 @@ impl Grid {
             let needed = remaining / speed;
             let dt = needed.min(self.quantum_s);
             remaining -= speed * dt;
-            t = t + SimTime::new(dt);
+            t += SimTime::new(dt);
             if remaining <= 1e-12 {
                 return Some(t);
             }
@@ -175,7 +175,13 @@ impl Grid {
 
     /// Estimate a transfer of `bytes` from `a` to `b` starting at `t`.
     /// Transfers to the same node are free.  Returns `None` for unknown nodes.
-    pub fn transfer(&self, a: NodeId, b: NodeId, bytes: u64, t: SimTime) -> Option<TransferEstimate> {
+    pub fn transfer(
+        &self,
+        a: NodeId,
+        b: NodeId,
+        bytes: u64,
+        t: SimTime,
+    ) -> Option<TransferEstimate> {
         if a == b {
             return Some(TransferEstimate {
                 duration: SimTime::ZERO,
@@ -349,7 +355,11 @@ mod tests {
         // 100 work units: 5 s at full speed does 50 units, then 10 s at 10 %
         // speed does 10 units, then the remaining 40 at full speed = 4 s.
         let done = grid.execute(NodeId(0), 100.0, t(0.0)).unwrap();
-        assert!((done.as_secs() - 19.0).abs() < 0.2, "got {}", done.as_secs());
+        assert!(
+            (done.as_secs() - 19.0).abs() < 0.2,
+            "got {}",
+            done.as_secs()
+        );
     }
 
     #[test]
@@ -381,15 +391,21 @@ mod tests {
         let faults = FaultPlan::none().with_outage(NodeId(0), t(0.0), t(0.0));
         // with_outage with end == start emits only the revoke event.
         let grid = GridBuilder::new(topo).faults(faults).build();
-        assert!(grid.execute_within(NodeId(0), 10.0, t(0.0), 100.0).is_none());
+        assert!(grid
+            .execute_within(NodeId(0), 10.0, t(0.0), 100.0)
+            .is_none());
     }
 
     #[test]
     fn intra_site_transfer_is_faster_than_inter_site() {
         let topo = TopologyBuilder::multi_site(&[(2, 10.0), (2, 10.0)]);
         let grid = Grid::dedicated(topo);
-        let local = grid.transfer(NodeId(0), NodeId(1), 10 * 1024 * 1024, t(0.0)).unwrap();
-        let remote = grid.transfer(NodeId(0), NodeId(2), 10 * 1024 * 1024, t(0.0)).unwrap();
+        let local = grid
+            .transfer(NodeId(0), NodeId(1), 10 * 1024 * 1024, t(0.0))
+            .unwrap();
+        let remote = grid
+            .transfer(NodeId(0), NodeId(2), 10 * 1024 * 1024, t(0.0))
+            .unwrap();
         assert!(local.duration < remote.duration);
         assert!(local.effective_bandwidth_mib_s > remote.effective_bandwidth_mib_s);
     }
@@ -397,7 +413,9 @@ mod tests {
     #[test]
     fn self_transfer_is_free() {
         let grid = Grid::dedicated(TopologyBuilder::uniform_cluster(2, 10.0));
-        let est = grid.transfer(NodeId(0), NodeId(0), 1 << 30, t(0.0)).unwrap();
+        let est = grid
+            .transfer(NodeId(0), NodeId(0), 1 << 30, t(0.0))
+            .unwrap();
         assert_eq!(est.duration, SimTime::ZERO);
     }
 

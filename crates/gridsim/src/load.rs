@@ -325,7 +325,11 @@ impl LoadModel for RandomWalkLoad {
         clamp_load(self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac)
     }
     fn describe(&self) -> String {
-        format!("random-walk({} samples, step {:.1}s)", self.samples.len(), self.step_s)
+        format!(
+            "random-walk({} samples, step {:.1}s)",
+            self.samples.len(),
+            self.step_s
+        )
     }
 }
 
@@ -411,7 +415,10 @@ mod tests {
         let vals: Vec<f64> = (0..200).map(|i| m.load_at(t(i as f64))).collect();
         let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        assert!(lo < 0.2 && hi > 0.8, "oscillation should span the amplitude");
+        assert!(
+            lo < 0.2 && hi > 0.8,
+            "oscillation should span the amplitude"
+        );
         assert!(vals.iter().all(|&v| (0.0..=MAX_LOAD).contains(&v)));
         // Periodicity.
         assert!((m.load_at(t(12.0)) - m.load_at(t(112.0))).abs() < 1e-9);
@@ -443,7 +450,10 @@ mod tests {
         assert!(same);
         let differs =
             (0..100).any(|i| a.load_at(t(i as f64 * 7.0)) != c.load_at(t(i as f64 * 7.0)));
-        assert!(differs, "different seeds should give different burst patterns");
+        assert!(
+            differs,
+            "different seeds should give different burst patterns"
+        );
     }
 
     #[test]
@@ -462,7 +472,10 @@ mod tests {
         let samples: Vec<f64> = (0..5000).map(|i| m.load_at(t(i as f64))).collect();
         assert!(samples.iter().all(|&v| (0.0..=MAX_LOAD).contains(&v)));
         let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
-        assert!((mean - 0.4).abs() < 0.15, "long-run mean should be near 0.4, got {mean}");
+        assert!(
+            (mean - 0.4).abs() < 0.15,
+            "long-run mean should be near 0.4, got {mean}"
+        );
     }
 
     #[test]
@@ -490,10 +503,18 @@ mod tests {
     #[test]
     fn describe_strings_are_informative() {
         assert!(ConstantLoad::new(0.2).describe().contains("constant"));
-        assert!(PeriodicLoad::new(0.5, 0.1, 60.0, 0.0).describe().contains("periodic"));
-        assert!(SpikeLoad::new(0.0, 0.9, t(1.0), t(2.0)).describe().contains("spike"));
-        assert!(BurstyLoad::new(0.0, 0.5, 10.0, 5.0, 100.0, 1).describe().contains("bursty"));
-        assert!(RandomWalkLoad::new(0.3, 0.1, 1.0, 10.0, 1).describe().contains("random-walk"));
+        assert!(PeriodicLoad::new(0.5, 0.1, 60.0, 0.0)
+            .describe()
+            .contains("periodic"));
+        assert!(SpikeLoad::new(0.0, 0.9, t(1.0), t(2.0))
+            .describe()
+            .contains("spike"));
+        assert!(BurstyLoad::new(0.0, 0.5, 10.0, 5.0, 100.0, 1)
+            .describe()
+            .contains("bursty"));
+        assert!(RandomWalkLoad::new(0.3, 0.1, 1.0, 10.0, 1)
+            .describe()
+            .contains("random-walk"));
         let comp = CompositeLoad::new().with(Box::new(ConstantLoad::idle()));
         assert!(comp.describe().contains("composite"));
     }

@@ -77,18 +77,13 @@ impl NodeSpec {
 }
 
 /// Dynamic state of a node maintained by the [`crate::grid::Grid`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum NodeState {
     /// Available for work (subject to external load).
+    #[default]
     Up,
     /// Revoked / crashed; work dispatched to it is lost.
     Down,
-}
-
-impl Default for NodeState {
-    fn default() -> Self {
-        NodeState::Up
-    }
 }
 
 #[cfg(test)]

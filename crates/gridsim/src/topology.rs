@@ -205,7 +205,12 @@ impl TopologyBuilder {
 
     /// A single cluster of `n` nodes with speeds drawn uniformly from
     /// `[min_speed, max_speed]` (deterministic per seed).
-    pub fn heterogeneous_cluster(n: usize, min_speed: f64, max_speed: f64, seed: u64) -> GridTopology {
+    pub fn heterogeneous_cluster(
+        n: usize,
+        min_speed: f64,
+        max_speed: f64,
+        seed: u64,
+    ) -> GridTopology {
         let mut rng = StdRng::seed_from_u64(seed);
         let lo = min_speed.min(max_speed).max(1e-6);
         let hi = min_speed.max(max_speed).max(lo + 1e-9);
@@ -335,7 +340,10 @@ mod tests {
         let topo = TopologyBuilder::heterogeneous_cluster(32, 10.0, 80.0, 5);
         assert_eq!(topo.node_count(), 32);
         assert!(topo.heterogeneity() > 2.0);
-        assert!(topo.nodes().iter().all(|n| n.base_speed >= 10.0 && n.base_speed <= 80.0));
+        assert!(topo
+            .nodes()
+            .iter()
+            .all(|n| n.base_speed >= 10.0 && n.base_speed <= 80.0));
         // Deterministic per seed.
         let again = TopologyBuilder::heterogeneous_cluster(32, 10.0, 80.0, 5);
         assert_eq!(topo, again);

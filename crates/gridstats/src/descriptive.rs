@@ -92,22 +92,28 @@ pub fn median(xs: &[f64]) -> Option<f64> {
 
 /// Minimum value, `None` when empty. NaNs are ignored.
 pub fn min(xs: &[f64]) -> Option<f64> {
-    xs.iter().copied().filter(|x| !x.is_nan()).fold(None, |acc, x| {
-        Some(match acc {
-            None => x,
-            Some(a) => a.min(x),
+    xs.iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(None, |acc, x| {
+            Some(match acc {
+                None => x,
+                Some(a) => a.min(x),
+            })
         })
-    })
 }
 
 /// Maximum value, `None` when empty. NaNs are ignored.
 pub fn max(xs: &[f64]) -> Option<f64> {
-    xs.iter().copied().filter(|x| !x.is_nan()).fold(None, |acc, x| {
-        Some(match acc {
-            None => x,
-            Some(a) => a.max(x),
+    xs.iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(None, |acc, x| {
+            Some(match acc {
+                None => x,
+                Some(a) => a.max(x),
+            })
         })
-    })
 }
 
 /// Linear-interpolated percentile, `p` in `[0, 100]`.

@@ -24,7 +24,9 @@ impl Histogram {
     /// Create a histogram with `bins ≥ 1` equal-width bins spanning `[lo, hi)`.
     /// Returns `None` for an invalid range or zero bins.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Option<Self> {
-        if bins == 0 || !(hi > lo) || !lo.is_finite() || !hi.is_finite() {
+        // NaN bounds fail the finiteness checks, so `hi <= lo` (false for
+        // NaN) is equivalent to the NaN-aware `!(hi > lo)` here.
+        if bins == 0 || hi <= lo || !lo.is_finite() || !hi.is_finite() {
             return None;
         }
         Some(Histogram {

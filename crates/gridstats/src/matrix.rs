@@ -60,7 +60,11 @@ impl Matrix {
         for row in rows {
             data.extend_from_slice(row);
         }
-        Some(Matrix { rows: r, cols: c, data })
+        Some(Matrix {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Build a column vector (n×1 matrix).
@@ -270,7 +274,10 @@ mod tests {
     fn matmul_shape_mismatch_is_error() {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
-        assert!(matches!(a.matmul(&b), Err(StatsError::ShapeMismatch { .. })));
+        assert!(matches!(
+            a.matmul(&b),
+            Err(StatsError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

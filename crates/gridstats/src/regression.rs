@@ -43,7 +43,10 @@ impl fmt::Display for StatsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StatsError::InsufficientData { needed, got } => {
-                write!(f, "insufficient data: need {needed} observations, got {got}")
+                write!(
+                    f,
+                    "insufficient data: need {needed} observations, got {got}"
+                )
             }
             StatsError::ShapeMismatch { expected, found } => {
                 write!(f, "shape mismatch: expected {expected}, found {found}")
@@ -166,7 +169,10 @@ impl MultivariateFit {
 ///
 /// `rows` holds one predictor vector per observation (all the same length
 /// `k ≥ 1`), `y` the responses.  Requires `n ≥ k + 1` observations.
-pub fn multivariate_regression(rows: &[Vec<f64>], y: &[f64]) -> Result<MultivariateFit, StatsError> {
+pub fn multivariate_regression(
+    rows: &[Vec<f64>],
+    y: &[f64],
+) -> Result<MultivariateFit, StatsError> {
     let n = rows.len();
     if n != y.len() {
         return Err(StatsError::ShapeMismatch {
@@ -188,7 +194,10 @@ pub fn multivariate_regression(rows: &[Vec<f64>], y: &[f64]) -> Result<Multivari
         });
     }
     if n < k + 1 {
-        return Err(StatsError::InsufficientData { needed: k + 1, got: n });
+        return Err(StatsError::InsufficientData {
+            needed: k + 1,
+            got: n,
+        });
     }
 
     // Design matrix with a leading column of ones for the intercept.
@@ -260,7 +269,10 @@ mod tests {
     fn univariate_rejects_constant_predictor() {
         let x = [2.0, 2.0, 2.0];
         let y = [1.0, 2.0, 3.0];
-        assert!(matches!(linear_regression(&x, &y), Err(StatsError::SingularMatrix)));
+        assert!(matches!(
+            linear_regression(&x, &y),
+            Err(StatsError::SingularMatrix)
+        ));
     }
 
     #[test]

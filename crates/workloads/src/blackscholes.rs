@@ -31,7 +31,13 @@ pub struct OptionParams {
 /// Standard normal CDF via the Abramowitz–Stegun rational approximation.
 pub fn norm_cdf(x: f64) -> f64 {
     // Φ(x) = 1 − φ(x)·(a₁k + a₂k² + a₃k³ + a₄k⁴ + a₅k⁵), k = 1/(1+0.2316419·|x|)
-    let a = [0.319381530, -0.356563782, 1.781477937, -1.821255978, 1.330274429];
+    let a = [
+        0.319381530,
+        -0.356563782,
+        1.781477937,
+        -1.821255978,
+        1.330274429,
+    ];
     let l = x.abs();
     let k = 1.0 / (1.0 + 0.2316419 * l);
     let mut poly = 0.0;
@@ -113,7 +119,10 @@ impl BlackScholesSweep {
 
     /// Price one batch (the real kernel).
     pub fn price_batch(&self, batch_index: usize) -> Vec<f64> {
-        self.batch(batch_index).iter().map(black_scholes_price).collect()
+        self.batch(batch_index)
+            .iter()
+            .map(black_scholes_price)
+            .collect()
     }
 
     /// Number of farm tasks (batches).
@@ -182,7 +191,10 @@ mod tests {
         };
         let lhs = black_scholes_price(&call) - black_scholes_price(&put);
         let rhs = call.spot - call.strike * (-call.rate * call.maturity).exp();
-        assert!((lhs - rhs).abs() < 1e-3, "put-call parity violated: {lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-3,
+            "put-call parity violated: {lhs} vs {rhs}"
+        );
     }
 
     #[test]

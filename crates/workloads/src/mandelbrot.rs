@@ -145,14 +145,7 @@ impl MandelbrotJob {
         let scale = iters_per_work_unit.max(1.0);
         self.tiles()
             .iter()
-            .map(|t| {
-                TaskSpec::new(
-                    t.id,
-                    self.tile_work(t) / scale,
-                    64,
-                    (t.w * t.h * 4) as u64,
-                )
-            })
+            .map(|t| TaskSpec::new(t.id, self.tile_work(t) / scale, 64, (t.w * t.h * 4) as u64))
             .collect()
     }
 }

@@ -44,8 +44,12 @@ impl MatMulJob {
     /// Generate the two input matrices (row-major) deterministically.
     pub fn generate_inputs(&self) -> (Vec<f64>, Vec<f64>) {
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let a: Vec<f64> = (0..self.n * self.n).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let b: Vec<f64> = (0..self.n * self.n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let a: Vec<f64> = (0..self.n * self.n)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let b: Vec<f64> = (0..self.n * self.n)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
         (a, b)
     }
 
@@ -148,7 +152,9 @@ mod tests {
         let job = MatMulJob::small();
         let tasks = job.as_tasks(1e6);
         assert_eq!(tasks.len(), 4);
-        assert!(tasks.windows(2).all(|w| (w[0].work - w[1].work).abs() < 1e-12));
+        assert!(tasks
+            .windows(2)
+            .all(|w| (w[0].work - w[1].work).abs() < 1e-12));
         assert!(tasks[0].work > 0.0);
     }
 

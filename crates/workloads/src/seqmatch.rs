@@ -58,8 +58,15 @@ pub fn smith_waterman_score(a: &[u8], b: &[u8]) -> i64 {
     let mut best = 0i64;
     for i in 1..=n {
         for j in 1..=m {
-            let sub = if a[i - 1] == b[j - 1] { MATCH } else { MISMATCH };
-            let score = (prev[j - 1] + sub).max(prev[j] + GAP).max(curr[j - 1] + GAP).max(0);
+            let sub = if a[i - 1] == b[j - 1] {
+                MATCH
+            } else {
+                MISMATCH
+            };
+            let score = (prev[j - 1] + sub)
+                .max(prev[j] + GAP)
+                .max(curr[j - 1] + GAP)
+                .max(0);
             curr[j] = score;
             if score > best {
                 best = score;
@@ -84,7 +91,9 @@ impl SequenceMatchJob {
     }
 
     fn random_sequence(rng: &mut StdRng, len: usize) -> Vec<u8> {
-        (0..len).map(|_| ALPHABET[rng.gen_range(0..4)]).collect()
+        (0..len)
+            .map(|_| ALPHABET[rng.gen_range(0..4usize)])
+            .collect()
     }
 
     /// Generate the query set deterministically.

@@ -44,7 +44,14 @@ fn main() {
         };
         let mut registry = MonitorRegistry::new(NodeId(0), 64);
         let report = Calibrator::new(cfg)
-            .calibrate(&grid, &mut registry, &node_ids, &tasks, NodeId(0), SimTime::ZERO)
+            .calibrate(
+                &grid,
+                &mut registry,
+                &node_ids,
+                &tasks,
+                NodeId(0),
+                SimTime::ZERO,
+            )
             .expect("calibration failed");
         println!("{}", report.to_table_string());
         println!(

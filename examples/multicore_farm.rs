@@ -14,7 +14,9 @@ use grasp_repro::grasp_workloads::mandelbrot::MandelbrotJob;
 use grasp_repro::grasp_workloads::seqmatch::SequenceMatchJob;
 
 fn main() {
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     println!("running on {workers} worker threads\n");
 
     // ---------------- Mandelbrot tiles (irregular tasks) ----------------
@@ -27,7 +29,12 @@ fn main() {
         ..MandelbrotJob::default()
     };
     let tiles = job.tiles();
-    println!("Mandelbrot: {} tiles of {}x{}", tiles.len(), job.width, job.height);
+    println!(
+        "Mandelbrot: {} tiles of {}x{}",
+        tiles.len(),
+        job.width,
+        job.height
+    );
     for policy in [
         SchedulePolicy::StaticBlock,
         SchedulePolicy::SelfScheduling,

@@ -46,7 +46,8 @@ fn main() {
         job.height
     );
 
-    let adaptive = Grasp::new(GraspConfig::default()).run_pipeline(&build_grid(), &stages, job.frames);
+    let adaptive =
+        Grasp::new(GraspConfig::default()).run_pipeline(&build_grid(), &stages, job.frames);
     let mut rigid_cfg = GraspConfig::default();
     rigid_cfg.execution.adaptive = false;
     let rigid = Grasp::new(rigid_cfg).run_pipeline(&build_grid(), &stages, job.frames);
@@ -58,7 +59,10 @@ fn main() {
         adaptive.outcome.steady_state_throughput(),
         adaptive.outcome.adaptation.stage_remaps()
     );
-    println!("final stage assignment: {:?}", adaptive.outcome.stage_assignment);
+    println!(
+        "final stage assignment: {:?}",
+        adaptive.outcome.stage_assignment
+    );
     println!("\n== rigid pipeline (baseline) ==");
     println!(
         "makespan {:.1}s, steady throughput {:.2} frames/s",

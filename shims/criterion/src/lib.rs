@@ -1,0 +1,270 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! A minimal benchmark harness exposing the subset this workspace uses:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`black_box`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — a warm-up call, then `sample_size`
+//! timed samples of an adaptively chosen iteration batch — and results are
+//! printed as `name  time: [mean ± stddev]`. There is no statistical
+//! regression machinery; swap the real crate back in for publishable
+//! numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterised benchmark: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("nodes", 64)` → `nodes/64`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id from a bare parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the measurement.
+pub struct Bencher<'a> {
+    samples: usize,
+    results: &'a mut Vec<f64>,
+}
+
+impl Bencher<'_> {
+    /// Measures `routine`, recording per-iteration seconds.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up + batch sizing: aim for batches of at least ~1 ms so that
+        // timer resolution doesn't dominate very fast routines.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let once = warm_start.elapsed();
+        let batch = if once >= Duration::from_millis(1) {
+            1
+        } else {
+            let per_iter = once.as_secs_f64().max(1e-9);
+            ((1e-3 / per_iter) as usize).clamp(1, 10_000)
+        };
+        self.results.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.results.push(t0.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{:.3} s", s)
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+fn run_and_report<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut results = Vec::new();
+    {
+        let mut bencher = Bencher {
+            samples,
+            results: &mut results,
+        };
+        f(&mut bencher);
+    }
+    if results.is_empty() {
+        println!("{:<40} (no measurement: bencher.iter was not called)", name);
+        return;
+    }
+    let n = results.len() as f64;
+    let mean = results.iter().sum::<f64>() / n;
+    let var = results.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / n;
+    println!(
+        "{:<40} time: [{} ± {}]",
+        name,
+        format_seconds(mean),
+        format_seconds(var.sqrt())
+    );
+}
+
+impl Criterion {
+    /// Default number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        run_and_report(&id.into_benchmark_id(), self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: group_name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores measurement time.
+    pub fn measurement_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_and_report(&full, self.sample_size, f);
+        self
+    }
+
+    /// Runs a parameterised benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_and_report(&full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (print-only harness: nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` forwards harness flags such as `--bench`; this
+            // minimal harness has no filtering, so flags are ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default();
+        c.sample_size(3).bench_function("smoke", |b| {
+            b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+        });
+    }
+
+    #[test]
+    fn groups_run_parameterised_benches() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        for n in [1usize, 4] {
+            group.bench_with_input(BenchmarkId::new("n", n), &n, |b, &n| {
+                b.iter(|| vec![0u8; n * 64].len())
+            });
+        }
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("nodes", 64).id, "nodes/64");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

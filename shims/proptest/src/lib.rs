@@ -1,0 +1,431 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! A small deterministic property-testing engine exposing the subset of the
+//! real API this workspace uses: the [`proptest!`] macro with
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`, range and tuple
+//! strategies, `any::<T>()`, `prop::collection::vec`, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` / `prop_assume!`
+//! macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **Deterministic**: case seeds derive from the test name and case index,
+//!   so runs are reproducible without persistence. Consequently no
+//!   `proptest-regressions/` files are ever written (see DESIGN.md for the
+//!   regression-file policy if the real crate is ever swapped back in).
+//! * **No shrinking**: a failing case reports its inputs verbatim.
+//! * **`PROPTEST_CASES`** (environment) acts as a *cap* on the per-test case
+//!   count, keeping `cargo test -q` time-bounded.
+
+pub mod test_runner;
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let draw = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + draw as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let draw = (rng.next_u64() as u128) % span;
+                    (lo as i128 + draw as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    lo + (rng.unit_f64() as $t) * (hi - lo)
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))+) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> u128 {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for "any value of `T`".
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A (possibly degenerate) range of collection sizes.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                lo: exact,
+                hi: exact + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec(...)` works after a prelude
+/// glob import, as with the real crate.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Fails the current test case with a formatted message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current test case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Fails the current test case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Rejects the current case (it is re-drawn, not counted as a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        $crate::prop_assume!($cond)
+    };
+}
+
+/// Declares property tests. See the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                $crate::test_runner::run_cases(stringify!($name), &config, |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), __rng);)+
+                    let __inputs = || {
+                        let mut s = ::std::string::String::new();
+                        $(
+                            s.push_str(&format!(
+                                "  {} = {:?}\n", stringify!($arg), &$arg
+                            ));
+                        )+
+                        s
+                    };
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    match __result {
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(
+                                format!("{}\nwith inputs:\n{}", msg, __inputs()),
+                            ),
+                        ),
+                        other => other,
+                    }
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples_generate_in_bounds(
+            x in 1usize..10,
+            pair in (0.0f64..1.0, 2.0f64..3.0),
+            flag in any::<bool>(),
+        ) {
+            let (lo, hi) = pair;
+            let in_unit = (0.0..1.0).contains(&lo);
+            let in_upper = (2.0..3.0).contains(&hi);
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(in_unit);
+            prop_assert!(in_upper);
+            prop_assert!(usize::from(flag) <= 1);
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(v in prop::collection::vec(0i32..5, 2..8)) {
+            prop_assert!(v.len() >= 2 && v.len() < 8);
+            prop_assert!(v.iter().all(|&e| (0..5).contains(&e)));
+        }
+
+        #[test]
+        fn exact_size_vec(v in prop::collection::vec(0.0f64..1.0, 9)) {
+            prop_assert_eq!(v.len(), 9);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0usize..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "with inputs")]
+    fn failing_property_reports_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn always_fails(x in 0usize..10) {
+                prop_assert!(x > 100, "x was small: {}", x);
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = 0.0f64..1.0;
+        let a: Vec<f64> = {
+            let mut rng = TestRng::from_name_and_case("det", 3);
+            (0..16).map(|_| strat.generate(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = TestRng::from_name_and_case("det", 3);
+            (0..16).map(|_| strat.generate(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,154 @@
+//! Case execution: config, RNG, and the loop driving each property.
+
+/// Per-test configuration (subset of the real `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+    /// Maximum ratio of rejected (`prop_assume!`) to accepted cases before
+    /// the test aborts as under-constrained.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property was falsified.
+    Fail(String),
+    /// `prop_assume!` rejected the drawn inputs; the case is re-drawn.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+/// Deterministic per-case RNG (xoshiro256++ seeded by FNV-1a of the test
+/// name mixed with the case index).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// RNG for case `case` of the test called `name`.
+    pub fn from_name_and_case(name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h ^= case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        // Expand through SplitMix64 into the xoshiro state.
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = h;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *word = z ^ (z >> 31);
+        }
+        if s.iter().all(|&w| w == 0) {
+            s[0] = 1;
+        }
+        TestRng { s }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Effective case count: the config's `cases`, capped by the
+/// `PROPTEST_CASES` environment variable when it is set and smaller.
+///
+/// The cap (rather than override) semantics keep `cargo test -q` bounded in
+/// CI without letting the environment silently *increase* a test's budget.
+pub fn effective_cases(config: &ProptestConfig) -> u32 {
+    match std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.trim().parse::<u32>().ok())
+    {
+        Some(cap) => config.cases.min(cap.max(1)),
+        None => config.cases,
+    }
+}
+
+/// Drives one property: draws inputs, runs the case closure, panics with a
+/// report on the first falsified case. No shrinking — seeds are
+/// deterministic, so the report alone reproduces the failure.
+pub fn run_cases<F>(name: &str, config: &ProptestConfig, case: F)
+where
+    F: Fn(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let cases = effective_cases(config);
+    let mut rejects: u32 = 0;
+    let mut passed: u32 = 0;
+    // Reject re-draws take fresh seeds after the nominal case range.
+    let mut draw: u64 = 0;
+    while passed < cases {
+        let mut rng = TestRng::from_name_and_case(name, draw);
+        draw += 1;
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    panic!(
+                        "proptest '{}': too many prop_assume! rejections ({}) — \
+                         the property is under-constrained",
+                        name, rejects
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest '{}' falsified at case {} (seed draw {}):\n{}",
+                    name,
+                    passed,
+                    draw - 1,
+                    msg
+                );
+            }
+        }
+    }
+}

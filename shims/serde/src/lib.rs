@@ -1,0 +1,31 @@
+//! Offline shim for the `serde` crate.
+//!
+//! This workspace only ever *derives* `Serialize`/`Deserialize` — it never
+//! calls a serializer — so the traits here are markers with blanket impls
+//! and the derives (re-exported from the `serde_derive` shim) expand to
+//! nothing. Any `T: Serialize` bound is satisfied for every type, keeping
+//! the source identical to what it would be against the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; satisfied by every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub mod de {
+    //! Deserialization-side marker re-exports.
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    //! Serialization-side marker re-exports.
+    pub use crate::Serialize;
+}

@@ -1,0 +1,22 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public data types
+//! as documentation of intent, but never actually serialises anything (no
+//! `serde_json`, no `Serializer` calls). The companion `serde` shim gives the
+//! traits blanket impls, so these derives can expand to nothing: the derive
+//! only needs to *exist* (and accept `#[serde(...)]` helper attributes) for
+//! the code to compile unchanged against the real crates later.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,11 +1,15 @@
 //! Cross-crate integration: the real-thread backend executing the real
 //! workload kernels.
 
+use grasp_repro::grasp_core::prelude::*;
 use grasp_repro::grasp_core::SchedulePolicy;
 use grasp_repro::grasp_exec::{ThreadFarm, ThreadPipeline};
 use grasp_repro::grasp_workloads::imaging::ImagePipeline;
 use grasp_repro::grasp_workloads::mandelbrot::MandelbrotJob;
+use grasp_repro::grasp_workloads::matmul::MatMulJob;
 use grasp_repro::grasp_workloads::seqmatch::SequenceMatchJob;
+use grasp_repro::gridsim::{Grid, TopologyBuilder};
+use std::collections::BTreeSet;
 
 #[test]
 fn thread_farm_renders_mandelbrot_tiles_identically_to_sequential() {
@@ -14,7 +18,10 @@ fn thread_farm_renders_mandelbrot_tiles_identically_to_sequential() {
     let sequential: Vec<Vec<u32>> = tiles.iter().map(|t| job.render_tile(t)).collect();
     let farm = ThreadFarm::new(4).with_policy(SchedulePolicy::SelfScheduling);
     let (parallel, stats) = farm.run(&tiles, |t| job.render_tile(t));
-    assert_eq!(parallel, sequential, "parallel result must equal sequential");
+    assert_eq!(
+        parallel, sequential,
+        "parallel result must equal sequential"
+    );
     assert_eq!(stats.tasks_per_worker.iter().sum::<usize>(), tiles.len());
 }
 
@@ -23,7 +30,10 @@ fn thread_farm_scores_sequences_identically_across_policies() {
     let job = SequenceMatchJob::small();
     let queries = job.generate_queries();
     let subjects = job.generate_subjects();
-    let reference: Vec<Vec<i64>> = queries.iter().map(|q| job.score_query(q, &subjects)).collect();
+    let reference: Vec<Vec<i64>> = queries
+        .iter()
+        .map(|q| job.score_query(q, &subjects))
+        .collect();
     for policy in [
         SchedulePolicy::StaticBlock,
         SchedulePolicy::Guided { min_chunk: 1 },
@@ -33,6 +43,55 @@ fn thread_farm_scores_sequences_identically_across_policies() {
         let (scores, _) = farm.run(&queries, |q| job.score_query(q, &subjects));
         assert_eq!(scores, reference, "{policy:?}");
     }
+}
+
+#[test]
+fn thread_and_simulation_backends_agree_on_a_fixed_seed_matmul_farm() {
+    // Backend parity: the same fixed-seed matmul job is farmed out through
+    // both backends.  The thread backend must produce the numerically exact
+    // sequential product, and the simulated backend must account for exactly
+    // the same task set — same ids, each exactly once — so that experiments
+    // can switch backends without changing what "the job" means.
+    let job = MatMulJob {
+        n: 96,
+        block_rows: 16,
+        seed: 11,
+    };
+    let (a, b) = job.generate_inputs();
+    let bands: Vec<usize> = (0..job.task_count()).collect();
+    let sequential: Vec<Vec<f64>> = bands
+        .iter()
+        .map(|&i| job.multiply_band(&a, &b, i * job.block_rows, job.block_rows))
+        .collect();
+
+    // Real-thread backend: numeric results in task order.
+    let farm = ThreadFarm::new(4).with_policy(SchedulePolicy::AdaptiveWeighted { min_chunk: 1 });
+    let (threaded, stats) = farm.run(&bands, |&i| {
+        job.multiply_band(&a, &b, i * job.block_rows, job.block_rows)
+    });
+    assert_eq!(threaded, sequential, "thread backend must be bit-identical");
+    assert_eq!(stats.tasks_per_worker.iter().sum::<usize>(), bands.len());
+
+    // Simulated backend: the same job as abstract tasks on a heterogeneous
+    // grid.  Same task-id set, every id exactly once, nothing lost.
+    let tasks = job.as_tasks(1e6);
+    assert_eq!(tasks.len(), bands.len());
+    let grid = Grid::dedicated(TopologyBuilder::heterogeneous_cluster(4, 20.0, 80.0, 11));
+    let out = TaskFarm::new(GraspConfig::default())
+        .run(&grid, &tasks)
+        .unwrap();
+    assert_eq!(out.completed_tasks(), bands.len());
+    let sim_ids: BTreeSet<usize> = out.task_outcomes.iter().map(|o| o.task).collect();
+    let expected_ids: BTreeSet<usize> = bands.iter().copied().collect();
+    assert_eq!(
+        sim_ids, expected_ids,
+        "both backends cover the same task set"
+    );
+    assert_eq!(
+        out.task_outcomes.len(),
+        sim_ids.len(),
+        "no task may be executed twice"
+    );
 }
 
 #[test]

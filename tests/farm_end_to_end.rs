@@ -58,8 +58,16 @@ fn irregular_mandelbrot_tasks_are_balanced_toward_fast_nodes() {
         .collect();
     let fastest = gridstats_argmax(&speeds);
     let slowest = gridstats_argmin(&speeds);
-    let f = out.per_node_tasks.get(&grid.node_ids()[fastest]).copied().unwrap_or(0);
-    let s = out.per_node_tasks.get(&grid.node_ids()[slowest]).copied().unwrap_or(0);
+    let f = out
+        .per_node_tasks
+        .get(&grid.node_ids()[fastest])
+        .copied()
+        .unwrap_or(0);
+    let s = out
+        .per_node_tasks
+        .get(&grid.node_ids()[slowest])
+        .copied()
+        .unwrap_or(0);
     assert!(f >= s, "fastest node did {f}, slowest did {s}");
 }
 

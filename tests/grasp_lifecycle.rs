@@ -29,7 +29,11 @@ fn calibration_work_is_part_of_the_job_not_wasted() {
         .filter(|o| o.during_calibration)
         .collect();
     assert_eq!(calib.len(), 30, "10 nodes x 3 samples drawn from the job");
-    assert_eq!(report.outcome.completed_tasks(), 100, "none of them run twice");
+    assert_eq!(
+        report.outcome.completed_tasks(),
+        100,
+        "none of them run twice"
+    );
 }
 
 #[test]
@@ -49,7 +53,11 @@ fn threshold_factor_controls_how_often_the_farm_adapts() {
         let mut cfg = GraspConfig::default();
         cfg.execution.threshold = ThresholdPolicy::Factor { factor };
         cfg.execution.monitor_interval_s = 2.0;
-        Grasp::new(cfg).run_farm(&grid(), &tasks).outcome.adaptation.len()
+        Grasp::new(cfg)
+            .run_farm(&grid(), &tasks)
+            .outcome
+            .adaptation
+            .len()
     };
     let tight = run(1.05);
     let loose = run(8.0);
