@@ -1,12 +1,12 @@
 //! Criterion bench: whole-job cost at different calibration sample sizes — supports E5.
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use grasp_bench::{loaded_heterogeneous_grid, standard_farm_tasks, ScenarioSeed};
-use grasp_core::{Grasp, GraspConfig};
+use grasp_core::{Grasp, GraspConfig, SimBackend, Skeleton};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("calibration_overhead");
     group.sample_size(10);
-    let tasks = standard_farm_tasks(150, 60.0);
+    let skeleton = Skeleton::farm(standard_farm_tasks(150, 60.0));
     for samples in [1usize, 4, 16] {
         group.bench_with_input(
             BenchmarkId::new("samples", samples),
@@ -16,7 +16,9 @@ fn bench(c: &mut Criterion) {
                 cfg.calibration.samples_per_node = samples;
                 b.iter(|| {
                     let grid = loaded_heterogeneous_grid(16, ScenarioSeed::default());
-                    Grasp::new(cfg).try_run_farm(&grid, &tasks).unwrap()
+                    Grasp::new(cfg)
+                        .run(&SimBackend::new(&grid), &skeleton)
+                        .unwrap()
                 });
             },
         );

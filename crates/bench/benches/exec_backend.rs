@@ -36,6 +36,32 @@ fn bench(c: &mut Criterion) {
         })
     });
     group.finish();
+
+    // The unified skeleton API end to end on threads: a farm of four
+    // pipeline lanes, the composition the grid experiments also use.
+    use grasp_core::{Grasp, GraspConfig, Skeleton, StageSpec, TaskSpec};
+    use grasp_exec::ThreadBackend;
+    let mut group = c.benchmark_group("exec_skeleton");
+    group.sample_size(10);
+    let lane = Skeleton::pipeline(StageSpec::balanced(3, 8.0, 1024), 64);
+    let nested = Skeleton::farm_of(vec![
+        lane.clone(),
+        lane.clone(),
+        lane,
+        Skeleton::farm(TaskSpec::uniform(64, 8.0, 1024, 1024)),
+    ]);
+    for workers in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("farm_of_pipelines_workers", workers),
+            &workers,
+            |b, &w| {
+                let backend = ThreadBackend::new(w).with_spin_per_work_unit(200);
+                let grasp = Grasp::new(GraspConfig::default());
+                b.iter(|| grasp.run(&backend, &nested).unwrap())
+            },
+        );
+    }
+    group.finish();
 }
 criterion_group!(benches, bench);
 criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! E9 — composed skeletons (farm-of-pipelines, pipeline-of-farms) through
+//! the unified `Grasp::run` entry point.
+//!
+//! Run with `cargo run --release -p grasp-bench --bin exp_nested`.
+use grasp_bench::experiments::e9_nested_skeletons;
+use grasp_bench::format_table;
+
+fn main() {
+    println!("{}", format_table(&e9_nested_skeletons(400, 4, 3)));
+}

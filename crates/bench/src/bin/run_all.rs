@@ -24,4 +24,5 @@ fn main() {
     let (t7, s7) = e7_adaptation_response(16, 800);
     println!("{}\n{}", format_table(&t7), format_series(&s7));
     println!("{}", format_table(&e8_forecaster_accuracy(2_000)));
+    println!("{}", format_table(&e9_nested_skeletons(400, 4, 3)));
 }

@@ -275,24 +275,26 @@ pub fn e5_calibration_overhead(
     );
     for &s in samples {
         let grid = loaded_heterogeneous_grid(nodes, seed);
-        let tasks = standard_farm_tasks(tasks_n, 60.0);
+        let skeleton = Skeleton::farm(standard_farm_tasks(tasks_n, 60.0));
         let mut cfg = GraspConfig::default();
         cfg.calibration.samples_per_node = s;
         let report = Grasp::new(cfg)
-            .try_run_farm(&grid, &tasks)
+            .run(&SimBackend::new(&grid), &skeleton)
             .expect("farm run failed");
+        let calib_tasks = match &report.outcome.detail {
+            OutcomeDetail::SimFarm(farm) => farm
+                .task_outcomes
+                .iter()
+                .filter(|o| o.during_calibration)
+                .count(),
+            _ => 0,
+        };
         table.push_row(vec![
             s.to_string(),
             format!("{:.2}", report.phases.calibration.as_secs()),
             format!("{:.3}", report.phases.calibration_fraction()),
-            report
-                .outcome
-                .task_outcomes
-                .iter()
-                .filter(|o| o.during_calibration)
-                .count()
-                .to_string(),
-            format!("{:.1}", report.outcome.makespan.as_secs()),
+            calib_tasks.to_string(),
+            format!("{:.1}", report.outcome.makespan_s),
         ]);
     }
     table
@@ -375,6 +377,44 @@ pub fn e7_adaptation_response(nodes: usize, tasks_n: usize) -> (Table, Series) {
         ]);
     }
     (table, series)
+}
+
+/// E9 — composed skeletons through the unified API.
+///
+/// Runs the imaging chain in three shapes on the same spiking grid: the
+/// plain pipeline, the same chain as a **pipeline-of-farms** (heavy Sobel
+/// stage farmed across `sobel_replicas` workers) and the stream split into
+/// a **farm-of-pipelines** of `lanes` independent lanes.  Reports makespan,
+/// throughput and adaptations per shape — the compositional payoff the
+/// unified `Skeleton`/`Backend` API exists to measure.
+pub fn e9_nested_skeletons(frames: usize, lanes: usize, sobel_replicas: usize) -> Table {
+    let job = crate::scenarios::standard_imaging_job(frames);
+    let shapes: Vec<(&str, Skeleton)> = vec![
+        ("pipeline", Skeleton::pipeline(job.as_stages(2e4), frames)),
+        (
+            "pipeline-of-farms",
+            job.as_nested_skeleton(2e4, sobel_replicas),
+        ),
+        ("farm-of-pipelines", job.as_farm_of_pipelines(2e4, lanes)),
+    ];
+    let mut table = Table::new(
+        format!("E9: composed imaging skeletons ({frames} frames, spike grid)"),
+        &["shape", "kind", "makespan_s", "units_per_s", "adaptations"],
+    );
+    for (name, skeleton) in &shapes {
+        let grid = spike_grid(8, 40.0, 0.5, 30.0, 1e6);
+        let report = Grasp::new(GraspConfig::default())
+            .run(&SimBackend::new(&grid), skeleton)
+            .expect("nested experiment run failed");
+        table.push_row(vec![
+            name.to_string(),
+            report.outcome.kind.name().to_string(),
+            format!("{:.1}", report.outcome.makespan_s),
+            format!("{:.3}", report.outcome.throughput()),
+            report.outcome.adaptations.to_string(),
+        ]);
+    }
+    table
 }
 
 /// E8 — forecaster accuracy on representative load signals.
@@ -513,6 +553,21 @@ mod tests {
         let adaptive_makespan: f64 = table.rows[0][1].parse().unwrap();
         let rigid_makespan: f64 = table.rows[1][1].parse().unwrap();
         assert!(adaptive_makespan <= rigid_makespan * 1.05);
+    }
+
+    #[test]
+    fn e9_reports_every_composed_shape() {
+        let table = e9_nested_skeletons(24, 3, 3);
+        assert_eq!(table.len(), 3);
+        // Every shape completes the same stream, so the throughput column is
+        // positive everywhere; the composed kinds are reported by name.
+        assert_eq!(table.rows[1][1], "pipeline-of-farms");
+        assert_eq!(table.rows[2][1], "farm-of-pipelines");
+        for row in &table.rows {
+            let makespan: f64 = row[2].parse().unwrap();
+            let tput: f64 = row[3].parse().unwrap();
+            assert!(makespan > 0.0 && tput > 0.0, "row {row:?}");
+        }
     }
 
     #[test]

@@ -140,6 +140,17 @@ pub fn standard_farm_tasks(n: usize, work: f64) -> Vec<TaskSpec> {
     TaskSpec::uniform(n, work, 32 * 1024, 32 * 1024)
 }
 
+/// The standard VGA imaging job used by the composed-skeleton experiment
+/// (E9): `frames` synthetic 640×480 frames with the fixed evaluation seed.
+pub fn standard_imaging_job(frames: usize) -> grasp_workloads::imaging::ImagePipeline {
+    grasp_workloads::imaging::ImagePipeline {
+        width: 640,
+        height: 480,
+        frames,
+        seed: 11,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -61,6 +61,12 @@ pub struct ExecutionConfig {
     pub demote_factor: f64,
     /// Never adapt below this many active nodes.
     pub min_active_nodes: usize,
+    /// How many recent observations the monitor judges a resource by (≥ 1).
+    /// The farm keeps at most this many per-node task times per interval;
+    /// the pipeline averages this many recent per-stage service times before
+    /// declaring a stage degraded.  Shared by every skeleton so that nested
+    /// compositions monitor uniformly.
+    pub monitor_window: usize,
 }
 
 impl Default for ExecutionConfig {
@@ -72,6 +78,7 @@ impl Default for ExecutionConfig {
             adaptive: true,
             demote_factor: 3.0,
             min_active_nodes: 2,
+            monitor_window: 8,
         }
     }
 }
@@ -166,6 +173,11 @@ impl GraspConfig {
                 "min_nodes must be at least 1".to_string(),
             ));
         }
+        if self.execution.monitor_window == 0 {
+            return Err(GraspError::InvalidConfig(
+                "monitor_window must be at least 1".to_string(),
+            ));
+        }
         Ok(())
     }
 }
@@ -222,5 +234,17 @@ mod tests {
         let mut c = GraspConfig::default();
         c.calibration.min_nodes = 0;
         assert!(c.validate().is_err());
+
+        let mut c = GraspConfig::default();
+        c.execution.monitor_window = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn monitor_window_is_part_of_the_shared_surface() {
+        assert_eq!(GraspConfig::default().execution.monitor_window, 8);
+        let mut c = GraspConfig::default();
+        c.execution.monitor_window = 3;
+        assert!(c.validate().is_ok());
     }
 }

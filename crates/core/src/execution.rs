@@ -53,6 +53,9 @@ pub struct ExecutionMonitor {
     threshold: f64,
     interval_s: f64,
     demote_factor: f64,
+    /// Cap on retained recent observations per node (the shared
+    /// `monitor_window` of the execution config); 0 means unbounded.
+    window_cap: usize,
     window: BTreeMap<NodeId, Vec<f64>>,
     last_evaluation: SimTime,
     evaluations: usize,
@@ -71,10 +74,19 @@ impl ExecutionMonitor {
             threshold: threshold.max(0.0),
             interval_s: interval_s.max(1e-3),
             demote_factor: demote_factor.max(1.0),
+            window_cap: 0,
             window: BTreeMap::new(),
             last_evaluation: SimTime::ZERO,
             evaluations: 0,
         }
+    }
+
+    /// Judge each node by at most its `cap` most recent observations per
+    /// interval (0 = unbounded).  This is the shared `monitor_window` of
+    /// [`crate::config::ExecutionConfig`].
+    pub fn with_window(mut self, cap: usize) -> Self {
+        self.window_cap = cap;
+        self
     }
 
     /// The threshold currently in force.
@@ -97,7 +109,11 @@ impl ExecutionMonitor {
         if execution_time_s.is_nan() || execution_time_s < 0.0 {
             return;
         }
-        self.window.entry(node).or_default().push(execution_time_s);
+        let times = self.window.entry(node).or_default();
+        times.push(execution_time_s);
+        if self.window_cap > 0 && times.len() > self.window_cap {
+            times.remove(0);
+        }
     }
 
     /// Whether the monitoring interval has elapsed at `now`.
@@ -241,6 +257,19 @@ mod tests {
         let v = m.evaluate(t(1.0)).unwrap();
         assert!(!v.recalibrate);
         assert_eq!(v.threshold, 10.0);
+    }
+
+    #[test]
+    fn window_cap_keeps_only_recent_observations() {
+        let mut m = ExecutionMonitor::new(2.0, 1.0, 3.0).with_window(2);
+        // Two old slow samples are displaced by two recent healthy ones.
+        m.record(NodeId(0), 9.0);
+        m.record(NodeId(0), 9.0);
+        m.record(NodeId(0), 1.0);
+        m.record(NodeId(0), 1.0);
+        let v = m.evaluate(t(1.0)).unwrap();
+        assert!(!v.recalibrate, "old samples must have been evicted");
+        assert!((v.min_time - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The adaptive task farm skeleton.
 //!
-//! GRASP's first skeleton (reference [6] of the paper: "Self-adaptive
+//! GRASP's first skeleton (reference \[6\] of the paper: "Self-adaptive
 //! skeletal task farm for computational grids").  A master holds a bag of
 //! independent tasks; workers request chunks, compute them and return the
 //! results.  The GRASP instrumentation wraps the classic farm with:
@@ -182,7 +182,8 @@ impl TaskFarm {
             threshold,
             exec_cfg.monitor_interval_s,
             exec_cfg.demote_factor,
-        );
+        )
+        .with_window(exec_cfg.monitor_window);
         monitor.reset(calibration.duration);
 
         let mut active: Vec<NodeId> = calibration.chosen.clone();

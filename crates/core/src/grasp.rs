@@ -3,37 +3,42 @@
 //! [`Grasp`] packages the methodology end to end:
 //!
 //! 1. **Programming** — the user constructs the driver with a
-//!    [`GraspConfig`] and describes the job (farm tasks or pipeline stages);
+//!    [`GraspConfig`] and describes the job as a composable
+//!    [`Skeleton`] expression (farm, pipeline, or any nesting of the two);
 //!    this is the only part the application programmer writes.
-//! 2. **Compilation** — the job is bound to the parallel environment (the
-//!    grid and its candidate node pool).  Static; no feedback from the
-//!    platform yet.
-//! 3. **Calibration** — Algorithm 1 runs on the allocated nodes.
+//! 2. **Compilation** — [`Backend::compile`] binds the expression to the
+//!    parallel environment (the simulated grid, real threads, …).  Static;
+//!    no feedback from the platform yet.
+//! 3. **Calibration** — Algorithm 1 runs on the allocated resources.
 //! 4. **Execution** — Algorithm 2 runs the remaining work adaptively.
 //!
-//! The driver returns a [`GraspRunReport`] containing the phase timings, the
-//! calibration table and the skeleton-specific outcome, which is exactly the
-//! information the experiment harness needs.
+//! Phases 3 and 4 happen inside [`Backend::execute`] (calibration consumes
+//! the job's first tasks, so it cannot be separated from the job), and the
+//! driver returns a [`GraspRunReport`] containing the phase timings and the
+//! backend-neutral [`SkeletonOutcome`] — exactly the information the
+//! experiment harness needs, whatever the backend.
 
 use crate::config::GraspConfig;
 use crate::error::GraspError;
-use crate::farm::{FarmOutcome, TaskFarm};
-use crate::pipeline::{Pipeline, PipelineOutcome, StageSpec};
-use crate::properties::SkeletonProperties;
+use crate::farm::FarmOutcome;
+use crate::pipeline::{PipelineOutcome, StageSpec};
+use crate::skeleton::{Backend, OutcomeDetail, SimBackend, Skeleton, SkeletonOutcome};
 use crate::task::TaskSpec;
 use gridsim::{Grid, NodeId, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Virtual-time accounting of the four phases.
 ///
-/// Programming and compilation are static phases; they consume no *virtual*
+/// Programming and compilation are static phases; they consume no *job*
 /// time (their cost is developer/compiler time, not grid time), but they are
 /// kept in the report so the life-cycle of Figure 1 is visible to callers.
+/// Times are in the executing backend's clock: virtual seconds for the
+/// simulated grid, wall-clock seconds for real threads.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PhaseTimings {
-    /// Programming phase (static, always zero virtual seconds).
+    /// Programming phase (static, always zero job seconds).
     pub programming: SimTime,
-    /// Compilation phase (static, always zero virtual seconds).
+    /// Compilation phase (static, always zero job seconds).
     pub compilation: SimTime,
     /// Calibration phase duration.
     pub calibration: SimTime,
@@ -42,7 +47,7 @@ pub struct PhaseTimings {
 }
 
 impl PhaseTimings {
-    /// Total virtual time of the dynamic phases.
+    /// Total time of the dynamic phases.
     pub fn total(&self) -> SimTime {
         self.programming + self.compilation + self.calibration + self.execution
     }
@@ -61,9 +66,10 @@ impl PhaseTimings {
 /// The result of driving a job through all four phases.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GraspRunReport<O> {
-    /// Per-phase virtual-time accounting.
+    /// Per-phase time accounting.
     pub phases: PhaseTimings,
-    /// The skeleton-specific outcome (farm or pipeline).
+    /// The skeleton outcome (backend-neutral for [`Grasp::run`]; the legacy
+    /// shims expose the engine-specific outcome directly).
     pub outcome: O,
 }
 
@@ -84,66 +90,105 @@ impl Grasp {
         &self.config
     }
 
-    /// Run a task farm over every node of the grid.  Panics are never used
-    /// for error handling; an invalid job yields a best-effort empty report
-    /// via [`Grasp::try_run_farm`]'s error instead — this convenience wrapper
-    /// unwraps because the common calling pattern (examples, benches) wants
-    /// the happy path.
-    pub fn run_farm(&self, grid: &Grid, tasks: &[TaskSpec]) -> GraspRunReport<FarmOutcome> {
-        self.try_run_farm(grid, tasks)
-            .expect("farm run failed; use try_run_farm to handle errors")
+    /// Drive a skeleton expression through all four phases on `backend`.
+    ///
+    /// This is the single entry point of the unified API: the same call runs
+    /// a plain farm, a plain pipeline, or any nesting (farm-of-pipelines,
+    /// pipeline-of-farms, …) on any [`Backend`].  All errors — invalid
+    /// configuration, empty workloads, unusable resource pools, lost tasks —
+    /// are reported as [`GraspError`]; nothing panics.
+    pub fn run<B: Backend>(
+        &self,
+        backend: &B,
+        skeleton: &Skeleton,
+    ) -> Result<GraspRunReport<SkeletonOutcome>, GraspError> {
+        // Compilation phase (static).
+        let compiled = backend.compile(&self.config, skeleton)?;
+        // Calibration + execution phases.
+        let outcome = backend.execute(&self.config, &compiled)?;
+        let phases = PhaseTimings {
+            programming: SimTime::ZERO,
+            compilation: SimTime::ZERO,
+            calibration: SimTime::new(outcome.calibration_s),
+            execution: SimTime::new((outcome.makespan_s - outcome.calibration_s).max(0.0)),
+        };
+        Ok(GraspRunReport { phases, outcome })
     }
 
-    /// Fallible farm run.
+    /// Run a task farm over every node of the grid.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Grasp::run(&SimBackend::new(grid), &Skeleton::farm(..))`"
+    )]
+    pub fn run_farm(
+        &self,
+        grid: &Grid,
+        tasks: &[TaskSpec],
+    ) -> Result<GraspRunReport<FarmOutcome>, GraspError> {
+        self.farm_shim(grid, &grid.node_ids(), tasks)
+    }
+
+    /// Fallible farm run (alias of [`Grasp::run_farm`], kept for mechanical
+    /// migration of older call sites).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Grasp::run(&SimBackend::new(grid), &Skeleton::farm(..))`"
+    )]
     pub fn try_run_farm(
         &self,
         grid: &Grid,
         tasks: &[TaskSpec],
     ) -> Result<GraspRunReport<FarmOutcome>, GraspError> {
-        self.try_run_farm_on(grid, &grid.node_ids(), tasks)
+        self.farm_shim(grid, &grid.node_ids(), tasks)
     }
 
     /// Fallible farm run on an explicit candidate pool.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Grasp::run(&SimBackend::on(grid, candidates), &Skeleton::farm(..))`"
+    )]
     pub fn try_run_farm_on(
         &self,
         grid: &Grid,
         candidates: &[NodeId],
         tasks: &[TaskSpec],
     ) -> Result<GraspRunReport<FarmOutcome>, GraspError> {
-        let properties = SkeletonProperties::task_farm(Self::comp_comm_ratio(grid, tasks));
-        let farm = TaskFarm::new(self.config).with_properties(properties);
-        let outcome = farm.run_on(grid, candidates, tasks)?;
-        let phases = PhaseTimings {
-            programming: SimTime::ZERO,
-            compilation: SimTime::ZERO,
-            calibration: outcome.calibration.duration,
-            execution: outcome.makespan - outcome.calibration.duration,
-        };
-        Ok(GraspRunReport { phases, outcome })
+        self.farm_shim(grid, candidates, tasks)
     }
 
     /// Run a pipeline over every node of the grid.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Grasp::run(&SimBackend::new(grid), &Skeleton::pipeline(..))`"
+    )]
     pub fn run_pipeline(
         &self,
         grid: &Grid,
         stages: &[StageSpec],
         items: usize,
-    ) -> GraspRunReport<PipelineOutcome> {
-        self.try_run_pipeline(grid, stages, items)
-            .expect("pipeline run failed; use try_run_pipeline to handle errors")
+    ) -> Result<GraspRunReport<PipelineOutcome>, GraspError> {
+        self.pipeline_shim(grid, &grid.node_ids(), stages, items)
     }
 
-    /// Fallible pipeline run.
+    /// Fallible pipeline run (alias of [`Grasp::run_pipeline`]).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Grasp::run(&SimBackend::new(grid), &Skeleton::pipeline(..))`"
+    )]
     pub fn try_run_pipeline(
         &self,
         grid: &Grid,
         stages: &[StageSpec],
         items: usize,
     ) -> Result<GraspRunReport<PipelineOutcome>, GraspError> {
-        self.try_run_pipeline_on(grid, &grid.node_ids(), stages, items)
+        self.pipeline_shim(grid, &grid.node_ids(), stages, items)
     }
 
     /// Fallible pipeline run on an explicit candidate pool.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Grasp::run(&SimBackend::on(grid, candidates), &Skeleton::pipeline(..))`"
+    )]
     pub fn try_run_pipeline_on(
         &self,
         grid: &Grid,
@@ -151,80 +196,150 @@ impl Grasp {
         stages: &[StageSpec],
         items: usize,
     ) -> Result<GraspRunReport<PipelineOutcome>, GraspError> {
-        let total_work: f64 = stages.iter().map(|s| s.work_per_item).sum();
-        let total_bytes: u64 = stages.iter().map(|s| s.forward_bytes).sum();
-        let ratio = Self::ratio_from(grid, total_work, total_bytes);
-        let pipeline =
-            Pipeline::new(self.config).with_properties(SkeletonProperties::pipeline(ratio, true));
-        let outcome = pipeline.run_on(grid, candidates, stages, items)?;
-        let phases = PhaseTimings {
-            programming: SimTime::ZERO,
-            compilation: SimTime::ZERO,
-            calibration: outcome.calibration.duration,
-            execution: outcome.makespan - outcome.calibration.duration,
-        };
-        Ok(GraspRunReport { phases, outcome })
+        self.pipeline_shim(grid, candidates, stages, items)
     }
 
-    /// Estimate the computation/communication ratio of a farm job on this
-    /// grid: mean dedicated compute seconds per task over mean transfer
-    /// seconds per task on the reference (LAN) link.
-    fn comp_comm_ratio(grid: &Grid, tasks: &[TaskSpec]) -> f64 {
-        if tasks.is_empty() {
-            return 1.0;
+    /// Shared body of the deprecated farm wrappers: route through the
+    /// unified API and unwrap the simulated engine's native outcome.
+    fn farm_shim(
+        &self,
+        grid: &Grid,
+        candidates: &[NodeId],
+        tasks: &[TaskSpec],
+    ) -> Result<GraspRunReport<FarmOutcome>, GraspError> {
+        let report = self.run(
+            &SimBackend::on(grid, candidates),
+            &Skeleton::farm(tasks.to_vec()),
+        )?;
+        match report.outcome.detail {
+            OutcomeDetail::SimFarm(outcome) => Ok(GraspRunReport {
+                phases: report.phases,
+                outcome: *outcome,
+            }),
+            _ => Err(GraspError::InvalidConfig(
+                "simulated backend returned a non-farm outcome".to_string(),
+            )),
         }
-        let mean_work: f64 = tasks.iter().map(|t| t.work).sum::<f64>() / tasks.len() as f64;
-        let mean_bytes: u64 =
-            tasks.iter().map(|t| t.total_bytes()).sum::<u64>() / tasks.len() as u64;
-        Self::ratio_from(grid, mean_work, mean_bytes)
     }
 
-    fn ratio_from(grid: &Grid, work: f64, bytes: u64) -> f64 {
-        let speed = grid.topology().max_speed().max(1e-9);
-        let compute_s = work / speed;
-        let comm_s = gridsim::LinkSpec::lan().transfer_time(bytes, 1.0).max(1e-9);
-        (compute_s / comm_s).max(1e-3)
+    /// Shared body of the deprecated pipeline wrappers.
+    fn pipeline_shim(
+        &self,
+        grid: &Grid,
+        candidates: &[NodeId],
+        stages: &[StageSpec],
+        items: usize,
+    ) -> Result<GraspRunReport<PipelineOutcome>, GraspError> {
+        let report = self.run(
+            &SimBackend::on(grid, candidates),
+            &Skeleton::pipeline(stages.to_vec(), items),
+        )?;
+        match report.outcome.detail {
+            OutcomeDetail::SimPipeline(outcome) => Ok(GraspRunReport {
+                phases: report.phases,
+                outcome: *outcome,
+            }),
+            _ => Err(GraspError::InvalidConfig(
+                "simulated backend returned a non-pipeline outcome".to_string(),
+            )),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::properties::SkeletonKind;
     use gridsim::TopologyBuilder;
 
     #[test]
     fn farm_report_accounts_for_all_phases() {
         let grid = Grid::dedicated(TopologyBuilder::heterogeneous_cluster(6, 20.0, 60.0, 2));
         let tasks = TaskSpec::uniform(60, 40.0, 16 * 1024, 16 * 1024);
-        let report = Grasp::new(GraspConfig::default()).run_farm(&grid, &tasks);
-        assert_eq!(report.outcome.completed_tasks(), 60);
+        let report = Grasp::new(GraspConfig::default())
+            .run(&SimBackend::new(&grid), &Skeleton::farm(tasks))
+            .unwrap();
+        assert_eq!(report.outcome.completed, 60);
         assert_eq!(report.phases.programming, SimTime::ZERO);
         assert_eq!(report.phases.compilation, SimTime::ZERO);
         assert!(report.phases.calibration.as_secs() > 0.0);
         assert!(report.phases.execution.as_secs() > 0.0);
         assert!(report.phases.calibration_fraction() > 0.0);
         assert!(report.phases.calibration_fraction() < 1.0);
-        assert_eq!(report.phases.total(), report.outcome.makespan);
+        assert!((report.phases.total().as_secs() - report.outcome.makespan_s).abs() < 1e-9);
     }
 
     #[test]
     fn pipeline_report_wraps_the_outcome() {
         let grid = Grid::dedicated(TopologyBuilder::uniform_cluster(5, 40.0));
         let stages = StageSpec::balanced(3, 15.0, 8 * 1024);
-        let report = Grasp::new(GraspConfig::default()).run_pipeline(&grid, &stages, 40);
-        assert_eq!(report.outcome.items, 40);
+        let report = Grasp::new(GraspConfig::default())
+            .run(&SimBackend::new(&grid), &Skeleton::pipeline(stages, 40))
+            .unwrap();
+        assert_eq!(report.outcome.completed, 40);
+        assert_eq!(report.outcome.kind, SkeletonKind::Pipeline);
         assert!(report.phases.execution.as_secs() > 0.0);
     }
 
     #[test]
-    fn fallible_variants_report_errors() {
+    fn nested_skeleton_runs_through_the_same_entry_point() {
+        let grid = Grid::dedicated(TopologyBuilder::heterogeneous_cluster(8, 20.0, 80.0, 5));
+        let lane = Skeleton::pipeline(StageSpec::balanced(3, 10.0, 4 * 1024), 12);
+        let skeleton = Skeleton::farm_of(vec![lane.clone(), lane]);
+        let report = Grasp::new(GraspConfig::default())
+            .run(&SimBackend::new(&grid), &skeleton)
+            .unwrap();
+        assert_eq!(report.outcome.kind, SkeletonKind::FarmOfPipelines);
+        assert_eq!(report.outcome.completed, 24);
+        assert!(report.outcome.conserves_units_of(&skeleton));
+        assert_eq!(report.outcome.children.len(), 2);
+    }
+
+    #[test]
+    fn unified_run_reports_errors_instead_of_panicking() {
         let grid = Grid::dedicated(TopologyBuilder::uniform_cluster(2, 40.0));
         let g = Grasp::new(GraspConfig::default());
+        assert!(g
+            .run(&SimBackend::new(&grid), &Skeleton::farm(vec![]))
+            .is_err());
+        assert!(g
+            .run(&SimBackend::new(&grid), &Skeleton::pipeline(vec![], 10))
+            .is_err());
+        assert!(g
+            .run(
+                &SimBackend::on(&grid, &[]),
+                &Skeleton::farm(TaskSpec::uniform(5, 1.0, 0, 0))
+            )
+            .is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_are_fallible_and_agree_with_the_unified_api() {
+        let grid = Grid::dedicated(TopologyBuilder::heterogeneous_cluster(6, 20.0, 60.0, 2));
+        let tasks = TaskSpec::uniform(40, 40.0, 16 * 1024, 16 * 1024);
+        let g = Grasp::new(GraspConfig::default());
+        let legacy = g.run_farm(&grid, &tasks).unwrap();
+        let unified = g
+            .run(&SimBackend::new(&grid), &Skeleton::farm(tasks.clone()))
+            .unwrap();
+        assert_eq!(legacy.outcome.completed_tasks(), unified.outcome.completed);
+        assert!((legacy.outcome.makespan.as_secs() - unified.outcome.makespan_s).abs() < 1e-9);
+        // The error paths return Err — no panic anywhere.
+        assert!(g.run_farm(&grid, &[]).is_err());
+        assert!(g.run_pipeline(&grid, &[], 10).is_err());
         assert!(g.try_run_farm(&grid, &[]).is_err());
         assert!(g.try_run_pipeline(&grid, &[], 10).is_err());
         assert!(g
             .try_run_farm_on(&grid, &[], &TaskSpec::uniform(5, 1.0, 0, 0))
             .is_err());
+        assert!(g
+            .try_run_pipeline_on(&grid, &[], &StageSpec::balanced(2, 1.0, 0), 5)
+            .is_err());
+
+        let stages = StageSpec::balanced(3, 15.0, 8 * 1024);
+        let legacy = g.run_pipeline(&grid, &stages, 20).unwrap();
+        assert_eq!(legacy.outcome.items, 20);
     }
 
     #[test]

@@ -22,10 +22,12 @@
 //!    threshold *Z*; exceeding it triggers recalibration and/or rescheduling
 //!    according to the skeleton's properties ([`execution`], [`adaptation`]).
 //!
-//! The crate is backend-agnostic in spirit, but its reference backend is the
-//! [`gridsim`] simulated grid (see DESIGN.md for the substitution rationale);
-//! a real-thread shared-memory backend for the same skeleton API lives in the
-//! companion `grasp-exec` crate.
+//! The crate is backend-agnostic through the [`skeleton::Backend`] trait:
+//! jobs are written once as composable [`skeleton::Skeleton`] expressions
+//! (farm, pipeline, farm-of-pipelines, pipeline-of-farms, …) and run
+//! unchanged on the reference [`skeleton::SimBackend`] (the [`gridsim`]
+//! simulated grid; see DESIGN.md for the substitution rationale) or on the
+//! real-thread `ThreadBackend` of the companion `grasp-exec` crate.
 //!
 //! ## Quick example
 //!
@@ -36,9 +38,21 @@
 //! // A small heterogeneous cluster (idle, so purely illustrative).
 //! let grid = Grid::dedicated(TopologyBuilder::heterogeneous_cluster(8, 20.0, 80.0, 1));
 //! // 200 identical farm tasks of 50 work units, 1 KiB in/out.
-//! let tasks = TaskSpec::uniform(200, 50.0, 1024, 1024);
-//! let report = Grasp::new(GraspConfig::default()).run_farm(&grid, &tasks);
-//! assert_eq!(report.outcome.completed_tasks(), 200);
+//! let skeleton = Skeleton::farm(TaskSpec::uniform(200, 50.0, 1024, 1024));
+//! let report = Grasp::new(GraspConfig::default())
+//!     .run(&SimBackend::new(&grid), &skeleton)
+//!     .expect("valid workload on an all-up grid");
+//! assert_eq!(report.outcome.completed, 200);
+//!
+//! // Nesting is one more constructor: a farm of two pipeline instances runs
+//! // through exactly the same entry point, and adapts as one unit.
+//! let lane = Skeleton::pipeline(StageSpec::balanced(3, 10.0, 1024), 25);
+//! let nested = Skeleton::farm_of(vec![lane.clone(), lane]);
+//! let report = Grasp::new(GraspConfig::default())
+//!     .run(&SimBackend::new(&grid), &nested)
+//!     .expect("valid workload on an all-up grid");
+//! assert_eq!(report.outcome.completed, 50);
+//! assert!(report.outcome.conserves_units_of(&nested));
 //! ```
 
 #![warn(missing_docs)]
@@ -55,6 +69,7 @@ pub mod metrics;
 pub mod pipeline;
 pub mod properties;
 pub mod scheduler;
+pub mod skeleton;
 pub mod task;
 pub mod threshold;
 
@@ -71,6 +86,9 @@ pub mod prelude {
     pub use crate::pipeline::{Pipeline, PipelineOutcome, StageSpec};
     pub use crate::properties::{SkeletonKind, SkeletonProperties};
     pub use crate::scheduler::SchedulePolicy;
+    pub use crate::skeleton::{
+        Backend, FarmedStage, OutcomeDetail, SimBackend, Skeleton, SkeletonOutcome,
+    };
     pub use crate::task::{TaskOutcome, TaskSpec};
     pub use crate::threshold::ThresholdPolicy;
 }

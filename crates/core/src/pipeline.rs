@@ -1,6 +1,6 @@
 //! The adaptive pipeline skeleton.
 //!
-//! GRASP's second skeleton (reference [7] of the paper: "Towards fully
+//! GRASP's second skeleton (reference \[7\] of the paper: "Towards fully
 //! adaptive pipeline parallelism for heterogeneous distributed
 //! environments").  A stream of items flows through an ordered chain of
 //! stages, each stage mapped to one grid node.  The pipeline's intrinsic
@@ -115,12 +115,14 @@ pub struct Pipeline {
 }
 
 impl Pipeline {
-    /// A pipeline with the given configuration.
+    /// A pipeline with the given configuration.  The per-stage monitor's
+    /// recent-service window comes from the shared
+    /// [`crate::config::ExecutionConfig::monitor_window`].
     pub fn new(config: GraspConfig) -> Self {
         Pipeline {
+            monitor_window: config.execution.monitor_window.max(1),
             config,
             properties: SkeletonProperties::pipeline(1.0, true),
-            monitor_window: 8,
         }
     }
 
@@ -131,7 +133,12 @@ impl Pipeline {
     }
 
     /// Override the number of recent items the per-stage monitor averages
-    /// over before judging a stage degraded (default 8, minimum 1).
+    /// over before judging a stage degraded (minimum 1).
+    #[deprecated(
+        since = "0.2.0",
+        note = "set `GraspConfig::execution.monitor_window` instead — the \
+                window is shared by every skeleton"
+    )]
     pub fn with_monitor_window(mut self, window: usize) -> Self {
         self.monitor_window = window.max(1);
         self
@@ -648,8 +655,14 @@ mod tests {
     }
 
     #[test]
-    fn monitor_window_is_configurable() {
+    fn monitor_window_comes_from_the_shared_config() {
         let grid = quiet_grid(4);
+        let mut cfg = GraspConfig::default();
+        cfg.execution.monitor_window = 1;
+        let out = Pipeline::new(cfg).run(&grid, &stages4(), 10).unwrap();
+        assert_eq!(out.items, 10);
+        // The deprecated builder still overrides for old call sites.
+        #[allow(deprecated)]
         let p = Pipeline::new(GraspConfig::default()).with_monitor_window(0);
         let out = p.run(&grid, &stages4(), 10).unwrap();
         assert_eq!(out.items, 10);

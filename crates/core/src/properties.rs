@@ -91,6 +91,68 @@ impl SkeletonProperties {
         }
     }
 
+    /// Compose the properties of a farm whose tasks are sub-skeletons
+    /// (farm-of-pipelines and deeper nestings).
+    ///
+    /// The algebra propagates bottom-up from the children, each weighted by
+    /// its share of the total work:
+    /// * the **outer** structure dictates rebalancing — child instances are
+    ///   mutually independent, so any instance may go to any worker
+    ///   ([`Rebalancing::AnyTaskAnyWorker`]), whatever the children are;
+    /// * results are unordered (a farm never promises ordering);
+    /// * statefulness is inherited if *any* child carries stage state;
+    /// * the computation/communication ratio is the work-weighted mean of
+    ///   the children's ratios (the calibration rules see the blend the
+    ///   master actually dispatches).
+    ///
+    /// A composition of plain farms collapses back to
+    /// [`SkeletonKind::TaskFarm`]; anything else is a
+    /// [`SkeletonKind::FarmOfPipelines`].
+    pub fn compose_farm(children: &[(SkeletonProperties, f64)]) -> Self {
+        let kind = if children
+            .iter()
+            .all(|(p, _)| p.kind == SkeletonKind::TaskFarm)
+        {
+            SkeletonKind::TaskFarm
+        } else {
+            SkeletonKind::FarmOfPipelines
+        };
+        SkeletonProperties {
+            kind,
+            independent_tasks: true,
+            ordered_results: false,
+            stateful_stages: children.iter().any(|(p, _)| p.stateful_stages),
+            rebalancing: Rebalancing::AnyTaskAnyWorker,
+            comp_comm_ratio: weighted_ratio(children),
+        }
+    }
+
+    /// Compose the properties of a pipeline whose stages are sub-skeletons
+    /// (pipeline-of-farms: stages may be internally farmed).
+    ///
+    /// The outer structure again dictates the rules: stages are ordered and
+    /// may carry state, so adaptation is restricted to
+    /// [`Rebalancing::StageRemapping`] even when a stage is internally a
+    /// farm — the farm freedom applies *within* the stage, not across the
+    /// chain.  The ratio is the work-weighted mean over the stages.  A
+    /// composition with no farmed stage collapses back to
+    /// [`SkeletonKind::Pipeline`].
+    pub fn compose_pipeline(stages: &[(SkeletonProperties, f64)]) -> Self {
+        let kind = if stages.iter().all(|(p, _)| p.kind == SkeletonKind::Pipeline) {
+            SkeletonKind::Pipeline
+        } else {
+            SkeletonKind::PipelineOfFarms
+        };
+        SkeletonProperties {
+            kind,
+            independent_tasks: false,
+            ordered_results: true,
+            stateful_stages: stages.iter().any(|(p, _)| p.stateful_stages),
+            rebalancing: Rebalancing::StageRemapping,
+            comp_comm_ratio: weighted_ratio(stages),
+        }
+    }
+
     /// Is the workload dominated by communication (ratio below 1)?
     pub fn communication_bound(&self) -> bool {
         self.comp_comm_ratio < 1.0
@@ -112,6 +174,25 @@ impl SkeletonProperties {
             // Communication-bound: batch aggressively.
             (4.0 / self.comp_comm_ratio.max(0.05)).ceil() as usize
         }
+    }
+}
+
+/// Work-weighted mean of composed ratios; falls back to the unweighted mean
+/// when the weights carry no information (all-zero work), and to a neutral
+/// 1.0 for an empty composition.
+fn weighted_ratio(parts: &[(SkeletonProperties, f64)]) -> f64 {
+    if parts.is_empty() {
+        return 1.0;
+    }
+    let total: f64 = parts.iter().map(|(_, w)| w.max(0.0)).sum();
+    if total > 0.0 {
+        parts
+            .iter()
+            .map(|(p, w)| p.comp_comm_ratio * w.max(0.0))
+            .sum::<f64>()
+            / total
+    } else {
+        parts.iter().map(|(p, _)| p.comp_comm_ratio).sum::<f64>() / parts.len() as f64
     }
 }
 
@@ -160,5 +241,54 @@ mod tests {
     #[test]
     fn negative_ratio_is_clamped() {
         assert_eq!(SkeletonProperties::task_farm(-3.0).comp_comm_ratio, 0.0);
+    }
+
+    #[test]
+    fn farm_composition_keeps_outer_farm_freedom() {
+        let pipe = SkeletonProperties::pipeline(0.5, true);
+        let farm = SkeletonProperties::task_farm(8.0);
+        let composed = SkeletonProperties::compose_farm(&[(pipe, 30.0), (farm, 10.0)]);
+        assert_eq!(composed.kind, SkeletonKind::FarmOfPipelines);
+        assert!(composed.independent_tasks);
+        assert!(!composed.ordered_results);
+        assert!(
+            composed.stateful_stages,
+            "inherited from the pipeline child"
+        );
+        assert_eq!(composed.rebalancing, Rebalancing::AnyTaskAnyWorker);
+        // Work-weighted: (0.5*30 + 8*10) / 40 = 2.375.
+        assert!((composed.comp_comm_ratio - 2.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pipeline_composition_keeps_stage_remapping() {
+        let plain = SkeletonProperties::pipeline(2.0, false);
+        let farmed = SkeletonProperties::task_farm(4.0);
+        let composed = SkeletonProperties::compose_pipeline(&[(plain, 10.0), (farmed, 30.0)]);
+        assert_eq!(composed.kind, SkeletonKind::PipelineOfFarms);
+        assert!(!composed.independent_tasks);
+        assert!(composed.ordered_results);
+        assert_eq!(composed.rebalancing, Rebalancing::StageRemapping);
+        assert!((composed.comp_comm_ratio - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_compositions_collapse_and_stay_finite() {
+        let farms = [
+            (SkeletonProperties::task_farm(1.0), 0.0),
+            (SkeletonProperties::task_farm(3.0), 0.0),
+        ];
+        let composed = SkeletonProperties::compose_farm(&farms);
+        assert_eq!(composed.kind, SkeletonKind::TaskFarm);
+        assert!(
+            (composed.comp_comm_ratio - 2.0).abs() < 1e-12,
+            "unweighted fallback"
+        );
+        assert_eq!(SkeletonProperties::compose_farm(&[]).comp_comm_ratio, 1.0);
+        let pipes = [(SkeletonProperties::pipeline(1.5, false), 5.0)];
+        assert_eq!(
+            SkeletonProperties::compose_pipeline(&pipes).kind,
+            SkeletonKind::Pipeline
+        );
     }
 }

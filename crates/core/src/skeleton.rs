@@ -1,0 +1,964 @@
+//! Composable skeleton expressions and pluggable execution backends.
+//!
+//! The paper's skeletons are explicitly *composable* — "the model supports
+//! nesting, e.g. a farm whose workers are pipelines" — and composition is
+//! what makes structured adaptation pay off: a nested skeleton carries the
+//! intrinsic properties of the whole structure, so it calibrates and adapts
+//! as one unit.  This module makes the composition a first-class value:
+//!
+//! * [`Skeleton`] is an expression tree built with [`Skeleton::farm`],
+//!   [`Skeleton::pipeline`], [`Skeleton::farm_of`] (a farm whose tasks are
+//!   sub-skeletons, e.g. a farm-of-pipelines) and [`Skeleton::pipeline_of`]
+//!   (a pipeline whose stages may be internally farmed, i.e. replicated).
+//! * [`SkeletonProperties`] are derived **bottom-up** from the tree (the
+//!   property algebra: comp/comm ratios and rebalancing rules propagate from
+//!   the children; see `SkeletonProperties::compose_farm` /
+//!   `compose_pipeline`).
+//! * [`Backend`] is the `compile → calibrate/execute` life-cycle of Figure 1
+//!   behind a trait, so the same expression runs on the simulated grid
+//!   ([`SimBackend`]) or on real threads (`ThreadBackend` in `grasp-exec`)
+//!   through the single entry point `Grasp::run`.
+//! * [`SkeletonOutcome`] is the backend-neutral result: unit counts,
+//!   makespan, and a child outcome per sub-skeleton, with the backend's rich
+//!   native report attached as [`OutcomeDetail`].
+//!
+//! Calibration (Algorithm 1) is deliberately *not* a separate trait method:
+//! the paper folds it into the job ("the processing performed during the
+//! calibration contributes to the overall job"), so it is the opening act of
+//! [`Backend::execute`] and is reported through
+//! [`SkeletonOutcome::calibration_s`].
+
+use crate::config::GraspConfig;
+use crate::error::GraspError;
+use crate::farm::{FarmOutcome, TaskFarm};
+use crate::pipeline::{Pipeline, PipelineOutcome, StageSpec};
+use crate::properties::{SkeletonKind, SkeletonProperties};
+use crate::task::TaskSpec;
+use gridsim::{Grid, NodeId};
+
+/// One stage of a [`Skeleton::pipeline_of`] composition: a [`StageSpec`]
+/// optionally farmed across `replicas` workers (the nested-farm stage of a
+/// pipeline-of-farms).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FarmedStage {
+    /// The stage description (work per item, forwarded bytes, state).
+    pub spec: StageSpec,
+    /// How many farm workers serve this stage concurrently (≥ 1; 1 means a
+    /// plain, unreplicated stage).
+    pub replicas: usize,
+}
+
+impl FarmedStage {
+    /// A plain (unreplicated) stage.
+    pub fn plain(spec: StageSpec) -> Self {
+        FarmedStage { spec, replicas: 1 }
+    }
+
+    /// A stage farmed across `replicas` workers (clamped to ≥ 1).
+    pub fn farmed(spec: StageSpec, replicas: usize) -> Self {
+        FarmedStage {
+            spec,
+            replicas: replicas.max(1),
+        }
+    }
+}
+
+/// A composable skeleton expression.
+///
+/// Leaves are the paper's two skeletons (task farm, pipeline); interior
+/// nodes compose them (farm-of-pipelines, pipeline-of-farms, and deeper
+/// nestings thereof).  The expression is backend-agnostic: hand it to
+/// `Grasp::run` together with any [`Backend`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Skeleton {
+    /// Independent tasks distributed master → workers.
+    Farm {
+        /// The task list.
+        tasks: Vec<TaskSpec>,
+    },
+    /// A stream of `items` elements flowing through an ordered stage chain.
+    Pipeline {
+        /// The stage chain.
+        stages: Vec<StageSpec>,
+        /// Stream length.
+        items: usize,
+    },
+    /// A farm whose tasks are themselves skeletons (each child is one
+    /// independent sub-job, e.g. a whole pipeline instance).
+    FarmOf {
+        /// The independent sub-skeletons.
+        children: Vec<Skeleton>,
+    },
+    /// A pipeline whose stages may be internally farmed (replicated).
+    PipelineOf {
+        /// The stage chain with per-stage replication.
+        stages: Vec<FarmedStage>,
+        /// Stream length.
+        items: usize,
+    },
+}
+
+/// The span of globally numbered work units covered by one child of a
+/// composition, produced by [`Skeleton::lower_to_farm`].  Backends use the
+/// spans to split a flat outcome back into the per-child outcomes of the
+/// expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitSpan {
+    /// The child's skeleton kind.
+    pub kind: SkeletonKind,
+    /// First global unit id of the child.
+    pub start: usize,
+    /// Number of units the child contributes.
+    pub count: usize,
+    /// Spans of the child's own children (empty for leaves).
+    pub children: Vec<UnitSpan>,
+}
+
+impl UnitSpan {
+    /// The per-child [`SkeletonOutcome`] of this span, derived from observed
+    /// per-unit completion times (global unit id → seconds since job start).
+    ///
+    /// Every backend splits its flat engine result back into the expression
+    /// tree through this one helper, so the semantics cannot diverge:
+    /// `completed` counts only units with a recorded completion, and the
+    /// child's makespan is the latest completion among *its own* units.
+    pub fn outcome_from(
+        &self,
+        completions: &std::collections::BTreeMap<usize, f64>,
+    ) -> SkeletonOutcome {
+        let range = self.start..self.start + self.count;
+        let unit_ids: Vec<usize> = completions
+            .range(range.clone())
+            .map(|(&id, _)| id)
+            .collect();
+        let makespan_s = completions
+            .range(range)
+            .map(|(_, &t)| t)
+            .fold(0.0, f64::max);
+        SkeletonOutcome {
+            kind: self.kind,
+            completed: unit_ids.len(),
+            unit_ids,
+            makespan_s,
+            calibration_s: 0.0,
+            adaptations: 0,
+            children: self
+                .children
+                .iter()
+                .map(|c| c.outcome_from(completions))
+                .collect(),
+            detail: OutcomeDetail::None,
+        }
+    }
+}
+
+impl Skeleton {
+    /// A task farm over `tasks`.
+    pub fn farm(tasks: Vec<TaskSpec>) -> Self {
+        Skeleton::Farm { tasks }
+    }
+
+    /// A pipeline streaming `items` elements through `stages`.
+    pub fn pipeline(stages: Vec<StageSpec>, items: usize) -> Self {
+        Skeleton::Pipeline { stages, items }
+    }
+
+    /// A farm whose tasks are sub-skeletons (e.g. a farm-of-pipelines).
+    pub fn farm_of(children: Vec<Skeleton>) -> Self {
+        Skeleton::FarmOf { children }
+    }
+
+    /// A pipeline whose stages may be farmed ([`FarmedStage::farmed`]).
+    pub fn pipeline_of(stages: Vec<FarmedStage>, items: usize) -> Self {
+        Skeleton::PipelineOf { stages, items }
+    }
+
+    /// The structural kind of the composition.  A `FarmOf` over plain farms
+    /// collapses to a task farm; a `PipelineOf` with no replicated stage is a
+    /// plain pipeline.
+    pub fn kind(&self) -> SkeletonKind {
+        match self {
+            Skeleton::Farm { .. } => SkeletonKind::TaskFarm,
+            Skeleton::Pipeline { .. } => SkeletonKind::Pipeline,
+            Skeleton::FarmOf { children } => {
+                if children.iter().all(|c| c.kind() == SkeletonKind::TaskFarm) {
+                    SkeletonKind::TaskFarm
+                } else {
+                    SkeletonKind::FarmOfPipelines
+                }
+            }
+            Skeleton::PipelineOf { stages, .. } => {
+                if stages.iter().all(|s| s.replicas <= 1) {
+                    SkeletonKind::Pipeline
+                } else {
+                    SkeletonKind::PipelineOfFarms
+                }
+            }
+        }
+    }
+
+    /// Static validation (the compilation phase's first step): every leaf
+    /// must carry work and every composition at least one child.
+    pub fn validate(&self) -> Result<(), GraspError> {
+        match self {
+            Skeleton::Farm { tasks } => {
+                if tasks.is_empty() {
+                    return Err(GraspError::EmptyWorkload);
+                }
+            }
+            Skeleton::Pipeline { stages, items } => {
+                if stages.is_empty() {
+                    return Err(GraspError::EmptyPipeline);
+                }
+                if *items == 0 {
+                    return Err(GraspError::EmptyWorkload);
+                }
+            }
+            Skeleton::FarmOf { children } => {
+                if children.is_empty() {
+                    return Err(GraspError::EmptyWorkload);
+                }
+                for c in children {
+                    c.validate()?;
+                }
+            }
+            Skeleton::PipelineOf { stages, items } => {
+                if stages.is_empty() {
+                    return Err(GraspError::EmptyPipeline);
+                }
+                if *items == 0 {
+                    return Err(GraspError::EmptyWorkload);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of leaf work units (farm tasks plus stream items) in the whole
+    /// expression — the quantity every backend must conserve.
+    pub fn work_units(&self) -> usize {
+        match self {
+            Skeleton::Farm { tasks } => tasks.len(),
+            Skeleton::Pipeline { items, .. } | Skeleton::PipelineOf { items, .. } => *items,
+            Skeleton::FarmOf { children } => children.iter().map(Skeleton::work_units).sum(),
+        }
+    }
+
+    /// Total computational weight (work units × their cost) of the whole
+    /// expression.  Replication does not reduce total work — it spreads it.
+    pub fn total_work(&self) -> f64 {
+        match self {
+            Skeleton::Farm { tasks } => tasks.iter().map(|t| t.work).sum(),
+            Skeleton::Pipeline { stages, items } => {
+                *items as f64 * stages.iter().map(|s| s.work_per_item).sum::<f64>()
+            }
+            Skeleton::PipelineOf { stages, items } => {
+                *items as f64 * stages.iter().map(|s| s.spec.work_per_item).sum::<f64>()
+            }
+            Skeleton::FarmOf { children } => children.iter().map(Skeleton::total_work).sum(),
+        }
+    }
+
+    /// Total bytes moved by the whole expression.
+    pub fn total_bytes(&self) -> u64 {
+        match self {
+            Skeleton::Farm { tasks } => tasks.iter().map(TaskSpec::total_bytes).sum(),
+            Skeleton::Pipeline { stages, items } => {
+                *items as u64 * stages.iter().map(|s| s.forward_bytes).sum::<u64>()
+            }
+            Skeleton::PipelineOf { stages, items } => {
+                *items as u64 * stages.iter().map(|s| s.spec.forward_bytes).sum::<u64>()
+            }
+            Skeleton::FarmOf { children } => children.iter().map(Skeleton::total_bytes).sum(),
+        }
+    }
+
+    /// Derive the composition's intrinsic properties bottom-up.
+    ///
+    /// `ratio_of(work, bytes)` converts a leaf's computational weight and
+    /// data volume into a computation/communication ratio for the target
+    /// environment (backends supply their own; [`Skeleton::properties`] uses
+    /// a reference environment).  Interior nodes combine their children with
+    /// the property algebra of
+    /// [`SkeletonProperties::compose_farm`] / [`compose_pipeline`]
+    /// (work-weighted ratio, outer structure dictating rebalancing).
+    ///
+    /// [`compose_pipeline`]: SkeletonProperties::compose_pipeline
+    pub fn properties_with(&self, ratio_of: &dyn Fn(f64, u64) -> f64) -> SkeletonProperties {
+        match self {
+            Skeleton::Farm { tasks } => {
+                let n = tasks.len().max(1) as f64;
+                let mean_work = self.total_work() / n;
+                let mean_bytes = (self.total_bytes() as f64 / n) as u64;
+                SkeletonProperties::task_farm(ratio_of(mean_work, mean_bytes))
+            }
+            Skeleton::Pipeline { stages, .. } => {
+                let work: f64 = stages.iter().map(|s| s.work_per_item).sum();
+                let bytes: u64 = stages.iter().map(|s| s.forward_bytes).sum();
+                let stateful = stages.iter().any(|s| s.state_bytes > 0);
+                SkeletonProperties::pipeline(ratio_of(work, bytes), stateful)
+            }
+            Skeleton::FarmOf { children } => {
+                let parts: Vec<(SkeletonProperties, f64)> = children
+                    .iter()
+                    .map(|c| (c.properties_with(ratio_of), c.total_work()))
+                    .collect();
+                SkeletonProperties::compose_farm(&parts)
+            }
+            Skeleton::PipelineOf { stages, .. } => {
+                let parts: Vec<(SkeletonProperties, f64)> = stages
+                    .iter()
+                    .map(|s| {
+                        let ratio = ratio_of(s.spec.work_per_item, s.spec.forward_bytes);
+                        let p = if s.replicas > 1 {
+                            // A farmed stage behaves like an inner task farm:
+                            // items entering it may be served by any replica.
+                            SkeletonProperties::task_farm(ratio)
+                        } else {
+                            SkeletonProperties::pipeline(ratio, s.spec.state_bytes > 0)
+                        };
+                        (p, s.spec.work_per_item)
+                    })
+                    .collect();
+                SkeletonProperties::compose_pipeline(&parts)
+            }
+        }
+    }
+
+    /// [`Skeleton::properties_with`] against the reference environment: a
+    /// unit-speed node on the reference (LAN) link.
+    pub fn properties(&self) -> SkeletonProperties {
+        self.properties_with(&|work, bytes| reference_ratio(1.0, work, bytes))
+    }
+
+    /// Lower the expression to a flat farm-task list plus the [`UnitSpan`]
+    /// tree mapping global unit ids back onto the expression's children.
+    ///
+    /// Lowering rules (shared by every backend so unit counts agree):
+    /// * a leaf farm contributes its tasks **with their original ids** when
+    ///   it is the whole expression, and re-numbered globally inside a
+    ///   composition;
+    /// * a (nested) pipeline contributes one task per stream item whose work
+    ///   is the full per-item stage chain, entering with the first stage's
+    ///   forwarded bytes and leaving with the last stage's;
+    /// * `FarmOf` concatenates its children's units — the outer farm may
+    ///   dispatch any child unit to any worker (the composition inherits the
+    ///   farm's `AnyTaskAnyWorker` rebalancing rule).
+    pub fn lower_to_farm(&self) -> (Vec<TaskSpec>, Vec<UnitSpan>) {
+        if let Skeleton::Farm { tasks } = self {
+            return (tasks.clone(), Vec::new());
+        }
+        let mut tasks = Vec::with_capacity(self.work_units());
+        let span = self.lower_into(&mut tasks);
+        let spans = match self {
+            Skeleton::FarmOf { .. } => span.children,
+            _ => vec![span],
+        };
+        (tasks, spans)
+    }
+
+    fn lower_into(&self, out: &mut Vec<TaskSpec>) -> UnitSpan {
+        let start = out.len();
+        let mut children = Vec::new();
+        match self {
+            Skeleton::Farm { tasks } => {
+                for t in tasks {
+                    let id = out.len();
+                    out.push(TaskSpec::new(id, t.work, t.input_bytes, t.output_bytes));
+                }
+            }
+            Skeleton::Pipeline { stages, items } => {
+                lower_chain(
+                    out,
+                    *items,
+                    stages.iter().map(|s| s.work_per_item).sum(),
+                    stages.first().map(|s| s.forward_bytes).unwrap_or(0),
+                    stages.last().map(|s| s.forward_bytes).unwrap_or(0),
+                );
+            }
+            Skeleton::PipelineOf { stages, items } => {
+                lower_chain(
+                    out,
+                    *items,
+                    stages.iter().map(|s| s.spec.work_per_item).sum(),
+                    stages.first().map(|s| s.spec.forward_bytes).unwrap_or(0),
+                    stages.last().map(|s| s.spec.forward_bytes).unwrap_or(0),
+                );
+            }
+            Skeleton::FarmOf { children: kids } => {
+                for c in kids {
+                    children.push(c.lower_into(out));
+                }
+            }
+        }
+        UnitSpan {
+            kind: self.kind(),
+            start,
+            count: out.len() - start,
+            children,
+        }
+    }
+
+    /// The pipeline view of a pipeline-shaped expression: the raw stage
+    /// specs, their replica counts and the stream length.  `None` for
+    /// farm-shaped expressions.
+    pub fn pipeline_plan(&self) -> Option<(Vec<StageSpec>, Vec<usize>, usize)> {
+        match self {
+            Skeleton::Pipeline { stages, items } => {
+                Some((stages.clone(), vec![1; stages.len()], *items))
+            }
+            Skeleton::PipelineOf { stages, items } => Some((
+                stages.iter().map(|s| s.spec).collect(),
+                stages.iter().map(|s| s.replicas).collect(),
+                *items,
+            )),
+            _ => None,
+        }
+    }
+}
+
+/// One task per stream item, carrying the whole per-item stage chain.
+fn lower_chain(out: &mut Vec<TaskSpec>, items: usize, work: f64, in_bytes: u64, out_bytes: u64) {
+    for _ in 0..items {
+        let id = out.len();
+        out.push(TaskSpec::new(id, work, in_bytes, out_bytes));
+    }
+}
+
+/// Computation/communication ratio of `work` units at `speed` work-units/s
+/// against shipping `bytes` over the reference (LAN) link.
+pub fn reference_ratio(speed: f64, work: f64, bytes: u64) -> f64 {
+    let compute_s = work / speed.max(1e-9);
+    let comm_s = gridsim::LinkSpec::lan().transfer_time(bytes, 1.0).max(1e-9);
+    (compute_s / comm_s).max(1e-3)
+}
+
+/// The backend's rich native report for the root of an executed skeleton,
+/// when it exposes one.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum OutcomeDetail {
+    /// No backend-specific detail.
+    None,
+    /// The simulated farm engine's full outcome.
+    SimFarm(Box<FarmOutcome>),
+    /// The simulated pipeline engine's full outcome.
+    SimPipeline(Box<PipelineOutcome>),
+    /// Thread-farm summary from the shared-memory backend.
+    ThreadFarm {
+        /// Worker threads used.
+        workers: usize,
+        /// Tasks completed per worker.
+        tasks_per_worker: Vec<usize>,
+    },
+    /// Thread-pipeline summary from the shared-memory backend.
+    ThreadPipeline {
+        /// Index of the slowest stage.
+        bottleneck_stage: usize,
+        /// Worker threads per stage.
+        replicas_per_stage: Vec<usize>,
+    },
+}
+
+/// Backend-neutral result of running a [`Skeleton`]: what completed, how
+/// long it took (in the backend's clock — virtual seconds for the simulated
+/// grid, wall-clock seconds for real threads), and one child outcome per
+/// sub-skeleton of a composition.
+#[derive(Debug, Clone)]
+pub struct SkeletonOutcome {
+    /// Structural kind of the skeleton (sub-)tree this outcome describes.
+    pub kind: SkeletonKind,
+    /// Leaf work units completed at or below this node.
+    pub completed: usize,
+    /// Global ids of the completed units (sorted, exactly once each).
+    pub unit_ids: Vec<usize>,
+    /// Seconds from job start to the last completion.
+    pub makespan_s: f64,
+    /// Seconds consumed by the calibration phase (0 for child outcomes — the
+    /// composition calibrates once, as one unit).
+    pub calibration_s: f64,
+    /// Adaptation actions taken while this (sub-)skeleton ran.
+    pub adaptations: usize,
+    /// Per-child outcomes of a composition (empty for leaves).
+    pub children: Vec<SkeletonOutcome>,
+    /// The backend's native report, when it exposes one.
+    pub detail: OutcomeDetail,
+}
+
+impl SkeletonOutcome {
+    /// Completed units per second over the whole run.
+    pub fn throughput(&self) -> f64 {
+        if self.makespan_s <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / self.makespan_s
+        }
+    }
+
+    /// Check the conservation invariant against the expression that
+    /// produced this outcome: every leaf unit completed exactly once (the
+    /// sorted id list must be strictly increasing — no duplicates), and the
+    /// children of every composition account for their parent's units.
+    pub fn conserves_units_of(&self, skeleton: &Skeleton) -> bool {
+        if self.completed != skeleton.work_units() || self.unit_ids.len() != self.completed {
+            return false;
+        }
+        if !self.unit_ids.windows(2).all(|w| w[0] < w[1]) {
+            return false;
+        }
+        if let Skeleton::FarmOf { children } = skeleton {
+            if self.children.len() != children.len() {
+                return false;
+            }
+            let child_sum: usize = self.children.iter().map(|c| c.completed).sum();
+            if child_sum != self.completed {
+                return false;
+            }
+            return self
+                .children
+                .iter()
+                .zip(children)
+                .all(|(o, s)| o.conserves_units_of(s));
+        }
+        true
+    }
+}
+
+/// An execution environment for skeleton expressions: the compilation /
+/// calibration / execution phases of Figure 1 behind one trait.
+///
+/// `compile` is the static compilation phase (bind and validate the
+/// expression against the backend's environment); `execute` runs calibration
+/// (Algorithm 1) followed by adaptive execution (Algorithm 2) and returns
+/// the unified outcome.  `Grasp::run` drives the full life-cycle.
+pub trait Backend {
+    /// The compiled (environment-bound) form of a skeleton.
+    type Compiled;
+
+    /// Backend name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Compilation phase: statically validate `skeleton` and bind it to this
+    /// backend's environment.  No calibration feedback is available yet.
+    fn compile(
+        &self,
+        config: &GraspConfig,
+        skeleton: &Skeleton,
+    ) -> Result<Self::Compiled, GraspError>;
+
+    /// Calibration + execution phases over a compiled skeleton.
+    fn execute(
+        &self,
+        config: &GraspConfig,
+        compiled: &Self::Compiled,
+    ) -> Result<SkeletonOutcome, GraspError>;
+}
+
+/// The simulated-grid backend: wraps the gridsim farm/pipeline engines
+/// behind the [`Backend`] trait.
+#[derive(Clone)]
+pub struct SimBackend<'g> {
+    grid: &'g Grid,
+    candidates: Vec<NodeId>,
+}
+
+impl<'g> SimBackend<'g> {
+    /// A backend over every node of `grid`.
+    pub fn new(grid: &'g Grid) -> Self {
+        let candidates = grid.node_ids();
+        SimBackend { grid, candidates }
+    }
+
+    /// A backend over an explicit candidate node pool.
+    pub fn on(grid: &'g Grid, candidates: &[NodeId]) -> Self {
+        SimBackend {
+            grid,
+            candidates: candidates.to_vec(),
+        }
+    }
+
+    /// The grid this backend executes on.
+    pub fn grid(&self) -> &Grid {
+        self.grid
+    }
+
+    /// The candidate node pool.
+    pub fn candidates(&self) -> &[NodeId] {
+        &self.candidates
+    }
+
+    fn ratio_of(&self, work: f64, bytes: u64) -> f64 {
+        reference_ratio(self.grid.topology().max_speed(), work, bytes)
+    }
+
+    fn farm_outcome(
+        kind: SkeletonKind,
+        outcome: FarmOutcome,
+        spans: &[UnitSpan],
+    ) -> SkeletonOutcome {
+        let mut unit_ids: Vec<usize> = outcome.task_outcomes.iter().map(|o| o.task).collect();
+        unit_ids.sort_unstable();
+        // One pass over the outcomes builds the id → completion-time table
+        // every span shares (a lost-then-requeued task keeps its latest
+        // completion).
+        let mut completions: std::collections::BTreeMap<usize, f64> =
+            std::collections::BTreeMap::new();
+        for o in &outcome.task_outcomes {
+            let t = o.completed.as_secs();
+            completions
+                .entry(o.task)
+                .and_modify(|cur| *cur = cur.max(t))
+                .or_insert(t);
+        }
+        let children = spans.iter().map(|s| s.outcome_from(&completions)).collect();
+        SkeletonOutcome {
+            kind,
+            completed: outcome.completed_tasks(),
+            unit_ids,
+            makespan_s: outcome.makespan.as_secs(),
+            calibration_s: outcome.calibration.duration.as_secs(),
+            adaptations: outcome.adaptation.len(),
+            children,
+            detail: OutcomeDetail::SimFarm(Box::new(outcome)),
+        }
+    }
+
+    fn pipeline_outcome(kind: SkeletonKind, outcome: PipelineOutcome) -> SkeletonOutcome {
+        SkeletonOutcome {
+            kind,
+            completed: outcome.items,
+            unit_ids: (0..outcome.items).collect(),
+            makespan_s: outcome.makespan.as_secs(),
+            calibration_s: outcome.calibration.duration.as_secs(),
+            adaptations: outcome.adaptation.len(),
+            children: Vec::new(),
+            detail: OutcomeDetail::SimPipeline(Box::new(outcome)),
+        }
+    }
+}
+
+/// A skeleton bound to the simulated grid, ready to calibrate and execute.
+#[derive(Debug, Clone)]
+pub struct SimCompiled {
+    plan: SimPlan,
+    properties: SkeletonProperties,
+}
+
+impl SimCompiled {
+    /// The composed intrinsic properties the execution will be steered by.
+    pub fn properties(&self) -> &SkeletonProperties {
+        &self.properties
+    }
+}
+
+#[derive(Debug, Clone)]
+enum SimPlan {
+    /// Farm-shaped: a flat task list plus the span tree of the composition.
+    Farm {
+        tasks: Vec<TaskSpec>,
+        spans: Vec<UnitSpan>,
+    },
+    /// Pipeline-shaped: effective stages (a farmed stage's per-item work is
+    /// divided by its replica count — replication multiplies the stage's
+    /// service capacity, which the sequential-per-stage simulation models as
+    /// a proportionally shorter per-item service time) and the stream length.
+    Pipeline {
+        stages: Vec<StageSpec>,
+        items: usize,
+    },
+}
+
+impl Backend for SimBackend<'_> {
+    type Compiled = SimCompiled;
+
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn compile(
+        &self,
+        config: &GraspConfig,
+        skeleton: &Skeleton,
+    ) -> Result<Self::Compiled, GraspError> {
+        config.validate()?;
+        skeleton.validate()?;
+        if self.candidates.is_empty() {
+            return Err(GraspError::NoUsableNodes);
+        }
+        let properties = skeleton.properties_with(&|w, b| self.ratio_of(w, b));
+        let plan = match skeleton.pipeline_plan() {
+            Some((stages, replicas, items)) => {
+                let stages = stages
+                    .iter()
+                    .zip(&replicas)
+                    .map(|(s, &r)| {
+                        StageSpec::new(
+                            s.id,
+                            s.work_per_item / r.max(1) as f64,
+                            s.forward_bytes,
+                            s.state_bytes,
+                        )
+                    })
+                    .collect();
+                SimPlan::Pipeline { stages, items }
+            }
+            None => {
+                let (tasks, spans) = skeleton.lower_to_farm();
+                SimPlan::Farm { tasks, spans }
+            }
+        };
+        Ok(SimCompiled { plan, properties })
+    }
+
+    fn execute(
+        &self,
+        config: &GraspConfig,
+        compiled: &Self::Compiled,
+    ) -> Result<SkeletonOutcome, GraspError> {
+        match &compiled.plan {
+            SimPlan::Farm { tasks, spans } => {
+                let farm = TaskFarm::new(*config).with_properties(compiled.properties);
+                let outcome = farm.run_on(self.grid, &self.candidates, tasks)?;
+                Ok(Self::farm_outcome(compiled.properties.kind, outcome, spans))
+            }
+            SimPlan::Pipeline { stages, items } => {
+                let pipeline = Pipeline::new(*config).with_properties(compiled.properties);
+                let outcome = pipeline.run_on(self.grid, &self.candidates, stages, *items)?;
+                Ok(Self::pipeline_outcome(compiled.properties.kind, outcome))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::Rebalancing;
+    use gridsim::TopologyBuilder;
+
+    fn imaging_like_pipeline(items: usize) -> Skeleton {
+        Skeleton::pipeline(StageSpec::balanced(3, 10.0, 8 * 1024), items)
+    }
+
+    #[test]
+    fn kinds_collapse_when_composition_is_degenerate() {
+        let farm = Skeleton::farm(TaskSpec::uniform(4, 1.0, 0, 0));
+        assert_eq!(farm.kind(), SkeletonKind::TaskFarm);
+        let farm_of_farms = Skeleton::farm_of(vec![farm.clone(), farm.clone()]);
+        assert_eq!(farm_of_farms.kind(), SkeletonKind::TaskFarm);
+        let fop = Skeleton::farm_of(vec![farm, imaging_like_pipeline(3)]);
+        assert_eq!(fop.kind(), SkeletonKind::FarmOfPipelines);
+        let plain = Skeleton::pipeline_of(
+            StageSpec::balanced(2, 5.0, 0)
+                .into_iter()
+                .map(FarmedStage::plain)
+                .collect(),
+            4,
+        );
+        assert_eq!(plain.kind(), SkeletonKind::Pipeline);
+        let pof = Skeleton::pipeline_of(
+            vec![
+                FarmedStage::plain(StageSpec::new(0, 5.0, 0, 0)),
+                FarmedStage::farmed(StageSpec::new(1, 20.0, 0, 0), 4),
+            ],
+            4,
+        );
+        assert_eq!(pof.kind(), SkeletonKind::PipelineOfFarms);
+    }
+
+    #[test]
+    fn work_units_count_leaves_recursively() {
+        let s = Skeleton::farm_of(vec![
+            imaging_like_pipeline(7),
+            Skeleton::farm(TaskSpec::uniform(5, 1.0, 0, 0)),
+            Skeleton::farm_of(vec![imaging_like_pipeline(2)]),
+        ]);
+        assert_eq!(s.work_units(), 14);
+        assert!(s.total_work() > 0.0);
+    }
+
+    #[test]
+    fn validation_rejects_empty_leaves_anywhere_in_the_tree() {
+        assert!(Skeleton::farm(vec![]).validate().is_err());
+        assert!(Skeleton::pipeline(vec![], 3).validate().is_err());
+        assert!(Skeleton::pipeline(StageSpec::balanced(2, 1.0, 0), 0)
+            .validate()
+            .is_err());
+        assert!(Skeleton::farm_of(vec![]).validate().is_err());
+        let nested_bad = Skeleton::farm_of(vec![imaging_like_pipeline(2), Skeleton::farm(vec![])]);
+        assert!(nested_bad.validate().is_err());
+        assert!(Skeleton::pipeline_of(vec![], 2).validate().is_err());
+    }
+
+    #[test]
+    fn properties_compose_bottom_up() {
+        let fop = Skeleton::farm_of(vec![imaging_like_pipeline(4), imaging_like_pipeline(4)]);
+        let p = fop.properties();
+        assert_eq!(p.kind, SkeletonKind::FarmOfPipelines);
+        assert!(p.independent_tasks, "outer farm instances are independent");
+        assert_eq!(p.rebalancing, Rebalancing::AnyTaskAnyWorker);
+
+        let pof = Skeleton::pipeline_of(
+            vec![
+                FarmedStage::plain(StageSpec::new(0, 5.0, 1024, 0)),
+                FarmedStage::farmed(StageSpec::new(1, 50.0, 1024, 0), 4),
+            ],
+            10,
+        );
+        let p = pof.properties();
+        assert_eq!(p.kind, SkeletonKind::PipelineOfFarms);
+        assert!(p.ordered_results);
+        assert_eq!(p.rebalancing, Rebalancing::StageRemapping);
+    }
+
+    #[test]
+    fn lowering_conserves_units_and_renumbers_globally() {
+        let s = Skeleton::farm_of(vec![
+            Skeleton::farm(TaskSpec::uniform(3, 2.0, 64, 64)),
+            imaging_like_pipeline(5),
+        ]);
+        let (tasks, spans) = s.lower_to_farm();
+        assert_eq!(tasks.len(), 8);
+        let ids: Vec<usize> = tasks.iter().map(|t| t.id).collect();
+        assert_eq!(ids, (0..8).collect::<Vec<_>>());
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].count, 3);
+        assert_eq!(spans[1].start, 3);
+        assert_eq!(spans[1].count, 5);
+        // The lowered pipeline items carry the whole per-item stage chain.
+        assert!((tasks[3].work - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leaf_farm_lowering_preserves_original_ids() {
+        let mut tasks = TaskSpec::uniform(4, 1.0, 0, 0);
+        tasks.reverse(); // ids now 3, 2, 1, 0
+        let s = Skeleton::farm(tasks.clone());
+        let (lowered, spans) = s.lower_to_farm();
+        assert_eq!(lowered, tasks);
+        assert!(spans.is_empty());
+    }
+
+    #[test]
+    fn sim_backend_runs_a_nested_farm_of_pipelines() {
+        let grid = Grid::dedicated(TopologyBuilder::heterogeneous_cluster(6, 20.0, 60.0, 3));
+        let skeleton = Skeleton::farm_of(vec![
+            imaging_like_pipeline(10),
+            imaging_like_pipeline(10),
+            Skeleton::farm(TaskSpec::uniform(8, 25.0, 4096, 4096)),
+        ]);
+        let backend = SimBackend::new(&grid);
+        let cfg = GraspConfig::default();
+        let compiled = backend.compile(&cfg, &skeleton).unwrap();
+        assert_eq!(
+            compiled.properties().kind,
+            SkeletonKind::FarmOfPipelines,
+            "composed properties steer the run"
+        );
+        let outcome = backend.execute(&cfg, &compiled).unwrap();
+        assert_eq!(outcome.completed, 28);
+        assert!(outcome.conserves_units_of(&skeleton));
+        assert_eq!(outcome.children.len(), 3);
+        assert_eq!(outcome.children[2].completed, 8);
+        assert!(outcome.makespan_s > 0.0);
+        assert!(outcome.throughput() > 0.0);
+        assert!(matches!(outcome.detail, OutcomeDetail::SimFarm(_)));
+        // Child makespans are bounded by the parent's.
+        for c in &outcome.children {
+            assert!(c.makespan_s <= outcome.makespan_s + 1e-9);
+        }
+    }
+
+    #[test]
+    fn sim_backend_runs_a_pipeline_of_farms() {
+        let grid = Grid::dedicated(TopologyBuilder::uniform_cluster(6, 40.0));
+        let heavy = StageSpec::new(1, 60.0, 8 * 1024, 0);
+        let skeleton = Skeleton::pipeline_of(
+            vec![
+                FarmedStage::plain(StageSpec::new(0, 10.0, 8 * 1024, 0)),
+                FarmedStage::farmed(heavy, 3),
+                FarmedStage::plain(StageSpec::new(2, 10.0, 8 * 1024, 0)),
+            ],
+            30,
+        );
+        let backend = SimBackend::new(&grid);
+        let cfg = GraspConfig::default();
+        let compiled = backend.compile(&cfg, &skeleton).unwrap();
+        let outcome = backend.execute(&cfg, &compiled).unwrap();
+        assert_eq!(outcome.completed, 30);
+        assert_eq!(outcome.kind, SkeletonKind::PipelineOfFarms);
+        assert!(outcome.conserves_units_of(&skeleton));
+
+        // The farmed heavy stage must not dominate: against the same chain
+        // without replication the bottleneck service time drops ~3x.
+        let rigid = Skeleton::pipeline(
+            vec![
+                StageSpec::new(0, 10.0, 8 * 1024, 0),
+                StageSpec::new(1, 60.0, 8 * 1024, 0),
+                StageSpec::new(2, 10.0, 8 * 1024, 0),
+            ],
+            30,
+        );
+        let rigid_out = backend
+            .execute(&cfg, &backend.compile(&cfg, &rigid).unwrap())
+            .unwrap();
+        assert!(
+            outcome.makespan_s < rigid_out.makespan_s,
+            "replicating the bottleneck stage must help: {} vs {}",
+            outcome.makespan_s,
+            rigid_out.makespan_s
+        );
+    }
+
+    #[test]
+    fn sim_backend_rejects_empty_pools_and_workloads() {
+        let grid = Grid::dedicated(TopologyBuilder::uniform_cluster(2, 40.0));
+        let cfg = GraspConfig::default();
+        let skeleton = Skeleton::farm(TaskSpec::uniform(4, 1.0, 0, 0));
+        assert!(matches!(
+            SimBackend::on(&grid, &[]).compile(&cfg, &skeleton),
+            Err(GraspError::NoUsableNodes)
+        ));
+        assert!(SimBackend::new(&grid)
+            .compile(&cfg, &Skeleton::farm(vec![]))
+            .is_err());
+    }
+
+    #[test]
+    fn conservation_check_rejects_duplicated_and_missing_units() {
+        let skeleton = Skeleton::farm(TaskSpec::uniform(3, 1.0, 0, 0));
+        let ok = SkeletonOutcome {
+            kind: SkeletonKind::TaskFarm,
+            completed: 3,
+            unit_ids: vec![0, 1, 2],
+            makespan_s: 1.0,
+            calibration_s: 0.0,
+            adaptations: 0,
+            children: Vec::new(),
+            detail: OutcomeDetail::None,
+        };
+        assert!(ok.conserves_units_of(&skeleton));
+        // A unit completed twice while another was dropped must be caught
+        // even though the counts line up.
+        let duplicated = SkeletonOutcome {
+            unit_ids: vec![0, 0, 2],
+            ..ok.clone()
+        };
+        assert!(!duplicated.conserves_units_of(&skeleton));
+        let short = SkeletonOutcome {
+            completed: 2,
+            unit_ids: vec![0, 1],
+            ..ok
+        };
+        assert!(!short.conserves_units_of(&skeleton));
+    }
+
+    #[test]
+    fn reference_ratio_scales_with_speed_and_bytes() {
+        let fast = reference_ratio(10.0, 100.0, 1024);
+        let slow = reference_ratio(1.0, 100.0, 1024);
+        assert!(slow > fast, "slower nodes make compute relatively costlier");
+        let chatty = reference_ratio(1.0, 100.0, 64 << 20);
+        assert!(chatty < slow, "more bytes lower the ratio");
+    }
+}

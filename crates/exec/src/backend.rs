@@ -1,0 +1,367 @@
+//! The shared-memory [`Backend`]: composable skeletons on real threads.
+//!
+//! [`ThreadBackend`] adapts [`ThreadFarm`] and [`ThreadPipeline`] to the
+//! `grasp-core` [`Backend`] trait so the *same* [`Skeleton`] expression that
+//! drives the simulated grid runs on the local machine:
+//!
+//! * farm-shaped expressions (including farm-of-pipelines, via the shared
+//!   lowering of [`Skeleton::lower_to_farm`]) become a [`ThreadFarm`] whose
+//!   tasks execute a calibrated spin kernel proportional to each unit's
+//!   declared work;
+//! * pipeline-shaped expressions become a [`ThreadPipeline`], with farmed
+//!   stages realised as genuinely replicated stage workers
+//!   ([`ThreadPipeline::stage_replicated`]).
+//!
+//! Because both backends lower compositions through the same rules, their
+//! outcomes agree structurally — same unit ids, same per-child counts — even
+//! though one clock is virtual and the other is wall time.  That is what
+//! makes backend-parity tests and experiment portability possible.
+
+use crate::farm::ThreadFarm;
+use crate::pipeline::ThreadPipeline;
+use grasp_core::error::GraspError;
+use grasp_core::skeleton::{Backend, OutcomeDetail, Skeleton, SkeletonOutcome, UnitSpan};
+use grasp_core::{GraspConfig, SchedulePolicy, StageSpec};
+use std::hint::black_box;
+
+/// Spin for approximately `iters` iterations of optimisation-resistant
+/// integer work — the real computational kernel synthesised from a unit's
+/// abstract work declaration (also the spin loop the crate's tests use, so
+/// the kernel lives in exactly one place).
+pub(crate) fn spin(iters: u64) -> u64 {
+    let mut acc = 0x9E3779B97F4A7C15u64;
+    for i in 0..iters {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i | 1);
+    }
+    black_box(acc)
+}
+
+/// The real-thread execution backend for skeleton expressions.
+///
+/// Job-level parameters come from the [`GraspConfig`] handed to
+/// `Grasp::run`: the farm scheduling policy (`config.scheduler`) and the
+/// calibration sample count (`config.calibration.samples_per_node`), unless
+/// explicitly overridden with [`ThreadBackend::with_policy`] /
+/// [`ThreadBackend::with_calibration_samples`].  The grid-monitoring knobs
+/// (threshold *Z*, monitor interval, recalibration budget) have no
+/// wall-clock counterpart here: the thread farm adapts continuously through
+/// demand-driven weighted chunking instead of discrete recalibrations.
+#[derive(Debug, Clone)]
+pub struct ThreadBackend {
+    workers: usize,
+    /// Explicit override of the config's scheduling policy.
+    policy: Option<SchedulePolicy>,
+    /// Explicit override of the config's calibration sample count.
+    calibration_samples: Option<usize>,
+    /// Spin iterations executed per declared work unit.
+    spin_per_work_unit: u64,
+}
+
+impl Default for ThreadBackend {
+    fn default() -> Self {
+        ThreadBackend::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2),
+        )
+    }
+}
+
+impl ThreadBackend {
+    /// A backend with `workers` farm threads and a small default kernel
+    /// scale; scheduling policy and calibration sample count come from the
+    /// job's [`GraspConfig`] unless overridden.
+    pub fn new(workers: usize) -> Self {
+        ThreadBackend {
+            workers: workers.max(1),
+            policy: None,
+            calibration_samples: None,
+            spin_per_work_unit: 500,
+        }
+    }
+
+    /// Override the farm scheduling policy (otherwise `config.scheduler`).
+    pub fn with_policy(mut self, policy: SchedulePolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Override how many probe tasks each farm worker executes during the
+    /// calibration pass (0 disables it; otherwise
+    /// `config.calibration.samples_per_node`).
+    pub fn with_calibration_samples(mut self, samples: usize) -> Self {
+        self.calibration_samples = Some(samples);
+        self
+    }
+
+    /// Override how many spin iterations one declared work unit costs
+    /// (lower = faster tests, higher = more realistic load).
+    pub fn with_spin_per_work_unit(mut self, iters: u64) -> Self {
+        self.spin_per_work_unit = iters.max(1);
+        self
+    }
+
+    /// Number of farm worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn iters_for(&self, work: f64) -> u64 {
+        (work.max(0.0) * self.spin_per_work_unit as f64).round() as u64
+    }
+}
+
+/// A skeleton bound to the thread backend, ready to execute.
+#[derive(Debug, Clone)]
+pub struct ThreadCompiled {
+    plan: ThreadPlan,
+    kind: grasp_core::SkeletonKind,
+}
+
+#[derive(Debug, Clone)]
+enum ThreadPlan {
+    /// Flat unit list (global id, declared work) plus the composition spans.
+    Farm {
+        units: Vec<(usize, f64)>,
+        spans: Vec<UnitSpan>,
+    },
+    /// Raw stages with their replica counts and the stream length.
+    Pipeline {
+        stages: Vec<StageSpec>,
+        replicas: Vec<usize>,
+        items: usize,
+    },
+}
+
+impl Backend for ThreadBackend {
+    type Compiled = ThreadCompiled;
+
+    fn name(&self) -> &'static str {
+        "threads"
+    }
+
+    fn compile(
+        &self,
+        config: &GraspConfig,
+        skeleton: &Skeleton,
+    ) -> Result<Self::Compiled, GraspError> {
+        config.validate()?;
+        skeleton.validate()?;
+        let plan = match skeleton.pipeline_plan() {
+            Some((stages, replicas, items)) => ThreadPlan::Pipeline {
+                stages,
+                replicas,
+                items,
+            },
+            None => {
+                let (tasks, spans) = skeleton.lower_to_farm();
+                ThreadPlan::Farm {
+                    units: tasks.iter().map(|t| (t.id, t.work)).collect(),
+                    spans,
+                }
+            }
+        };
+        Ok(ThreadCompiled {
+            plan,
+            kind: skeleton.kind(),
+        })
+    }
+
+    fn execute(
+        &self,
+        config: &GraspConfig,
+        compiled: &Self::Compiled,
+    ) -> Result<SkeletonOutcome, GraspError> {
+        let policy = self.policy.unwrap_or(config.scheduler);
+        match &compiled.plan {
+            ThreadPlan::Farm { units, spans } => {
+                let samples = self
+                    .calibration_samples
+                    .unwrap_or(config.calibration.samples_per_node);
+                let farm = ThreadFarm::new(self.workers)
+                    .with_policy(policy)
+                    .with_calibration_samples(samples);
+                let run_start = std::time::Instant::now();
+                let (results, stats) = farm.run(units, |&(id, work)| {
+                    spin(self.iters_for(work));
+                    (id, run_start.elapsed().as_secs_f64())
+                });
+                let makespan_s = stats.total.as_secs_f64();
+                // Sparse id → wall-clock completion table: leaf farms keep
+                // their original (possibly arbitrary) ids, so no dense
+                // max-id-sized buffer.  Spans share it via the same helper
+                // the simulated backend uses.
+                let completions: std::collections::BTreeMap<usize, f64> =
+                    results.iter().copied().collect();
+                let mut unit_ids: Vec<usize> = results.iter().map(|&(id, _)| id).collect();
+                unit_ids.sort_unstable();
+                Ok(SkeletonOutcome {
+                    kind: compiled.kind,
+                    completed: unit_ids.len(),
+                    unit_ids,
+                    makespan_s,
+                    calibration_s: stats.calibration.as_secs_f64(),
+                    adaptations: 0,
+                    children: spans.iter().map(|s| s.outcome_from(&completions)).collect(),
+                    detail: OutcomeDetail::ThreadFarm {
+                        workers: stats.workers,
+                        tasks_per_worker: stats.tasks_per_worker.clone(),
+                    },
+                })
+            }
+            ThreadPlan::Pipeline {
+                stages,
+                replicas,
+                items,
+            } => {
+                let mut pipeline: ThreadPipeline<usize> = ThreadPipeline::new();
+                for (stage, &r) in stages.iter().zip(replicas) {
+                    let iters = self.iters_for(stage.work_per_item);
+                    let f = move |x: usize| {
+                        spin(iters);
+                        x
+                    };
+                    pipeline = if r > 1 {
+                        pipeline.stage_replicated(f, r)
+                    } else {
+                        pipeline.stage(f)
+                    };
+                }
+                let (out, stats) = pipeline.run((0..*items).collect());
+                let mut unit_ids = out;
+                unit_ids.sort_unstable();
+                Ok(SkeletonOutcome {
+                    kind: compiled.kind,
+                    completed: unit_ids.len(),
+                    unit_ids,
+                    makespan_s: stats.total.as_secs_f64(),
+                    calibration_s: 0.0,
+                    adaptations: 0,
+                    children: Vec::new(),
+                    detail: OutcomeDetail::ThreadPipeline {
+                        bottleneck_stage: stats.bottleneck_stage,
+                        replicas_per_stage: stats.replicas_per_stage.clone(),
+                    },
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grasp_core::{Grasp, SkeletonKind, TaskSpec};
+
+    fn fast_backend() -> ThreadBackend {
+        ThreadBackend::new(3).with_spin_per_work_unit(1)
+    }
+
+    fn lane(items: usize) -> Skeleton {
+        Skeleton::pipeline(StageSpec::balanced(3, 4.0, 1024), items)
+    }
+
+    #[test]
+    fn farm_skeleton_completes_every_unit_exactly_once() {
+        let skeleton = Skeleton::farm(TaskSpec::uniform(50, 2.0, 0, 0));
+        let report = Grasp::new(GraspConfig::default())
+            .run(&fast_backend(), &skeleton)
+            .unwrap();
+        assert_eq!(report.outcome.completed, 50);
+        assert_eq!(report.outcome.unit_ids, (0..50).collect::<Vec<_>>());
+        assert!(report.outcome.conserves_units_of(&skeleton));
+        assert!(matches!(
+            report.outcome.detail,
+            OutcomeDetail::ThreadFarm { workers: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn nested_farm_of_pipelines_runs_on_threads() {
+        let skeleton = Skeleton::farm_of(vec![
+            lane(8),
+            Skeleton::farm(TaskSpec::uniform(5, 1.0, 0, 0)),
+            lane(8),
+        ]);
+        let report = Grasp::new(GraspConfig::default())
+            .run(&fast_backend(), &skeleton)
+            .unwrap();
+        assert_eq!(report.outcome.kind, SkeletonKind::FarmOfPipelines);
+        assert_eq!(report.outcome.completed, 21);
+        assert!(report.outcome.conserves_units_of(&skeleton));
+        assert_eq!(report.outcome.children.len(), 3);
+        assert_eq!(report.outcome.children[1].completed, 5);
+        // Child makespans are each child's own last completion, bounded by
+        // the whole run — not a copy of the parent's.
+        for c in &report.outcome.children {
+            assert!(c.makespan_s > 0.0);
+            assert!(c.makespan_s <= report.outcome.makespan_s);
+        }
+    }
+
+    #[test]
+    fn job_config_drives_policy_and_calibration_unless_overridden() {
+        let skeleton = Skeleton::farm(TaskSpec::uniform(30, 1.0, 0, 0));
+        // Config with calibration disabled: the backend must honour it.
+        let mut cfg = GraspConfig::default();
+        cfg.calibration.samples_per_node = 0;
+        cfg.scheduler = grasp_core::SchedulePolicy::SelfScheduling;
+        let report = Grasp::new(cfg)
+            .run(&ThreadBackend::new(2).with_spin_per_work_unit(1), &skeleton)
+            .unwrap();
+        assert_eq!(report.outcome.calibration_s, 0.0);
+        assert_eq!(report.outcome.completed, 30);
+        // An explicit backend override wins over the config.
+        let report = Grasp::new(cfg)
+            .run(
+                &ThreadBackend::new(2)
+                    .with_spin_per_work_unit(1)
+                    .with_calibration_samples(2),
+                &skeleton,
+            )
+            .unwrap();
+        assert!(report.outcome.calibration_s >= 0.0);
+        assert_eq!(report.outcome.completed, 30);
+    }
+
+    #[test]
+    fn pipeline_of_farms_replicates_the_farmed_stage() {
+        use grasp_core::FarmedStage;
+        let skeleton = Skeleton::pipeline_of(
+            vec![
+                FarmedStage::plain(StageSpec::new(0, 1.0, 0, 0)),
+                FarmedStage::farmed(StageSpec::new(1, 8.0, 0, 0), 3),
+            ],
+            30,
+        );
+        let report = Grasp::new(GraspConfig::default())
+            .run(&fast_backend(), &skeleton)
+            .unwrap();
+        assert_eq!(report.outcome.kind, SkeletonKind::PipelineOfFarms);
+        assert_eq!(report.outcome.completed, 30);
+        match &report.outcome.detail {
+            OutcomeDetail::ThreadPipeline {
+                replicas_per_stage, ..
+            } => assert_eq!(replicas_per_stage, &vec![1, 3]),
+            other => panic!("unexpected detail {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_expressions_are_rejected_at_compile_time() {
+        let backend = fast_backend();
+        let cfg = GraspConfig::default();
+        assert!(backend.compile(&cfg, &Skeleton::farm(vec![])).is_err());
+        assert!(backend
+            .compile(
+                &cfg,
+                &Skeleton::farm_of(vec![Skeleton::pipeline(vec![], 4)])
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn default_backend_uses_available_parallelism() {
+        assert!(ThreadBackend::default().workers() >= 1);
+    }
+}

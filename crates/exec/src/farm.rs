@@ -250,15 +250,7 @@ impl ThreadFarm {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn spin_work(n: u64) -> u64 {
-        // A small, optimisation-resistant busy loop.
-        let mut acc = 0u64;
-        for i in 0..n {
-            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
-        }
-        acc
-    }
+    use crate::backend::spin as spin_work;
 
     #[test]
     fn results_preserve_input_order() {

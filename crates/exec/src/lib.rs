@@ -19,12 +19,19 @@
 //!
 //! Both skeletons guarantee that results are delivered in submission order,
 //! and neither uses `unsafe`.
+//!
+//! On top of the two engines, [`backend::ThreadBackend`] implements the
+//! `grasp-core` `Backend` trait, so any composable `Skeleton` expression —
+//! including nested farm-of-pipelines and pipeline-of-farms — runs on real
+//! threads through the same `Grasp::run` entry point as the simulation.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod backend;
 pub mod farm;
 pub mod pipeline;
 
+pub use backend::ThreadBackend;
 pub use farm::{FarmStats, ThreadFarm};
 pub use pipeline::{PipelineStats, ThreadPipeline};

@@ -48,6 +48,10 @@ impl PipelineStats {
 /// A shared-memory pipeline over stages of type `T -> T`.
 pub struct ThreadPipeline<T> {
     stages: Vec<Arc<StageFn<T>>>,
+    /// Explicit per-stage worker counts (1 = plain stage).  The skeleton
+    /// layer uses this to realise a pipeline-of-farms: a farmed stage gets
+    /// its replica count of worker threads.
+    stage_replicas: Vec<usize>,
     channel_capacity: usize,
     /// Replicate a stage when its mean service exceeds this multiple of the
     /// mean over all stages (`None` disables replication).
@@ -61,6 +65,7 @@ impl<T: Send + 'static> ThreadPipeline<T> {
     pub fn new() -> Self {
         ThreadPipeline {
             stages: Vec::new(),
+            stage_replicas: Vec::new(),
             channel_capacity: 16,
             replication_threshold: None,
             replicas: 2,
@@ -70,6 +75,20 @@ impl<T: Send + 'static> ThreadPipeline<T> {
     /// Append a stage.
     pub fn stage(mut self, f: impl Fn(T) -> T + Send + Sync + 'static) -> Self {
         self.stages.push(Arc::new(Box::new(f)));
+        self.stage_replicas.push(1);
+        self
+    }
+
+    /// Append a stage farmed across `replicas` worker threads (clamped to
+    /// ≥ 1) — the shared-memory realisation of a nested farm stage inside a
+    /// pipeline.  Result order is still preserved by the reordering sink.
+    pub fn stage_replicated(
+        mut self,
+        f: impl Fn(T) -> T + Send + Sync + 'static,
+        replicas: usize,
+    ) -> Self {
+        self.stages.push(Arc::new(Box::new(f)));
+        self.stage_replicas.push(replicas.max(1));
         self
     }
 
@@ -113,11 +132,42 @@ impl<T: Send + 'static> ThreadPipeline<T> {
             );
         }
 
-        // Decide replication from a probe of the first few items, run
-        // sequentially through each stage (cheap relative to the stream).
         let mut replicas_per_stage = vec![1usize; n_stages];
         let service_times: Vec<Mutex<Vec<f64>>> =
             (0..n_stages).map(|_| Mutex::new(Vec::new())).collect();
+
+        // ------------------------------ probe -------------------------------
+        // Decide replication from a short probe prefix of the stream, run
+        // sequentially through each stage (cheap relative to the stream): a
+        // stage whose probe-mean service exceeds `threshold ×` the all-stage
+        // probe mean is the bottleneck and receives `self.replicas` workers.
+        let mut items = items;
+        let mut probe_results: Vec<(usize, T)> = Vec::new();
+        if self.replication_threshold.is_some() {
+            let probe_n = items.len().min(4);
+            let mut probe_means = vec![0.0f64; n_stages];
+            let rest = items.split_off(probe_n);
+            for (seq, item) in items.into_iter().enumerate() {
+                let mut current = item;
+                for (i, stage) in self.stages.iter().enumerate() {
+                    let t0 = Instant::now();
+                    current = stage(current);
+                    let dt = t0.elapsed().as_secs_f64();
+                    probe_means[i] += dt / probe_n as f64;
+                    service_times[i].lock().push(dt);
+                }
+                probe_results.push((seq, current));
+            }
+            items = rest;
+            let overall = probe_means.iter().sum::<f64>() / n_stages as f64;
+            let threshold = self.replication_threshold.unwrap_or(f64::INFINITY);
+            for (i, &m) in probe_means.iter().enumerate() {
+                if overall > 0.0 && m > threshold * overall {
+                    replicas_per_stage[i] = self.replicas;
+                }
+            }
+        }
+        let probe_offset = probe_results.len();
 
         // ----------------------------- plumbing -----------------------------
         // stage i reads from rx[i] and writes to tx[i+1]; the sink collects
@@ -131,27 +181,28 @@ impl<T: Send + 'static> ThreadPipeline<T> {
         }
 
         let collected: Mutex<BTreeMap<usize, T>> = Mutex::new(BTreeMap::new());
+        for (seq, item) in probe_results {
+            collected.lock().insert(seq, item);
+        }
 
         std::thread::scope(|scope| {
-            // Source: feed the items with sequence numbers.
+            // Source: feed the remaining items with sequence numbers.
             let source_tx = senders[0].clone();
             scope.spawn(move || {
                 for (seq, item) in items.into_iter().enumerate() {
-                    if source_tx.send((seq, item)).is_err() {
+                    if source_tx.send((probe_offset + seq, item)).is_err() {
                         break;
                     }
                 }
             });
 
-            // Stages.
+            // Stages.  A stage's worker count is its explicit replica count
+            // (stage_replicated), raised to the probe-decided count when
+            // bottleneck replication (with_replication) flagged the stage.
             for (i, stage) in self.stages.iter().enumerate() {
-                let workers = replicas_per_stage[i].max(1);
-                // Replication decision (static here; the adaptive decision is
-                // re-evaluated below once probe timings exist).
-                let _ = workers;
-                let replicate = self.replication_threshold.is_some();
-                let worker_count = if replicate { self.replicas } else { 1 };
-                replicas_per_stage[i] = if replicate { self.replicas } else { 1 };
+                let explicit = self.stage_replicas.get(i).copied().unwrap_or(1).max(1);
+                let worker_count = explicit.max(replicas_per_stage[i]);
+                replicas_per_stage[i] = worker_count;
                 for _ in 0..worker_count {
                     let rx = receivers[i].clone();
                     let tx = senders[i + 1].clone();
@@ -232,14 +283,7 @@ impl<T: Send + 'static> Default for ThreadPipeline<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn spin(n: u64) -> u64 {
-        let mut acc = 1u64;
-        for i in 0..n {
-            acc = acc.wrapping_mul(2862933555777941757).wrapping_add(i);
-        }
-        acc
-    }
+    use crate::backend::spin;
 
     #[test]
     fn items_flow_through_all_stages_in_order() {
@@ -306,6 +350,26 @@ mod tests {
         assert_eq!(out_repl, expected, "replication must preserve order");
         assert!(stats_repl.replicas_per_stage.iter().any(|&r| r > 1));
         assert_eq!(stats_plain.replicas_per_stage, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn per_stage_replication_preserves_order_and_reports_workers() {
+        let pipeline = ThreadPipeline::new()
+            .stage(|x: u64| x + 1)
+            .stage_replicated(
+                |x: u64| {
+                    std::hint::black_box(spin(10_000));
+                    x * 3
+                },
+                3,
+            )
+            .stage(|x: u64| x - 2);
+        let items: Vec<u64> = (0..80).collect();
+        let expected: Vec<u64> = items.iter().map(|x| (x + 1) * 3 - 2).collect();
+        let (out, stats) = pipeline.run(items);
+        assert_eq!(out, expected, "farmed stage must preserve stream order");
+        assert_eq!(stats.replicas_per_stage, vec![1, 3, 1]);
+        assert_eq!(stats.items_per_stage, vec![80, 80, 80]);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! threshold — a representative mix of cheap and expensive stencil stages
 //! whose costs differ enough that stage→node mapping matters.
 
-use grasp_core::StageSpec;
+use grasp_core::{FarmedStage, Skeleton, StageSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -191,6 +191,47 @@ impl ImagePipeline {
             .map(|(id, &w)| StageSpec::new(id, pixels * w / scale, frame_bytes, frame_bytes))
             .collect()
     }
+
+    /// Index of the heaviest stage (the Sobel edge detector).
+    pub const HEAVY_STAGE: usize = 2;
+
+    /// The pipeline as a composable skeleton whose heavy Sobel stage is a
+    /// **nested farm** of `sobel_replicas` workers (a pipeline-of-farms):
+    /// the edge detector dominates the chain (~2.2 convolutions per pixel
+    /// against 1 for blur/sharpen), so farming it out removes the bottleneck
+    /// while the chain keeps its stage structure and ordering guarantee.
+    pub fn as_nested_skeleton(&self, pixels_per_work_unit: f64, sobel_replicas: usize) -> Skeleton {
+        let stages = self
+            .as_stages(pixels_per_work_unit)
+            .into_iter()
+            .map(|s| {
+                if s.id == Self::HEAVY_STAGE {
+                    FarmedStage::farmed(s, sobel_replicas)
+                } else {
+                    FarmedStage::plain(s)
+                }
+            })
+            .collect();
+        Skeleton::pipeline_of(stages, self.frames)
+    }
+
+    /// The stream split into `lanes` independent sub-streams, each flowing
+    /// through its own pipeline instance (a **farm-of-pipelines**): frames
+    /// are mutually independent, so the outer farm may route whole lanes to
+    /// wherever capacity is, while each lane keeps the stage chain.
+    pub fn as_farm_of_pipelines(&self, pixels_per_work_unit: f64, lanes: usize) -> Skeleton {
+        let lanes = lanes.clamp(1, self.frames.max(1));
+        let stages = self.as_stages(pixels_per_work_unit);
+        let per_lane = self.frames / lanes;
+        let remainder = self.frames % lanes;
+        let children = (0..lanes)
+            .map(|i| {
+                let items = per_lane + usize::from(i < remainder);
+                Skeleton::pipeline(stages.clone(), items)
+            })
+            .collect();
+        Skeleton::farm_of(children)
+    }
 }
 
 #[cfg(test)]
@@ -258,5 +299,42 @@ mod tests {
     fn byte_size_matches_pixel_count() {
         let img = SyntheticImage::generate(10, 10, 0);
         assert_eq!(img.byte_size(), 400);
+    }
+
+    #[test]
+    fn nested_skeleton_farms_the_sobel_stage() {
+        let p = ImagePipeline::small();
+        let s = p.as_nested_skeleton(1000.0, 4);
+        assert_eq!(s.work_units(), p.frames);
+        match &s {
+            Skeleton::PipelineOf { stages, items } => {
+                assert_eq!(*items, p.frames);
+                assert_eq!(stages.len(), 4);
+                assert_eq!(stages[ImagePipeline::HEAVY_STAGE].replicas, 4);
+                assert!(stages
+                    .iter()
+                    .filter(|st| st.spec.id != ImagePipeline::HEAVY_STAGE)
+                    .all(|st| st.replicas == 1));
+            }
+            other => panic!("expected a pipeline-of-farms, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn farm_of_pipelines_partitions_every_frame() {
+        let p = ImagePipeline::small(); // 10 frames
+        let s = p.as_farm_of_pipelines(1000.0, 3);
+        assert_eq!(s.work_units(), p.frames, "no frame lost to the split");
+        match &s {
+            Skeleton::FarmOf { children } => {
+                assert_eq!(children.len(), 3);
+                // 10 = 4 + 3 + 3.
+                assert_eq!(children[0].work_units(), 4);
+                assert_eq!(children[1].work_units(), 3);
+            }
+            other => panic!("expected a farm-of-pipelines, got {other:?}"),
+        }
+        // More lanes than frames is clamped.
+        assert_eq!(p.as_farm_of_pipelines(1000.0, 99).work_units(), p.frames);
     }
 }

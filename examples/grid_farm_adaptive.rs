@@ -46,25 +46,38 @@ fn main() {
         grasp_repro::grasp_core::task::total_work(&tasks)
     );
 
-    let adaptive = Grasp::new(GraspConfig::adaptive_multivariate()).run_farm(&build_grid(), &tasks);
-    let rigid = Grasp::new(GraspConfig::static_baseline()).run_farm(&build_grid(), &tasks);
+    let skeleton = Skeleton::farm(tasks);
+    let adaptive_grid = build_grid();
+    let adaptive = Grasp::new(GraspConfig::adaptive_multivariate())
+        .run(&SimBackend::new(&adaptive_grid), &skeleton)
+        .expect("adaptive farm run failed");
+    let rigid_grid = build_grid();
+    let rigid = Grasp::new(GraspConfig::static_baseline())
+        .run(&SimBackend::new(&rigid_grid), &skeleton)
+        .expect("rigid farm run failed");
 
     println!("\n== adaptive GRASP farm ==");
-    println!(
-        "makespan {:.1}s, {} adaptations, {} recalibrations, mean task latency {:.2}s",
-        adaptive.outcome.makespan.as_secs(),
-        adaptive.outcome.adaptation.len(),
-        adaptive.outcome.adaptation.recalibrations(),
-        adaptive.outcome.mean_task_latency()
-    );
+    print_farm_report(&adaptive);
     println!("\n== rigid static farm (baseline) ==");
-    println!(
-        "makespan {:.1}s, {} adaptations",
-        rigid.outcome.makespan.as_secs(),
-        rigid.outcome.adaptation.len()
-    );
+    print_farm_report(&rigid);
     println!(
         "\nadaptive is {:.2}x faster than the rigid baseline under the load spike",
-        rigid.outcome.makespan.as_secs() / adaptive.outcome.makespan.as_secs()
+        rigid.outcome.makespan_s / adaptive.outcome.makespan_s
     );
+}
+
+fn print_farm_report(report: &GraspRunReport<SkeletonOutcome>) {
+    match &report.outcome.detail {
+        OutcomeDetail::SimFarm(farm) => println!(
+            "makespan {:.1}s, {} adaptations, {} recalibrations, mean task latency {:.2}s",
+            farm.makespan.as_secs(),
+            farm.adaptation.len(),
+            farm.adaptation.recalibrations(),
+            farm.mean_task_latency()
+        ),
+        _ => println!(
+            "makespan {:.1}s, {} adaptations",
+            report.outcome.makespan_s, report.outcome.adaptations
+        ),
+    }
 }

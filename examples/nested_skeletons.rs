@@ -1,0 +1,97 @@
+//! Nested skeletons through one entry point on two backends.
+//!
+//! ```text
+//! cargo run --release --example nested_skeletons
+//! ```
+//!
+//! Builds a **farm-of-pipelines** from the imaging workload (four lanes,
+//! each streaming frames through the blur → sharpen → Sobel → threshold
+//! chain) and a **pipeline-of-farms** (the same chain with the heavy Sobel
+//! stage farmed across three workers), then runs both expressions unchanged
+//! through `Grasp::run` on:
+//!
+//! * the simulated-grid backend (`SimBackend`, virtual time), and
+//! * the real-thread backend (`ThreadBackend`, wall-clock time).
+//!
+//! The two backends share the skeleton lowering, so their outcomes agree
+//! structurally — same unit ids, same per-lane counts — which the example
+//! asserts before printing the reports.
+
+use grasp_repro::grasp_core::prelude::*;
+use grasp_repro::grasp_exec::ThreadBackend;
+use grasp_repro::grasp_workloads::imaging::ImagePipeline;
+use grasp_repro::gridsim::{Grid, TopologyBuilder};
+
+fn report_line(backend: &str, report: &GraspRunReport<SkeletonOutcome>) {
+    println!(
+        "  {backend:<8} {:<18} {:>4} units in {:>8.3}s ({:>7.2} units/s), {} lanes, {} adaptations",
+        report.outcome.kind.name(),
+        report.outcome.completed,
+        report.outcome.makespan_s,
+        report.outcome.throughput(),
+        report.outcome.children.len(),
+        report.outcome.adaptations,
+    );
+}
+
+fn main() {
+    let job = ImagePipeline {
+        width: 320,
+        height: 240,
+        frames: 64,
+        seed: 11,
+    };
+    let farm_of_pipes = job.as_farm_of_pipelines(2e4, 4);
+    let pipe_of_farms = job.as_nested_skeleton(2e4, 3);
+
+    let grid = Grid::dedicated(TopologyBuilder::heterogeneous_cluster(8, 20.0, 80.0, 11));
+    let sim = SimBackend::new(&grid);
+    let threads = ThreadBackend::new(4).with_spin_per_work_unit(2_000);
+    let grasp = Grasp::new(GraspConfig::default());
+
+    println!(
+        "farm-of-pipelines: {} lanes x ~{} frames, properties: ratio {:.2}, kind {}",
+        4,
+        job.frames / 4,
+        farm_of_pipes.properties().comp_comm_ratio,
+        farm_of_pipes.kind().name()
+    );
+    let sim_report = grasp
+        .run(&sim, &farm_of_pipes)
+        .expect("sim run of the nested farm failed");
+    let thread_report = grasp
+        .run(&threads, &farm_of_pipes)
+        .expect("thread run of the nested farm failed");
+    report_line("sim", &sim_report);
+    report_line("threads", &thread_report);
+    assert_eq!(
+        sim_report.outcome.unit_ids, thread_report.outcome.unit_ids,
+        "both backends must cover the same unit set"
+    );
+    assert!(sim_report.outcome.conserves_units_of(&farm_of_pipes));
+    assert!(thread_report.outcome.conserves_units_of(&farm_of_pipes));
+    println!("  -> backends agree on the unit set and per-lane counts\n");
+
+    println!(
+        "pipeline-of-farms: Sobel stage farmed x3, kind {}",
+        pipe_of_farms.kind().name()
+    );
+    let sim_report = grasp
+        .run(&sim, &pipe_of_farms)
+        .expect("sim run of the nested pipeline failed");
+    let thread_report = grasp
+        .run(&threads, &pipe_of_farms)
+        .expect("thread run of the nested pipeline failed");
+    report_line("sim", &sim_report);
+    report_line("threads", &thread_report);
+    assert_eq!(
+        sim_report.outcome.completed,
+        thread_report.outcome.completed
+    );
+    if let OutcomeDetail::ThreadPipeline {
+        replicas_per_stage, ..
+    } = &thread_report.outcome.detail
+    {
+        println!("  thread replicas per stage: {replicas_per_stage:?}");
+    }
+}

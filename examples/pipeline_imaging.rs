@@ -46,31 +46,56 @@ fn main() {
         job.height
     );
 
-    let adaptive =
-        Grasp::new(GraspConfig::default()).run_pipeline(&build_grid(), &stages, job.frames);
+    let skeleton = Skeleton::pipeline(stages, job.frames);
+    let adaptive_grid = build_grid();
+    let adaptive = Grasp::new(GraspConfig::default())
+        .run(&SimBackend::new(&adaptive_grid), &skeleton)
+        .expect("adaptive pipeline run failed");
     let mut rigid_cfg = GraspConfig::default();
     rigid_cfg.execution.adaptive = false;
-    let rigid = Grasp::new(rigid_cfg).run_pipeline(&build_grid(), &stages, job.frames);
+    let rigid_grid = build_grid();
+    let rigid = Grasp::new(rigid_cfg)
+        .run(&SimBackend::new(&rigid_grid), &skeleton)
+        .expect("rigid pipeline run failed");
 
     println!("\n== adaptive pipeline ==");
-    println!(
-        "makespan {:.1}s, steady throughput {:.2} frames/s, {} stage remaps",
-        adaptive.outcome.makespan.as_secs(),
-        adaptive.outcome.steady_state_throughput(),
-        adaptive.outcome.adaptation.stage_remaps()
-    );
-    println!(
-        "final stage assignment: {:?}",
-        adaptive.outcome.stage_assignment
-    );
+    print_pipeline(&adaptive.outcome);
     println!("\n== rigid pipeline (baseline) ==");
-    println!(
-        "makespan {:.1}s, steady throughput {:.2} frames/s",
-        rigid.outcome.makespan.as_secs(),
-        rigid.outcome.steady_state_throughput()
-    );
+    print_pipeline(&rigid.outcome);
     println!(
         "\nadaptive sustains {:.2}x the rigid throughput under the spike",
-        adaptive.outcome.steady_state_throughput() / rigid.outcome.steady_state_throughput()
+        steady_throughput(&adaptive.outcome) / steady_throughput(&rigid.outcome)
     );
+
+    // The same chain with the heavy Sobel stage as a nested farm of three
+    // workers (pipeline-of-farms): the bottleneck stage stops dominating.
+    let nested = job.as_nested_skeleton(2e4, 3);
+    let nested_grid = build_grid();
+    let nested_report = Grasp::new(GraspConfig::default())
+        .run(&SimBackend::new(&nested_grid), &nested)
+        .expect("nested pipeline run failed");
+    println!(
+        "\n== {} (Sobel stage farmed x3) ==",
+        nested_report.outcome.kind.name()
+    );
+    print_pipeline(&nested_report.outcome);
+}
+
+fn steady_throughput(outcome: &SkeletonOutcome) -> f64 {
+    match &outcome.detail {
+        OutcomeDetail::SimPipeline(p) => p.steady_state_throughput(),
+        _ => outcome.throughput(),
+    }
+}
+
+fn print_pipeline(outcome: &SkeletonOutcome) {
+    if let OutcomeDetail::SimPipeline(p) = &outcome.detail {
+        println!(
+            "makespan {:.1}s, steady throughput {:.2} frames/s, {} stage remaps",
+            p.makespan.as_secs(),
+            p.steady_state_throughput(),
+            p.adaptation.stage_remaps()
+        );
+        println!("final stage assignment: {:?}", p.stage_assignment);
+    }
 }

@@ -4,30 +4,32 @@
 //! cargo run --example quickstart
 //! ```
 //!
-//! This walks through Figure 1 of the paper: the *programming* phase picks a
-//! task-farm skeleton and parameterises it, the *compilation* phase binds it
-//! to a grid, then the *calibration* and *execution* phases run and the
-//! resulting report is printed.
+//! This walks through Figure 1 of the paper with the unified skeleton API:
+//! the *programming* phase describes the job as a composable [`Skeleton`]
+//! expression, the *compilation* phase binds it to a backend (here the
+//! simulated grid), then the *calibration* and *execution* phases run and
+//! the resulting report is printed.
 
 use grasp_repro::grasp_core::prelude::*;
 use grasp_repro::gridsim::{Grid, TopologyBuilder};
 
 fn main() {
-    // ----- Programming phase: choose and parameterise the skeleton --------
+    // ----- Programming phase: describe the job as a skeleton ---------------
     // 300 independent tasks of 50 work units each, shipping 32 KiB each way.
-    let tasks = TaskSpec::uniform(300, 50.0, 32 * 1024, 32 * 1024);
-    let config = GraspConfig::default();
-    let grasp = Grasp::new(config);
+    let skeleton = Skeleton::farm(TaskSpec::uniform(300, 50.0, 32 * 1024, 32 * 1024));
+    let grasp = Grasp::new(GraspConfig::default());
 
     // ----- Compilation phase: bind to the parallel environment ------------
     // A 16-node heterogeneous cluster (speeds 20–80 work units/s), idle.
     let grid = Grid::dedicated(TopologyBuilder::heterogeneous_cluster(16, 20.0, 80.0, 7));
+    let backend = SimBackend::new(&grid);
 
     // ----- Calibration + execution phases ----------------------------------
-    let report = grasp.run_farm(&grid, &tasks);
+    let report = grasp
+        .run(&backend, &skeleton)
+        .expect("valid workload on an all-up grid");
 
     println!("== GRASP quickstart ==");
-    println!("{}", report.outcome.calibration.to_table_string());
     println!(
         "phases: calibration {:.2}s ({:.1}% of total), execution {:.2}s",
         report.phases.calibration.as_secs(),
@@ -35,15 +37,34 @@ fn main() {
         report.phases.execution.as_secs()
     );
     println!(
-        "completed {} tasks in {:.2}s on {} nodes ({:.2} tasks/s); {}",
-        report.outcome.completed_tasks(),
-        report.outcome.makespan.as_secs(),
-        report.outcome.final_active_nodes.len(),
+        "completed {} units in {:.2}s ({:.2} units/s), {} adaptations",
+        report.outcome.completed,
+        report.outcome.makespan_s,
         report.outcome.throughput(),
-        report.outcome.adaptation.summary()
+        report.outcome.adaptations
     );
-    println!("\ntasks per node:");
-    for (node, count) in &report.outcome.per_node_tasks {
-        println!("  {node}: {count}");
+    // The simulated engine's full native report rides along as the detail.
+    if let OutcomeDetail::SimFarm(farm) = &report.outcome.detail {
+        println!("\n{}", farm.calibration.to_table_string());
+        println!("tasks per node:");
+        for (node, count) in &farm.per_node_tasks {
+            println!("  {node}: {count}");
+        }
     }
+
+    // ----- The same entry point runs a nested composition ------------------
+    // A farm of four pipeline instances (farm-of-pipelines): each lane
+    // streams 25 items through a three-stage chain.
+    let lane = Skeleton::pipeline(StageSpec::balanced(3, 15.0, 8 * 1024), 25);
+    let nested = Skeleton::farm_of(vec![lane.clone(), lane.clone(), lane.clone(), lane]);
+    let report = grasp
+        .run(&backend, &nested)
+        .expect("valid workload on an all-up grid");
+    println!(
+        "\nnested {} completed {} units in {:.2}s across {} lanes",
+        report.outcome.kind.name(),
+        report.outcome.completed,
+        report.outcome.makespan_s,
+        report.outcome.children.len()
+    );
 }

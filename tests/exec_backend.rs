@@ -1,9 +1,10 @@
 //! Cross-crate integration: the real-thread backend executing the real
-//! workload kernels.
+//! workload kernels, plus unified-API parity between the simulated and
+//! thread backends on nested skeletons.
 
 use grasp_repro::grasp_core::prelude::*;
 use grasp_repro::grasp_core::SchedulePolicy;
-use grasp_repro::grasp_exec::{ThreadFarm, ThreadPipeline};
+use grasp_repro::grasp_exec::{ThreadBackend, ThreadFarm, ThreadPipeline};
 use grasp_repro::grasp_workloads::imaging::ImagePipeline;
 use grasp_repro::grasp_workloads::mandelbrot::MandelbrotJob;
 use grasp_repro::grasp_workloads::matmul::MatMulJob;
@@ -92,6 +93,56 @@ fn thread_and_simulation_backends_agree_on_a_fixed_seed_matmul_farm() {
         sim_ids.len(),
         "no task may be executed twice"
     );
+}
+
+#[test]
+fn sim_and_thread_backends_agree_on_a_fixed_seed_farm_of_pipelines() {
+    // The acceptance check of the unified API: one nested farm-of-pipelines
+    // expression (three imaging lanes plus a farm of independent tasks),
+    // fixed seed, run through `Grasp::run` on BOTH backends.  The clocks
+    // differ (virtual vs wall), but the structural results must agree: same
+    // unit-id set covered exactly once, same per-child unit counts, and the
+    // conservation invariant holds against the expression on both sides.
+    let job = grasp_repro::grasp_workloads::imaging::ImagePipeline {
+        width: 64,
+        height: 48,
+        frames: 24,
+        seed: 2007,
+    };
+    let mut skeleton = job.as_farm_of_pipelines(200.0, 3);
+    if let Skeleton::FarmOf { children } = &mut skeleton {
+        children.push(Skeleton::farm(TaskSpec::uniform(10, 5.0, 1024, 1024)));
+    }
+
+    let grid = grasp_repro::gridsim::Grid::dedicated(TopologyBuilder::heterogeneous_cluster(
+        6, 20.0, 80.0, 2007,
+    ));
+    let grasp = Grasp::new(GraspConfig::default());
+    let sim = grasp
+        .run(&SimBackend::new(&grid), &skeleton)
+        .expect("sim backend run failed");
+    let threads = grasp
+        .run(
+            &ThreadBackend::new(4).with_spin_per_work_unit(10),
+            &skeleton,
+        )
+        .expect("thread backend run failed");
+
+    assert_eq!(sim.outcome.kind, SkeletonKind::FarmOfPipelines);
+    assert_eq!(sim.outcome.kind, threads.outcome.kind);
+    assert_eq!(sim.outcome.completed, 34);
+    assert_eq!(sim.outcome.completed, threads.outcome.completed);
+    let sim_ids: BTreeSet<usize> = sim.outcome.unit_ids.iter().copied().collect();
+    let thread_ids: BTreeSet<usize> = threads.outcome.unit_ids.iter().copied().collect();
+    assert_eq!(sim_ids, thread_ids, "both backends cover the same unit set");
+    assert_eq!(sim.outcome.unit_ids.len(), sim_ids.len(), "no unit twice");
+    assert_eq!(sim.outcome.children.len(), threads.outcome.children.len());
+    for (s, t) in sim.outcome.children.iter().zip(&threads.outcome.children) {
+        assert_eq!(s.completed, t.completed, "per-lane counts agree");
+        assert_eq!(s.kind, t.kind);
+    }
+    assert!(sim.outcome.conserves_units_of(&skeleton));
+    assert!(threads.outcome.conserves_units_of(&skeleton));
 }
 
 #[test]

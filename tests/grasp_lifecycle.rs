@@ -1,5 +1,6 @@
 //! Integration tests of the four-phase GRASP life-cycle and of the
-//! methodology-level invariants the paper states.
+//! methodology-level invariants the paper states, through the unified
+//! `Grasp::run(&backend, &skeleton)` entry point.
 
 use grasp_repro::grasp_core::prelude::*;
 use grasp_repro::gridsim::{ConstantLoad, Grid, GridBuilder, TopologyBuilder};
@@ -14,32 +15,41 @@ fn grid() -> Grid {
     b.build()
 }
 
+fn sim_farm(outcome: &SkeletonOutcome) -> &FarmOutcome {
+    match &outcome.detail {
+        OutcomeDetail::SimFarm(farm) => farm,
+        other => panic!("expected a simulated farm outcome, got {other:?}"),
+    }
+}
+
 #[test]
 fn calibration_work_is_part_of_the_job_not_wasted() {
     // Paper: "the processing performed during the calibration contributes to
     // the overall job".
-    let tasks = TaskSpec::uniform(100, 40.0, 8 * 1024, 8 * 1024);
+    let skeleton = Skeleton::farm(TaskSpec::uniform(100, 40.0, 8 * 1024, 8 * 1024));
     let mut cfg = GraspConfig::default();
     cfg.calibration.samples_per_node = 3;
-    let report = Grasp::new(cfg).run_farm(&grid(), &tasks);
-    let calib: Vec<_> = report
-        .outcome
+    let g = grid();
+    let report = Grasp::new(cfg)
+        .run(&SimBackend::new(&g), &skeleton)
+        .unwrap();
+    let farm = sim_farm(&report.outcome);
+    let calib: Vec<_> = farm
         .task_outcomes
         .iter()
         .filter(|o| o.during_calibration)
         .collect();
     assert_eq!(calib.len(), 30, "10 nodes x 3 samples drawn from the job");
-    assert_eq!(
-        report.outcome.completed_tasks(),
-        100,
-        "none of them run twice"
-    );
+    assert_eq!(report.outcome.completed, 100, "none of them run twice");
 }
 
 #[test]
 fn static_phases_consume_no_grid_time() {
-    let tasks = TaskSpec::uniform(40, 40.0, 1024, 1024);
-    let report = Grasp::new(GraspConfig::default()).run_farm(&grid(), &tasks);
+    let skeleton = Skeleton::farm(TaskSpec::uniform(40, 40.0, 1024, 1024));
+    let g = grid();
+    let report = Grasp::new(GraspConfig::default())
+        .run(&SimBackend::new(&g), &skeleton)
+        .unwrap();
     assert!(report.phases.programming.is_zero());
     assert!(report.phases.compilation.is_zero());
     assert!(report.phases.calibration.as_secs() > 0.0);
@@ -48,16 +58,17 @@ fn static_phases_consume_no_grid_time() {
 #[test]
 fn threshold_factor_controls_how_often_the_farm_adapts() {
     // A tighter threshold can only produce at least as many adaptations.
-    let tasks = TaskSpec::uniform(200, 40.0, 8 * 1024, 8 * 1024);
+    let skeleton = Skeleton::farm(TaskSpec::uniform(200, 40.0, 8 * 1024, 8 * 1024));
     let run = |factor: f64| {
         let mut cfg = GraspConfig::default();
         cfg.execution.threshold = ThresholdPolicy::Factor { factor };
         cfg.execution.monitor_interval_s = 2.0;
+        let g = grid();
         Grasp::new(cfg)
-            .run_farm(&grid(), &tasks)
+            .run(&SimBackend::new(&g), &skeleton)
+            .unwrap()
             .outcome
-            .adaptation
-            .len()
+            .adaptations
     };
     let tight = run(1.05);
     let loose = run(8.0);
@@ -66,22 +77,55 @@ fn threshold_factor_controls_how_often_the_farm_adapts() {
 
 #[test]
 fn disabling_adaptation_reproduces_a_rigid_run() {
-    let tasks = TaskSpec::uniform(80, 40.0, 8 * 1024, 8 * 1024);
+    let skeleton = Skeleton::farm(TaskSpec::uniform(80, 40.0, 8 * 1024, 8 * 1024));
     let mut cfg = GraspConfig::default();
     cfg.execution.adaptive = false;
-    let report = Grasp::new(cfg).run_farm(&grid(), &tasks);
-    assert!(report.outcome.adaptation.is_empty());
-    assert_eq!(report.outcome.monitor_evaluations, 0);
+    let g = grid();
+    let report = Grasp::new(cfg)
+        .run(&SimBackend::new(&g), &skeleton)
+        .unwrap();
+    assert_eq!(report.outcome.adaptations, 0);
+    assert_eq!(sim_farm(&report.outcome).monitor_evaluations, 0);
 }
 
 #[test]
 fn runs_are_deterministic_for_equal_inputs() {
-    let tasks = TaskSpec::uniform(60, 40.0, 8 * 1024, 8 * 1024);
-    let a = Grasp::new(GraspConfig::default()).run_farm(&grid(), &tasks);
-    let b = Grasp::new(GraspConfig::default()).run_farm(&grid(), &tasks);
-    assert_eq!(a.outcome.makespan, b.outcome.makespan);
-    assert_eq!(a.outcome.per_node_tasks, b.outcome.per_node_tasks);
-    assert_eq!(a.outcome.adaptation.len(), b.outcome.adaptation.len());
+    let skeleton = Skeleton::farm(TaskSpec::uniform(60, 40.0, 8 * 1024, 8 * 1024));
+    let g = grid();
+    let a = Grasp::new(GraspConfig::default())
+        .run(&SimBackend::new(&g), &skeleton)
+        .unwrap();
+    let b = Grasp::new(GraspConfig::default())
+        .run(&SimBackend::new(&g), &skeleton)
+        .unwrap();
+    assert_eq!(a.outcome.makespan_s, b.outcome.makespan_s);
+    assert_eq!(
+        sim_farm(&a.outcome).per_node_tasks,
+        sim_farm(&b.outcome).per_node_tasks
+    );
+    assert_eq!(a.outcome.adaptations, b.outcome.adaptations);
+}
+
+#[test]
+fn nested_composition_calibrates_and_adapts_as_one_unit() {
+    // A farm-of-pipelines goes through one calibration (the composition is
+    // one job, not one per lane) and its report still covers every unit.
+    let lane = Skeleton::pipeline(StageSpec::balanced(3, 12.0, 8 * 1024), 15);
+    let skeleton = Skeleton::farm_of(vec![lane.clone(), lane.clone(), lane]);
+    let g = grid();
+    let report = Grasp::new(GraspConfig::default())
+        .run(&SimBackend::new(&g), &skeleton)
+        .unwrap();
+    assert_eq!(report.outcome.kind, SkeletonKind::FarmOfPipelines);
+    assert_eq!(report.outcome.completed, 45);
+    assert!(report.outcome.conserves_units_of(&skeleton));
+    // Exactly one calibration for the whole composition, charged at the root.
+    assert!(report.phases.calibration.as_secs() > 0.0);
+    assert!(report
+        .outcome
+        .children
+        .iter()
+        .all(|c| c.calibration_s == 0.0));
 }
 
 #[test]

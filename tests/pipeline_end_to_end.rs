@@ -61,11 +61,37 @@ fn adaptive_pipeline_beats_rigid_when_chosen_nodes_degrade() {
 #[test]
 fn grasp_driver_reports_pipeline_phases() {
     let job = ImagePipeline::small();
-    let stages = job.as_stages(200.0);
+    let skeleton = Skeleton::pipeline(job.as_stages(200.0), 30);
     let grid = grasp_repro::gridsim::Grid::dedicated(TopologyBuilder::uniform_cluster(5, 40.0));
-    let report = Grasp::new(GraspConfig::default()).run_pipeline(&grid, &stages, 30);
-    assert_eq!(report.outcome.items, 30);
+    let report = Grasp::new(GraspConfig::default())
+        .run(&SimBackend::new(&grid), &skeleton)
+        .unwrap();
+    assert_eq!(report.outcome.completed, 30);
     assert!(report.phases.calibration.as_secs() >= 0.0);
     assert!(report.phases.execution.as_secs() > 0.0);
     assert!(report.phases.total() >= report.phases.execution);
+}
+
+#[test]
+fn imaging_pipeline_with_farmed_sobel_beats_the_plain_chain() {
+    // The pipeline-of-farms composition: farming the heavy Sobel stage out
+    // across 3 workers removes the bottleneck, so the nested skeleton's
+    // makespan must beat the plain chain on the same quiet grid.
+    let job = ImagePipeline::small();
+    let grid = grasp_repro::gridsim::Grid::dedicated(TopologyBuilder::uniform_cluster(7, 40.0));
+    let backend = SimBackend::new(&grid);
+    let grasp = Grasp::new(GraspConfig::default());
+    let plain = grasp
+        .run(&backend, &Skeleton::pipeline(job.as_stages(100.0), 60))
+        .unwrap();
+    let nested_skeleton = ImagePipeline { frames: 60, ..job }.as_nested_skeleton(100.0, 3);
+    let nested = grasp.run(&backend, &nested_skeleton).unwrap();
+    assert_eq!(nested.outcome.kind, SkeletonKind::PipelineOfFarms);
+    assert_eq!(nested.outcome.completed, 60);
+    assert!(
+        nested.outcome.makespan_s < plain.outcome.makespan_s,
+        "farmed Sobel {} vs plain {}",
+        nested.outcome.makespan_s,
+        plain.outcome.makespan_s
+    );
 }

@@ -1,0 +1,98 @@
+//! Property tests over composable skeleton expressions: whatever the
+//! nesting, outcomes conserve the expression's work units — every leaf unit
+//! completes exactly once, at every level of the tree.
+
+use grasp_repro::grasp_core::prelude::*;
+use grasp_repro::gridsim::{Grid, TopologyBuilder};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Build one child skeleton deterministically from a seed: a farm leaf, a
+/// pipeline leaf, a pipeline-of-farms, or a nested farm-of composition.
+fn child_from_seed(seed: u64) -> Skeleton {
+    let size = ((seed >> 2) % 5 + 1) as usize;
+    match seed % 4 {
+        0 => Skeleton::farm(TaskSpec::uniform(size, 2.0 + (seed % 7) as f64, 512, 512)),
+        1 => {
+            let stages = ((seed >> 4) % 3 + 1) as usize;
+            Skeleton::pipeline(StageSpec::balanced(stages, 3.0, 1024), size)
+        }
+        2 => {
+            let replicas = ((seed >> 6) % 3 + 1) as usize;
+            Skeleton::pipeline_of(
+                vec![
+                    FarmedStage::plain(StageSpec::new(0, 2.0, 512, 0)),
+                    FarmedStage::farmed(StageSpec::new(1, 8.0, 512, 0), replicas),
+                ],
+                size,
+            )
+        }
+        _ => Skeleton::farm_of(vec![
+            Skeleton::farm(TaskSpec::uniform(size, 1.0, 0, 0)),
+            Skeleton::pipeline(StageSpec::balanced(2, 2.0, 256), size),
+        ]),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary nestings (including nested farm-of inside farm-of) conserve
+    /// unit counts level by level on the simulated backend, and cover each
+    /// global unit id exactly once.
+    #[test]
+    fn composed_outcomes_conserve_units(
+        seeds in prop::collection::vec(any::<u64>(), 1..5),
+        grid_nodes in 2usize..6,
+        wrap_again in any::<bool>(),
+    ) {
+        let children: Vec<Skeleton> = seeds.iter().map(|&s| child_from_seed(s)).collect();
+        let mut skeleton = Skeleton::farm_of(children);
+        if wrap_again {
+            skeleton = Skeleton::farm_of(vec![
+                skeleton,
+                Skeleton::pipeline(StageSpec::balanced(2, 4.0, 512), 3),
+            ]);
+        }
+        let expected = skeleton.work_units();
+        prop_assert!(expected > 0);
+
+        let grid = Grid::dedicated(TopologyBuilder::heterogeneous_cluster(
+            grid_nodes, 20.0, 80.0, seeds[0],
+        ));
+        let report = Grasp::new(GraspConfig::default())
+            .run(&SimBackend::new(&grid), &skeleton)
+            .expect("composed run must succeed on an all-up grid");
+
+        // Root conservation and per-level conservation.
+        prop_assert_eq!(report.outcome.completed, expected);
+        prop_assert!(report.outcome.conserves_units_of(&skeleton));
+        // Each global unit id exactly once, and ids form 0..expected.
+        let ids: BTreeSet<usize> = report.outcome.unit_ids.iter().copied().collect();
+        prop_assert_eq!(ids.len(), report.outcome.unit_ids.len());
+        prop_assert_eq!(ids, (0..expected).collect::<BTreeSet<_>>());
+        // Children partition the root's units disjointly.
+        let mut seen = BTreeSet::new();
+        for c in &report.outcome.children {
+            for id in &c.unit_ids {
+                prop_assert!(seen.insert(*id), "unit {} counted in two children", id);
+            }
+        }
+    }
+
+    /// Derived properties stay well-formed for arbitrary compositions: the
+    /// ratio is finite and positive and the structural flags follow the
+    /// outer skeleton.
+    #[test]
+    fn composed_properties_are_well_formed(seeds in prop::collection::vec(any::<u64>(), 1..6)) {
+        let children: Vec<Skeleton> = seeds.iter().map(|&s| child_from_seed(s)).collect();
+        let skeleton = Skeleton::farm_of(children);
+        let p = skeleton.properties();
+        prop_assert!(p.comp_comm_ratio.is_finite());
+        prop_assert!(p.comp_comm_ratio > 0.0);
+        prop_assert!(p.independent_tasks);
+        prop_assert!(!p.ordered_results);
+        let chunk = p.suggested_chunking(8);
+        prop_assert!(chunk >= 1);
+    }
+}
