@@ -24,6 +24,27 @@ fn bench(c: &mut Criterion) {
     }
     group.finish();
 
+    // Dispatch-hot-path contention: thousands of near-zero-cost tasks under
+    // the adaptive weighted policy, which derives the pool-mean weight on
+    // every chunk request.  Before the per-worker running sums moved behind
+    // atomics this locked every worker's full time history per request —
+    // this group is the regression guard for that contention win.
+    let mut group = c.benchmark_group("exec_farm_contention");
+    group.sample_size(10);
+    let tiny: Vec<u64> = (0..20_000).collect();
+    for workers in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("adaptive_weighted_tiny_tasks", workers),
+            &workers,
+            |b, &w| {
+                let farm = ThreadFarm::new(w)
+                    .with_policy(SchedulePolicy::AdaptiveWeighted { min_chunk: 1 });
+                b.iter(|| farm.run(&tiny, |&x| x.wrapping_mul(0x9E3779B97F4A7C15)))
+            },
+        );
+    }
+    group.finish();
+
     let mut group = c.benchmark_group("exec_pipeline");
     group.sample_size(10);
     group.bench_function("three_stage_u64", |b| {

@@ -1,0 +1,18 @@
+//! E10 — adaptive vs static scheduling under node churn (random revocation
+//! and recovery on the simulated grid; injected worker panics on the thread
+//! backend), swept over the outage probability.
+//!
+//! Run with `cargo run --release -p grasp-bench --bin exp_churn`.
+use grasp_bench::experiments::e10_churn;
+use grasp_bench::{format_table, ScenarioSeed};
+
+fn main() {
+    let table = e10_churn(
+        16,
+        400,
+        &[0.2, 0.4, 0.6, 0.8, 1.0],
+        20.0,
+        ScenarioSeed::default(),
+    );
+    println!("{}", format_table(&table));
+}

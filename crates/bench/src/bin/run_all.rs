@@ -1,4 +1,4 @@
-//! Run every experiment (E1–E8) at paper scale and print all tables/series.
+//! Run every experiment (E1–E10) at paper scale and print all tables/series.
 //!
 //! `cargo run --release -p grasp-bench --bin run_all > results.txt`
 use grasp_bench::experiments::*;
@@ -25,4 +25,8 @@ fn main() {
     println!("{}\n{}", format_table(&t7), format_series(&s7));
     println!("{}", format_table(&e8_forecaster_accuracy(2_000)));
     println!("{}", format_table(&e9_nested_skeletons(400, 4, 3)));
+    println!(
+        "{}",
+        format_table(&e10_churn(16, 400, &[0.2, 0.4, 0.6, 0.8, 1.0], 20.0, seed))
+    );
 }

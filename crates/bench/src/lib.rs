@@ -18,6 +18,6 @@ pub mod scenarios;
 
 pub use report::{format_series, format_table, Series, Table};
 pub use scenarios::{
-    bursty_grid, loaded_heterogeneous_grid, spike_grid, standard_farm_tasks, standard_imaging_job,
-    transient_load_grid, ScenarioSeed,
+    bursty_grid, churn_grid, irregular_farm_tasks, loaded_heterogeneous_grid, spike_grid,
+    standard_farm_tasks, standard_imaging_job, transient_load_grid, ScenarioSeed,
 };

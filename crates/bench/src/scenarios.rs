@@ -7,8 +7,8 @@
 
 use grasp_core::TaskSpec;
 use gridsim::{
-    BurstyLoad, ConstantLoad, Grid, GridBuilder, LoadModel, RandomWalkLoad, SpikeLoad,
-    TopologyBuilder,
+    BurstyLoad, ConstantLoad, FaultKind, FaultPlan, Grid, GridBuilder, LoadModel, NodeId,
+    RandomWalkLoad, SpikeLoad, TopologyBuilder,
 };
 use std::sync::Arc;
 
@@ -134,6 +134,64 @@ pub fn spike_grid(
     builder.build()
 }
 
+/// A uniform cluster under **node churn**: every node except node 0 (kept
+/// alive so the master and the job always survive) suffers a random
+/// revocation with probability `p_outage`, starting uniformly within
+/// `[0, horizon_s)` and lasting `mean_outage_s` on average — the ad-hoc-grid
+/// regime of the churn experiment (E10).  One churned node in four (rounded
+/// down, highest indices first) is revoked **permanently** — on a real
+/// ad-hoc grid a reclaimed workstation often never returns — so runs also
+/// exercise the lost-chunk requeue path, not just wait-out-the-outage
+/// stalls.  Deterministic per seed.
+pub fn churn_grid(
+    nodes: usize,
+    base_speed: f64,
+    p_outage: f64,
+    mean_outage_s: f64,
+    horizon_s: f64,
+    seed: ScenarioSeed,
+) -> Grid {
+    let topo = TopologyBuilder::uniform_cluster(nodes, base_speed);
+    let churn_targets: Vec<NodeId> = topo
+        .node_ids()
+        .into_iter()
+        .filter(|n| n.index() != 0)
+        .collect();
+    let faults = FaultPlan::random(&churn_targets, p_outage, horizon_s, mean_outage_s, seed.0);
+    // Strip the recovery of the top quarter of churned nodes: their
+    // revocation becomes permanent.
+    let mut churned: Vec<NodeId> = faults
+        .events()
+        .iter()
+        .map(|e| e.node)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    churned.reverse();
+    let quarter = churned.len() / 4;
+    let permanent: std::collections::BTreeSet<NodeId> = churned.into_iter().take(quarter).collect();
+    let events = faults
+        .events()
+        .iter()
+        .filter(|e| !(permanent.contains(&e.node) && e.kind == FaultKind::Recover))
+        .copied()
+        .collect();
+    let faults = FaultPlan::from_events(events);
+    GridBuilder::new(topo).faults(faults).quantum(0.25).build()
+}
+
+/// The irregular farm workload of the churn experiment: per-task work ramps
+/// from `work` up to `4 × work` across the list, so equal-*count* static
+/// blocks are unequal-*work* blocks and only demand-driven policies balance.
+pub fn irregular_farm_tasks(n: usize, work: f64) -> Vec<TaskSpec> {
+    (0..n)
+        .map(|i| {
+            let ramp = 1.0 + 3.0 * i as f64 / n.max(1) as f64;
+            TaskSpec::new(i, work * ramp, 16 * 1024, 16 * 1024)
+        })
+        .collect()
+}
+
 /// The standard farm workload used when an experiment does not sweep the
 /// workload itself: `n` uniform tasks of `work` units with 32 KiB in/out.
 pub fn standard_farm_tasks(n: usize, work: f64) -> Vec<TaskSpec> {
@@ -190,6 +248,28 @@ mod tests {
         assert_eq!(loaded, 3);
         // Before the spike everything is quiet.
         assert!(g.cpu_load(NodeId(0), SimTime::ZERO) < 0.1);
+    }
+
+    #[test]
+    fn churn_grid_is_deterministic_and_spares_node_zero() {
+        let a = churn_grid(8, 40.0, 0.9, 15.0, 60.0, ScenarioSeed(3));
+        let b = churn_grid(8, 40.0, 0.9, 15.0, 60.0, ScenarioSeed(3));
+        assert_eq!(a.faults().events(), b.faults().events());
+        assert!(!a.faults().is_empty(), "p=0.9 over 7 nodes must churn");
+        assert!(a.faults().events().iter().all(|e| e.node.index() != 0));
+        // Node 0 is up at every event time.
+        for e in a.faults().events() {
+            assert!(a.is_up(NodeId(0), e.time));
+        }
+    }
+
+    #[test]
+    fn irregular_tasks_ramp_in_work() {
+        let tasks = irregular_farm_tasks(10, 10.0);
+        assert_eq!(tasks.len(), 10);
+        assert!((tasks[0].work - 10.0).abs() < 1e-9);
+        assert!(tasks.windows(2).all(|w| w[1].work > w[0].work));
+        assert!(tasks[9].work < 40.0 && tasks[9].work > 35.0);
     }
 
     #[test]

@@ -128,6 +128,17 @@ impl AdaptationLog {
         self.count_kind("node-lost")
     }
 
+    /// Total tasks returned to the pending queue by node losses.
+    pub fn requeued_tasks(&self) -> usize {
+        self.events
+            .iter()
+            .map(|e| match e.action {
+                AdaptationAction::NodeLost { requeued_tasks, .. } => requeued_tasks,
+                _ => 0,
+            })
+            .sum()
+    }
+
     /// Number of pipeline stage remaps.
     pub fn stage_remaps(&self) -> usize {
         self.count_kind("stage-remapped")
@@ -201,6 +212,7 @@ mod tests {
         assert_eq!(log.recalibrations(), 1);
         assert_eq!(log.demotions(), 1);
         assert_eq!(log.node_losses(), 1);
+        assert_eq!(log.requeued_tasks(), 4);
         assert_eq!(log.stage_remaps(), 1);
         assert!(log.summary().contains("adaptations: 4"));
         assert_eq!(log.events()[0].time, SimTime::new(1.0));

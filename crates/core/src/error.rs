@@ -20,6 +20,14 @@ pub enum GraspError {
         /// Identifier of the lost task.
         task: usize,
     },
+    /// A worker failed (panicked) while executing a task and the bounded
+    /// retry budget was exhausted without the task ever completing.
+    WorkerFailed {
+        /// Identifier (global unit index) of the failing task.
+        task: usize,
+        /// How many execution attempts were made before giving up.
+        attempts: usize,
+    },
 }
 
 impl fmt::Display for GraspError {
@@ -31,6 +39,10 @@ impl fmt::Display for GraspError {
             GraspError::CalibrationFailed(why) => write!(f, "calibration failed: {why}"),
             GraspError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
             GraspError::TaskLost { task } => write!(f, "task {task} could not be completed"),
+            GraspError::WorkerFailed { task, attempts } => write!(
+                f,
+                "task {task} failed on every worker after {attempts} attempts"
+            ),
         }
     }
 }
@@ -55,5 +67,11 @@ mod tests {
             .to_string()
             .contains("bad"));
         assert!(GraspError::TaskLost { task: 3 }.to_string().contains('3'));
+        let failed = GraspError::WorkerFailed {
+            task: 7,
+            attempts: 3,
+        }
+        .to_string();
+        assert!(failed.contains('7') && failed.contains('3'));
     }
 }

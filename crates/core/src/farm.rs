@@ -173,6 +173,9 @@ impl TaskFarm {
             .iter()
             .copied()
             .collect();
+        // The execution phase's job total: StaticBlock precomputes its equal
+        // per-worker block from this instead of re-splitting the remainder.
+        let execution_total = pending.len();
 
         let exec_cfg = &self.config.execution;
         let threshold = exec_cfg
@@ -223,6 +226,7 @@ impl TaskFarm {
                 &mut events,
                 &mut busy,
                 &self.config,
+                execution_total,
                 &weights,
                 &active,
                 node,
@@ -440,6 +444,7 @@ impl TaskFarm {
                         &mut events,
                         &mut busy,
                         &self.config,
+                        execution_total,
                         &weights,
                         &active,
                         node,
@@ -462,6 +467,7 @@ impl TaskFarm {
                         &mut events,
                         &mut busy,
                         &self.config,
+                        execution_total,
                         &weights,
                         &active,
                         node,
@@ -473,17 +479,44 @@ impl TaskFarm {
 
             // Starvation guard: work remains but nothing is in flight.
             if events.is_empty() && !pending.is_empty() {
-                let usable: Vec<NodeId> = candidates
+                let mut at = now;
+                let mut usable: Vec<NodeId> = candidates
                     .iter()
                     .copied()
-                    .filter(|&n| grid.is_up(n, now))
+                    .filter(|&n| grid.is_up(n, at))
                     .collect();
+                if usable.is_empty() {
+                    // Every candidate is down right now.  Resume dispatching
+                    // at the earliest future instant some candidate is back
+                    // up, if any.  Node state only changes at fault events,
+                    // so scanning the scheduled events in time order and
+                    // probing `is_up` at each is exhaustive — and unlike
+                    // "the node's next transition is a Recover" it is not
+                    // fooled by overlapping outages, where a down node's
+                    // next event can be another Revoke with the real
+                    // recovery behind it.
+                    let next_up = grid
+                        .faults()
+                        .events()
+                        .iter()
+                        .filter(|e| e.time > at && candidates.contains(&e.node))
+                        .find(|e| grid.is_up(e.node, e.time))
+                        .map(|e| e.time);
+                    if let Some(t) = next_up {
+                        at = t;
+                        usable = candidates
+                            .iter()
+                            .copied()
+                            .filter(|&n| grid.is_up(n, at))
+                            .collect();
+                    }
+                }
                 if usable.is_empty() {
                     return Err(GraspError::TaskLost {
                         task: pending.front().map(|t| t.id).unwrap_or(0),
                     });
                 }
-                // Fall back to every node that is still up.
+                // Fall back to every node that is (or has come back) up.
                 active = usable;
                 let nodes = active.clone();
                 for node in nodes {
@@ -496,11 +529,12 @@ impl TaskFarm {
                         &mut events,
                         &mut busy,
                         &self.config,
+                        execution_total,
                         &weights,
                         &active,
                         node,
                         master,
-                        now,
+                        at,
                     );
                 }
                 if events.is_empty() {
@@ -524,7 +558,11 @@ impl TaskFarm {
     }
 
     /// Hand one chunk of pending tasks to `node`, scheduling its completion
-    /// event.  Does nothing when there is no pending work.
+    /// event.  Does nothing when there is no pending work, or when the node
+    /// is currently revoked — the master observes revocation, so handing a
+    /// chunk to a known-down node (which would sit idle for the whole
+    /// outage) is a dispatch bug, not a fault-tolerance feature.  A node
+    /// that recovers later is fed again by the idle-refill loop.
     #[allow(clippy::too_many_arguments)]
     fn dispatch_to(
         grid: &Grid,
@@ -532,18 +570,20 @@ impl TaskFarm {
         events: &mut EventQueue<ChunkCompletion>,
         busy: &mut BTreeMap<NodeId, bool>,
         config: &GraspConfig,
+        total: usize,
         weights: &BTreeMap<NodeId, f64>,
         active: &[NodeId],
         node: NodeId,
         master: NodeId,
         now: SimTime,
     ) {
-        if pending.is_empty() {
+        if pending.is_empty() || !grid.is_up(node, now) {
             return;
         }
         let weight = weights.get(&node).copied().unwrap_or(1.0);
-        let chunk_size = config.scheduler.next_chunk(
+        let chunk_size = config.scheduler.next_chunk_with_total(
             pending.len(),
+            total,
             active.len().max(1),
             if weight > 0.0 { weight } else { 1.0 },
         );
@@ -587,9 +627,23 @@ impl TaskFarm {
             }
         }
         busy.insert(node, true);
-        // The completion event fires when the node finished its whole chunk;
-        // if everything was lost, report the loss at the dispatch time.
-        let fire_at = if completed.is_empty() { now } else { t };
+        // The completion event fires when the node finished its whole chunk.
+        // A lost chunk is reported when the master *observes* the revocation
+        // — the node's next Revoke transition — never at the dispatch time
+        // itself: re-reporting a loss at `now` would let the farm redispatch
+        // to the same still-up-at-`now` node in the same virtual instant and
+        // livelock.  The epsilon floor keeps time advancing even when the
+        // fault schedule yields no usable transition.
+        let fire_at = if lost.is_empty() {
+            t
+        } else {
+            grid.faults()
+                .next_transition(node, now)
+                .filter(|e| matches!(e.kind, gridsim::FaultKind::Revoke))
+                .map(|e| e.time)
+                .unwrap_or(t)
+                .max(now + SimTime::new(1e-6))
+        };
         events.schedule_at(
             fire_at,
             ChunkCompletion {
@@ -871,6 +925,57 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 120);
+    }
+
+    #[test]
+    fn total_outage_with_scheduled_recovery_is_waited_out_not_fatal() {
+        // Both nodes are revoked at t=5 for longer than the chunk horizon:
+        // in-flight chunks are declared lost and requeued, no known-down
+        // node is handed new work, and when the first node recovers the
+        // starvation guard resumes dispatching instead of erroring.
+        let topo = TopologyBuilder::uniform_cluster(2, 30.0);
+        let faults = FaultPlan::none()
+            .with_outage(NodeId(0), SimTime::new(5.0), SimTime::new(2e6))
+            .with_outage(NodeId(1), SimTime::new(5.0), SimTime::new(3e6));
+        let grid = GridBuilder::new(topo).faults(faults).build();
+        let tasks = TaskSpec::uniform(40, 60.0, 1024, 1024);
+        let out = TaskFarm::new(GraspConfig::default())
+            .run(&grid, &tasks)
+            .expect("a scheduled recovery must rescue the job");
+        assert_eq!(out.completed_tasks(), 40);
+        assert!(out.adaptation.node_losses() >= 1);
+        assert!(out.adaptation.requeued_tasks() >= 1);
+        assert!(
+            out.makespan.as_secs() >= 2e6,
+            "the job can only finish after the first recovery: {}",
+            out.makespan.as_secs()
+        );
+    }
+
+    #[test]
+    fn overlapping_outages_do_not_hide_the_recovery() {
+        // Node 1's outages overlap, so while it is down its *next* fault
+        // event is a second Revoke — the real recovery sits behind it.  The
+        // starvation guard must still find the recovery instant instead of
+        // declaring the job lost.
+        let topo = TopologyBuilder::uniform_cluster(2, 30.0);
+        let faults = FaultPlan::none()
+            // Node 0 dies for longer than the chunk horizon (chunks are lost,
+            // not waited out) and never matters again.
+            .with_outage(NodeId(0), SimTime::new(5.0), SimTime::new(9e6))
+            // Node 1: overlapping outages [5, 2e6) and [10, 3e6).  Under the
+            // last-event-wins state model the node is back up at the first
+            // Recover (t=2e6), but while it is down its next event is the
+            // second Revoke.
+            .with_outage(NodeId(1), SimTime::new(5.0), SimTime::new(2e6))
+            .with_outage(NodeId(1), SimTime::new(10.0), SimTime::new(3e6));
+        let grid = GridBuilder::new(topo).faults(faults).build();
+        let tasks = TaskSpec::uniform(30, 60.0, 1024, 1024);
+        let out = TaskFarm::new(GraspConfig::default())
+            .run(&grid, &tasks)
+            .expect("the overlapped recovery at t=2e6 must rescue the job");
+        assert_eq!(out.completed_tasks(), 30);
+        assert!(out.makespan.as_secs() >= 2e6);
     }
 
     #[test]

@@ -87,7 +87,8 @@ pub mod prelude {
     pub use crate::properties::{SkeletonKind, SkeletonProperties};
     pub use crate::scheduler::SchedulePolicy;
     pub use crate::skeleton::{
-        Backend, FarmedStage, OutcomeDetail, SimBackend, Skeleton, SkeletonOutcome,
+        Backend, FarmedStage, OutcomeDetail, ResilienceReport, SimBackend, Skeleton,
+        SkeletonOutcome,
     };
     pub use crate::task::{TaskOutcome, TaskSpec};
     pub use crate::threshold::ThresholdPolicy;

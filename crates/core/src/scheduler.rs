@@ -50,22 +50,44 @@ impl Default for SchedulePolicy {
 }
 
 impl SchedulePolicy {
+    /// Decide how many tasks to hand to a worker, without knowledge of the
+    /// job's total size.
+    ///
+    /// Prefer [`SchedulePolicy::next_chunk_with_total`]: without the total,
+    /// `StaticBlock` degenerates to re-splitting the *remaining* work on
+    /// every request, handing out shrinking blocks instead of one equal
+    /// block per worker.  This signature is kept for callers that genuinely
+    /// have no job total (and for the dynamic policies, which never use it).
+    pub fn next_chunk(&self, remaining: usize, workers: usize, weight: f64) -> usize {
+        self.next_chunk_with_total(remaining, remaining, workers, weight)
+    }
+
     /// Decide how many tasks to hand to a worker.
     ///
     /// * `remaining` — tasks still waiting to be dispatched.
+    /// * `total` — tasks the whole execution phase started with (`StaticBlock`
+    ///   precomputes its per-worker block from this, so every worker receives
+    ///   the same `ceil(total / workers)` block instead of a shrinking
+    ///   re-split of `remaining`).
     /// * `workers` — number of active workers.
     /// * `weight` — the requesting worker's relative speed (1.0 = pool mean);
     ///   only the adaptive policy uses it.
     ///
     /// Always returns at least 1 when `remaining > 0`, and never more than
     /// `remaining`.
-    pub fn next_chunk(&self, remaining: usize, workers: usize, weight: f64) -> usize {
+    pub fn next_chunk_with_total(
+        &self,
+        remaining: usize,
+        total: usize,
+        workers: usize,
+        weight: f64,
+    ) -> usize {
         if remaining == 0 {
             return 0;
         }
         let workers = workers.max(1);
         let chunk = match *self {
-            SchedulePolicy::StaticBlock => remaining.div_ceil(workers),
+            SchedulePolicy::StaticBlock => total.max(remaining).div_ceil(workers),
             SchedulePolicy::SelfScheduling => 1,
             SchedulePolicy::FixedChunk { chunk } => chunk.max(1),
             SchedulePolicy::Guided { min_chunk } => (remaining / workers).max(min_chunk.max(1)),
@@ -146,6 +168,34 @@ mod tests {
     fn static_block_splits_evenly() {
         assert_eq!(SchedulePolicy::StaticBlock.next_chunk(100, 4, 1.0), 25);
         assert_eq!(SchedulePolicy::StaticBlock.next_chunk(101, 4, 1.0), 26);
+    }
+
+    #[test]
+    fn static_block_hands_one_equal_block_per_worker() {
+        // The "static" baseline must behave statically: with the job total
+        // known, successive requests drain the queue in equal per-worker
+        // blocks, not in shrinking re-splits of the remainder.
+        let p = SchedulePolicy::StaticBlock;
+        let total = 100;
+        let mut remaining = total;
+        let mut blocks = Vec::new();
+        while remaining > 0 {
+            let c = p.next_chunk_with_total(remaining, total, 4, 1.0);
+            blocks.push(c);
+            remaining -= c;
+        }
+        assert_eq!(blocks, vec![25, 25, 25, 25]);
+
+        // Non-divisible totals: equal ceil-blocks with one short tail block.
+        let total = 101;
+        let mut remaining = total;
+        let mut blocks = Vec::new();
+        while remaining > 0 {
+            let c = p.next_chunk_with_total(remaining, total, 4, 1.0);
+            blocks.push(c);
+            remaining -= c;
+        }
+        assert_eq!(blocks, vec![26, 26, 26, 23]);
     }
 
     #[test]

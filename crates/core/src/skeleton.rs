@@ -142,6 +142,7 @@ impl UnitSpan {
             makespan_s,
             calibration_s: 0.0,
             adaptations: 0,
+            resilience: ResilienceReport::default(),
             children: self
                 .children
                 .iter()
@@ -433,6 +434,49 @@ pub fn reference_ratio(speed: f64, work: f64, bytes: u64) -> f64 {
     (compute_s / comm_s).max(1e-3)
 }
 
+/// Backend-neutral account of the fault-tolerance work a run performed.
+///
+/// Every backend survives executor loss in its own way — the simulated grid
+/// requeues the chunks of revoked nodes and migrates pipeline stages, the
+/// thread backend isolates worker panics and retries the affected tasks on
+/// surviving workers — but the *outcome-level* questions are the same: how
+/// much work had to be given back, re-executed, or moved, and how many
+/// executors were lost doing it.  The counters are overlapping views of the
+/// same recovery activity (a requeued task is usually also a retried task),
+/// not disjoint event classes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceReport {
+    /// Tasks returned to the pending pool after their executor was lost
+    /// mid-flight (sim: chunks of revoked nodes; threads: panicked tasks
+    /// handed back for another worker).
+    pub requeued_tasks: usize,
+    /// Tasks that were executed again after a failed first attempt and
+    /// ultimately completed.
+    pub retried_tasks: usize,
+    /// Pipeline stages remapped/migrated to a different executor.
+    pub migrated_stages: usize,
+    /// Executors permanently removed from the run (sim: revoked nodes
+    /// dropped from the active set; threads: workers retired after
+    /// exhausting their panic budget).
+    pub nodes_lost: usize,
+}
+
+impl ResilienceReport {
+    /// `true` when the run needed no fault handling at all.
+    pub fn is_clean(&self) -> bool {
+        self.requeued_tasks == 0
+            && self.retried_tasks == 0
+            && self.migrated_stages == 0
+            && self.nodes_lost == 0
+    }
+
+    /// Total recovery events across all counters (overlapping views are
+    /// summed — useful only as a "did anything happen" magnitude).
+    pub fn total_events(&self) -> usize {
+        self.requeued_tasks + self.retried_tasks + self.migrated_stages + self.nodes_lost
+    }
+}
+
 /// The backend's rich native report for the root of an executed skeleton,
 /// when it exposes one.
 #[derive(Debug, Clone)]
@@ -450,6 +494,14 @@ pub enum OutcomeDetail {
         workers: usize,
         /// Tasks completed per worker.
         tasks_per_worker: Vec<usize>,
+        /// Declared work units each worker executed (successful attempts
+        /// only).  The maximum over workers is the schedule's work critical
+        /// path: proportional to the makespan on a dedicated machine with at
+        /// least `workers` uniform cores.  Unlike wall-clock (which
+        /// serialises on an overcommitted machine) or measured busy time
+        /// (which counts preemption), this is schedule-sensitive on any
+        /// hardware.
+        work_per_worker: Vec<f64>,
     },
     /// Thread-pipeline summary from the shared-memory backend.
     ThreadPipeline {
@@ -479,6 +531,10 @@ pub struct SkeletonOutcome {
     pub calibration_s: f64,
     /// Adaptation actions taken while this (sub-)skeleton ran.
     pub adaptations: usize,
+    /// Fault-tolerance accounting for the whole run (job-level: child
+    /// outcomes carry an empty report, because recovery happens at the
+    /// executing engine's level, not per sub-skeleton).
+    pub resilience: ResilienceReport,
     /// Per-child outcomes of a composition (empty for leaves).
     pub children: Vec<SkeletonOutcome>,
     /// The backend's native report, when it exposes one.
@@ -598,6 +654,12 @@ impl<'g> SimBackend<'g> {
     ) -> SkeletonOutcome {
         let mut unit_ids: Vec<usize> = outcome.task_outcomes.iter().map(|o| o.task).collect();
         unit_ids.sort_unstable();
+        // A task lost to a revoked node and later re-executed may in
+        // principle surface more than one completion record; the
+        // backend-neutral view counts each unit once (the engine-native
+        // record in `detail` keeps every raw completion), which is what lets
+        // `conserves_units_of` hold under loss + retry.
+        unit_ids.dedup();
         // One pass over the outcomes builds the id → completion-time table
         // every span shares (a lost-then-requeued task keeps its latest
         // completion).
@@ -611,19 +673,35 @@ impl<'g> SimBackend<'g> {
                 .or_insert(t);
         }
         let children = spans.iter().map(|s| s.outcome_from(&completions)).collect();
+        let requeued = outcome.adaptation.requeued_tasks();
+        let resilience = ResilienceReport {
+            requeued_tasks: requeued,
+            // Every requeued task that made it into the outcome was executed
+            // again on a surviving node.
+            retried_tasks: requeued,
+            migrated_stages: 0,
+            nodes_lost: outcome.adaptation.node_losses(),
+        };
         SkeletonOutcome {
             kind,
-            completed: outcome.completed_tasks(),
+            completed: unit_ids.len(),
             unit_ids,
             makespan_s: outcome.makespan.as_secs(),
             calibration_s: outcome.calibration.duration.as_secs(),
             adaptations: outcome.adaptation.len(),
+            resilience,
             children,
             detail: OutcomeDetail::SimFarm(Box::new(outcome)),
         }
     }
 
     fn pipeline_outcome(kind: SkeletonKind, outcome: PipelineOutcome) -> SkeletonOutcome {
+        let resilience = ResilienceReport {
+            requeued_tasks: 0,
+            retried_tasks: 0,
+            migrated_stages: outcome.adaptation.stage_remaps(),
+            nodes_lost: 0,
+        };
         SkeletonOutcome {
             kind,
             completed: outcome.items,
@@ -631,6 +709,7 @@ impl<'g> SimBackend<'g> {
             makespan_s: outcome.makespan.as_secs(),
             calibration_s: outcome.calibration.duration.as_secs(),
             adaptations: outcome.adaptation.len(),
+            resilience,
             children: Vec::new(),
             detail: OutcomeDetail::SimPipeline(Box::new(outcome)),
         }
@@ -934,6 +1013,7 @@ mod tests {
             makespan_s: 1.0,
             calibration_s: 0.0,
             adaptations: 0,
+            resilience: ResilienceReport::default(),
             children: Vec::new(),
             detail: OutcomeDetail::None,
         };
@@ -951,6 +1031,40 @@ mod tests {
             ..ok
         };
         assert!(!short.conserves_units_of(&skeleton));
+    }
+
+    #[test]
+    fn sim_backend_reports_resilience_under_node_revocation() {
+        use gridsim::{FaultPlan, GridBuilder, SimTime};
+        let topo = TopologyBuilder::uniform_cluster(4, 30.0);
+        // Node 2 dies early and never comes back: its in-flight chunk must be
+        // requeued, and the outcome must say so.
+        let faults = FaultPlan::none().revoked_from(gridsim::NodeId(2), SimTime::new(5.0));
+        let grid = GridBuilder::new(topo).faults(faults).build();
+        let skeleton = Skeleton::farm(TaskSpec::uniform(120, 80.0, 8 * 1024, 8 * 1024));
+        let backend = SimBackend::new(&grid);
+        let cfg = GraspConfig::default();
+        let outcome = backend
+            .execute(&cfg, &backend.compile(&cfg, &skeleton).unwrap())
+            .unwrap();
+        assert_eq!(outcome.completed, 120);
+        assert!(outcome.conserves_units_of(&skeleton));
+        assert!(outcome.resilience.nodes_lost >= 1);
+        assert!(outcome.resilience.requeued_tasks >= 1);
+        assert_eq!(
+            outcome.resilience.retried_tasks,
+            outcome.resilience.requeued_tasks
+        );
+        assert!(!outcome.resilience.is_clean());
+        assert!(outcome.resilience.total_events() >= 3);
+
+        // A quiet grid reports a clean run.
+        let quiet = Grid::dedicated(TopologyBuilder::uniform_cluster(4, 30.0));
+        let backend = SimBackend::new(&quiet);
+        let outcome = backend
+            .execute(&cfg, &backend.compile(&cfg, &skeleton).unwrap())
+            .unwrap();
+        assert!(outcome.resilience.is_clean());
     }
 
     #[test]

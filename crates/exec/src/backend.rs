@@ -20,9 +20,13 @@
 use crate::farm::ThreadFarm;
 use crate::pipeline::ThreadPipeline;
 use grasp_core::error::GraspError;
-use grasp_core::skeleton::{Backend, OutcomeDetail, Skeleton, SkeletonOutcome, UnitSpan};
+use grasp_core::skeleton::{
+    Backend, OutcomeDetail, ResilienceReport, Skeleton, SkeletonOutcome, UnitSpan,
+};
 use grasp_core::{GraspConfig, SchedulePolicy, StageSpec};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Spin for approximately `iters` iterations of optimisation-resistant
 /// integer work — the real computational kernel synthesised from a unit's
@@ -55,6 +59,13 @@ pub struct ThreadBackend {
     calibration_samples: Option<usize>,
     /// Spin iterations executed per declared work unit.
     spin_per_work_unit: u64,
+    /// Bounded attempts per unit before the run fails.
+    max_task_attempts: usize,
+    /// Panics one farm worker may absorb before retiring from the pool.
+    worker_panic_budget: usize,
+    /// Fault injection: the first `inject_panics` unit executions of each run
+    /// panic (the shared-memory churn analogue of node revocation).
+    inject_panics: usize,
 }
 
 impl Default for ThreadBackend {
@@ -77,6 +88,9 @@ impl ThreadBackend {
             policy: None,
             calibration_samples: None,
             spin_per_work_unit: 500,
+            max_task_attempts: 3,
+            worker_panic_budget: 3,
+            inject_panics: 0,
         }
     }
 
@@ -98,6 +112,32 @@ impl ThreadBackend {
     /// (lower = faster tests, higher = more realistic load).
     pub fn with_spin_per_work_unit(mut self, iters: u64) -> Self {
         self.spin_per_work_unit = iters.max(1);
+        self
+    }
+
+    /// Override how many times one unit may be attempted before the run
+    /// fails with [`GraspError::WorkerFailed`] (clamped to ≥ 1; default 3).
+    pub fn with_max_task_attempts(mut self, attempts: usize) -> Self {
+        self.max_task_attempts = attempts.max(1);
+        self
+    }
+
+    /// Override how many panics one farm worker may absorb before it
+    /// retires from the pool (see `ThreadFarm::with_worker_panic_budget`;
+    /// the last active worker never retires).
+    pub fn with_worker_panic_budget(mut self, budget: usize) -> Self {
+        self.worker_panic_budget = budget;
+        self
+    }
+
+    /// Inject worker faults: the first `panics` unit executions of each run
+    /// panic before doing any work.  This is the shared-memory analogue of a
+    /// grid node being revoked mid-task — the backend must isolate the
+    /// panics, retry the units on surviving workers and report the recovery
+    /// in the outcome's [`ResilienceReport`].  Intended for churn
+    /// experiments and fault-path tests; 0 (the default) disables injection.
+    pub fn with_panic_injection(mut self, panics: usize) -> Self {
+        self.inject_panics = panics;
         self
     }
 
@@ -173,6 +213,17 @@ impl Backend for ThreadBackend {
         compiled: &Self::Compiled,
     ) -> Result<SkeletonOutcome, GraspError> {
         let policy = self.policy.unwrap_or(config.scheduler);
+        // Fault-injection budget for this run: the first `inject_panics`
+        // unit executions panic before doing any work.
+        let injector = Arc::new(AtomicUsize::new(self.inject_panics));
+        let maybe_inject = move |injector: &AtomicUsize| {
+            if injector
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+                .is_ok()
+            {
+                panic!("injected worker fault (churn analogue)");
+            }
+        };
         match &compiled.plan {
             ThreadPlan::Farm { units, spans } => {
                 let samples = self
@@ -180,12 +231,27 @@ impl Backend for ThreadBackend {
                     .unwrap_or(config.calibration.samples_per_node);
                 let farm = ThreadFarm::new(self.workers)
                     .with_policy(policy)
-                    .with_calibration_samples(samples);
+                    .with_calibration_samples(samples)
+                    .with_max_task_attempts(self.max_task_attempts)
+                    .with_worker_panic_budget(self.worker_panic_budget);
                 let run_start = std::time::Instant::now();
-                let (results, stats) = farm.run(units, |&(id, work)| {
+                // Declared work per worker: the outcome reports it so
+                // experiments can judge schedule balance on any hardware
+                // (see `OutcomeDetail::ThreadFarm`).  One atomic per worker
+                // (micro-work-units) keeps the accounting off the task hot
+                // path — no shared lock.
+                let work_acc: Vec<AtomicU64> =
+                    (0..self.workers).map(|_| AtomicU64::new(0)).collect();
+                let (results, stats) = farm.try_run_indexed(units, |wid, &(id, work)| {
+                    maybe_inject(&injector);
                     spin(self.iters_for(work));
+                    work_acc[wid].fetch_add((work * 1e6) as u64, Ordering::Relaxed);
                     (id, run_start.elapsed().as_secs_f64())
-                });
+                })?;
+                let work_per_worker: Vec<f64> = work_acc
+                    .iter()
+                    .map(|a| a.load(Ordering::Relaxed) as f64 / 1e6)
+                    .collect();
                 let makespan_s = stats.total.as_secs_f64();
                 // Sparse id → wall-clock completion table: leaf farms keep
                 // their original (possibly arbitrary) ids, so no dense
@@ -202,10 +268,19 @@ impl Backend for ThreadBackend {
                     makespan_s,
                     calibration_s: stats.calibration.as_secs_f64(),
                     adaptations: 0,
+                    resilience: ResilienceReport {
+                        // Each caught panic hands the task back to the pool…
+                        requeued_tasks: stats.panics,
+                        // …and each retried task eventually completed again.
+                        retried_tasks: stats.retried,
+                        migrated_stages: 0,
+                        nodes_lost: stats.workers_lost,
+                    },
                     children: spans.iter().map(|s| s.outcome_from(&completions)).collect(),
                     detail: OutcomeDetail::ThreadFarm {
                         workers: stats.workers,
                         tasks_per_worker: stats.tasks_per_worker.clone(),
+                        work_per_worker,
                     },
                 })
             }
@@ -214,10 +289,13 @@ impl Backend for ThreadBackend {
                 replicas,
                 items,
             } => {
-                let mut pipeline: ThreadPipeline<usize> = ThreadPipeline::new();
+                let mut pipeline: ThreadPipeline<usize> =
+                    ThreadPipeline::new().with_max_task_attempts(self.max_task_attempts);
                 for (stage, &r) in stages.iter().zip(replicas) {
                     let iters = self.iters_for(stage.work_per_item);
+                    let injector = Arc::clone(&injector);
                     let f = move |x: usize| {
+                        maybe_inject(&injector);
                         spin(iters);
                         x
                     };
@@ -227,7 +305,7 @@ impl Backend for ThreadBackend {
                         pipeline.stage(f)
                     };
                 }
-                let (out, stats) = pipeline.run((0..*items).collect());
+                let (out, stats) = pipeline.try_run((0..*items).collect())?;
                 let mut unit_ids = out;
                 unit_ids.sort_unstable();
                 Ok(SkeletonOutcome {
@@ -237,6 +315,12 @@ impl Backend for ThreadBackend {
                     makespan_s: stats.total.as_secs_f64(),
                     calibration_s: 0.0,
                     adaptations: 0,
+                    resilience: ResilienceReport {
+                        requeued_tasks: 0,
+                        retried_tasks: stats.retried,
+                        migrated_stages: 0,
+                        nodes_lost: 0,
+                    },
                     children: Vec::new(),
                     detail: OutcomeDetail::ThreadPipeline {
                         bottleneck_stage: stats.bottleneck_stage,
@@ -363,5 +447,49 @@ mod tests {
     #[test]
     fn default_backend_uses_available_parallelism() {
         assert!(ThreadBackend::default().workers() >= 1);
+    }
+
+    #[test]
+    fn injected_farm_panics_are_survived_and_reported() {
+        let skeleton = Skeleton::farm(TaskSpec::uniform(40, 2.0, 0, 0));
+        let backend = fast_backend().with_panic_injection(2);
+        let report = Grasp::new(GraspConfig::default())
+            .run(&backend, &skeleton)
+            .expect("injected panics must not fail the run");
+        assert_eq!(report.outcome.completed, 40);
+        assert!(report.outcome.conserves_units_of(&skeleton));
+        assert!(report.outcome.resilience.retried_tasks >= 1);
+        assert!(report.outcome.resilience.requeued_tasks >= 1);
+        assert!(!report.outcome.resilience.is_clean());
+    }
+
+    #[test]
+    fn injected_pipeline_panics_are_survived_and_reported() {
+        let skeleton = lane(12);
+        let backend = fast_backend()
+            .with_panic_injection(1)
+            .with_max_task_attempts(4);
+        let report = Grasp::new(GraspConfig::default())
+            .run(&backend, &skeleton)
+            .expect("injected stage panic must not fail the run");
+        assert_eq!(report.outcome.completed, 12);
+        assert!(report.outcome.conserves_units_of(&skeleton));
+        assert!(report.outcome.resilience.retried_tasks >= 1);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_as_worker_failed() {
+        // More injected faults than `units × (attempts − 1)` can absorb: some
+        // unit must fail every attempt, and the error must be typed, not a
+        // process abort.
+        let skeleton = Skeleton::farm(TaskSpec::uniform(4, 1.0, 0, 0));
+        let backend = ThreadBackend::new(2)
+            .with_spin_per_work_unit(1)
+            .with_max_task_attempts(2)
+            .with_panic_injection(1000);
+        let err = Grasp::new(GraspConfig::default())
+            .run(&backend, &skeleton)
+            .expect_err("saturated fault injection must fail the run");
+        assert!(matches!(err, GraspError::WorkerFailed { .. }), "{err}");
     }
 }

@@ -10,12 +10,26 @@
 //!    decided by the configured [`SchedulePolicy`]; results are written into
 //!    their original slots so output order always matches input order.
 //!
-//! The implementation uses scoped threads and `parking_lot` mutexes only —
-//! no unsafe code, no dependency on a global thread pool.
+//! Execution is **fault-isolated**: a panic inside the user closure is caught
+//! with `catch_unwind` (the shared-memory analogue of a grid node being
+//! revoked mid-chunk), the failed task is requeued for a surviving worker,
+//! and a worker that keeps panicking past its health budget retires from the
+//! pool.  Retries are bounded per task; a task that fails every attempt turns
+//! the run into a typed [`GraspError::WorkerFailed`] instead of aborting the
+//! process.
+//!
+//! The implementation uses scoped threads, `parking_lot` mutexes and atomics
+//! only — no unsafe code, no dependency on a global thread pool.  The
+//! per-worker timing statistics that feed the adaptive weighted chunking are
+//! kept as running sums behind atomics, so computing the pool-mean weight on
+//! the dispatch hot path costs a handful of loads instead of locking every
+//! worker's history.
 
+use grasp_core::error::GraspError;
 use grasp_core::SchedulePolicy;
-use gridstats::mean;
 use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Per-run statistics reported by [`ThreadFarm::run`].
@@ -35,6 +49,12 @@ pub struct FarmStats {
     /// Chunk size chosen after calibration (for fixed/guided policies this is
     /// the first chunk actually dispensed).
     pub initial_chunk: usize,
+    /// Worker panics caught and isolated during the run.
+    pub panics: usize,
+    /// Tasks that were re-executed after a panicked attempt and completed.
+    pub retried: usize,
+    /// Workers retired after exhausting their panic budget.
+    pub workers_lost: usize,
 }
 
 impl FarmStats {
@@ -51,12 +71,64 @@ impl FarmStats {
     }
 }
 
+/// Per-worker running statistics, updated with atomic stores only so that
+/// the dispatch hot path (which reads every worker's mean to derive the
+/// pool-mean weight) never takes a lock.
+#[derive(Debug, Default)]
+struct WorkerStat {
+    /// Sum of observed task times in nanoseconds.
+    sum_ns: AtomicU64,
+    /// Number of timed (successful) task executions.
+    count: AtomicUsize,
+    /// Panics this worker has caught.
+    panics: AtomicUsize,
+}
+
+impl WorkerStat {
+    fn record(&self, dt: Duration) {
+        self.sum_ns.fetch_add(
+            dt.as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Mean task time in seconds, `None` before the first completion.
+    fn mean_s(&self) -> Option<f64> {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            None
+        } else {
+            Some(self.sum_ns.load(Ordering::Relaxed) as f64 / 1e9 / count as f64)
+        }
+    }
+}
+
+/// One unit of work pulled from the shared queue.
+enum Job {
+    /// A fresh contiguous chunk `[start, start + count)`.
+    Chunk { start: usize, count: usize },
+    /// A single requeued task on its `attempt`-th retry.
+    Retry { index: usize, attempt: usize },
+}
+
+/// The shared dispensing state: a cursor over fresh tasks, the retry queue
+/// fed by caught panics, and the first permanently failed task (if any).
+struct Queue {
+    next: usize,
+    total: usize,
+    retries: std::collections::VecDeque<(usize, usize)>,
+    failed: Option<usize>,
+}
+
 /// A shared-memory task farm.
 #[derive(Debug, Clone)]
 pub struct ThreadFarm {
     workers: usize,
     policy: SchedulePolicy,
     calibration_samples: usize,
+    max_task_attempts: usize,
+    worker_panic_budget: usize,
 }
 
 impl Default for ThreadFarm {
@@ -76,6 +148,8 @@ impl ThreadFarm {
             workers: workers.max(1),
             policy: SchedulePolicy::Guided { min_chunk: 1 },
             calibration_samples: 2,
+            max_task_attempts: 3,
+            worker_panic_budget: 3,
         }
     }
 
@@ -92,6 +166,21 @@ impl ThreadFarm {
         self
     }
 
+    /// Override how many times one task may be attempted before the run is
+    /// declared failed (clamped to ≥ 1; the default is 3).
+    pub fn with_max_task_attempts(mut self, attempts: usize) -> Self {
+        self.max_task_attempts = attempts.max(1);
+        self
+    }
+
+    /// Override how many panics a single worker may absorb before it retires
+    /// from the pool (the last active worker never retires, so progress is
+    /// preserved as long as some attempt can succeed).
+    pub fn with_worker_panic_budget(mut self, budget: usize) -> Self {
+        self.worker_panic_budget = budget;
+        self
+    }
+
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers
@@ -99,11 +188,47 @@ impl ThreadFarm {
 
     /// Execute `worker` over every item, returning the results in input
     /// order together with run statistics.
+    ///
+    /// Panics (with the [`GraspError`] message) if a task fails on every
+    /// allowed attempt; use [`ThreadFarm::try_run`] for the fallible path.
     pub fn run<T, R, F>(&self, items: &[T], worker: F) -> (Vec<R>, FarmStats)
     where
         T: Sync,
         R: Send,
         F: Fn(&T) -> R + Sync,
+    {
+        self.try_run(items, worker)
+            .unwrap_or_else(|e| panic!("ThreadFarm::run failed: {e}"))
+    }
+
+    /// Execute `worker` over every item, returning the results in input
+    /// order together with run statistics, or a typed error when a task
+    /// exhausts its retry budget.
+    pub fn try_run<T, R, F>(
+        &self,
+        items: &[T],
+        worker: F,
+    ) -> Result<(Vec<R>, FarmStats), GraspError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.try_run_indexed(items, |_, item| worker(item))
+    }
+
+    /// [`ThreadFarm::try_run`] with the executing worker's index (0-based,
+    /// `< self.workers()`) passed to the closure — for callers that keep
+    /// per-worker accounting without a shared lock on the task hot path.
+    pub fn try_run_indexed<T, R, F>(
+        &self,
+        items: &[T],
+        worker: F,
+    ) -> Result<(Vec<R>, FarmStats), GraspError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
     {
         let n = items.len();
         let started = Instant::now();
@@ -111,7 +236,7 @@ impl ThreadFarm {
         results.resize_with(n, || None);
 
         if n == 0 {
-            return (
+            return Ok((
                 Vec::new(),
                 FarmStats {
                     workers: self.workers,
@@ -120,58 +245,118 @@ impl ThreadFarm {
                     calibration: Duration::ZERO,
                     total: started.elapsed(),
                     initial_chunk: 0,
+                    panics: 0,
+                    retried: 0,
+                    workers_lost: 0,
                 },
-            );
+            ));
         }
 
         let results_slots: Vec<Mutex<&mut [Option<R>]>> =
             results.chunks_mut(1).map(Mutex::new).collect();
-        // A single cursor protected by a mutex dispenses chunks; per-worker
-        // bookkeeping lives behind its own lock.
-        struct Shared {
-            next: usize,
-            total: usize,
-        }
-        let shared = Mutex::new(Shared { next: 0, total: n });
-        let per_worker_counts: Vec<Mutex<usize>> =
-            (0..self.workers).map(|_| Mutex::new(0)).collect();
-        let per_worker_times: Vec<Mutex<Vec<f64>>> =
-            (0..self.workers).map(|_| Mutex::new(Vec::new())).collect();
+        let queue = Mutex::new(Queue {
+            next: 0,
+            total: n,
+            retries: std::collections::VecDeque::new(),
+            failed: None,
+        });
+        let stats: Vec<WorkerStat> = (0..self.workers).map(|_| WorkerStat::default()).collect();
+        let retried_total = AtomicUsize::new(0);
+        let workers_lost = AtomicUsize::new(0);
+        // Workers still pulling from the queue; the last one never retires.
+        let active_workers = AtomicUsize::new(self.workers);
         let calibration_done = Mutex::new(Duration::ZERO);
-        let initial_chunk = Mutex::new(0usize);
+        let initial_chunk = AtomicUsize::new(0);
 
         let calib_samples = self.calibration_samples;
         let policy = self.policy;
         let workers = self.workers;
+        let max_attempts = self.max_task_attempts;
+        let panic_budget = self.worker_panic_budget;
 
         std::thread::scope(|scope| {
             for wid in 0..workers {
-                let shared = &shared;
+                let queue = &queue;
                 let results_slots = &results_slots;
-                let per_worker_counts = &per_worker_counts;
-                let per_worker_times = &per_worker_times;
+                let stats = &stats;
+                let retried_total = &retried_total;
+                let workers_lost = &workers_lost;
+                let active_workers = &active_workers;
                 let calibration_done = &calibration_done;
                 let initial_chunk = &initial_chunk;
                 let worker_fn = &worker;
                 scope.spawn(move || {
+                    // Execute one task attempt, isolating panics.  Returns
+                    // `false` when the whole run must stop (task failed
+                    // permanently).
+                    let exec_task = |index: usize, attempt: usize| -> bool {
+                        let t0 = Instant::now();
+                        match catch_unwind(AssertUnwindSafe(|| worker_fn(wid, &items[index]))) {
+                            Ok(out) => {
+                                let dt = t0.elapsed();
+                                *results_slots[index].lock().first_mut().unwrap() = Some(out);
+                                stats[wid].record(dt);
+                                if attempt > 0 {
+                                    retried_total.fetch_add(1, Ordering::Relaxed);
+                                }
+                                true
+                            }
+                            Err(_) => {
+                                stats[wid].panics.fetch_add(1, Ordering::Relaxed);
+                                let mut q = queue.lock();
+                                if attempt + 1 >= max_attempts {
+                                    q.failed.get_or_insert(index);
+                                    false
+                                } else {
+                                    q.retries.push_back((index, attempt + 1));
+                                    true
+                                }
+                            }
+                        }
+                    };
+                    // A worker past its panic budget retires — unless it is
+                    // the last one still pulling, which must soldier on to
+                    // preserve progress.  A worker never retires while
+                    // retries are pending: it may be the only worker still
+                    // looping, and a requeued task must not be stranded.
+                    let should_retire = || {
+                        stats[wid].panics.load(Ordering::Relaxed) > panic_budget
+                            && queue.lock().retries.is_empty()
+                            && active_workers
+                                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |a| {
+                                    if a > 1 {
+                                        Some(a - 1)
+                                    } else {
+                                        None
+                                    }
+                                })
+                                .is_ok()
+                    };
+                    let retire = |retired: &mut bool| {
+                        workers_lost.fetch_add(1, Ordering::Relaxed);
+                        *retired = true;
+                    };
+                    let mut retired = false;
+
                     // ----------------- calibration pass -----------------
                     let calib_start = Instant::now();
                     for _ in 0..calib_samples {
                         let idx = {
-                            let mut s = shared.lock();
-                            if s.next >= s.total {
+                            let mut q = queue.lock();
+                            if q.failed.is_some() || q.next >= q.total {
                                 break;
                             }
-                            let i = s.next;
-                            s.next += 1;
+                            let i = q.next;
+                            q.next += 1;
                             i
                         };
-                        let t0 = Instant::now();
-                        let out = worker_fn(&items[idx]);
-                        let dt = t0.elapsed().as_secs_f64();
-                        *results_slots[idx].lock().first_mut().unwrap() = Some(out);
-                        per_worker_times[wid].lock().push(dt);
-                        *per_worker_counts[wid].lock() += 1;
+                        if !exec_task(idx, 0) {
+                            break;
+                        }
+                        if should_retire() {
+                            retire(&mut retired);
+                            break;
+                        }
                     }
                     if calib_samples > 0 {
                         let elapsed = calib_start.elapsed();
@@ -182,45 +367,76 @@ impl ThreadFarm {
                     }
 
                     // ----------------- execution pass -----------------
-                    loop {
-                        // Weight = pool mean time / this worker's mean time.
-                        let my_mean = mean(&per_worker_times[wid].lock()).unwrap_or(0.0);
+                    'pull: while !retired {
+                        // Weight = pool mean time / this worker's mean time,
+                        // derived from the atomic running sums (no locks).
+                        let my_mean = stats[wid].mean_s().unwrap_or(0.0);
                         let pool_mean = {
-                            let all: Vec<f64> = per_worker_times
-                                .iter()
-                                .filter_map(|m| mean(&m.lock()))
-                                .collect();
-                            mean(&all).unwrap_or(0.0)
+                            let mut sum = 0.0;
+                            let mut k = 0usize;
+                            for s in stats.iter() {
+                                if let Some(m) = s.mean_s() {
+                                    sum += m;
+                                    k += 1;
+                                }
+                            }
+                            if k == 0 {
+                                0.0
+                            } else {
+                                sum / k as f64
+                            }
                         };
                         let weight = if my_mean > 0.0 && pool_mean > 0.0 {
                             pool_mean / my_mean
                         } else {
                             1.0
                         };
-                        let (start, count) = {
-                            let mut s = shared.lock();
-                            let remaining = s.total - s.next;
-                            if remaining == 0 {
+                        let job = {
+                            let mut q = queue.lock();
+                            if q.failed.is_some() {
                                 break;
                             }
-                            let c = policy.next_chunk(remaining, workers, weight);
-                            let start = s.next;
-                            s.next += c;
-                            (start, c)
-                        };
-                        {
-                            let mut ic = initial_chunk.lock();
-                            if *ic == 0 {
-                                *ic = count;
+                            if let Some((index, attempt)) = q.retries.pop_front() {
+                                Job::Retry { index, attempt }
+                            } else {
+                                let remaining = q.total - q.next;
+                                if remaining == 0 {
+                                    break;
+                                }
+                                let c = policy.next_chunk_with_total(remaining, n, workers, weight);
+                                let start = q.next;
+                                q.next += c;
+                                Job::Chunk { start, count: c }
                             }
-                        }
-                        for idx in start..start + count {
-                            let t0 = Instant::now();
-                            let out = worker_fn(&items[idx]);
-                            let dt = t0.elapsed().as_secs_f64();
-                            *results_slots[idx].lock().first_mut().unwrap() = Some(out);
-                            per_worker_times[wid].lock().push(dt);
-                            *per_worker_counts[wid].lock() += 1;
+                        };
+                        match job {
+                            Job::Retry { index, attempt } => {
+                                if !exec_task(index, attempt) {
+                                    break;
+                                }
+                                if should_retire() {
+                                    retire(&mut retired);
+                                }
+                            }
+                            Job::Chunk { start, count } => {
+                                let _ = initial_chunk.compare_exchange(
+                                    0,
+                                    count,
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
+                                );
+                                // The chunk is finished even by a worker over
+                                // its panic budget: its tasks are claimed, so
+                                // retiring mid-chunk would strand them.
+                                for idx in start..start + count {
+                                    if !exec_task(idx, 0) {
+                                        break 'pull;
+                                    }
+                                }
+                                if should_retire() {
+                                    retire(&mut retired);
+                                }
+                            }
                         }
                     }
                 });
@@ -228,22 +444,42 @@ impl ThreadFarm {
         });
 
         drop(results_slots);
-        let output: Vec<R> = results
-            .into_iter()
-            .map(|r| r.expect("every task slot must have been filled"))
-            .collect();
+        let queue = queue.into_inner();
+        if let Some(task) = queue.failed {
+            return Err(GraspError::WorkerFailed {
+                task,
+                attempts: max_attempts,
+            });
+        }
+        let mut output: Vec<R> = Vec::with_capacity(n);
+        for (idx, slot) in results.into_iter().enumerate() {
+            match slot {
+                Some(r) => output.push(r),
+                None => {
+                    // Defensive: no recorded failure but a slot is empty —
+                    // report it as a worker failure rather than panicking.
+                    return Err(GraspError::WorkerFailed {
+                        task: idx,
+                        attempts: max_attempts,
+                    });
+                }
+            }
+        }
         let stats = FarmStats {
             workers: self.workers,
-            tasks_per_worker: per_worker_counts.iter().map(|m| *m.lock()).collect(),
-            mean_task_time_per_worker: per_worker_times
+            tasks_per_worker: stats
                 .iter()
-                .map(|m| mean(&m.lock()).unwrap_or(0.0))
+                .map(|s| s.count.load(Ordering::Relaxed))
                 .collect(),
+            mean_task_time_per_worker: stats.iter().map(|s| s.mean_s().unwrap_or(0.0)).collect(),
             calibration: *calibration_done.lock(),
             total: started.elapsed(),
-            initial_chunk: *initial_chunk.lock(),
+            initial_chunk: initial_chunk.load(Ordering::Relaxed),
+            panics: stats.iter().map(|s| s.panics.load(Ordering::Relaxed)).sum(),
+            retried: retried_total.load(Ordering::Relaxed),
+            workers_lost: workers_lost.load(Ordering::Relaxed),
         };
-        (output, stats)
+        Ok((output, stats))
     }
 }
 
@@ -251,6 +487,7 @@ impl ThreadFarm {
 mod tests {
     use super::*;
     use crate::backend::spin as spin_work;
+    use std::sync::atomic::AtomicUsize;
 
     #[test]
     fn results_preserve_input_order() {
@@ -260,6 +497,9 @@ mod tests {
         assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
         assert_eq!(stats.workers, 4);
         assert_eq!(stats.tasks_per_worker.iter().sum::<usize>(), 200);
+        assert_eq!(stats.panics, 0);
+        assert_eq!(stats.retried, 0);
+        assert_eq!(stats.workers_lost, 0);
     }
 
     #[test]
@@ -318,6 +558,82 @@ mod tests {
         assert!(stats.tasks_per_worker.iter().all(|&c| c > 0));
         assert!(stats.mean_task_time_per_worker.iter().all(|&t| t >= 0.0));
         assert!(stats.total >= stats.calibration);
+    }
+
+    #[test]
+    fn transient_panic_is_retried_and_the_run_completes() {
+        // One task panics on its first attempt only (a transient fault): the
+        // farm must catch the panic, requeue the task, and finish with every
+        // slot filled and the retry reported.
+        let fail_once = AtomicUsize::new(1);
+        let farm = ThreadFarm::new(3);
+        let items: Vec<u64> = (0..120).collect();
+        let (out, stats) = farm
+            .try_run(&items, |&x| {
+                if x == 60
+                    && fail_once
+                        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+                        .is_ok()
+                {
+                    panic!("injected transient fault");
+                }
+                x * 2
+            })
+            .expect("transient fault must be survivable");
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(stats.panics, 1);
+        assert_eq!(stats.retried, 1);
+        assert_eq!(stats.tasks_per_worker.iter().sum::<usize>(), 120);
+    }
+
+    #[test]
+    fn persistent_panic_yields_a_typed_error() {
+        let farm = ThreadFarm::new(2).with_max_task_attempts(2);
+        let items: Vec<u64> = (0..40).collect();
+        let err = farm
+            .try_run(&items, |&x| {
+                if x == 7 {
+                    panic!("permanently broken task");
+                }
+                x
+            })
+            .expect_err("a task failing every attempt must error");
+        match err {
+            GraspError::WorkerFailed { task, attempts } => {
+                assert_eq!(task, 7);
+                assert_eq!(attempts, 2);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panicking_worker_retires_but_the_pool_survives() {
+        // Every task on the "poisoned" range panics once per attempt until
+        // the counter drains; the pool must absorb more panics than one
+        // worker's budget, retire nobody fatally needed, and still finish.
+        let transient_faults = AtomicUsize::new(6);
+        let farm = ThreadFarm::new(4)
+            .with_worker_panic_budget(1)
+            .with_max_task_attempts(10);
+        let items: Vec<u64> = (0..200).collect();
+        let (out, stats) = farm
+            .try_run(&items, |&x| {
+                if x % 3 == 0
+                    && transient_faults
+                        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+                        .is_ok()
+                {
+                    panic!("injected fault burst");
+                }
+                spin_work(x % 32) ^ x
+            })
+            .expect("fault burst must be survivable");
+        assert_eq!(out.len(), 200);
+        assert_eq!(stats.panics, 6);
+        assert!(stats.retried >= 1);
+        // Whatever retired, the results are complete and exactly-once.
+        assert!(stats.workers_lost < 4);
     }
 
     #[test]

@@ -7,11 +7,21 @@
 //! grid pipeline uses to decide remapping.  An optional adaptation replicates
 //! the bottleneck stage across `replicas` worker threads when its measured
 //! service time exceeds `replication_threshold` times the mean stage time.
+//!
+//! Stage execution is **fault-isolated**: a panic inside a stage closure is
+//! caught with `catch_unwind` and the item is retried in place, bounded by
+//! the configured attempt budget (the worker clones the item before an
+//! attempt only while a further retry is still permitted — the final attempt
+//! moves it).  An item that fails every attempt turns the run into a typed
+//! [`GraspError::WorkerFailed`] instead of tearing down the process.
 
 use crossbeam::channel::{bounded, Receiver, Sender};
+use grasp_core::error::GraspError;
 use gridstats::mean;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -31,6 +41,10 @@ pub struct PipelineStats {
     pub replicas_per_stage: Vec<usize>,
     /// Wall-clock duration of the whole run.
     pub total: Duration,
+    /// Stage panics caught and isolated during the run.
+    pub panics: usize,
+    /// Items re-executed after a panicked attempt that ultimately completed.
+    pub retried: usize,
 }
 
 impl PipelineStats {
@@ -58,6 +72,9 @@ pub struct ThreadPipeline<T> {
     replication_threshold: Option<f64>,
     /// How many worker threads a replicated stage receives.
     replicas: usize,
+    /// How many times one item may be attempted at one stage before the run
+    /// is declared failed.
+    max_task_attempts: usize,
 }
 
 impl<T: Send + 'static> ThreadPipeline<T> {
@@ -69,6 +86,7 @@ impl<T: Send + 'static> ThreadPipeline<T> {
             channel_capacity: 16,
             replication_threshold: None,
             replicas: 2,
+            max_task_attempts: 3,
         }
     }
 
@@ -107,6 +125,13 @@ impl<T: Send + 'static> ThreadPipeline<T> {
         self
     }
 
+    /// Override how many times one item may be attempted at one stage before
+    /// the run fails (clamped to ≥ 1; the default is 3).
+    pub fn with_max_task_attempts(mut self, attempts: usize) -> Self {
+        self.max_task_attempts = attempts.max(1);
+        self
+    }
+
     /// Number of stages.
     pub fn stage_count(&self) -> usize {
         self.stages.len()
@@ -115,12 +140,31 @@ impl<T: Send + 'static> ThreadPipeline<T> {
     /// Run the stream through the pipeline, returning the transformed items
     /// in submission order plus statistics.  An empty stage list returns the
     /// input unchanged.
-    pub fn run(&self, items: Vec<T>) -> (Vec<T>, PipelineStats) {
+    ///
+    /// Panics (with the [`GraspError`] message) if an item fails a stage on
+    /// every allowed attempt; use [`ThreadPipeline::try_run`] for the
+    /// fallible path.
+    pub fn run(&self, items: Vec<T>) -> (Vec<T>, PipelineStats)
+    where
+        T: Clone,
+    {
+        self.try_run(items)
+            .unwrap_or_else(|e| panic!("ThreadPipeline::run failed: {e}"))
+    }
+
+    /// Run the stream through the pipeline, returning the transformed items
+    /// in submission order plus statistics, or a typed error when an item
+    /// exhausts its per-stage retry budget.  An empty stage list returns the
+    /// input unchanged.
+    pub fn try_run(&self, items: Vec<T>) -> Result<(Vec<T>, PipelineStats), GraspError>
+    where
+        T: Clone,
+    {
         let started = Instant::now();
         let n_stages = self.stages.len();
         let n_items = items.len();
         if n_stages == 0 || n_items == 0 {
-            return (
+            return Ok((
                 items,
                 PipelineStats {
                     mean_stage_service: vec![0.0; n_stages],
@@ -128,13 +172,55 @@ impl<T: Send + 'static> ThreadPipeline<T> {
                     bottleneck_stage: 0,
                     replicas_per_stage: vec![1; n_stages],
                     total: started.elapsed(),
+                    panics: 0,
+                    retried: 0,
                 },
-            );
+            ));
         }
 
         let mut replicas_per_stage = vec![1usize; n_stages];
         let service_times: Vec<Mutex<Vec<f64>>> =
             (0..n_stages).map(|_| Mutex::new(Vec::new())).collect();
+        let max_attempts = self.max_task_attempts;
+        let panics = AtomicUsize::new(0);
+        let retried = AtomicUsize::new(0);
+        // Sequence numbers of items that failed a stage on every attempt.
+        let failed: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+
+        // Execute one stage over one item with panic isolation and bounded
+        // in-place retries.  The item is cloned before an attempt only while
+        // a further retry is still permitted (a panicking attempt consumes
+        // its input); the final attempt moves the item, so a pipeline with
+        // `max_task_attempts == 1` never clones at all.  Returns `None` when
+        // every attempt panicked.
+        let apply_stage = |stage: &StageFn<T>, item: T, times: &Mutex<Vec<f64>>| -> Option<T> {
+            let mut slot = Some(item);
+            for attempt in 0..max_attempts {
+                let last = attempt + 1 == max_attempts;
+                let input = if last {
+                    slot.take()
+                        .expect("slot holds the item until the last attempt")
+                } else {
+                    slot.as_ref()
+                        .expect("slot holds the item until the last attempt")
+                        .clone()
+                };
+                let t0 = Instant::now();
+                match catch_unwind(AssertUnwindSafe(|| stage(input))) {
+                    Ok(out) => {
+                        times.lock().push(t0.elapsed().as_secs_f64());
+                        if attempt > 0 {
+                            retried.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return Some(out);
+                    }
+                    Err(_) => {
+                        panics.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            None
+        };
 
         // ------------------------------ probe -------------------------------
         // Decide replication from a short probe prefix of the stream, run
@@ -143,18 +229,25 @@ impl<T: Send + 'static> ThreadPipeline<T> {
         // probe mean is the bottleneck and receives `self.replicas` workers.
         let mut items = items;
         let mut probe_results: Vec<(usize, T)> = Vec::new();
+        let mut probe_offset = 0usize;
         if self.replication_threshold.is_some() {
             let probe_n = items.len().min(4);
             let mut probe_means = vec![0.0f64; n_stages];
             let rest = items.split_off(probe_n);
-            for (seq, item) in items.into_iter().enumerate() {
+            'probe: for (seq, item) in items.into_iter().enumerate() {
+                probe_offset += 1;
                 let mut current = item;
                 for (i, stage) in self.stages.iter().enumerate() {
                     let t0 = Instant::now();
-                    current = stage(current);
+                    match apply_stage(stage, current, &service_times[i]) {
+                        Some(out) => current = out,
+                        None => {
+                            failed.lock().push(seq);
+                            continue 'probe;
+                        }
+                    }
                     let dt = t0.elapsed().as_secs_f64();
                     probe_means[i] += dt / probe_n as f64;
-                    service_times[i].lock().push(dt);
                 }
                 probe_results.push((seq, current));
             }
@@ -167,7 +260,6 @@ impl<T: Send + 'static> ThreadPipeline<T> {
                 }
             }
         }
-        let probe_offset = probe_results.len();
 
         // ----------------------------- plumbing -----------------------------
         // stage i reads from rx[i] and writes to tx[i+1]; the sink collects
@@ -208,13 +300,20 @@ impl<T: Send + 'static> ThreadPipeline<T> {
                     let tx = senders[i + 1].clone();
                     let stage = Arc::clone(stage);
                     let times = &service_times[i];
+                    let apply = &apply_stage;
+                    let failed = &failed;
                     scope.spawn(move || {
                         while let Ok((seq, item)) = rx.recv() {
-                            let t0 = Instant::now();
-                            let out = stage(item);
-                            times.lock().push(t0.elapsed().as_secs_f64());
-                            if tx.send((seq, out)).is_err() {
-                                break;
+                            match apply(&stage, item, times) {
+                                Some(out) => {
+                                    if tx.send((seq, out)).is_err() {
+                                        break;
+                                    }
+                                }
+                                // Exhausted attempts: the item is dropped and
+                                // the run reports a typed failure; the stream
+                                // keeps flowing so other items finish.
+                                None => failed.lock().push(seq),
                             }
                         }
                     });
@@ -261,7 +360,15 @@ impl<T: Send + 'static> ThreadPipeline<T> {
             .map(|(i, _)| i)
             .unwrap_or(0);
 
-        (
+        let failed = failed.into_inner();
+        if let Some(&seq) = failed.iter().min() {
+            return Err(GraspError::WorkerFailed {
+                task: seq,
+                attempts: max_attempts,
+            });
+        }
+
+        Ok((
             ordered,
             PipelineStats {
                 mean_stage_service,
@@ -269,8 +376,10 @@ impl<T: Send + 'static> ThreadPipeline<T> {
                 bottleneck_stage,
                 replicas_per_stage,
                 total: started.elapsed(),
+                panics: panics.into_inner(),
+                retried: retried.into_inner(),
             },
-        )
+        ))
     }
 }
 
@@ -376,5 +485,54 @@ mod tests {
     fn stage_count_reports_stages() {
         let p: ThreadPipeline<u64> = ThreadPipeline::new().stage(|x| x).stage(|x| x);
         assert_eq!(p.stage_count(), 2);
+    }
+
+    #[test]
+    fn transient_stage_panic_is_retried_in_place() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let fail_once = std::sync::Arc::new(AtomicUsize::new(1));
+        let hook = fail_once.clone();
+        let pipeline = ThreadPipeline::new()
+            .stage(|x: u64| x + 1)
+            .stage(move |x: u64| {
+                if x == 31
+                    && hook
+                        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+                        .is_ok()
+                {
+                    panic!("injected transient stage fault");
+                }
+                x * 2
+            });
+        let items: Vec<u64> = (0..80).collect();
+        let expected: Vec<u64> = items.iter().map(|x| (x + 1) * 2).collect();
+        let (out, stats) = pipeline
+            .try_run(items)
+            .expect("transient stage fault must be survivable");
+        assert_eq!(out, expected, "order and completeness survive the retry");
+        assert_eq!(stats.panics, 1);
+        assert_eq!(stats.retried, 1);
+    }
+
+    #[test]
+    fn persistent_stage_panic_yields_a_typed_error() {
+        let pipeline = ThreadPipeline::new()
+            .stage(|x: u64| {
+                if x == 5 {
+                    panic!("permanently broken item");
+                }
+                x
+            })
+            .with_max_task_attempts(2);
+        let err = pipeline
+            .try_run((0..20).collect())
+            .expect_err("an item failing every attempt must error");
+        match err {
+            grasp_core::error::GraspError::WorkerFailed { task, attempts } => {
+                assert_eq!(task, 5);
+                assert_eq!(attempts, 2);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 }

@@ -388,8 +388,8 @@ mod tests {
     #[test]
     fn permanently_dead_node_times_out() {
         let topo = TopologyBuilder::uniform_cluster(1, 10.0);
-        let faults = FaultPlan::none().with_outage(NodeId(0), t(0.0), t(0.0));
-        // with_outage with end == start emits only the revoke event.
+        // An explicit open-ended revocation: down at t=0, never recovers.
+        let faults = FaultPlan::none().revoked_from(NodeId(0), t(0.0));
         let grid = GridBuilder::new(topo).faults(faults).build();
         assert!(grid
             .execute_within(NodeId(0), 10.0, t(0.0), 100.0)

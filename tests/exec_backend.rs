@@ -146,6 +146,36 @@ fn sim_and_thread_backends_agree_on_a_fixed_seed_farm_of_pipelines() {
 }
 
 #[test]
+fn thread_backend_with_injected_worker_panic_completes_and_reports_retries() {
+    // The acceptance check of the fault-hardened execution layer: a
+    // ThreadBackend run in which worker panics are injected mid-stream must
+    // complete every unit exactly once (no process abort, no missing slot)
+    // and surface the recovery work through the backend-neutral
+    // `ResilienceReport` on the outcome.
+    let skeleton = Skeleton::farm(TaskSpec::uniform(80, 2.0, 0, 0));
+    let backend = ThreadBackend::new(4)
+        .with_spin_per_work_unit(1)
+        .with_panic_injection(3);
+    let report = Grasp::new(GraspConfig::default())
+        .run(&backend, &skeleton)
+        .expect("injected worker panics must be survived");
+    assert_eq!(report.outcome.completed, 80);
+    assert!(report.outcome.conserves_units_of(&skeleton));
+    assert!(
+        report.outcome.resilience.retried_tasks > 0,
+        "recovery must be visible in the outcome: {:?}",
+        report.outcome.resilience
+    );
+    assert!(report.outcome.resilience.requeued_tasks >= report.outcome.resilience.retried_tasks);
+
+    // The same expression on a fault-free backend reports a clean run.
+    let clean = Grasp::new(GraspConfig::default())
+        .run(&ThreadBackend::new(4).with_spin_per_work_unit(1), &skeleton)
+        .unwrap();
+    assert!(clean.outcome.resilience.is_clean());
+}
+
+#[test]
 fn thread_pipeline_matches_sequential_image_processing() {
     let job = ImagePipeline::small();
     let frames: Vec<_> = (0..6).map(|i| job.frame(i)).collect();

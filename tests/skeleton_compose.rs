@@ -1,9 +1,11 @@
 //! Property tests over composable skeleton expressions: whatever the
 //! nesting, outcomes conserve the expression's work units — every leaf unit
-//! completes exactly once, at every level of the tree.
+//! completes exactly once, at every level of the tree — including under
+//! random node-churn fault plans, where units are lost mid-chunk and
+//! re-executed on surviving nodes.
 
 use grasp_repro::grasp_core::prelude::*;
-use grasp_repro::gridsim::{Grid, TopologyBuilder};
+use grasp_repro::gridsim::{FaultPlan, Grid, GridBuilder, NodeId, TopologyBuilder};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
@@ -78,6 +80,47 @@ proptest! {
                 prop_assert!(seen.insert(*id), "unit {} counted in two children", id);
             }
         }
+    }
+
+    /// Unit conservation holds under random churn: every node except the
+    /// master may be revoked and later recover at random times while a farm
+    /// composition runs.  Lost chunks are requeued onto surviving nodes, so
+    /// the outcome must still cover every unit exactly once at every level,
+    /// and the recovery must be visible in the `ResilienceReport` whenever a
+    /// node was actually lost mid-chunk.
+    #[test]
+    fn conservation_holds_under_random_fault_plans(
+        fault_seed in any::<u64>(),
+        p_outage in 0.2f64..1.0,
+        grid_nodes in 3usize..8,
+        lanes in 1usize..4,
+    ) {
+        let topo = TopologyBuilder::uniform_cluster(grid_nodes, 30.0);
+        // Node 0 (the master / first candidate) stays churn-free so the job
+        // always has somewhere to finish; every other node may go down.
+        let churn_targets: Vec<NodeId> = topo.node_ids()[1..].to_vec();
+        let faults = FaultPlan::random(&churn_targets, p_outage, 80.0, 20.0, fault_seed);
+        let grid = GridBuilder::new(topo).faults(faults).quantum(0.25).build();
+
+        let mut children: Vec<Skeleton> = (0..lanes)
+            .map(|_| Skeleton::pipeline(StageSpec::balanced(2, 20.0, 1024), 6))
+            .collect();
+        children.push(Skeleton::farm(TaskSpec::uniform(24, 40.0, 4096, 4096)));
+        let skeleton = Skeleton::farm_of(children);
+        let expected = skeleton.work_units();
+
+        let report = Grasp::new(GraspConfig::default())
+            .run(&SimBackend::new(&grid), &skeleton)
+            .expect("churn with a fault-free master must still complete");
+        prop_assert_eq!(report.outcome.completed, expected);
+        prop_assert!(report.outcome.conserves_units_of(&skeleton));
+        let ids: BTreeSet<usize> = report.outcome.unit_ids.iter().copied().collect();
+        prop_assert_eq!(ids, (0..expected).collect::<BTreeSet<_>>());
+        // Whenever a node was lost mid-chunk the resilience report must say
+        // so, and vice versa.
+        let resilience = report.outcome.resilience;
+        prop_assert_eq!(resilience.nodes_lost > 0, resilience.requeued_tasks > 0);
+        prop_assert_eq!(resilience.retried_tasks, resilience.requeued_tasks);
     }
 
     /// Derived properties stay well-formed for arbitrary compositions: the
