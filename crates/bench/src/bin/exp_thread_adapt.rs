@@ -1,0 +1,11 @@
+//! E11 at paper scale: demand-driven-only vs full-adaptive threads under an
+//! injected worker slowdown (see `experiments::e11_thread_slowdown`).
+//!
+//! `cargo run --release -p grasp-bench --bin exp_thread_adapt`
+
+use grasp_bench::experiments::e11_thread_slowdown;
+use grasp_bench::format_table;
+
+fn main() {
+    println!("{}", format_table(&e11_thread_slowdown(6_000, 25.0)));
+}

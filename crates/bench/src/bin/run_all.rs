@@ -1,32 +1,144 @@
-//! Run every experiment (E1–E10) at paper scale and print all tables/series.
+//! Run every experiment (E1–E11) and print all tables/series, additionally
+//! emitting a machine-readable `BENCH_results.json` so the performance
+//! trajectory can be tracked across commits without parsing text tables.
 //!
-//! `cargo run --release -p grasp-bench --bin run_all > results.txt`
+//! ```text
+//! cargo run --release -p grasp-bench --bin run_all > results.txt
+//! cargo run --release -p grasp-bench --bin run_all -- --smoke   # tiny CI scale
+//! cargo run --release -p grasp-bench --bin run_all -- --json out.json
+//! ```
+//!
+//! `--smoke` runs every experiment at a reduced scale (seconds, suitable as a
+//! CI gate that the whole harness stays runnable); the default is paper
+//! scale.  `--json PATH` overrides the output path (default
+//! `BENCH_results.json` in the working directory).
+
 use grasp_bench::experiments::*;
-use grasp_bench::{format_series, format_table, ScenarioSeed};
+use grasp_bench::report::{series_json, table_json};
+use grasp_bench::{format_series, format_table, ScenarioSeed, Series, Table};
+
+/// Per-experiment sizes for one scale, so the invocation sequence below is
+/// written exactly once and both scales necessarily cover every experiment.
+struct Scale {
+    e1: (usize, usize),
+    e2: (&'static [usize], usize),
+    e3_items: usize,
+    e4: (&'static [f64], usize, usize),
+    e5: (&'static [usize], usize, usize),
+    e6: (&'static [usize], usize),
+    e7: (usize, usize),
+    e8_samples: usize,
+    e9: (usize, usize, usize),
+    e10: (usize, usize, &'static [f64], f64),
+    e11: (usize, f64),
+}
+
+/// Paper scale: the numbers the committed experiment tables use.
+const PAPER: Scale = Scale {
+    e1: (32, 3),
+    e2: (&[4, 8, 16, 32, 64], 600),
+    e3_items: 600,
+    e4: (&[1.05, 1.25, 1.5, 2.0, 3.0, 4.0], 16, 400),
+    e5: (&[1, 2, 4, 8, 16], 16, 400),
+    e6: (&[8, 16, 32, 64, 128], 800),
+    e7: (16, 800),
+    e8_samples: 2_000,
+    e9: (400, 4, 3),
+    e10: (16, 400, &[0.2, 0.4, 0.6, 0.8, 1.0], 20.0),
+    e11: (6_000, 25.0),
+};
+
+/// Smoke scale: every experiment at a size that finishes in seconds.
+const SMOKE: Scale = Scale {
+    e1: (16, 2),
+    e2: (&[4, 8], 150),
+    e3_items: 150,
+    e4: (&[1.25, 2.0], 8, 150),
+    e5: (&[1, 4], 8, 120),
+    e6: (&[8, 16], 200),
+    e7: (8, 200),
+    e8_samples: 500,
+    e9: (48, 3, 3),
+    e10: (8, 160, &[0.5], 15.0),
+    e11: (1_200, 25.0),
+};
+
+/// Collects printed experiment results and their JSON renderings.
+#[derive(Default)]
+struct Results {
+    json_parts: Vec<String>,
+}
+
+impl Results {
+    fn table(&mut self, t: &Table) {
+        println!("{}", format_table(t));
+        self.json_parts.push(table_json(t));
+    }
+
+    fn series(&mut self, s: &Series) {
+        println!("{}", format_series(s));
+        self.json_parts.push(series_json(s));
+    }
+
+    fn write(&self, path: &str) {
+        let doc = format!("{{\"experiments\":[{}]}}\n", self.json_parts.join(","));
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("run_all: could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("run_all: wrote {path}");
+    }
+}
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--smoke") {
+        SMOKE
+    } else {
+        PAPER
+    };
+    let json_path = match args.iter().position(|a| a == "--json") {
+        Some(i) => match args.get(i + 1) {
+            // A following flag is a forgotten value, not a path.
+            Some(path) if !path.starts_with("--") => path.clone(),
+            _ => {
+                eprintln!("run_all: --json requires a path argument");
+                std::process::exit(2);
+            }
+        },
+        None => "BENCH_results.json".to_string(),
+    };
+
     let seed = ScenarioSeed::default();
-    println!("{}", format_table(&e1_calibration_quality(32, 3, seed)));
-    let (t2, s2) = e2_farm_comparison(&[4, 8, 16, 32, 64], 600, seed);
-    println!("{}\n{}", format_table(&t2), format_series(&s2));
-    let (t3, s3) = e3_pipeline_adaptation(600);
-    println!("{}\n{}", format_table(&t3), format_series(&s3));
-    let (t4, s4) = e4_threshold_sweep(&[1.05, 1.25, 1.5, 2.0, 3.0, 4.0], 16, 400, seed);
-    println!("{}\n{}", format_table(&t4), format_series(&s4));
-    println!(
-        "{}",
-        format_table(&e5_calibration_overhead(&[1, 2, 4, 8, 16], 16, 400, seed))
-    );
-    println!(
-        "{}",
-        format_series(&e6_scalability(&[8, 16, 32, 64, 128], 800, seed))
-    );
-    let (t7, s7) = e7_adaptation_response(16, 800);
-    println!("{}\n{}", format_table(&t7), format_series(&s7));
-    println!("{}", format_table(&e8_forecaster_accuracy(2_000)));
-    println!("{}", format_table(&e9_nested_skeletons(400, 4, 3)));
-    println!(
-        "{}",
-        format_table(&e10_churn(16, 400, &[0.2, 0.4, 0.6, 0.8, 1.0], 20.0, seed))
-    );
+    let mut out = Results::default();
+
+    out.table(&e1_calibration_quality(scale.e1.0, scale.e1.1, seed));
+    let (t2, s2) = e2_farm_comparison(scale.e2.0, scale.e2.1, seed);
+    out.table(&t2);
+    out.series(&s2);
+    let (t3, s3) = e3_pipeline_adaptation(scale.e3_items);
+    out.table(&t3);
+    out.series(&s3);
+    let (t4, s4) = e4_threshold_sweep(scale.e4.0, scale.e4.1, scale.e4.2, seed);
+    out.table(&t4);
+    out.series(&s4);
+    out.table(&e5_calibration_overhead(
+        scale.e5.0, scale.e5.1, scale.e5.2, seed,
+    ));
+    out.series(&e6_scalability(scale.e6.0, scale.e6.1, seed));
+    let (t7, s7) = e7_adaptation_response(scale.e7.0, scale.e7.1);
+    out.table(&t7);
+    out.series(&s7);
+    out.table(&e8_forecaster_accuracy(scale.e8_samples));
+    out.table(&e9_nested_skeletons(scale.e9.0, scale.e9.1, scale.e9.2));
+    out.table(&e10_churn(
+        scale.e10.0,
+        scale.e10.1,
+        scale.e10.2,
+        scale.e10.3,
+        seed,
+    ));
+    out.table(&e11_thread_slowdown(scale.e11.0, scale.e11.1));
+
+    out.write(&json_path);
 }

@@ -1,4 +1,4 @@
-//! The experiments of DESIGN.md's index (E1–E8), as reusable functions.
+//! The experiments of DESIGN.md's index (E1–E11), as reusable functions.
 //!
 //! Each function runs one experiment at a caller-chosen scale and returns a
 //! [`Table`] and/or [`Series`] ready to print.  The `exp_*` binaries call
@@ -412,7 +412,7 @@ pub fn e9_nested_skeletons(frames: usize, lanes: usize, sobel_replicas: usize) -
             report.outcome.kind.name().to_string(),
             format!("{:.1}", report.outcome.makespan_s),
             format!("{:.3}", report.outcome.throughput()),
-            report.outcome.adaptations.to_string(),
+            report.outcome.adaptations().to_string(),
         ]);
     }
     table
@@ -556,6 +556,76 @@ pub fn e10_churn(
             resilience.requeued_tasks.to_string(),
             resilience.retried_tasks.to_string(),
             resilience.nodes_lost.to_string(),
+        ]);
+    }
+    table
+}
+
+/// E11 — demand-driven-only vs full-adaptive threads under an injected
+/// worker slowdown.
+///
+/// Before the backend-neutral engine, the thread backend could only adapt
+/// through demand-driven chunking: a worker that degrades mid-run keeps
+/// pulling work, it just pulls more slowly.  With the shared Algorithm-2
+/// loop, the same wall-clock observations that feed chunk weighting also
+/// feed the threshold monitor, and a worker whose per-work-unit times
+/// breach `demote_factor × Z` is demoted outright.  This experiment injects
+/// a `slow_factor`× slowdown on worker 0 shortly after calibration and
+/// compares the two regimes on identical workloads: the full-adaptive run
+/// must show the demotion in its adaptation log, and the slowed worker
+/// should absorb fewer units (it is cut off instead of trickling on).
+/// Tuning mirrors the wall-clock acceptance tests: slowed units stay well
+/// under the monitor interval so the slow worker reports into every
+/// evaluation window, and `min_active_nodes = 1` keeps a demotion slot
+/// available on noisy shared machines.
+pub fn e11_thread_slowdown(tasks_n: usize, slow_factor: f64) -> Table {
+    let mut table = Table::new(
+        format!("E11: thread farm under a {slow_factor}x worker-0 slowdown ({tasks_n} units)"),
+        &[
+            "variant",
+            "makespan_s",
+            "slow_worker_units",
+            "slow_worker_work",
+            "demotions",
+            "recalibrations",
+            "slow_worker_load_est",
+        ],
+    );
+    let skeleton = Skeleton::farm(TaskSpec::uniform(tasks_n, 1.0, 0, 0));
+    let run = |engine_on: bool| {
+        let backend = ThreadBackend::new(4)
+            .with_spin_per_work_unit(30_000)
+            .with_worker_slowdown_injection(0, 8, slow_factor);
+        let mut cfg = GraspConfig {
+            scheduler: SchedulePolicy::SelfScheduling,
+            ..GraspConfig::default()
+        };
+        cfg.execution.adaptive = engine_on;
+        cfg.execution.monitor_interval_s = 3e-3; // wall seconds
+        cfg.execution.min_active_nodes = 1;
+        Grasp::new(cfg)
+            .run(&backend, &skeleton)
+            .expect("slowdown experiment run failed")
+    };
+    for (name, engine_on) in [("demand-driven", false), ("full-adaptive", true)] {
+        let report = run(engine_on);
+        let (units, work, load) = match &report.outcome.detail {
+            OutcomeDetail::ThreadFarm {
+                tasks_per_worker,
+                work_per_worker,
+                load_per_worker,
+                ..
+            } => (tasks_per_worker[0], work_per_worker[0], load_per_worker[0]),
+            _ => (0, 0.0, 0.0),
+        };
+        table.push_row(vec![
+            name.to_string(),
+            format!("{:.3}", report.outcome.makespan_s),
+            units.to_string(),
+            format!("{work:.1}"),
+            report.outcome.adaptation_log.demotions().to_string(),
+            report.outcome.adaptation_log.recalibrations().to_string(),
+            format!("{load:.3}"),
         ]);
     }
     table
@@ -740,6 +810,30 @@ mod tests {
         // The injected churn must be visible as recovery work.
         let retried: usize = threads[6].parse().unwrap();
         assert!(retried >= 1, "thread churn must report retries");
+    }
+
+    #[test]
+    fn e11_only_the_engine_backed_variant_demotes_the_slowed_worker() {
+        let table = e11_thread_slowdown(3000, 25.0);
+        assert_eq!(table.len(), 2);
+        let demand = &table.rows[0];
+        let adaptive = &table.rows[1];
+        assert_eq!(demand[0], "demand-driven");
+        assert_eq!(adaptive[0], "full-adaptive");
+        // Without the engine there is nothing to log.
+        assert_eq!(demand[4], "0");
+        assert_eq!(demand[5], "0");
+        // With the engine the 25x worker must be demoted.
+        let demotions: usize = adaptive[4].parse().unwrap();
+        assert!(demotions >= 1, "adaptive row must demote: {adaptive:?}");
+        // Cut off instead of trickling on: the slowed worker absorbs no
+        // more units than under pure demand-driven pulling.
+        let demand_units: usize = demand[2].parse().unwrap();
+        let adaptive_units: usize = adaptive[2].parse().unwrap();
+        assert!(
+            adaptive_units <= demand_units,
+            "demotion must not increase the slowed worker's share: {adaptive_units} vs {demand_units}"
+        );
     }
 
     #[test]

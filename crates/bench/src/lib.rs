@@ -1,6 +1,6 @@
 //! # grasp-bench — the experiment harness
 //!
-//! One module per experiment of DESIGN.md's experiment index (E1–E8), plus
+//! One module per experiment of DESIGN.md's experiment index (E1–E11), plus
 //! shared scenario builders and plain-text table/series formatters.  The
 //! `exp_*` binaries under `src/bin/` print the tables and figure series the
 //! paper-style evaluation reports; the Criterion benches under `benches/`

@@ -134,6 +134,88 @@ pub fn format_series(series: &Series) -> String {
     out
 }
 
+/// Escape a string for inclusion in a JSON document.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Emit a table cell as a JSON value: a bare number when the cell parses as
+/// a finite float (so makespans and adaptation counts stay machine-usable),
+/// a JSON string otherwise.
+fn json_cell(cell: &str) -> String {
+    match cell.trim().parse::<f64>() {
+        // Re-format through Display so the emitted token is always a valid
+        // JSON number (a cell like "1." parses but is not valid JSON).
+        Ok(v) if v.is_finite() => format!("{v}"),
+        _ => json_string(cell),
+    }
+}
+
+/// Render a [`Table`] as a JSON object
+/// (`{"type":"table","title":…,"headers":[…],"rows":[[…]]}`); numeric cells
+/// become JSON numbers.  Used by `run_all` to emit `BENCH_results.json`.
+pub fn table_json(table: &Table) -> String {
+    let headers: Vec<String> = table.headers.iter().map(|h| json_string(h)).collect();
+    let rows: Vec<String> = table
+        .rows
+        .iter()
+        .map(|row| {
+            let cells: Vec<String> = row.iter().map(|c| json_cell(c)).collect();
+            format!("[{}]", cells.join(","))
+        })
+        .collect();
+    format!(
+        "{{\"type\":\"table\",\"title\":{},\"headers\":[{}],\"rows\":[{}]}}",
+        json_string(&table.title),
+        headers.join(","),
+        rows.join(",")
+    )
+}
+
+/// Render a [`Series`] as a JSON object
+/// (`{"type":"series","title":…,"columns":[…],"points":[[…]]}`).  Non-finite
+/// points are emitted as `null` (JSON has no NaN).
+pub fn series_json(series: &Series) -> String {
+    let columns: Vec<String> = series.columns.iter().map(|c| json_string(c)).collect();
+    let points: Vec<String> = series
+        .points
+        .iter()
+        .map(|p| {
+            let vals: Vec<String> = p
+                .iter()
+                .map(|v| {
+                    if v.is_finite() {
+                        format!("{v}")
+                    } else {
+                        "null".to_string()
+                    }
+                })
+                .collect();
+            format!("[{}]", vals.join(","))
+        })
+        .collect();
+    format!(
+        "{{\"type\":\"series\",\"title\":{},\"columns\":[{}],\"points\":[{}]}}",
+        json_string(&series.title),
+        columns.join(","),
+        points.join(",")
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,5 +250,30 @@ mod tests {
         let mut t = Table::new("ragged", &["a"]);
         t.push_row(vec!["1".into(), "extra".into()]);
         assert!(format_table(&t).contains("extra"));
+    }
+
+    #[test]
+    fn table_json_emits_numbers_and_escaped_strings() {
+        let mut t = Table::new("E\"42\": demo\n", &["name", "makespan_s"]);
+        t.push_row(vec!["adaptive".into(), "12.50".into()]);
+        t.push_row(vec!["1.".into(), "inf".into()]);
+        let json = table_json(&t);
+        assert!(json.starts_with("{\"type\":\"table\",\"title\":\"E\\\"42\\\": demo\\n\""));
+        // Numeric cell emitted as a bare number…
+        assert!(json.contains("[\"adaptive\",12.5]"), "{json}");
+        // …and cells that parse but are not valid JSON numbers ("1." / inf)
+        // fall back to strings.
+        assert!(json.contains("[1,\"inf\"]"), "{json}");
+    }
+
+    #[test]
+    fn series_json_emits_points_and_nulls() {
+        let mut s = Series::new("fig", &["x", "y"]);
+        s.push(vec![1.0, 2.5]);
+        s.push(vec![2.0, f64::NAN]);
+        let json = series_json(&s);
+        assert!(json.contains("\"columns\":[\"x\",\"y\"]"));
+        assert!(json.contains("[1,2.5]"));
+        assert!(json.contains("[2,null]"));
     }
 }

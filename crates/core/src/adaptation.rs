@@ -43,6 +43,15 @@ pub enum AdaptationAction {
         /// Node the stage runs on now.
         to: NodeId,
     },
+    /// A pipeline stage was replicated across more executors — the
+    /// shared-memory realisation of a stage remap, where the legal move is
+    /// adding a worker thread rather than migrating to a different node.
+    StageReplicated {
+        /// Index of the replicated stage.
+        stage: usize,
+        /// Worker count serving the stage after the replication.
+        replicas: usize,
+    },
 }
 
 impl AdaptationAction {
@@ -53,6 +62,7 @@ impl AdaptationAction {
             AdaptationAction::NodeDemoted { .. } => "node-demoted",
             AdaptationAction::NodeLost { .. } => "node-lost",
             AdaptationAction::StageRemapped { .. } => "stage-remapped",
+            AdaptationAction::StageReplicated { .. } => "stage-replicated",
         }
     }
 }
@@ -144,6 +154,11 @@ impl AdaptationLog {
         self.count_kind("stage-remapped")
     }
 
+    /// Number of pipeline stage replications (the shared-memory remap).
+    pub fn stage_replications(&self) -> usize {
+        self.count_kind("stage-replicated")
+    }
+
     fn count_kind(&self, kind: &str) -> usize {
         self.events
             .iter()
@@ -154,12 +169,13 @@ impl AdaptationLog {
     /// Render a compact text summary for reports.
     pub fn summary(&self) -> String {
         format!(
-            "adaptations: {} (recalibrations {}, demotions {}, losses {}, remaps {})",
+            "adaptations: {} (recalibrations {}, demotions {}, losses {}, remaps {}, replications {})",
             self.len(),
             self.recalibrations(),
             self.demotions(),
             self.node_losses(),
-            self.stage_remaps()
+            self.stage_remaps(),
+            self.stage_replications()
         )
     }
 }
@@ -238,8 +254,13 @@ mod tests {
                 to: NodeId(1),
             }
             .kind(),
+            AdaptationAction::StageReplicated {
+                stage: 0,
+                replicas: 2,
+            }
+            .kind(),
         ];
         let unique: std::collections::HashSet<&str> = kinds.into_iter().collect();
-        assert_eq!(unique.len(), 4);
+        assert_eq!(unique.len(), 5);
     }
 }

@@ -1,0 +1,693 @@
+//! The backend-neutral adaptation engine — one monitor→threshold→recalibrate
+//! loop for every backend.
+//!
+//! The paper's adaptive lifecycle (calibrate, execute, monitor against the
+//! performance threshold *Z*, then recalibrate/demote — Algorithms 1–2) is
+//! not specific to the simulated grid: the *same* loop applies whenever
+//! executors report how long their work units take, whatever the clock.
+//! [`AdaptationEngine`] packages that loop behind a clock-agnostic surface:
+//!
+//! * it owns the [`ExecutionMonitor`], the [`ThresholdPolicy`], the
+//!   recalibration budget and the [`AdaptationLog`];
+//! * it consumes **work-normalised time observations** (seconds per work
+//!   unit) stamped with [`SimTime`] instants — virtual seconds on the
+//!   simulated grid, or wall-clock seconds via [`WallClock`] on real
+//!   threads;
+//! * it emits typed [`AdaptationDirective`]s (recalibrate, demote an
+//!   executor, remap/replicate a stage) that the **caller applies**.  The
+//!   engine never touches executors itself: what "demote node 3" means
+//!   (drop it from the chosen set; stop handing a worker thread chunks) is
+//!   the backend's business, as is any additional gating (e.g. the farm's
+//!   `min_active_nodes` floor).  Once the caller has acted it reports back
+//!   through the `note_*`/`apply_*` methods, which write the audit log and
+//!   update the engine state.
+//!
+//! Two monitoring disciplines are supported, matching the paper's two
+//! skeletons:
+//!
+//! * **executor mode** ([`AdaptationEngine::for_executors`]) — the farm's
+//!   Algorithm 2: per-executor times are collected into the table *T* every
+//!   monitoring interval; `min T > Z` means the whole pool degraded
+//!   (recalibrate), a single executor beyond `demote_factor × Z` is demoted.
+//! * **stage mode** ([`AdaptationEngine::for_stages`]) — the pipeline's
+//!   variant: each stage has its own threshold *Zₛ* and a recent-service
+//!   window; a full window whose mean exceeds *Zₛ* yields a
+//!   [`AdaptationDirective::RemapStage`] directive.
+//!
+//! Recalibration comes in two flavours because the backends have different
+//! information available.  The simulated farm re-ranks its pool from
+//! monitored load/bandwidth and re-bases *Z* on the retained nodes'
+//! *expected* times ([`AdaptationEngine::apply_recalibration`]).  A
+//! wall-clock backend has no load model to consult, so it takes a **real
+//! re-calibration sample** instead ([`AdaptationEngine::begin_resample`]):
+//! the monitor window is flushed and the *next* full interval of fresh
+//! observations re-bases *Z* — the cost is one interval of tolerance, the
+//! gain is that the new *Z* reflects measured post-degradation reality.
+
+use crate::adaptation::{AdaptationAction, AdaptationLog};
+use crate::config::ExecutionConfig;
+use crate::execution::{ExecutionMonitor, MonitorVerdict};
+use crate::threshold::ThresholdPolicy;
+use gridsim::{NodeId, SimTime};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// A wall-clock source yielding [`SimTime`] stamps, so real-thread backends
+/// feed the engine through exactly the same surface as the simulated grid:
+/// the engine never knows which clock it is on.
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    start: Instant,
+}
+
+impl WallClock {
+    /// Start the clock now; subsequent [`WallClock::now`] calls report
+    /// seconds elapsed since this instant.
+    pub fn start() -> Self {
+        WallClock {
+            start: Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since [`WallClock::start`], as a [`SimTime`].
+    pub fn now(&self) -> SimTime {
+        SimTime::new(self.start.elapsed().as_secs_f64())
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::start()
+    }
+}
+
+/// A typed adaptation decision the engine asks its caller to apply.
+///
+/// Directives are *requests*: the caller owns the executor set and may apply
+/// additional gating (minimum pool size, last-worker guards, pending
+/// retries) before acting.  Applied directives are reported back via the
+/// engine's `note_*`/`apply_*` methods so the audit log matches reality.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdaptationDirective {
+    /// The whole pool degraded (`min T > Z`): feed back into calibration.
+    Recalibrate,
+    /// One executor's recent mean exceeded `demote_factor × Z`: drop it
+    /// from the active set without a full recalibration.
+    DemoteExecutor {
+        /// The pathological executor.
+        executor: NodeId,
+        /// Its recent mean time (seconds per work unit).
+        recent_mean: f64,
+    },
+    /// A pipeline stage's recent mean service exceeded its threshold *Zₛ*:
+    /// remap it to a better executor (sim) or replicate it (threads).
+    RemapStage {
+        /// Index of the degraded stage.
+        stage: usize,
+        /// Its recent mean service time (seconds per item).
+        recent_mean: f64,
+    },
+}
+
+/// The result of one executor-mode monitoring evaluation: the raw monitor
+/// verdict plus the directives the engine derived from it.
+#[derive(Debug, Clone)]
+pub struct EnginePoll {
+    /// The monitor's verdict (table *T*, `min T`, threshold *Z* in force).
+    pub verdict: MonitorVerdict,
+    /// Directives for the caller to apply, demotions first.
+    pub directives: Vec<AdaptationDirective>,
+}
+
+/// The backend-neutral calibrate→monitor→act loop (see module docs).
+#[derive(Debug, Clone)]
+pub struct AdaptationEngine {
+    policy: ThresholdPolicy,
+    adaptive: bool,
+    max_recalibrations: usize,
+    recalibrations: usize,
+    monitor: ExecutionMonitor,
+    /// Set by [`AdaptationEngine::begin_resample`]: the next full interval's
+    /// per-executor means re-base *Z* instead of producing a verdict.
+    pending_rebase: bool,
+    /// Stage-mode state: per-stage recent-service windows and thresholds.
+    stage_windows: Vec<VecDeque<f64>>,
+    stage_thresholds: Vec<f64>,
+    stage_window_cap: usize,
+    /// Minimum spacing between stage-mode actions (0 disables the gate; the
+    /// noise-free simulated pipeline uses 0, wall-clock backends space
+    /// actions by the monitor interval so scheduler jitter cannot thrash).
+    stage_action_interval_s: f64,
+    last_stage_action: SimTime,
+    log: AdaptationLog,
+}
+
+impl AdaptationEngine {
+    /// An executor-mode engine (the farm's Algorithm 2).
+    ///
+    /// The threshold *Z* is derived from `reference_times` — the calibrated
+    /// per-work-unit times of the chosen executors (Algorithm 1's output) —
+    /// via the configured [`ThresholdPolicy`]; the monitoring interval
+    /// starts at `start` (the calibration end).
+    pub fn for_executors(exec: &ExecutionConfig, reference_times: &[f64], start: SimTime) -> Self {
+        let threshold = exec.threshold.compute(reference_times);
+        let mut monitor =
+            ExecutionMonitor::new(threshold, exec.monitor_interval_s, exec.demote_factor)
+                .with_window(exec.monitor_window);
+        monitor.reset(start);
+        AdaptationEngine {
+            policy: exec.threshold,
+            adaptive: exec.adaptive,
+            max_recalibrations: exec.max_recalibrations,
+            recalibrations: 0,
+            monitor,
+            pending_rebase: false,
+            stage_windows: Vec::new(),
+            stage_thresholds: Vec::new(),
+            stage_window_cap: exec.monitor_window.max(1),
+            stage_action_interval_s: 0.0,
+            last_stage_action: SimTime::ZERO,
+            log: AdaptationLog::new(),
+        }
+    }
+
+    /// A stage-mode engine (the pipeline's per-stage loop) with one
+    /// threshold *Zₛ* per stage.
+    pub fn for_stages(exec: &ExecutionConfig, stage_thresholds: Vec<f64>) -> Self {
+        let mut engine = Self::for_executors(exec, &[], SimTime::ZERO);
+        engine.stage_windows = vec![VecDeque::new(); stage_thresholds.len()];
+        engine.stage_thresholds = stage_thresholds;
+        engine
+    }
+
+    /// Override the stage-mode recent-service window size (defaults to the
+    /// shared `monitor_window` of the execution config).
+    pub fn with_stage_window(mut self, window: usize) -> Self {
+        self.stage_window_cap = window.max(1);
+        self
+    }
+
+    /// Space stage-mode actions at least `interval_s` apart on the engine's
+    /// clock (see [`AdaptationEngine`] field docs; 0 disables the gate).
+    pub fn with_stage_action_interval(mut self, interval_s: f64) -> Self {
+        self.stage_action_interval_s = interval_s.max(0.0);
+        self
+    }
+
+    /// Whether Algorithm 2 is enabled at all.
+    pub fn adaptive(&self) -> bool {
+        self.adaptive
+    }
+
+    /// The threshold *Z* currently in force (executor mode).
+    pub fn threshold(&self) -> f64 {
+        self.monitor.threshold()
+    }
+
+    /// The per-stage threshold *Zₛ* currently in force (stage mode).
+    pub fn stage_threshold(&self, stage: usize) -> f64 {
+        self.stage_thresholds
+            .get(stage)
+            .copied()
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// Completed monitoring evaluations (executor mode).
+    pub fn evaluations(&self) -> usize {
+        self.monitor.evaluations()
+    }
+
+    /// Recalibrations performed so far.
+    pub fn recalibrations(&self) -> usize {
+        self.recalibrations
+    }
+
+    /// Whether the recalibration budget allows another feedback round.
+    pub fn can_recalibrate(&self) -> bool {
+        self.recalibrations < self.max_recalibrations
+    }
+
+    /// Complete (or redo) Algorithm 1: derive *Z* from freshly calibrated
+    /// `reference_times` and restart the monitoring interval at `now`.
+    ///
+    /// This is the lifecycle's calibration step, not an adaptation: no
+    /// budget is consumed and nothing is logged.  Backends whose
+    /// calibration sample only becomes available mid-run (e.g. a thread
+    /// farm whose probe tasks execute inside the job) construct the engine
+    /// with an empty reference sample — *Z* = ∞, nothing can fire — and
+    /// call this once the sample is in.
+    pub fn calibrate(&mut self, reference_times: &[f64], now: SimTime) {
+        self.monitor
+            .set_threshold(self.policy.compute(reference_times));
+        self.monitor.reset(now);
+    }
+
+    /// Consume one unit of recalibration budget if available.
+    pub fn try_consume_recalibration(&mut self) -> bool {
+        if self.can_recalibrate() {
+            self.recalibrations += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    // ------------------------- executor mode -------------------------
+
+    /// Worker-side report: one executed work unit took `time_per_unit`
+    /// seconds per declared work unit on `executor`.
+    pub fn observe(&mut self, executor: NodeId, time_per_unit: f64) {
+        self.monitor.record(executor, time_per_unit);
+    }
+
+    /// Whether the monitoring interval has elapsed at `now` (cheap check a
+    /// hot path may use before paying for [`AdaptationEngine::poll`]).
+    pub fn due(&self, now: SimTime) -> bool {
+        self.monitor.due(now)
+    }
+
+    /// Run one monitoring evaluation if the interval has elapsed.
+    ///
+    /// Returns the verdict and the derived directives: one
+    /// [`AdaptationDirective::DemoteExecutor`] per executor beyond the
+    /// demotion threshold, then [`AdaptationDirective::Recalibrate`] when
+    /// `min T > Z` and the recalibration budget is not exhausted.  Returns
+    /// `None` when adaptation is disabled, the interval has not elapsed, no
+    /// times were reported, or a pending resample consumed the interval to
+    /// re-base *Z* (see [`AdaptationEngine::begin_resample`]).
+    pub fn poll(&mut self, now: SimTime) -> Option<EnginePoll> {
+        if !self.adaptive {
+            return None;
+        }
+        let verdict = self.monitor.evaluate(now)?;
+        if self.pending_rebase {
+            // The fresh post-degradation interval is the re-calibration
+            // sample: re-base Z on what the executors now achieve.
+            let times: Vec<f64> = verdict.per_node_mean.iter().map(|(_, m)| *m).collect();
+            if !times.is_empty() {
+                self.monitor.set_threshold(self.policy.compute(&times));
+            }
+            self.pending_rebase = false;
+            return None;
+        }
+        let mut directives: Vec<AdaptationDirective> = verdict
+            .demote
+            .iter()
+            .map(|slow| AdaptationDirective::DemoteExecutor {
+                executor: *slow,
+                recent_mean: verdict
+                    .per_node_mean
+                    .iter()
+                    .find(|(n, _)| n == slow)
+                    .map(|(_, m)| *m)
+                    .unwrap_or(f64::NAN),
+            })
+            .collect();
+        if verdict.recalibrate && self.can_recalibrate() {
+            directives.push(AdaptationDirective::Recalibrate);
+        }
+        Some(EnginePoll {
+            verdict,
+            directives,
+        })
+    }
+
+    /// Record that the caller observed an executor loss (revocation, worker
+    /// death) and requeued its in-flight work.
+    pub fn note_node_lost(&mut self, now: SimTime, node: NodeId, requeued_tasks: usize) {
+        self.log.record(
+            now,
+            AdaptationAction::NodeLost {
+                node,
+                requeued_tasks,
+            },
+            self.monitor.threshold(),
+            0.0,
+        );
+    }
+
+    /// Record that the caller applied a demotion directive.
+    pub fn note_demoted(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        recent_mean_time: f64,
+        verdict: &MonitorVerdict,
+    ) {
+        self.log.record(
+            now,
+            AdaptationAction::NodeDemoted {
+                node,
+                recent_mean_time,
+            },
+            verdict.threshold,
+            verdict.min_time,
+        );
+    }
+
+    /// Apply a model-based recalibration (the simulated farm's flavour):
+    /// *Z* is re-based on the retained executors' `expected_times` (skipped
+    /// when empty), the monitor restarts at `now`, the budget is consumed
+    /// and the action is logged.
+    pub fn apply_recalibration(
+        &mut self,
+        now: SimTime,
+        new_chosen: Vec<NodeId>,
+        expected_times: &[f64],
+        verdict: &MonitorVerdict,
+    ) {
+        if !expected_times.is_empty() {
+            self.monitor
+                .set_threshold(self.policy.compute(expected_times));
+        }
+        self.monitor.reset(now);
+        self.recalibrations += 1;
+        self.log.record(
+            now,
+            AdaptationAction::Recalibrated { new_chosen },
+            verdict.threshold,
+            verdict.min_time,
+        );
+    }
+
+    /// Apply a sample-based recalibration (the wall-clock flavour): the
+    /// monitor restarts at `now` and the *next* full interval of fresh
+    /// observations re-bases *Z* (a real re-calibration sample — no stale
+    /// pre-degradation times involved).  Budget is consumed and the action
+    /// logged immediately.
+    pub fn begin_resample(
+        &mut self,
+        now: SimTime,
+        new_chosen: Vec<NodeId>,
+        verdict: &MonitorVerdict,
+    ) {
+        self.monitor.reset(now);
+        self.pending_rebase = true;
+        self.recalibrations += 1;
+        self.log.record(
+            now,
+            AdaptationAction::Recalibrated { new_chosen },
+            verdict.threshold,
+            verdict.min_time,
+        );
+    }
+
+    // --------------------------- stage mode ---------------------------
+
+    /// Stage-side report: one item took `service_s` seconds at `stage`.
+    ///
+    /// Returns a [`AdaptationDirective::RemapStage`] when the stage's
+    /// recent-service window is full, its mean exceeds *Zₛ*, adaptation is
+    /// enabled, budget remains, and the action-spacing gate allows it.
+    pub fn observe_stage(
+        &mut self,
+        now: SimTime,
+        stage: usize,
+        service_s: f64,
+    ) -> Option<AdaptationDirective> {
+        let cap = self.stage_window_cap;
+        let adaptive = self.adaptive;
+        let budget_left = self.can_recalibrate();
+        let window = self.stage_windows.get_mut(stage)?;
+        window.push_back(service_s);
+        if window.len() > cap {
+            window.pop_front();
+        }
+        if !adaptive || !budget_left || window.len() < cap {
+            return None;
+        }
+        if self.stage_action_interval_s > 0.0
+            && (now - self.last_stage_action).as_secs() < self.stage_action_interval_s
+        {
+            return None;
+        }
+        let mean = window.iter().sum::<f64>() / window.len() as f64;
+        if mean > self.stage_thresholds[stage] {
+            Some(AdaptationDirective::RemapStage {
+                stage,
+                recent_mean: mean,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Record that the caller moved a stage to a different executor.
+    pub fn note_stage_remapped(
+        &mut self,
+        now: SimTime,
+        stage: usize,
+        from: NodeId,
+        to: NodeId,
+        trigger_value: f64,
+    ) {
+        let threshold = self.stage_threshold(stage);
+        self.log.record(
+            now,
+            AdaptationAction::StageRemapped { stage, from, to },
+            threshold,
+            trigger_value,
+        );
+        self.last_stage_action = now;
+    }
+
+    /// Record that the caller replicated a stage across more executors (the
+    /// shared-memory realisation of a stage remap).
+    pub fn note_stage_replicated(
+        &mut self,
+        now: SimTime,
+        stage: usize,
+        replicas: usize,
+        trigger_value: f64,
+    ) {
+        let threshold = self.stage_threshold(stage);
+        self.log.record(
+            now,
+            AdaptationAction::StageReplicated { stage, replicas },
+            threshold,
+            trigger_value,
+        );
+        self.last_stage_action = now;
+    }
+
+    /// Record the pipeline-style whole-mapping recalibration that drives
+    /// stage remaps.
+    pub fn note_stages_recalibrated(
+        &mut self,
+        now: SimTime,
+        new_chosen: Vec<NodeId>,
+        trigger_value: f64,
+    ) {
+        self.log.record(
+            now,
+            AdaptationAction::Recalibrated { new_chosen },
+            0.0,
+            trigger_value,
+        );
+        self.last_stage_action = now;
+    }
+
+    /// Replace every stage threshold (after a remap recomputed them).
+    pub fn set_stage_thresholds(&mut self, thresholds: Vec<f64>) {
+        self.stage_thresholds = thresholds;
+    }
+
+    /// Forget all recent stage services (after a remap: times from the old
+    /// mapping must not condemn the new one).
+    pub fn clear_stage_windows(&mut self) {
+        for w in &mut self.stage_windows {
+            w.clear();
+        }
+    }
+
+    // ----------------------------- results -----------------------------
+
+    /// The audit log so far.
+    pub fn log(&self) -> &AdaptationLog {
+        &self.log
+    }
+
+    /// Consume the engine, yielding the audit log.
+    pub fn into_log(self) -> AdaptationLog {
+        self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExecutionConfig;
+
+    fn exec(interval: f64) -> ExecutionConfig {
+        ExecutionConfig {
+            threshold: ThresholdPolicy::Factor { factor: 2.0 },
+            monitor_interval_s: interval,
+            ..ExecutionConfig::default()
+        }
+    }
+
+    fn t(s: f64) -> SimTime {
+        SimTime::new(s)
+    }
+
+    #[test]
+    fn healthy_pool_yields_no_directives() {
+        let mut e = AdaptationEngine::for_executors(&exec(1.0), &[1.0, 1.2], SimTime::ZERO);
+        assert!((e.threshold() - 2.0).abs() < 1e-12);
+        e.observe(NodeId(0), 1.1);
+        e.observe(NodeId(1), 1.5);
+        let poll = e.poll(t(1.0)).unwrap();
+        assert!(poll.directives.is_empty());
+        assert!(!poll.verdict.recalibrate);
+        assert_eq!(e.evaluations(), 1);
+    }
+
+    #[test]
+    fn pool_degradation_emits_recalibrate_within_budget() {
+        let mut e = AdaptationEngine::for_executors(&exec(1.0), &[1.0], SimTime::ZERO);
+        e.observe(NodeId(0), 5.0);
+        e.observe(NodeId(1), 6.0);
+        let poll = e.poll(t(1.0)).unwrap();
+        assert!(poll.directives.contains(&AdaptationDirective::Recalibrate));
+        // Applying the recalibration re-bases Z and logs the action.
+        e.apply_recalibration(
+            t(1.0),
+            vec![NodeId(0), NodeId(1)],
+            &[5.0, 6.0],
+            &poll.verdict,
+        );
+        assert!((e.threshold() - 10.0).abs() < 1e-12);
+        assert_eq!(e.recalibrations(), 1);
+        assert_eq!(e.log().recalibrations(), 1);
+        // The new Z covers the degraded times: the next interval is quiet.
+        e.observe(NodeId(0), 5.0);
+        let poll = e.poll(t(2.0)).unwrap();
+        assert!(poll.directives.is_empty());
+    }
+
+    #[test]
+    fn exhausted_budget_suppresses_the_recalibrate_directive() {
+        let mut cfg = exec(1.0);
+        cfg.max_recalibrations = 0;
+        let mut e = AdaptationEngine::for_executors(&cfg, &[1.0], SimTime::ZERO);
+        e.observe(NodeId(0), 50.0);
+        let poll = e.poll(t(1.0)).unwrap();
+        assert!(
+            poll.verdict.recalibrate,
+            "the verdict still reports the breach"
+        );
+        assert!(
+            !poll.directives.contains(&AdaptationDirective::Recalibrate),
+            "but no directive is emitted without budget"
+        );
+    }
+
+    #[test]
+    fn pathological_executor_emits_demote_before_recalibrate() {
+        let mut e = AdaptationEngine::for_executors(&exec(1.0), &[1.0], SimTime::ZERO);
+        e.observe(NodeId(0), 1.1);
+        e.observe(NodeId(7), 60.0); // > demote_factor (3) × Z (2)
+        let poll = e.poll(t(1.0)).unwrap();
+        match &poll.directives[..] {
+            [AdaptationDirective::DemoteExecutor {
+                executor,
+                recent_mean,
+            }] => {
+                assert_eq!(*executor, NodeId(7));
+                assert!((recent_mean - 60.0).abs() < 1e-12);
+            }
+            other => panic!("unexpected directives {other:?}"),
+        }
+        e.note_demoted(t(1.0), NodeId(7), 60.0, &poll.verdict);
+        assert_eq!(e.log().demotions(), 1);
+    }
+
+    #[test]
+    fn disabled_adaptation_never_polls() {
+        let mut cfg = exec(1.0);
+        cfg.adaptive = false;
+        let mut e = AdaptationEngine::for_executors(&cfg, &[1.0], SimTime::ZERO);
+        e.observe(NodeId(0), 100.0);
+        assert!(e.poll(t(10.0)).is_none());
+        assert_eq!(e.evaluations(), 0);
+    }
+
+    #[test]
+    fn resample_rebases_z_from_the_next_fresh_interval() {
+        let mut e = AdaptationEngine::for_executors(&exec(1.0), &[1.0], SimTime::ZERO);
+        e.observe(NodeId(0), 9.0);
+        let poll = e.poll(t(1.0)).unwrap();
+        assert!(poll.directives.contains(&AdaptationDirective::Recalibrate));
+        e.begin_resample(t(1.0), vec![NodeId(0)], &poll.verdict);
+        assert_eq!(e.log().recalibrations(), 1);
+        // The next interval's fresh observations are the recalibration
+        // sample: they re-base Z instead of producing a verdict.
+        e.observe(NodeId(0), 8.0);
+        assert!(e.poll(t(2.0)).is_none());
+        assert!(
+            (e.threshold() - 16.0).abs() < 1e-12,
+            "Z = 2 x resampled best"
+        );
+        // Steady degraded times are now within Z: no further recalibration.
+        e.observe(NodeId(0), 8.0);
+        let poll = e.poll(t(3.0)).unwrap();
+        assert!(poll.directives.is_empty());
+        assert_eq!(e.recalibrations(), 1);
+    }
+
+    #[test]
+    fn stage_mode_emits_remap_when_the_window_fills_hot() {
+        let mut cfg = exec(1.0);
+        cfg.monitor_window = 3;
+        let mut e = AdaptationEngine::for_stages(&cfg, vec![0.5, 2.0]);
+        // Stage 0 healthy, stage 1 needs a full hot window first.
+        assert!(e.observe_stage(t(0.1), 0, 0.1).is_none());
+        assert!(e.observe_stage(t(0.2), 1, 5.0).is_none());
+        assert!(e.observe_stage(t(0.3), 1, 5.0).is_none());
+        match e.observe_stage(t(0.4), 1, 5.0) {
+            Some(AdaptationDirective::RemapStage { stage, recent_mean }) => {
+                assert_eq!(stage, 1);
+                assert!((recent_mean - 5.0).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(e.try_consume_recalibration());
+        e.note_stage_remapped(t(0.4), 1, NodeId(2), NodeId(5), 5.0);
+        e.note_stages_recalibrated(t(0.4), vec![NodeId(5)], 5.0);
+        e.clear_stage_windows();
+        e.set_stage_thresholds(vec![0.5, 10.0]);
+        assert_eq!(e.log().stage_remaps(), 1);
+        assert_eq!(e.log().recalibrations(), 1);
+        // Cleared windows + relaxed threshold: no immediate re-trigger.
+        assert!(e.observe_stage(t(0.5), 1, 5.0).is_none());
+        assert!(e.observe_stage(t(0.6), 1, 5.0).is_none());
+        assert!(e.observe_stage(t(0.7), 1, 5.0).is_none());
+    }
+
+    #[test]
+    fn stage_action_interval_spaces_wall_clock_actions() {
+        let mut cfg = exec(1.0);
+        cfg.monitor_window = 1;
+        let mut e = AdaptationEngine::for_stages(&cfg, vec![0.1]).with_stage_action_interval(10.0);
+        // Breaches inside the first interval are suppressed — like the farm
+        // monitor, the gate spaces actions one full interval apart, so
+        // wall-clock start-up jitter cannot trigger an instant action.
+        assert!(e.observe_stage(t(0.5), 0, 9.0).is_none());
+        assert!(e.observe_stage(t(10.5), 0, 9.0).is_some());
+        e.note_stage_replicated(t(10.5), 0, 2, 9.0);
+        assert_eq!(e.log().stage_replications(), 1);
+        // An immediate follow-up breach is suppressed again until the next
+        // interval elapses.
+        assert!(e.observe_stage(t(11.0), 0, 9.0).is_none());
+        assert!(e.observe_stage(t(20.6), 0, 9.0).is_some());
+    }
+
+    #[test]
+    fn wall_clock_reports_monotone_simtime() {
+        let clock = WallClock::start();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+        assert!(a.as_secs() >= 0.0);
+    }
+}

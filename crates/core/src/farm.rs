@@ -19,11 +19,11 @@
 //! The farm runs against the simulated [`gridsim::Grid`]; a real-thread
 //! shared-memory farm with the same surface lives in `grasp-exec`.
 
-use crate::adaptation::{AdaptationAction, AdaptationLog};
+use crate::adaptation::AdaptationLog;
 use crate::calibration::{CalibrationMode, CalibrationReport, Calibrator};
 use crate::config::GraspConfig;
+use crate::engine::{AdaptationDirective, AdaptationEngine};
 use crate::error::GraspError;
-use crate::execution::ExecutionMonitor;
 use crate::metrics::ThroughputTimeline;
 use crate::properties::SkeletonProperties;
 use crate::task::{total_work, TaskOutcome, TaskSpec};
@@ -178,16 +178,14 @@ impl TaskFarm {
         let execution_total = pending.len();
 
         let exec_cfg = &self.config.execution;
-        let threshold = exec_cfg
-            .threshold
-            .compute(&calibration.chosen_reference_times());
-        let mut monitor = ExecutionMonitor::new(
-            threshold,
-            exec_cfg.monitor_interval_s,
-            exec_cfg.demote_factor,
-        )
-        .with_window(exec_cfg.monitor_window);
-        monitor.reset(calibration.duration);
+        // The calibrate→monitor→act loop lives in the backend-neutral
+        // engine; this farm is a consumer: it feeds observations in, applies
+        // the directives that come out, and reports what it did.
+        let mut engine = AdaptationEngine::for_executors(
+            exec_cfg,
+            &calibration.chosen_reference_times(),
+            calibration.duration,
+        );
 
         let mut active: Vec<NodeId> = calibration.chosen.clone();
         let mut weights: BTreeMap<NodeId, f64> = calibration
@@ -206,8 +204,6 @@ impl TaskFarm {
         for o in &outcomes {
             timeline.record(o.completed);
         }
-        let mut adaptation = AdaptationLog::new();
-        let mut recalibrations = 0usize;
         // Dispatching is held back until the initial calibration barrier has
         // passed; recalibrations are barrier-free (see below).
         let recalibrating_until = calibration.duration;
@@ -248,15 +244,7 @@ impl TaskFarm {
                     pending.push_front(*spec);
                 }
                 active.retain(|&n| n != completion.node);
-                adaptation.record(
-                    now,
-                    AdaptationAction::NodeLost {
-                        node: completion.node,
-                        requeued_tasks: completion.lost.len(),
-                    },
-                    monitor.threshold(),
-                    0.0,
-                );
+                engine.note_node_lost(now, completion.node, completion.lost.len());
             }
 
             for o in &completion.outcomes {
@@ -270,158 +258,150 @@ impl TaskFarm {
                 // their node — and raw seconds for an all-zero-work job,
                 // where normalized_time() already returns raw durations.
                 if o.work > 0.0 || !job_has_work {
-                    monitor.record(o.node, o.normalized_time());
+                    engine.observe(o.node, o.normalized_time());
                 }
                 registry.observe(grid, o.node, o.completed);
             }
 
             // ----------------------- Algorithm 2 -----------------------
-            if exec_cfg.adaptive {
-                if let Some(verdict) = monitor.evaluate(now) {
-                    // Demote individually pathological nodes first.
-                    for slow in &verdict.demote {
-                        if active.len() > exec_cfg.min_active_nodes && active.contains(slow) {
+            // The engine runs the monitor→threshold loop and emits typed
+            // directives; the farm applies them against its active set.
+            if let Some(poll) = engine.poll(now) {
+                let verdict = &poll.verdict;
+                for directive in &poll.directives {
+                    match directive {
+                        // Demote individually pathological nodes first (the
+                        // engine emits demotions before the recalibrate
+                        // directive).  Gating against the shrinking active
+                        // set is the farm's business: the engine does not
+                        // know which nodes are still dispatchable.
+                        AdaptationDirective::DemoteExecutor {
+                            executor: slow,
+                            recent_mean,
+                        } if active.len() > exec_cfg.min_active_nodes && active.contains(slow) => {
                             active.retain(|n| n != slow);
-                            let mean = verdict
-                                .per_node_mean
-                                .iter()
-                                .find(|(n, _)| n == slow)
-                                .map(|(_, m)| *m)
-                                .unwrap_or(f64::NAN);
-                            adaptation.record(
-                                now,
-                                AdaptationAction::NodeDemoted {
-                                    node: *slow,
-                                    recent_mean_time: mean,
-                                },
-                                verdict.threshold,
-                                verdict.min_time,
-                            );
+                            engine.note_demoted(now, *slow, *recent_mean, verdict);
                         }
-                    }
-                    // Whole-pool degradation: feed back into calibration.
-                    //
-                    // The initial calibration runs Algorithm 1 verbatim
-                    // (sample tasks on every node).  Recalibration re-uses
-                    // the monitoring data instead of re-sampling: the pool is
-                    // re-ranked from the nodes' base speeds scaled by their
-                    // currently observed availability, the chunking weights
-                    // and the chosen set are recomputed, and the threshold Z
-                    // is re-based on the execution times the monitor just
-                    // collected — so the feedback itself costs the job no
-                    // extra work and imposes no barrier.
-                    if verdict.recalibrate
-                        && recalibrations < exec_cfg.max_recalibrations
-                        && !pending.is_empty()
-                    {
-                        // (node, effective speed, bandwidth availability)
-                        let mut ranked: Vec<(NodeId, f64, f64)> = candidates
-                            .iter()
-                            .copied()
-                            .filter(|&n| grid.is_up(n, now))
-                            .map(|n| {
-                                let obs = registry.observe(grid, n, now);
-                                let base = grid.node(n).map(|s| s.base_speed).unwrap_or(1.0);
-                                (
-                                    n,
-                                    base * (1.0 - obs.cpu_load).max(0.02),
-                                    obs.bandwidth_availability.clamp(0.02, 1.0),
-                                )
-                            })
-                            .collect();
-                        ranked.sort_by(|a, b| {
-                            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
-                        });
-                        if !ranked.is_empty() {
-                            let frac = self.config.calibration.selection_fraction.clamp(1e-6, 1.0);
-                            let want = ((ranked.len() as f64) * frac).ceil() as usize;
-                            let count = want
-                                .max(self.config.calibration.min_nodes.max(1))
-                                .max(exec_cfg.min_active_nodes)
-                                .min(ranked.len());
-                            active = ranked[..count].iter().map(|(n, _, _)| *n).collect();
-                            let chosen_mean =
-                                ranked[..count].iter().map(|(_, s, _)| *s).sum::<f64>()
-                                    / count as f64;
-                            weights = ranked
+                        // Whole-pool degradation: feed back into calibration.
+                        //
+                        // The initial calibration runs Algorithm 1 verbatim
+                        // (sample tasks on every node).  Recalibration re-uses
+                        // the monitoring data instead of re-sampling: the pool is
+                        // re-ranked from the nodes' base speeds scaled by their
+                        // currently observed availability, the chunking weights
+                        // and the chosen set are recomputed, and the threshold Z
+                        // is re-based on the execution times the monitor just
+                        // collected — so the feedback itself costs the job no
+                        // extra work and imposes no barrier.
+                        AdaptationDirective::Recalibrate if !pending.is_empty() => {
+                            // (node, effective speed, bandwidth availability)
+                            let mut ranked: Vec<(NodeId, f64, f64)> = candidates
                                 .iter()
-                                .map(|(n, s, _)| {
-                                    let w = if active.contains(n) && chosen_mean > 0.0 {
-                                        s / chosen_mean
-                                    } else {
-                                        0.0
-                                    };
-                                    (*n, w)
+                                .copied()
+                                .filter(|&n| grid.is_up(n, now))
+                                .map(|n| {
+                                    let obs = registry.observe(grid, n, now);
+                                    let base = grid.node(n).map(|s| s.base_speed).unwrap_or(1.0);
+                                    (
+                                        n,
+                                        base * (1.0 - obs.cpu_load).max(0.02),
+                                        obs.bandwidth_availability.clamp(0.02, 1.0),
+                                    )
                                 })
                                 .collect();
-                            // Re-base Z on what the retained nodes are *expected*
-                            // to achieve under the observed conditions.  The
-                            // verdict's window means straddle the degradation
-                            // onset and would under-estimate the new steady
-                            // state, re-triggering a spurious second
-                            // recalibration.  Expected time = degraded compute
-                            // (1/effective-speed, the calibration table's
-                            // seconds-per-work-unit unit) plus the node's
-                            // calibrated communication overhead scaled by its
-                            // currently observed bandwidth availability —
-                            // dropping either term would under-shoot Z on
-                            // communication-heavy workloads or congested links
-                            // and loop instead.
-                            let retained_expected: Vec<f64> = ranked[..count]
-                                .iter()
-                                .map(|(n, s, bw)| {
-                                    // Comm at nominal bandwidth = calibrated
-                                    // total − calibrated compute, rescaled to
-                                    // nominal bandwidth.  What "calibrated"
-                                    // means depends on the mode: TimeOnly
-                                    // rows hold raw totals at the degraded
-                                    // speed and observed bandwidth, while the
-                                    // statistical modes have already removed
-                                    // the load (and, for Multivariate, the
-                                    // bandwidth) effect from adjusted_time.
-                                    let nominal_comm = calibration
-                                        .table
-                                        .iter()
-                                        .find(|c| c.node == *n)
-                                        .map(|c| {
-                                            let base = grid
-                                                .node(*n)
-                                                .map(|sp| sp.base_speed)
-                                                .unwrap_or(1.0)
-                                                .max(1e-9);
-                                            let (compute_ref, bw_scale) = match calibration.mode {
-                                                CalibrationMode::TimeOnly => (
-                                                    1.0 / (base * (1.0 - c.cpu_load).max(0.02)),
-                                                    c.bandwidth_availability.clamp(0.02, 1.0),
-                                                ),
-                                                CalibrationMode::Univariate => (
-                                                    1.0 / base,
-                                                    c.bandwidth_availability.clamp(0.02, 1.0),
-                                                ),
-                                                CalibrationMode::Multivariate => (1.0 / base, 1.0),
-                                            };
-                                            (c.adjusted_time - compute_ref).max(0.0) * bw_scale
-                                        })
-                                        .filter(|c| c.is_finite())
-                                        .unwrap_or(0.0);
-                                    1.0 / s.max(1e-9) + nominal_comm / bw
-                                })
-                                .collect();
-                            if !retained_expected.is_empty() {
-                                monitor
-                                    .set_threshold(exec_cfg.threshold.compute(&retained_expected));
+                            ranked.sort_by(|a, b| {
+                                b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
+                            });
+                            if !ranked.is_empty() {
+                                let frac =
+                                    self.config.calibration.selection_fraction.clamp(1e-6, 1.0);
+                                let want = ((ranked.len() as f64) * frac).ceil() as usize;
+                                let count = want
+                                    .max(self.config.calibration.min_nodes.max(1))
+                                    .max(exec_cfg.min_active_nodes)
+                                    .min(ranked.len());
+                                active = ranked[..count].iter().map(|(n, _, _)| *n).collect();
+                                let chosen_mean =
+                                    ranked[..count].iter().map(|(_, s, _)| *s).sum::<f64>()
+                                        / count as f64;
+                                weights = ranked
+                                    .iter()
+                                    .map(|(n, s, _)| {
+                                        let w = if active.contains(n) && chosen_mean > 0.0 {
+                                            s / chosen_mean
+                                        } else {
+                                            0.0
+                                        };
+                                        (*n, w)
+                                    })
+                                    .collect();
+                                // Re-base Z on what the retained nodes are *expected*
+                                // to achieve under the observed conditions.  The
+                                // verdict's window means straddle the degradation
+                                // onset and would under-estimate the new steady
+                                // state, re-triggering a spurious second
+                                // recalibration.  Expected time = degraded compute
+                                // (1/effective-speed, the calibration table's
+                                // seconds-per-work-unit unit) plus the node's
+                                // calibrated communication overhead scaled by its
+                                // currently observed bandwidth availability —
+                                // dropping either term would under-shoot Z on
+                                // communication-heavy workloads or congested links
+                                // and loop instead.
+                                let retained_expected: Vec<f64> = ranked[..count]
+                                    .iter()
+                                    .map(|(n, s, bw)| {
+                                        // Comm at nominal bandwidth = calibrated
+                                        // total − calibrated compute, rescaled to
+                                        // nominal bandwidth.  What "calibrated"
+                                        // means depends on the mode: TimeOnly
+                                        // rows hold raw totals at the degraded
+                                        // speed and observed bandwidth, while the
+                                        // statistical modes have already removed
+                                        // the load (and, for Multivariate, the
+                                        // bandwidth) effect from adjusted_time.
+                                        let nominal_comm = calibration
+                                            .table
+                                            .iter()
+                                            .find(|c| c.node == *n)
+                                            .map(|c| {
+                                                let base = grid
+                                                    .node(*n)
+                                                    .map(|sp| sp.base_speed)
+                                                    .unwrap_or(1.0)
+                                                    .max(1e-9);
+                                                let (compute_ref, bw_scale) = match calibration.mode
+                                                {
+                                                    CalibrationMode::TimeOnly => (
+                                                        1.0 / (base * (1.0 - c.cpu_load).max(0.02)),
+                                                        c.bandwidth_availability.clamp(0.02, 1.0),
+                                                    ),
+                                                    CalibrationMode::Univariate => (
+                                                        1.0 / base,
+                                                        c.bandwidth_availability.clamp(0.02, 1.0),
+                                                    ),
+                                                    CalibrationMode::Multivariate => {
+                                                        (1.0 / base, 1.0)
+                                                    }
+                                                };
+                                                (c.adjusted_time - compute_ref).max(0.0) * bw_scale
+                                            })
+                                            .filter(|c| c.is_finite())
+                                            .unwrap_or(0.0);
+                                        1.0 / s.max(1e-9) + nominal_comm / bw
+                                    })
+                                    .collect();
+                                engine.apply_recalibration(
+                                    now,
+                                    active.clone(),
+                                    &retained_expected,
+                                    verdict,
+                                );
                             }
-                            monitor.reset(now);
-                            recalibrations += 1;
-                            adaptation.record(
-                                now,
-                                AdaptationAction::Recalibrated {
-                                    new_chosen: active.clone(),
-                                },
-                                verdict.threshold,
-                                verdict.min_time,
-                            );
                         }
+                        // A recalibrate directive with no pending work left:
+                        // nothing to steer, let the job drain.
+                        _ => {}
                     }
                 }
             }
@@ -545,14 +525,15 @@ impl TaskFarm {
             }
         }
 
+        let monitor_evaluations = engine.evaluations();
         Ok(FarmOutcome {
             makespan,
             task_outcomes: outcomes,
             calibration,
-            adaptation,
+            adaptation: engine.into_log(),
             timeline,
             per_node_tasks: per_node,
-            monitor_evaluations: monitor.evaluations(),
+            monitor_evaluations,
             final_active_nodes: active,
         })
     }

@@ -20,11 +20,8 @@
 
 use crate::config::GraspConfig;
 use crate::error::GraspError;
-use crate::farm::FarmOutcome;
-use crate::pipeline::{PipelineOutcome, StageSpec};
-use crate::skeleton::{Backend, OutcomeDetail, SimBackend, Skeleton, SkeletonOutcome};
-use crate::task::TaskSpec;
-use gridsim::{Grid, NodeId, SimTime};
+use crate::skeleton::{Backend, Skeleton, SkeletonOutcome};
+use gridsim::SimTime;
 use serde::{Deserialize, Serialize};
 
 /// Virtual-time accounting of the four phases.
@@ -68,8 +65,9 @@ impl PhaseTimings {
 pub struct GraspRunReport<O> {
     /// Per-phase time accounting.
     pub phases: PhaseTimings,
-    /// The skeleton outcome (backend-neutral for [`Grasp::run`]; the legacy
-    /// shims expose the engine-specific outcome directly).
+    /// The backend-neutral skeleton outcome.  Engine-native reports (the
+    /// simulated farm/pipeline outcomes, the thread-farm summary) travel in
+    /// [`crate::skeleton::SkeletonOutcome::detail`].
     pub outcome: O,
 }
 
@@ -114,143 +112,16 @@ impl Grasp {
         };
         Ok(GraspRunReport { phases, outcome })
     }
-
-    /// Run a task farm over every node of the grid.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Grasp::run(&SimBackend::new(grid), &Skeleton::farm(..))`"
-    )]
-    pub fn run_farm(
-        &self,
-        grid: &Grid,
-        tasks: &[TaskSpec],
-    ) -> Result<GraspRunReport<FarmOutcome>, GraspError> {
-        self.farm_shim(grid, &grid.node_ids(), tasks)
-    }
-
-    /// Fallible farm run (alias of [`Grasp::run_farm`], kept for mechanical
-    /// migration of older call sites).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Grasp::run(&SimBackend::new(grid), &Skeleton::farm(..))`"
-    )]
-    pub fn try_run_farm(
-        &self,
-        grid: &Grid,
-        tasks: &[TaskSpec],
-    ) -> Result<GraspRunReport<FarmOutcome>, GraspError> {
-        self.farm_shim(grid, &grid.node_ids(), tasks)
-    }
-
-    /// Fallible farm run on an explicit candidate pool.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Grasp::run(&SimBackend::on(grid, candidates), &Skeleton::farm(..))`"
-    )]
-    pub fn try_run_farm_on(
-        &self,
-        grid: &Grid,
-        candidates: &[NodeId],
-        tasks: &[TaskSpec],
-    ) -> Result<GraspRunReport<FarmOutcome>, GraspError> {
-        self.farm_shim(grid, candidates, tasks)
-    }
-
-    /// Run a pipeline over every node of the grid.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Grasp::run(&SimBackend::new(grid), &Skeleton::pipeline(..))`"
-    )]
-    pub fn run_pipeline(
-        &self,
-        grid: &Grid,
-        stages: &[StageSpec],
-        items: usize,
-    ) -> Result<GraspRunReport<PipelineOutcome>, GraspError> {
-        self.pipeline_shim(grid, &grid.node_ids(), stages, items)
-    }
-
-    /// Fallible pipeline run (alias of [`Grasp::run_pipeline`]).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Grasp::run(&SimBackend::new(grid), &Skeleton::pipeline(..))`"
-    )]
-    pub fn try_run_pipeline(
-        &self,
-        grid: &Grid,
-        stages: &[StageSpec],
-        items: usize,
-    ) -> Result<GraspRunReport<PipelineOutcome>, GraspError> {
-        self.pipeline_shim(grid, &grid.node_ids(), stages, items)
-    }
-
-    /// Fallible pipeline run on an explicit candidate pool.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Grasp::run(&SimBackend::on(grid, candidates), &Skeleton::pipeline(..))`"
-    )]
-    pub fn try_run_pipeline_on(
-        &self,
-        grid: &Grid,
-        candidates: &[NodeId],
-        stages: &[StageSpec],
-        items: usize,
-    ) -> Result<GraspRunReport<PipelineOutcome>, GraspError> {
-        self.pipeline_shim(grid, candidates, stages, items)
-    }
-
-    /// Shared body of the deprecated farm wrappers: route through the
-    /// unified API and unwrap the simulated engine's native outcome.
-    fn farm_shim(
-        &self,
-        grid: &Grid,
-        candidates: &[NodeId],
-        tasks: &[TaskSpec],
-    ) -> Result<GraspRunReport<FarmOutcome>, GraspError> {
-        let report = self.run(
-            &SimBackend::on(grid, candidates),
-            &Skeleton::farm(tasks.to_vec()),
-        )?;
-        match report.outcome.detail {
-            OutcomeDetail::SimFarm(outcome) => Ok(GraspRunReport {
-                phases: report.phases,
-                outcome: *outcome,
-            }),
-            _ => Err(GraspError::InvalidConfig(
-                "simulated backend returned a non-farm outcome".to_string(),
-            )),
-        }
-    }
-
-    /// Shared body of the deprecated pipeline wrappers.
-    fn pipeline_shim(
-        &self,
-        grid: &Grid,
-        candidates: &[NodeId],
-        stages: &[StageSpec],
-        items: usize,
-    ) -> Result<GraspRunReport<PipelineOutcome>, GraspError> {
-        let report = self.run(
-            &SimBackend::on(grid, candidates),
-            &Skeleton::pipeline(stages.to_vec(), items),
-        )?;
-        match report.outcome.detail {
-            OutcomeDetail::SimPipeline(outcome) => Ok(GraspRunReport {
-                phases: report.phases,
-                outcome: *outcome,
-            }),
-            _ => Err(GraspError::InvalidConfig(
-                "simulated backend returned a non-pipeline outcome".to_string(),
-            )),
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::StageSpec;
     use crate::properties::SkeletonKind;
-    use gridsim::TopologyBuilder;
+    use crate::skeleton::{OutcomeDetail, SimBackend};
+    use crate::task::TaskSpec;
+    use gridsim::{Grid, TopologyBuilder};
 
     #[test]
     fn farm_report_accounts_for_all_phases() {
@@ -314,32 +185,37 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_are_fallible_and_agree_with_the_unified_api() {
+    fn engine_native_outcomes_remain_reachable_through_the_unified_api() {
+        // Migrated from the deleted `run_{farm,pipeline}[_on]` shims' self
+        // test: everything the legacy surface exposed — the engine-native
+        // farm and pipeline outcomes — is reachable through `Grasp::run` via
+        // `OutcomeDetail`, and agrees with the backend-neutral view.
         let grid = Grid::dedicated(TopologyBuilder::heterogeneous_cluster(6, 20.0, 60.0, 2));
         let tasks = TaskSpec::uniform(40, 40.0, 16 * 1024, 16 * 1024);
         let g = Grasp::new(GraspConfig::default());
-        let legacy = g.run_farm(&grid, &tasks).unwrap();
-        let unified = g
-            .run(&SimBackend::new(&grid), &Skeleton::farm(tasks.clone()))
+        let report = g
+            .run(&SimBackend::new(&grid), &Skeleton::farm(tasks))
             .unwrap();
-        assert_eq!(legacy.outcome.completed_tasks(), unified.outcome.completed);
-        assert!((legacy.outcome.makespan.as_secs() - unified.outcome.makespan_s).abs() < 1e-9);
-        // The error paths return Err — no panic anywhere.
-        assert!(g.run_farm(&grid, &[]).is_err());
-        assert!(g.run_pipeline(&grid, &[], 10).is_err());
-        assert!(g.try_run_farm(&grid, &[]).is_err());
-        assert!(g.try_run_pipeline(&grid, &[], 10).is_err());
-        assert!(g
-            .try_run_farm_on(&grid, &[], &TaskSpec::uniform(5, 1.0, 0, 0))
-            .is_err());
-        assert!(g
-            .try_run_pipeline_on(&grid, &[], &StageSpec::balanced(2, 1.0, 0), 5)
-            .is_err());
+        match &report.outcome.detail {
+            OutcomeDetail::SimFarm(farm) => {
+                assert_eq!(farm.completed_tasks(), report.outcome.completed);
+                assert!((farm.makespan.as_secs() - report.outcome.makespan_s).abs() < 1e-9);
+                assert_eq!(farm.adaptation, report.outcome.adaptation_log);
+            }
+            other => panic!("farm run must carry the native farm outcome, got {other:?}"),
+        }
 
         let stages = StageSpec::balanced(3, 15.0, 8 * 1024);
-        let legacy = g.run_pipeline(&grid, &stages, 20).unwrap();
-        assert_eq!(legacy.outcome.items, 20);
+        let report = g
+            .run(&SimBackend::new(&grid), &Skeleton::pipeline(stages, 20))
+            .unwrap();
+        match &report.outcome.detail {
+            OutcomeDetail::SimPipeline(pipeline) => {
+                assert_eq!(pipeline.items, 20);
+                assert_eq!(pipeline.adaptation, report.outcome.adaptation_log);
+            }
+            other => panic!("pipeline run must carry the native outcome, got {other:?}"),
+        }
     }
 
     #[test]

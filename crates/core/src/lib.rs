@@ -61,6 +61,7 @@
 pub mod adaptation;
 pub mod calibration;
 pub mod config;
+pub mod engine;
 pub mod error;
 pub mod execution;
 pub mod farm;
@@ -78,6 +79,7 @@ pub mod prelude {
     pub use crate::adaptation::{AdaptationAction, AdaptationLog};
     pub use crate::calibration::{CalibrationMode, CalibrationReport, Calibrator};
     pub use crate::config::{CalibrationConfig, ExecutionConfig, GraspConfig};
+    pub use crate::engine::{AdaptationDirective, AdaptationEngine, EnginePoll, WallClock};
     pub use crate::error::GraspError;
     pub use crate::execution::ExecutionMonitor;
     pub use crate::farm::{FarmOutcome, TaskFarm};

@@ -17,18 +17,17 @@
 //!   mapping is recomputed, paying a one-off state-transfer penalty for every
 //!   stage that moves.
 
-use crate::adaptation::{AdaptationAction, AdaptationLog};
+use crate::adaptation::AdaptationLog;
 use crate::calibration::{CalibrationReport, Calibrator};
 use crate::config::GraspConfig;
+use crate::engine::{AdaptationDirective, AdaptationEngine};
 use crate::error::GraspError;
 use crate::metrics::ThroughputTimeline;
 use crate::properties::SkeletonProperties;
 use crate::task::TaskSpec;
 use gridmon::MonitorRegistry;
 use gridsim::{Grid, NodeId, SimTime};
-use gridstats::mean;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
 /// Static description of one pipeline stage.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -214,23 +213,25 @@ impl Pipeline {
         }
 
         // Per-stage thresholds Zₛ derived from the expected service time on
-        // the node each stage is currently mapped to.
+        // the node each stage is currently mapped to.  The stage-mode
+        // adaptation engine owns the thresholds, the recent-service windows,
+        // the remap budget and the audit log; this pipeline feeds it service
+        // observations and applies the remap directives it emits.
         let exec_cfg = &self.config.execution;
-        let mut thresholds =
-            Self::stage_thresholds(grid, stages, &assignment, &self.config, SimTime::ZERO);
+        let mut engine = AdaptationEngine::for_stages(
+            exec_cfg,
+            Self::stage_thresholds(grid, stages, &assignment, &self.config, SimTime::ZERO),
+        )
+        .with_stage_window(self.monitor_window);
 
         // ------------------------------ Execution ----------------------------
         let start = calibration.duration;
-        let mut adaptation = AdaptationLog::new();
         let mut timeline = ThroughputTimeline::new(exec_cfg.monitor_interval_s);
         let mut item_completions = Vec::with_capacity(items);
         // stage_free[s] = when stage s finished (or will finish) its latest item.
         let mut stage_free: Vec<SimTime> = vec![start; stages.len()];
-        // Per-stage recent service times for the monitor.
-        let mut recent: Vec<VecDeque<f64>> = vec![VecDeque::new(); stages.len()];
         let mut service_sums: Vec<f64> = vec![0.0; stages.len()];
         let mut service_counts: Vec<usize> = vec![0; stages.len()];
-        let mut remaps_budget = exec_cfg.max_recalibrations;
 
         for item in 0..items {
             // The item enters stage 0 as soon as stage 0 is free.
@@ -251,14 +252,14 @@ impl Pipeline {
                             // and never recovers).  Feed back into calibration
                             // — excluding nodes already seen to fail for this
                             // item — and retry the stage on its new node.
-                            if !exec_cfg.adaptive
-                                || remaps_budget == 0
+                            if !engine.adaptive()
+                                || !engine.can_recalibrate()
                                 || banned.len() >= candidates.len()
                             {
                                 return Err(GraspError::TaskLost { task: item });
                             }
                             banned.push(attempt_node);
-                            remaps_budget -= 1;
+                            engine.try_consume_recalibration();
                             Self::remap_all(
                                 grid,
                                 &mut registry,
@@ -266,10 +267,8 @@ impl Pipeline {
                                 candidates,
                                 &banned,
                                 &mut assignment,
-                                &mut thresholds,
                                 &mut stage_free,
-                                &mut recent,
-                                &mut adaptation,
+                                &mut engine,
                                 &self.config,
                                 attempt_enter,
                                 f64::INFINITY,
@@ -280,37 +279,33 @@ impl Pipeline {
                     }
                 };
                 let service = (finish - enter).as_secs();
-                recent[s].push_back(service);
-                if recent[s].len() > self.monitor_window {
-                    recent[s].pop_front();
-                }
                 service_sums[s] += service;
                 service_counts[s] += 1;
                 stage_free[s] = finish;
 
                 // ---------------- per-stage Algorithm 2 ----------------
-                if exec_cfg.adaptive && remaps_budget > 0 && recent[s].len() >= self.monitor_window
+                // The engine watches each stage's recent services against
+                // its threshold Zₛ and emits a remap directive on breach;
+                // the pipeline applies it by re-ranking and remapping the
+                // whole chain (the only legal move for an ordered,
+                // possibly stateful stage structure).
+                if let Some(AdaptationDirective::RemapStage { recent_mean, .. }) =
+                    engine.observe_stage(finish, s, service)
                 {
-                    let recent_mean =
-                        mean(&recent[s].iter().copied().collect::<Vec<_>>()).unwrap_or(0.0);
-                    if recent_mean > thresholds[s] {
-                        remaps_budget -= 1;
-                        Self::remap_all(
-                            grid,
-                            &mut registry,
-                            stages,
-                            candidates,
-                            &[],
-                            &mut assignment,
-                            &mut thresholds,
-                            &mut stage_free,
-                            &mut recent,
-                            &mut adaptation,
-                            &self.config,
-                            finish,
-                            recent_mean,
-                        )?;
-                    }
+                    engine.try_consume_recalibration();
+                    Self::remap_all(
+                        grid,
+                        &mut registry,
+                        stages,
+                        candidates,
+                        &[],
+                        &mut assignment,
+                        &mut stage_free,
+                        &mut engine,
+                        &self.config,
+                        finish,
+                        recent_mean,
+                    )?;
                 }
 
                 // Forward the item to the next stage.
@@ -348,7 +343,7 @@ impl Pipeline {
             throughput,
             stage_assignment: assignment,
             calibration,
-            adaptation,
+            adaptation: engine.into_log(),
             per_stage_service,
             timeline,
             item_completions,
@@ -412,10 +407,8 @@ impl Pipeline {
         candidates: &[NodeId],
         exclude: &[NodeId],
         assignment: &mut Vec<(usize, NodeId)>,
-        thresholds: &mut Vec<f64>,
         stage_free: &mut [SimTime],
-        recent: &mut [VecDeque<f64>],
-        adaptation: &mut AdaptationLog,
+        engine: &mut AdaptationEngine,
         config: &GraspConfig,
         now: SimTime,
         trigger_value: f64,
@@ -448,29 +441,20 @@ impl Pipeline {
                     .map(|e| e.duration)
                     .unwrap_or(SimTime::ZERO);
                 stage_free[s] = stage_free[s].max(now) + migration;
-                adaptation.record(
-                    now,
-                    AdaptationAction::StageRemapped {
-                        stage: s,
-                        from: old,
-                        to: new,
-                    },
-                    thresholds[s],
-                    trigger_value,
-                );
+                engine.note_stage_remapped(now, s, old, new, trigger_value);
             }
-            recent[s].clear();
         }
+        // Times observed under the old mapping must not condemn the new one.
+        engine.clear_stage_windows();
         *assignment = new_assignment;
-        adaptation.record(
+        engine.note_stages_recalibrated(
             now,
-            AdaptationAction::Recalibrated {
-                new_chosen: assignment.iter().map(|(_, n)| *n).collect(),
-            },
-            0.0,
+            assignment.iter().map(|(_, n)| *n).collect(),
             trigger_value,
         );
-        *thresholds = Self::stage_thresholds(grid, stages, assignment, config, now);
+        engine.set_stage_thresholds(Self::stage_thresholds(
+            grid, stages, assignment, config, now,
+        ));
         Ok(())
     }
 }

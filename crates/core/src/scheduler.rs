@@ -52,12 +52,14 @@ impl Default for SchedulePolicy {
 impl SchedulePolicy {
     /// Decide how many tasks to hand to a worker, without knowledge of the
     /// job's total size.
-    ///
-    /// Prefer [`SchedulePolicy::next_chunk_with_total`]: without the total,
-    /// `StaticBlock` degenerates to re-splitting the *remaining* work on
-    /// every request, handing out shrinking blocks instead of one equal
-    /// block per worker.  This signature is kept for callers that genuinely
-    /// have no job total (and for the dynamic policies, which never use it).
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `next_chunk_with_total` — without the total, StaticBlock \
+                degenerates to re-splitting the shrinking remainder instead \
+                of handing one equal block per worker; dynamic policies \
+                should pass the execution-phase total explicitly (or \
+                `remaining` with a comment when no total exists)"
+    )]
     pub fn next_chunk(&self, remaining: usize, workers: usize, weight: f64) -> usize {
         self.next_chunk_with_total(remaining, remaining, workers, weight)
     }
@@ -131,6 +133,14 @@ impl SchedulePolicy {
 mod tests {
     use super::*;
 
+    /// The total-less view used throughout these tests: the dynamic policies
+    /// decide purely from `remaining`, so passing `remaining` as the total
+    /// is exact for them; only `StaticBlock` genuinely needs the real total
+    /// (covered by `static_block_hands_one_equal_block_per_worker`).
+    fn chunk(p: SchedulePolicy, remaining: usize, workers: usize, weight: f64) -> usize {
+        p.next_chunk_with_total(remaining, remaining, workers, weight)
+    }
+
     #[test]
     fn zero_remaining_gives_zero() {
         for p in [
@@ -138,7 +148,21 @@ mod tests {
             SchedulePolicy::SelfScheduling,
             SchedulePolicy::default(),
         ] {
-            assert_eq!(p.next_chunk(0, 4, 1.0), 0);
+            assert_eq!(chunk(p, 0, 4, 1.0), 0);
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_total_less_shim_forwards_to_the_total_aware_path() {
+        for p in [
+            SchedulePolicy::StaticBlock,
+            SchedulePolicy::Guided { min_chunk: 2 },
+            SchedulePolicy::AdaptiveWeighted { min_chunk: 1 },
+        ] {
+            for remaining in [1usize, 17, 400] {
+                assert_eq!(p.next_chunk(remaining, 4, 1.5), chunk(p, remaining, 4, 1.5));
+            }
         }
     }
 
@@ -156,7 +180,7 @@ mod tests {
             for remaining in [1usize, 3, 10, 1000] {
                 for workers in [1usize, 4, 32] {
                     for weight in [0.2, 1.0, 4.0] {
-                        let c = p.next_chunk(remaining, workers, weight);
+                        let c = chunk(p, remaining, workers, weight);
                         assert!(c >= 1 && c <= remaining, "{p:?} gave {c} for {remaining}");
                     }
                 }
@@ -166,8 +190,8 @@ mod tests {
 
     #[test]
     fn static_block_splits_evenly() {
-        assert_eq!(SchedulePolicy::StaticBlock.next_chunk(100, 4, 1.0), 25);
-        assert_eq!(SchedulePolicy::StaticBlock.next_chunk(101, 4, 1.0), 26);
+        assert_eq!(chunk(SchedulePolicy::StaticBlock, 100, 4, 1.0), 25);
+        assert_eq!(chunk(SchedulePolicy::StaticBlock, 101, 4, 1.0), 26);
     }
 
     #[test]
@@ -200,29 +224,29 @@ mod tests {
 
     #[test]
     fn self_scheduling_is_one_at_a_time() {
-        assert_eq!(SchedulePolicy::SelfScheduling.next_chunk(100, 4, 5.0), 1);
+        assert_eq!(chunk(SchedulePolicy::SelfScheduling, 100, 4, 5.0), 1);
     }
 
     #[test]
     fn guided_shrinks_as_work_drains() {
         let p = SchedulePolicy::Guided { min_chunk: 2 };
-        let big = p.next_chunk(1000, 10, 1.0);
-        let small = p.next_chunk(30, 10, 1.0);
+        let big = chunk(p, 1000, 10, 1.0);
+        let small = chunk(p, 30, 10, 1.0);
         assert!(big > small);
-        assert_eq!(p.next_chunk(5, 10, 1.0), 2, "bounded below by min_chunk");
+        assert_eq!(chunk(p, 5, 10, 1.0), 2, "bounded below by min_chunk");
     }
 
     #[test]
     fn factoring_takes_a_fraction_per_worker() {
         let p = SchedulePolicy::Factoring { factor: 0.5 };
-        assert_eq!(p.next_chunk(100, 5, 1.0), 10);
+        assert_eq!(chunk(p, 100, 5, 1.0), 10);
     }
 
     #[test]
     fn adaptive_gives_fast_nodes_bigger_chunks() {
         let p = SchedulePolicy::AdaptiveWeighted { min_chunk: 1 };
-        let slow = p.next_chunk(1000, 10, 0.5);
-        let fast = p.next_chunk(1000, 10, 3.0);
+        let slow = chunk(p, 1000, 10, 0.5);
+        let fast = chunk(p, 1000, 10, 3.0);
         assert!(fast > slow, "fast={fast} slow={slow}");
         assert!(p.is_adaptive());
         assert!(!SchedulePolicy::StaticBlock.is_adaptive());
@@ -246,14 +270,18 @@ mod tests {
     #[test]
     fn degenerate_parameters_are_clamped() {
         assert_eq!(
-            SchedulePolicy::FixedChunk { chunk: 0 }.next_chunk(10, 2, 1.0),
+            chunk(SchedulePolicy::FixedChunk { chunk: 0 }, 10, 2, 1.0),
             1
         );
-        assert_eq!(
-            SchedulePolicy::Guided { min_chunk: 0 }.next_chunk(1, 8, 1.0),
-            1
+        assert_eq!(chunk(SchedulePolicy::Guided { min_chunk: 0 }, 1, 8, 1.0), 1);
+        assert!(chunk(SchedulePolicy::Factoring { factor: 0.0 }, 100, 4, 1.0) >= 1);
+        assert!(
+            chunk(
+                SchedulePolicy::AdaptiveWeighted { min_chunk: 0 },
+                10,
+                100,
+                0.0
+            ) >= 1
         );
-        assert!(SchedulePolicy::Factoring { factor: 0.0 }.next_chunk(100, 4, 1.0) >= 1);
-        assert!(SchedulePolicy::AdaptiveWeighted { min_chunk: 0 }.next_chunk(10, 100, 0.0) >= 1);
     }
 }

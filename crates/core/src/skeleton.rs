@@ -28,6 +28,7 @@
 //! [`Backend::execute`] and is reported through
 //! [`SkeletonOutcome::calibration_s`].
 
+use crate::adaptation::AdaptationLog;
 use crate::config::GraspConfig;
 use crate::error::GraspError;
 use crate::farm::{FarmOutcome, TaskFarm};
@@ -141,7 +142,7 @@ impl UnitSpan {
             unit_ids,
             makespan_s,
             calibration_s: 0.0,
-            adaptations: 0,
+            adaptation_log: AdaptationLog::new(),
             resilience: ResilienceReport::default(),
             children: self
                 .children
@@ -502,6 +503,11 @@ pub enum OutcomeDetail {
         /// (which counts preemption), this is schedule-sensitive on any
         /// hardware.
         work_per_worker: Vec<f64>,
+        /// Per-worker external-load estimate at run end (0 = running at the
+        /// calibrated baseline, → 1 = heavily slowed), forecast by the
+        /// gridmon registry from the workers' wall-clock per-work-unit
+        /// observations.  All zeros when the adaptation engine was off.
+        load_per_worker: Vec<f64>,
     },
     /// Thread-pipeline summary from the shared-memory backend.
     ThreadPipeline {
@@ -529,8 +535,13 @@ pub struct SkeletonOutcome {
     /// Seconds consumed by the calibration phase (0 for child outcomes — the
     /// composition calibrates once, as one unit).
     pub calibration_s: f64,
-    /// Adaptation actions taken while this (sub-)skeleton ran.
-    pub adaptations: usize,
+    /// The full audit trail of adaptation actions taken while this
+    /// (sub-)skeleton ran: recalibrations, demotions, losses, stage
+    /// remaps/replications, in the executing engine's clock.  Uniformly
+    /// populated by every backend (job-level: child outcomes carry an empty
+    /// log, like [`SkeletonOutcome::resilience`]).  The total count is
+    /// [`SkeletonOutcome::adaptations`].
+    pub adaptation_log: AdaptationLog,
     /// Fault-tolerance accounting for the whole run (job-level: child
     /// outcomes carry an empty report, because recovery happens at the
     /// executing engine's level, not per sub-skeleton).
@@ -542,6 +553,13 @@ pub struct SkeletonOutcome {
 }
 
 impl SkeletonOutcome {
+    /// Number of adaptation actions taken while this (sub-)skeleton ran —
+    /// derived from [`SkeletonOutcome::adaptation_log`], so the count can
+    /// never drift from the audit trail.
+    pub fn adaptations(&self) -> usize {
+        self.adaptation_log.len()
+    }
+
     /// Completed units per second over the whole run.
     pub fn throughput(&self) -> f64 {
         if self.makespan_s <= 0.0 {
@@ -688,7 +706,7 @@ impl<'g> SimBackend<'g> {
             unit_ids,
             makespan_s: outcome.makespan.as_secs(),
             calibration_s: outcome.calibration.duration.as_secs(),
-            adaptations: outcome.adaptation.len(),
+            adaptation_log: outcome.adaptation.clone(),
             resilience,
             children,
             detail: OutcomeDetail::SimFarm(Box::new(outcome)),
@@ -708,7 +726,7 @@ impl<'g> SimBackend<'g> {
             unit_ids: (0..outcome.items).collect(),
             makespan_s: outcome.makespan.as_secs(),
             calibration_s: outcome.calibration.duration.as_secs(),
-            adaptations: outcome.adaptation.len(),
+            adaptation_log: outcome.adaptation.clone(),
             resilience,
             children: Vec::new(),
             detail: OutcomeDetail::SimPipeline(Box::new(outcome)),
@@ -1012,7 +1030,7 @@ mod tests {
             unit_ids: vec![0, 1, 2],
             makespan_s: 1.0,
             calibration_s: 0.0,
-            adaptations: 0,
+            adaptation_log: AdaptationLog::new(),
             resilience: ResilienceReport::default(),
             children: Vec::new(),
             detail: OutcomeDetail::None,

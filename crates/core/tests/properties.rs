@@ -71,6 +71,50 @@ proptest! {
         }
     }
 
+    /// Algorithm 2's verdicts are monotone in the observed times: worsening
+    /// every observation can never un-breach the threshold (`min T > Z`
+    /// stays true when every per-node mean grows), and the demote set can
+    /// only grow.  Exercised through the backend-neutral engine so the
+    /// property covers exactly the loop both backends run.
+    #[test]
+    fn threshold_verdicts_are_monotone_in_observed_times(
+        reference in prop::collection::vec(0.05f64..10.0, 1..8),
+        observations in prop::collection::vec((0usize..5, 0.01f64..30.0), 1..40),
+        degradations in prop::collection::vec(1.0f64..8.0, 40),
+        factor in 1.0f64..4.0,
+    ) {
+        let exec = ExecutionConfig {
+            threshold: ThresholdPolicy::Factor { factor },
+            monitor_interval_s: 1.0,
+            ..ExecutionConfig::default()
+        };
+        let mut base = AdaptationEngine::for_executors(&exec, &reference, SimTime::ZERO);
+        let mut worse = AdaptationEngine::for_executors(&exec, &reference, SimTime::ZERO);
+        for (i, (node, t)) in observations.iter().enumerate() {
+            base.observe(NodeId(*node), *t);
+            // Worsen every observation by its own factor >= 1: each node's
+            // mean can only grow.
+            worse.observe(NodeId(*node), *t * degradations[i % degradations.len()]);
+        }
+        let base_poll = base.poll(SimTime::new(5.0)).expect("observations were reported");
+        let worse_poll = worse.poll(SimTime::new(5.0)).expect("observations were reported");
+        if base_poll.verdict.recalibrate {
+            prop_assert!(
+                worse_poll.verdict.recalibrate,
+                "worsening times un-breached the threshold: base min {} worse min {} Z {}",
+                base_poll.verdict.min_time,
+                worse_poll.verdict.min_time,
+                base_poll.verdict.threshold,
+            );
+        }
+        for node in &base_poll.verdict.demote {
+            prop_assert!(
+                worse_poll.verdict.demote.contains(node),
+                "worsening times un-demoted node {node:?}"
+            );
+        }
+    }
+
     /// Config validation accepts exactly the documented parameter ranges.
     #[test]
     fn config_validation_matches_ranges(

@@ -16,16 +16,37 @@
 //! outcomes agree structurally — same unit ids, same per-child counts — even
 //! though one clock is virtual and the other is wall time.  That is what
 //! makes backend-parity tests and experiment portability possible.
+//!
+//! **Adaptation** runs through the same backend-neutral
+//! [`grasp_core::engine::AdaptationEngine`] the simulated grid uses
+//! (Algorithms 1–2): farm workers report wall-clock seconds-per-work-unit
+//! observations, the engine compares them against the calibrated threshold
+//! *Z* every monitor interval, and its directives are applied for real —
+//! a pathological worker is demoted through the farm's
+//! [`crate::farm::WorkerGate`] (it stops pulling chunks), and a whole-pool
+//! breach triggers a fresh re-calibration sample that re-bases *Z*
+//! ([`grasp_core::engine::AdaptationEngine::begin_resample`]).  Pipelines
+//! run the stage-mode loop: a breached stage activates a standby replica
+//! ([`ThreadPipeline::with_adaptation`]).  Observations are also plumbed
+//! into a [`gridmon::MonitorRegistry`] so the same forecasters that smooth
+//! simulated load smooth wall-clock load (reported per worker in
+//! [`OutcomeDetail::ThreadFarm`]).
 
-use crate::farm::ThreadFarm;
+use crate::farm::{ThreadFarm, WorkerGate};
 use crate::pipeline::ThreadPipeline;
+use grasp_core::adaptation::AdaptationLog;
+use grasp_core::config::ExecutionConfig;
+use grasp_core::engine::{AdaptationDirective, AdaptationEngine, WallClock};
 use grasp_core::error::GraspError;
 use grasp_core::skeleton::{
     Backend, OutcomeDetail, ResilienceReport, Skeleton, SkeletonOutcome, UnitSpan,
 };
 use grasp_core::{GraspConfig, SchedulePolicy, StageSpec};
+use gridmon::{MonitorRegistry, NodeObservation};
+use gridsim::NodeId;
+use parking_lot::Mutex;
 use std::hint::black_box;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Spin for approximately `iters` iterations of optimisation-resistant
@@ -47,9 +68,17 @@ pub(crate) fn spin(iters: u64) -> u64 {
 /// calibration sample count (`config.calibration.samples_per_node`), unless
 /// explicitly overridden with [`ThreadBackend::with_policy`] /
 /// [`ThreadBackend::with_calibration_samples`].  The grid-monitoring knobs
-/// (threshold *Z*, monitor interval, recalibration budget) have no
-/// wall-clock counterpart here: the thread farm adapts continuously through
-/// demand-driven weighted chunking instead of discrete recalibrations.
+/// — threshold *Z* policy, `monitor_interval_s`, `demote_factor`,
+/// `max_recalibrations`, `min_active_nodes`, the `adaptive` master switch —
+/// drive the **same** Algorithm-2 loop as on the simulated grid, via the
+/// shared [`AdaptationEngine`] on wall-clock observations: a breach demotes
+/// the slow worker or re-bases *Z* from a fresh re-calibration sample, on
+/// top of the continuous demand-driven weighted chunking.  The interval is
+/// interpreted in wall seconds, so short test runs under the default 5 s
+/// interval never reach an evaluation — adaptation engages on runs long
+/// enough for the signal to beat scheduler noise.  Calibration is the
+/// engine's Algorithm 1 here too: with `samples_per_node == 0` there is no
+/// calibrated baseline, hence no *Z*, hence no threshold-driven adaptation.
 #[derive(Debug, Clone)]
 pub struct ThreadBackend {
     workers: usize,
@@ -66,6 +95,22 @@ pub struct ThreadBackend {
     /// Fault injection: the first `inject_panics` unit executions of each run
     /// panic (the shared-memory churn analogue of node revocation).
     inject_panics: usize,
+    /// Slowdown injection: after `after_units` executions, spin `factor`×
+    /// more per unit, pool-wide or on one worker (the wall-clock analogue
+    /// of gridsim's external-load spike).
+    slowdown: Option<SlowdownInjection>,
+}
+
+/// Parameters of [`ThreadBackend::with_slowdown_injection`] /
+/// [`ThreadBackend::with_worker_slowdown_injection`].
+#[derive(Debug, Clone, Copy)]
+struct SlowdownInjection {
+    /// Unit executions (across the pool) before the slowdown sets in.
+    after_units: usize,
+    /// Spin multiplier once active.
+    factor: f64,
+    /// Restrict the slowdown to one worker id (`None` = whole pool).
+    worker: Option<usize>,
 }
 
 impl Default for ThreadBackend {
@@ -91,6 +136,7 @@ impl ThreadBackend {
             max_task_attempts: 3,
             worker_panic_budget: 3,
             inject_panics: 0,
+            slowdown: None,
         }
     }
 
@@ -141,6 +187,38 @@ impl ThreadBackend {
         self
     }
 
+    /// Inject a mid-run **pool-wide slowdown**: after `after_units` unit
+    /// executions (across all workers), every unit costs `factor`× the
+    /// spin — the wall-clock analogue of gridsim's external-load spike
+    /// hitting the whole pool.  Algorithm 2 should respond with a
+    /// recalibration (`min T > Z`).  Intended for experiments and tests.
+    pub fn with_slowdown_injection(mut self, after_units: usize, factor: f64) -> Self {
+        self.slowdown = Some(SlowdownInjection {
+            after_units,
+            factor: factor.max(1.0),
+            worker: None,
+        });
+        self
+    }
+
+    /// Inject a mid-run slowdown on **one worker**: after `after_units`
+    /// unit executions (across the pool), units executed by `worker` cost
+    /// `factor`× the spin — the analogue of one grid node degrading.
+    /// Algorithm 2 should respond by demoting that worker.
+    pub fn with_worker_slowdown_injection(
+        mut self,
+        worker: usize,
+        after_units: usize,
+        factor: f64,
+    ) -> Self {
+        self.slowdown = Some(SlowdownInjection {
+            after_units,
+            factor: factor.max(1.0),
+            worker: Some(worker),
+        });
+        self
+    }
+
     /// Number of farm worker threads.
     pub fn workers(&self) -> usize {
         self.workers
@@ -148,6 +226,218 @@ impl ThreadBackend {
 
     fn iters_for(&self, work: f64) -> u64 {
         (work.max(0.0) * self.spin_per_work_unit as f64).round() as u64
+    }
+}
+
+/// The wall-clock driver of the shared [`AdaptationEngine`] for farm runs:
+/// workers report per-work-unit times through [`ThreadAdaptation::report`],
+/// which treats the first `calib_target` observations as the Algorithm-1
+/// calibration sample (deriving *Z*), feeds later observations to the
+/// engine and the gridmon forecasters, and applies the engine's directives
+/// — demotion through the [`WorkerGate`], whole-pool breaches through a
+/// fresh re-calibration sample.
+struct ThreadAdaptation {
+    engine: Mutex<AdaptationEngine>,
+    clock: WallClock,
+    gate: Arc<WorkerGate>,
+    /// gridmon plumbing: per-worker wall observations → forecasters.
+    registry: Mutex<MonitorRegistry>,
+    /// Normalised times of the calibration prefix (arms the engine when
+    /// `calib_target` observations have been collected).
+    calib: Mutex<Vec<f64>>,
+    calib_target: usize,
+    armed: AtomicBool,
+    /// Best calibrated per-work-unit time as f64 bits (written once when
+    /// the engine arms) — the load-estimate baseline.
+    baseline_bits: AtomicU64,
+    /// Per-worker observation accumulators since the last flush:
+    /// `(sum of normalised times, count)`.  Each worker only ever touches
+    /// its own buffer, so the per-unit hot path takes **no shared lock** —
+    /// exactly the discipline PR 3 established for chunk weighting.  The
+    /// engine and registry locks are taken once per monitor interval, by
+    /// whichever worker wins the `next_due_micros` race.
+    buffers: Vec<Mutex<(f64, usize)>>,
+    /// Wall microseconds (on `clock`) when the next evaluation is due —
+    /// the hot path's lock-free gate.
+    next_due_micros: AtomicU64,
+    interval_micros: u64,
+    min_active: usize,
+    workers: usize,
+}
+
+impl ThreadAdaptation {
+    fn new(exec: &ExecutionConfig, workers: usize, calib_target: usize) -> Self {
+        ThreadAdaptation {
+            // Armed with an empty reference sample: Z stays infinite until
+            // the calibration prefix completes, so nothing can fire early.
+            engine: Mutex::new(AdaptationEngine::for_executors(
+                exec,
+                &[],
+                gridsim::SimTime::ZERO,
+            )),
+            clock: WallClock::start(),
+            gate: Arc::new(WorkerGate::new(workers)),
+            registry: Mutex::new(MonitorRegistry::new(NodeId(0), 64)),
+            calib: Mutex::new(Vec::with_capacity(calib_target)),
+            calib_target: calib_target.max(1),
+            armed: AtomicBool::new(false),
+            baseline_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            buffers: (0..workers).map(|_| Mutex::new((0.0, 0))).collect(),
+            next_due_micros: AtomicU64::new(u64::MAX),
+            interval_micros: (exec.monitor_interval_s * 1e6).max(1.0) as u64,
+            min_active: exec.min_active_nodes.max(1),
+            workers,
+        }
+    }
+
+    /// Worker-side report of one completed unit: `work` declared units took
+    /// `elapsed_s` wall seconds on worker `wid`.
+    ///
+    /// Hot path: one uncontended per-worker mutex plus one atomic load.
+    /// Once per monitor interval a single worker flushes every buffer into
+    /// the engine (the monitor evaluates per-interval per-worker *means*,
+    /// so buffering the interval's observations into one mean per worker is
+    /// the same table *T* the verdict would have computed) and applies the
+    /// resulting directives.
+    fn report(&self, wid: usize, work: f64, elapsed_s: f64, job_has_work: bool) {
+        // Unit selection mirrors the simulated farm: per-work-unit times
+        // when the job has real work (zero-work units carry no signal in
+        // that unit), raw seconds for an all-zero-work job.
+        if work <= 0.0 && job_has_work {
+            return;
+        }
+        let t_norm = if work > 0.0 {
+            elapsed_s / work
+        } else {
+            elapsed_s
+        };
+        let now = self.clock.now();
+        if !self.armed.load(Ordering::Acquire) {
+            // Algorithm 1: the first `calib_target` observations are the
+            // calibration sample; completing it derives Z and starts the
+            // monitor interval.
+            let mut calib = self.calib.lock();
+            if !self.armed.load(Ordering::Acquire) {
+                calib.push(t_norm);
+                if calib.len() >= self.calib_target {
+                    self.engine.lock().calibrate(&calib, now);
+                    let best = calib.iter().copied().fold(f64::INFINITY, f64::min);
+                    self.baseline_bits.store(best.to_bits(), Ordering::Relaxed);
+                    self.next_due_micros
+                        .store(Self::micros(now) + self.interval_micros, Ordering::Relaxed);
+                    self.armed.store(true, Ordering::Release);
+                }
+                return;
+            }
+        }
+        {
+            let mut buf = self.buffers[wid].lock();
+            buf.0 += t_norm;
+            buf.1 += 1;
+        }
+        // Lock-free due gate; the compare-exchange elects exactly one
+        // flusher per interval.
+        let now_micros = Self::micros(now);
+        let due = self.next_due_micros.load(Ordering::Relaxed);
+        if now_micros < due
+            || self
+                .next_due_micros
+                .compare_exchange(
+                    due,
+                    now_micros + self.interval_micros,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                )
+                .is_err()
+        {
+            return;
+        }
+        let mut engine = self.engine.lock();
+        // Flush every worker's buffered interval mean into the engine and
+        // the gridmon forecasters (the slowdown relative to the calibrated
+        // baseline becomes the load estimate).
+        let baseline = f64::from_bits(self.baseline_bits.load(Ordering::Relaxed));
+        let mut registry = self.registry.lock();
+        for (w, buffer) in self.buffers.iter().enumerate() {
+            let (sum, count) = std::mem::take(&mut *buffer.lock());
+            if count > 0 {
+                let mean = sum / count as f64;
+                engine.observe(NodeId(w), mean);
+                registry.record(NodeObservation::from_wall_times(
+                    NodeId(w),
+                    now,
+                    baseline,
+                    mean,
+                ));
+            }
+        }
+        drop(registry);
+        if let Some(poll) = engine.poll(now) {
+            for directive in &poll.directives {
+                match directive {
+                    AdaptationDirective::DemoteExecutor {
+                        executor,
+                        recent_mean,
+                    } => {
+                        let w = executor.index();
+                        // The pool floor mirrors the sim farm's gating and
+                        // counts every worker no longer pulling — demoted
+                        // here or retired by the farm after panics.  A
+                        // retirement landing between this check and the
+                        // demote can undershoot the floor by one (the
+                        // flags are written by concurrently panicking
+                        // workers; closing that window would need a lock
+                        // shared with the farm's fault path) — the hard
+                        // liveness guarantee is the gate's own last-active-
+                        // worker rule, which never stops the final puller.
+                        if self.workers - self.gate.inactive_count() > self.min_active
+                            && self.gate.demote(w)
+                        {
+                            engine.note_demoted(now, *executor, *recent_mean, &poll.verdict);
+                        }
+                    }
+                    AdaptationDirective::Recalibrate => {
+                        // No load model to consult on real threads: take a
+                        // real re-calibration sample instead — the next
+                        // fresh interval re-bases Z.  The logged chosen set
+                        // is the workers still pulling: neither demoted nor
+                        // panic-retired.
+                        let chosen = (0..self.workers)
+                            .filter(|w| !self.gate.is_inactive(*w))
+                            .map(NodeId)
+                            .collect();
+                        engine.begin_resample(now, chosen, &poll.verdict);
+                    }
+                    AdaptationDirective::RemapStage { .. } => {}
+                }
+            }
+        }
+    }
+
+    /// Microseconds of a clock stamp (saturating; the run is far shorter
+    /// than the ~584-millennium overflow horizon).
+    fn micros(t: gridsim::SimTime) -> u64 {
+        (t.as_secs() * 1e6) as u64
+    }
+
+    /// Per-worker external-load forecast (see
+    /// [`OutcomeDetail::ThreadFarm`]'s `load_per_worker`).
+    fn load_per_worker(&self) -> Vec<f64> {
+        let registry = self.registry.lock();
+        (0..self.workers)
+            // A load is a fraction by definition; the forecast is clamped
+            // accordingly (predictors may overshoot slightly on trends).
+            .map(|w| {
+                registry
+                    .forecast_cpu_load(NodeId(w))
+                    .unwrap_or(0.0)
+                    .clamp(0.0, 1.0)
+            })
+            .collect()
+    }
+
+    fn into_log(self) -> AdaptationLog {
+        self.engine.into_inner().into_log()
     }
 }
 
@@ -229,11 +519,22 @@ impl Backend for ThreadBackend {
                 let samples = self
                     .calibration_samples
                     .unwrap_or(config.calibration.samples_per_node);
-                let farm = ThreadFarm::new(self.workers)
+                // The shared Algorithm-2 loop: the first `workers × samples`
+                // completed units are the calibration sample (they execute
+                // inside the job, exactly as on the grid); without a
+                // calibration sample there is no Z, hence no engine.
+                let job_has_work = units.iter().any(|&(_, w)| w > 0.0);
+                let adaptation = (config.execution.adaptive && samples > 0).then(|| {
+                    ThreadAdaptation::new(&config.execution, self.workers, self.workers * samples)
+                });
+                let mut farm = ThreadFarm::new(self.workers)
                     .with_policy(policy)
                     .with_calibration_samples(samples)
                     .with_max_task_attempts(self.max_task_attempts)
                     .with_worker_panic_budget(self.worker_panic_budget);
+                if let Some(driver) = &adaptation {
+                    farm = farm.with_gate(Arc::clone(&driver.gate));
+                }
                 let run_start = std::time::Instant::now();
                 // Declared work per worker: the outcome reports it so
                 // experiments can judge schedule balance on any hardware
@@ -242,9 +543,21 @@ impl Backend for ThreadBackend {
                 // path — no shared lock.
                 let work_acc: Vec<AtomicU64> =
                     (0..self.workers).map(|_| AtomicU64::new(0)).collect();
+                let executed_units = AtomicUsize::new(0);
                 let (results, stats) = farm.try_run_indexed(units, |wid, &(id, work)| {
                     maybe_inject(&injector);
-                    spin(self.iters_for(work));
+                    let mut iters = self.iters_for(work);
+                    if let Some(slow) = &self.slowdown {
+                        let n = executed_units.fetch_add(1, Ordering::Relaxed);
+                        if n >= slow.after_units && slow.worker.map_or(true, |w| w == wid) {
+                            iters = (iters as f64 * slow.factor).round() as u64;
+                        }
+                    }
+                    let t0 = std::time::Instant::now();
+                    spin(iters);
+                    if let Some(driver) = &adaptation {
+                        driver.report(wid, work, t0.elapsed().as_secs_f64(), job_has_work);
+                    }
                     work_acc[wid].fetch_add((work * 1e6) as u64, Ordering::Relaxed);
                     (id, run_start.elapsed().as_secs_f64())
                 })?;
@@ -252,6 +565,13 @@ impl Backend for ThreadBackend {
                     .iter()
                     .map(|a| a.load(Ordering::Relaxed) as f64 / 1e6)
                     .collect();
+                let (load_per_worker, adaptation_log) = match adaptation {
+                    Some(driver) => {
+                        let load = driver.load_per_worker();
+                        (load, driver.into_log())
+                    }
+                    None => (vec![0.0; self.workers], AdaptationLog::new()),
+                };
                 let makespan_s = stats.total.as_secs_f64();
                 // Sparse id → wall-clock completion table: leaf farms keep
                 // their original (possibly arbitrary) ids, so no dense
@@ -267,7 +587,7 @@ impl Backend for ThreadBackend {
                     unit_ids,
                     makespan_s,
                     calibration_s: stats.calibration.as_secs_f64(),
-                    adaptations: 0,
+                    adaptation_log,
                     resilience: ResilienceReport {
                         // Each caught panic hands the task back to the pool…
                         requeued_tasks: stats.panics,
@@ -281,6 +601,7 @@ impl Backend for ThreadBackend {
                         workers: stats.workers,
                         tasks_per_worker: stats.tasks_per_worker.clone(),
                         work_per_worker,
+                        load_per_worker,
                     },
                 })
             }
@@ -289,8 +610,12 @@ impl Backend for ThreadBackend {
                 replicas,
                 items,
             } => {
-                let mut pipeline: ThreadPipeline<usize> =
-                    ThreadPipeline::new().with_max_task_attempts(self.max_task_attempts);
+                let mut pipeline: ThreadPipeline<usize> = ThreadPipeline::new()
+                    .with_max_task_attempts(self.max_task_attempts)
+                    // The shared stage-mode loop: probe-calibrated Zₛ per
+                    // stage, breach → standby replica (a no-op when the
+                    // config disables adaptation).
+                    .with_adaptation(config.execution);
                 for (stage, &r) in stages.iter().zip(replicas) {
                     let iters = self.iters_for(stage.work_per_item);
                     let injector = Arc::clone(&injector);
@@ -314,7 +639,7 @@ impl Backend for ThreadBackend {
                     unit_ids,
                     makespan_s: stats.total.as_secs_f64(),
                     calibration_s: 0.0,
-                    adaptations: 0,
+                    adaptation_log: stats.adaptation.clone(),
                     resilience: ResilienceReport {
                         requeued_tasks: 0,
                         retried_tasks: stats.retried,
@@ -475,6 +800,59 @@ mod tests {
         assert_eq!(report.outcome.completed, 12);
         assert!(report.outcome.conserves_units_of(&skeleton));
         assert!(report.outcome.resilience.retried_tasks >= 1);
+    }
+
+    #[test]
+    fn short_runs_and_disabled_adaptation_keep_the_log_empty() {
+        // Under the default 5 s wall monitor interval a sub-second run never
+        // reaches an evaluation, so the engine is inert noise-wise…
+        let skeleton = Skeleton::farm(TaskSpec::uniform(40, 2.0, 0, 0));
+        let report = Grasp::new(GraspConfig::default())
+            .run(&fast_backend(), &skeleton)
+            .unwrap();
+        assert!(report.outcome.adaptation_log.is_empty());
+        assert_eq!(report.outcome.adaptations(), 0);
+        match &report.outcome.detail {
+            OutcomeDetail::ThreadFarm {
+                load_per_worker, ..
+            } => assert_eq!(load_per_worker.len(), 3),
+            other => panic!("unexpected detail {other:?}"),
+        }
+        // …and the master switch disables it outright.
+        let mut cfg = GraspConfig::default();
+        cfg.execution.adaptive = false;
+        cfg.execution.monitor_interval_s = 1e-4;
+        let report = Grasp::new(cfg).run(&fast_backend(), &skeleton).unwrap();
+        assert!(report.outcome.adaptation_log.is_empty());
+    }
+
+    #[test]
+    fn pool_wide_slowdown_triggers_a_recalibration_sample() {
+        // The wall-clock acceptance path of the shared engine: every worker
+        // slows 40x mid-run (the thread analogue of a whole-pool load
+        // spike), so `min T > Z` must fire and re-base Z from a fresh
+        // sample — visible as a `Recalibrated` entry in the outcome's
+        // adaptation log, exactly as on the simulated grid.
+        let skeleton = Skeleton::farm(TaskSpec::uniform(260, 4.0, 0, 0));
+        let backend = ThreadBackend::new(3)
+            .with_spin_per_work_unit(2_000)
+            .with_slowdown_injection(20, 40.0);
+        let mut cfg = GraspConfig::default();
+        cfg.execution.monitor_interval_s = 2e-3; // wall seconds
+        let report = Grasp::new(cfg)
+            .run(&backend, &skeleton)
+            .expect("slowdown must not fail the run");
+        assert_eq!(report.outcome.completed, 260);
+        assert!(report.outcome.conserves_units_of(&skeleton));
+        assert!(
+            report.outcome.adaptation_log.recalibrations() >= 1,
+            "the pool-wide breach must recalibrate: {}",
+            report.outcome.adaptation_log.summary()
+        );
+        assert_eq!(
+            report.outcome.adaptations(),
+            report.outcome.adaptation_log.len()
+        );
     }
 
     #[test]

@@ -29,8 +29,92 @@ use grasp_core::error::GraspError;
 use grasp_core::SchedulePolicy;
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Shared per-worker demotion flags: the adaptation layer (the backend
+/// driving the shared `AdaptationEngine`) sets them, the farm's pull loop
+/// honours them.
+///
+/// Demotion is the wall-clock realisation of Algorithm 2's "drop the slow
+/// node from the chosen set": a demoted worker finishes what it already
+/// claimed and then stops pulling new work, so the demand-driven queue
+/// naturally routes the remaining tasks to the healthy workers.  The same
+/// progress guards as panic retirement apply — a worker never stops while
+/// task retries are pending, and the last active worker never stops.
+#[derive(Debug, Default)]
+pub struct WorkerGate {
+    demoted: Vec<AtomicBool>,
+    /// Workers the farm retired after exhausting their panic budget.  The
+    /// farm reports these so the adaptation layer's pool-floor arithmetic
+    /// (`workers − inactive > min_active`) counts every worker that is no
+    /// longer pulling, not just the ones it demoted itself.
+    retired: Vec<AtomicBool>,
+}
+
+impl WorkerGate {
+    /// A gate for `workers` workers, all initially active.
+    pub fn new(workers: usize) -> Self {
+        WorkerGate {
+            demoted: (0..workers).map(|_| AtomicBool::new(false)).collect(),
+            retired: (0..workers).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// Flag `worker` as demoted.  Returns `true` when the flag was newly
+    /// set (false for out-of-range ids and repeat demotions).
+    pub fn demote(&self, worker: usize) -> bool {
+        self.demoted
+            .get(worker)
+            .map(|f| !f.swap(true, Ordering::Relaxed))
+            .unwrap_or(false)
+    }
+
+    /// Whether `worker` has been demoted.
+    pub fn is_demoted(&self, worker: usize) -> bool {
+        self.demoted
+            .get(worker)
+            .map(|f| f.load(Ordering::Relaxed))
+            .unwrap_or(false)
+    }
+
+    /// Farm-side report: `worker` retired after exhausting its panic budget.
+    pub fn mark_retired(&self, worker: usize) {
+        if let Some(f) = self.retired.get(worker) {
+            f.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether `worker` is no longer pulling for any reason — demoted by
+    /// the adaptation layer or retired by the farm after panics.
+    pub fn is_inactive(&self, worker: usize) -> bool {
+        self.is_demoted(worker)
+            || self
+                .retired
+                .get(worker)
+                .map(|f| f.load(Ordering::Relaxed))
+                .unwrap_or(false)
+    }
+
+    /// Number of demoted workers.
+    pub fn demoted_count(&self) -> usize {
+        self.demoted
+            .iter()
+            .filter(|f| f.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Number of workers no longer pulling for any reason — demoted by the
+    /// adaptation layer or retired by the farm after panics.
+    pub fn inactive_count(&self) -> usize {
+        self.demoted
+            .iter()
+            .zip(&self.retired)
+            .filter(|(d, r)| d.load(Ordering::Relaxed) || r.load(Ordering::Relaxed))
+            .count()
+    }
+}
 
 /// Per-run statistics reported by [`ThreadFarm::run`].
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +139,9 @@ pub struct FarmStats {
     pub retried: usize,
     /// Workers retired after exhausting their panic budget.
     pub workers_lost: usize,
+    /// Workers that stopped pulling after an external demotion through the
+    /// [`WorkerGate`] (Algorithm 2's "drop the slow node", not a fault).
+    pub workers_demoted: usize,
 }
 
 impl FarmStats {
@@ -129,6 +216,7 @@ pub struct ThreadFarm {
     calibration_samples: usize,
     max_task_attempts: usize,
     worker_panic_budget: usize,
+    gate: Option<Arc<WorkerGate>>,
 }
 
 impl Default for ThreadFarm {
@@ -150,7 +238,16 @@ impl ThreadFarm {
             calibration_samples: 2,
             max_task_attempts: 3,
             worker_panic_budget: 3,
+            gate: None,
         }
+    }
+
+    /// Attach a [`WorkerGate`] whose demotion flags the pull loop honours
+    /// (see the gate's docs for the progress guards).  The caller keeps its
+    /// own handle and flips flags while the run is in flight.
+    pub fn with_gate(mut self, gate: Arc<WorkerGate>) -> Self {
+        self.gate = Some(gate);
+        self
     }
 
     /// Override the scheduling policy.
@@ -248,6 +345,7 @@ impl ThreadFarm {
                     panics: 0,
                     retried: 0,
                     workers_lost: 0,
+                    workers_demoted: 0,
                 },
             ));
         }
@@ -263,6 +361,7 @@ impl ThreadFarm {
         let stats: Vec<WorkerStat> = (0..self.workers).map(|_| WorkerStat::default()).collect();
         let retried_total = AtomicUsize::new(0);
         let workers_lost = AtomicUsize::new(0);
+        let workers_demoted = AtomicUsize::new(0);
         // Workers still pulling from the queue; the last one never retires.
         let active_workers = AtomicUsize::new(self.workers);
         let calibration_done = Mutex::new(Duration::ZERO);
@@ -273,6 +372,7 @@ impl ThreadFarm {
         let workers = self.workers;
         let max_attempts = self.max_task_attempts;
         let panic_budget = self.worker_panic_budget;
+        let gate = self.gate.as_deref();
 
         std::thread::scope(|scope| {
             for wid in 0..workers {
@@ -281,6 +381,7 @@ impl ThreadFarm {
                 let stats = &stats;
                 let retried_total = &retried_total;
                 let workers_lost = &workers_lost;
+                let workers_demoted = &workers_demoted;
                 let active_workers = &active_workers;
                 let calibration_done = &calibration_done;
                 let initial_chunk = &initial_chunk;
@@ -334,6 +435,11 @@ impl ThreadFarm {
                     };
                     let retire = |retired: &mut bool| {
                         workers_lost.fetch_add(1, Ordering::Relaxed);
+                        // Tell the gate (when present) so the adaptation
+                        // layer's pool floor counts this worker as inactive.
+                        if let Some(g) = gate {
+                            g.mark_retired(wid);
+                        }
                         *retired = true;
                     };
                     let mut retired = false;
@@ -368,6 +474,27 @@ impl ThreadFarm {
 
                     // ----------------- execution pass -----------------
                     'pull: while !retired {
+                        // An externally demoted worker (Algorithm 2's "drop
+                        // the slow node", flagged through the WorkerGate)
+                        // stops pulling under the same progress guards as
+                        // panic retirement: never while retries are pending,
+                        // never as the last active worker.  Its completed
+                        // work stands; the queue reroutes the rest.
+                        if gate.map(|g| g.is_demoted(wid)).unwrap_or(false)
+                            && queue.lock().retries.is_empty()
+                            && active_workers
+                                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |a| {
+                                    if a > 1 {
+                                        Some(a - 1)
+                                    } else {
+                                        None
+                                    }
+                                })
+                                .is_ok()
+                        {
+                            workers_demoted.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
                         // Weight = pool mean time / this worker's mean time,
                         // derived from the atomic running sums (no locks).
                         let my_mean = stats[wid].mean_s().unwrap_or(0.0);
@@ -478,6 +605,7 @@ impl ThreadFarm {
             panics: stats.iter().map(|s| s.panics.load(Ordering::Relaxed)).sum(),
             retried: retried_total.load(Ordering::Relaxed),
             workers_lost: workers_lost.load(Ordering::Relaxed),
+            workers_demoted: workers_demoted.load(Ordering::Relaxed),
         };
         Ok((output, stats))
     }
@@ -640,5 +768,42 @@ mod tests {
     fn default_uses_available_parallelism() {
         let farm = ThreadFarm::default();
         assert!(farm.workers() >= 1);
+    }
+
+    #[test]
+    fn demoted_worker_stops_pulling_but_the_job_completes() {
+        let gate = Arc::new(WorkerGate::new(4));
+        assert!(gate.demote(0), "first demotion sets the flag");
+        assert!(!gate.demote(0), "repeat demotions are idempotent");
+        assert!(gate.is_demoted(0));
+        assert_eq!(gate.demoted_count(), 1);
+        let farm = ThreadFarm::new(4)
+            .with_policy(SchedulePolicy::SelfScheduling)
+            .with_calibration_samples(1)
+            .with_gate(Arc::clone(&gate));
+        let items: Vec<u64> = (0..200).collect();
+        let (out, stats) = farm.run(&items, |&x| x + 1);
+        assert_eq!(out.len(), 200, "demotion must not lose work");
+        assert_eq!(stats.workers_demoted, 1);
+        assert_eq!(stats.workers_lost, 0, "demotion is not a fault");
+        // The demoted worker executed at most its calibration probe.
+        assert!(
+            stats.tasks_per_worker[0] <= 1,
+            "demoted worker kept pulling: {:?}",
+            stats.tasks_per_worker
+        );
+    }
+
+    #[test]
+    fn last_active_worker_ignores_demotion() {
+        let gate = Arc::new(WorkerGate::new(1));
+        gate.demote(0);
+        let farm = ThreadFarm::new(1)
+            .with_calibration_samples(0)
+            .with_gate(Arc::clone(&gate));
+        let items: Vec<u64> = (0..30).collect();
+        let (out, stats) = farm.run(&items, |&x| x * 2);
+        assert_eq!(out.len(), 30, "the last worker must soldier on");
+        assert_eq!(stats.workers_demoted, 0);
     }
 }

@@ -24,6 +24,11 @@
 //! `grasp-core` `Backend` trait, so any composable `Skeleton` expression —
 //! including nested farm-of-pipelines and pipeline-of-farms — runs on real
 //! threads through the same `Grasp::run` entry point as the simulation.
+//! The backend also drives the backend-neutral
+//! [`grasp_core::engine::AdaptationEngine`] on wall-clock observations
+//! (Algorithms 1–2: calibrate, monitor against the threshold *Z*, demote or
+//! re-calibrate), so `SkeletonOutcome::adaptation_log` is populated on real
+//! threads exactly as on the simulated grid.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -33,5 +38,5 @@ pub mod farm;
 pub mod pipeline;
 
 pub use backend::ThreadBackend;
-pub use farm::{FarmStats, ThreadFarm};
+pub use farm::{FarmStats, ThreadFarm, WorkerGate};
 pub use pipeline::{PipelineStats, ThreadPipeline};

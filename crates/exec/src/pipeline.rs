@@ -14,14 +14,29 @@
 //! attempt only while a further retry is still permitted — the final attempt
 //! moves it).  An item that fails every attempt turns the run into a typed
 //! [`GraspError::WorkerFailed`] instead of tearing down the process.
+//!
+//! With [`ThreadPipeline::with_adaptation`] the pipeline additionally runs
+//! the shared calibrate→monitor→act loop of
+//! [`grasp_core::engine::AdaptationEngine`]: the probe prefix calibrates a
+//! per-stage threshold *Zₛ*, stage workers feed wall-clock service times to
+//! the engine, and a mid-run breach **activates a standby replica** of the
+//! degraded stage — the shared-memory realisation of the pipeline's
+//! stage-remap adaptation (a thread cannot migrate to a better node, but
+//! the stage can be served by one more worker).  An idle standby holds no
+//! channel endpoints (it receives them through its activation message), so
+//! it can never keep the pipeline alive: when the last real worker of its
+//! stage exits, the activation channel closes and the standby exits too.
 
 use crossbeam::channel::{bounded, Receiver, Sender};
+use grasp_core::adaptation::AdaptationLog;
+use grasp_core::config::ExecutionConfig;
+use grasp_core::engine::{AdaptationDirective, AdaptationEngine, WallClock};
 use grasp_core::error::GraspError;
 use gridstats::mean;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -45,6 +60,11 @@ pub struct PipelineStats {
     pub panics: usize,
     /// Items re-executed after a panicked attempt that ultimately completed.
     pub retried: usize,
+    /// Audit trail of the engine-driven adaptation loop (empty unless
+    /// [`ThreadPipeline::with_adaptation`] enabled it): stage replications
+    /// and the threshold context they fired under, in wall-clock seconds
+    /// since run start.
+    pub adaptation: AdaptationLog,
 }
 
 impl PipelineStats {
@@ -75,6 +95,9 @@ pub struct ThreadPipeline<T> {
     /// How many times one item may be attempted at one stage before the run
     /// is declared failed.
     max_task_attempts: usize,
+    /// Engine-driven mid-run adaptation (see
+    /// [`ThreadPipeline::with_adaptation`]); `None` disables it.
+    adaptation: Option<ExecutionConfig>,
 }
 
 impl<T: Send + 'static> ThreadPipeline<T> {
@@ -87,7 +110,23 @@ impl<T: Send + 'static> ThreadPipeline<T> {
             replication_threshold: None,
             replicas: 2,
             max_task_attempts: 3,
+            adaptation: None,
         }
+    }
+
+    /// Run the shared Algorithm-2 loop ([`AdaptationEngine`]) over this
+    /// pipeline: the probe prefix calibrates a per-stage threshold *Zₛ*
+    /// from `exec.threshold`, stage workers report wall-clock service times
+    /// to the engine, and a stage whose recent mean (over
+    /// `exec.monitor_window` items) breaches *Zₛ* is **replicated** by
+    /// activating a standby worker — the shared-memory stage remap.
+    /// Breaches are spaced at least `exec.monitor_interval_s` apart on the
+    /// wall clock, so scheduler jitter on a shared machine cannot thrash;
+    /// runs shorter than one interval never adapt.  A no-op when
+    /// `exec.adaptive` is false.
+    pub fn with_adaptation(mut self, exec: ExecutionConfig) -> Self {
+        self.adaptation = Some(exec);
+        self
     }
 
     /// Append a stage.
@@ -174,6 +213,7 @@ impl<T: Send + 'static> ThreadPipeline<T> {
                     total: started.elapsed(),
                     panics: 0,
                     retried: 0,
+                    adaptation: AdaptationLog::new(),
                 },
             ));
         }
@@ -227,10 +267,13 @@ impl<T: Send + 'static> ThreadPipeline<T> {
         // sequentially through each stage (cheap relative to the stream): a
         // stage whose probe-mean service exceeds `threshold ×` the all-stage
         // probe mean is the bottleneck and receives `self.replicas` workers.
+        // The probe doubles as the engine's calibration phase: per-stage
+        // thresholds Zₛ derive from the probe's measured service times.
+        let adapt_cfg = self.adaptation.filter(|e| e.adaptive);
         let mut items = items;
         let mut probe_results: Vec<(usize, T)> = Vec::new();
         let mut probe_offset = 0usize;
-        if self.replication_threshold.is_some() {
+        if self.replication_threshold.is_some() || adapt_cfg.is_some() {
             let probe_n = items.len().min(4);
             let mut probe_means = vec![0.0f64; n_stages];
             let rest = items.split_off(probe_n);
@@ -261,6 +304,43 @@ impl<T: Send + 'static> ThreadPipeline<T> {
             }
         }
 
+        // --------------------- engine calibration ---------------------
+        // The probe's measured service times are the calibration sample:
+        // Zₛ = policy over the observed per-stage services.  Breaches are
+        // spaced by the monitor interval on the wall clock (the simulated
+        // pipeline needs no such gate — its virtual times are noise-free).
+        //
+        // One single-stage engine **per stage**, not one shared engine:
+        // stage windows are independent, so a shared engine would put one
+        // global mutex on every stage's per-item hot path and serialise the
+        // very parallelism the pipeline provides.  Per-stage engines keep
+        // the contention scope identical to the per-stage `service_times`
+        // locks the pipeline already takes.  (Consequence: the
+        // recalibration budget and the action-spacing gate become
+        // per-stage — immaterial here, since a stage activates its standby
+        // at most once.)  The per-stage logs are merged time-ordered at the
+        // end.
+        let engines: Option<Vec<Mutex<AdaptationEngine>>> = adapt_cfg.map(|exec| {
+            // Every engine carries the full Zₛ vector (so stage indices in
+            // directives, thresholds and log entries line up), but engine i
+            // only ever observes stage i.
+            let thresholds: Vec<f64> = service_times
+                .iter()
+                .map(|m| exec.threshold.compute(&m.lock()))
+                .collect();
+            (0..n_stages)
+                .map(|_| {
+                    Mutex::new(
+                        AdaptationEngine::for_stages(&exec, thresholds.clone())
+                            .with_stage_action_interval(exec.monitor_interval_s),
+                    )
+                })
+                .collect()
+        });
+        let clock = WallClock::start();
+        let activated: Vec<AtomicBool> = (0..n_stages).map(|_| AtomicBool::new(false)).collect();
+        let extra_replicas: Vec<AtomicUsize> = (0..n_stages).map(|_| AtomicUsize::new(0)).collect();
+
         // ----------------------------- plumbing -----------------------------
         // stage i reads from rx[i] and writes to tx[i+1]; the sink collects
         // (seq, item) pairs and reorders.
@@ -270,6 +350,22 @@ impl<T: Send + 'static> ThreadPipeline<T> {
             let (tx, rx) = bounded::<(usize, T)>(self.channel_capacity);
             senders.push(tx);
             receivers.push(rx);
+        }
+        // One standby worker per stage when the engine is on.  Activation
+        // hands the standby its stage's channel endpoints *through* the
+        // activation message, so an idle standby holds no endpoints and can
+        // never keep the pipeline from draining: when the last real worker
+        // of its stage exits, the activation channel closes and the standby
+        // exits with it.
+        type Activation<T> = (Receiver<(usize, T)>, Sender<(usize, T)>);
+        let mut act_txs: Vec<Sender<Activation<T>>> = Vec::new();
+        let mut act_rxs: Vec<Receiver<Activation<T>>> = Vec::new();
+        if engines.is_some() {
+            for _ in 0..n_stages {
+                let (tx, rx) = bounded::<Activation<T>>(1);
+                act_txs.push(tx);
+                act_rxs.push(rx);
+            }
         }
 
         let collected: Mutex<BTreeMap<usize, T>> = Mutex::new(BTreeMap::new());
@@ -291,6 +387,8 @@ impl<T: Send + 'static> ThreadPipeline<T> {
             // Stages.  A stage's worker count is its explicit replica count
             // (stage_replicated), raised to the probe-decided count when
             // bottleneck replication (with_replication) flagged the stage.
+            let engines_ref = engines.as_ref();
+            let clock_ref = &clock;
             for (i, stage) in self.stages.iter().enumerate() {
                 let explicit = self.stage_replicas.get(i).copied().unwrap_or(1).max(1);
                 let worker_count = explicit.max(replicas_per_stage[i]);
@@ -302,10 +400,51 @@ impl<T: Send + 'static> ThreadPipeline<T> {
                     let times = &service_times[i];
                     let apply = &apply_stage;
                     let failed = &failed;
+                    let act_tx = act_txs.get(i).cloned();
+                    let activated = &activated;
+                    let extra_replicas = &extra_replicas;
                     scope.spawn(move || {
                         while let Ok((seq, item)) = rx.recv() {
+                            let t0 = Instant::now();
                             match apply(&stage, item, times) {
                                 Some(out) => {
+                                    // Feed this stage's engine its observed
+                                    // service time; a breach directive is
+                                    // applied by activating the stage's
+                                    // standby replica — once, first breach
+                                    // wins.  An activated stage skips its
+                                    // engine entirely: no further action is
+                                    // possible for it, so observing on
+                                    // would be pure lock traffic.
+                                    if !activated[i].load(Ordering::Relaxed) {
+                                        if let Some(engines) = engines_ref {
+                                            let service = t0.elapsed().as_secs_f64();
+                                            let now = clock_ref.now();
+                                            let mut eng = engines[i].lock();
+                                            if let Some(AdaptationDirective::RemapStage {
+                                                recent_mean,
+                                                ..
+                                            }) = eng.observe_stage(now, i, service)
+                                            {
+                                                if !activated[i].swap(true, Ordering::Relaxed) {
+                                                    eng.try_consume_recalibration();
+                                                    extra_replicas[i]
+                                                        .fetch_add(1, Ordering::Relaxed);
+                                                    eng.note_stage_replicated(
+                                                        now,
+                                                        i,
+                                                        worker_count + 1,
+                                                        recent_mean,
+                                                    );
+                                                    drop(eng);
+                                                    if let Some(act_tx) = &act_tx {
+                                                        let _ =
+                                                            act_tx.send((rx.clone(), tx.clone()));
+                                                    }
+                                                }
+                                            }
+                                        }
+                                    }
                                     if tx.send((seq, out)).is_err() {
                                         break;
                                     }
@@ -320,6 +459,29 @@ impl<T: Send + 'static> ThreadPipeline<T> {
                 }
             }
 
+            // Standby replicas: parked on their activation channel, holding
+            // no stage endpoints until (unless) a breach hands them some.
+            for (i, act_rx) in act_rxs.into_iter().enumerate() {
+                let stage = Arc::clone(&self.stages[i]);
+                let times = &service_times[i];
+                let apply = &apply_stage;
+                let failed = &failed;
+                scope.spawn(move || {
+                    if let Ok((rx, tx)) = act_rx.recv() {
+                        while let Ok((seq, item)) = rx.recv() {
+                            match apply(&stage, item, times) {
+                                Some(out) => {
+                                    if tx.send((seq, out)).is_err() {
+                                        break;
+                                    }
+                                }
+                                None => failed.lock().push(seq),
+                            }
+                        }
+                    }
+                });
+            }
+
             // Sink.
             let sink_rx = receivers[n_stages].clone();
             let collected = &collected;
@@ -330,9 +492,13 @@ impl<T: Send + 'static> ThreadPipeline<T> {
             });
 
             // Drop the original channel endpoints held by this thread so the
-            // pipeline drains and every stage thread terminates.
+            // pipeline drains and every stage thread terminates.  The
+            // activation senders go with them: once a stage's real workers
+            // exit, its (unactivated) standby sees the closed channel and
+            // exits too.
             drop(senders);
             drop(receivers);
+            drop(act_txs);
         });
 
         let ordered: Vec<T> = {
@@ -368,6 +534,30 @@ impl<T: Send + 'static> ThreadPipeline<T> {
             });
         }
 
+        // Mid-run activations raise the reported worker counts.
+        for (r, extra) in replicas_per_stage.iter_mut().zip(&extra_replicas) {
+            *r += extra.load(Ordering::Relaxed);
+        }
+        // Merge the per-stage engine logs back into one chronological trail.
+        let adaptation = match engines {
+            Some(engines) => {
+                let mut events: Vec<_> = engines
+                    .into_iter()
+                    .flat_map(|m| m.into_inner().into_log().events().to_vec())
+                    .collect();
+                events.sort_by(|a, b| {
+                    a.time
+                        .partial_cmp(&b.time)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                let mut log = AdaptationLog::new();
+                for e in events {
+                    log.record(e.time, e.action, e.threshold, e.trigger_value);
+                }
+                log
+            }
+            None => AdaptationLog::new(),
+        };
         Ok((
             ordered,
             PipelineStats {
@@ -378,6 +568,7 @@ impl<T: Send + 'static> ThreadPipeline<T> {
                 total: started.elapsed(),
                 panics: panics.into_inner(),
                 retried: retried.into_inner(),
+                adaptation,
             },
         ))
     }
@@ -485,6 +676,73 @@ mod tests {
     fn stage_count_reports_stages() {
         let p: ThreadPipeline<u64> = ThreadPipeline::new().stage(|x| x).stage(|x| x);
         assert_eq!(p.stage_count(), 2);
+    }
+
+    #[test]
+    fn engine_breach_activates_the_standby_replica_mid_run() {
+        use grasp_core::ThresholdPolicy;
+        use std::sync::atomic::AtomicUsize;
+        // Stage 1 is healthy while the probe calibrates Zₛ, then degrades
+        // 40x from item 30 on — the wall-clock analogue of the grid
+        // pipeline's mid-run load spike.  The engine must notice the breach
+        // and replicate the stage by activating its standby worker.
+        let done = std::sync::Arc::new(AtomicUsize::new(0));
+        let hook = done.clone();
+        let exec = ExecutionConfig {
+            threshold: ThresholdPolicy::Factor { factor: 3.0 },
+            monitor_interval_s: 1e-4, // wall seconds: evaluate immediately
+            ..ExecutionConfig::default()
+        };
+        let pipeline = ThreadPipeline::new()
+            .stage(|x: u64| {
+                spin(2_000);
+                x + 1
+            })
+            .stage(move |x: u64| {
+                let n = hook.fetch_add(1, Ordering::Relaxed);
+                spin(if n >= 30 { 80_000 } else { 2_000 });
+                x * 2
+            })
+            .with_adaptation(exec);
+        let items: Vec<u64> = (0..150).collect();
+        let expected: Vec<u64> = items.iter().map(|x| (x + 1) * 2).collect();
+        let (out, stats) = pipeline
+            .try_run(items)
+            .expect("adaptation must not fail the run");
+        assert_eq!(out, expected, "replication preserves order and results");
+        assert_eq!(stats.items_per_stage, vec![150, 150]);
+        // The degraded stage must have been replicated; a noisy shared
+        // machine may additionally replicate the other stage spuriously,
+        // which is legal adaptation, so only stage 1 is asserted exactly.
+        assert!(
+            stats.adaptation.stage_replications() >= 1,
+            "{}",
+            stats.adaptation.summary()
+        );
+        assert_eq!(
+            stats.replicas_per_stage[1], 2,
+            "the degraded stage gained its standby: {:?}",
+            stats.replicas_per_stage
+        );
+    }
+
+    #[test]
+    fn disabled_adaptation_keeps_the_log_empty_and_spawns_no_replicas() {
+        let exec = ExecutionConfig {
+            adaptive: false,
+            monitor_interval_s: 1e-4,
+            ..ExecutionConfig::default()
+        };
+        let pipeline = ThreadPipeline::new()
+            .stage(|x: u64| {
+                spin(20_000);
+                x + 1
+            })
+            .with_adaptation(exec);
+        let (out, stats) = pipeline.run((0..40).collect());
+        assert_eq!(out.len(), 40);
+        assert!(stats.adaptation.is_empty());
+        assert_eq!(stats.replicas_per_stage, vec![1]);
     }
 
     #[test]

@@ -251,9 +251,23 @@ impl Forecaster for Ar1Forecaster {
         let x: Vec<f64> = vals[..n - 1].to_vec();
         let y: Vec<f64> = vals[1..].to_vec();
         match linear_regression(&x, &y) {
-            Ok(fit) => Some(fit.predict(vals[n - 1])),
-            // Constant history (singular fit) → predict the constant.
-            Err(_) => vals.last().copied(),
+            // A near-constant history makes the lag-regression denominator
+            // tiny: the fitted slope explodes and the extrapolation lands
+            // arbitrarily far from anything ever observed (observed in the
+            // wild as a load forecast of −33 from a series of ≈0.9s).  Two
+            // guards keep the predictor sane: a slope far outside the
+            // stationary band means the fit is unstable (fall back to the
+            // last value), and any prediction is confined to one
+            // history-range width beyond the observed envelope — enough to
+            // extrapolate a genuine trend, never enough to leave orbit.
+            Ok(fit) if fit.slope.abs() <= 2.0 => {
+                let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+                let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let range = (max - min).max(f64::EPSILON);
+                Some(fit.predict(vals[n - 1]).clamp(min - range, max + range))
+            }
+            // Unstable or singular fit → predict the last value.
+            _ => vals.last().copied(),
         }
     }
     fn name(&self) -> &'static str {
@@ -464,6 +478,25 @@ mod tests {
         }
         let p = f.predict().unwrap();
         assert!((p - 11.0).abs() < 1e-6, "expected 11, got {p}");
+    }
+
+    #[test]
+    fn ar1_never_leaves_the_observed_orbit_on_noisy_near_constant_series() {
+        // A jittery near-constant series makes the lag-regression slope
+        // explode; the prediction must stay near the observed band instead
+        // of extrapolating to nonsense (a real failure: −33 forecast from a
+        // series of ≈0.9 load estimates).
+        let mut f = Ar1Forecaster::new(32);
+        for (i, jitter) in [1e-9, -2e-9, 3e-9, -1e-9, 2e-9]
+            .iter()
+            .cycle()
+            .take(12)
+            .enumerate()
+        {
+            f.observe(0.92 + jitter * (i as f64 + 1.0));
+        }
+        let p = f.predict().unwrap();
+        assert!((p - 0.92).abs() < 0.01, "prediction {p} left the orbit");
     }
 
     #[test]

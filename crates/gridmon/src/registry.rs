@@ -25,6 +25,38 @@ pub struct NodeObservation {
     pub bandwidth_availability: f64,
 }
 
+impl NodeObservation {
+    /// Derive a grid-style observation from **wall-clock execution times**:
+    /// an executor's "external CPU load" is estimated from how much slower
+    /// it currently runs than its calibrated baseline
+    /// (`load = 1 − baseline / observed`, clamped to `[0, 1]`), and
+    /// bandwidth is reported as fully available (a shared-memory executor
+    /// has no link towards the master).
+    ///
+    /// This is the plumbing that lets real-thread backends feed the same
+    /// [`MonitorRegistry`] and forecasters the simulated grid uses: `time`
+    /// is whatever the caller's clock says (wall seconds since run start),
+    /// and the registry neither knows nor cares which clock produced it.
+    pub fn from_wall_times(
+        node: NodeId,
+        at: SimTime,
+        baseline_s_per_unit: f64,
+        observed_s_per_unit: f64,
+    ) -> Self {
+        let cpu_load = if baseline_s_per_unit > 0.0 && observed_s_per_unit > 0.0 {
+            (1.0 - baseline_s_per_unit / observed_s_per_unit).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        NodeObservation {
+            node,
+            time: at,
+            cpu_load,
+            bandwidth_availability: 1.0,
+        }
+    }
+}
+
 struct NodeMonitor {
     cpu_series: TimeSeries,
     bw_series: TimeSeries,
@@ -208,6 +240,40 @@ mod tests {
         assert!(reg.latest_cpu_load(NodeId(9)).is_none());
         assert!(reg.forecast_cpu_load(NodeId(9)).is_none());
         assert!(reg.cpu_history(NodeId(9)).is_empty());
+    }
+
+    #[test]
+    fn wall_time_observations_estimate_load_from_the_slowdown() {
+        // Running at the calibrated baseline = no external load; running 4x
+        // slower = 75 % of the executor stolen by something else.
+        let at = SimTime::new(3.0);
+        let healthy = NodeObservation::from_wall_times(NodeId(1), at, 0.01, 0.01);
+        assert!(healthy.cpu_load.abs() < 1e-12);
+        assert_eq!(healthy.bandwidth_availability, 1.0);
+        let slowed = NodeObservation::from_wall_times(NodeId(1), at, 0.01, 0.04);
+        assert!((slowed.cpu_load - 0.75).abs() < 1e-12);
+        // Degenerate inputs fall back to "no load" instead of NaN.
+        assert_eq!(
+            NodeObservation::from_wall_times(NodeId(1), at, 0.0, 0.04).cpu_load,
+            0.0
+        );
+        // A faster-than-baseline observation clamps at zero load.
+        assert_eq!(
+            NodeObservation::from_wall_times(NodeId(1), at, 0.02, 0.01).cpu_load,
+            0.0
+        );
+        // Fed through the registry, the forecaster tracks the estimate.
+        let mut reg = MonitorRegistry::new(NodeId(0), 16);
+        for i in 0..10 {
+            reg.record(NodeObservation::from_wall_times(
+                NodeId(1),
+                SimTime::new(i as f64),
+                0.01,
+                0.04,
+            ));
+        }
+        let f = reg.forecast_cpu_load(NodeId(1)).unwrap();
+        assert!((f - 0.75).abs() < 0.05, "forecast {f}");
     }
 
     #[test]

@@ -77,7 +77,8 @@ fn print_farm_report(report: &GraspRunReport<SkeletonOutcome>) {
         ),
         _ => println!(
             "makespan {:.1}s, {} adaptations",
-            report.outcome.makespan_s, report.outcome.adaptations
+            report.outcome.makespan_s,
+            report.outcome.adaptations()
         ),
     }
 }

@@ -30,7 +30,7 @@ fn report_line(backend: &str, report: &GraspRunReport<SkeletonOutcome>) {
         report.outcome.makespan_s,
         report.outcome.throughput(),
         report.outcome.children.len(),
-        report.outcome.adaptations,
+        report.outcome.adaptations(),
     );
 }
 

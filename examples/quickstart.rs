@@ -41,7 +41,7 @@ fn main() {
         report.outcome.completed,
         report.outcome.makespan_s,
         report.outcome.throughput(),
-        report.outcome.adaptations
+        report.outcome.adaptations()
     );
     // The simulated engine's full native report rides along as the detail.
     if let OutcomeDetail::SimFarm(farm) = &report.outcome.detail {

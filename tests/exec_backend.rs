@@ -153,9 +153,14 @@ fn thread_backend_with_injected_worker_panic_completes_and_reports_retries() {
     // and surface the recovery work through the backend-neutral
     // `ResilienceReport` on the outcome.
     let skeleton = Skeleton::farm(TaskSpec::uniform(80, 2.0, 0, 0));
+    // Attempts exceed the injection budget + 1: on a low-core machine the
+    // scheduler can hand every retry of one task to the same point in the
+    // injection sequence, so with attempts == injections a single task may
+    // absorb all three injected panics and legitimately fail the run.
     let backend = ThreadBackend::new(4)
         .with_spin_per_work_unit(1)
-        .with_panic_injection(3);
+        .with_panic_injection(3)
+        .with_max_task_attempts(5);
     let report = Grasp::new(GraspConfig::default())
         .run(&backend, &skeleton)
         .expect("injected worker panics must be survived");
@@ -173,6 +178,86 @@ fn thread_backend_with_injected_worker_panic_completes_and_reports_retries() {
         .run(&ThreadBackend::new(4).with_spin_per_work_unit(1), &skeleton)
         .unwrap();
     assert!(clean.outcome.resilience.is_clean());
+}
+
+#[test]
+fn injected_slowdown_worker_is_demoted_through_the_shared_engine() {
+    // The acceptance check of the backend-neutral adaptation engine: the
+    // SAME monitor→threshold→recalibrate loop that steers the simulated
+    // grid runs on real threads.  Worker 0 slows down 25x mid-run (after
+    // the calibration prefix); its wall-clock per-work-unit times breach
+    // `demote_factor x Z`, the engine emits a demote directive, and the
+    // backend applies it through the farm's worker gate — visible as a
+    // `NodeDemoted` entry in the backend-neutral adaptation log, after
+    // which the demoted worker stops absorbing work.
+    use grasp_repro::grasp_core::adaptation::AdaptationAction;
+    use grasp_repro::gridsim::NodeId;
+
+    // Tuning for robustness on noisy, oversubscribed machines.  Three
+    // constraints pin the numbers: the slowed worker's unit time must stay
+    // well under the monitor interval (so it reports into nearly every
+    // evaluation window — otherwise evaluations without worker-0
+    // observations can hand the demotion slots to noisy healthy workers);
+    // the 25x factor must dwarf `demote_factor x threshold_factor` (6x)
+    // even when CPU contention skews wall-clock ratios a few x; and the
+    // run must span many intervals so a late demotion still lands.
+    // Self-scheduling keeps at most one unit in flight on the slow worker,
+    // and `min_active_nodes = 1` guarantees a demotion slot remains even if
+    // scheduler noise demotes a healthy worker spuriously (the gate itself
+    // keeps the last active worker running).
+    let skeleton = Skeleton::farm(TaskSpec::uniform(3000, 1.0, 0, 0));
+    let backend = ThreadBackend::new(4)
+        .with_spin_per_work_unit(30_000)
+        .with_worker_slowdown_injection(0, 8, 25.0);
+    let mut cfg = GraspConfig {
+        scheduler: SchedulePolicy::SelfScheduling,
+        ..GraspConfig::default()
+    };
+    cfg.execution.monitor_interval_s = 3e-3; // wall seconds
+    cfg.execution.min_active_nodes = 1;
+    let report = Grasp::new(cfg)
+        .run(&backend, &skeleton)
+        .expect("a slowed worker must not fail the run");
+    assert_eq!(report.outcome.completed, 3000);
+    assert!(report.outcome.conserves_units_of(&skeleton));
+    let log = &report.outcome.adaptation_log;
+    assert!(
+        log.demotions() >= 1,
+        "the 25x worker must be demoted: {}",
+        log.summary()
+    );
+    assert!(
+        log.events().iter().any(|e| matches!(
+            e.action,
+            AdaptationAction::NodeDemoted { node, .. } if node == NodeId(0)
+        )),
+        "worker 0 specifically must be among the demoted: {}",
+        log.summary()
+    );
+    // The engine's view and the counters agree.
+    assert_eq!(report.outcome.adaptations(), log.len());
+    match &report.outcome.detail {
+        OutcomeDetail::ThreadFarm {
+            load_per_worker,
+            tasks_per_worker,
+            ..
+        } => {
+            // The gridmon wall-observation plumbing reports one (clamped)
+            // load estimate per worker; its magnitude for a quickly-demoted
+            // worker is history-dependent, so the numeric tracking is
+            // asserted in gridmon's own unit tests, not here.
+            assert_eq!(load_per_worker.len(), 4);
+            assert!(load_per_worker.iter().all(|l| (0.0..=1.0).contains(l)));
+            // Demotion stops the worker: the healthy workers carried the
+            // bulk of the stream.
+            let healthy: usize = tasks_per_worker[1..].iter().sum();
+            assert!(
+                healthy > tasks_per_worker[0],
+                "demand must shift away from the slowed worker: {tasks_per_worker:?}"
+            );
+        }
+        other => panic!("unexpected detail {other:?}"),
+    }
 }
 
 #[test]

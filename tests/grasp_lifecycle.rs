@@ -68,7 +68,7 @@ fn threshold_factor_controls_how_often_the_farm_adapts() {
             .run(&SimBackend::new(&g), &skeleton)
             .unwrap()
             .outcome
-            .adaptations
+            .adaptations()
     };
     let tight = run(1.05);
     let loose = run(8.0);
@@ -84,7 +84,7 @@ fn disabling_adaptation_reproduces_a_rigid_run() {
     let report = Grasp::new(cfg)
         .run(&SimBackend::new(&g), &skeleton)
         .unwrap();
-    assert_eq!(report.outcome.adaptations, 0);
+    assert_eq!(report.outcome.adaptations(), 0);
     assert_eq!(sim_farm(&report.outcome).monitor_evaluations, 0);
 }
 
@@ -103,7 +103,7 @@ fn runs_are_deterministic_for_equal_inputs() {
         sim_farm(&a.outcome).per_node_tasks,
         sim_farm(&b.outcome).per_node_tasks
     );
-    assert_eq!(a.outcome.adaptations, b.outcome.adaptations);
+    assert_eq!(a.outcome.adaptations(), b.outcome.adaptations());
 }
 
 #[test]
