@@ -1,0 +1,10 @@
+//! E12 — thread vs process backends and the serialization overhead, at
+//! paper scale.  Requires the `grasp-proc-worker` binary (built by a plain
+//! `cargo build` of the workspace).
+
+use grasp_bench::experiments::e12_proc_backend;
+use grasp_bench::format_table;
+
+fn main() {
+    println!("{}", format_table(&e12_proc_backend(512, 16)));
+}

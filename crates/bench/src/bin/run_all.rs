@@ -1,4 +1,4 @@
-//! Run every experiment (E1–E11) and print all tables/series, additionally
+//! Run every experiment (E1–E12) and print all tables/series, additionally
 //! emitting a machine-readable `BENCH_results.json` so the performance
 //! trajectory can be tracked across commits without parsing text tables.
 //!
@@ -6,16 +6,31 @@
 //! cargo run --release -p grasp-bench --bin run_all > results.txt
 //! cargo run --release -p grasp-bench --bin run_all -- --smoke   # tiny CI scale
 //! cargo run --release -p grasp-bench --bin run_all -- --json out.json
+//! cargo run --release -p grasp-bench --bin run_all -- --check out.json --baseline BENCH_baseline.json
 //! ```
 //!
 //! `--smoke` runs every experiment at a reduced scale (seconds, suitable as a
 //! CI gate that the whole harness stays runnable); the default is paper
 //! scale.  `--json PATH` overrides the output path (default
 //! `BENCH_results.json` in the working directory).
+//!
+//! A panicking experiment no longer aborts the run: its panic is caught and
+//! recorded as a structured `{"type":"failed",…}` entry so the remaining
+//! experiments still execute and the trajectory file stays complete.
+//!
+//! `--check PATH` validates a previously written results file instead of
+//! running anything: the document must parse, record every experiment, and
+//! carry no failure entries; with `--baseline PATH` it additionally gates
+//! the performance trajectory (adaptive still beats static in E10, E11
+//! still demotes, the experiment set has not shrunk) — see
+//! `grasp_bench::gate`.  Exit status 1 signals a gate violation, so CI can
+//! use it directly, with no Python in the loop.
 
 use grasp_bench::experiments::*;
-use grasp_bench::report::{series_json, table_json};
+use grasp_bench::gate;
+use grasp_bench::report::{failed_json, series_json, table_json};
 use grasp_bench::{format_series, format_table, ScenarioSeed, Series, Table};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Per-experiment sizes for one scale, so the invocation sequence below is
 /// written exactly once and both scales necessarily cover every experiment.
@@ -31,6 +46,7 @@ struct Scale {
     e9: (usize, usize, usize),
     e10: (usize, usize, &'static [f64], f64),
     e11: (usize, f64),
+    e12: (usize, usize),
 }
 
 /// Paper scale: the numbers the committed experiment tables use.
@@ -46,6 +62,7 @@ const PAPER: Scale = Scale {
     e9: (400, 4, 3),
     e10: (16, 400, &[0.2, 0.4, 0.6, 0.8, 1.0], 20.0),
     e11: (6_000, 25.0),
+    e12: (512, 16),
 };
 
 /// Smoke scale: every experiment at a size that finishes in seconds.
@@ -61,12 +78,14 @@ const SMOKE: Scale = Scale {
     e9: (48, 3, 3),
     e10: (8, 160, &[0.5], 15.0),
     e11: (1_200, 25.0),
+    e12: (128, 16),
 };
 
 /// Collects printed experiment results and their JSON renderings.
 #[derive(Default)]
 struct Results {
     json_parts: Vec<String>,
+    failed: usize,
 }
 
 impl Results {
@@ -80,6 +99,24 @@ impl Results {
         self.json_parts.push(series_json(s));
     }
 
+    /// Run one experiment, catching any panic: a broken experiment becomes a
+    /// structured `failed` record (and drops its partial output) instead of
+    /// aborting the rest of the harness.
+    fn experiment(&mut self, id: &str, run: impl FnOnce(&mut Results)) {
+        let recorded_before = self.json_parts.len();
+        if let Err(panic) = catch_unwind(AssertUnwindSafe(|| run(self))) {
+            let message = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            self.json_parts.truncate(recorded_before);
+            self.json_parts.push(failed_json(id, &message));
+            self.failed += 1;
+            eprintln!("run_all: {id} FAILED: {message}");
+        }
+    }
+
     fn write(&self, path: &str) {
         let doc = format!("{{\"experiments\":[{}]}}\n", self.json_parts.join(","));
         if let Err(e) = std::fs::write(path, doc) {
@@ -87,58 +124,110 @@ impl Results {
             std::process::exit(1);
         }
         eprintln!("run_all: wrote {path}");
+        if self.failed > 0 {
+            eprintln!(
+                "run_all: {} experiment(s) recorded failures (the results file \
+                 has the details; `run_all --check` turns them into a red gate)",
+                self.failed
+            );
+        }
+    }
+}
+
+/// The value following `flag`, if present (a following flag is a forgotten
+/// value, not a path).
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Some(v.clone()),
+            _ => {
+                eprintln!("run_all: {flag} requires a path argument");
+                std::process::exit(2);
+            }
+        },
+        None => None,
     }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Validation mode: judge an existing results file, run nothing.
+    if args.iter().any(|a| a == "--check") {
+        let results = flag_value(&args, "--check").expect("--check checked above");
+        let baseline = flag_value(&args, "--baseline");
+        match gate::check_files(&results, baseline.as_deref()) {
+            Ok(summary) => println!("run_all --check: {summary}"),
+            Err(e) => {
+                eprintln!("run_all --check: FAIL: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     let scale = if args.iter().any(|a| a == "--smoke") {
         SMOKE
     } else {
         PAPER
     };
-    let json_path = match args.iter().position(|a| a == "--json") {
-        Some(i) => match args.get(i + 1) {
-            // A following flag is a forgotten value, not a path.
-            Some(path) if !path.starts_with("--") => path.clone(),
-            _ => {
-                eprintln!("run_all: --json requires a path argument");
-                std::process::exit(2);
-            }
-        },
-        None => "BENCH_results.json".to_string(),
-    };
+    let json_path = flag_value(&args, "--json").unwrap_or_else(|| "BENCH_results.json".to_string());
 
     let seed = ScenarioSeed::default();
     let mut out = Results::default();
 
-    out.table(&e1_calibration_quality(scale.e1.0, scale.e1.1, seed));
-    let (t2, s2) = e2_farm_comparison(scale.e2.0, scale.e2.1, seed);
-    out.table(&t2);
-    out.series(&s2);
-    let (t3, s3) = e3_pipeline_adaptation(scale.e3_items);
-    out.table(&t3);
-    out.series(&s3);
-    let (t4, s4) = e4_threshold_sweep(scale.e4.0, scale.e4.1, scale.e4.2, seed);
-    out.table(&t4);
-    out.series(&s4);
-    out.table(&e5_calibration_overhead(
-        scale.e5.0, scale.e5.1, scale.e5.2, seed,
-    ));
-    out.series(&e6_scalability(scale.e6.0, scale.e6.1, seed));
-    let (t7, s7) = e7_adaptation_response(scale.e7.0, scale.e7.1);
-    out.table(&t7);
-    out.series(&s7);
-    out.table(&e8_forecaster_accuracy(scale.e8_samples));
-    out.table(&e9_nested_skeletons(scale.e9.0, scale.e9.1, scale.e9.2));
-    out.table(&e10_churn(
-        scale.e10.0,
-        scale.e10.1,
-        scale.e10.2,
-        scale.e10.3,
-        seed,
-    ));
-    out.table(&e11_thread_slowdown(scale.e11.0, scale.e11.1));
+    out.experiment("E1", |out| {
+        out.table(&e1_calibration_quality(scale.e1.0, scale.e1.1, seed));
+    });
+    out.experiment("E2", |out| {
+        let (t2, s2) = e2_farm_comparison(scale.e2.0, scale.e2.1, seed);
+        out.table(&t2);
+        out.series(&s2);
+    });
+    out.experiment("E3", |out| {
+        let (t3, s3) = e3_pipeline_adaptation(scale.e3_items);
+        out.table(&t3);
+        out.series(&s3);
+    });
+    out.experiment("E4", |out| {
+        let (t4, s4) = e4_threshold_sweep(scale.e4.0, scale.e4.1, scale.e4.2, seed);
+        out.table(&t4);
+        out.series(&s4);
+    });
+    out.experiment("E5", |out| {
+        out.table(&e5_calibration_overhead(
+            scale.e5.0, scale.e5.1, scale.e5.2, seed,
+        ));
+    });
+    out.experiment("E6", |out| {
+        out.series(&e6_scalability(scale.e6.0, scale.e6.1, seed));
+    });
+    out.experiment("E7", |out| {
+        let (t7, s7) = e7_adaptation_response(scale.e7.0, scale.e7.1);
+        out.table(&t7);
+        out.series(&s7);
+    });
+    out.experiment("E8", |out| {
+        out.table(&e8_forecaster_accuracy(scale.e8_samples));
+    });
+    out.experiment("E9", |out| {
+        out.table(&e9_nested_skeletons(scale.e9.0, scale.e9.1, scale.e9.2));
+    });
+    out.experiment("E10", |out| {
+        out.table(&e10_churn(
+            scale.e10.0,
+            scale.e10.1,
+            scale.e10.2,
+            scale.e10.3,
+            seed,
+        ));
+    });
+    out.experiment("E11", |out| {
+        out.table(&e11_thread_slowdown(scale.e11.0, scale.e11.1));
+    });
+    out.experiment("E12", |out| {
+        out.table(&e12_proc_backend(scale.e12.0, scale.e12.1));
+    });
 
     out.write(&json_path);
 }

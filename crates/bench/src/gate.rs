@@ -1,0 +1,603 @@
+//! The perf-trajectory gate: versioned, testable validation of
+//! `BENCH_results.json` (what CI used to do with an inline `python3 -c`).
+//!
+//! Two layers, both driven by `run_all --check`:
+//!
+//! 1. **Structural validation** — the results document parses, records at
+//!    least one experiment, and records no structured `failed` entries
+//!    (`run_all` converts per-experiment panics into those instead of
+//!    aborting the whole harness, so the *gate* is where they become red).
+//! 2. **Trajectory checks** — the qualitative results the repository's
+//!    story rests on must keep holding, with generous tolerance so CI noise
+//!    does not flake the build: adaptive must still beat static under churn
+//!    (E10), the engine-backed thread variant must still demote the slowed
+//!    worker (E11), and — against a committed baseline
+//!    (`BENCH_baseline.json`) — the experiment set must not shrink.
+//!
+//! The module carries its own minimal JSON parser: the workspace is offline
+//! (no serde_json) and the emitter in [`crate::report`] produces a small,
+//! known subset, but the parser accepts any well-formed JSON document so a
+//! hand-edited baseline cannot wedge it.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Minimum acceptable `adaptive_speedup` in any E10 row (1.0 = parity with
+/// the static baseline; the experiment's claim is a clear win, the gate only
+/// demands "not regressed into losing").
+pub const E10_MIN_SPEEDUP: f64 = 0.85;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`, like the emitter writes them).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value: a JSON number directly, or a string that parses
+    /// as one (table cells keep formatted numbers as strings).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            Json::Str(s) => s.trim().parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: impl fmt::Display) -> String {
+        format!("JSON parse error at byte {}: {what}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > 64 {
+            return Err(self.err("nesting too deep"));
+        }
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.pos) == Some(&b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = match self.value(depth + 1)? {
+                        Json::Str(s) => s,
+                        _ => return Err(self.err("object key must be a string")),
+                    };
+                    self.expect(b':')?;
+                    fields.push((key, self.value(depth + 1)?));
+                    self.skip_ws();
+                    match self.bytes.get(self.pos) {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return Err(self.err("expected ',' or '}'")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.pos) == Some(&b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.bytes.get(self.pos) {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(self.err("expected ',' or ']'")),
+                    }
+                }
+            }
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("invalid number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // BMP only (all the emitter produces); anything
+                            // else degrades to the replacement character.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(self.err(format!("bad escape '\\{}'", other as char))),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte aware).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage after document"));
+    }
+    Ok(v)
+}
+
+/// What a passing gate run reports.
+#[derive(Debug, Clone)]
+pub struct GateSummary {
+    /// Number of recorded experiment entries (tables + series).
+    pub experiments: usize,
+    /// Distinct experiment ids present (`E1`, `E2`, …).
+    pub ids: BTreeSet<String>,
+}
+
+/// The experiment id (`"E10"`) at the front of a table/series title.
+fn title_id(title: &str) -> Option<String> {
+    let head = title.split(':').next()?.trim();
+    (head.len() >= 2 && head.starts_with('E') && head[1..].chars().all(|c| c.is_ascii_digit()))
+        .then(|| head.to_string())
+}
+
+fn table_column(entry: &Json, name: &str) -> Option<usize> {
+    entry
+        .get("headers")?
+        .as_arr()?
+        .iter()
+        .position(|h| h.as_str() == Some(name))
+}
+
+/// Validate a fresh results document and, when a baseline is supplied, gate
+/// the performance trajectory against it.  See the module docs for the
+/// exact checks; returns a human-readable summary on success.
+pub fn check_results(doc: &Json, baseline: Option<&Json>) -> Result<GateSummary, String> {
+    let entries = doc
+        .get("experiments")
+        .and_then(Json::as_arr)
+        .ok_or("results document has no 'experiments' array")?;
+    if entries.is_empty() {
+        return Err("no experiments recorded".into());
+    }
+    let mut ids = BTreeSet::new();
+    let mut failures = Vec::new();
+    for (i, entry) in entries.iter().enumerate() {
+        match entry.get("type").and_then(Json::as_str) {
+            Some("table") | Some("series") => {
+                let title = entry
+                    .get("title")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("experiment {i} has no title"))?;
+                ids.extend(title_id(title));
+            }
+            Some("failed") => {
+                let name = entry
+                    .get("experiment")
+                    .and_then(Json::as_str)
+                    .unwrap_or("<unknown>");
+                let error = entry.get("error").and_then(Json::as_str).unwrap_or("");
+                failures.push(format!("{name}: {error}"));
+                ids.insert(name.to_string());
+            }
+            other => return Err(format!("experiment {i} has bad type {other:?}")),
+        }
+    }
+    if !failures.is_empty() {
+        return Err(format!(
+            "{} experiment(s) recorded structured failures:\n  {}",
+            failures.len(),
+            failures.join("\n  ")
+        ));
+    }
+    // The qualitative trajectory: the rows these checks read are asserted
+    // strictly by the in-tree experiment tests; the gate re-checks the
+    // committed story with generous tolerance on every CI run.
+    for required in ["E10", "E11"] {
+        if !ids.contains(required) {
+            return Err(format!("required experiment {required} is missing"));
+        }
+    }
+    for entry in entries {
+        let Some(title) = entry.get("title").and_then(Json::as_str) else {
+            continue;
+        };
+        match title_id(title).as_deref() {
+            Some("E10") if entry.get("type").and_then(Json::as_str) == Some("table") => {
+                let speedup = table_column(entry, "adaptive_speedup")
+                    .ok_or("E10 table lost its adaptive_speedup column")?;
+                let backend =
+                    table_column(entry, "backend").ok_or("E10 table lost its backend column")?;
+                for row in entry.get("rows").and_then(Json::as_arr).unwrap_or(&[]) {
+                    let cells = row.as_arr().unwrap_or(&[]);
+                    let v = cells
+                        .get(speedup)
+                        .and_then(Json::as_f64)
+                        .ok_or("E10 speedup cell is not numeric")?;
+                    if v < E10_MIN_SPEEDUP {
+                        let b = cells.get(backend).and_then(Json::as_str).unwrap_or("?");
+                        return Err(format!(
+                            "E10 regression: adaptive speedup {v:.2} on the {b} backend \
+                             fell below the {E10_MIN_SPEEDUP} floor"
+                        ));
+                    }
+                }
+            }
+            Some("E11") if entry.get("type").and_then(Json::as_str) == Some("table") => {
+                let variant =
+                    table_column(entry, "variant").ok_or("E11 table lost its variant column")?;
+                let demotions = table_column(entry, "demotions")
+                    .ok_or("E11 table lost its demotions column")?;
+                let mut saw_adaptive = false;
+                for row in entry.get("rows").and_then(Json::as_arr).unwrap_or(&[]) {
+                    let cells = row.as_arr().unwrap_or(&[]);
+                    if cells.get(variant).and_then(Json::as_str) == Some("full-adaptive") {
+                        saw_adaptive = true;
+                        let d = cells
+                            .get(demotions)
+                            .and_then(Json::as_f64)
+                            .ok_or("E11 demotions cell is not numeric")?;
+                        if d < 1.0 {
+                            return Err(
+                                "E11 regression: the engine-backed variant no longer demotes \
+                                 the slowed worker"
+                                    .into(),
+                            );
+                        }
+                    }
+                }
+                if !saw_adaptive {
+                    return Err("E11 table lost its full-adaptive row".into());
+                }
+            }
+            _ => {}
+        }
+    }
+    // Trajectory vs the committed baseline: the experiment family may only
+    // grow, and nothing present in the baseline may disappear.
+    if let Some(base) = baseline {
+        let base_summary = check_ids_only(base)?;
+        if entries.len() < base_summary.experiments {
+            return Err(format!(
+                "experiment count shrank: {} recorded, baseline has {}",
+                entries.len(),
+                base_summary.experiments
+            ));
+        }
+        for id in &base_summary.ids {
+            if !ids.contains(id) {
+                return Err(format!("experiment {id} present in baseline is missing"));
+            }
+        }
+    }
+    Ok(GateSummary {
+        experiments: entries.len(),
+        ids,
+    })
+}
+
+/// Structural pass over a baseline document: ids and entry count only (the
+/// baseline's own perf numbers are historical — they are not re-judged).
+fn check_ids_only(doc: &Json) -> Result<GateSummary, String> {
+    let entries = doc
+        .get("experiments")
+        .and_then(Json::as_arr)
+        .ok_or("baseline document has no 'experiments' array")?;
+    let mut ids = BTreeSet::new();
+    for entry in entries {
+        if let Some(title) = entry.get("title").and_then(Json::as_str) {
+            ids.extend(title_id(title));
+        } else if let Some(name) = entry.get("experiment").and_then(Json::as_str) {
+            ids.insert(name.to_string());
+        }
+    }
+    Ok(GateSummary {
+        experiments: entries.len(),
+        ids,
+    })
+}
+
+/// File-level driver for `run_all --check RESULTS [--baseline BASE]`.
+pub fn check_files(results_path: &str, baseline_path: Option<&str>) -> Result<String, String> {
+    let text = std::fs::read_to_string(results_path)
+        .map_err(|e| format!("could not read {results_path}: {e}"))?;
+    let doc = parse_json(&text).map_err(|e| format!("{results_path}: {e}"))?;
+    let baseline = match baseline_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("could not read baseline {path}: {e}"))?;
+            Some(parse_json(&text).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => None,
+    };
+    let summary = check_results(&doc, baseline.as_ref())?;
+    Ok(format!(
+        "{}: {} experiments OK ({}){}",
+        results_path,
+        summary.experiments,
+        summary.ids.iter().cloned().collect::<Vec<_>>().join(", "),
+        match baseline_path {
+            Some(b) => format!("; trajectory gated against {b}"),
+            None => String::new(),
+        }
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{table_json, Table};
+
+    fn e10_table(speedups: &[(&str, f64)]) -> String {
+        let mut t = Table::new(
+            "E10: scheduling under node churn (8 nodes)",
+            &[
+                "backend",
+                "p_outage",
+                "adaptive_cost",
+                "static_cost",
+                "adaptive_speedup",
+                "requeued",
+                "retried",
+                "nodes_lost",
+            ],
+        );
+        for (backend, s) in speedups {
+            t.push_row(vec![
+                backend.to_string(),
+                "0.50".into(),
+                "10".into(),
+                "12".into(),
+                format!("{s:.2}"),
+                "1".into(),
+                "1".into(),
+                "1".into(),
+            ]);
+        }
+        table_json(&t)
+    }
+
+    fn e11_table(demotions: usize) -> String {
+        let mut t = Table::new(
+            "E11: thread farm under a 25x worker-0 slowdown",
+            &["variant", "makespan_s", "demotions"],
+        );
+        t.push_row(vec!["demand-driven".into(), "1.0".into(), "0".into()]);
+        t.push_row(vec![
+            "full-adaptive".into(),
+            "0.8".into(),
+            demotions.to_string(),
+        ]);
+        table_json(&t)
+    }
+
+    fn doc(parts: &[String]) -> Json {
+        parse_json(&format!("{{\"experiments\":[{}]}}", parts.join(","))).unwrap()
+    }
+
+    fn healthy() -> Json {
+        doc(&[e10_table(&[("sim", 1.4), ("threads", 1.2)]), e11_table(2)])
+    }
+
+    #[test]
+    fn parser_handles_the_emitted_subset_and_more() {
+        let v = parse_json(r#"{"a":[1,-2.5e3,"x\n\"yA"],"b":null,"c":true}"#).unwrap();
+        assert_eq!(v.get("b"), Some(&Json::Null));
+        assert_eq!(v.get("c"), Some(&Json::Bool(true)));
+        let arr = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].as_f64(), Some(-2500.0));
+        assert_eq!(arr[2].as_str(), Some("x\n\"yA"));
+        assert!(parse_json("{\"a\":1} trailing").is_err());
+        assert!(parse_json("{\"a\":}").is_err());
+        assert!(parse_json("").is_err());
+        // Depth bomb is rejected, not a stack overflow.
+        let bomb = "[".repeat(200) + &"]".repeat(200);
+        assert!(parse_json(&bomb).is_err());
+    }
+
+    #[test]
+    fn healthy_results_pass_and_report_ids() {
+        let summary = check_results(&healthy(), None).unwrap();
+        assert_eq!(summary.experiments, 2);
+        assert!(summary.ids.contains("E10") && summary.ids.contains("E11"));
+    }
+
+    #[test]
+    fn e10_speedup_regressions_fail_the_gate() {
+        let bad = doc(&[e10_table(&[("sim", 1.4), ("threads", 0.7)]), e11_table(1)]);
+        let err = check_results(&bad, None).unwrap_err();
+        assert!(err.contains("E10 regression"), "{err}");
+        assert!(err.contains("threads"), "{err}");
+    }
+
+    #[test]
+    fn e11_losing_its_demotion_fails_the_gate() {
+        let bad = doc(&[e10_table(&[("sim", 1.3)]), e11_table(0)]);
+        let err = check_results(&bad, None).unwrap_err();
+        assert!(err.contains("E11 regression"), "{err}");
+    }
+
+    #[test]
+    fn structured_failures_fail_the_gate_with_their_message() {
+        let failed = doc(&[
+            e10_table(&[("sim", 1.3)]),
+            e11_table(1),
+            crate::report::failed_json("E12", "worker binary missing"),
+        ]);
+        let err = check_results(&failed, None).unwrap_err();
+        assert!(err.contains("E12"), "{err}");
+        assert!(err.contains("worker binary missing"), "{err}");
+    }
+
+    #[test]
+    fn missing_required_experiments_fail_the_gate() {
+        let only_e11 = doc(&[e11_table(1)]);
+        let err = check_results(&only_e11, None).unwrap_err();
+        assert!(err.contains("E10"), "{err}");
+    }
+
+    #[test]
+    fn baselines_gate_shrinkage_and_missing_ids() {
+        let fresh = healthy();
+        // Same doc as its own baseline: passes.
+        check_results(&fresh, Some(&fresh)).unwrap();
+        // A baseline with an extra experiment the fresh run lost: fails.
+        let bigger = doc(&[
+            e10_table(&[("sim", 1.4)]),
+            e11_table(1),
+            "{\"type\":\"table\",\"title\":\"E12: proc backend\",\"headers\":[],\"rows\":[]}"
+                .to_string(),
+        ]);
+        let err = check_results(&fresh, Some(&bigger)).unwrap_err();
+        assert!(err.contains("E12") || err.contains("shrank"), "{err}");
+    }
+
+    #[test]
+    fn check_files_reports_io_and_parse_errors() {
+        assert!(check_files("/nonexistent/results.json", None).is_err());
+        let dir = std::env::temp_dir().join(format!("grasp-gate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "not json").unwrap();
+        assert!(check_files(bad.to_str().unwrap(), None).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

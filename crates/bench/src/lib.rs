@@ -13,6 +13,7 @@
 #![deny(unsafe_code)]
 
 pub mod experiments;
+pub mod gate;
 pub mod report;
 pub mod scenarios;
 

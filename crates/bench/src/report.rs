@@ -186,6 +186,19 @@ pub fn table_json(table: &Table) -> String {
     )
 }
 
+/// Render a structured failure record for `BENCH_results.json`
+/// (`{"type":"failed","experiment":…,"error":…}`): what `run_all` emits when
+/// one experiment panics, so a single broken experiment is visible in the
+/// machine-readable trajectory instead of aborting the whole harness.  The
+/// gate (`run_all --check`) turns recorded failures into a red build.
+pub fn failed_json(experiment: &str, error: &str) -> String {
+    format!(
+        "{{\"type\":\"failed\",\"experiment\":{},\"error\":{}}}",
+        json_string(experiment),
+        json_string(error)
+    )
+}
+
 /// Render a [`Series`] as a JSON object
 /// (`{"type":"series","title":…,"columns":[…],"points":[[…]]}`).  Non-finite
 /// points are emitted as `null` (JSON has no NaN).
@@ -264,6 +277,16 @@ mod tests {
         // …and cells that parse but are not valid JSON numbers ("1." / inf)
         // fall back to strings.
         assert!(json.contains("[1,\"inf\"]"), "{json}");
+    }
+
+    #[test]
+    fn failed_json_escapes_panic_messages() {
+        let json = failed_json("E12", "assertion \"x\" failed\nleft: 1");
+        assert_eq!(
+            json,
+            "{\"type\":\"failed\",\"experiment\":\"E12\",\
+             \"error\":\"assertion \\\"x\\\" failed\\nleft: 1\"}"
+        );
     }
 
     #[test]

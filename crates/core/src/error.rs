@@ -28,6 +28,18 @@ pub enum GraspError {
         /// How many execution attempts were made before giving up.
         attempts: usize,
     },
+    /// A frame on the worker wire protocol was truncated, corrupted, or
+    /// malformed (see `grasp_core::wire`).
+    WireProtocol {
+        /// What exactly was wrong with the frame.
+        detail: String,
+    },
+    /// Worker processes could not be spawned or the whole pool was lost
+    /// before the job completed.
+    WorkerUnavailable {
+        /// Why no worker could serve the job.
+        detail: String,
+    },
 }
 
 impl fmt::Display for GraspError {
@@ -43,6 +55,10 @@ impl fmt::Display for GraspError {
                 f,
                 "task {task} failed on every worker after {attempts} attempts"
             ),
+            GraspError::WireProtocol { detail } => write!(f, "wire protocol error: {detail}"),
+            GraspError::WorkerUnavailable { detail } => {
+                write!(f, "worker pool unavailable: {detail}")
+            }
         }
     }
 }
@@ -73,5 +89,15 @@ mod tests {
         }
         .to_string();
         assert!(failed.contains('7') && failed.contains('3'));
+        assert!(GraspError::WireProtocol {
+            detail: "bad magic".into()
+        }
+        .to_string()
+        .contains("bad magic"));
+        assert!(GraspError::WorkerUnavailable {
+            detail: "spawn failed".into()
+        }
+        .to_string()
+        .contains("spawn failed"));
     }
 }

@@ -73,6 +73,7 @@ pub mod scheduler;
 pub mod skeleton;
 pub mod task;
 pub mod threshold;
+pub mod wire;
 
 /// Convenient glob import for downstream users.
 pub mod prelude {

@@ -516,6 +516,27 @@ pub enum OutcomeDetail {
         /// Worker threads per stage.
         replicas_per_stage: Vec<usize>,
     },
+    /// Process-farm summary from the process-isolated backend
+    /// (`grasp-proc`): the serialization boundary is real there, so the
+    /// report carries wire accounting alongside the schedule.
+    ProcFarm {
+        /// Worker processes spawned.
+        workers: usize,
+        /// Units completed per worker process.
+        tasks_per_worker: Vec<usize>,
+        /// Bytes of frames written to the workers (tasks, init, shutdown).
+        bytes_sent: u64,
+        /// Bytes of frames received from the workers (hellos, results,
+        /// heartbeats).
+        bytes_received: u64,
+        /// Master-side wall seconds spent encoding and writing frames — the
+        /// serialization cost sitting on the dispatch critical path.
+        wire_write_s: f64,
+        /// Per-unit result digests reported by the workers, sorted by unit
+        /// id (all zero for spin payloads).  Lets callers verify that a
+        /// worker's computation matches a locally computed reference.
+        unit_digests: Vec<(usize, u64)>,
+    },
 }
 
 /// Backend-neutral result of running a [`Skeleton`]: what completed, how

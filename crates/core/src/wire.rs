@@ -1,0 +1,571 @@
+//! The worker wire protocol of the process-isolated backend.
+//!
+//! The paper's setting is a real computational grid: workers are remote OS
+//! instances reachable only through links that *serialize* every task and
+//! result.  The `grasp-proc` backend reproduces that boundary with worker
+//! processes connected by local pipes, and this module defines the framing
+//! both ends speak.  It lives in `grasp-core` because the protocol — not the
+//! transport — is the contract: any future remote backend (sockets, batch
+//! systems) reuses these types unchanged.
+//!
+//! The workspace's offline `serde` shim derives are markers (no codegen), so
+//! framing is explicit and versioned:
+//!
+//! ```text
+//! +-------+---------+-----+-------------+---------+-------------+
+//! | magic | version | tag | payload len | payload | checksum    |
+//! | 4 B   | 1 B     | 1 B | 4 B LE      | n B     | 4 B LE FNV  |
+//! +-------+---------+-----+-------------+---------+-------------+
+//! ```
+//!
+//! The checksum is FNV-1a/32 over the tag byte followed by the payload, so a
+//! frame corrupted anywhere past the fixed header is rejected with a typed
+//! [`GraspError::WireProtocol`] instead of being mis-parsed.  Every decode
+//! path returns `Result` — a truncated, oversized, or garbage frame must
+//! never panic the master or a worker.
+//!
+//! Integers are little-endian; floats travel as IEEE-754 bit patterns.
+
+use crate::error::GraspError;
+use std::io::Read;
+
+/// Frame preamble: `b"GRSP"`.
+pub const WIRE_MAGIC: [u8; 4] = *b"GRSP";
+
+/// Current protocol version; bumped on any incompatible frame change.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on one frame's payload (rejects garbage length fields before
+/// any allocation is attempted).
+pub const MAX_FRAME_PAYLOAD: usize = 64 << 20;
+
+/// Task payload kind: no payload bytes — the worker synthesises the task's
+/// declared work with its calibrated spin kernel (the default, and what the
+/// thread-backend parity tests exercise).
+pub const PAYLOAD_SPIN: u32 = 0;
+
+/// Task payload kind: a serialized `grasp-workloads` mat-mul row band
+/// (`MatMulBandTask`).
+pub const PAYLOAD_MATMUL: u32 = 1;
+
+/// Task payload kind: a serialized `grasp-workloads` imaging frame task
+/// (`ImagingFrameTask`).
+pub const PAYLOAD_IMAGING: u32 = 2;
+
+const TAG_HELLO: u8 = 0;
+const TAG_INIT: u8 = 1;
+const TAG_TASK: u8 = 2;
+const TAG_DONE: u8 = 3;
+const TAG_FAILED: u8 = 4;
+const TAG_HEARTBEAT: u8 = 5;
+const TAG_SHUTDOWN: u8 = 6;
+
+/// FNV-1a 64-bit hash — the deterministic digest workloads use to compare a
+/// worker's result against a locally computed reference without shipping the
+/// full output back over the wire.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn fnv1a_32(tag: u8, bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for b in std::iter::once(tag).chain(bytes.iter().copied()) {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+fn wire_err(detail: impl Into<String>) -> GraspError {
+    GraspError::WireProtocol {
+        detail: detail.into(),
+    }
+}
+
+/// Append-only little-endian byte encoder used by the protocol and by the
+/// workloads' serializable task representations.
+#[derive(Debug, Default, Clone)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f64` as its IEEE-754 bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append a `u32`-length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Append a `u32`-length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// The encoded bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bounds-checked little-endian byte decoder matching [`ByteWriter`]; every
+/// accessor returns [`GraspError::WireProtocol`] on underrun.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], GraspError> {
+        if self.buf.len() - self.pos < n {
+            return Err(wire_err(format!(
+                "truncated payload: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn take_u8(&mut self) -> Result<u8, GraspError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Result<u32, GraspError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Result<u64, GraspError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an `f64` from its IEEE-754 bit pattern.
+    pub fn take_f64(&mut self) -> Result<f64, GraspError> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Read a `u32`-length-prefixed byte string.
+    pub fn take_bytes(&mut self) -> Result<Vec<u8>, GraspError> {
+        let len = self.take_u32()? as usize;
+        if len > MAX_FRAME_PAYLOAD {
+            return Err(wire_err(format!("byte string length {len} exceeds cap")));
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Read a `u32`-length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> Result<String, GraspError> {
+        String::from_utf8(self.take_bytes()?).map_err(|_| wire_err("invalid UTF-8 string"))
+    }
+
+    /// Succeed only if every byte has been consumed (catches frames whose
+    /// payload is longer than the message it claims to carry).
+    pub fn finish(&self) -> Result<(), GraspError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(wire_err(format!(
+                "{} trailing bytes after message body",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+/// One protocol message, master ⇄ worker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMsg {
+    /// Worker → master, first frame after spawn: the worker is alive.
+    Hello {
+        /// The worker's OS process id.
+        pid: u64,
+    },
+    /// Master → worker, first frame after spawn: run parameters.
+    Init {
+        /// How often the worker's heartbeat thread reports liveness.
+        heartbeat_interval_s: f64,
+        /// Spin-kernel iterations per declared work unit (the
+        /// [`PAYLOAD_SPIN`] cost model, mirroring the thread backend).
+        spin_per_work_unit: u64,
+    },
+    /// Master → worker: execute one work unit.
+    Task {
+        /// Global unit id within the running skeleton.
+        unit_id: u64,
+        /// Declared work of the unit.
+        work: f64,
+        /// Payload kind ([`PAYLOAD_SPIN`], [`PAYLOAD_MATMUL`], …).
+        kind: u32,
+        /// Kind-specific serialized task representation (empty for spin).
+        payload: Vec<u8>,
+    },
+    /// Worker → master: a unit completed.
+    Done {
+        /// The completed unit.
+        unit_id: u64,
+        /// Wall seconds the computation took on the worker — the per-unit
+        /// observation the master feeds to the adaptation engine.
+        elapsed_s: f64,
+        /// Deterministic digest of the computed result (0 for spin tasks).
+        digest: u64,
+    },
+    /// Worker → master: a unit's payload could not be executed; the worker
+    /// survives and the master may retry the unit elsewhere.
+    Failed {
+        /// The failing unit.
+        unit_id: u64,
+        /// Human-readable cause.
+        detail: String,
+    },
+    /// Worker → master: periodic liveness signal (sent by a side thread even
+    /// while a long task is computing).
+    Heartbeat,
+    /// Master → worker: drain and exit cleanly.
+    Shutdown,
+}
+
+impl WireMsg {
+    fn tag(&self) -> u8 {
+        match self {
+            WireMsg::Hello { .. } => TAG_HELLO,
+            WireMsg::Init { .. } => TAG_INIT,
+            WireMsg::Task { .. } => TAG_TASK,
+            WireMsg::Done { .. } => TAG_DONE,
+            WireMsg::Failed { .. } => TAG_FAILED,
+            WireMsg::Heartbeat => TAG_HEARTBEAT,
+            WireMsg::Shutdown => TAG_SHUTDOWN,
+        }
+    }
+
+    fn body(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            WireMsg::Hello { pid } => w.put_u64(*pid),
+            WireMsg::Init {
+                heartbeat_interval_s,
+                spin_per_work_unit,
+            } => {
+                w.put_f64(*heartbeat_interval_s);
+                w.put_u64(*spin_per_work_unit);
+            }
+            WireMsg::Task {
+                unit_id,
+                work,
+                kind,
+                payload,
+            } => {
+                w.put_u64(*unit_id);
+                w.put_f64(*work);
+                w.put_u32(*kind);
+                w.put_bytes(payload);
+            }
+            WireMsg::Done {
+                unit_id,
+                elapsed_s,
+                digest,
+            } => {
+                w.put_u64(*unit_id);
+                w.put_f64(*elapsed_s);
+                w.put_u64(*digest);
+            }
+            WireMsg::Failed { unit_id, detail } => {
+                w.put_u64(*unit_id);
+                w.put_str(detail);
+            }
+            WireMsg::Heartbeat | WireMsg::Shutdown => {}
+        }
+        w.into_vec()
+    }
+
+    fn from_body(tag: u8, body: &[u8]) -> Result<WireMsg, GraspError> {
+        let mut r = ByteReader::new(body);
+        let msg = match tag {
+            TAG_HELLO => WireMsg::Hello { pid: r.take_u64()? },
+            TAG_INIT => WireMsg::Init {
+                heartbeat_interval_s: r.take_f64()?,
+                spin_per_work_unit: r.take_u64()?,
+            },
+            TAG_TASK => WireMsg::Task {
+                unit_id: r.take_u64()?,
+                work: r.take_f64()?,
+                kind: r.take_u32()?,
+                payload: r.take_bytes()?,
+            },
+            TAG_DONE => WireMsg::Done {
+                unit_id: r.take_u64()?,
+                elapsed_s: r.take_f64()?,
+                digest: r.take_u64()?,
+            },
+            TAG_FAILED => WireMsg::Failed {
+                unit_id: r.take_u64()?,
+                detail: r.take_str()?,
+            },
+            TAG_HEARTBEAT => WireMsg::Heartbeat,
+            TAG_SHUTDOWN => WireMsg::Shutdown,
+            other => return Err(wire_err(format!("unknown message tag {other}"))),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+
+    /// Encode the message as one complete frame (header + payload +
+    /// checksum), ready to write to the transport.
+    pub fn encode(&self) -> Vec<u8> {
+        let body = self.body();
+        let mut frame = Vec::with_capacity(14 + body.len());
+        frame.extend_from_slice(&WIRE_MAGIC);
+        frame.push(WIRE_VERSION);
+        frame.push(self.tag());
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&body);
+        frame.extend_from_slice(&fnv1a_32(self.tag(), &body).to_le_bytes());
+        frame
+    }
+
+    /// Decode one frame from the front of `buf`, returning the message and
+    /// the number of bytes consumed.  Truncated, corrupted, oversized and
+    /// unknown frames all yield [`GraspError::WireProtocol`]; this function
+    /// never panics on any input.
+    pub fn decode_slice(buf: &[u8]) -> Result<(WireMsg, usize), GraspError> {
+        let mut cursor = buf;
+        let before = cursor.len();
+        match Self::read_from(&mut cursor)? {
+            Some(msg) => Ok((msg, before - cursor.len())),
+            None => Err(wire_err("empty input where a frame was expected")),
+        }
+    }
+
+    /// Read one frame from a blocking reader.  Returns `Ok(None)` on a clean
+    /// end-of-stream *boundary* (the peer closed the pipe between frames);
+    /// an end-of-stream mid-frame is a truncation error.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Option<WireMsg>, GraspError> {
+        // Distinguish a clean close (0 bytes available) from truncation.
+        let mut first = [0u8; 1];
+        loop {
+            match r.read(&mut first) {
+                Ok(0) => return Ok(None),
+                Ok(_) => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(wire_err(format!("transport read failed: {e}"))),
+            }
+        }
+        let mut header = [0u8; 9]; // magic[1..4] + version + tag + len
+        read_exactly(r, &mut header)?;
+        let magic = [first[0], header[0], header[1], header[2]];
+        if magic != WIRE_MAGIC {
+            return Err(wire_err(format!("bad frame magic {magic:02x?}")));
+        }
+        let version = header[3];
+        if version != WIRE_VERSION {
+            return Err(wire_err(format!(
+                "wire version mismatch: got {version}, speak {WIRE_VERSION}"
+            )));
+        }
+        let tag = header[4];
+        let len = u32::from_le_bytes(header[5..9].try_into().unwrap()) as usize;
+        if len > MAX_FRAME_PAYLOAD {
+            return Err(wire_err(format!(
+                "frame payload of {len} bytes exceeds the {MAX_FRAME_PAYLOAD} cap"
+            )));
+        }
+        let mut body = vec![0u8; len];
+        read_exactly(r, &mut body)?;
+        let mut sum = [0u8; 4];
+        read_exactly(r, &mut sum)?;
+        let expect = u32::from_le_bytes(sum);
+        let got = fnv1a_32(tag, &body);
+        if got != expect {
+            return Err(wire_err(format!(
+                "frame checksum mismatch (got {got:#010x}, frame says {expect:#010x})"
+            )));
+        }
+        Ok(Some(Self::from_body(tag, &body)?))
+    }
+}
+
+fn read_exactly<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), GraspError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            wire_err("truncated frame: peer closed mid-message")
+        } else {
+            wire_err(format!("transport read failed: {e}"))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<WireMsg> {
+        vec![
+            WireMsg::Hello { pid: 4242 },
+            WireMsg::Init {
+                heartbeat_interval_s: 0.25,
+                spin_per_work_unit: 500,
+            },
+            WireMsg::Task {
+                unit_id: 7,
+                work: 3.5,
+                kind: PAYLOAD_MATMUL,
+                payload: vec![1, 2, 3, 250],
+            },
+            WireMsg::Done {
+                unit_id: 7,
+                elapsed_s: 0.0125,
+                digest: 0xdead_beef,
+            },
+            WireMsg::Failed {
+                unit_id: 9,
+                detail: "bad payload: wanted 8 bytes".into(),
+            },
+            WireMsg::Heartbeat,
+            WireMsg::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips_through_a_frame() {
+        for msg in samples() {
+            let frame = msg.encode();
+            let (back, used) = WireMsg::decode_slice(&frame).unwrap();
+            assert_eq!(back, msg);
+            assert_eq!(used, frame.len(), "whole frame consumed");
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_through_a_byte_stream() {
+        let mut stream = Vec::new();
+        for msg in samples() {
+            stream.extend_from_slice(&msg.encode());
+        }
+        let mut r = stream.as_slice();
+        let mut decoded = Vec::new();
+        while let Some(m) = WireMsg::read_from(&mut r).unwrap() {
+            decoded.push(m);
+        }
+        assert_eq!(decoded, samples());
+    }
+
+    #[test]
+    fn clean_eof_is_none_but_mid_frame_eof_is_an_error() {
+        let mut empty: &[u8] = &[];
+        assert_eq!(WireMsg::read_from(&mut empty).unwrap(), None);
+        let frame = WireMsg::Heartbeat.encode();
+        for cut in 1..frame.len() {
+            let mut r = &frame[..cut];
+            let err = WireMsg::read_from(&mut r)
+                .expect_err("every truncation must be rejected")
+                .to_string();
+            assert!(err.contains("wire protocol"), "{err}");
+        }
+    }
+
+    #[test]
+    fn corrupted_frames_are_rejected_not_misparsed() {
+        let msg = WireMsg::Task {
+            unit_id: 1,
+            work: 2.0,
+            kind: PAYLOAD_SPIN,
+            payload: vec![9; 16],
+        };
+        let frame = msg.encode();
+        // Flip one bit anywhere: magic/version/tag/len errors or checksum
+        // mismatch — never a successful decode of different content, and
+        // never a panic.
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x40;
+            if let Ok((m, _)) = WireMsg::decode_slice(&bad) {
+                panic!("corrupted byte {i} decoded as {m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_fields_are_rejected_before_allocation() {
+        let mut frame = WireMsg::Heartbeat.encode();
+        frame[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = WireMsg::decode_slice(&frame).unwrap_err().to_string();
+        assert!(err.contains("cap"), "{err}");
+    }
+
+    #[test]
+    fn foreign_versions_and_tags_are_rejected() {
+        let mut frame = WireMsg::Heartbeat.encode();
+        frame[4] = WIRE_VERSION + 1;
+        assert!(WireMsg::decode_slice(&frame).is_err());
+        let mut frame = WireMsg::Heartbeat.encode();
+        frame[5] = 99; // unknown tag — checksum covers the tag, so fix it up.
+        let sum = fnv1a_32(99, &[]);
+        let n = frame.len();
+        frame[n - 4..].copy_from_slice(&sum.to_le_bytes());
+        let err = WireMsg::decode_slice(&frame).unwrap_err().to_string();
+        assert!(err.contains("unknown message tag"), "{err}");
+    }
+
+    #[test]
+    fn byte_reader_reports_trailing_and_missing_bytes() {
+        let mut w = ByteWriter::new();
+        w.put_u32(5);
+        w.put_str("hello");
+        let bytes = w.into_vec();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.take_u32().unwrap(), 5);
+        assert_eq!(r.take_str().unwrap(), "hello");
+        r.finish().unwrap();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.take_u32().unwrap(), 5);
+        assert!(r.finish().is_err(), "unread bytes must be flagged");
+        let mut r = ByteReader::new(&bytes[..2]);
+        assert!(r.take_u32().is_err(), "underrun must be flagged");
+    }
+
+    #[test]
+    fn fnv_digest_is_stable() {
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a_64(b"ab"), fnv1a_64(b"ba"));
+    }
+}

@@ -52,8 +52,10 @@ use std::sync::Arc;
 /// Spin for approximately `iters` iterations of optimisation-resistant
 /// integer work — the real computational kernel synthesised from a unit's
 /// abstract work declaration (also the spin loop the crate's tests use, so
-/// the kernel lives in exactly one place).
-pub(crate) fn spin(iters: u64) -> u64 {
+/// the kernel lives in exactly one place).  Public so the process-isolated
+/// backend's workers burn the *same* kernel per declared work unit, keeping
+/// thread/process comparisons like-for-like.
+pub fn spin(iters: u64) -> u64 {
     let mut acc = 0x9E3779B97F4A7C15u64;
     for i in 0..iters {
         acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i | 1);

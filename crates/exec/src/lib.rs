@@ -37,6 +37,6 @@ pub mod backend;
 pub mod farm;
 pub mod pipeline;
 
-pub use backend::ThreadBackend;
+pub use backend::{spin, ThreadBackend};
 pub use farm::{FarmStats, ThreadFarm, WorkerGate};
 pub use pipeline::{PipelineStats, ThreadPipeline};

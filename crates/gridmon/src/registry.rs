@@ -78,6 +78,11 @@ impl NodeMonitor {
 /// Registry of per-node monitors.
 pub struct MonitorRegistry {
     monitors: BTreeMap<NodeId, NodeMonitor>,
+    /// Liveness: last heartbeat per node (see
+    /// [`MonitorRegistry::note_heartbeat`]).  Kept separate from the
+    /// performance monitors because a node can prove it is alive long before
+    /// it has produced any load observation.
+    heartbeats: BTreeMap<NodeId, SimTime>,
     history: usize,
     root: NodeId,
 }
@@ -89,6 +94,7 @@ impl MonitorRegistry {
     pub fn new(root: NodeId, history: usize) -> Self {
         MonitorRegistry {
             monitors: BTreeMap::new(),
+            heartbeats: BTreeMap::new(),
             history: history.max(1),
             root,
         }
@@ -183,10 +189,47 @@ impl MonitorRegistry {
             .unwrap_or_default()
     }
 
+    /// Record a liveness heartbeat from `node` at time `t`.
+    ///
+    /// Heartbeats are the monitoring-message side of executor liveness: a
+    /// remote worker that can no longer be observed (hard-killed, network
+    /// partition) simply stops producing them, and the master detects the
+    /// loss through [`MonitorRegistry::stale_nodes`].  Any observation-style
+    /// message (a result, a monitor report) doubles as a heartbeat.
+    pub fn note_heartbeat(&mut self, node: NodeId, t: SimTime) {
+        let entry = self.heartbeats.entry(node).or_insert(t);
+        if t > *entry {
+            *entry = t;
+        }
+    }
+
+    /// The time of the last heartbeat recorded for `node`, if any.
+    pub fn last_heartbeat(&self, node: NodeId) -> Option<SimTime> {
+        self.heartbeats.get(&node).copied()
+    }
+
+    /// Nodes that have heartbeated at least once but whose last heartbeat is
+    /// older than `timeout_s` at `now` — presumed dead until they report
+    /// again.
+    pub fn stale_nodes(&self, now: SimTime, timeout_s: f64) -> Vec<NodeId> {
+        self.heartbeats
+            .iter()
+            .filter(|(_, &last)| (now - last).as_secs() > timeout_s)
+            .map(|(&n, _)| n)
+            .collect()
+    }
+
+    /// Forget a node's liveness record (after the caller has acted on its
+    /// loss, so it is not re-reported every sweep).
+    pub fn forget_heartbeat(&mut self, node: NodeId) {
+        self.heartbeats.remove(&node);
+    }
+
     /// Drop all recorded state (used when a recalibration decides to start
     /// from scratch).
     pub fn clear(&mut self) {
         self.monitors.clear();
+        self.heartbeats.clear();
     }
 }
 
@@ -294,8 +337,31 @@ mod tests {
         let g = grid();
         let mut reg = MonitorRegistry::new(NodeId(0), 16);
         reg.observe(&g, NodeId(1), SimTime::ZERO);
+        reg.note_heartbeat(NodeId(1), SimTime::ZERO);
         assert_eq!(reg.monitored_nodes(), 1);
         reg.clear();
         assert_eq!(reg.monitored_nodes(), 0);
+        assert!(reg.last_heartbeat(NodeId(1)).is_none());
+    }
+
+    #[test]
+    fn heartbeat_timeouts_flag_silent_nodes_only() {
+        let mut reg = MonitorRegistry::new(NodeId(0), 16);
+        reg.note_heartbeat(NodeId(1), SimTime::new(1.0));
+        reg.note_heartbeat(NodeId(2), SimTime::new(9.5));
+        // A never-seen node is not reported: it has nothing to go stale.
+        assert!(reg.last_heartbeat(NodeId(7)).is_none());
+        assert_eq!(reg.stale_nodes(SimTime::new(10.0), 2.0), vec![NodeId(1)]);
+        // A fresh heartbeat clears the suspicion…
+        reg.note_heartbeat(NodeId(1), SimTime::new(10.0));
+        assert!(reg.stale_nodes(SimTime::new(10.0), 2.0).is_empty());
+        // …and heartbeats never move a node's clock backwards.
+        reg.note_heartbeat(NodeId(1), SimTime::new(3.0));
+        assert_eq!(reg.last_heartbeat(NodeId(1)), Some(SimTime::new(10.0)));
+        // Forgetting a node stops it from being re-reported every sweep.
+        reg.note_heartbeat(NodeId(3), SimTime::ZERO);
+        assert_eq!(reg.stale_nodes(SimTime::new(50.0), 2.0).len(), 3);
+        reg.forget_heartbeat(NodeId(3));
+        assert_eq!(reg.stale_nodes(SimTime::new(50.0), 2.0).len(), 2);
     }
 }

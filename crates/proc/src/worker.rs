@@ -1,0 +1,187 @@
+//! The worker side of the process-isolated backend.
+//!
+//! A worker is a freshly exec'd OS process that speaks the
+//! [`grasp_core::wire`] protocol over its standard streams: `stdin` carries
+//! master → worker frames, `stdout` carries worker → master frames, and
+//! `stderr` is left for human-readable diagnostics.  The lifecycle is
+//!
+//! 1. send [`WireMsg::Hello`];
+//! 2. receive [`WireMsg::Init`] (heartbeat cadence, spin scale);
+//! 3. loop: execute [`WireMsg::Task`] frames, answering each with
+//!    [`WireMsg::Done`] (or [`WireMsg::Failed`] when the payload cannot be
+//!    executed — the worker itself survives a bad payload);
+//! 4. exit on [`WireMsg::Shutdown`] or a clean `stdin` EOF (the master
+//!    closing a demoted worker's channel *is* the shutdown signal).
+//!
+//! A dedicated heartbeat thread keeps writing [`WireMsg::Heartbeat`] frames
+//! at the configured cadence even while the main thread is deep in a long
+//! computation, so the master's liveness timeout only ever fires for
+//! processes that are genuinely gone (hard-killed, wedged, or unreachable).
+
+use grasp_core::error::GraspError;
+use grasp_core::wire::{WireMsg, PAYLOAD_IMAGING, PAYLOAD_MATMUL, PAYLOAD_SPIN};
+use grasp_workloads::imaging::ImagingFrameTask;
+use grasp_workloads::matmul::MatMulBandTask;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Execute one task payload, returning the result digest.
+///
+/// * [`PAYLOAD_SPIN`] burns the same calibrated spin kernel the thread
+///   backend uses, scaled by the unit's declared work (digest 0);
+/// * [`PAYLOAD_MATMUL`] / [`PAYLOAD_IMAGING`] decode and run the real
+///   `grasp-workloads` kernels, digesting the computed result.
+///
+/// Unknown kinds and malformed payloads are typed errors — the caller
+/// reports them as [`WireMsg::Failed`] and keeps serving.
+pub fn execute_payload(
+    kind: u32,
+    payload: &[u8],
+    work: f64,
+    spin_per_work_unit: u64,
+) -> Result<u64, GraspError> {
+    match kind {
+        PAYLOAD_SPIN => {
+            let iters = (work.max(0.0) * spin_per_work_unit as f64).round() as u64;
+            grasp_exec::spin(iters);
+            Ok(0)
+        }
+        PAYLOAD_MATMUL => Ok(MatMulBandTask::decode(payload)?.digest()),
+        PAYLOAD_IMAGING => Ok(ImagingFrameTask::decode(payload)?.digest()),
+        other => Err(GraspError::WireProtocol {
+            detail: format!("unknown task payload kind {other}"),
+        }),
+    }
+}
+
+fn send(out: &Arc<Mutex<std::io::Stdout>>, msg: &WireMsg) -> Result<(), GraspError> {
+    let frame = msg.encode();
+    let mut out = out.lock().unwrap_or_else(|e| e.into_inner());
+    out.write_all(&frame)
+        .and_then(|_| out.flush())
+        .map_err(|e| GraspError::WireProtocol {
+            detail: format!("worker could not write to master: {e}"),
+        })
+}
+
+/// Run the worker protocol over this process's standard streams until the
+/// master shuts it down; returns the process exit code.
+///
+/// This is the whole body of the `grasp-proc-worker` binary, kept in the
+/// library so any binary can embed a worker mode (the "re-exec the current
+/// binary" deployment style) by calling it from `main`.
+pub fn run_stdio() -> i32 {
+    let stdout = Arc::new(Mutex::new(std::io::stdout()));
+    let mut stdin = std::io::stdin().lock();
+    if let Err(e) = send(
+        &stdout,
+        &WireMsg::Hello {
+            pid: std::process::id() as u64,
+        },
+    ) {
+        eprintln!("grasp-proc-worker: {e}");
+        return 2;
+    }
+    // The master speaks Init first; anything else is a protocol breach.
+    let (heartbeat_interval_s, spin_per_work_unit) = match WireMsg::read_from(&mut stdin) {
+        Ok(Some(WireMsg::Init {
+            heartbeat_interval_s,
+            spin_per_work_unit,
+        })) => (heartbeat_interval_s, spin_per_work_unit),
+        Ok(Some(other)) => {
+            eprintln!("grasp-proc-worker: expected Init, got {other:?}");
+            return 2;
+        }
+        Ok(None) => return 0, // master vanished before configuring us
+        Err(e) => {
+            eprintln!("grasp-proc-worker: {e}");
+            return 2;
+        }
+    };
+    // Liveness: beat independently of the (possibly long) computations on
+    // the main thread.  The thread dies with the process; a failed write
+    // means the master is gone, so it just stops.
+    if heartbeat_interval_s > 0.0 {
+        let out = Arc::clone(&stdout);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(Duration::from_secs_f64(heartbeat_interval_s));
+            if send(&out, &WireMsg::Heartbeat).is_err() {
+                break;
+            }
+        });
+    }
+    loop {
+        match WireMsg::read_from(&mut stdin) {
+            Ok(Some(WireMsg::Task {
+                unit_id,
+                work,
+                kind,
+                payload,
+            })) => {
+                let t0 = Instant::now();
+                let reply = match execute_payload(kind, &payload, work, spin_per_work_unit) {
+                    Ok(digest) => WireMsg::Done {
+                        unit_id,
+                        elapsed_s: t0.elapsed().as_secs_f64(),
+                        digest,
+                    },
+                    Err(e) => WireMsg::Failed {
+                        unit_id,
+                        detail: e.to_string(),
+                    },
+                };
+                if send(&stdout, &reply).is_err() {
+                    return 0; // master gone; nothing left to serve
+                }
+            }
+            Ok(Some(WireMsg::Shutdown)) | Ok(None) => return 0,
+            Ok(Some(other)) => {
+                eprintln!("grasp-proc-worker: unexpected frame {other:?}");
+                return 2;
+            }
+            Err(e) => {
+                eprintln!("grasp-proc-worker: {e}");
+                return 2;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grasp_core::wire::fnv1a_64;
+    use grasp_workloads::imaging::ImagePipeline;
+    use grasp_workloads::matmul::MatMulJob;
+
+    #[test]
+    fn spin_payloads_execute_with_zero_digest() {
+        assert_eq!(execute_payload(PAYLOAD_SPIN, &[], 2.0, 10).unwrap(), 0);
+        assert_eq!(execute_payload(PAYLOAD_SPIN, &[], -1.0, 10).unwrap(), 0);
+    }
+
+    #[test]
+    fn real_payloads_execute_to_the_reference_digest() {
+        let job = MatMulJob::small();
+        let task = job.band_task(1);
+        let digest = execute_payload(PAYLOAD_MATMUL, &task.encode(), 1.0, 1).unwrap();
+        assert_eq!(digest, task.digest());
+
+        let p = ImagePipeline::small();
+        let task = ImagingFrameTask {
+            pipeline: p,
+            frame: 0,
+        };
+        let digest = execute_payload(PAYLOAD_IMAGING, &task.encode(), 1.0, 1).unwrap();
+        assert_eq!(digest, task.digest());
+        assert_ne!(digest, fnv1a_64(b""), "a real frame hashes non-trivially");
+    }
+
+    #[test]
+    fn bad_payloads_are_typed_errors_not_panics() {
+        assert!(execute_payload(PAYLOAD_MATMUL, &[1, 2, 3], 1.0, 1).is_err());
+        assert!(execute_payload(PAYLOAD_IMAGING, &[], 1.0, 1).is_err());
+        assert!(execute_payload(999, &[], 1.0, 1).is_err());
+    }
+}

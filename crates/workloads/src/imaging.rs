@@ -5,7 +5,9 @@
 //! threshold — a representative mix of cheap and expensive stencil stages
 //! whose costs differ enough that stage→node mapping matters.
 
-use grasp_core::{FarmedStage, Skeleton, StageSpec};
+use grasp_core::error::GraspError;
+use grasp_core::wire::{fnv1a_64, ByteReader, ByteWriter, PAYLOAD_IMAGING};
+use grasp_core::{FarmedStage, Skeleton, StageSpec, TaskSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -215,6 +217,42 @@ impl ImagePipeline {
         Skeleton::pipeline_of(stages, self.frames)
     }
 
+    /// The stream as per-frame **farm** tasks (each task runs the whole
+    /// four-stage chain on one frame) — the shape a process-isolated backend
+    /// distributes, mirroring how `Skeleton::lower_to_farm` lowers a
+    /// pipeline: work per task is the full per-item stage chain.
+    pub fn as_frame_tasks(&self, pixels_per_work_unit: f64) -> Vec<TaskSpec> {
+        let scale = pixels_per_work_unit.max(1.0);
+        let pixels = (self.width * self.height) as f64;
+        let work: f64 = Self::stage_cost_weights()
+            .iter()
+            .map(|w| pixels * w / scale)
+            .sum();
+        let frame_bytes = (self.width * self.height * 4) as u64;
+        (0..self.frames)
+            .map(|id| TaskSpec::new(id, work, frame_bytes, frame_bytes))
+            .collect()
+    }
+
+    /// Wire payloads for every frame task, keyed by the unit ids of
+    /// [`ImagePipeline::as_frame_tasks`]: hand these to a process-isolated
+    /// backend so workers run the real convolution chain.
+    pub fn wire_payloads(&self) -> Vec<(usize, u32, Vec<u8>)> {
+        (0..self.frames)
+            .map(|id| {
+                (
+                    id,
+                    PAYLOAD_IMAGING,
+                    ImagingFrameTask {
+                        pipeline: *self,
+                        frame: id,
+                    }
+                    .encode(),
+                )
+            })
+            .collect()
+    }
+
     /// The stream split into `lanes` independent sub-streams, each flowing
     /// through its own pipeline instance (a **farm-of-pipelines**): frames
     /// are mutually independent, so the outer farm may route whole lanes to
@@ -231,6 +269,74 @@ impl ImagePipeline {
             })
             .collect();
         Skeleton::farm_of(children)
+    }
+}
+
+/// One serializable, self-contained imaging computation: run the whole
+/// four-stage chain on frame `frame` of `pipeline`.  Like
+/// [`crate::matmul::MatMulBandTask`], the frame itself is derived from the
+/// job seed rather than shipped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImagingFrameTask {
+    /// The enclosing pipeline job (frame geometry, stream length, seed).
+    pub pipeline: ImagePipeline,
+    /// Index of the frame this task processes.
+    pub frame: usize,
+}
+
+impl ImagingFrameTask {
+    /// Serialize for the worker wire protocol.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(self.pipeline.width as u64);
+        w.put_u64(self.pipeline.height as u64);
+        w.put_u64(self.pipeline.frames as u64);
+        w.put_u64(self.pipeline.seed);
+        w.put_u64(self.frame as u64);
+        w.into_vec()
+    }
+
+    /// Deserialize a task produced by [`ImagingFrameTask::encode`];
+    /// malformed bytes yield a typed [`GraspError`] instead of panicking.
+    pub fn decode(bytes: &[u8]) -> Result<Self, GraspError> {
+        let mut r = ByteReader::new(bytes);
+        let task = ImagingFrameTask {
+            pipeline: ImagePipeline {
+                width: r.take_u64()? as usize,
+                height: r.take_u64()? as usize,
+                frames: r.take_u64()? as usize,
+                seed: r.take_u64()?,
+            },
+            frame: r.take_u64()? as usize,
+        };
+        r.finish()?;
+        let p = &task.pipeline;
+        if p.width == 0 || p.height == 0 || p.width > 1 << 14 || p.height > 1 << 14 {
+            return Err(GraspError::WireProtocol {
+                detail: format!(
+                    "imaging frame geometry out of range: {}x{}",
+                    p.width, p.height
+                ),
+            });
+        }
+        Ok(task)
+    }
+
+    /// Execute the chain on the derived frame.
+    pub fn execute(&self) -> SyntheticImage {
+        self.pipeline
+            .process_frame(&self.pipeline.frame(self.frame))
+    }
+
+    /// Deterministic digest of the processed frame (exact `f32` bit
+    /// patterns) — identical wherever the kernel runs.
+    pub fn digest(&self) -> u64 {
+        let out = self.execute();
+        let mut bytes = Vec::with_capacity(out.pixels.len() * 4);
+        for v in &out.pixels {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        fnv1a_64(&bytes)
     }
 }
 
@@ -318,6 +424,43 @@ mod tests {
             }
             other => panic!("expected a pipeline-of-farms, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn frame_tasks_cover_the_stream_with_the_whole_chain_per_frame() {
+        let p = ImagePipeline::small();
+        let tasks = p.as_frame_tasks(1000.0);
+        assert_eq!(tasks.len(), p.frames);
+        let chain_work: f64 = p.as_stages(1000.0).iter().map(|s| s.work_per_item).sum();
+        assert!((tasks[0].work - chain_work).abs() < 1e-9);
+        assert_eq!(tasks[3].id, 3);
+    }
+
+    #[test]
+    fn imaging_tasks_round_trip_and_digest_deterministically() {
+        let p = ImagePipeline::small();
+        let payloads = p.wire_payloads();
+        assert_eq!(payloads.len(), p.frames);
+        let (id, kind, bytes) = &payloads[2];
+        assert_eq!(*kind, PAYLOAD_IMAGING);
+        let task = ImagingFrameTask::decode(bytes).unwrap();
+        assert_eq!(task.frame, *id);
+        // The decoded task computes exactly the local reference chain.
+        let local = p.process_frame(&p.frame(2));
+        assert_eq!(task.execute().pixels, local.pixels);
+        assert_eq!(task.digest(), task.digest());
+        let other = ImagingFrameTask::decode(&payloads[3].2).unwrap();
+        assert_ne!(task.digest(), other.digest());
+        // Malformed payloads are typed errors, not panics.
+        assert!(ImagingFrameTask::decode(&bytes[..7]).is_err());
+        let huge = ImagingFrameTask {
+            pipeline: ImagePipeline {
+                width: 1 << 20,
+                ..p
+            },
+            frame: 0,
+        };
+        assert!(ImagingFrameTask::decode(&huge.encode()).is_err());
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! same size, so this workload isolates the effect of node heterogeneity and
 //! external load from workload irregularity.
 
+use grasp_core::error::GraspError;
+use grasp_core::wire::{fnv1a_64, ByteReader, ByteWriter, PAYLOAD_MATMUL};
 use grasp_core::TaskSpec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -94,6 +96,100 @@ impl MatMulJob {
             .map(|id| TaskSpec::new(id, self.flops_per_task() / scale, band_bytes, band_bytes))
             .collect()
     }
+
+    /// The self-contained, serializable representation of band `index` —
+    /// what a process-isolated worker receives over the wire.
+    pub fn band_task(&self, index: usize) -> MatMulBandTask {
+        MatMulBandTask {
+            job: *self,
+            row0: index * self.block_rows,
+            rows: self.block_rows,
+        }
+    }
+
+    /// Wire payloads for every band task, keyed by the farm unit id that
+    /// [`MatMulJob::as_tasks`] assigns: hand these to a process-isolated
+    /// backend so workers execute the *real* kernel instead of a synthetic
+    /// spin.
+    pub fn wire_payloads(&self) -> Vec<(usize, u32, Vec<u8>)> {
+        (0..self.task_count())
+            .map(|id| (id, PAYLOAD_MATMUL, self.band_task(id).encode()))
+            .collect()
+    }
+}
+
+/// One serializable, self-contained mat-mul band computation: the job
+/// parameters plus the band coordinates.  Inputs are *derived* (regenerated
+/// from the job seed), not shipped — the grid model this reproduces
+/// broadcasts descriptors, not matrices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatMulBandTask {
+    /// The enclosing job (dimension, blocking, input seed).
+    pub job: MatMulJob,
+    /// First row of `C` this task computes.
+    pub row0: usize,
+    /// Number of rows computed (the final band may cover fewer).
+    pub rows: usize,
+}
+
+impl MatMulBandTask {
+    /// Serialize for the worker wire protocol.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(self.job.n as u64);
+        w.put_u64(self.job.block_rows as u64);
+        w.put_u64(self.job.seed);
+        w.put_u64(self.row0 as u64);
+        w.put_u64(self.rows as u64);
+        w.into_vec()
+    }
+
+    /// Deserialize a task produced by [`MatMulBandTask::encode`]; malformed
+    /// bytes yield a typed [`GraspError`] instead of panicking.
+    pub fn decode(bytes: &[u8]) -> Result<Self, GraspError> {
+        let mut r = ByteReader::new(bytes);
+        let task = MatMulBandTask {
+            job: MatMulJob {
+                n: r.take_u64()? as usize,
+                block_rows: r.take_u64()? as usize,
+                seed: r.take_u64()?,
+            },
+            row0: r.take_u64()? as usize,
+            rows: r.take_u64()? as usize,
+        };
+        r.finish()?;
+        // The dimension cap bounds what a decoded frame can make the worker
+        // allocate (generate_inputs builds two n×n f64 matrices: 2 × 32 MiB
+        // at the cap) — a corrupted-but-checksum-valid frame must not OOM
+        // the worker.  Legitimate jobs use n ≤ 512; the cap leaves 4×
+        // headroom.
+        if task.job.n == 0 || task.job.n > 2048 || task.row0 >= task.job.n {
+            return Err(GraspError::WireProtocol {
+                detail: format!(
+                    "mat-mul band out of range: n={}, row0={}",
+                    task.job.n, task.row0
+                ),
+            });
+        }
+        Ok(task)
+    }
+
+    /// Execute the band locally (regenerates the inputs from the job seed).
+    pub fn execute(&self) -> Vec<f64> {
+        let (a, b) = self.job.generate_inputs();
+        self.job.multiply_band(&a, &b, self.row0, self.rows)
+    }
+
+    /// Deterministic digest of the band result, computed over the exact
+    /// IEEE-754 bit patterns — identical wherever the kernel runs.
+    pub fn digest(&self) -> u64 {
+        let band = self.execute();
+        let mut bytes = Vec::with_capacity(band.len() * 8);
+        for v in &band {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        fnv1a_64(&bytes)
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +252,49 @@ mod tests {
             .windows(2)
             .all(|w| (w[0].work - w[1].work).abs() < 1e-12));
         assert!(tasks[0].work > 0.0);
+    }
+
+    #[test]
+    fn band_tasks_round_trip_and_digest_deterministically() {
+        let job = MatMulJob::small();
+        for (id, kind, payload) in job.wire_payloads() {
+            assert_eq!(kind, PAYLOAD_MATMUL);
+            let back = MatMulBandTask::decode(&payload).unwrap();
+            assert_eq!(back, job.band_task(id));
+            // The decoded task computes exactly what the local kernel does.
+            let local = job.multiply_band(
+                &job.generate_inputs().0,
+                &job.generate_inputs().1,
+                back.row0,
+                back.rows,
+            );
+            assert_eq!(back.execute(), local);
+            assert_eq!(back.digest(), job.band_task(id).digest());
+        }
+        // Different bands produce different digests.
+        assert_ne!(job.band_task(0).digest(), job.band_task(1).digest());
+    }
+
+    #[test]
+    fn malformed_band_payloads_are_rejected_without_panicking() {
+        let good = MatMulJob::small().band_task(0).encode();
+        assert!(MatMulBandTask::decode(&good[..good.len() - 1]).is_err());
+        assert!(MatMulBandTask::decode(&[]).is_err());
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(MatMulBandTask::decode(&trailing).is_err());
+        // A band whose coordinates lie outside the matrix is rejected (a
+        // hostile or corrupted frame must not allocate n² doubles).
+        let bad = MatMulBandTask {
+            job: MatMulJob {
+                n: usize::MAX,
+                block_rows: 1,
+                seed: 0,
+            },
+            row0: 0,
+            rows: 1,
+        };
+        assert!(MatMulBandTask::decode(&bad.encode()).is_err());
     }
 
     #[test]

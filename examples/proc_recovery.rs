@@ -1,0 +1,78 @@
+//! `kill -9` recovery on the process-isolated backend.
+//!
+//! The scenario the Cactus-Worm line of work studies — dynamic resource
+//! loss in a live grid — at example scale: a farm of real serialized matmul
+//! band tasks runs on worker OS processes, and mid-run one worker is
+//! SIGKILLed (no unwinding, no goodbye frame; exactly what a revoked node
+//! looks like from the master).  The master detects the loss through pipe
+//! EOF / the gridmon heartbeat timeout, requeues the victim's in-flight
+//! units on the survivors, and completes the job with full unit
+//! conservation, every band digest matching the local kernel, and the loss
+//! on the record.
+//!
+//! Run with: `cargo build --release && cargo run --release --example proc_recovery`
+//! (the build step produces the `grasp-proc-worker` binary the backend
+//! spawns).
+
+use grasp_repro::grasp_core::prelude::*;
+use grasp_repro::grasp_proc::ProcBackend;
+use grasp_repro::grasp_workloads::matmul::MatMulJob;
+
+fn main() {
+    let job = MatMulJob {
+        n: 192,
+        block_rows: 16,
+        seed: 9,
+    };
+    let skeleton = Skeleton::farm(job.as_tasks(1e6));
+    println!(
+        "proc_recovery: {} matmul bands (n={}) on 3 worker processes; \
+         worker 1 will be hard-killed after 2 results",
+        job.task_count(),
+        job.n
+    );
+
+    let backend = ProcBackend::new(3)
+        .with_payloads(job.wire_payloads())
+        // Slow the pool slightly via real work only — the matmul bands are
+        // the computation; the kill must land while units are in flight.
+        .with_kill_injection(1, 2);
+    let report = Grasp::new(GraspConfig::default())
+        .run(&backend, &skeleton)
+        .expect("a hard-killed worker must not fail the run");
+
+    let outcome = &report.outcome;
+    assert_eq!(outcome.completed, job.task_count());
+    assert!(
+        outcome.conserves_units_of(&skeleton),
+        "no band lost or duplicated"
+    );
+    assert!(
+        outcome.resilience.nodes_lost >= 1,
+        "the kill must be accounted: {:?}",
+        outcome.resilience
+    );
+    match &outcome.detail {
+        OutcomeDetail::ProcFarm {
+            tasks_per_worker,
+            unit_digests,
+            bytes_sent,
+            bytes_received,
+            ..
+        } => {
+            for &(unit, digest) in unit_digests {
+                assert_eq!(
+                    digest,
+                    job.band_task(unit).digest(),
+                    "band {unit} recomputed after the kill must still be correct"
+                );
+            }
+            println!(
+                "proc_recovery: survived — {} units, {:?} per worker, \
+                 resilience {:?}, {}B out / {}B in, all digests verified",
+                outcome.completed, tasks_per_worker, outcome.resilience, bytes_sent, bytes_received
+            );
+        }
+        other => panic!("unexpected detail {other:?}"),
+    }
+}

@@ -1,0 +1,12 @@
+//! The worker-mode entry point of the process-isolated backend: a re-exec
+//! target that speaks the `grasp_core::wire` protocol over its standard
+//! streams.  `grasp_proc::ProcBackend` spawns one of these per worker; see
+//! `grasp_proc::worker` for the protocol lifecycle.
+//!
+//! The binary lives in the workspace root so `cargo build` (and the build
+//! step of `cargo test`, via the root integration tests) always produces it
+//! alongside every other artefact.
+
+fn main() {
+    std::process::exit(grasp_proc::worker::run_stdio());
+}

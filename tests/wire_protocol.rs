@@ -1,0 +1,88 @@
+//! Property tests over the worker wire protocol: framing round-trips for
+//! arbitrary messages, and truncated/corrupted frames always surface as
+//! typed `GraspError`s — never as panics or silently different messages.
+
+use grasp_repro::grasp_core::wire::{WireMsg, PAYLOAD_SPIN};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Task frames round-trip bit-exactly for arbitrary ids, work values,
+    /// payload kinds and payload bytes.
+    #[test]
+    fn task_frames_round_trip(
+        unit_id in any::<u64>(),
+        work in -1e9f64..1e9,
+        kind in 0u32..8,
+        payload in prop::collection::vec(0u8..=255, 0..512),
+    ) {
+        let msg = WireMsg::Task { unit_id, work, kind, payload: payload.clone() };
+        let frame = msg.encode();
+        let (back, used) = WireMsg::decode_slice(&frame).unwrap();
+        prop_assert_eq!(back, msg);
+        prop_assert_eq!(used, frame.len());
+    }
+
+    /// Result and control frames round-trip for arbitrary field values.
+    #[test]
+    fn result_frames_round_trip(
+        unit_id in any::<u64>(),
+        elapsed in 0.0f64..1e6,
+        digest in any::<u64>(),
+        pid in any::<u64>(),
+        detail in prop::collection::vec(32u8..127, 0..80),
+    ) {
+        let detail = String::from_utf8(detail.clone()).unwrap();
+        for msg in [
+            WireMsg::Done { unit_id, elapsed_s: elapsed, digest },
+            WireMsg::Failed { unit_id, detail: detail.clone() },
+            WireMsg::Hello { pid },
+            WireMsg::Heartbeat,
+            WireMsg::Shutdown,
+        ] {
+            let frame = msg.encode();
+            let (back, used) = WireMsg::decode_slice(&frame).unwrap();
+            prop_assert_eq!(back, msg);
+            prop_assert_eq!(used, frame.len());
+        }
+    }
+
+    /// Every strict prefix of a valid frame is rejected as truncated — a
+    /// worker dying mid-write can never be mis-read as a shorter message.
+    #[test]
+    fn truncated_frames_are_typed_errors(
+        unit_id in any::<u64>(),
+        payload in prop::collection::vec(0u8..=255, 0..64),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let frame = WireMsg::Task { unit_id, work: 1.0, kind: PAYLOAD_SPIN, payload: payload.clone() }.encode();
+        let cut = 1 + ((frame.len() - 2) as f64 * cut_frac) as usize; // 1..len-1
+        let err = WireMsg::decode_slice(&frame[..cut]).unwrap_err();
+        prop_assert!(err.to_string().contains("wire protocol"), "{}", err);
+    }
+
+    /// Flipping any single byte of a frame is caught (magic, version, tag,
+    /// length and checksum are all validated; the checksum covers the rest).
+    #[test]
+    fn corrupted_frames_are_typed_errors(
+        unit_id in any::<u64>(),
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let frame = WireMsg::Done { unit_id, elapsed_s: 0.5, digest: 7 }.encode();
+        let mut bad = frame.clone();
+        let pos = ((bad.len() - 1) as f64 * pos_frac) as usize;
+        bad[pos] ^= flip;
+        prop_assert!(WireMsg::decode_slice(&bad).is_err());
+    }
+
+    /// Arbitrary garbage never panics the decoder.
+    #[test]
+    fn garbage_never_panics_the_decoder(bytes in prop::collection::vec(0u8..=255, 0..256)) {
+        let _ = WireMsg::decode_slice(&bytes);
+        // Streaming reads over garbage are equally safe.
+        let mut r = bytes.as_slice();
+        let _ = WireMsg::read_from(&mut r);
+    }
+}
