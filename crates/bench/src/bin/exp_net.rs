@@ -1,0 +1,10 @@
+//! E13 — dynamic membership on the socket backend (fixed vs growing pool),
+//! at paper scale.  Runs over the deterministic loopback transport, so no
+//! worker binary or free port is needed.
+
+use grasp_bench::experiments::e13_net_membership;
+use grasp_bench::format_table;
+
+fn main() {
+    println!("{}", format_table(&e13_net_membership(400, 8)));
+}

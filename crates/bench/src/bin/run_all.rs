@@ -1,4 +1,4 @@
-//! Run every experiment (E1–E12) and print all tables/series, additionally
+//! Run every experiment (E1–E13) and print all tables/series, additionally
 //! emitting a machine-readable `BENCH_results.json` so the performance
 //! trajectory can be tracked across commits without parsing text tables.
 //!
@@ -47,6 +47,7 @@ struct Scale {
     e10: (usize, usize, &'static [f64], f64),
     e11: (usize, f64),
     e12: (usize, usize),
+    e13: (usize, usize),
 }
 
 /// Paper scale: the numbers the committed experiment tables use.
@@ -63,6 +64,7 @@ const PAPER: Scale = Scale {
     e10: (16, 400, &[0.2, 0.4, 0.6, 0.8, 1.0], 20.0),
     e11: (6_000, 25.0),
     e12: (512, 16),
+    e13: (400, 8),
 };
 
 /// Smoke scale: every experiment at a size that finishes in seconds.
@@ -79,6 +81,7 @@ const SMOKE: Scale = Scale {
     e10: (8, 160, &[0.5], 15.0),
     e11: (1_200, 25.0),
     e12: (128, 16),
+    e13: (80, 4),
 };
 
 /// Collects printed experiment results and their JSON renderings.
@@ -227,6 +230,9 @@ fn main() {
     });
     out.experiment("E12", |out| {
         out.table(&e12_proc_backend(scale.e12.0, scale.e12.1));
+    });
+    out.experiment("E13", |out| {
+        out.table(&e13_net_membership(scale.e13.0, scale.e13.1));
     });
 
     out.write(&json_path);

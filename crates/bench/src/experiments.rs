@@ -1,4 +1,4 @@
-//! The experiments of DESIGN.md's index (E1–E12), as reusable functions.
+//! The experiments of DESIGN.md's index (E1–E13), as reusable functions.
 //!
 //! Each function runs one experiment at a caller-chosen scale and returns a
 //! [`Table`] and/or [`Series`] ready to print.  The `exp_*` binaries call
@@ -14,6 +14,8 @@ use crate::scenarios::{
 use grasp_core::calibration::Calibrator;
 use grasp_core::prelude::*;
 use grasp_exec::ThreadBackend;
+use grasp_net::worker::{run_connection, WorkerOptions};
+use grasp_net::{LoopbackNet, NetBackend};
 use grasp_proc::ProcBackend;
 use grasp_workloads::matmul::MatMulJob;
 use gridmon::{
@@ -716,6 +718,95 @@ pub fn e12_proc_backend(matmul_n: usize, block_rows: usize) -> Table {
     table
 }
 
+/// E13 — dynamic membership: a fixed pool vs a pool that grows mid-run.
+///
+/// The socket backend's headline claim, measured: the same farm runs once on
+/// a full pool present from the start, and once on half the pool with the
+/// other half joining mid-run through the Join/Welcome handshake (each
+/// newcomer is parked until a quarter of the units are done, then ranked by
+/// a calibration prefix of probe units before receiving real work).  Both
+/// runs use the deterministic loopback transport — workers are in-process
+/// protocol threads, so the comparison measures membership mechanics, not
+/// socket noise — and both must conserve the unit set exactly.  The table
+/// reports how the growing pool closes the gap: admissions on the audit
+/// trail, calibration probes spent, and the share of real units the late
+/// joiners absorbed.
+pub fn e13_net_membership(tasks_n: usize, pool: usize) -> Table {
+    let pool = pool.max(2);
+    let founders = (pool / 2).max(1);
+    let hold_until = (tasks_n / 4).max(1);
+    let probes_per_joiner = 2;
+
+    let mut table = Table::new(
+        format!("E13: dynamic membership, fixed vs growing pool ({tasks_n} units, {pool} workers)"),
+        &[
+            "variant",
+            "workers_start",
+            "workers_final",
+            "makespan_s",
+            "units_per_s",
+            "node_joins",
+            "calibration_probes",
+            "late_worker_units",
+        ],
+    );
+
+    let mut run = |name: &str, wait_for: usize, grow: bool| {
+        let (net, acceptor) = LoopbackNet::new();
+        let mut backend = NetBackend::over(Box::new(acceptor), wait_for)
+            .with_heartbeat(0.0, 1.0)
+            .with_spin_per_work_unit(20_000);
+        if grow {
+            backend = backend
+                .with_hold_joins_until(hold_until)
+                .with_join_calibration_units(probes_per_joiner);
+        }
+        let handles: Vec<_> = (0..pool)
+            .map(|_| {
+                let conn = net.connect().expect("loopback connect failed");
+                std::thread::spawn(move || run_connection(conn, WorkerOptions::default()))
+            })
+            .collect();
+        let skeleton = Skeleton::farm(TaskSpec::uniform(tasks_n, 1.0, 0, 0));
+        let report = Grasp::new(GraspConfig::default())
+            .run(&backend, &skeleton)
+            .expect("membership experiment run failed");
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 0, "every worker must exit cleanly");
+        }
+        assert!(
+            report.outcome.conserves_units_of(&skeleton),
+            "{name}: the membership change must conserve the unit set"
+        );
+        let outcome = &report.outcome;
+        let (joins, probes, late_units) = match &outcome.detail {
+            OutcomeDetail::NetFarm { members, .. } => (
+                outcome.adaptation_log.node_joins(),
+                members.iter().map(|m| m.calibration_probes).sum::<usize>(),
+                members
+                    .iter()
+                    .filter(|m| m.joined_mid_run)
+                    .map(|m| m.units_completed)
+                    .sum::<usize>(),
+            ),
+            other => panic!("unexpected outcome detail {other:?}"),
+        };
+        table.push_row(vec![
+            name.to_string(),
+            wait_for.to_string(),
+            pool.to_string(),
+            format!("{:.6}", outcome.makespan_s),
+            format!("{:.1}", outcome.throughput()),
+            joins.to_string(),
+            probes.to_string(),
+            late_units.to_string(),
+        ]);
+    };
+    run("fixed", pool, false);
+    run("growing", founders, true);
+    table
+}
+
 /// E8 — forecaster accuracy on representative load signals.
 pub fn e8_forecaster_accuracy(samples: usize) -> Table {
     let signals: Vec<(&str, Box<dyn LoadModel>)> = vec![
@@ -945,6 +1036,32 @@ mod tests {
         let bytes: Vec<u64> = table.rows.iter().map(|r| r[3].parse().unwrap()).collect();
         assert_eq!(bytes[0], 0);
         assert!(bytes[1] > 0 && bytes[2] > 0);
+    }
+
+    #[test]
+    fn e13_only_the_growing_pool_records_mid_run_admissions() {
+        let table = e13_net_membership(48, 4);
+        assert_eq!(table.len(), 2);
+        let fixed = &table.rows[0];
+        let growing = &table.rows[1];
+        assert_eq!(fixed[0], "fixed");
+        assert_eq!(growing[0], "growing");
+        // The fixed pool is complete before dispatch: nothing joins mid-run.
+        assert_eq!(fixed[5], "0");
+        assert_eq!(fixed[6], "0");
+        assert_eq!(fixed[7], "0");
+        // The growing pool starts at half strength and admits the rest
+        // mid-run, each newcomer through its calibration prefix.
+        assert_eq!(growing[1], "2");
+        let joins: usize = growing[5].parse().unwrap();
+        assert_eq!(joins, 2, "both late workers must be admitted: {growing:?}");
+        let probes: usize = growing[6].parse().unwrap();
+        assert_eq!(probes, 4, "two probes per admitted newcomer");
+        let late_units: usize = growing[7].parse().unwrap();
+        assert!(
+            late_units > 0,
+            "late joiners must absorb real units after calibrating"
+        );
     }
 
     #[test]

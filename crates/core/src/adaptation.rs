@@ -34,6 +34,12 @@ pub enum AdaptationAction {
         /// Number of tasks returned to the pending queue.
         requeued_tasks: usize,
     },
+    /// A node was admitted to the pool while execution was already under
+    /// way (dynamic membership: the network backend's mid-run joins).
+    NodeJoined {
+        /// The admitted node.
+        node: NodeId,
+    },
     /// A pipeline stage was remapped to a different node.
     StageRemapped {
         /// Index of the remapped stage.
@@ -61,6 +67,7 @@ impl AdaptationAction {
             AdaptationAction::Recalibrated { .. } => "recalibrated",
             AdaptationAction::NodeDemoted { .. } => "node-demoted",
             AdaptationAction::NodeLost { .. } => "node-lost",
+            AdaptationAction::NodeJoined { .. } => "node-joined",
             AdaptationAction::StageRemapped { .. } => "stage-remapped",
             AdaptationAction::StageReplicated { .. } => "stage-replicated",
         }
@@ -136,6 +143,11 @@ impl AdaptationLog {
     /// Number of node losses handled.
     pub fn node_losses(&self) -> usize {
         self.count_kind("node-lost")
+    }
+
+    /// Number of mid-run node admissions (dynamic membership).
+    pub fn node_joins(&self) -> usize {
+        self.count_kind("node-joined")
     }
 
     /// Total tasks returned to the pending queue by node losses.
@@ -248,6 +260,7 @@ mod tests {
                 requeued_tasks: 0,
             }
             .kind(),
+            AdaptationAction::NodeJoined { node: NodeId(0) }.kind(),
             AdaptationAction::StageRemapped {
                 stage: 0,
                 from: NodeId(0),
@@ -261,6 +274,6 @@ mod tests {
             .kind(),
         ];
         let unique: std::collections::HashSet<&str> = kinds.into_iter().collect();
-        assert_eq!(unique.len(), 5);
+        assert_eq!(unique.len(), 6);
     }
 }

@@ -312,6 +312,21 @@ impl AdaptationEngine {
         })
     }
 
+    /// Record that the caller admitted an executor to the pool while
+    /// execution was already running (dynamic membership).  The engine takes
+    /// no position on the newcomer's speed yet — the caller ranks it through
+    /// a calibration prefix and feeds the observations back via
+    /// [`AdaptationEngine::observe`], after which the ordinary monitoring
+    /// loop (including demotion) covers it like any founding member.
+    pub fn note_node_joined(&mut self, now: SimTime, node: NodeId) {
+        self.log.record(
+            now,
+            AdaptationAction::NodeJoined { node },
+            self.monitor.threshold(),
+            0.0,
+        );
+    }
+
     /// Record that the caller observed an executor loss (revocation, worker
     /// death) and requeued its in-flight work.
     pub fn note_node_lost(&mut self, now: SimTime, node: NodeId, requeued_tasks: usize) {

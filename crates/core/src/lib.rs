@@ -73,6 +73,7 @@ pub mod scheduler;
 pub mod skeleton;
 pub mod task;
 pub mod threshold;
+pub mod transport;
 pub mod wire;
 
 /// Convenient glob import for downstream users.
@@ -90,8 +91,8 @@ pub mod prelude {
     pub use crate::properties::{SkeletonKind, SkeletonProperties};
     pub use crate::scheduler::SchedulePolicy;
     pub use crate::skeleton::{
-        Backend, FarmedStage, OutcomeDetail, ResilienceReport, SimBackend, Skeleton,
-        SkeletonOutcome,
+        Backend, FarmedStage, NetDeparture, NetMemberReport, OutcomeDetail, ResilienceReport,
+        SimBackend, Skeleton, SkeletonOutcome,
     };
     pub use crate::task::{TaskOutcome, TaskSpec};
     pub use crate::threshold::ThresholdPolicy;

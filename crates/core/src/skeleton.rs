@@ -478,6 +478,44 @@ impl ResilienceReport {
     }
 }
 
+/// How a network worker ended its pool membership.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetDeparture {
+    /// The worker announced a Goodbye, drained its outstanding window and
+    /// was released — no units were lost and nothing was requeued.
+    Graceful,
+    /// The connection died (socket EOF, frame corruption, or a heartbeat
+    /// timeout) with the worker still owing work; its in-flight units were
+    /// requeued and the loss counted in the [`ResilienceReport`].
+    Death,
+}
+
+/// One worker's membership record in a network run (dynamic-membership
+/// audit: who joined when, whether it was ranked by a calibration prefix,
+/// and how it left — if it left).
+#[derive(Debug, Clone)]
+pub struct NetMemberReport {
+    /// The pool slot the master assigned (never reused within a run).
+    pub worker: usize,
+    /// OS process id the worker reported in its Join frame.
+    pub pid: u64,
+    /// Master-clock seconds from run start to admission.
+    pub joined_s: f64,
+    /// `true` when the worker was admitted after dispatch had begun — the
+    /// dynamic-membership path, where real units are withheld until the
+    /// calibration prefix completes.
+    pub joined_mid_run: bool,
+    /// Calibration probe units the worker executed before receiving real
+    /// units (0 for founding members, whose calibration rides on the job's
+    /// own leading units).
+    pub calibration_probes: usize,
+    /// Real units this worker completed.
+    pub units_completed: usize,
+    /// How the worker left the pool; `None` when it was still a member at
+    /// job completion.
+    pub left: Option<NetDeparture>,
+}
+
 /// The backend's rich native report for the root of an executed skeleton,
 /// when it exposes one.
 #[derive(Debug, Clone)]
@@ -529,13 +567,36 @@ pub enum OutcomeDetail {
         /// Bytes of frames received from the workers (hellos, results,
         /// heartbeats).
         bytes_received: u64,
-        /// Master-side wall seconds spent encoding and writing frames — the
-        /// serialization cost sitting on the dispatch critical path.
+        /// Wall seconds the writer threads spent encoding and writing
+        /// frames (aggregate across workers) — the run's serialization cost.
         wire_write_s: f64,
         /// Per-unit result digests reported by the workers, sorted by unit
         /// id (all zero for spin payloads).  Lets callers verify that a
         /// worker's computation matches a locally computed reference.
         unit_digests: Vec<(usize, u64)>,
+    },
+    /// Network-farm summary from the socket backend (`grasp-net`): the
+    /// process backend's wire accounting plus the dynamic-membership audit.
+    NetFarm {
+        /// Workers ever admitted to the pool (including ones that later
+        /// left; slots are never reused).
+        workers: usize,
+        /// Units completed per admitted worker.
+        tasks_per_worker: Vec<usize>,
+        /// Connections refused at the handshake (version or capability
+        /// mismatch, or a peer that never sent a valid Join).
+        rejected_joins: usize,
+        /// Bytes of frames written to the workers.
+        bytes_sent: u64,
+        /// Bytes of frames received from the workers.
+        bytes_received: u64,
+        /// Wall seconds the writer threads spent encoding and writing
+        /// frames (aggregate across workers).
+        wire_write_s: f64,
+        /// Per-unit result digests, sorted by unit id.
+        unit_digests: Vec<(usize, u64)>,
+        /// Per-member membership audit, in admission order.
+        members: Vec<NetMemberReport>,
     },
 }
 

@@ -59,6 +59,29 @@ const TAG_DONE: u8 = 3;
 const TAG_FAILED: u8 = 4;
 const TAG_HEARTBEAT: u8 = 5;
 const TAG_SHUTDOWN: u8 = 6;
+const TAG_JOIN: u8 = 7;
+const TAG_WELCOME: u8 = 8;
+const TAG_GOODBYE: u8 = 9;
+
+/// Capability bit advertised by a worker that can execute [`PAYLOAD_SPIN`]
+/// tasks (every worker can).
+pub const CAP_SPIN: u32 = 1 << PAYLOAD_SPIN;
+
+/// Capability bit for [`PAYLOAD_MATMUL`] tasks.
+pub const CAP_MATMUL: u32 = 1 << PAYLOAD_MATMUL;
+
+/// Capability bit for [`PAYLOAD_IMAGING`] tasks.
+pub const CAP_IMAGING: u32 = 1 << PAYLOAD_IMAGING;
+
+/// Every capability the stock worker binaries implement.
+pub const CAP_ALL: u32 = CAP_SPIN | CAP_MATMUL | CAP_IMAGING;
+
+/// The capability bit a worker must advertise to be handed tasks of payload
+/// `kind` (0 for kinds beyond the bitmask — no worker can claim them, so the
+/// master rejects such joins instead of dispatching undecodable payloads).
+pub fn payload_capability(kind: u32) -> u32 {
+    1u32.checked_shl(kind).unwrap_or(0)
+}
 
 /// FNV-1a 64-bit hash — the deterministic digest workloads use to compare a
 /// worker's result against a locally computed reference without shipping the
@@ -262,6 +285,42 @@ pub enum WireMsg {
     Heartbeat,
     /// Master → worker: drain and exit cleanly.
     Shutdown,
+    /// Worker → master, first frame of the network registration handshake:
+    /// who the worker is and what it speaks.  The master validates the
+    /// version and the capability mask before admitting it to the pool (a
+    /// mismatch is answered with [`WireMsg::Shutdown`] and a closed
+    /// connection).
+    Join {
+        /// The worker's OS process id (diagnostic; also how a master that
+        /// spawned the process matches the connection to its child handle).
+        pid: u64,
+        /// The wire protocol version the worker speaks ([`WIRE_VERSION`]).
+        wire_version: u32,
+        /// Bitmask of payload kinds the worker can execute ([`CAP_SPIN`],
+        /// [`CAP_MATMUL`], …).
+        capabilities: u32,
+    },
+    /// Master → worker: the registration was accepted; run parameters.
+    /// The network analogue of [`WireMsg::Init`], carrying the identity the
+    /// master assigned on top.
+    Welcome {
+        /// The pool slot the master assigned (stable for the connection's
+        /// lifetime; never reused within a run).
+        worker_id: u64,
+        /// How often the worker's heartbeat thread reports liveness
+        /// (0 disables the heartbeat thread — liveness then rests on
+        /// connection EOF alone).
+        heartbeat_interval_s: f64,
+        /// Spin-kernel iterations per declared work unit.
+        spin_per_work_unit: u64,
+    },
+    /// Worker → master: the worker wants to leave gracefully.  It finishes
+    /// the tasks already on its wire, but must be handed no new ones; the
+    /// master answers with [`WireMsg::Shutdown`] once the window drains.
+    Goodbye {
+        /// Human-readable reason (diagnostics only).
+        reason: String,
+    },
 }
 
 impl WireMsg {
@@ -274,6 +333,9 @@ impl WireMsg {
             WireMsg::Failed { .. } => TAG_FAILED,
             WireMsg::Heartbeat => TAG_HEARTBEAT,
             WireMsg::Shutdown => TAG_SHUTDOWN,
+            WireMsg::Join { .. } => TAG_JOIN,
+            WireMsg::Welcome { .. } => TAG_WELCOME,
+            WireMsg::Goodbye { .. } => TAG_GOODBYE,
         }
     }
 
@@ -313,6 +375,25 @@ impl WireMsg {
                 w.put_str(detail);
             }
             WireMsg::Heartbeat | WireMsg::Shutdown => {}
+            WireMsg::Join {
+                pid,
+                wire_version,
+                capabilities,
+            } => {
+                w.put_u64(*pid);
+                w.put_u32(*wire_version);
+                w.put_u32(*capabilities);
+            }
+            WireMsg::Welcome {
+                worker_id,
+                heartbeat_interval_s,
+                spin_per_work_unit,
+            } => {
+                w.put_u64(*worker_id);
+                w.put_f64(*heartbeat_interval_s);
+                w.put_u64(*spin_per_work_unit);
+            }
+            WireMsg::Goodbye { reason } => w.put_str(reason),
         }
         w.into_vec()
     }
@@ -342,6 +423,19 @@ impl WireMsg {
             },
             TAG_HEARTBEAT => WireMsg::Heartbeat,
             TAG_SHUTDOWN => WireMsg::Shutdown,
+            TAG_JOIN => WireMsg::Join {
+                pid: r.take_u64()?,
+                wire_version: r.take_u32()?,
+                capabilities: r.take_u32()?,
+            },
+            TAG_WELCOME => WireMsg::Welcome {
+                worker_id: r.take_u64()?,
+                heartbeat_interval_s: r.take_f64()?,
+                spin_per_work_unit: r.take_u64()?,
+            },
+            TAG_GOODBYE => WireMsg::Goodbye {
+                reason: r.take_str()?,
+            },
             other => return Err(wire_err(format!("unknown message tag {other}"))),
         };
         r.finish()?;
@@ -461,7 +555,31 @@ mod tests {
             },
             WireMsg::Heartbeat,
             WireMsg::Shutdown,
+            WireMsg::Join {
+                pid: 31337,
+                wire_version: WIRE_VERSION as u32,
+                capabilities: CAP_ALL,
+            },
+            WireMsg::Welcome {
+                worker_id: 3,
+                heartbeat_interval_s: 0.25,
+                spin_per_work_unit: 500,
+            },
+            WireMsg::Goodbye {
+                reason: "drained by operator".into(),
+            },
         ]
+    }
+
+    #[test]
+    fn payload_capabilities_cover_the_known_kinds_and_reject_the_rest() {
+        assert_eq!(payload_capability(PAYLOAD_SPIN), CAP_SPIN);
+        assert_eq!(payload_capability(PAYLOAD_MATMUL), CAP_MATMUL);
+        assert_eq!(payload_capability(PAYLOAD_IMAGING), CAP_IMAGING);
+        assert_eq!(CAP_ALL, CAP_SPIN | CAP_MATMUL | CAP_IMAGING);
+        // A kind beyond the mask maps to "no worker can claim it".
+        assert_eq!(payload_capability(99), 0);
+        assert_eq!(payload_capability(32), 0);
     }
 
     #[test]

@@ -364,4 +364,33 @@ mod tests {
         reg.forget_heartbeat(NodeId(3));
         assert_eq!(reg.stale_nodes(SimTime::new(50.0), 2.0).len(), 2);
     }
+
+    #[test]
+    fn a_node_re_registering_after_staleness_starts_with_fresh_liveness() {
+        // Dynamic membership: a node declared stale, acted upon, and later
+        // re-admitted must not inherit its old heartbeat record.  The
+        // caller's contract is forget-then-note on re-registration; after
+        // that, the node is fresh — not instantly stale again — and the
+        // sweep stops re-reporting it in between.
+        let mut reg = MonitorRegistry::new(NodeId(0), 16);
+        reg.note_heartbeat(NodeId(1), SimTime::ZERO);
+        assert_eq!(reg.stale_nodes(SimTime::new(10.0), 2.0), vec![NodeId(1)]);
+        // The caller acts on the loss: forget.  No more re-reports.
+        reg.forget_heartbeat(NodeId(1));
+        assert!(reg.stale_nodes(SimTime::new(10.0), 2.0).is_empty());
+        assert!(reg.last_heartbeat(NodeId(1)).is_none());
+        // Re-registration at t=10: without the preceding forget, the
+        // never-move-backwards rule would pin the node to its dead past
+        // (note_heartbeat(10) after a surviving record of 0 is fine — but a
+        // *stray late frame* re-inserting t=0 would make it stale forever).
+        reg.forget_heartbeat(NodeId(1)); // idempotent on the caller's path
+        reg.note_heartbeat(NodeId(1), SimTime::new(10.0));
+        assert!(
+            reg.stale_nodes(SimTime::new(11.0), 2.0).is_empty(),
+            "a re-registered node is fresh"
+        );
+        assert_eq!(reg.last_heartbeat(NodeId(1)), Some(SimTime::new(10.0)));
+        // And it goes stale again only on its own new silence.
+        assert_eq!(reg.stale_nodes(SimTime::new(13.0), 2.0), vec![NodeId(1)]);
+    }
 }

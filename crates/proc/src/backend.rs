@@ -33,18 +33,18 @@ use grasp_core::execution::MonitorVerdict;
 use grasp_core::skeleton::{
     Backend, OutcomeDetail, ResilienceReport, Skeleton, SkeletonOutcome, UnitSpan,
 };
+use grasp_core::transport::{spawn_frame_writer, stream_connection};
 use grasp_core::wire::{WireMsg, PAYLOAD_SPIN};
 use grasp_core::GraspConfig;
 use gridmon::{MonitorRegistry, NodeObservation};
 use gridsim::NodeId;
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::io::{Read, Write};
 use std::path::PathBuf;
-use std::process::{Child, ChildStdin, Command, Stdio};
+use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// The process-isolated execution backend for skeleton expressions.
 ///
@@ -234,35 +234,21 @@ enum Event {
     Closed,
 }
 
-/// A byte-counting wrapper so reader threads account the inbound wire volume
-/// without the master touching their streams.
-struct CountingReader<R> {
-    inner: R,
-    count: Arc<AtomicU64>,
-}
-
-impl<R: Read> Read for CountingReader<R> {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        let n = self.inner.read(buf)?;
-        self.count.fetch_add(n as u64, Ordering::Relaxed);
-        Ok(n)
-    }
-}
-
 /// One spawned worker process, master side.  Dropping it kills and reaps the
 /// child, so every error path leaves no orphan behind.
 ///
-/// Outbound frames go through a dedicated writer thread (owning the child's
-/// stdin) rather than being written from the master loop: a worker only
-/// reads between tasks, so a blocking `write_all` of a large payload into a
-/// full pipe would stall the master — and with it the very heartbeat sweep
-/// that is supposed to unmask a wedged worker.  Closing the channel drops
-/// the sender; the writer drains what was queued, then drops stdin (EOF at
-/// the worker).
+/// Outbound frames go through the shared transport writer thread
+/// ([`spawn_frame_writer`], owning the child's stdin wrapped as a
+/// [`grasp_core::transport::FrameSink`]) rather than being written from the
+/// master loop: a worker only reads between tasks, so a blocking write of a
+/// large payload into a full pipe would stall the master — and with it the
+/// very heartbeat sweep that is supposed to unmask a wedged worker.
+/// Closing the channel drops the sender; the writer drains what was queued,
+/// then drops the sink (EOF at the worker).
 struct WorkerProc {
     child: Child,
     /// `None` once the channel is closed (demotion or death).
-    tx: Option<mpsc::Sender<Vec<u8>>>,
+    tx: Option<mpsc::Sender<WireMsg>>,
     alive: bool,
     demoted: bool,
     /// `Hello` received — eligible for dispatch.
@@ -279,22 +265,6 @@ impl Drop for WorkerProc {
         let _ = self.child.kill();
         let _ = self.child.wait();
     }
-}
-
-/// Spawn the writer thread owning `stdin`; frames sent on the returned
-/// channel are written in order, and dropping the sender closes the pipe.
-fn spawn_writer(mut stdin: ChildStdin) -> mpsc::Sender<Vec<u8>> {
-    let (tx, rx) = mpsc::channel::<Vec<u8>>();
-    std::thread::spawn(move || {
-        for frame in rx {
-            if stdin.write_all(&frame).and_then(|_| stdin.flush()).is_err() {
-                // Worker gone: drop queued frames; the reader-side EOF (or
-                // the heartbeat timeout) settles the worker's fate.
-                return;
-            }
-        }
-    });
-    tx
 }
 
 /// Master-side driver of the shared adaptation engine (executor mode): the
@@ -405,9 +375,13 @@ struct Master<'a> {
     requeued_tasks: usize,
     retried_tasks: usize,
     nodes_lost: usize,
-    bytes_sent: u64,
-    bytes_received: Vec<Arc<AtomicU64>>,
-    wire_write_s: f64,
+    /// Shared with the writer threads, which account each frame they put on
+    /// the wire.
+    bytes_sent: Arc<AtomicU64>,
+    /// Aggregate nanoseconds the writer threads spent encoding + writing.
+    write_nanos: Arc<AtomicU64>,
+    /// Shared with the reader-side sources ([`grasp_core::transport::FrameSource::set_byte_counter`]).
+    bytes_received: Arc<AtomicU64>,
     kill_injection: Option<(usize, usize)>,
 }
 
@@ -426,13 +400,13 @@ impl<'a> Master<'a> {
         let clock = WallClock::start();
         let mut registry = MonitorRegistry::new(NodeId(0), 64);
         let mut pool = Vec::with_capacity(backend.workers);
-        let mut bytes_received = Vec::with_capacity(backend.workers);
+        let bytes_sent = Arc::new(AtomicU64::new(0));
+        let write_nanos = Arc::new(AtomicU64::new(0));
+        let bytes_received = Arc::new(AtomicU64::new(0));
         let init = WireMsg::Init {
             heartbeat_interval_s: backend.heartbeat_interval_s,
             spin_per_work_unit: backend.spin_per_work_unit,
         };
-        let mut bytes_sent = 0u64;
-        let mut wire_write_s = 0.0;
         for w in 0..backend.workers {
             let mut child = Command::new(&compiled.worker_bin)
                 .stdin(Stdio::piped())
@@ -444,36 +418,28 @@ impl<'a> Master<'a> {
                 })?;
             let stdin = child.stdin.take().expect("stdin was piped");
             let stdout = child.stdout.take().expect("stdout was piped");
-            let count = Arc::new(AtomicU64::new(0));
-            bytes_received.push(Arc::clone(&count));
+            // The pipe pair is one framed transport connection; the same
+            // master logic runs unchanged over sockets in `grasp-net`.
+            let (sink, mut source) = stream_connection(format!("pipe:{w}"), stdin, stdout).split();
+            source.set_byte_counter(Arc::clone(&bytes_received));
             let tx = tx.clone();
-            std::thread::spawn(move || {
-                let mut reader = std::io::BufReader::new(CountingReader {
-                    inner: stdout,
-                    count,
-                });
-                loop {
-                    match WireMsg::read_from(&mut reader) {
-                        Ok(Some(msg)) => {
-                            if tx.send((w, Event::Msg(msg))).is_err() {
-                                return; // master gone
-                            }
+            std::thread::spawn(move || loop {
+                match source.recv() {
+                    Ok(Some(msg)) => {
+                        if tx.send((w, Event::Msg(msg))).is_err() {
+                            return; // master gone
                         }
-                        Ok(None) | Err(_) => {
-                            let _ = tx.send((w, Event::Closed));
-                            return;
-                        }
+                    }
+                    Ok(None) | Err(_) => {
+                        let _ = tx.send((w, Event::Closed));
+                        return;
                     }
                 }
             });
             // Configure the worker immediately; its Hello arrives via the
             // reader.  A spawn that dies instantly surfaces as Closed.
-            let out = spawn_writer(stdin);
-            let t0 = Instant::now();
-            let frame = init.encode();
-            wire_write_s += t0.elapsed().as_secs_f64();
-            bytes_sent += frame.len() as u64;
-            let write_ok = out.send(frame).is_ok();
+            let out = spawn_frame_writer(sink, Arc::clone(&bytes_sent), Arc::clone(&write_nanos));
+            let write_ok = out.send(init.clone()).is_ok();
             // Even before Hello, a worker is on the liveness clock: a binary
             // that wedges without ever speaking still times out.
             registry.note_heartbeat(NodeId(w), clock.now());
@@ -514,8 +480,8 @@ impl<'a> Master<'a> {
             retried_tasks: 0,
             nodes_lost: 0,
             bytes_sent,
+            write_nanos,
             bytes_received,
-            wire_write_s,
             kill_injection: backend.kill_injection,
         })
     }
@@ -532,23 +498,15 @@ impl<'a> Master<'a> {
         self.pool.iter().map(|p| p.in_flight.len()).sum()
     }
 
-    /// Queue one frame to worker `w`'s writer thread, accounting the
-    /// master-side serialization cost (encode only — the actual pipe write
-    /// happens off the master loop); `false` means the channel is gone (the
-    /// caller decides what that implies).
+    /// Queue one frame to worker `w`'s writer thread (which owns the
+    /// serialization cost — encoding and the actual pipe write both happen
+    /// off the master loop); `false` means the channel is gone (the caller
+    /// decides what that implies).
     fn send_to(&mut self, w: usize, msg: &WireMsg) -> bool {
         let Some(out) = self.pool[w].tx.as_ref() else {
             return false;
         };
-        let t0 = Instant::now();
-        let frame = msg.encode();
-        self.wire_write_s += t0.elapsed().as_secs_f64();
-        let len = frame.len() as u64;
-        let ok = out.send(frame).is_ok();
-        if ok {
-            self.bytes_sent += len;
-        }
-        ok
+        out.send(msg.clone()).is_ok()
     }
 
     /// Fill every ready worker's outstanding window from the pending queue.
@@ -678,6 +636,14 @@ impl<'a> Master<'a> {
     }
 
     fn on_msg(&mut self, w: usize, msg: WireMsg) -> Result<(), GraspError> {
+        // Frames from a worker already declared dead (its units were
+        // requeued, its heartbeat forgotten) are dropped: acting on them —
+        // in particular re-inserting the heartbeat below — would make the
+        // liveness sweep re-report the same stale node forever, and a
+        // late-arriving node could not re-register cleanly.
+        if !self.pool[w].alive {
+            return Ok(());
+        }
         let now = self.clock.now();
         match msg {
             WireMsg::Hello { .. } => {
@@ -764,6 +730,14 @@ impl<'a> Master<'a> {
                     detail: format!("worker {w} sent a master-side frame"),
                 });
             }
+            // The registration handshake belongs to the socket backend; a
+            // pipe worker's identity is its pipe pair, so these frames are
+            // as foreign here as a master-side frame.
+            WireMsg::Join { .. } | WireMsg::Welcome { .. } | WireMsg::Goodbye { .. } => {
+                return Err(GraspError::WireProtocol {
+                    detail: format!("worker {w} sent a frame outside the pipe protocol"),
+                });
+            }
         }
         Ok(())
     }
@@ -819,11 +793,7 @@ impl<'a> Master<'a> {
         let tasks_per_worker: Vec<usize> = self.pool.iter().map(|p| p.completed).collect();
         let workers = self.pool.len();
         self.pool.clear(); // drop = close, kill (no-op for clean exits), reap
-        let bytes_received = self
-            .bytes_received
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .sum();
+        let bytes_received = self.bytes_received.load(Ordering::Relaxed);
         let (calibration_s, adaptation_log) = match self.adaptation {
             Some(ad) => (ad.calibration_done_s, ad.engine.into_log()),
             None => (0.0, AdaptationLog::new()),
@@ -850,9 +820,9 @@ impl<'a> Master<'a> {
             detail: OutcomeDetail::ProcFarm {
                 workers,
                 tasks_per_worker,
-                bytes_sent: self.bytes_sent,
+                bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
                 bytes_received,
-                wire_write_s: self.wire_write_s,
+                wire_write_s: self.write_nanos.load(Ordering::Relaxed) as f64 / 1e9,
                 unit_digests: self.digests.into_iter().collect(),
             },
         })

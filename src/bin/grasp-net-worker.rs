@@ -1,0 +1,17 @@
+//! The worker-mode entry point of the socket backend: connects to a
+//! `grasp_net::NetBackend` master at the endpoint given as the first
+//! argument, passes the Join/Welcome registration handshake, and serves
+//! tasks until released.  See `grasp_net::worker` for the protocol
+//! lifecycle.
+//!
+//! The binary lives in the workspace root so `cargo build` always produces
+//! it alongside every other artefact.
+
+fn main() {
+    let Some(addr) = std::env::args().nth(1) else {
+        eprintln!("usage: grasp-net-worker <master-host:port>");
+        std::process::exit(2);
+    };
+    let opts = grasp_net::worker::WorkerOptions::default();
+    std::process::exit(grasp_net::worker::run_tcp(&addr, opts));
+}

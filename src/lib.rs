@@ -7,6 +7,7 @@
 
 pub use grasp_core;
 pub use grasp_exec;
+pub use grasp_net;
 pub use grasp_proc;
 pub use grasp_workloads;
 pub use gridmon;

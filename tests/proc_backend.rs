@@ -26,7 +26,11 @@ fn proc_and_thread_backends_agree_on_a_fixed_seed_matmul_farm() {
     // Backend parity, extended to the third backend: the same fixed-seed
     // matmul job lowered through the same rules must cover the same unit-id
     // set exactly once on real threads and on worker processes, and both
-    // outcomes must satisfy the conservation invariant.
+    // outcomes must satisfy the conservation invariant.  This also pins the
+    // proc backend's behaviour across the transport-trait refactor: the
+    // master now speaks through `grasp_core::transport` sinks/sources (the
+    // same surface the socket backend uses), and the unit-set equality here
+    // must be unaffected.
     let job = MatMulJob {
         n: 96,
         block_rows: 16,

@@ -48,6 +48,66 @@ proptest! {
         }
     }
 
+    /// The registration-handshake frames (Join/Welcome/Goodbye) round-trip
+    /// for arbitrary field values, including hostile capability masks and
+    /// version claims — rejection is the master's policy decision, never a
+    /// codec concern.
+    #[test]
+    fn membership_frames_round_trip(
+        pid in any::<u64>(),
+        wire_version in any::<u32>(),
+        capabilities in any::<u32>(),
+        worker_id in any::<u64>(),
+        interval in 0.0f64..1e3,
+        spin in any::<u64>(),
+        reason in prop::collection::vec(32u8..127, 0..80),
+    ) {
+        let reason = String::from_utf8(reason.clone()).unwrap();
+        for msg in [
+            WireMsg::Join { pid, wire_version, capabilities },
+            WireMsg::Welcome { worker_id, heartbeat_interval_s: interval, spin_per_work_unit: spin },
+            WireMsg::Goodbye { reason: reason.clone() },
+        ] {
+            let frame = msg.encode();
+            let (back, used) = WireMsg::decode_slice(&frame).unwrap();
+            prop_assert_eq!(back, msg);
+            prop_assert_eq!(used, frame.len());
+        }
+    }
+
+    /// Every strict prefix of a membership frame is rejected as truncated —
+    /// a worker crashing mid-Join (or a master mid-Welcome) can never be
+    /// mis-read as a shorter handshake.
+    #[test]
+    fn truncated_membership_frames_are_typed_errors(
+        pid in any::<u64>(),
+        capabilities in any::<u32>(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let frame = WireMsg::Join {
+            pid,
+            wire_version: grasp_repro::grasp_core::wire::WIRE_VERSION as u32,
+            capabilities,
+        }.encode();
+        let cut = 1 + ((frame.len() - 2) as f64 * cut_frac) as usize; // 1..len-1
+        let err = WireMsg::decode_slice(&frame[..cut]).unwrap_err();
+        prop_assert!(err.to_string().contains("wire protocol"), "{}", err);
+    }
+
+    /// Flipping any single byte of a Goodbye frame is caught by the frame
+    /// validation (magic/version/tag/length/checksum).
+    #[test]
+    fn corrupted_membership_frames_are_typed_errors(
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let frame = WireMsg::Goodbye { reason: "drained by operator".into() }.encode();
+        let mut bad = frame.clone();
+        let pos = ((bad.len() - 1) as f64 * pos_frac) as usize;
+        bad[pos] ^= flip;
+        prop_assert!(WireMsg::decode_slice(&bad).is_err());
+    }
+
     /// Every strict prefix of a valid frame is rejected as truncated — a
     /// worker dying mid-write can never be mis-read as a shorter message.
     #[test]
