@@ -1,0 +1,11 @@
+//! E14 — resident multi-job service vs per-job pool spin-up, at paper
+//! scale.  The same deterministic Poisson stream of mixed-shape jobs runs
+//! once through a fresh `ThreadBackend` per job and once through one
+//! resident `GraspService` with a shared pool and cached calibration.
+
+use grasp_bench::experiments::e14_service;
+use grasp_bench::format_table;
+
+fn main() {
+    println!("{}", format_table(&e14_service(60, 8)));
+}

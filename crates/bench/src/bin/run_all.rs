@@ -1,4 +1,4 @@
-//! Run every experiment (E1–E13) and print all tables/series, additionally
+//! Run every experiment (E1–E14) and print all tables/series, additionally
 //! emitting a machine-readable `BENCH_results.json` so the performance
 //! trajectory can be tracked across commits without parsing text tables.
 //!
@@ -48,6 +48,7 @@ struct Scale {
     e11: (usize, f64),
     e12: (usize, usize),
     e13: (usize, usize),
+    e14: (usize, usize),
 }
 
 /// Paper scale: the numbers the committed experiment tables use.
@@ -65,6 +66,7 @@ const PAPER: Scale = Scale {
     e11: (6_000, 25.0),
     e12: (512, 16),
     e13: (400, 8),
+    e14: (60, 8),
 };
 
 /// Smoke scale: every experiment at a size that finishes in seconds.
@@ -82,6 +84,7 @@ const SMOKE: Scale = Scale {
     e11: (1_200, 25.0),
     e12: (128, 16),
     e13: (80, 4),
+    e14: (16, 4),
 };
 
 /// Collects printed experiment results and their JSON renderings.
@@ -233,6 +236,9 @@ fn main() {
     });
     out.experiment("E13", |out| {
         out.table(&e13_net_membership(scale.e13.0, scale.e13.1));
+    });
+    out.experiment("E14", |out| {
+        out.table(&e14_service(scale.e14.0, scale.e14.1));
     });
 
     out.write(&json_path);

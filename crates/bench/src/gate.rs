@@ -11,7 +11,8 @@
 //!    story rests on must keep holding, with generous tolerance so CI noise
 //!    does not flake the build: adaptive must still beat static under churn
 //!    (E10), the engine-backed thread variant must still demote the slowed
-//!    worker (E11), and — against a committed baseline
+//!    worker (E11), the resident service must still out-throughput per-job
+//!    pool spin-up (E14), and — against a committed baseline
 //!    (`BENCH_baseline.json`) — the experiment set must not shrink.
 //!
 //! The module carries its own minimal JSON parser: the workspace is offline
@@ -26,6 +27,12 @@ use std::fmt;
 /// the static baseline; the experiment's claim is a clear win, the gate only
 /// demands "not regressed into losing").
 pub const E10_MIN_SPEEDUP: f64 = 0.85;
+
+/// Minimum acceptable `job_speedup` in E14's service row (the resident
+/// service's job throughput over the per-job spin-up baseline; the
+/// experiment's claim is a win, the gate demands "not regressed into
+/// clearly losing" with CI-noise headroom).
+pub const E14_MIN_JOB_SPEEDUP: f64 = 0.9;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -330,7 +337,7 @@ pub fn check_results(doc: &Json, baseline: Option<&Json>) -> Result<GateSummary,
     // The qualitative trajectory: the rows these checks read are asserted
     // strictly by the in-tree experiment tests; the gate re-checks the
     // committed story with generous tolerance on every CI run.
-    for required in ["E10", "E11"] {
+    for required in ["E10", "E11", "E14"] {
         if !ids.contains(required) {
             return Err(format!("required experiment {required} is missing"));
         }
@@ -375,16 +382,43 @@ pub fn check_results(doc: &Json, baseline: Option<&Json>) -> Result<GateSummary,
                             .and_then(Json::as_f64)
                             .ok_or("E11 demotions cell is not numeric")?;
                         if d < 1.0 {
-                            return Err(
+                            return Err(format!(
                                 "E11 regression: the engine-backed variant no longer demotes \
-                                 the slowed worker"
-                                    .into(),
-                            );
+                                 the slowed worker ({d:.0} demotions recorded, at least 1 \
+                                 required)"
+                            ));
                         }
                     }
                 }
                 if !saw_adaptive {
                     return Err("E11 table lost its full-adaptive row".into());
+                }
+            }
+            Some("E14") if entry.get("type").and_then(Json::as_str) == Some("table") => {
+                let variant =
+                    table_column(entry, "variant").ok_or("E14 table lost its variant column")?;
+                let speedup = table_column(entry, "job_speedup")
+                    .ok_or("E14 table lost its job_speedup column")?;
+                let mut saw_service = false;
+                for row in entry.get("rows").and_then(Json::as_arr).unwrap_or(&[]) {
+                    let cells = row.as_arr().unwrap_or(&[]);
+                    if cells.get(variant).and_then(Json::as_str) == Some("service") {
+                        saw_service = true;
+                        let v = cells
+                            .get(speedup)
+                            .and_then(Json::as_f64)
+                            .ok_or("E14 job_speedup cell is not numeric")?;
+                        if v < E14_MIN_JOB_SPEEDUP {
+                            return Err(format!(
+                                "E14 regression: the resident service's job throughput is \
+                                 {v:.2}x the per-job spin-up baseline, below the \
+                                 {E14_MIN_JOB_SPEEDUP} floor"
+                            ));
+                        }
+                    }
+                }
+                if !saw_service {
+                    return Err("E14 table lost its service row".into());
                 }
             }
             _ => {}
@@ -508,12 +542,30 @@ mod tests {
         table_json(&t)
     }
 
+    fn e14_table(speedup: f64) -> String {
+        let mut t = Table::new(
+            "E14: resident service vs per-job spin-up (12 jobs, 4 workers)",
+            &["variant", "jobs_per_s", "job_speedup"],
+        );
+        t.push_row(vec!["spin-up".into(), "100.0".into(), "1.000".into()]);
+        t.push_row(vec![
+            "service".into(),
+            format!("{:.1}", 100.0 * speedup),
+            format!("{speedup:.3}"),
+        ]);
+        table_json(&t)
+    }
+
     fn doc(parts: &[String]) -> Json {
         parse_json(&format!("{{\"experiments\":[{}]}}", parts.join(","))).unwrap()
     }
 
     fn healthy() -> Json {
-        doc(&[e10_table(&[("sim", 1.4), ("threads", 1.2)]), e11_table(2)])
+        doc(&[
+            e10_table(&[("sim", 1.4), ("threads", 1.2)]),
+            e11_table(2),
+            e14_table(1.3),
+        ])
     }
 
     #[test]
@@ -536,13 +588,18 @@ mod tests {
     #[test]
     fn healthy_results_pass_and_report_ids() {
         let summary = check_results(&healthy(), None).unwrap();
-        assert_eq!(summary.experiments, 2);
+        assert_eq!(summary.experiments, 3);
         assert!(summary.ids.contains("E10") && summary.ids.contains("E11"));
+        assert!(summary.ids.contains("E14"));
     }
 
     #[test]
     fn e10_speedup_regressions_fail_the_gate() {
-        let bad = doc(&[e10_table(&[("sim", 1.4), ("threads", 0.7)]), e11_table(1)]);
+        let bad = doc(&[
+            e10_table(&[("sim", 1.4), ("threads", 0.7)]),
+            e11_table(1),
+            e14_table(1.2),
+        ]);
         let err = check_results(&bad, None).unwrap_err();
         assert!(err.contains("E10 regression"), "{err}");
         assert!(err.contains("threads"), "{err}");
@@ -550,9 +607,24 @@ mod tests {
 
     #[test]
     fn e11_losing_its_demotion_fails_the_gate() {
-        let bad = doc(&[e10_table(&[("sim", 1.3)]), e11_table(0)]);
+        let bad = doc(&[e10_table(&[("sim", 1.3)]), e11_table(0), e14_table(1.2)]);
         let err = check_results(&bad, None).unwrap_err();
         assert!(err.contains("E11 regression"), "{err}");
+        assert!(
+            err.contains("0 demotions"),
+            "the failure must print the offending metric value: {err}"
+        );
+    }
+
+    #[test]
+    fn e14_losing_its_throughput_win_fails_the_gate() {
+        let bad = doc(&[e10_table(&[("sim", 1.3)]), e11_table(1), e14_table(0.5)]);
+        let err = check_results(&bad, None).unwrap_err();
+        assert!(err.contains("E14 regression"), "{err}");
+        assert!(
+            err.contains("0.50"),
+            "the failure must print the offending metric value: {err}"
+        );
     }
 
     #[test]
@@ -560,6 +632,7 @@ mod tests {
         let failed = doc(&[
             e10_table(&[("sim", 1.3)]),
             e11_table(1),
+            e14_table(1.2),
             crate::report::failed_json("E12", "worker binary missing"),
         ]);
         let err = check_results(&failed, None).unwrap_err();
@@ -583,6 +656,7 @@ mod tests {
         let bigger = doc(&[
             e10_table(&[("sim", 1.4)]),
             e11_table(1),
+            e14_table(1.2),
             "{\"type\":\"table\",\"title\":\"E12: proc backend\",\"headers\":[],\"rows\":[]}"
                 .to_string(),
         ]);

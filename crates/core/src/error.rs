@@ -40,6 +40,15 @@ pub enum GraspError {
         /// Why no worker could serve the job.
         detail: String,
     },
+    /// A multi-job service refused the submission because its bounded
+    /// admission backlog was full.  The job was never queued: resubmit
+    /// later, or submit at a higher priority.
+    Rejected {
+        /// Jobs already waiting when the submission was refused.
+        backlog: usize,
+        /// The backlog bound that was hit.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for GraspError {
@@ -59,6 +68,10 @@ impl fmt::Display for GraspError {
             GraspError::WorkerUnavailable { detail } => {
                 write!(f, "worker pool unavailable: {detail}")
             }
+            GraspError::Rejected { backlog, capacity } => write!(
+                f,
+                "submission rejected: admission backlog full ({backlog} of {capacity} slots taken)"
+            ),
         }
     }
 }
@@ -99,5 +112,11 @@ mod tests {
         }
         .to_string()
         .contains("spawn failed"));
+        let rejected = GraspError::Rejected {
+            backlog: 8,
+            capacity: 8,
+        }
+        .to_string();
+        assert!(rejected.contains("rejected") && rejected.contains('8'));
     }
 }

@@ -50,20 +50,6 @@ impl Default for SchedulePolicy {
 }
 
 impl SchedulePolicy {
-    /// Decide how many tasks to hand to a worker, without knowledge of the
-    /// job's total size.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use `next_chunk_with_total` — without the total, StaticBlock \
-                degenerates to re-splitting the shrinking remainder instead \
-                of handing one equal block per worker; dynamic policies \
-                should pass the execution-phase total explicitly (or \
-                `remaining` with a comment when no total exists)"
-    )]
-    pub fn next_chunk(&self, remaining: usize, workers: usize, weight: f64) -> usize {
-        self.next_chunk_with_total(remaining, remaining, workers, weight)
-    }
-
     /// Decide how many tasks to hand to a worker.
     ///
     /// * `remaining` — tasks still waiting to be dispatched.
@@ -149,20 +135,6 @@ mod tests {
             SchedulePolicy::default(),
         ] {
             assert_eq!(chunk(p, 0, 4, 1.0), 0);
-        }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_total_less_shim_forwards_to_the_total_aware_path() {
-        for p in [
-            SchedulePolicy::StaticBlock,
-            SchedulePolicy::Guided { min_chunk: 2 },
-            SchedulePolicy::AdaptiveWeighted { min_chunk: 1 },
-        ] {
-            for remaining in [1usize, 17, 400] {
-                assert_eq!(p.next_chunk(remaining, 4, 1.5), chunk(p, remaining, 4, 1.5));
-            }
         }
     }
 

@@ -598,6 +598,24 @@ pub enum OutcomeDetail {
         /// Per-member membership audit, in admission order.
         members: Vec<NetMemberReport>,
     },
+    /// Multi-job service summary (`grasp-service`): how this job rode the
+    /// resident pool — who it shared its dispatch round with and how much
+    /// of its calibration was served from the cross-job profile cache.
+    Service {
+        /// Service-assigned job id (unique for the service's lifetime).
+        job: u64,
+        /// Jobs sharing this job's dispatch round (including itself).
+        batched_jobs: usize,
+        /// `(worker, payload kind)` calibration profiles reused from the
+        /// service's cache instead of being re-measured for this round.
+        profile_hits: usize,
+        /// Calibration profiles measured fresh during this round.
+        profile_misses: usize,
+        /// Resident pool workers the round could dispatch to.
+        workers: usize,
+        /// Units this job completed per pool worker.
+        tasks_per_worker: Vec<usize>,
+    },
 }
 
 /// Backend-neutral result of running a [`Skeleton`]: what completed, how

@@ -36,7 +36,9 @@
 pub mod backend;
 pub mod farm;
 pub mod pipeline;
+pub mod pool;
 
 pub use backend::{spin, ThreadBackend};
 pub use farm::{FarmStats, ThreadFarm, WorkerGate};
 pub use pipeline::{PipelineStats, ThreadPipeline};
+pub use pool::{PoolLease, RoundOutcome, WorkerPool};

@@ -1,0 +1,421 @@
+//! A resident worker pool, leased per dispatch round.
+//!
+//! [`crate::farm::ThreadFarm`] owns its workers for exactly one run: every
+//! `Grasp::run` spawns a fresh scoped pool, pays the thread start-up cost,
+//! and tears everything down at the end.  That is the right shape for a
+//! one-shot job, and the wrong shape for a *service* that executes many
+//! small jobs back to back — there the pool must outlive any single job.
+//!
+//! [`WorkerPool`] provides that residency: `workers` threads are spawned
+//! once and then serve an arbitrary number of **dispatch rounds**.  A round
+//! is obtained by taking a [`PoolLease`] (exclusive — one round at a time,
+//! mirroring the one-master discipline of the other backends) and calling
+//! [`PoolLease::run`] with a task list.  Workers pull tasks demand-driven
+//! off a shared cursor, exactly like the farm's chunk loop, and the lease
+//! returns when every task has completed.
+//!
+//! Fault isolation follows the farm's rules at round granularity: a handler
+//! panic is caught, the task is retried on the next attempt pass (panicked
+//! tasks of one pass become the task list of the next), and a task that
+//! fails every bounded attempt surfaces as [`GraspError::WorkerFailed`].
+//! Workers can be taken out of rotation with [`WorkerPool::set_active`]
+//! (the demotion hook for an adaptation engine driving the pool); the last
+//! active worker can never be deactivated, so a leased round always drains.
+
+use grasp_core::error::GraspError;
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One in-flight dispatch round: the shared cursor the workers pull from
+/// and the slots they deliver into.
+struct Round<T, R> {
+    /// `(original index, task)` pairs for this attempt pass.
+    tasks: Vec<(usize, T)>,
+    cursor: AtomicUsize,
+    /// Delivered results, `(original index, result)`.
+    results: Mutex<Vec<(usize, R)>>,
+    /// Original indices whose handler panicked in this pass.
+    panicked: Mutex<Vec<usize>>,
+    /// Units completed per worker in this pass.
+    per_worker: Vec<AtomicUsize>,
+    /// Workers that have drained the cursor; the lease waits for all.
+    finished: Mutex<usize>,
+    finished_cv: Condvar,
+}
+
+/// State shared between the pool handle and its resident threads.
+struct Shared<T, R> {
+    handler: Box<dyn Fn(usize, &T) -> R + Send + Sync>,
+    /// The current round, versioned so sleeping workers can detect a new
+    /// one; `None` between rounds.
+    state: Mutex<(u64, Option<Arc<Round<T, R>>>)>,
+    wake: Condvar,
+    /// Per-worker rotation flags (`false` = demoted: stops pulling).
+    active: Vec<AtomicBool>,
+    shutdown: AtomicBool,
+    rounds: AtomicU64,
+}
+
+/// A resident pool of `workers` threads executing demand-driven dispatch
+/// rounds (see the module docs).  Dropping the pool shuts the threads down.
+pub struct WorkerPool<T: Send + Sync + 'static, R: Send + 'static> {
+    shared: Arc<Shared<T, R>>,
+    lease_gate: Mutex<()>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+/// Exclusive access to the pool for dispatch rounds; obtained from
+/// [`WorkerPool::lease`] and released on drop.
+pub struct PoolLease<'p, T: Send + Sync + 'static, R: Send + 'static> {
+    pool: &'p WorkerPool<T, R>,
+    _guard: MutexGuard<'p, ()>,
+}
+
+/// What one completed dispatch round delivered.
+#[derive(Debug)]
+pub struct RoundOutcome<R> {
+    /// One result per submitted task, in submission order.
+    pub results: Vec<R>,
+    /// Handler panics absorbed across all attempt passes.
+    pub panics: usize,
+    /// Tasks that completed only after at least one failed attempt.
+    pub retried: usize,
+    /// Execution attempts per task, in submission order (1 = completed
+    /// cleanly on the first pull).
+    pub attempts: Vec<usize>,
+    /// Tasks completed per worker (successful attempts only).
+    pub completed_per_worker: Vec<usize>,
+}
+
+impl<T: Send + Sync + 'static, R: Send + 'static> WorkerPool<T, R> {
+    /// Spawn `workers` resident threads executing `handler(worker, &task)`
+    /// for every task of every future round.
+    pub fn start<F>(workers: usize, handler: F) -> Self
+    where
+        F: Fn(usize, &T) -> R + Send + Sync + 'static,
+    {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            handler: Box::new(handler),
+            state: Mutex::new((0, None)),
+            wake: Condvar::new(),
+            active: (0..workers).map(|_| AtomicBool::new(true)).collect(),
+            shutdown: AtomicBool::new(false),
+            rounds: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|wid| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("grasp-pool-{wid}"))
+                    .spawn(move || worker_loop(wid, shared))
+                    .expect("spawning a pool worker thread failed")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            lease_gate: Mutex::new(()),
+            handles,
+        }
+    }
+
+    /// Number of resident worker threads (fixed for the pool's lifetime).
+    pub fn workers(&self) -> usize {
+        self.shared.active.len()
+    }
+
+    /// Workers currently in rotation.
+    pub fn active_workers(&self) -> usize {
+        self.shared
+            .active
+            .iter()
+            .filter(|a| a.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Whether `worker` is currently in rotation.
+    pub fn is_active(&self, worker: usize) -> bool {
+        self.shared
+            .active
+            .get(worker)
+            .map(|a| a.load(Ordering::Relaxed))
+            .unwrap_or(false)
+    }
+
+    /// Put `worker` in or out of rotation; returns whether the flag changed.
+    /// Deactivating is refused when it would leave no active worker (a
+    /// leased round must always be able to drain).
+    pub fn set_active(&self, worker: usize, active: bool) -> bool {
+        let Some(flag) = self.shared.active.get(worker) else {
+            return false;
+        };
+        if !active && self.active_workers() <= 1 && flag.load(Ordering::Relaxed) {
+            return false;
+        }
+        flag.swap(active, Ordering::Relaxed) != active
+    }
+
+    /// Dispatch rounds completed so far (attempt passes count once).
+    pub fn rounds(&self) -> u64 {
+        self.shared.rounds.load(Ordering::Relaxed)
+    }
+
+    /// Take the pool for a sequence of dispatch rounds; blocks while
+    /// another lease is alive.
+    pub fn lease(&self) -> PoolLease<'_, T, R> {
+        PoolLease {
+            pool: self,
+            _guard: self.lease_gate.lock(),
+        }
+    }
+}
+
+impl<T: Send + Sync + 'static, R: Send + 'static> Drop for WorkerPool<T, R> {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wake.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<T: Send + Sync + 'static, R: Send + 'static> PoolLease<'_, T, R> {
+    /// Execute `tasks` on the resident pool, retrying panicked tasks up to
+    /// `max_attempts` times each, and return the collected results in
+    /// submission order.
+    ///
+    /// Errors with [`GraspError::WorkerFailed`] when one task panicked on
+    /// every attempt.
+    pub fn run(&self, tasks: Vec<T>, max_attempts: usize) -> Result<RoundOutcome<R>, GraspError>
+    where
+        T: Clone,
+    {
+        let shared = &self.pool.shared;
+        let workers = self.pool.workers();
+        let n = tasks.len();
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut per_worker = vec![0usize; workers];
+        let mut attempts_per_task = vec![0usize; n];
+        let mut panics = 0usize;
+        let mut retried = 0usize;
+        let max_attempts = max_attempts.max(1);
+        let mut pass: Vec<(usize, T)> = tasks.into_iter().enumerate().collect();
+        let mut attempt = 0usize;
+        while !pass.is_empty() {
+            attempt += 1;
+            let round = Arc::new(Round {
+                tasks: pass,
+                cursor: AtomicUsize::new(0),
+                results: Mutex::new(Vec::new()),
+                panicked: Mutex::new(Vec::new()),
+                per_worker: (0..workers).map(|_| AtomicUsize::new(0)).collect(),
+                finished: Mutex::new(0),
+                finished_cv: Condvar::new(),
+            });
+            {
+                let mut state = shared.state.lock();
+                state.0 += 1;
+                state.1 = Some(Arc::clone(&round));
+            }
+            shared.wake.notify_all();
+            {
+                let mut finished = round.finished.lock();
+                while *finished < workers {
+                    round.finished_cv.wait(&mut finished);
+                }
+            }
+            shared.state.lock().1 = None;
+            // Harvest the pass: delivered results fill their slots, panicked
+            // tasks form the next pass.
+            for (idx, _) in &round.tasks {
+                attempts_per_task[*idx] += 1;
+            }
+            for (idx, r) in round.results.lock().drain(..) {
+                if attempt > 1 {
+                    retried += 1;
+                }
+                slots[idx] = Some(r);
+            }
+            for (w, c) in round.per_worker.iter().enumerate() {
+                per_worker[w] += c.load(Ordering::Relaxed);
+            }
+            let failed: Vec<usize> = round.panicked.lock().drain(..).collect();
+            panics += failed.len();
+            if let Some(&task) = failed.first() {
+                if attempt >= max_attempts {
+                    return Err(GraspError::WorkerFailed {
+                        task,
+                        attempts: attempt,
+                    });
+                }
+            }
+            // Clone only the panicked payloads for the retry pass (workers
+            // may still hold their reference to the round briefly, so the
+            // task vector cannot be moved out of the Arc).
+            pass = round
+                .tasks
+                .iter()
+                .filter(|(idx, _)| failed.contains(idx))
+                .cloned()
+                .collect();
+        }
+        shared.rounds.fetch_add(1, Ordering::Relaxed);
+        let results = slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.ok_or(GraspError::TaskLost { task: i }))
+            .collect::<Result<Vec<R>, GraspError>>()?;
+        Ok(RoundOutcome {
+            results,
+            panics,
+            retried,
+            attempts: attempts_per_task,
+            completed_per_worker: per_worker,
+        })
+    }
+}
+
+/// The resident thread body: sleep until a new round is published, drain
+/// the shared cursor (skipping pulls while demoted), report in, repeat.
+fn worker_loop<T: Send + Sync, R: Send>(wid: usize, shared: Arc<Shared<T, R>>) {
+    let mut seen = 0u64;
+    loop {
+        let round = {
+            let mut state = shared.state.lock();
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if state.0 != seen {
+                    if let Some(r) = &state.1 {
+                        seen = state.0;
+                        break Arc::clone(r);
+                    }
+                    // A harvested round: remember we saw its version.
+                    seen = state.0;
+                }
+                shared.wake.wait(&mut state);
+            }
+        };
+        loop {
+            if !shared.active[wid].load(Ordering::Relaxed) {
+                break;
+            }
+            let i = round.cursor.fetch_add(1, Ordering::Relaxed);
+            let Some((idx, task)) = round.tasks.get(i) else {
+                break;
+            };
+            match catch_unwind(AssertUnwindSafe(|| (shared.handler)(wid, task))) {
+                Ok(r) => {
+                    round.results.lock().push((*idx, r));
+                    round.per_worker[wid].fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => round.panicked.lock().push(*idx),
+            }
+        }
+        let mut finished = round.finished.lock();
+        *finished += 1;
+        round.finished_cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::thread::ThreadId;
+
+    #[test]
+    fn rounds_reuse_the_resident_threads() {
+        let ids: Arc<Mutex<HashSet<ThreadId>>> = Arc::new(Mutex::new(HashSet::new()));
+        let seen = Arc::clone(&ids);
+        let pool: WorkerPool<u64, u64> = WorkerPool::start(3, move |_w, &t| {
+            seen.lock().insert(std::thread::current().id());
+            t * 2
+        });
+        for _ in 0..4 {
+            let out = pool.lease().run((0..50).collect(), 3).unwrap();
+            assert_eq!(out.results, (0..50).map(|t| t * 2).collect::<Vec<_>>());
+            assert_eq!(out.panics, 0);
+            assert_eq!(out.completed_per_worker.iter().sum::<usize>(), 50);
+        }
+        assert_eq!(pool.rounds(), 4);
+        assert!(
+            ids.lock().len() <= 3,
+            "four rounds must run on the same three resident threads"
+        );
+    }
+
+    #[test]
+    fn panicked_tasks_are_retried_and_accounted() {
+        let first = AtomicBool::new(true);
+        let pool: WorkerPool<usize, usize> = WorkerPool::start(2, move |_w, &t| {
+            if t == 7 && first.swap(false, Ordering::SeqCst) {
+                panic!("injected");
+            }
+            t
+        });
+        let out = pool.lease().run((0..20).collect(), 3).unwrap();
+        assert_eq!(out.results, (0..20).collect::<Vec<_>>());
+        assert_eq!(out.panics, 1);
+        assert_eq!(out.retried, 1);
+        assert_eq!(out.attempts[7], 2);
+        assert!(out
+            .attempts
+            .iter()
+            .enumerate()
+            .all(|(t, &a)| a == 1 || t == 7));
+    }
+
+    #[test]
+    fn exhausted_attempts_surface_as_worker_failed() {
+        let pool: WorkerPool<usize, usize> = WorkerPool::start(2, |_w, &t| {
+            if t == 3 {
+                panic!("always");
+            }
+            t
+        });
+        let err = pool.lease().run((0..8).collect(), 2).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                GraspError::WorkerFailed {
+                    task: 3,
+                    attempts: 2
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn demoted_workers_stop_pulling_and_the_last_one_is_protected() {
+        let pool: WorkerPool<usize, usize> = WorkerPool::start(3, |w, &t| {
+            std::thread::sleep(std::time::Duration::from_micros(50));
+            let _ = t;
+            w
+        });
+        assert!(pool.set_active(1, false));
+        assert!(pool.set_active(2, false));
+        assert!(!pool.set_active(0, false), "the last active worker stays");
+        assert_eq!(pool.active_workers(), 1);
+        let out = pool.lease().run((0..12).collect(), 3).unwrap();
+        assert_eq!(out.results.len(), 12);
+        assert_eq!(out.completed_per_worker[1], 0);
+        assert_eq!(out.completed_per_worker[2], 0);
+        assert_eq!(out.completed_per_worker[0], 12);
+        assert!(pool.set_active(1, true));
+        assert_eq!(pool.active_workers(), 2);
+    }
+
+    #[test]
+    fn empty_rounds_complete_immediately() {
+        let pool: WorkerPool<usize, usize> = WorkerPool::start(2, |_w, &t| t);
+        let out = pool.lease().run(Vec::new(), 3).unwrap();
+        assert!(out.results.is_empty());
+    }
+}

@@ -74,8 +74,9 @@ pub struct NetBackend {
     spawn_workers: usize,
     /// Listener bind address (TCP mode; port 0 = OS-assigned).
     bind_addr: String,
-    /// Externally supplied acceptor (harness mode); consumed by the first
-    /// execute.
+    /// Externally supplied acceptor (harness mode); taken by each execute
+    /// and put back at orderly shutdown, so consecutive jobs share one
+    /// membership endpoint.
     acceptor: Mutex<Option<Box<dyn Acceptor>>>,
     /// Explicit worker binary (otherwise [`crate::find_worker_bin`]).
     worker_bin: Option<PathBuf>,
@@ -154,7 +155,8 @@ impl NetBackend {
     /// Harness mode: run the master over an external [`Acceptor`] (the
     /// loopback network), dispatching once `wait_for` workers registered.
     /// Spawns nothing; the caller owns the worker ends.  The acceptor is
-    /// consumed by the first execute.
+    /// reused across executes (returned at each run's orderly shutdown), so
+    /// the membership substrate outlives any single job.
     pub fn over(acceptor: Box<dyn Acceptor>, wait_for: usize) -> Self {
         let b = NetBackend::base(wait_for);
         *b.acceptor.lock().unwrap_or_else(|e| e.into_inner()) = Some(acceptor);
@@ -340,6 +342,7 @@ impl Backend for NetBackend {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .take();
+        let was_external = external.is_some();
         let acceptor: Box<dyn Acceptor> = match external {
             Some(a) => a,
             None if self.spawn_workers > 0 || self.join_spawn.is_some() => {
@@ -347,13 +350,25 @@ impl Backend for NetBackend {
             }
             None => {
                 return Err(GraspError::WorkerUnavailable {
-                    detail: "the external acceptor was already consumed by a previous \
-                             execute (harness-mode backends are single-shot)"
+                    detail: "no acceptor available: a previous execute ended without \
+                             returning the harness acceptor (failed run), and the \
+                             backend spawns no workers of its own"
                         .to_string(),
                 })
             }
         };
-        NetMaster::launch(self, config, compiled, acceptor)?.run()
+        // The acceptor comes back through this channel when the run's
+        // orderly shutdown stops the acceptor thread, so the membership
+        // substrate outlives the job: the next execute listens on the same
+        // endpoint and fresh workers can join the next job's pool.
+        let (recycle_tx, recycle_rx) = mpsc::channel();
+        let outcome = NetMaster::launch(self, config, compiled, acceptor, recycle_tx)?.run();
+        if was_external && outcome.is_ok() {
+            if let Ok(recycled) = recycle_rx.recv_timeout(Duration::from_secs(5)) {
+                *self.acceptor.lock().unwrap_or_else(|e| e.into_inner()) = Some(recycled);
+            }
+        }
+        outcome
     }
 }
 
@@ -554,6 +569,7 @@ impl<'a> NetMaster<'a> {
         config: &GraspConfig,
         compiled: &'a NetCompiled,
         acceptor: Box<dyn Acceptor>,
+        recycle: mpsc::Sender<Box<dyn Acceptor>>,
     ) -> Result<Self, GraspError> {
         let samples = backend
             .calibration_samples
@@ -569,6 +585,7 @@ impl<'a> NetMaster<'a> {
             tx.clone(),
             Arc::clone(&stop_accept),
             compiled.required_caps,
+            recycle,
         );
         let positive: Vec<f64> = compiled
             .units
@@ -1268,12 +1285,16 @@ impl<'a> NetMaster<'a> {
 
 /// Poll the acceptor until the run ends; each fresh connection gets a
 /// greeter thread so a peer that stalls mid-handshake cannot block
-/// admission of the others.
+/// admission of the others.  When the run stops accepting, the acceptor is
+/// handed back through `recycle` so the backend can listen on the same
+/// endpoint for the next job (members — the membership substrate — outlive
+/// any single run).
 fn spawn_acceptor_thread(
     mut acceptor: Box<dyn Acceptor>,
     tx: mpsc::Sender<Event>,
     stop: Arc<AtomicBool>,
     required_caps: u32,
+    recycle: mpsc::Sender<Box<dyn Acceptor>>,
 ) {
     std::thread::spawn(move || {
         while !stop.load(Ordering::SeqCst) {
@@ -1286,6 +1307,7 @@ fn spawn_acceptor_thread(
                 Err(_) => std::thread::sleep(Duration::from_millis(10)),
             }
         }
+        let _ = recycle.send(acceptor);
     });
 }
 

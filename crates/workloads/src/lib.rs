@@ -16,7 +16,9 @@
 //! * [`imaging`] — a four-stage image-processing pipeline (blur → sharpen →
 //!   edge detect → threshold) for the pipeline skeleton;
 //! * [`blackscholes`] — a Black–Scholes option-pricing sweep (fine-grained
-//!   farm tasks).
+//!   farm tasks);
+//! * [`servicemix`] — a deterministic Poisson stream of mixed-shape small
+//!   jobs for exercising the resident multi-job service.
 //!
 //! Every module offers both the **real kernel** (usable by the `grasp-exec`
 //! shared-memory backend and by Criterion micro-benchmarks) and a
@@ -33,6 +35,7 @@ pub mod mandelbrot;
 pub mod matmul;
 pub mod quadrature;
 pub mod seqmatch;
+pub mod servicemix;
 
 pub use blackscholes::BlackScholesSweep;
 pub use imaging::{ImagePipeline, SyntheticImage};
@@ -40,3 +43,4 @@ pub use mandelbrot::MandelbrotJob;
 pub use matmul::MatMulJob;
 pub use quadrature::QuadratureJob;
 pub use seqmatch::SequenceMatchJob;
+pub use servicemix::{ServiceArrival, ServiceMixJob};

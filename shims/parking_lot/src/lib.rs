@@ -37,9 +37,9 @@ impl<T: ?Sized> Mutex<T> {
     /// Acquires the mutex, blocking until it is available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
         match self.inner.lock() {
-            Ok(g) => MutexGuard { inner: g },
+            Ok(g) => MutexGuard { inner: Some(g) },
             Err(poisoned) => MutexGuard {
-                inner: poisoned.into_inner(),
+                inner: Some(poisoned.into_inner()),
             },
         }
     }
@@ -47,9 +47,9 @@ impl<T: ?Sized> Mutex<T> {
     /// Attempts to acquire the mutex without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: g }),
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
             Err(sync::TryLockError::Poisoned(poisoned)) => Some(MutexGuard {
-                inner: poisoned.into_inner(),
+                inner: Some(poisoned.into_inner()),
             }),
             Err(sync::TryLockError::WouldBlock) => None,
         }
@@ -80,20 +80,68 @@ impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
 }
 
 /// RAII guard returned by [`Mutex::lock`].
+///
+/// The guard is held as an `Option` internally so [`Condvar::wait`] can move
+/// it through `std::sync::Condvar::wait` and put it back; the slot is `Some`
+/// at every point user code can observe.
 pub struct MutexGuard<'a, T: ?Sized> {
-    inner: sync::MutexGuard<'a, T>,
+    inner: Option<sync::MutexGuard<'a, T>>,
 }
 
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.inner
+        self.inner.as_ref().expect("guard is held")
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.inner
+        self.inner.as_mut().expect("guard is held")
+    }
+}
+
+/// A condition variable paired with the shim [`Mutex`], mirroring the
+/// `parking_lot::Condvar` API surface this workspace uses.
+#[derive(Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Self {
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until notified, atomically releasing the mutex while waiting.
+    /// Like all waits, spurious wakeups are possible: callers loop on their
+    /// predicate.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let held = guard.inner.take().expect("guard is held");
+        let held = match self.inner.wait(held) {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.inner = Some(held);
+    }
+
+    /// Wakes one waiting thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiting threads.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
     }
 }
 
@@ -190,6 +238,25 @@ mod tests {
         assert!(m.try_lock().is_none());
         drop(g);
         assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn condvar_wakes_a_predicate_waiter() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let signaller = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*signaller;
+            *m.lock() = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut ready = m.lock();
+        while !*ready {
+            cv.wait(&mut ready);
+        }
+        drop(ready);
+        t.join().unwrap();
     }
 
     #[test]

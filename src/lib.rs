@@ -9,6 +9,7 @@ pub use grasp_core;
 pub use grasp_exec;
 pub use grasp_net;
 pub use grasp_proc;
+pub use grasp_service;
 pub use grasp_workloads;
 pub use gridmon;
 pub use gridsim;

@@ -416,18 +416,21 @@ fn thread_proc_and_net_backends_agree_on_a_fixed_seed_matmul_farm() {
 }
 
 #[test]
-fn a_consumed_harness_acceptor_is_a_typed_error_on_reexecution() {
+fn the_membership_substrate_outlives_a_job() {
+    // The acceptor (the Join/Welcome membership endpoint) is recycled at
+    // each run's orderly shutdown, so one harness backend serves many
+    // consecutive jobs: fresh workers join the same endpoint for job 2.
     let (net, acceptor) = LoopbackNet::new();
     let backend = loopback_backend(Box::new(acceptor), 1);
-    let w = spawn_worker(&net, WorkerOptions::default());
     let skeleton = Skeleton::farm(TaskSpec::uniform(6, 1.0, 0, 0));
     let grasp = Grasp::new(GraspConfig::default());
-    grasp
-        .run(&backend, &skeleton)
-        .expect("first loopback run failed");
-    assert_eq!(w.join().unwrap(), 0);
-    let err = grasp
-        .run(&backend, &skeleton)
-        .expect_err("harness-mode backends are single-shot");
-    assert!(matches!(err, GraspError::WorkerUnavailable { .. }), "{err}");
+    for job in 0..2 {
+        let w = spawn_worker(&net, WorkerOptions::default());
+        let report = grasp
+            .run(&backend, &skeleton)
+            .unwrap_or_else(|e| panic!("loopback run {job} failed: {e}"));
+        assert_eq!(w.join().unwrap(), 0);
+        assert_eq!(report.outcome.completed, 6, "job {job}");
+        assert!(report.outcome.conserves_units_of(&skeleton), "job {job}");
+    }
 }

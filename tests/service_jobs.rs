@@ -1,0 +1,120 @@
+//! Integration tests for the resident multi-job service: per-job unit
+//! namespaces under interleaved completion, and bounded admission.
+
+use grasp_repro::grasp_core::prelude::*;
+use grasp_repro::grasp_service::{GraspService, JobPriority, JobSpec, ServiceConfig};
+use proptest::prelude::*;
+
+fn build(shape: u8, units: usize) -> Skeleton {
+    let units = units.max(2);
+    match shape % 3 {
+        0 => Skeleton::farm(TaskSpec::uniform(units, 1.0, 0, 0)),
+        1 => {
+            let stages = (0..2).map(|id| StageSpec::new(id, 0.5, 0, 0)).collect();
+            Skeleton::pipeline(stages, units)
+        }
+        _ => {
+            let half = units / 2;
+            Skeleton::farm_of(vec![
+                Skeleton::farm(TaskSpec::uniform(half.max(1), 1.0, 0, 0)),
+                Skeleton::farm(TaskSpec::uniform((units - half).max(1), 1.0, 0, 0)),
+            ])
+        }
+    }
+}
+
+fn quick_service(workers: usize) -> GraspService {
+    let mut cfg = ServiceConfig::with_workers(workers);
+    cfg.spin_per_work_unit = 50;
+    cfg.backlog_capacity = 256;
+    GraspService::start(cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every job of a concurrently submitted mixed batch resolves to an
+    /// outcome over its OWN unit namespace: `conserves_units_of` holds per
+    /// job, and the unit-id set each job reports is exactly the id set its
+    /// skeleton declares — no bleed-through from the jobs it shared rounds
+    /// with, however completions interleave.
+    #[test]
+    fn per_job_unit_namespaces_never_collide(
+        shapes in prop::collection::vec((0u8..3, 2usize..14), 1..6),
+        workers in 2usize..4,
+    ) {
+        let service = quick_service(workers);
+        let jobs: Vec<(Skeleton, _)> = shapes
+            .iter()
+            .map(|&(shape, units)| {
+                let skeleton = build(shape, units);
+                let handle = service
+                    .submit(skeleton.clone(), JobSpec::default())
+                    .expect("admission must succeed below the backlog bound");
+                (skeleton, handle)
+            })
+            .collect();
+        for (skeleton, handle) in jobs {
+            let outcome = handle.wait().expect("job must complete");
+            prop_assert!(outcome.conserves_units_of(&skeleton));
+            let mut declared: Vec<usize> =
+                skeleton.lower_to_farm().0.iter().map(|t| t.id).collect();
+            declared.sort_unstable();
+            prop_assert_eq!(
+                outcome.unit_ids.clone(),
+                declared,
+                "a job's outcome must carry exactly its own namespace"
+            );
+        }
+    }
+}
+
+#[test]
+fn overflowing_the_admission_backlog_is_a_typed_rejection() {
+    let mut cfg = ServiceConfig::with_workers(2);
+    cfg.spin_per_work_unit = 50;
+    cfg.backlog_capacity = 2;
+    let service = GraspService::start(cfg);
+    // Wedge the pool on a slow round so later submissions pile up in the
+    // bounded backlog instead of being drained.
+    service.inject_worker_slowdown(0, 0.05);
+    service.inject_worker_slowdown(1, 0.05);
+    let blocker = service
+        .submit(
+            Skeleton::farm(TaskSpec::uniform(4, 1.0, 0, 0)),
+            JobSpec::default(),
+        )
+        .expect("the first job is admitted");
+    std::thread::sleep(std::time::Duration::from_millis(20));
+
+    let mut queued = Vec::new();
+    let rejection = loop {
+        match service.submit(
+            Skeleton::farm(TaskSpec::uniform(2, 1.0, 0, 0)),
+            JobSpec::default().with_priority(JobPriority::High),
+        ) {
+            Ok(handle) => queued.push(handle),
+            Err(e) => break e,
+        }
+        assert!(
+            queued.len() <= 2,
+            "the backlog must refuse the submission after reaching capacity"
+        );
+    };
+    match rejection {
+        GraspError::Rejected { backlog, capacity } => {
+            assert_eq!(capacity, 2);
+            assert_eq!(backlog, 2, "rejection reports the full backlog");
+        }
+        other => panic!("expected GraspError::Rejected, got {other}"),
+    }
+    // Priority never bypasses the bound, but everything admitted completes.
+    service.inject_worker_slowdown(0, 0.0);
+    service.inject_worker_slowdown(1, 0.0);
+    blocker.wait().expect("the wedged job still completes");
+    for handle in queued {
+        handle
+            .wait()
+            .expect("admitted jobs complete after the backlog drains");
+    }
+}
