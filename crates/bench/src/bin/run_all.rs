@@ -1,4 +1,4 @@
-//! Run every experiment (E1–E14) and print all tables/series, additionally
+//! Run every experiment (E1–E15) and print all tables/series, additionally
 //! emitting a machine-readable `BENCH_results.json` so the performance
 //! trajectory can be tracked across commits without parsing text tables.
 //!
@@ -49,6 +49,7 @@ struct Scale {
     e12: (usize, usize),
     e13: (usize, usize),
     e14: (usize, usize),
+    e15: (usize, usize),
 }
 
 /// Paper scale: the numbers the committed experiment tables use.
@@ -67,6 +68,7 @@ const PAPER: Scale = Scale {
     e12: (512, 16),
     e13: (400, 8),
     e14: (60, 8),
+    e15: (4_096, 2_000_000),
 };
 
 /// Smoke scale: every experiment at a size that finishes in seconds.
@@ -85,6 +87,9 @@ const SMOKE: Scale = Scale {
     e12: (128, 16),
     e13: (80, 4),
     e14: (16, 4),
+    // The scale smoke keeps ad-hoc-grid numbers even at CI scale: thousands
+    // of nodes, a million units.
+    e15: (2_048, 1_000_000),
 };
 
 /// Collects printed experiment results and their JSON renderings.
@@ -239,6 +244,9 @@ fn main() {
     });
     out.experiment("E14", |out| {
         out.table(&e14_service(scale.e14.0, scale.e14.1));
+    });
+    out.experiment("E15", |out| {
+        out.table(&e15_scale_smoke(scale.e15.0, scale.e15.1, seed));
     });
 
     out.write(&json_path);

@@ -12,8 +12,11 @@
 //!    does not flake the build: adaptive must still beat static under churn
 //!    (E10), the engine-backed thread variant must still demote the slowed
 //!    worker (E11), the resident service must still out-throughput per-job
-//!    pool spin-up (E14), and — against a committed baseline
-//!    (`BENCH_baseline.json`) — the experiment set must not shrink.
+//!    pool spin-up (E14), the data plane must stay zero-copy and cheap to
+//!    encode (E12 — absolute ceilings plus per-variant `wire_bytes_per_unit`
+//!    / `encode_s` ceilings *learned* from the committed baseline), and —
+//!    against that baseline (`BENCH_baseline.json`) — the experiment set
+//!    must not shrink.
 //!
 //! The module carries its own minimal JSON parser: the workspace is offline
 //! (no serde_json) and the emitter in [`crate::report`] produces a small,
@@ -33,6 +36,37 @@ pub const E10_MIN_SPEEDUP: f64 = 0.85;
 /// experiment's claim is a win, the gate demands "not regressed into
 /// clearly losing" with CI-noise headroom).
 pub const E14_MIN_JOB_SPEEDUP: f64 = 0.9;
+
+/// Absolute ceiling on E12's master-side frame-encode seconds in any row
+/// that crosses a wire.  The zero-copy data plane encodes each frame exactly
+/// once into a reused buffer, so even at paper scale the encode cost is
+/// milliseconds; a quarter second means a copy crept back onto the dispatch
+/// path.
+pub const E12_MAX_ENCODE_SECONDS: f64 = 0.25;
+
+/// Ceiling on E12's `bytes_copied_per_unit` (payload bytes copied beyond the
+/// one mandatory encode per frame).  E12's process rows ride the pipe
+/// transport, which is zero-copy by construction — the gate pins that.
+pub const E12_MAX_BYTES_COPIED_PER_UNIT: f64 = 0.0;
+
+/// Headroom factor on the baseline's per-unit wire volume when learning the
+/// E12 ceiling: fresh rows may spend up to this multiple of the committed
+/// `wire_bytes / units` before the gate calls it a regression.
+pub const E12_WIRE_HEADROOM: f64 = 1.5;
+
+/// Absolute slack added on top of the learned E12 wire ceiling: heartbeat
+/// frames scale with wall time, not units, so a slow CI machine legitimately
+/// ships a few extra frames per unit.
+pub const E12_WIRE_SLACK_BYTES_PER_UNIT: f64 = 256.0;
+
+/// Headroom factor on the baseline's encode seconds when learning the E12
+/// ceiling (wall-clock across unlike machines is noisy, so the learned check
+/// is deliberately loose — the absolute [`E12_MAX_ENCODE_SECONDS`] backstop
+/// catches the pathological case).
+pub const E12_ENCODE_HEADROOM: f64 = 10.0;
+
+/// Absolute slack added on top of the learned E12 encode ceiling.
+pub const E12_ENCODE_SLACK_SECONDS: f64 = 0.05;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -293,6 +327,83 @@ fn table_column(entry: &Json, name: &str) -> Option<usize> {
         .position(|h| h.as_str() == Some(name))
 }
 
+/// One E12 row's data-plane metrics, derived from the table cells.
+struct E12Row {
+    variant: String,
+    wire_per_unit: f64,
+    encode_s: f64,
+    copied_per_unit: f64,
+}
+
+/// The data-plane rows of one E12 table entry.  Empty when the table
+/// predates the `encode_s`/`bytes_copied_per_unit` columns (old results and
+/// baselines stay valid; the ceilings activate with the columns).  Rows that
+/// never cross a wire (the in-process `threads` variant) are skipped.
+fn e12_data_plane_rows(entry: &Json) -> Vec<E12Row> {
+    let cols = (
+        table_column(entry, "variant"),
+        table_column(entry, "makespan_s"),
+        table_column(entry, "units_per_s"),
+        table_column(entry, "wire_bytes"),
+        table_column(entry, "encode_s"),
+        table_column(entry, "bytes_copied_per_unit"),
+    );
+    let (Some(variant), Some(makespan), Some(units_per_s), Some(wire), Some(encode), Some(copied)) =
+        cols
+    else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for row in entry.get("rows").and_then(Json::as_arr).unwrap_or(&[]) {
+        let cells = row.as_arr().unwrap_or(&[]);
+        let num = |i: usize| cells.get(i).and_then(Json::as_f64);
+        let (Some(m), Some(ups), Some(w), Some(e), Some(c)) = (
+            num(makespan),
+            num(units_per_s),
+            num(wire),
+            num(encode),
+            num(copied),
+        ) else {
+            continue;
+        };
+        if w <= 0.0 {
+            continue;
+        }
+        let Some(name) = cells.get(variant).and_then(Json::as_str) else {
+            continue;
+        };
+        out.push(E12Row {
+            variant: name.to_string(),
+            // The emitted table reports rates, not raw counts; units round-
+            // trip through makespan × throughput, which is exact enough for
+            // a ceiling with headroom.
+            wire_per_unit: w / (m * ups).max(1.0),
+            encode_s: e,
+            copied_per_unit: c,
+        });
+    }
+    out
+}
+
+/// Every E12 data-plane row of a whole document (used on the baseline side
+/// to learn the per-variant ceilings).
+fn e12_document_rows(doc: &Json) -> Vec<E12Row> {
+    doc.get("experiments")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .filter(|e| e.get("type").and_then(Json::as_str) == Some("table"))
+        .filter(|e| {
+            e.get("title")
+                .and_then(Json::as_str)
+                .and_then(title_id)
+                .as_deref()
+                == Some("E12")
+        })
+        .flat_map(e12_data_plane_rows)
+        .collect()
+}
+
 /// Validate a fresh results document and, when a baseline is supplied, gate
 /// the performance trajectory against it.  See the module docs for the
 /// exact checks; returns a human-readable summary on success.
@@ -342,6 +453,9 @@ pub fn check_results(doc: &Json, baseline: Option<&Json>) -> Result<GateSummary,
             return Err(format!("required experiment {required} is missing"));
         }
     }
+    // E12's learned data-plane ceilings come from the committed baseline
+    // (empty when the baseline predates the columns).
+    let e12_base = baseline.map(e12_document_rows).unwrap_or_default();
     for entry in entries {
         let Some(title) = entry.get("title").and_then(Json::as_str) else {
             continue;
@@ -419,6 +533,46 @@ pub fn check_results(doc: &Json, baseline: Option<&Json>) -> Result<GateSummary,
                 }
                 if !saw_service {
                     return Err("E14 table lost its service row".into());
+                }
+            }
+            Some("E12") if entry.get("type").and_then(Json::as_str) == Some("table") => {
+                for row in e12_data_plane_rows(entry) {
+                    if row.encode_s > E12_MAX_ENCODE_SECONDS {
+                        return Err(format!(
+                            "E12 regression: master encode time {:.6}s on the {} row \
+                             exceeds the {E12_MAX_ENCODE_SECONDS}s ceiling",
+                            row.encode_s, row.variant
+                        ));
+                    }
+                    if row.copied_per_unit > E12_MAX_BYTES_COPIED_PER_UNIT {
+                        return Err(format!(
+                            "E12 regression: {:.1} payload bytes copied per unit on the \
+                             {} row — the pipe transport must stay zero-copy",
+                            row.copied_per_unit, row.variant
+                        ));
+                    }
+                    for base in e12_base.iter().filter(|b| b.variant == row.variant) {
+                        let wire_ceiling =
+                            base.wire_per_unit * E12_WIRE_HEADROOM + E12_WIRE_SLACK_BYTES_PER_UNIT;
+                        if row.wire_per_unit > wire_ceiling {
+                            return Err(format!(
+                                "E12 regression: {:.1} wire bytes per unit on the {} row \
+                                 exceeds the learned ceiling {:.1} (baseline {:.1} × \
+                                 {E12_WIRE_HEADROOM} + {E12_WIRE_SLACK_BYTES_PER_UNIT})",
+                                row.wire_per_unit, row.variant, wire_ceiling, base.wire_per_unit
+                            ));
+                        }
+                        let encode_ceiling =
+                            base.encode_s * E12_ENCODE_HEADROOM + E12_ENCODE_SLACK_SECONDS;
+                        if row.encode_s > encode_ceiling {
+                            return Err(format!(
+                                "E12 regression: master encode time {:.6}s on the {} row \
+                                 exceeds the learned ceiling {:.6}s (baseline {:.6}s × \
+                                 {E12_ENCODE_HEADROOM} + {E12_ENCODE_SLACK_SECONDS}s)",
+                                row.encode_s, row.variant, encode_ceiling, base.encode_s
+                            ));
+                        }
+                    }
                 }
             }
             _ => {}
@@ -556,6 +710,38 @@ mod tests {
         table_json(&t)
     }
 
+    /// An E12 table with the data-plane columns; each row is
+    /// `(variant, units, wire_bytes, encode_s, bytes_copied_per_unit)` with
+    /// a 1-second makespan so `units_per_s == units`.
+    fn e12_table(rows: &[(&str, f64, f64, f64, f64)]) -> String {
+        let mut t = Table::new(
+            "E12: thread vs process backends (6 matmul bands, n=96)",
+            &[
+                "variant",
+                "makespan_s",
+                "units_per_s",
+                "wire_bytes",
+                "wire_write_s",
+                "wire_fraction",
+                "encode_s",
+                "bytes_copied_per_unit",
+            ],
+        );
+        for (variant, units, wire, encode, copied) in rows {
+            t.push_row(vec![
+                variant.to_string(),
+                "1.000000".into(),
+                format!("{units:.1}"),
+                format!("{wire:.0}"),
+                "0.001".into(),
+                "0.001".into(),
+                format!("{encode:.6}"),
+                format!("{copied:.1}"),
+            ]);
+        }
+        table_json(&t)
+    }
+
     fn doc(parts: &[String]) -> Json {
         parse_json(&format!("{{\"experiments\":[{}]}}", parts.join(","))).unwrap()
     }
@@ -625,6 +811,97 @@ mod tests {
             err.contains("0.50"),
             "the failure must print the offending metric value: {err}"
         );
+    }
+
+    #[test]
+    fn e12_data_plane_ceilings_pass_healthy_rows_and_old_format_tables() {
+        // Healthy: zero copies, microsecond encode, wire volume within the
+        // learned headroom of an identical baseline.
+        let rows = &[
+            ("threads", 6.0, 0.0, 0.0, 0.0),
+            ("proc-spin", 6.0, 2000.0, 0.0001, 0.0),
+            ("proc-matmul", 6.0, 2600.0, 0.0002, 0.0),
+        ];
+        let fresh = doc(&[
+            e10_table(&[("sim", 1.4)]),
+            e11_table(1),
+            e14_table(1.2),
+            e12_table(rows),
+        ]);
+        check_results(&fresh, Some(&fresh)).unwrap();
+        // A pre-data-plane E12 table (no encode_s/bytes_copied_per_unit
+        // columns) carries no ceilings and still passes, even against a
+        // baseline that has them.
+        let old = doc(&[
+            e10_table(&[("sim", 1.4)]),
+            e11_table(1),
+            e14_table(1.2),
+            "{\"type\":\"table\",\"title\":\"E12: proc backend\",\
+             \"headers\":[\"variant\",\"wire_bytes\"],\
+             \"rows\":[[\"proc-spin\",\"2000\"]]}"
+                .to_string(),
+        ]);
+        check_results(&old, Some(&fresh)).unwrap();
+    }
+
+    #[test]
+    fn e12_encode_time_blowup_fails_the_gate() {
+        let bad = doc(&[
+            e10_table(&[("sim", 1.4)]),
+            e11_table(1),
+            e14_table(1.2),
+            e12_table(&[("proc-spin", 6.0, 2000.0, 0.40, 0.0)]),
+        ]);
+        let err = check_results(&bad, None).unwrap_err();
+        assert!(err.contains("E12 regression"), "{err}");
+        assert!(
+            err.contains("0.400000"),
+            "the failure must print the offending encode time: {err}"
+        );
+    }
+
+    #[test]
+    fn e12_copied_payload_bytes_fail_the_gate() {
+        let bad = doc(&[
+            e10_table(&[("sim", 1.4)]),
+            e11_table(1),
+            e14_table(1.2),
+            e12_table(&[("proc-matmul", 6.0, 2600.0, 0.0002, 384.5)]),
+        ]);
+        let err = check_results(&bad, None).unwrap_err();
+        assert!(err.contains("E12 regression"), "{err}");
+        assert!(
+            err.contains("384.5") && err.contains("zero-copy"),
+            "the failure must print the copied volume: {err}"
+        );
+    }
+
+    #[test]
+    fn e12_wire_volume_above_the_learned_ceiling_fails_the_gate() {
+        let baseline = doc(&[
+            e10_table(&[("sim", 1.4)]),
+            e11_table(1),
+            e14_table(1.2),
+            e12_table(&[("proc-spin", 6.0, 1200.0, 0.0001, 0.0)]),
+        ]);
+        // Baseline: 200 bytes/unit → ceiling 200 × 1.5 + 256 = 556.  Fresh
+        // spends 1000 bytes/unit: a frame got fatter or chattier.
+        let fat = doc(&[
+            e10_table(&[("sim", 1.4)]),
+            e11_table(1),
+            e14_table(1.2),
+            e12_table(&[("proc-spin", 6.0, 6000.0, 0.0001, 0.0)]),
+        ]);
+        let err = check_results(&fat, Some(&baseline)).unwrap_err();
+        assert!(err.contains("E12 regression"), "{err}");
+        assert!(
+            err.contains("1000.0") && err.contains("learned ceiling"),
+            "the failure must print fresh volume and learned ceiling: {err}"
+        );
+        // The same fresh doc passes without a baseline (nothing learned) and
+        // against a baseline whose E12 already spent that much.
+        check_results(&fat, None).unwrap();
+        check_results(&fat, Some(&fat)).unwrap();
     }
 
     #[test]

@@ -70,6 +70,7 @@ pub mod metrics;
 pub mod pipeline;
 pub mod properties;
 pub mod scheduler;
+pub mod shm;
 pub mod skeleton;
 pub mod task;
 pub mod threshold;

@@ -1,0 +1,565 @@
+//! Same-host shared-memory ring transport.
+//!
+//! The fourth [`crate::transport`] implementation: a pair of single-producer
+//! single-consumer byte rings backed by one tmpfs file (`/dev/shm` on
+//! Linux), one ring per direction.  A master creates the file before
+//! spawning the worker process; both sides then move frames through the
+//! rings with positioned reads and writes (`FileExt::read_at`/`write_at`) —
+//! on tmpfs these are memory-speed page-cache copies, no disk I/O and no
+//! per-frame pipe or socket syscall queueing.  The implementation is
+//! entirely safe code (no `mmap`, no raw pointers), which the crate's
+//! `deny(unsafe_code)` policy requires.
+//!
+//! ## File layout
+//!
+//! ```text
+//! offset  0  magic "GRSPSHM1"
+//!         8  ring capacity per direction (u64 LE)
+//!        16  master pid          24  worker pid (0 until attach)
+//!        32  master closed flag  40  worker closed flag
+//!        48  M→W head (worker-written)   56  M→W tail (master-written)
+//!        64  W→M head (master-written)   72  W→M tail (worker-written)
+//!      4096  M→W data ring (capacity bytes)
+//! 4096+cap  W→M data ring (capacity bytes)
+//! ```
+//!
+//! Head and tail are free-running `u64` byte counters (never wrapped), so
+//! `tail - head` is the number of unread bytes and the empty/full states
+//! are unambiguous.  Each side writes only its own fields: the producer
+//! advances the tail after the data lands, the consumer advances the head
+//! after copying data out, and each positioned write is a syscall — a full
+//! memory barrier — so the peer can never observe a tail beyond valid data.
+//!
+//! ## Death detection
+//!
+//! Pipes and TCP get end-of-file from the kernel for free; a shared file
+//! has no such signal, so liveness is explicit, in three layers: a clean
+//! close sets the side's *closed flag* (the `Drop` of [`ShmSink`]), which
+//! the peer reads as EOF once the ring drains; a SIGKILLed peer never sets
+//! its flag, so the receive loop also checks that the peer pid still exists
+//! (`/proc/<pid>`); and the master's ordinary heartbeat-timeout sweep
+//! remains the backstop for a wedged-but-alive peer, exactly as on the
+//! other transports.  An EOF observed mid-frame is the same typed
+//! truncation error every transport reports.
+
+use crate::error::GraspError;
+use crate::transport::{FrameSink, FrameSource};
+use crate::wire::{FrameView, MAX_FRAME_PAYLOAD, WIRE_MAGIC, WIRE_VERSION};
+use std::fs::{File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SHM_MAGIC: [u8; 8] = *b"GRSPSHM1";
+const OFF_MAGIC: u64 = 0;
+const OFF_CAPACITY: u64 = 8;
+const OFF_PID: [u64; 2] = [16, 24]; // [master, worker]
+const OFF_CLOSED: [u64; 2] = [32, 40];
+const OFF_HEAD: [u64; 2] = [48, 64]; // per ring: [M→W, W→M]
+const OFF_TAIL: [u64; 2] = [56, 72];
+const HEADER_LEN: u64 = 4096;
+
+/// Default per-direction ring capacity.
+pub const DEFAULT_RING_CAPACITY: u64 = 1 << 20;
+
+/// Which end of the ring pair this process is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Side {
+    Master,
+    Worker,
+}
+
+impl Side {
+    fn index(self) -> usize {
+        match self {
+            Side::Master => 0,
+            Side::Worker => 1,
+        }
+    }
+
+    fn peer(self) -> Side {
+        match self {
+            Side::Master => Side::Worker,
+            Side::Worker => Side::Master,
+        }
+    }
+
+    /// Ring index this side produces into (master produces M→W).
+    fn out_ring(self) -> usize {
+        self.index()
+    }
+
+    /// Ring index this side consumes from.
+    fn in_ring(self) -> usize {
+        self.peer().index()
+    }
+}
+
+fn shm_err(detail: impl Into<String>) -> GraspError {
+    GraspError::WireProtocol {
+        detail: detail.into(),
+    }
+}
+
+fn io_err(what: &str, e: std::io::Error) -> GraspError {
+    shm_err(format!("shm ring {what} failed: {e}"))
+}
+
+/// Shared state of one attached ring file: the open file plus this side's
+/// identity.  Sink and source halves of one side share it.
+#[derive(Debug)]
+struct ShmShared {
+    file: File,
+    side: Side,
+    capacity: u64,
+}
+
+impl ShmShared {
+    fn read_u64(&self, off: u64) -> Result<u64, GraspError> {
+        let mut b = [0u8; 8];
+        self.file
+            .read_exact_at(&mut b, off)
+            .map_err(|e| io_err("header read", e))?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn write_u64(&self, off: u64, v: u64) -> Result<(), GraspError> {
+        self.file
+            .write_all_at(&v.to_le_bytes(), off)
+            .map_err(|e| io_err("header write", e))
+    }
+
+    fn data_base(&self, ring: usize) -> u64 {
+        HEADER_LEN + ring as u64 * self.capacity
+    }
+
+    /// `true` while the peer can still make progress: its closed flag is
+    /// unset and (once it has registered a pid) its process still exists.
+    fn peer_alive(&self, peer_pid_hint: u64) -> Result<bool, GraspError> {
+        let peer = self.side.peer();
+        if self.read_u64(OFF_CLOSED[peer.index()])? != 0 {
+            return Ok(false);
+        }
+        let pid = match self.read_u64(OFF_PID[peer.index()])? {
+            0 => peer_pid_hint, // peer not yet attached; fall back to spawn-time knowledge
+            p => p,
+        };
+        if pid == 0 {
+            return Ok(true); // nothing to check against yet
+        }
+        let proc_dir = PathBuf::from(format!("/proc/{pid}"));
+        if Path::new("/proc").exists() {
+            Ok(proc_dir.exists())
+        } else {
+            Ok(true) // no procfs: rely on closed flags + heartbeat sweep
+        }
+    }
+}
+
+/// One side's handle on a ring file, from which the framed halves are
+/// taken.  Create the file with [`ShmRing::create`] (master, before
+/// spawning the worker), attach with [`ShmRing::attach`] (worker).
+#[derive(Debug)]
+pub struct ShmRing {
+    shared: Arc<ShmShared>,
+    path: PathBuf,
+}
+
+impl ShmRing {
+    /// Create and initialise a ring file at `path` with the given
+    /// per-direction capacity, registering the calling process as the
+    /// master side.  The file must not already exist as a valid ring (it is
+    /// truncated).
+    pub fn create(path: impl Into<PathBuf>, capacity: u64) -> Result<ShmRing, GraspError> {
+        let path = path.into();
+        let capacity = capacity.max(4096);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| io_err("create", e))?;
+        file.set_len(HEADER_LEN + 2 * capacity)
+            .map_err(|e| io_err("size", e))?;
+        let shared = ShmShared {
+            file,
+            side: Side::Master,
+            capacity,
+        };
+        shared
+            .file
+            .write_all_at(&SHM_MAGIC, OFF_MAGIC)
+            .map_err(|e| io_err("init", e))?;
+        shared.write_u64(OFF_CAPACITY, capacity)?;
+        shared.write_u64(OFF_PID[0], std::process::id() as u64)?;
+        Ok(ShmRing {
+            shared: Arc::new(shared),
+            path,
+        })
+    }
+
+    /// Attach to an existing ring file as the worker side, registering this
+    /// process id so the master can watch for its death.
+    pub fn attach(path: impl Into<PathBuf>) -> Result<ShmRing, GraspError> {
+        let path = path.into();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| io_err("open", e))?;
+        let mut magic = [0u8; 8];
+        file.read_exact_at(&mut magic, OFF_MAGIC)
+            .map_err(|e| io_err("magic read", e))?;
+        if magic != SHM_MAGIC {
+            return Err(shm_err(format!("bad shm ring magic {magic:02x?}")));
+        }
+        let probe = ShmShared {
+            file,
+            side: Side::Worker,
+            capacity: 0,
+        };
+        let capacity = probe.read_u64(OFF_CAPACITY)?;
+        if capacity == 0 || capacity > (1 << 32) {
+            return Err(shm_err(format!("implausible shm ring capacity {capacity}")));
+        }
+        let shared = ShmShared { capacity, ..probe };
+        shared.write_u64(OFF_PID[1], std::process::id() as u64)?;
+        Ok(ShmRing {
+            shared: Arc::new(shared),
+            path,
+        })
+    }
+
+    /// The ring file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Split into the framed halves.  `peer_pid_hint` is the peer process
+    /// id if the caller already knows it (the master knows the child pid at
+    /// spawn time — before the worker attaches and registers itself);
+    /// pass 0 otherwise.
+    pub fn into_halves(self, peer_pid_hint: u64) -> (ShmSink, ShmSource) {
+        let sink = ShmSink {
+            shared: Arc::clone(&self.shared),
+            tail: 0,
+            frame: Vec::new(),
+            peer_pid_hint,
+        };
+        let source = ShmSource {
+            shared: self.shared,
+            head: 0,
+            frame: Vec::new(),
+            bytes: None,
+            peer_pid_hint,
+        };
+        (sink, source)
+    }
+
+    /// Remove a ring file, ignoring errors (open handles keep working; this
+    /// just unlinks the name so tmpfs space is reclaimed when both sides
+    /// exit).
+    pub fn cleanup(path: impl AsRef<Path>) {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+/// How long the blocking loops sleep between polls once the quick
+/// spin-yield phase found nothing.
+const POLL_SLEEP: Duration = Duration::from_micros(200);
+
+/// Poll iterations between peer-liveness checks (each check stats
+/// `/proc/<pid>`; at the poll cadence this bounds death detection latency
+/// to ~10 ms without paying a stat per poll).
+const LIVENESS_EVERY: u32 = 50;
+
+/// The sending half of a shared-memory ring.  Dropping it sets this side's
+/// closed flag — the peer reads EOF once the ring drains, exactly like a
+/// dropped pipe or socket write half.
+#[derive(Debug)]
+pub struct ShmSink {
+    shared: Arc<ShmShared>,
+    /// Cached free-running producer position (only this side writes it).
+    tail: u64,
+    frame: Vec<u8>,
+    peer_pid_hint: u64,
+}
+
+impl FrameSink for ShmSink {
+    fn send(&mut self, msg: &crate::wire::WireMsg) -> Result<usize, GraspError> {
+        let mut frame = std::mem::take(&mut self.frame);
+        msg.encode_into(&mut frame);
+        let sent = self.send_frame(&frame);
+        self.frame = frame;
+        sent
+    }
+
+    fn send_frame(&mut self, frame: &[u8]) -> Result<usize, GraspError> {
+        let cap = self.shared.capacity;
+        let n = frame.len() as u64;
+        if n > cap {
+            return Err(shm_err(format!(
+                "frame of {n} bytes exceeds the ring capacity of {cap}"
+            )));
+        }
+        let ring = self.shared.side.out_ring();
+        let mut polls: u32 = 0;
+        loop {
+            let head = self.shared.read_u64(OFF_HEAD[ring])?;
+            let used = self.tail.wrapping_sub(head);
+            if used > cap {
+                return Err(shm_err("corrupt shm ring: consumer ahead of producer"));
+            }
+            if cap - used >= n {
+                break;
+            }
+            polls = polls.wrapping_add(1);
+            if polls % LIVENESS_EVERY == 0 && !self.shared.peer_alive(self.peer_pid_hint)? {
+                return Err(shm_err("shm ring peer gone with the ring full"));
+            }
+            std::thread::sleep(POLL_SLEEP);
+        }
+        let base = self.shared.data_base(ring);
+        let at = self.tail % cap;
+        let first = ((cap - at) as usize).min(frame.len());
+        self.shared
+            .file
+            .write_all_at(&frame[..first], base + at)
+            .map_err(|e| io_err("data write", e))?;
+        if first < frame.len() {
+            self.shared
+                .file
+                .write_all_at(&frame[first..], base)
+                .map_err(|e| io_err("data write", e))?;
+        }
+        self.tail += n;
+        self.shared.write_u64(OFF_TAIL[ring], self.tail)?;
+        Ok(frame.len())
+    }
+}
+
+impl Drop for ShmSink {
+    fn drop(&mut self) {
+        // A clean close: the peer sees EOF once it drains the ring.
+        let _ = self
+            .shared
+            .write_u64(OFF_CLOSED[self.shared.side.index()], 1);
+    }
+}
+
+/// The receiving half of a shared-memory ring.  One frame buffer is reused
+/// across receives.
+#[derive(Debug)]
+pub struct ShmSource {
+    shared: Arc<ShmShared>,
+    /// Cached free-running consumer position (only this side writes it).
+    head: u64,
+    frame: Vec<u8>,
+    bytes: Option<Arc<AtomicU64>>,
+    peer_pid_hint: u64,
+}
+
+impl ShmSource {
+    /// Copy exactly `out.len()` bytes from the ring, blocking until they
+    /// arrive.  Returns `Ok(false)` — without consuming anything — when the
+    /// peer is gone and the ring holds fewer than `out.len()` bytes while
+    /// `at_boundary` is set and nothing of the current frame has been read
+    /// yet; the same condition mid-frame is a typed truncation error.
+    fn read_exact_ring(&mut self, out: &mut [u8], at_boundary: bool) -> Result<bool, GraspError> {
+        let cap = self.shared.capacity;
+        let ring = self.shared.side.in_ring();
+        let mut filled = 0usize;
+        let mut polls: u32 = 0;
+        while filled < out.len() {
+            let tail = self.shared.read_u64(OFF_TAIL[ring])?;
+            let avail = tail.wrapping_sub(self.head);
+            if avail > cap {
+                return Err(shm_err("corrupt shm ring: producer overran the consumer"));
+            }
+            if avail == 0 {
+                polls = polls.wrapping_add(1);
+                if polls % LIVENESS_EVERY == 0 && !self.shared.peer_alive(self.peer_pid_hint)? {
+                    // Nothing buffered and the peer is gone for good.
+                    if at_boundary && filled == 0 {
+                        return Ok(false);
+                    }
+                    return Err(shm_err("truncated frame: peer closed mid-message"));
+                }
+                std::thread::sleep(POLL_SLEEP);
+                continue;
+            }
+            let take = (avail as usize).min(out.len() - filled);
+            let base = self.shared.data_base(ring);
+            let at = self.head % cap;
+            let first = ((cap - at) as usize).min(take);
+            self.shared
+                .file
+                .read_exact_at(&mut out[filled..filled + first], base + at)
+                .map_err(|e| io_err("data read", e))?;
+            if first < take {
+                self.shared
+                    .file
+                    .read_exact_at(&mut out[filled + first..filled + take], base)
+                    .map_err(|e| io_err("data read", e))?;
+            }
+            filled += take;
+            self.head += take as u64;
+            self.shared.write_u64(OFF_HEAD[ring], self.head)?;
+            if let Some(b) = &self.bytes {
+                b.fetch_add(take as u64, Ordering::Relaxed);
+            }
+        }
+        Ok(true)
+    }
+}
+
+impl FrameSource for ShmSource {
+    fn recv_view(&mut self) -> Result<Option<FrameView<'_>>, GraspError> {
+        let mut header = [0u8; 10];
+        if !self.read_exact_ring(&mut header, true)? {
+            return Ok(None); // clean EOF between frames
+        }
+        if header[..4] != WIRE_MAGIC {
+            return Err(shm_err(format!("bad frame magic {:02x?}", &header[..4])));
+        }
+        if header[4] != WIRE_VERSION {
+            return Err(shm_err(format!(
+                "wire version mismatch: got {}, speak {WIRE_VERSION}",
+                header[4]
+            )));
+        }
+        let len = u32::from_le_bytes(header[6..10].try_into().unwrap()) as usize;
+        if len > MAX_FRAME_PAYLOAD {
+            return Err(shm_err(format!(
+                "frame payload of {len} bytes exceeds the {MAX_FRAME_PAYLOAD} cap"
+            )));
+        }
+        let total = 10 + len + 4;
+        self.frame.clear();
+        self.frame.resize(total, 0);
+        self.frame[..10].copy_from_slice(&header);
+        let mut rest = std::mem::take(&mut self.frame);
+        let read = self.read_exact_ring(&mut rest[10..], false);
+        self.frame = rest;
+        read?;
+        Ok(Some(FrameView::decode_slice(&self.frame[..total])?.0))
+    }
+
+    fn set_byte_counter(&mut self, counter: Arc<AtomicU64>) {
+        self.bytes = Some(counter);
+    }
+}
+
+/// Pick a ring-file path on tmpfs: `/dev/shm` when present (Linux),
+/// otherwise the system temp directory.  `tag` keeps concurrent masters
+/// and workers apart; the master pid makes leaked files attributable.
+pub fn ring_path(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = if Path::new("/dev/shm").is_dir() {
+        PathBuf::from("/dev/shm")
+    } else {
+        std::env::temp_dir()
+    };
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    dir.join(format!("grasp-ring-{}-{tag}-{seq}", std::process::id()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::WireMsg;
+
+    fn pair(capacity: u64) -> ((ShmSink, ShmSource), (ShmSink, ShmSource), PathBuf) {
+        let path = ring_path("test");
+        let master = ShmRing::create(&path, capacity).unwrap();
+        let worker = ShmRing::attach(&path).unwrap();
+        let me = std::process::id() as u64;
+        (master.into_halves(me), worker.into_halves(me), path)
+    }
+
+    #[test]
+    fn frames_cross_the_ring_in_both_directions() {
+        let ((mut m_sink, mut m_src), (mut w_sink, mut w_src), path) = pair(1 << 16);
+        let task = WireMsg::Task {
+            unit_id: 5,
+            work: 2.0,
+            kind: 1,
+            payload: vec![3; 300],
+        };
+        m_sink.send(&task).unwrap();
+        assert_eq!(w_src.recv().unwrap(), Some(task));
+        let done = WireMsg::Done {
+            unit_id: 5,
+            elapsed_s: 0.25,
+            digest: 42,
+        };
+        w_sink.send(&done).unwrap();
+        assert_eq!(m_src.recv().unwrap(), Some(done));
+        ShmRing::cleanup(path);
+    }
+
+    #[test]
+    fn many_frames_wrap_a_small_ring_without_corruption() {
+        // Capacity clamps at 4096; frames of ~330 bytes force many wraps.
+        let ((m_sink, _m_src), (_w_sink, mut w_src), path) = pair(0);
+        let msgs: Vec<WireMsg> = (0..200)
+            .map(|i| WireMsg::Task {
+                unit_id: i,
+                work: i as f64,
+                kind: 2,
+                payload: vec![i as u8; 300],
+            })
+            .collect();
+        let expected = msgs.clone();
+        let producer = std::thread::spawn(move || {
+            let mut sink = m_sink;
+            for m in &msgs {
+                sink.send(m).unwrap();
+            }
+        });
+        for want in &expected {
+            assert_eq!(w_src.recv().unwrap().as_ref(), Some(want));
+        }
+        producer.join().unwrap();
+        ShmRing::cleanup(path);
+    }
+
+    #[test]
+    fn dropping_the_sink_reads_as_clean_eof_after_the_ring_drains() {
+        let ((mut m_sink, _m_src), (_w_sink, mut w_src), path) = pair(1 << 16);
+        m_sink.send(&WireMsg::Heartbeat).unwrap();
+        drop(m_sink);
+        assert_eq!(w_src.recv().unwrap(), Some(WireMsg::Heartbeat));
+        assert_eq!(w_src.recv().unwrap(), None, "closed flag is a clean EOF");
+        ShmRing::cleanup(path);
+    }
+
+    #[test]
+    fn a_torn_frame_is_a_typed_truncation_error() {
+        let ((mut m_sink, _m_src), (_w_sink, mut w_src), path) = pair(1 << 16);
+        let frame = WireMsg::Done {
+            unit_id: 1,
+            elapsed_s: 1.0,
+            digest: 7,
+        }
+        .encode();
+        // Write only part of the frame, then close.
+        m_sink.send_frame(&frame[..frame.len() - 3]).unwrap();
+        drop(m_sink);
+        let err = w_src.recv().expect_err("mid-frame close must be typed");
+        assert!(err.to_string().contains("wire protocol"), "{err}");
+        ShmRing::cleanup(path);
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_against_the_capacity() {
+        let ((mut m_sink, _m_src), _worker, path) = pair(0);
+        let big = vec![0u8; 5000];
+        let err = m_sink.send_frame(&big).unwrap_err();
+        assert!(err.to_string().contains("capacity"), "{err}");
+        ShmRing::cleanup(path);
+    }
+}

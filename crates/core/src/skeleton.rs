@@ -570,6 +570,12 @@ pub enum OutcomeDetail {
         /// Wall seconds the writer threads spent encoding and writing
         /// frames (aggregate across workers) — the run's serialization cost.
         wire_write_s: f64,
+        /// Wall seconds of that spent *encoding* frames (the rest is the
+        /// transport write itself).
+        wire_encode_s: f64,
+        /// Payload bytes copied beyond the one encode per frame (0 in
+        /// steady state on the stream, TCP, and shm transports).
+        bytes_copied: u64,
         /// Per-unit result digests reported by the workers, sorted by unit
         /// id (all zero for spin payloads).  Lets callers verify that a
         /// worker's computation matches a locally computed reference.
@@ -593,6 +599,11 @@ pub enum OutcomeDetail {
         /// Wall seconds the writer threads spent encoding and writing
         /// frames (aggregate across workers).
         wire_write_s: f64,
+        /// Wall seconds of that spent *encoding* frames.
+        wire_encode_s: f64,
+        /// Payload bytes copied beyond the one encode per frame (the
+        /// loopback transport's channel hand-off; 0 on TCP).
+        bytes_copied: u64,
         /// Per-unit result digests, sorted by unit id.
         unit_digests: Vec<(usize, u64)>,
         /// Per-member membership audit, in admission order.

@@ -23,7 +23,7 @@
 //! *same* master code the TCP deployment runs.
 
 use crate::error::GraspError;
-use crate::wire::WireMsg;
+use crate::wire::{read_frame_into, FrameView, WireMsg};
 use std::io::{BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -47,15 +47,39 @@ pub trait FrameSink: Send {
     /// Encode and write one frame; returns the bytes put on the wire.
     /// An error means the peer is unreachable — the caller treats the
     /// connection as closed (the receive side settles the peer's fate).
+    /// Implementations reuse an internal encode buffer, so steady-state
+    /// sends allocate nothing.
     fn send(&mut self, msg: &WireMsg) -> Result<usize, GraspError>;
+
+    /// Write one already-encoded frame (the writer-thread fast path, which
+    /// encodes into its own reused buffer).  One call is one frame — the
+    /// loopback transport's fault scripts index frames by `send_frame`
+    /// call, so callers must never batch two frames into one call.
+    fn send_frame(&mut self, frame: &[u8]) -> Result<usize, GraspError>;
+
+    /// Install a counter credited with every payload byte this sink has to
+    /// *copy* beyond the single encode (wire-copy accounting; zero on
+    /// transports that write straight from the encode buffer).
+    fn set_copy_counter(&mut self, _counter: Arc<AtomicU64>) {}
 }
 
 /// The receiving half of a framed connection.
 pub trait FrameSource: Send {
-    /// Block until one frame arrives.  `Ok(None)` is the peer's clean close
-    /// (between frames); a close mid-frame or a corrupted frame is a typed
-    /// [`GraspError::WireProtocol`].
-    fn recv(&mut self) -> Result<Option<WireMsg>, GraspError>;
+    /// Block until one frame arrives and borrow it from the source's
+    /// internal read buffer — the zero-copy receive path.  `Ok(None)` is
+    /// the peer's clean close (between frames); a close mid-frame or a
+    /// corrupted frame is a typed [`GraspError::WireProtocol`].  The view
+    /// is valid until the next call on this source; implementations reuse
+    /// one read buffer across frames, so steady-state receives allocate
+    /// nothing.
+    fn recv_view(&mut self) -> Result<Option<FrameView<'_>>, GraspError>;
+
+    /// Block until one frame arrives, copied into an owned [`WireMsg`]
+    /// (convenience over [`FrameSource::recv_view`]; only the
+    /// heap-carrying variants allocate in the copy).
+    fn recv(&mut self) -> Result<Option<WireMsg>, GraspError> {
+        Ok(self.recv_view()?.map(|v| v.to_owned()))
+    }
 
     /// Install a counter credited with every raw inbound byte (wire
     /// accounting).  Transports without byte-level visibility may ignore it.
@@ -133,23 +157,34 @@ pub trait Acceptor: Send {
 // ---------------------------------------------------------------------------
 
 /// [`FrameSink`] over any ordered byte writer (a pipe, a socket half, an
-/// in-memory buffer in tests).
+/// in-memory buffer in tests).  One encode buffer is reused across sends.
 pub struct StreamSink<W: Write + Send> {
     inner: W,
+    frame: Vec<u8>,
 }
 
 impl<W: Write + Send> StreamSink<W> {
     /// Wrap a writer.
     pub fn new(inner: W) -> Self {
-        StreamSink { inner }
+        StreamSink {
+            inner,
+            frame: Vec::new(),
+        }
     }
 }
 
 impl<W: Write + Send> FrameSink for StreamSink<W> {
     fn send(&mut self, msg: &WireMsg) -> Result<usize, GraspError> {
-        let frame = msg.encode();
+        let mut frame = std::mem::take(&mut self.frame);
+        msg.encode_into(&mut frame);
+        let sent = self.send_frame(&frame);
+        self.frame = frame;
+        sent
+    }
+
+    fn send_frame(&mut self, frame: &[u8]) -> Result<usize, GraspError> {
         self.inner
-            .write_all(&frame)
+            .write_all(frame)
             .and_then(|_| self.inner.flush())
             .map_err(|e| transport_err(format!("transport write failed: {e}")))?;
         Ok(frame.len())
@@ -172,9 +207,11 @@ impl<R: Read> Read for CountingRead<R> {
 }
 
 /// [`FrameSource`] over any ordered byte reader, buffered, with optional
-/// byte accounting.
+/// byte accounting.  One frame buffer is reused across receives: after
+/// warmup there are zero heap allocations per frame.
 pub struct StreamSource<R: Read + Send> {
     inner: BufReader<CountingRead<R>>,
+    frame: Vec<u8>,
 }
 
 impl<R: Read + Send> StreamSource<R> {
@@ -182,13 +219,17 @@ impl<R: Read + Send> StreamSource<R> {
     pub fn new(inner: R) -> Self {
         StreamSource {
             inner: BufReader::new(CountingRead { inner, count: None }),
+            frame: Vec::new(),
         }
     }
 }
 
 impl<R: Read + Send> FrameSource for StreamSource<R> {
-    fn recv(&mut self) -> Result<Option<WireMsg>, GraspError> {
-        WireMsg::read_from(&mut self.inner)
+    fn recv_view(&mut self) -> Result<Option<FrameView<'_>>, GraspError> {
+        match read_frame_into(&mut self.inner, &mut self.frame)? {
+            None => Ok(None),
+            Some(n) => Ok(Some(FrameView::decode_slice(&self.frame[..n])?.0)),
+        }
     }
 
     fn set_byte_counter(&mut self, counter: Arc<AtomicU64>) {
@@ -220,13 +261,21 @@ where
 /// clone, and the peer would never see the EOF that means "shutdown".
 pub struct TcpSink {
     stream: TcpStream,
+    frame: Vec<u8>,
 }
 
 impl FrameSink for TcpSink {
     fn send(&mut self, msg: &WireMsg) -> Result<usize, GraspError> {
-        let frame = msg.encode();
+        let mut frame = std::mem::take(&mut self.frame);
+        msg.encode_into(&mut frame);
+        let sent = self.send_frame(&frame);
+        self.frame = frame;
+        sent
+    }
+
+    fn send_frame(&mut self, frame: &[u8]) -> Result<usize, GraspError> {
         self.stream
-            .write_all(&frame)
+            .write_all(frame)
             .and_then(|_| self.stream.flush())
             .map_err(|e| transport_err(format!("socket write failed: {e}")))?;
         Ok(frame.len())
@@ -254,7 +303,10 @@ pub fn tcp_connection(stream: TcpStream) -> Result<FramedConnection, GraspError>
         .map_err(|e| transport_err(format!("could not clone socket: {e}")))?;
     Ok(FramedConnection::new(
         peer,
-        Box::new(TcpSink { stream }),
+        Box::new(TcpSink {
+            stream,
+            frame: Vec::new(),
+        }),
         Box::new(StreamSource::new(read_half)),
     ))
 }
@@ -319,6 +371,101 @@ impl Acceptor for TcpAcceptor {
 // shared writer-thread plumbing
 // ---------------------------------------------------------------------------
 
+/// Shared wire-accounting counters one master hands to every per-worker
+/// writer thread (and to each source's byte counter): bytes on the wire,
+/// encode wall time, write wall time, and payload bytes copied beyond the
+/// single encode.
+#[derive(Debug, Clone, Default)]
+pub struct WireCounters {
+    /// Bytes of frames put on the wire.
+    pub bytes: Arc<AtomicU64>,
+    /// Wall nanoseconds writer threads spent encoding frames.
+    pub encode_nanos: Arc<AtomicU64>,
+    /// Wall nanoseconds writer threads spent writing encoded frames.
+    pub write_nanos: Arc<AtomicU64>,
+    /// Payload bytes the send path had to copy beyond the single encode
+    /// (zero on transports that write straight from the encode buffer; the
+    /// in-memory loopback's channel hand-off counts here).
+    pub copied: Arc<AtomicU64>,
+}
+
+impl WireCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        WireCounters::default()
+    }
+
+    /// Seconds spent encoding frames so far.
+    pub fn encode_seconds(&self) -> f64 {
+        self.encode_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// Seconds spent writing frames so far.
+    pub fn write_seconds(&self) -> f64 {
+        self.write_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+}
+
+/// One outbound message for a writer thread: either an owned protocol
+/// message, or the task-dispatch fast path whose payload is a shared
+/// reference-counted slice — the master clones an `Arc` per dispatch, never
+/// the payload bytes (they are copied exactly once, into the writer's
+/// reused encode buffer).
+#[derive(Debug, Clone)]
+pub enum OutMsg {
+    /// An owned protocol message.
+    Msg(WireMsg),
+    /// A task dispatch sharing its payload bytes.
+    Task {
+        /// Global unit id within the running skeleton.
+        unit_id: u64,
+        /// Declared work of the unit.
+        work: f64,
+        /// Payload kind.
+        kind: u32,
+        /// Kind-specific serialized task, shared across dispatch attempts.
+        payload: Arc<[u8]>,
+    },
+}
+
+impl OutMsg {
+    /// A spin-kernel task dispatch: no payload bytes, so the owned variant
+    /// is already copy-free (an empty `Vec` does not allocate).
+    pub fn spin_task(unit_id: u64, work: f64) -> OutMsg {
+        OutMsg::Msg(WireMsg::Task {
+            unit_id,
+            work,
+            kind: crate::wire::PAYLOAD_SPIN,
+            payload: Vec::new(),
+        })
+    }
+
+    /// Borrow as a [`FrameView`] for encoding (both variants encode
+    /// byte-identically to the equivalent [`WireMsg`]).
+    pub fn as_view(&self) -> FrameView<'_> {
+        match self {
+            OutMsg::Msg(m) => m.as_view(),
+            OutMsg::Task {
+                unit_id,
+                work,
+                kind,
+                payload,
+            } => FrameView::Task {
+                unit_id: *unit_id,
+                work: *work,
+                kind: *kind,
+                payload,
+            },
+        }
+    }
+}
+
+impl From<WireMsg> for OutMsg {
+    fn from(msg: WireMsg) -> Self {
+        OutMsg::Msg(msg)
+    }
+}
+
 /// Spawn the writer thread owning `sink`: frames sent on the returned
 /// channel are written in order; dropping the sender drops the sink, which
 /// closes the outbound direction (EOF at the peer).
@@ -326,21 +473,31 @@ impl Acceptor for TcpAcceptor {
 /// Masters never write from their event loop — a worker only reads between
 /// tasks, so a blocking write into a full transport would stall the very
 /// loop whose heartbeat sweep is supposed to unmask wedged workers.  The
-/// thread accounts each successful send into `bytes` and the wall time
-/// spent encoding + writing into `write_nanos`.
+/// thread encodes every message into one buffer reused across frames
+/// (steady state allocates nothing) and credits `counters` with bytes sent
+/// plus encode and write wall time, kept separate so callers can tell
+/// serialization cost from transport cost.
 pub fn spawn_frame_writer(
     mut sink: Box<dyn FrameSink>,
-    bytes: Arc<AtomicU64>,
-    write_nanos: Arc<AtomicU64>,
-) -> mpsc::Sender<WireMsg> {
-    let (tx, rx) = mpsc::channel::<WireMsg>();
+    counters: WireCounters,
+) -> mpsc::Sender<OutMsg> {
+    sink.set_copy_counter(Arc::clone(&counters.copied));
+    let (tx, rx) = mpsc::channel::<OutMsg>();
     std::thread::spawn(move || {
-        for msg in rx {
+        let mut frame = Vec::new();
+        for out in rx {
             let t0 = Instant::now();
-            match sink.send(&msg) {
+            out.as_view().encode_into(&mut frame);
+            counters
+                .encode_nanos
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let t1 = Instant::now();
+            match sink.send_frame(&frame) {
                 Ok(n) => {
-                    bytes.fetch_add(n as u64, Ordering::Relaxed);
-                    write_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    counters.bytes.fetch_add(n as u64, Ordering::Relaxed);
+                    counters
+                        .write_nanos
+                        .fetch_add(t1.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 }
                 Err(_) => {
                     // Peer gone: drop queued frames; the receive side (EOF /
@@ -470,17 +627,41 @@ mod tests {
             std::thread::sleep(Duration::from_millis(2));
         };
         let (sink, _source) = conn.split();
-        let bytes = Arc::new(AtomicU64::new(0));
-        let nanos = Arc::new(AtomicU64::new(0));
-        let tx = spawn_frame_writer(sink, Arc::clone(&bytes), Arc::clone(&nanos));
+        let counters = WireCounters::new();
+        let tx = spawn_frame_writer(sink, counters.clone());
         let sent = [WireMsg::Heartbeat, WireMsg::Shutdown];
         for m in &sent {
-            tx.send(m.clone()).unwrap();
+            tx.send(m.clone().into()).unwrap();
         }
         drop(tx);
         let got = peer.join().unwrap();
         assert_eq!(got, sent);
         let expected: usize = sent.iter().map(|m| m.encode().len()).sum();
-        assert_eq!(bytes.load(Ordering::Relaxed), expected as u64);
+        assert_eq!(counters.bytes.load(Ordering::Relaxed), expected as u64);
+        assert_eq!(
+            counters.copied.load(Ordering::Relaxed),
+            0,
+            "a TCP sink writes straight from the encode buffer"
+        );
+    }
+
+    #[test]
+    fn out_msg_task_encodes_identically_to_the_owned_message() {
+        let payload: Arc<[u8]> = vec![7u8; 48].into();
+        let out = OutMsg::Task {
+            unit_id: 3,
+            work: 1.5,
+            kind: crate::wire::PAYLOAD_MATMUL,
+            payload: Arc::clone(&payload),
+        };
+        let owned = WireMsg::Task {
+            unit_id: 3,
+            work: 1.5,
+            kind: crate::wire::PAYLOAD_MATMUL,
+            payload: payload.to_vec(),
+        };
+        let mut frame = Vec::new();
+        out.as_view().encode_into(&mut frame);
+        assert_eq!(frame, owned.encode());
     }
 }

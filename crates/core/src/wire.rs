@@ -95,6 +95,41 @@ pub fn fnv1a_64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Incremental [`fnv1a_64`]: feed byte chunks as they are produced instead
+/// of concatenating them first.  `Fnv64::new().update(x).update(y).finish()`
+/// equals `fnv1a_64` over `x ++ y`, so result digests can be folded straight
+/// over computed values (or borrowed wire slices) with no intermediate
+/// buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// A hasher at the FNV-1a/64 offset basis (the hash of the empty input).
+    pub fn new() -> Fnv64 {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Fold `bytes` into the running hash; returns `self` for chaining.
+    pub fn update(&mut self, bytes: &[u8]) -> &mut Fnv64 {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self
+    }
+
+    /// The digest of everything folded in so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
 fn fnv1a_32(tag: u8, bytes: &[u8]) -> u32 {
     let mut h: u32 = 0x811c_9dc5;
     for b in std::iter::once(tag).chain(bytes.iter().copied()) {
@@ -174,7 +209,11 @@ impl<'a> ByteReader<'a> {
         ByteReader { buf, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], GraspError> {
+    /// Borrow the next `n` bytes without copying.  The returned slice lives
+    /// as long as the underlying buffer, not the reader, so a caller can
+    /// keep slicing after the reader is dropped — this is the primitive the
+    /// zero-copy [`FrameView`] decode path is built on.
+    pub fn take_slice(&mut self, n: usize) -> Result<&'a [u8], GraspError> {
         if self.buf.len() - self.pos < n {
             return Err(wire_err(format!(
                 "truncated payload: wanted {n} bytes at offset {}, have {}",
@@ -189,17 +228,17 @@ impl<'a> ByteReader<'a> {
 
     /// Read one byte.
     pub fn take_u8(&mut self) -> Result<u8, GraspError> {
-        Ok(self.take(1)?[0])
+        Ok(self.take_slice(1)?[0])
     }
 
     /// Read a little-endian `u32`.
     pub fn take_u32(&mut self) -> Result<u32, GraspError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_slice(4)?.try_into().unwrap()))
     }
 
     /// Read a little-endian `u64`.
     pub fn take_u64(&mut self) -> Result<u64, GraspError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_slice(8)?.try_into().unwrap()))
     }
 
     /// Read an `f64` from its IEEE-754 bit pattern.
@@ -207,18 +246,28 @@ impl<'a> ByteReader<'a> {
         Ok(f64::from_bits(self.take_u64()?))
     }
 
-    /// Read a `u32`-length-prefixed byte string.
-    pub fn take_bytes(&mut self) -> Result<Vec<u8>, GraspError> {
+    /// Borrow a `u32`-length-prefixed byte string without copying.
+    pub fn take_bytes_slice(&mut self) -> Result<&'a [u8], GraspError> {
         let len = self.take_u32()? as usize;
         if len > MAX_FRAME_PAYLOAD {
             return Err(wire_err(format!("byte string length {len} exceeds cap")));
         }
-        Ok(self.take(len)?.to_vec())
+        self.take_slice(len)
     }
 
-    /// Read a `u32`-length-prefixed UTF-8 string.
+    /// Read a `u32`-length-prefixed byte string into an owned `Vec`.
+    pub fn take_bytes(&mut self) -> Result<Vec<u8>, GraspError> {
+        Ok(self.take_bytes_slice()?.to_vec())
+    }
+
+    /// Borrow a `u32`-length-prefixed UTF-8 string without copying.
+    pub fn take_str_slice(&mut self) -> Result<&'a str, GraspError> {
+        std::str::from_utf8(self.take_bytes_slice()?).map_err(|_| wire_err("invalid UTF-8 string"))
+    }
+
+    /// Read a `u32`-length-prefixed UTF-8 string into an owned `String`.
     pub fn take_str(&mut self) -> Result<String, GraspError> {
-        String::from_utf8(self.take_bytes()?).map_err(|_| wire_err("invalid UTF-8 string"))
+        Ok(self.take_str_slice()?.to_string())
     }
 
     /// Succeed only if every byte has been consumed (catches frames whose
@@ -324,136 +373,80 @@ pub enum WireMsg {
 }
 
 impl WireMsg {
-    fn tag(&self) -> u8 {
+    /// Borrow this message as a [`FrameView`] (the inverse of
+    /// [`FrameView::to_owned`]): heap-carrying fields become slices into
+    /// `self`, everything else is copied by value.
+    pub fn as_view(&self) -> FrameView<'_> {
         match self {
-            WireMsg::Hello { .. } => TAG_HELLO,
-            WireMsg::Init { .. } => TAG_INIT,
-            WireMsg::Task { .. } => TAG_TASK,
-            WireMsg::Done { .. } => TAG_DONE,
-            WireMsg::Failed { .. } => TAG_FAILED,
-            WireMsg::Heartbeat => TAG_HEARTBEAT,
-            WireMsg::Shutdown => TAG_SHUTDOWN,
-            WireMsg::Join { .. } => TAG_JOIN,
-            WireMsg::Welcome { .. } => TAG_WELCOME,
-            WireMsg::Goodbye { .. } => TAG_GOODBYE,
-        }
-    }
-
-    fn body(&self) -> Vec<u8> {
-        let mut w = ByteWriter::new();
-        match self {
-            WireMsg::Hello { pid } => w.put_u64(*pid),
+            WireMsg::Hello { pid } => FrameView::Hello { pid: *pid },
             WireMsg::Init {
                 heartbeat_interval_s,
                 spin_per_work_unit,
-            } => {
-                w.put_f64(*heartbeat_interval_s);
-                w.put_u64(*spin_per_work_unit);
-            }
+            } => FrameView::Init {
+                heartbeat_interval_s: *heartbeat_interval_s,
+                spin_per_work_unit: *spin_per_work_unit,
+            },
             WireMsg::Task {
                 unit_id,
                 work,
                 kind,
                 payload,
-            } => {
-                w.put_u64(*unit_id);
-                w.put_f64(*work);
-                w.put_u32(*kind);
-                w.put_bytes(payload);
-            }
+            } => FrameView::Task {
+                unit_id: *unit_id,
+                work: *work,
+                kind: *kind,
+                payload,
+            },
             WireMsg::Done {
                 unit_id,
                 elapsed_s,
                 digest,
-            } => {
-                w.put_u64(*unit_id);
-                w.put_f64(*elapsed_s);
-                w.put_u64(*digest);
-            }
-            WireMsg::Failed { unit_id, detail } => {
-                w.put_u64(*unit_id);
-                w.put_str(detail);
-            }
-            WireMsg::Heartbeat | WireMsg::Shutdown => {}
+            } => FrameView::Done {
+                unit_id: *unit_id,
+                elapsed_s: *elapsed_s,
+                digest: *digest,
+            },
+            WireMsg::Failed { unit_id, detail } => FrameView::Failed {
+                unit_id: *unit_id,
+                detail,
+            },
+            WireMsg::Heartbeat => FrameView::Heartbeat,
+            WireMsg::Shutdown => FrameView::Shutdown,
             WireMsg::Join {
                 pid,
                 wire_version,
                 capabilities,
-            } => {
-                w.put_u64(*pid);
-                w.put_u32(*wire_version);
-                w.put_u32(*capabilities);
-            }
+            } => FrameView::Join {
+                pid: *pid,
+                wire_version: *wire_version,
+                capabilities: *capabilities,
+            },
             WireMsg::Welcome {
                 worker_id,
                 heartbeat_interval_s,
                 spin_per_work_unit,
-            } => {
-                w.put_u64(*worker_id);
-                w.put_f64(*heartbeat_interval_s);
-                w.put_u64(*spin_per_work_unit);
-            }
-            WireMsg::Goodbye { reason } => w.put_str(reason),
+            } => FrameView::Welcome {
+                worker_id: *worker_id,
+                heartbeat_interval_s: *heartbeat_interval_s,
+                spin_per_work_unit: *spin_per_work_unit,
+            },
+            WireMsg::Goodbye { reason } => FrameView::Goodbye { reason },
         }
-        w.into_vec()
-    }
-
-    fn from_body(tag: u8, body: &[u8]) -> Result<WireMsg, GraspError> {
-        let mut r = ByteReader::new(body);
-        let msg = match tag {
-            TAG_HELLO => WireMsg::Hello { pid: r.take_u64()? },
-            TAG_INIT => WireMsg::Init {
-                heartbeat_interval_s: r.take_f64()?,
-                spin_per_work_unit: r.take_u64()?,
-            },
-            TAG_TASK => WireMsg::Task {
-                unit_id: r.take_u64()?,
-                work: r.take_f64()?,
-                kind: r.take_u32()?,
-                payload: r.take_bytes()?,
-            },
-            TAG_DONE => WireMsg::Done {
-                unit_id: r.take_u64()?,
-                elapsed_s: r.take_f64()?,
-                digest: r.take_u64()?,
-            },
-            TAG_FAILED => WireMsg::Failed {
-                unit_id: r.take_u64()?,
-                detail: r.take_str()?,
-            },
-            TAG_HEARTBEAT => WireMsg::Heartbeat,
-            TAG_SHUTDOWN => WireMsg::Shutdown,
-            TAG_JOIN => WireMsg::Join {
-                pid: r.take_u64()?,
-                wire_version: r.take_u32()?,
-                capabilities: r.take_u32()?,
-            },
-            TAG_WELCOME => WireMsg::Welcome {
-                worker_id: r.take_u64()?,
-                heartbeat_interval_s: r.take_f64()?,
-                spin_per_work_unit: r.take_u64()?,
-            },
-            TAG_GOODBYE => WireMsg::Goodbye {
-                reason: r.take_str()?,
-            },
-            other => return Err(wire_err(format!("unknown message tag {other}"))),
-        };
-        r.finish()?;
-        Ok(msg)
     }
 
     /// Encode the message as one complete frame (header + payload +
     /// checksum), ready to write to the transport.
     pub fn encode(&self) -> Vec<u8> {
-        let body = self.body();
-        let mut frame = Vec::with_capacity(14 + body.len());
-        frame.extend_from_slice(&WIRE_MAGIC);
-        frame.push(WIRE_VERSION);
-        frame.push(self.tag());
-        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&body);
-        frame.extend_from_slice(&fnv1a_32(self.tag(), &body).to_le_bytes());
+        let mut frame = Vec::new();
+        self.encode_into(&mut frame);
         frame
+    }
+
+    /// Encode the message as one complete frame into `frame`, clearing and
+    /// reusing its capacity — the steady-state encode path allocates nothing
+    /// once the buffer has grown to the working frame size.
+    pub fn encode_into(&self, frame: &mut Vec<u8>) {
+        self.as_view().encode_into(frame)
     }
 
     /// Decode one frame from the front of `buf`, returning the message and
@@ -461,59 +454,22 @@ impl WireMsg {
     /// unknown frames all yield [`GraspError::WireProtocol`]; this function
     /// never panics on any input.
     pub fn decode_slice(buf: &[u8]) -> Result<(WireMsg, usize), GraspError> {
-        let mut cursor = buf;
-        let before = cursor.len();
-        match Self::read_from(&mut cursor)? {
-            Some(msg) => Ok((msg, before - cursor.len())),
-            None => Err(wire_err("empty input where a frame was expected")),
-        }
+        let (view, used) = FrameView::decode_slice(buf)?;
+        Ok((view.to_owned(), used))
     }
 
     /// Read one frame from a blocking reader.  Returns `Ok(None)` on a clean
     /// end-of-stream *boundary* (the peer closed the pipe between frames);
-    /// an end-of-stream mid-frame is a truncation error.
+    /// an end-of-stream mid-frame is a truncation error.  Allocates a fresh
+    /// frame buffer per call — steady-state receive loops should hold a
+    /// buffer and use [`read_frame_into`] + [`FrameView::decode_slice`]
+    /// instead.
     pub fn read_from<R: Read>(r: &mut R) -> Result<Option<WireMsg>, GraspError> {
-        // Distinguish a clean close (0 bytes available) from truncation.
-        let mut first = [0u8; 1];
-        loop {
-            match r.read(&mut first) {
-                Ok(0) => return Ok(None),
-                Ok(_) => break,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(e) => return Err(wire_err(format!("transport read failed: {e}"))),
-            }
+        let mut buf = Vec::new();
+        match read_frame_into(r, &mut buf)? {
+            None => Ok(None),
+            Some(n) => Ok(Some(FrameView::decode_slice(&buf[..n])?.0.to_owned())),
         }
-        let mut header = [0u8; 9]; // magic[1..4] + version + tag + len
-        read_exactly(r, &mut header)?;
-        let magic = [first[0], header[0], header[1], header[2]];
-        if magic != WIRE_MAGIC {
-            return Err(wire_err(format!("bad frame magic {magic:02x?}")));
-        }
-        let version = header[3];
-        if version != WIRE_VERSION {
-            return Err(wire_err(format!(
-                "wire version mismatch: got {version}, speak {WIRE_VERSION}"
-            )));
-        }
-        let tag = header[4];
-        let len = u32::from_le_bytes(header[5..9].try_into().unwrap()) as usize;
-        if len > MAX_FRAME_PAYLOAD {
-            return Err(wire_err(format!(
-                "frame payload of {len} bytes exceeds the {MAX_FRAME_PAYLOAD} cap"
-            )));
-        }
-        let mut body = vec![0u8; len];
-        read_exactly(r, &mut body)?;
-        let mut sum = [0u8; 4];
-        read_exactly(r, &mut sum)?;
-        let expect = u32::from_le_bytes(sum);
-        let got = fnv1a_32(tag, &body);
-        if got != expect {
-            return Err(wire_err(format!(
-                "frame checksum mismatch (got {got:#010x}, frame says {expect:#010x})"
-            )));
-        }
-        Ok(Some(Self::from_body(tag, &body)?))
     }
 }
 
@@ -525,6 +481,388 @@ fn read_exactly<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), GraspError> {
             wire_err(format!("transport read failed: {e}"))
         }
     })
+}
+
+/// A zero-copy view of one protocol message: the borrowed analogue of
+/// [`WireMsg`] whose heap-carrying fields ([`FrameView::Task`] payload,
+/// [`FrameView::Failed`] detail, [`FrameView::Goodbye`] reason) are slices
+/// into the frame buffer they were decoded from.  Decoding a view allocates
+/// nothing; [`FrameView::to_owned`] converts to the owned [`WireMsg`] when a
+/// caller needs to keep the message past the buffer's next reuse.  The two
+/// types encode byte-identically — `FrameView` is a different *path* onto
+/// the same wire format, not a different format.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FrameView<'a> {
+    /// See [`WireMsg::Hello`].
+    Hello {
+        /// The worker's OS process id.
+        pid: u64,
+    },
+    /// See [`WireMsg::Init`].
+    Init {
+        /// How often the worker's heartbeat thread reports liveness.
+        heartbeat_interval_s: f64,
+        /// Spin-kernel iterations per declared work unit.
+        spin_per_work_unit: u64,
+    },
+    /// See [`WireMsg::Task`]; the payload borrows the frame buffer.
+    Task {
+        /// Global unit id within the running skeleton.
+        unit_id: u64,
+        /// Declared work of the unit.
+        work: f64,
+        /// Payload kind ([`PAYLOAD_SPIN`], [`PAYLOAD_MATMUL`], …).
+        kind: u32,
+        /// Kind-specific serialized task representation (empty for spin),
+        /// borrowed from the read buffer — valid until the source's next
+        /// receive.
+        payload: &'a [u8],
+    },
+    /// See [`WireMsg::Done`].
+    Done {
+        /// The completed unit.
+        unit_id: u64,
+        /// Wall seconds the computation took on the worker.
+        elapsed_s: f64,
+        /// Deterministic digest of the computed result (0 for spin tasks).
+        digest: u64,
+    },
+    /// See [`WireMsg::Failed`]; the detail borrows the frame buffer.
+    Failed {
+        /// The failing unit.
+        unit_id: u64,
+        /// Human-readable cause, borrowed from the read buffer.
+        detail: &'a str,
+    },
+    /// See [`WireMsg::Heartbeat`].
+    Heartbeat,
+    /// See [`WireMsg::Shutdown`].
+    Shutdown,
+    /// See [`WireMsg::Join`].
+    Join {
+        /// The worker's OS process id.
+        pid: u64,
+        /// The wire protocol version the worker speaks.
+        wire_version: u32,
+        /// Bitmask of payload kinds the worker can execute.
+        capabilities: u32,
+    },
+    /// See [`WireMsg::Welcome`].
+    Welcome {
+        /// The pool slot the master assigned.
+        worker_id: u64,
+        /// How often the worker's heartbeat thread reports liveness.
+        heartbeat_interval_s: f64,
+        /// Spin-kernel iterations per declared work unit.
+        spin_per_work_unit: u64,
+    },
+    /// See [`WireMsg::Goodbye`]; the reason borrows the frame buffer.
+    Goodbye {
+        /// Human-readable reason, borrowed from the read buffer.
+        reason: &'a str,
+    },
+}
+
+impl<'a> FrameView<'a> {
+    fn tag(&self) -> u8 {
+        match self {
+            FrameView::Hello { .. } => TAG_HELLO,
+            FrameView::Init { .. } => TAG_INIT,
+            FrameView::Task { .. } => TAG_TASK,
+            FrameView::Done { .. } => TAG_DONE,
+            FrameView::Failed { .. } => TAG_FAILED,
+            FrameView::Heartbeat => TAG_HEARTBEAT,
+            FrameView::Shutdown => TAG_SHUTDOWN,
+            FrameView::Join { .. } => TAG_JOIN,
+            FrameView::Welcome { .. } => TAG_WELCOME,
+            FrameView::Goodbye { .. } => TAG_GOODBYE,
+        }
+    }
+
+    fn write_body(&self, out: &mut Vec<u8>) {
+        fn put_u32(out: &mut Vec<u8>, v: u32) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        fn put_u64(out: &mut Vec<u8>, v: u64) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        fn put_f64(out: &mut Vec<u8>, v: f64) {
+            put_u64(out, v.to_bits());
+        }
+        fn put_bytes(out: &mut Vec<u8>, v: &[u8]) {
+            put_u32(out, v.len() as u32);
+            out.extend_from_slice(v);
+        }
+        match self {
+            FrameView::Hello { pid } => put_u64(out, *pid),
+            FrameView::Init {
+                heartbeat_interval_s,
+                spin_per_work_unit,
+            } => {
+                put_f64(out, *heartbeat_interval_s);
+                put_u64(out, *spin_per_work_unit);
+            }
+            FrameView::Task {
+                unit_id,
+                work,
+                kind,
+                payload,
+            } => {
+                put_u64(out, *unit_id);
+                put_f64(out, *work);
+                put_u32(out, *kind);
+                put_bytes(out, payload);
+            }
+            FrameView::Done {
+                unit_id,
+                elapsed_s,
+                digest,
+            } => {
+                put_u64(out, *unit_id);
+                put_f64(out, *elapsed_s);
+                put_u64(out, *digest);
+            }
+            FrameView::Failed { unit_id, detail } => {
+                put_u64(out, *unit_id);
+                put_bytes(out, detail.as_bytes());
+            }
+            FrameView::Heartbeat | FrameView::Shutdown => {}
+            FrameView::Join {
+                pid,
+                wire_version,
+                capabilities,
+            } => {
+                put_u64(out, *pid);
+                put_u32(out, *wire_version);
+                put_u32(out, *capabilities);
+            }
+            FrameView::Welcome {
+                worker_id,
+                heartbeat_interval_s,
+                spin_per_work_unit,
+            } => {
+                put_u64(out, *worker_id);
+                put_f64(out, *heartbeat_interval_s);
+                put_u64(out, *spin_per_work_unit);
+            }
+            FrameView::Goodbye { reason } => put_bytes(out, reason.as_bytes()),
+        }
+    }
+
+    /// Encode this view as one complete frame into `frame`, clearing and
+    /// reusing its capacity.  Byte-identical to [`WireMsg::encode`] of the
+    /// owned equivalent — the frame format does not know which path built
+    /// it.
+    pub fn encode_into(&self, frame: &mut Vec<u8>) {
+        frame.clear();
+        frame.extend_from_slice(&WIRE_MAGIC);
+        frame.push(WIRE_VERSION);
+        frame.push(self.tag());
+        frame.extend_from_slice(&[0u8; 4]); // length, patched below
+        let body_start = frame.len();
+        self.write_body(frame);
+        let len = (frame.len() - body_start) as u32;
+        frame[6..10].copy_from_slice(&len.to_le_bytes());
+        let sum = fnv1a_32(self.tag(), &frame[body_start..]);
+        frame.extend_from_slice(&sum.to_le_bytes());
+    }
+
+    /// Decode a message body without copying any variable-length field.
+    pub fn from_body(tag: u8, body: &'a [u8]) -> Result<FrameView<'a>, GraspError> {
+        let mut r = ByteReader::new(body);
+        let msg = match tag {
+            TAG_HELLO => FrameView::Hello { pid: r.take_u64()? },
+            TAG_INIT => FrameView::Init {
+                heartbeat_interval_s: r.take_f64()?,
+                spin_per_work_unit: r.take_u64()?,
+            },
+            TAG_TASK => FrameView::Task {
+                unit_id: r.take_u64()?,
+                work: r.take_f64()?,
+                kind: r.take_u32()?,
+                payload: r.take_bytes_slice()?,
+            },
+            TAG_DONE => FrameView::Done {
+                unit_id: r.take_u64()?,
+                elapsed_s: r.take_f64()?,
+                digest: r.take_u64()?,
+            },
+            TAG_FAILED => FrameView::Failed {
+                unit_id: r.take_u64()?,
+                detail: r.take_str_slice()?,
+            },
+            TAG_HEARTBEAT => FrameView::Heartbeat,
+            TAG_SHUTDOWN => FrameView::Shutdown,
+            TAG_JOIN => FrameView::Join {
+                pid: r.take_u64()?,
+                wire_version: r.take_u32()?,
+                capabilities: r.take_u32()?,
+            },
+            TAG_WELCOME => FrameView::Welcome {
+                worker_id: r.take_u64()?,
+                heartbeat_interval_s: r.take_f64()?,
+                spin_per_work_unit: r.take_u64()?,
+            },
+            TAG_GOODBYE => FrameView::Goodbye {
+                reason: r.take_str_slice()?,
+            },
+            other => return Err(wire_err(format!("unknown message tag {other}"))),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+
+    /// Decode one frame from the front of `buf` without copying, returning
+    /// the view and the number of bytes consumed.  Truncated, corrupted,
+    /// oversized and unknown frames all yield [`GraspError::WireProtocol`];
+    /// this function never panics on any input.
+    pub fn decode_slice(buf: &'a [u8]) -> Result<(FrameView<'a>, usize), GraspError> {
+        if buf.is_empty() {
+            return Err(wire_err("empty input where a frame was expected"));
+        }
+        if buf.len() < 10 {
+            return Err(wire_err("truncated frame: peer closed mid-message"));
+        }
+        let magic = [buf[0], buf[1], buf[2], buf[3]];
+        if magic != WIRE_MAGIC {
+            return Err(wire_err(format!("bad frame magic {magic:02x?}")));
+        }
+        let version = buf[4];
+        if version != WIRE_VERSION {
+            return Err(wire_err(format!(
+                "wire version mismatch: got {version}, speak {WIRE_VERSION}"
+            )));
+        }
+        let tag = buf[5];
+        let len = u32::from_le_bytes(buf[6..10].try_into().unwrap()) as usize;
+        if len > MAX_FRAME_PAYLOAD {
+            return Err(wire_err(format!(
+                "frame payload of {len} bytes exceeds the {MAX_FRAME_PAYLOAD} cap"
+            )));
+        }
+        let total = 10 + len + 4;
+        if buf.len() < total {
+            return Err(wire_err("truncated frame: peer closed mid-message"));
+        }
+        let body = &buf[10..10 + len];
+        let expect = u32::from_le_bytes(buf[10 + len..total].try_into().unwrap());
+        let got = fnv1a_32(tag, body);
+        if got != expect {
+            return Err(wire_err(format!(
+                "frame checksum mismatch (got {got:#010x}, frame says {expect:#010x})"
+            )));
+        }
+        Ok((Self::from_body(tag, body)?, total))
+    }
+
+    /// Copy every borrowed field into an owned [`WireMsg`].  This is the
+    /// only allocation point of the borrowed decode path, and only the
+    /// heap-carrying variants (`Task`, `Failed`, `Goodbye`) allocate at
+    /// all.
+    pub fn to_owned(&self) -> WireMsg {
+        match *self {
+            FrameView::Hello { pid } => WireMsg::Hello { pid },
+            FrameView::Init {
+                heartbeat_interval_s,
+                spin_per_work_unit,
+            } => WireMsg::Init {
+                heartbeat_interval_s,
+                spin_per_work_unit,
+            },
+            FrameView::Task {
+                unit_id,
+                work,
+                kind,
+                payload,
+            } => WireMsg::Task {
+                unit_id,
+                work,
+                kind,
+                payload: payload.to_vec(),
+            },
+            FrameView::Done {
+                unit_id,
+                elapsed_s,
+                digest,
+            } => WireMsg::Done {
+                unit_id,
+                elapsed_s,
+                digest,
+            },
+            FrameView::Failed { unit_id, detail } => WireMsg::Failed {
+                unit_id,
+                detail: detail.to_string(),
+            },
+            FrameView::Heartbeat => WireMsg::Heartbeat,
+            FrameView::Shutdown => WireMsg::Shutdown,
+            FrameView::Join {
+                pid,
+                wire_version,
+                capabilities,
+            } => WireMsg::Join {
+                pid,
+                wire_version,
+                capabilities,
+            },
+            FrameView::Welcome {
+                worker_id,
+                heartbeat_interval_s,
+                spin_per_work_unit,
+            } => WireMsg::Welcome {
+                worker_id,
+                heartbeat_interval_s,
+                spin_per_work_unit,
+            },
+            FrameView::Goodbye { reason } => WireMsg::Goodbye {
+                reason: reason.to_string(),
+            },
+        }
+    }
+}
+
+/// Read one complete frame from a blocking reader into `buf`, clearing and
+/// reusing its capacity (no allocation once the buffer has grown to the
+/// working frame size), and return the frame's total length.  Returns
+/// `Ok(None)` on a clean end-of-stream boundary; an end-of-stream mid-frame
+/// is a truncation error.  The frame's magic, version and length cap are
+/// validated here (they bound the read); the checksum and body are
+/// validated by the [`FrameView::decode_slice`] call that follows.
+pub fn read_frame_into<R: Read>(r: &mut R, buf: &mut Vec<u8>) -> Result<Option<usize>, GraspError> {
+    // Distinguish a clean close (0 bytes available) from truncation.
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(wire_err(format!("transport read failed: {e}"))),
+        }
+    }
+    let mut header = [0u8; 9]; // magic[1..4] + version + tag + len
+    read_exactly(r, &mut header)?;
+    let magic = [first[0], header[0], header[1], header[2]];
+    if magic != WIRE_MAGIC {
+        return Err(wire_err(format!("bad frame magic {magic:02x?}")));
+    }
+    let version = header[3];
+    if version != WIRE_VERSION {
+        return Err(wire_err(format!(
+            "wire version mismatch: got {version}, speak {WIRE_VERSION}"
+        )));
+    }
+    let len = u32::from_le_bytes(header[5..9].try_into().unwrap()) as usize;
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(wire_err(format!(
+            "frame payload of {len} bytes exceeds the {MAX_FRAME_PAYLOAD} cap"
+        )));
+    }
+    let total = 10 + len + 4;
+    buf.clear();
+    buf.resize(total, 0);
+    buf[0] = first[0];
+    buf[1..10].copy_from_slice(&header);
+    read_exactly(r, &mut buf[10..])?;
+    Ok(Some(total))
 }
 
 #[cfg(test)]
@@ -678,6 +1016,63 @@ mod tests {
         assert!(r.finish().is_err(), "unread bytes must be flagged");
         let mut r = ByteReader::new(&bytes[..2]);
         assert!(r.take_u32().is_err(), "underrun must be flagged");
+    }
+
+    #[test]
+    fn borrowed_views_round_trip_and_encode_identically_to_owned() {
+        let mut reused = Vec::new();
+        for msg in samples() {
+            let frame = msg.encode();
+            // Borrowed decode sees exactly what owned decode sees.
+            let (view, used) = FrameView::decode_slice(&frame).unwrap();
+            assert_eq!(used, frame.len());
+            assert_eq!(view, msg.as_view());
+            assert_eq!(view.to_owned(), msg);
+            // Both encode paths produce byte-identical frames, and the
+            // reused buffer carries nothing over from the previous message.
+            view.encode_into(&mut reused);
+            assert_eq!(reused, frame);
+            msg.encode_into(&mut reused);
+            assert_eq!(reused, frame);
+        }
+    }
+
+    #[test]
+    fn borrowed_decode_rejects_everything_owned_decode_rejects() {
+        let frame = WireMsg::Task {
+            unit_id: 1,
+            work: 2.0,
+            kind: PAYLOAD_SPIN,
+            payload: vec![9; 16],
+        }
+        .encode();
+        for cut in 0..frame.len() {
+            assert!(FrameView::decode_slice(&frame[..cut]).is_err());
+        }
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x40;
+            if let Ok((v, _)) = FrameView::decode_slice(&bad) {
+                panic!("corrupted byte {i} decoded as {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn read_frame_into_reuses_one_buffer_across_a_stream() {
+        let mut stream = Vec::new();
+        for msg in samples() {
+            stream.extend_from_slice(&msg.encode());
+        }
+        let mut r = stream.as_slice();
+        let mut buf = Vec::new();
+        let mut decoded = Vec::new();
+        while let Some(n) = read_frame_into(&mut r, &mut buf).unwrap() {
+            let (view, used) = FrameView::decode_slice(&buf[..n]).unwrap();
+            assert_eq!(used, n);
+            decoded.push(view.to_owned());
+        }
+        assert_eq!(decoded, samples());
     }
 
     #[test]

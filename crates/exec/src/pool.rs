@@ -46,12 +46,17 @@ struct Round<T, R> {
     finished_cv: Condvar,
 }
 
+/// The per-unit handler a pool runs: `(worker index, task) -> result`.
+type Handler<T, R> = Box<dyn Fn(usize, &T) -> R + Send + Sync>;
+
+/// The versioned current round: sleeping workers detect a new one by the
+/// counter; `None` between rounds.
+type RoundState<T, R> = Mutex<(u64, Option<Arc<Round<T, R>>>)>;
+
 /// State shared between the pool handle and its resident threads.
 struct Shared<T, R> {
-    handler: Box<dyn Fn(usize, &T) -> R + Send + Sync>,
-    /// The current round, versioned so sleeping workers can detect a new
-    /// one; `None` between rounds.
-    state: Mutex<(u64, Option<Arc<Round<T, R>>>)>,
+    handler: Handler<T, R>,
+    state: RoundState<T, R>,
     wake: Condvar,
     /// Per-worker rotation flags (`false` = demoted: stops pulling).
     active: Vec<AtomicBool>,

@@ -39,8 +39,10 @@ use grasp_core::skeleton::{
     Backend, NetDeparture, NetMemberReport, OutcomeDetail, ResilienceReport, Skeleton,
     SkeletonOutcome, UnitSpan,
 };
-use grasp_core::transport::{spawn_frame_writer, Acceptor, FrameSink, FrameSource, TcpAcceptor};
-use grasp_core::wire::{payload_capability, WireMsg, CAP_SPIN, PAYLOAD_SPIN, WIRE_VERSION};
+use grasp_core::transport::{
+    spawn_frame_writer, Acceptor, FrameSink, FrameSource, OutMsg, TcpAcceptor, WireCounters,
+};
+use grasp_core::wire::{payload_capability, WireMsg, CAP_SPIN, WIRE_VERSION};
 use grasp_core::GraspConfig;
 use gridmon::{MonitorRegistry, NodeObservation};
 use gridsim::NodeId;
@@ -108,7 +110,8 @@ pub struct NetBackend {
     /// completed — makes "joined mid-run" deterministic in tests.
     hold_joins_until: Option<usize>,
     /// Real-kernel payloads by unit id (absent units run the spin kernel).
-    payloads: HashMap<usize, (u32, Vec<u8>)>,
+    /// `Arc` so dispatch clones a pointer, not the bytes.
+    payloads: HashMap<usize, (u32, Arc<[u8]>)>,
 }
 
 impl std::fmt::Debug for NetBackend {
@@ -256,7 +259,7 @@ impl NetBackend {
     /// payload bytes)`; units without a payload run the spin kernel.
     pub fn with_payloads(mut self, payloads: Vec<(usize, u32, Vec<u8>)>) -> Self {
         for (id, kind, bytes) in payloads {
-            self.payloads.insert(id, (kind, bytes));
+            self.payloads.insert(id, (kind, bytes.into()));
         }
         self
     }
@@ -403,7 +406,7 @@ struct Member {
     child: Option<Child>,
     /// `None` once the outbound channel is closed (demotion, departure, or
     /// death).
-    tx: Option<mpsc::Sender<WireMsg>>,
+    tx: Option<mpsc::Sender<OutMsg>>,
     alive: bool,
     demoted: bool,
     /// Goodbye received — drain the window, then release.
@@ -552,8 +555,7 @@ struct NetMaster<'a> {
     retried_tasks: usize,
     nodes_lost: usize,
     rejected_joins: usize,
-    bytes_sent: Arc<AtomicU64>,
-    write_nanos: Arc<AtomicU64>,
+    counters: WireCounters,
     bytes_received: Arc<AtomicU64>,
     kill_injection: Option<(usize, usize)>,
     join_spawn: Option<(usize, usize)>,
@@ -632,8 +634,7 @@ impl<'a> NetMaster<'a> {
             retried_tasks: 0,
             nodes_lost: 0,
             rejected_joins: 0,
-            bytes_sent: Arc::new(AtomicU64::new(0)),
-            write_nanos: Arc::new(AtomicU64::new(0)),
+            counters: WireCounters::new(),
             bytes_received: Arc::new(AtomicU64::new(0)),
             kill_injection: backend.kill_injection,
             join_spawn: backend.join_spawn,
@@ -681,11 +682,11 @@ impl<'a> NetMaster<'a> {
             .sum()
     }
 
-    fn send_to(&mut self, w: usize, msg: &WireMsg) -> bool {
+    fn send_to(&mut self, w: usize, msg: OutMsg) -> bool {
         let Some(out) = self.members[w].tx.as_ref() else {
             return false;
         };
-        out.send(msg.clone()).is_ok()
+        out.send(msg).is_ok()
     }
 
     /// A handshaken connection arrived: admit it, or park it when the test
@@ -735,17 +736,16 @@ impl<'a> NetMaster<'a> {
                 }
             }
         });
-        let out = spawn_frame_writer(
-            sink,
-            Arc::clone(&self.bytes_sent),
-            Arc::clone(&self.write_nanos),
-        );
+        let out = spawn_frame_writer(sink, self.counters.clone());
         let write_ok = out
-            .send(WireMsg::Welcome {
-                worker_id: w as u64,
-                heartbeat_interval_s: self.backend.heartbeat_interval_s,
-                spin_per_work_unit: self.backend.spin_per_work_unit,
-            })
+            .send(
+                WireMsg::Welcome {
+                    worker_id: w as u64,
+                    heartbeat_interval_s: self.backend.heartbeat_interval_s,
+                    spin_per_work_unit: self.backend.spin_per_work_unit,
+                }
+                .into(),
+            )
             .is_ok();
         // Liveness starts fresh at admission.  The forget-then-note pair is
         // the re-registration contract: even if some prior record exists
@@ -830,13 +830,8 @@ impl<'a> NetMaster<'a> {
                 }
                 let probe_id = PROBE_UNIT_BASE + self.probe_counter;
                 self.probe_counter += 1;
-                let msg = WireMsg::Task {
-                    unit_id: probe_id,
-                    work: self.probe_work,
-                    kind: PAYLOAD_SPIN,
-                    payload: Vec::new(),
-                };
-                if self.send_to(w, &msg) {
+                let msg = OutMsg::spin_task(probe_id, self.probe_work);
+                if self.send_to(w, msg) {
                     self.members[w].probe_in_flight += 1;
                 } else {
                     self.members[w].tx = None;
@@ -862,17 +857,18 @@ impl<'a> NetMaster<'a> {
                     });
                 }
                 let (id, work) = self.units[idx];
-                let (kind, payload) = match self.backend.payloads.get(&id) {
-                    Some((kind, bytes)) => (*kind, bytes.clone()),
-                    None => (PAYLOAD_SPIN, Vec::new()),
+                // Real-kernel payloads ride as `Arc<[u8]>`: dispatch clones a
+                // pointer, never the payload bytes.
+                let msg = match self.backend.payloads.get(&id) {
+                    Some((kind, bytes)) => OutMsg::Task {
+                        unit_id: id as u64,
+                        work,
+                        kind: *kind,
+                        payload: Arc::clone(bytes),
+                    },
+                    None => OutMsg::spin_task(id as u64, work),
                 };
-                let msg = WireMsg::Task {
-                    unit_id: id as u64,
-                    work,
-                    kind,
-                    payload,
-                };
-                if self.send_to(w, &msg) {
+                if self.send_to(w, msg) {
                     self.members[w].in_flight.push(idx);
                 } else {
                     self.pending.push_front(idx);
@@ -928,7 +924,7 @@ impl<'a> NetMaster<'a> {
         if !(m.alive && m.departing && m.in_flight.is_empty() && m.probe_in_flight == 0) {
             return;
         }
-        let _ = self.send_to(w, &WireMsg::Shutdown);
+        let _ = self.send_to(w, WireMsg::Shutdown.into());
         let m = &mut self.members[w];
         m.tx = None;
         m.alive = false;
@@ -1218,7 +1214,7 @@ impl<'a> NetMaster<'a> {
         self.stop_accept.store(true, Ordering::SeqCst);
         for w in 0..self.members.len() {
             if self.members[w].alive {
-                let _ = self.send_to(w, &WireMsg::Shutdown);
+                let _ = self.send_to(w, WireMsg::Shutdown.into());
                 self.members[w].tx = None;
             }
         }
@@ -1273,9 +1269,11 @@ impl<'a> NetMaster<'a> {
                 workers,
                 tasks_per_worker,
                 rejected_joins: self.rejected_joins,
-                bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+                bytes_sent: self.counters.bytes.load(Ordering::Relaxed),
                 bytes_received,
-                wire_write_s: self.write_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+                wire_write_s: self.counters.write_seconds(),
+                wire_encode_s: self.counters.encode_seconds(),
+                bytes_copied: self.counters.copied.load(Ordering::Relaxed),
                 unit_digests: self.digests.into_iter().collect(),
                 members: member_reports,
             },

@@ -18,7 +18,7 @@
 
 use grasp_core::error::GraspError;
 use grasp_core::transport::{Acceptor, FrameSink, FrameSource, FramedConnection};
-use grasp_core::wire::{WireMsg, MAX_FRAME_PAYLOAD};
+use grasp_core::wire::{FrameView, WireMsg, MAX_FRAME_PAYLOAD};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -81,6 +81,9 @@ struct LoopbackSink {
     dead: Arc<AtomicBool>,
     script: FaultScript,
     next_frame: usize,
+    /// Reused encode buffer for the owned-message [`FrameSink::send`] path.
+    frame: Vec<u8>,
+    copied: Option<Arc<AtomicU64>>,
 }
 
 impl LoopbackSink {
@@ -93,6 +96,16 @@ impl LoopbackSink {
         }
     }
 
+    /// Copy encoded bytes into an owned chunk for the channel hand-off.
+    /// This is the one copy the loopback transport cannot avoid (a channel
+    /// needs owned data), and it is what the copy counter accounts.
+    fn to_chunk(&self, frame: &[u8]) -> Vec<u8> {
+        if let Some(c) = &self.copied {
+            c.fetch_add(frame.len() as u64, Ordering::Relaxed);
+        }
+        frame.to_vec()
+    }
+
     fn hard_close(&mut self) {
         self.dead.store(true, Ordering::SeqCst);
         self.tx = None;
@@ -101,27 +114,41 @@ impl LoopbackSink {
 
 impl FrameSink for LoopbackSink {
     fn send(&mut self, msg: &WireMsg) -> Result<usize, GraspError> {
+        let mut frame = std::mem::take(&mut self.frame);
+        msg.encode_into(&mut frame);
+        let sent = self.send_frame(&frame);
+        self.frame = frame;
+        sent
+    }
+
+    fn send_frame(&mut self, frame: &[u8]) -> Result<usize, GraspError> {
         if self.dead.load(Ordering::SeqCst) {
             return Err(link_down("connection was hard-closed"));
         }
         let idx = self.next_frame;
         self.next_frame += 1;
-        let frame = msg.encode();
         let n = frame.len();
         match self.script.get(idx) {
-            FrameFault::Pass => self.push(frame)?,
+            FrameFault::Pass => {
+                let chunk = self.to_chunk(frame);
+                self.push(chunk)?;
+            }
             FrameFault::Drop => {}
             FrameFault::Duplicate => {
-                self.push(frame.clone())?;
-                self.push(frame)?;
+                let first = self.to_chunk(frame);
+                self.push(first)?;
+                let second = self.to_chunk(frame);
+                self.push(second)?;
             }
             FrameFault::Delay(d) => {
                 std::thread::sleep(d);
-                self.push(frame)?;
+                let chunk = self.to_chunk(frame);
+                self.push(chunk)?;
             }
             FrameFault::TruncateAt(cut) => {
                 let cut = cut.min(frame.len());
-                let _ = self.push(frame[..cut].to_vec());
+                let chunk = self.to_chunk(&frame[..cut]);
+                let _ = self.push(chunk);
                 self.hard_close();
                 return Err(link_down("scripted truncation killed the connection"));
             }
@@ -132,6 +159,10 @@ impl FrameSink for LoopbackSink {
         }
         Ok(n)
     }
+
+    fn set_copy_counter(&mut self, counter: Arc<AtomicU64>) {
+        self.copied = Some(counter);
+    }
 }
 
 /// Receiving half of one loopback direction; runs the real frame decoder
@@ -141,6 +172,10 @@ struct LoopbackSource {
     dead: Arc<AtomicBool>,
     disconnected: bool,
     buf: Vec<u8>,
+    /// Bytes at the front of `buf` belonging to the frame returned by the
+    /// previous `recv_view` call; drained lazily at the start of the next
+    /// call so the returned view can borrow `buf`.
+    consumed: usize,
     counter: Option<Arc<AtomicU64>>,
 }
 
@@ -152,8 +187,9 @@ impl LoopbackSource {
         self.buf.extend_from_slice(&chunk);
     }
 
-    /// Decode one frame from the buffer if a complete one is present.
-    fn try_decode(&mut self) -> Result<Option<WireMsg>, GraspError> {
+    /// Length of the complete frame at the front of the buffer, if one is
+    /// fully buffered.
+    fn buffered_frame_len(&self) -> Result<Option<usize>, GraspError> {
         // Frame layout: magic(4) + version(1) + tag(1) + len(4) + payload + checksum(4).
         if self.buf.len() < 10 {
             return Ok(None);
@@ -170,29 +206,15 @@ impl LoopbackSource {
         if self.buf.len() < needed {
             return Ok(None);
         }
-        let (msg, used) = WireMsg::decode_slice(&self.buf)?;
-        self.buf.drain(..used);
-        Ok(Some(msg))
-    }
-
-    /// The link is gone: a clean frame boundary is EOF, leftover bytes are
-    /// a truncated frame.
-    fn closed(&self) -> Result<Option<WireMsg>, GraspError> {
-        if self.buf.is_empty() {
-            Ok(None)
-        } else {
-            Err(GraspError::WireProtocol {
-                detail: format!(
-                    "connection died mid-frame with {} undecodable bytes buffered",
-                    self.buf.len()
-                ),
-            })
-        }
+        Ok(Some(needed))
     }
 }
 
 impl FrameSource for LoopbackSource {
-    fn recv(&mut self) -> Result<Option<WireMsg>, GraspError> {
+    fn recv_view(&mut self) -> Result<Option<FrameView<'_>>, GraspError> {
+        // Drop the frame handed out by the previous call.
+        self.buf.drain(..self.consumed);
+        self.consumed = 0;
         loop {
             // Drain everything already queued so bytes sent before a hard
             // close are still delivered in order.
@@ -206,11 +228,23 @@ impl FrameSource for LoopbackSource {
                     }
                 }
             }
-            if let Some(msg) = self.try_decode()? {
-                return Ok(Some(msg));
+            if let Some(needed) = self.buffered_frame_len()? {
+                self.consumed = needed;
+                let (view, _) = FrameView::decode_slice(&self.buf[..needed])?;
+                return Ok(Some(view));
             }
             if self.disconnected || self.dead.load(Ordering::SeqCst) {
-                return self.closed();
+                // The link is gone: a clean frame boundary is EOF, leftover
+                // bytes are a truncated frame.
+                if self.buf.is_empty() {
+                    return Ok(None);
+                }
+                return Err(GraspError::WireProtocol {
+                    detail: format!(
+                        "connection died mid-frame with {} undecodable bytes buffered",
+                        self.buf.len()
+                    ),
+                });
             }
             match self.rx.recv_timeout(Duration::from_millis(5)) {
                 Ok(chunk) => self.ingest(chunk),
@@ -280,12 +314,15 @@ impl LoopbackNet {
                 dead: Arc::clone(&dead),
                 script: to_master,
                 next_frame: 0,
+                frame: Vec::new(),
+                copied: None,
             }),
             Box::new(LoopbackSource {
                 rx: mrx,
                 dead: Arc::clone(&dead),
                 disconnected: false,
                 buf: Vec::new(),
+                consumed: 0,
                 counter: None,
             }),
         );
@@ -296,12 +333,15 @@ impl LoopbackNet {
                 dead: Arc::clone(&dead),
                 script: to_worker,
                 next_frame: 0,
+                frame: Vec::new(),
+                copied: None,
             }),
             Box::new(LoopbackSource {
                 rx: wrx,
                 dead,
                 disconnected: false,
                 buf: Vec::new(),
+                consumed: 0,
                 counter: None,
             }),
         );

@@ -18,7 +18,7 @@
 //! 5. exit on [`WireMsg::Shutdown`] or a clean EOF.
 
 use grasp_core::transport::{tcp_connect, FrameSink, FramedConnection};
-use grasp_core::wire::{WireMsg, CAP_ALL, WIRE_VERSION};
+use grasp_core::wire::{FrameView, WireMsg, CAP_ALL, WIRE_VERSION};
 use grasp_proc::worker::execute_payload;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -117,15 +117,17 @@ pub fn run_connection(conn: FramedConnection, opts: WorkerOptions) -> i32 {
     let mut served = 0usize;
     let mut said_goodbye = false;
     loop {
-        match source.recv() {
-            Ok(Some(WireMsg::Task {
+        // Tasks come off the wire as borrowed views: payload bytes are
+        // executed straight out of the source's reused read buffer.
+        let reply = match source.recv_view() {
+            Ok(Some(FrameView::Task {
                 unit_id,
                 work,
                 kind,
                 payload,
             })) => {
                 let t0 = Instant::now();
-                let reply = match execute_payload(kind, &payload, work, spin_per_work_unit) {
+                match execute_payload(kind, payload, work, spin_per_work_unit) {
                     Ok(digest) => WireMsg::Done {
                         unit_id,
                         elapsed_s: t0.elapsed().as_secs_f64(),
@@ -135,28 +137,9 @@ pub fn run_connection(conn: FramedConnection, opts: WorkerOptions) -> i32 {
                         unit_id,
                         detail: e.to_string(),
                     },
-                };
-                if !send(&sink, &reply) {
-                    return 0; // master gone; nothing left to serve
-                }
-                served += 1;
-                if let Some(after) = opts.leave_after {
-                    if !said_goodbye && served >= after {
-                        said_goodbye = true;
-                        // Announce the leave; the master drains this
-                        // worker's window and answers with Shutdown.
-                        if !send(
-                            &sink,
-                            &WireMsg::Goodbye {
-                                reason: format!("leaving voluntarily after {served} tasks"),
-                            },
-                        ) {
-                            return 0;
-                        }
-                    }
                 }
             }
-            Ok(Some(WireMsg::Shutdown)) | Ok(None) => return 0,
+            Ok(Some(FrameView::Shutdown)) | Ok(None) => return 0,
             Ok(Some(other)) => {
                 eprintln!("grasp-net-worker: unexpected frame {other:?}");
                 return 2;
@@ -164,6 +147,27 @@ pub fn run_connection(conn: FramedConnection, opts: WorkerOptions) -> i32 {
             Err(e) => {
                 eprintln!("grasp-net-worker: {e}");
                 return 2;
+            }
+        };
+        {
+            if !send(&sink, &reply) {
+                return 0; // master gone; nothing left to serve
+            }
+            served += 1;
+            if let Some(after) = opts.leave_after {
+                if !said_goodbye && served >= after {
+                    said_goodbye = true;
+                    // Announce the leave; the master drains this
+                    // worker's window and answers with Shutdown.
+                    if !send(
+                        &sink,
+                        &WireMsg::Goodbye {
+                            reason: format!("leaving voluntarily after {served} tasks"),
+                        },
+                    ) {
+                        return 0;
+                    }
+                }
             }
         }
     }

@@ -30,11 +30,12 @@ use grasp_core::config::ExecutionConfig;
 use grasp_core::engine::{AdaptationDirective, AdaptationEngine, WallClock};
 use grasp_core::error::GraspError;
 use grasp_core::execution::MonitorVerdict;
+use grasp_core::shm::{self, ShmRing};
 use grasp_core::skeleton::{
     Backend, OutcomeDetail, ResilienceReport, Skeleton, SkeletonOutcome, UnitSpan,
 };
-use grasp_core::transport::{spawn_frame_writer, stream_connection};
-use grasp_core::wire::{WireMsg, PAYLOAD_SPIN};
+use grasp_core::transport::{spawn_frame_writer, stream_connection, OutMsg, WireCounters};
+use grasp_core::wire::WireMsg;
 use grasp_core::GraspConfig;
 use gridmon::{MonitorRegistry, NodeObservation};
 use gridsim::NodeId;
@@ -54,7 +55,8 @@ use std::time::Duration;
 /// stage chain), so unit counts and ids agree with the other backends —
 /// what makes cross-backend parity tests possible.  Units execute on worker
 /// **processes**: by default the declared work drives the same calibrated
-/// spin kernel as the thread backend ([`PAYLOAD_SPIN`]); attach serialized
+/// spin kernel as the thread backend ([`grasp_core::wire::PAYLOAD_SPIN`]);
+/// attach serialized
 /// real-kernel payloads with [`ProcBackend::with_payloads`] to make workers
 /// compute actual mat-mul bands or imaging frames and report result digests.
 #[derive(Debug, Clone)]
@@ -78,7 +80,22 @@ pub struct ProcBackend {
     /// results (the hard-kill analogue of grid node revocation).
     kill_injection: Option<(usize, usize)>,
     /// Real-kernel payloads by unit id (absent units run the spin kernel).
-    payloads: HashMap<usize, (u32, Vec<u8>)>,
+    /// `Arc` so dispatch clones a pointer, not the bytes.
+    payloads: HashMap<usize, (u32, Arc<[u8]>)>,
+    /// How frames move between master and workers.
+    transport: Transport,
+}
+
+/// Which same-host transport carries frames between the master and its
+/// worker processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Anonymous pipes over the worker's stdin/stdout (the default).
+    #[default]
+    Pipes,
+    /// A shared-memory ring pair on tmpfs ([`grasp_core::shm`]): no pipe
+    /// syscall per frame, frames move through `/dev/shm` pages.
+    Shm,
 }
 
 impl ProcBackend {
@@ -96,7 +113,14 @@ impl ProcBackend {
             max_task_attempts: 3,
             kill_injection: None,
             payloads: HashMap::new(),
+            transport: Transport::Pipes,
         }
+    }
+
+    /// Select the frame transport between master and workers.
+    pub fn with_transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
+        self
     }
 
     /// Use an explicit worker binary instead of [`crate::find_worker_bin`].
@@ -152,7 +176,7 @@ impl ProcBackend {
     /// Units without a payload run the spin kernel.
     pub fn with_payloads(mut self, payloads: Vec<(usize, u32, Vec<u8>)>) -> Self {
         for (id, kind, bytes) in payloads {
-            self.payloads.insert(id, (kind, bytes));
+            self.payloads.insert(id, (kind, bytes.into()));
         }
         self
     }
@@ -248,7 +272,7 @@ enum Event {
 struct WorkerProc {
     child: Child,
     /// `None` once the channel is closed (demotion or death).
-    tx: Option<mpsc::Sender<WireMsg>>,
+    tx: Option<mpsc::Sender<OutMsg>>,
     alive: bool,
     demoted: bool,
     /// `Hello` received — eligible for dispatch.
@@ -257,13 +281,18 @@ struct WorkerProc {
     in_flight: Vec<usize>,
     /// Units this worker completed.
     completed: usize,
+    /// Ring file to unlink after the worker is reaped (shm transport only).
+    ring: Option<PathBuf>,
 }
 
 impl Drop for WorkerProc {
     fn drop(&mut self) {
-        self.tx = None; // close the pipe first: a live worker exits cleanly
+        self.tx = None; // close the channel first: a live worker exits cleanly
         let _ = self.child.kill();
         let _ = self.child.wait();
+        if let Some(path) = self.ring.take() {
+            ShmRing::cleanup(path);
+        }
     }
 }
 
@@ -375,11 +404,9 @@ struct Master<'a> {
     requeued_tasks: usize,
     retried_tasks: usize,
     nodes_lost: usize,
-    /// Shared with the writer threads, which account each frame they put on
-    /// the wire.
-    bytes_sent: Arc<AtomicU64>,
-    /// Aggregate nanoseconds the writer threads spent encoding + writing.
-    write_nanos: Arc<AtomicU64>,
+    /// Shared with the writer threads, which account bytes, encode time,
+    /// write time, and extra payload copies per frame they put on the wire.
+    counters: WireCounters,
     /// Shared with the reader-side sources ([`grasp_core::transport::FrameSource::set_byte_counter`]).
     bytes_received: Arc<AtomicU64>,
     kill_injection: Option<(usize, usize)>,
@@ -400,46 +427,83 @@ impl<'a> Master<'a> {
         let clock = WallClock::start();
         let mut registry = MonitorRegistry::new(NodeId(0), 64);
         let mut pool = Vec::with_capacity(backend.workers);
-        let bytes_sent = Arc::new(AtomicU64::new(0));
-        let write_nanos = Arc::new(AtomicU64::new(0));
+        let counters = WireCounters::new();
         let bytes_received = Arc::new(AtomicU64::new(0));
         let init = WireMsg::Init {
             heartbeat_interval_s: backend.heartbeat_interval_s,
             spin_per_work_unit: backend.spin_per_work_unit,
         };
         for w in 0..backend.workers {
-            let mut child = Command::new(&compiled.worker_bin)
-                .stdin(Stdio::piped())
-                .stdout(Stdio::piped())
-                .stderr(Stdio::inherit())
-                .spawn()
-                .map_err(|e| GraspError::WorkerUnavailable {
-                    detail: format!("could not spawn {}: {e}", compiled.worker_bin.display()),
-                })?;
-            let stdin = child.stdin.take().expect("stdin was piped");
-            let stdout = child.stdout.take().expect("stdout was piped");
-            // The pipe pair is one framed transport connection; the same
-            // master logic runs unchanged over sockets in `grasp-net`.
-            let (sink, mut source) = stream_connection(format!("pipe:{w}"), stdin, stdout).split();
+            // Per-transport spawn: the pipe pair over stdin/stdout, or a
+            // shared-memory ring pair the worker attaches to by path.  Either
+            // way the result is one framed connection — the same master logic
+            // runs unchanged over sockets in `grasp-net`.
+            let (child, sink, mut source, ring) = match backend.transport {
+                Transport::Pipes => {
+                    let mut child = Command::new(&compiled.worker_bin)
+                        .stdin(Stdio::piped())
+                        .stdout(Stdio::piped())
+                        .stderr(Stdio::inherit())
+                        .spawn()
+                        .map_err(|e| GraspError::WorkerUnavailable {
+                            detail: format!(
+                                "could not spawn {}: {e}",
+                                compiled.worker_bin.display()
+                            ),
+                        })?;
+                    let stdin = child.stdin.take().expect("stdin was piped");
+                    let stdout = child.stdout.take().expect("stdout was piped");
+                    let (sink, source) =
+                        stream_connection(format!("pipe:{w}"), stdin, stdout).split();
+                    (child, sink, source, None)
+                }
+                Transport::Shm => {
+                    let path = shm::ring_path(&format!("w{w}"));
+                    let ring = ShmRing::create(&path, shm::DEFAULT_RING_CAPACITY)?;
+                    let child = Command::new(&compiled.worker_bin)
+                        .arg("--shm")
+                        .arg(&path)
+                        .stdin(Stdio::null())
+                        .stdout(Stdio::null())
+                        .stderr(Stdio::inherit())
+                        .spawn()
+                        .map_err(|e| GraspError::WorkerUnavailable {
+                            detail: format!(
+                                "could not spawn {}: {e}",
+                                compiled.worker_bin.display()
+                            ),
+                        })?;
+                    let (sink, source) = ring.into_halves(child.id() as u64);
+                    (
+                        child,
+                        Box::new(sink) as Box<dyn grasp_core::transport::FrameSink>,
+                        Box::new(source) as Box<dyn grasp_core::transport::FrameSource>,
+                        Some(path),
+                    )
+                }
+            };
             source.set_byte_counter(Arc::clone(&bytes_received));
             let tx = tx.clone();
-            std::thread::spawn(move || loop {
-                match source.recv() {
-                    Ok(Some(msg)) => {
-                        if tx.send((w, Event::Msg(msg))).is_err() {
-                            return; // master gone
+            std::thread::spawn(move || {
+                let mut source = source;
+                loop {
+                    match source.recv() {
+                        Ok(Some(msg)) => {
+                            if tx.send((w, Event::Msg(msg))).is_err() {
+                                return; // master gone
+                            }
                         }
-                    }
-                    Ok(None) | Err(_) => {
-                        let _ = tx.send((w, Event::Closed));
-                        return;
+                        Ok(None) | Err(_) => {
+                            let _ = tx.send((w, Event::Closed));
+                            return;
+                        }
                     }
                 }
             });
             // Configure the worker immediately; its Hello arrives via the
             // reader.  A spawn that dies instantly surfaces as Closed.
-            let out = spawn_frame_writer(sink, Arc::clone(&bytes_sent), Arc::clone(&write_nanos));
-            let write_ok = out.send(init.clone()).is_ok();
+            let out = spawn_frame_writer(sink, counters.clone());
+            let write_ok = out.send(init.clone().into()).is_ok();
             // Even before Hello, a worker is on the liveness clock: a binary
             // that wedges without ever speaking still times out.
             registry.note_heartbeat(NodeId(w), clock.now());
@@ -451,6 +515,7 @@ impl<'a> Master<'a> {
                 ready: false,
                 in_flight: Vec::new(),
                 completed: 0,
+                ring,
             });
         }
         let job_has_work = compiled.units.iter().any(|&(_, w)| w > 0.0);
@@ -479,8 +544,7 @@ impl<'a> Master<'a> {
             requeued_tasks: 0,
             retried_tasks: 0,
             nodes_lost: 0,
-            bytes_sent,
-            write_nanos,
+            counters,
             bytes_received,
             kill_injection: backend.kill_injection,
         })
@@ -502,11 +566,11 @@ impl<'a> Master<'a> {
     /// serialization cost — encoding and the actual pipe write both happen
     /// off the master loop); `false` means the channel is gone (the caller
     /// decides what that implies).
-    fn send_to(&mut self, w: usize, msg: &WireMsg) -> bool {
+    fn send_to(&mut self, w: usize, msg: OutMsg) -> bool {
         let Some(out) = self.pool[w].tx.as_ref() else {
             return false;
         };
-        out.send(msg.clone()).is_ok()
+        out.send(msg).is_ok()
     }
 
     /// Fill every ready worker's outstanding window from the pending queue.
@@ -530,17 +594,19 @@ impl<'a> Master<'a> {
                     });
                 }
                 let (id, work) = self.units[idx];
-                let (kind, payload) = match self.backend.payloads.get(&id) {
-                    Some((kind, bytes)) => (*kind, bytes.clone()),
-                    None => (PAYLOAD_SPIN, Vec::new()),
+                // Real-kernel payloads ride as `Arc<[u8]>`: dispatch clones a
+                // pointer, and the writer thread encodes straight from the
+                // shared bytes — no per-dispatch payload copy.
+                let msg = match self.backend.payloads.get(&id) {
+                    Some((kind, bytes)) => OutMsg::Task {
+                        unit_id: id as u64,
+                        work,
+                        kind: *kind,
+                        payload: Arc::clone(bytes),
+                    },
+                    None => OutMsg::spin_task(id as u64, work),
                 };
-                let msg = WireMsg::Task {
-                    unit_id: id as u64,
-                    work,
-                    kind,
-                    payload,
-                };
-                if self.send_to(w, &msg) {
+                if self.send_to(w, msg) {
                     self.pool[w].in_flight.push(idx);
                 } else {
                     // Broken pipe: the unit goes back, the worker's fate is
@@ -785,7 +851,7 @@ impl<'a> Master<'a> {
         // even on the paths above that errored out instead.
         for w in 0..self.pool.len() {
             if self.pool[w].alive {
-                let _ = self.send_to(w, &WireMsg::Shutdown);
+                let _ = self.send_to(w, WireMsg::Shutdown.into());
                 self.pool[w].tx = None;
             }
         }
@@ -820,9 +886,11 @@ impl<'a> Master<'a> {
             detail: OutcomeDetail::ProcFarm {
                 workers,
                 tasks_per_worker,
-                bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+                bytes_sent: self.counters.bytes.load(Ordering::Relaxed),
                 bytes_received,
-                wire_write_s: self.write_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+                wire_write_s: self.counters.write_seconds(),
+                wire_encode_s: self.counters.encode_seconds(),
+                bytes_copied: self.counters.copied.load(Ordering::Relaxed),
                 unit_digests: self.digests.into_iter().collect(),
             },
         })

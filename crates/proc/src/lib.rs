@@ -50,7 +50,7 @@
 pub mod backend;
 pub mod worker;
 
-pub use backend::ProcBackend;
+pub use backend::{ProcBackend, Transport};
 
 use std::path::PathBuf;
 

@@ -19,10 +19,11 @@
 //! processes that are genuinely gone (hard-killed, wedged, or unreachable).
 
 use grasp_core::error::GraspError;
-use grasp_core::wire::{WireMsg, PAYLOAD_IMAGING, PAYLOAD_MATMUL, PAYLOAD_SPIN};
+use grasp_core::shm::ShmRing;
+use grasp_core::transport::{stream_connection, FrameSink, FrameSource};
+use grasp_core::wire::{FrameView, WireMsg, PAYLOAD_IMAGING, PAYLOAD_MATMUL, PAYLOAD_SPIN};
 use grasp_workloads::imaging::ImagingFrameTask;
 use grasp_workloads::matmul::MatMulBandTask;
-use std::io::Write;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -55,27 +56,49 @@ pub fn execute_payload(
     }
 }
 
-fn send(out: &Arc<Mutex<std::io::Stdout>>, msg: &WireMsg) -> Result<(), GraspError> {
-    let frame = msg.encode();
-    let mut out = out.lock().unwrap_or_else(|e| e.into_inner());
-    out.write_all(&frame)
-        .and_then(|_| out.flush())
-        .map_err(|e| GraspError::WireProtocol {
-            detail: format!("worker could not write to master: {e}"),
-        })
+fn send(out: &Arc<Mutex<Box<dyn FrameSink>>>, msg: &WireMsg) -> Result<(), GraspError> {
+    out.lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .send(msg)
+        .map(|_| ())
 }
 
 /// Run the worker protocol over this process's standard streams until the
 /// master shuts it down; returns the process exit code.
 ///
-/// This is the whole body of the `grasp-proc-worker` binary, kept in the
-/// library so any binary can embed a worker mode (the "re-exec the current
-/// binary" deployment style) by calling it from `main`.
+/// This is the body of the `grasp-proc-worker` binary (absent `--shm`),
+/// kept in the library so any binary can embed a worker mode (the "re-exec
+/// the current binary" deployment style) by calling it from `main`.
 pub fn run_stdio() -> i32 {
-    let stdout = Arc::new(Mutex::new(std::io::stdout()));
-    let mut stdin = std::io::stdin().lock();
+    let (sink, source) =
+        stream_connection("stdio".to_string(), std::io::stdout(), std::io::stdin()).split();
+    run_transport(sink, source)
+}
+
+/// Run the worker protocol over the shared-memory ring at `path` (created
+/// by a master using [`crate::Transport::Shm`]); returns the process exit
+/// code.
+pub fn run_shm(path: &str) -> i32 {
+    let (sink, source) = match ShmRing::attach(path) {
+        Ok(ring) => ring.into_halves(0),
+        Err(e) => {
+            eprintln!("grasp-proc-worker: {e}");
+            return 2;
+        }
+    };
+    run_transport(Box::new(sink), Box::new(source))
+}
+
+/// The transport-generic worker protocol loop.
+///
+/// Task frames are taken off the wire as borrowed [`FrameView`]s: the
+/// payload bytes are executed straight out of the source's reused read
+/// buffer, so a worker's steady state does not allocate per task beyond
+/// what the kernel itself needs.
+pub fn run_transport(sink: Box<dyn FrameSink>, mut source: Box<dyn FrameSource>) -> i32 {
+    let sink = Arc::new(Mutex::new(sink));
     if let Err(e) = send(
-        &stdout,
+        &sink,
         &WireMsg::Hello {
             pid: std::process::id() as u64,
         },
@@ -84,7 +107,7 @@ pub fn run_stdio() -> i32 {
         return 2;
     }
     // The master speaks Init first; anything else is a protocol breach.
-    let (heartbeat_interval_s, spin_per_work_unit) = match WireMsg::read_from(&mut stdin) {
+    let (heartbeat_interval_s, spin_per_work_unit) = match source.recv() {
         Ok(Some(WireMsg::Init {
             heartbeat_interval_s,
             spin_per_work_unit,
@@ -103,7 +126,7 @@ pub fn run_stdio() -> i32 {
     // the main thread.  The thread dies with the process; a failed write
     // means the master is gone, so it just stops.
     if heartbeat_interval_s > 0.0 {
-        let out = Arc::clone(&stdout);
+        let out = Arc::clone(&sink);
         std::thread::spawn(move || loop {
             std::thread::sleep(Duration::from_secs_f64(heartbeat_interval_s));
             if send(&out, &WireMsg::Heartbeat).is_err() {
@@ -112,15 +135,15 @@ pub fn run_stdio() -> i32 {
         });
     }
     loop {
-        match WireMsg::read_from(&mut stdin) {
-            Ok(Some(WireMsg::Task {
+        let reply = match source.recv_view() {
+            Ok(Some(FrameView::Task {
                 unit_id,
                 work,
                 kind,
                 payload,
             })) => {
                 let t0 = Instant::now();
-                let reply = match execute_payload(kind, &payload, work, spin_per_work_unit) {
+                match execute_payload(kind, payload, work, spin_per_work_unit) {
                     Ok(digest) => WireMsg::Done {
                         unit_id,
                         elapsed_s: t0.elapsed().as_secs_f64(),
@@ -130,12 +153,9 @@ pub fn run_stdio() -> i32 {
                         unit_id,
                         detail: e.to_string(),
                     },
-                };
-                if send(&stdout, &reply).is_err() {
-                    return 0; // master gone; nothing left to serve
                 }
             }
-            Ok(Some(WireMsg::Shutdown)) | Ok(None) => return 0,
+            Ok(Some(FrameView::Shutdown)) | Ok(None) => return 0,
             Ok(Some(other)) => {
                 eprintln!("grasp-proc-worker: unexpected frame {other:?}");
                 return 2;
@@ -144,6 +164,9 @@ pub fn run_stdio() -> i32 {
                 eprintln!("grasp-proc-worker: {e}");
                 return 2;
             }
+        };
+        if send(&sink, &reply).is_err() {
+            return 0; // master gone; nothing left to serve
         }
     }
 }

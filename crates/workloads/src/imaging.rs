@@ -6,7 +6,7 @@
 //! whose costs differ enough that stage→node mapping matters.
 
 use grasp_core::error::GraspError;
-use grasp_core::wire::{fnv1a_64, ByteReader, ByteWriter, PAYLOAD_IMAGING};
+use grasp_core::wire::{ByteReader, ByteWriter, Fnv64, PAYLOAD_IMAGING};
 use grasp_core::{FarmedStage, Skeleton, StageSpec, TaskSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -58,22 +58,64 @@ impl SyntheticImage {
     }
 
     fn convolve3x3(&self, kernel: &[f32; 9], divisor: f32) -> SyntheticImage {
+        let (w, h) = (self.width, self.height);
         let mut out = vec![0.0f32; self.pixels.len()];
-        for y in 0..self.height as isize {
-            for x in 0..self.width as isize {
-                let mut acc = 0.0f32;
-                for ky in -1..=1isize {
-                    for kx in -1..=1isize {
-                        let k = kernel[((ky + 1) * 3 + (kx + 1)) as usize];
-                        acc += k * self.at(x + kx, y + ky);
-                    }
+        // The clamped 9-tap gather — needed only where a tap would fall off
+        // the frame.  The fast path below accumulates in the identical tap
+        // order, so interior pixels are bit-identical either way.
+        let clamped = |x: isize, y: isize| {
+            let mut acc = 0.0f32;
+            for ky in -1..=1isize {
+                for kx in -1..=1isize {
+                    let k = kernel[((ky + 1) * 3 + (kx + 1)) as usize];
+                    acc += k * self.at(x + kx, y + ky);
                 }
-                out[y as usize * self.width + x as usize] = acc / divisor;
+            }
+            acc / divisor
+        };
+        if w >= 3 && h >= 3 {
+            // Interior: every tap is in bounds, so the stencil reads three
+            // row slices directly — no clamping, no per-tap index
+            // arithmetic — and the x loop autovectorizes.
+            for y in 1..h - 1 {
+                let above = &self.pixels[(y - 1) * w..y * w];
+                let row = &self.pixels[y * w..(y + 1) * w];
+                let below = &self.pixels[(y + 1) * w..(y + 2) * w];
+                let orow = &mut out[y * w..(y + 1) * w];
+                for x in 1..w - 1 {
+                    let mut acc = 0.0f32;
+                    acc += kernel[0] * above[x - 1];
+                    acc += kernel[1] * above[x];
+                    acc += kernel[2] * above[x + 1];
+                    acc += kernel[3] * row[x - 1];
+                    acc += kernel[4] * row[x];
+                    acc += kernel[5] * row[x + 1];
+                    acc += kernel[6] * below[x - 1];
+                    acc += kernel[7] * below[x];
+                    acc += kernel[8] * below[x + 1];
+                    orow[x] = acc / divisor;
+                }
+            }
+            // Borders: top and bottom rows, then the side columns.
+            for x in 0..w {
+                out[x] = clamped(x as isize, 0);
+                out[(h - 1) * w + x] = clamped(x as isize, (h - 1) as isize);
+            }
+            for y in 1..h - 1 {
+                out[y * w] = clamped(0, y as isize);
+                out[y * w + w - 1] = clamped((w - 1) as isize, y as isize);
+            }
+        } else {
+            // Degenerate frames (thinner than the stencil): clamp everywhere.
+            for y in 0..h {
+                for x in 0..w {
+                    out[y * w + x] = clamped(x as isize, y as isize);
+                }
             }
         }
         SyntheticImage {
-            width: self.width,
-            height: self.height,
+            width: w,
+            height: h,
             pixels: out,
         }
     }
@@ -339,12 +381,11 @@ impl ImagingFrameTask {
     /// Deterministic digest of the processed frame (exact `f32` bit
     /// patterns) — identical wherever the kernel runs.
     pub fn digest(&self) -> u64 {
-        let out = self.execute();
-        let mut bytes = Vec::with_capacity(out.pixels.len() * 4);
-        for v in &out.pixels {
-            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        let mut h = Fnv64::new();
+        for v in self.execute().pixels {
+            h.update(&v.to_bits().to_le_bytes());
         }
-        fnv1a_64(&bytes)
+        h.finish()
     }
 }
 
@@ -382,6 +423,43 @@ mod tests {
         let near_band = edges.at(8, 16).max(edges.at(16, 8));
         let background = edges.at(60, 5);
         assert!(near_band > background);
+    }
+
+    #[test]
+    fn interior_fast_path_matches_the_clamped_gather_bit_for_bit() {
+        // An asymmetric kernel and a non-square frame so any tap-order or
+        // row-addressing mistake in the fast path shows up.
+        let kernel = [-1.0, 0.5, 1.0, -2.0, 0.25, 2.0, -1.0, -0.5, 1.0];
+        let img = SyntheticImage::generate(17, 9, 7);
+        let got = img.convolve3x3(&kernel, 2.0);
+        for y in 0..9isize {
+            for x in 0..17isize {
+                let mut acc = 0.0f32;
+                for ky in -1..=1isize {
+                    for kx in -1..=1isize {
+                        acc += kernel[((ky + 1) * 3 + (kx + 1)) as usize] * img.at(x + kx, y + ky);
+                    }
+                }
+                assert_eq!(got.at(x, y).to_bits(), (acc / 2.0).to_bits());
+            }
+        }
+        // Frames thinner than the stencil take the clamped-everywhere path.
+        let thin = SyntheticImage::generate(2, 5, 7);
+        assert_eq!(thin.blur().pixels.len(), 10);
+    }
+
+    #[test]
+    fn digest_folds_identically_to_hashing_the_concatenated_bytes() {
+        let task = ImagingFrameTask {
+            pipeline: ImagePipeline::small(),
+            frame: 1,
+        };
+        let out = task.execute();
+        let mut bytes = Vec::with_capacity(out.pixels.len() * 4);
+        for v in &out.pixels {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        assert_eq!(task.digest(), grasp_core::wire::fnv1a_64(&bytes));
     }
 
     #[test]

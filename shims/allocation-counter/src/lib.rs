@@ -1,0 +1,271 @@
+//! Offline API-compatible shim for the `allocation-counter` crate (0.8
+//! line): count heap allocations made by a closure, per thread.
+//!
+//! The crate installs a `#[global_allocator]` that forwards to the system
+//! allocator and, while the current thread is inside [`measure`], records
+//! every allocation into thread-local counters. Outside `measure` the
+//! bookkeeping is a single thread-local flag check, so linking this shim
+//! into a test binary does not meaningfully slow the untested paths.
+//!
+//! Like the real crate, counting is strictly per-thread: allocations made
+//! by other threads while a `measure` is running are not attributed to it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+/// What a [`measure`]d closure allocated on the calling thread.
+///
+/// `*_total` only ever grows; `*_current` is live-at-this-instant and drops
+/// back on free (it can go negative if the closure frees memory allocated
+/// before the measurement started); `*_max` is the high-water mark of
+/// `*_current` within the measurement.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AllocationInfo {
+    /// Number of allocations performed.
+    pub count_total: u64,
+    /// Allocations still live (allocated minus freed).
+    pub count_current: i64,
+    /// Peak of `count_current` during the measurement.
+    pub count_max: u64,
+    /// Bytes allocated in total.
+    pub bytes_total: u64,
+    /// Bytes still live (allocated minus freed).
+    pub bytes_current: i64,
+    /// Peak of `bytes_current` during the measurement.
+    pub bytes_max: u64,
+}
+
+const ZERO: AllocationInfo = AllocationInfo {
+    count_total: 0,
+    count_current: 0,
+    count_max: 0,
+    bytes_total: 0,
+    bytes_current: 0,
+    bytes_max: 0,
+};
+
+thread_local! {
+    /// True while the current thread is inside `measure` and not `opt_out`.
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    /// Counters for the innermost in-progress `measure` on this thread.
+    static INFO: Cell<AllocationInfo> = const { Cell::new(ZERO) };
+}
+
+fn on_alloc(bytes: usize) {
+    // `try_with` so allocations during thread teardown (after TLS
+    // destruction) fall through silently instead of aborting.
+    let _ = ACTIVE.try_with(|active| {
+        if !active.get() {
+            return;
+        }
+        let _ = INFO.try_with(|cell| {
+            let mut info = cell.get();
+            info.count_total += 1;
+            info.count_current += 1;
+            info.count_max = info.count_max.max(info.count_current.max(0) as u64);
+            info.bytes_total += bytes as u64;
+            info.bytes_current += bytes as i64;
+            info.bytes_max = info.bytes_max.max(info.bytes_current.max(0) as u64);
+            cell.set(info);
+        });
+    });
+}
+
+fn on_dealloc(bytes: usize) {
+    let _ = ACTIVE.try_with(|active| {
+        if !active.get() {
+            return;
+        }
+        let _ = INFO.try_with(|cell| {
+            let mut info = cell.get();
+            info.count_current -= 1;
+            info.bytes_current -= bytes as i64;
+            cell.set(info);
+        });
+    });
+}
+
+/// System allocator wrapper feeding the thread-local counters.
+struct CountingSystemAlloc;
+
+// SAFETY: pure pass-through to `System`; the bookkeeping around each call
+// touches only `Cell`-based thread-locals and never allocates itself.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingSystemAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        on_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            on_dealloc(layout.size());
+            on_alloc(new_size);
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingSystemAlloc = CountingSystemAlloc;
+
+/// Run `run_while_counting` and report what it allocated on this thread.
+///
+/// Nested calls are supported: an inner `measure` returns its own counters
+/// and folds its totals back into the enclosing measurement. The counters
+/// are restored even if the closure panics.
+pub fn measure<F: FnOnce()>(run_while_counting: F) -> AllocationInfo {
+    /// Restores (and, when nested, merges) the enclosing measurement state
+    /// on drop, so a panicking closure cannot corrupt the counters.
+    struct Guard {
+        outer_active: bool,
+        outer: AllocationInfo,
+    }
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            let inner = INFO.with(Cell::get);
+            ACTIVE.with(|a| a.set(self.outer_active));
+            let restored = if self.outer_active {
+                let o = self.outer;
+                AllocationInfo {
+                    count_total: o.count_total + inner.count_total,
+                    count_current: o.count_current + inner.count_current,
+                    count_max: o
+                        .count_max
+                        .max((o.count_current + inner.count_max as i64).max(0) as u64),
+                    bytes_total: o.bytes_total + inner.bytes_total,
+                    bytes_current: o.bytes_current + inner.bytes_current,
+                    bytes_max: o
+                        .bytes_max
+                        .max((o.bytes_current + inner.bytes_max as i64).max(0) as u64),
+                }
+            } else {
+                self.outer
+            };
+            INFO.with(|c| c.set(restored));
+        }
+    }
+
+    let guard = Guard {
+        outer_active: ACTIVE.with(|a| a.replace(true)),
+        outer: INFO.with(|c| c.replace(ZERO)),
+    };
+    run_while_counting();
+    let inner = INFO.with(Cell::get);
+    drop(guard);
+    inner
+}
+
+/// Run `run_while_not_counting` with counting suspended on this thread, so
+/// its allocations are not attributed to any enclosing [`measure`].
+pub fn opt_out<F: FnOnce() -> R, R>(run_while_not_counting: F) -> R {
+    /// Re-arms counting on drop so a panic cannot leave it disabled.
+    struct Guard(bool);
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            ACTIVE.with(|a| a.set(self.0));
+        }
+    }
+    let _guard = Guard(ACTIVE.with(|a| a.replace(false)));
+    run_while_not_counting()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hint::black_box;
+
+    #[test]
+    fn a_vec_allocation_is_counted_with_its_exact_size() {
+        let info = measure(|| {
+            let v: Vec<u8> = Vec::with_capacity(1024);
+            black_box(&v);
+        });
+        assert_eq!(info.count_total, 1);
+        assert_eq!(info.bytes_total, 1024);
+        assert_eq!(info.count_max, 1);
+        assert_eq!(info.bytes_max, 1024);
+        // The vector dropped inside the closure, so nothing is still live.
+        assert_eq!(info.count_current, 0);
+        assert_eq!(info.bytes_current, 0);
+    }
+
+    #[test]
+    fn pure_computation_reports_zero() {
+        let mut acc = 0u64;
+        let info = measure(|| {
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_add(black_box(i).wrapping_mul(i));
+            }
+        });
+        black_box(acc);
+        assert_eq!(info, AllocationInfo::default());
+    }
+
+    #[test]
+    fn leaked_allocations_stay_current() {
+        let mut kept: Vec<u8> = Vec::new();
+        let info = measure(|| {
+            kept = Vec::with_capacity(256);
+        });
+        black_box(&kept);
+        assert_eq!(info.count_current, 1);
+        assert_eq!(info.bytes_current, 256);
+    }
+
+    #[test]
+    fn realloc_counts_as_free_plus_alloc() {
+        let info = measure(|| {
+            let mut v: Vec<u8> = Vec::with_capacity(16);
+            v.extend_from_slice(&[0; 16]);
+            v.reserve_exact(512);
+            black_box(&v);
+        });
+        assert!(info.count_total >= 2, "grow must re-count: {info:?}");
+        assert_eq!(info.count_current, 0);
+        assert_eq!(info.bytes_current, 0);
+    }
+
+    #[test]
+    fn opt_out_suppresses_counting() {
+        let info = measure(|| {
+            opt_out(|| {
+                let v = vec![0u8; 512];
+                black_box(&v);
+            });
+        });
+        assert_eq!(info, AllocationInfo::default());
+    }
+
+    #[test]
+    fn nested_measures_fold_into_the_outer_one() {
+        let outer = measure(|| {
+            let inner = measure(|| {
+                let v = vec![0u8; 256];
+                black_box(&v);
+            });
+            assert_eq!(inner.bytes_total, 256);
+        });
+        assert!(
+            outer.bytes_total >= 256,
+            "inner totals must fold: {outer:?}"
+        );
+    }
+}

@@ -1,12 +1,24 @@
 //! The worker-mode entry point of the process-isolated backend: a re-exec
 //! target that speaks the `grasp_core::wire` protocol over its standard
-//! streams.  `grasp_proc::ProcBackend` spawns one of these per worker; see
-//! `grasp_proc::worker` for the protocol lifecycle.
+//! streams, or — with `--shm <path>` — over a shared-memory ring created by
+//! the master.  `grasp_proc::ProcBackend` spawns one of these per worker;
+//! see `grasp_proc::worker` for the protocol lifecycle.
 //!
 //! The binary lives in the workspace root so `cargo build` (and the build
 //! step of `cargo test`, via the root integration tests) always produces it
 //! alongside every other artefact.
 
 fn main() {
-    std::process::exit(grasp_proc::worker::run_stdio());
+    let args: Vec<String> = std::env::args().collect();
+    let code = match args.iter().position(|a| a == "--shm") {
+        Some(i) => match args.get(i + 1) {
+            Some(path) => grasp_proc::worker::run_shm(path),
+            None => {
+                eprintln!("grasp-proc-worker: --shm requires a ring file path");
+                2
+            }
+        },
+        None => grasp_proc::worker::run_stdio(),
+    };
+    std::process::exit(code);
 }

@@ -7,7 +7,7 @@
 
 use grasp_repro::grasp_core::prelude::*;
 use grasp_repro::grasp_exec::ThreadBackend;
-use grasp_repro::grasp_proc::ProcBackend;
+use grasp_repro::grasp_proc::{ProcBackend, Transport};
 use grasp_repro::grasp_workloads::imaging::{ImagePipeline, ImagingFrameTask};
 use grasp_repro::grasp_workloads::matmul::MatMulJob;
 use std::collections::BTreeSet;
@@ -184,6 +184,75 @@ fn proc_backend_survives_a_hard_killed_worker_and_conserves_units() {
         }
         other => panic!("unexpected detail {other:?}"),
     }
+}
+
+#[test]
+fn shm_transport_computes_real_kernels_with_matching_digests() {
+    // The shared-memory ring is a drop-in transport: the same serialized
+    // matmul bands cross it, the same digests come back, and the wire
+    // accounting still sees every frame byte (the ring counts drained
+    // bytes just like a pipe counts read ones).
+    let job = MatMulJob {
+        n: 64,
+        block_rows: 16,
+        seed: 2026,
+    };
+    let skeleton = Skeleton::farm(job.as_tasks(1e6));
+    let backend = proc_backend(3)
+        .with_transport(Transport::Shm)
+        .with_payloads(job.wire_payloads());
+    let report = Grasp::new(GraspConfig::default())
+        .run(&backend, &skeleton)
+        .expect("shm matmul run failed");
+    assert!(report.outcome.conserves_units_of(&skeleton));
+    match &report.outcome.detail {
+        OutcomeDetail::ProcFarm {
+            unit_digests,
+            bytes_sent,
+            bytes_received,
+            bytes_copied,
+            ..
+        } => {
+            assert_eq!(unit_digests.len(), job.task_count());
+            for &(unit, digest) in unit_digests {
+                assert_eq!(digest, job.band_task(unit).digest());
+            }
+            assert!(*bytes_sent > 0 && *bytes_received > 0);
+            // The ring writes straight from the encode buffer: nothing is
+            // copied beyond the one encode per frame.
+            assert_eq!(*bytes_copied, 0, "shm transport must be zero-copy");
+        }
+        other => panic!("unexpected detail {other:?}"),
+    }
+}
+
+#[test]
+fn shm_transport_survives_a_hard_killed_worker_and_conserves_units() {
+    // The SIGKILL acceptance test on the ring transport: with no pipe EOF
+    // to lean on, death detection is the closed flag + `/proc/<pid>` check
+    // (backed by the heartbeat sweep), and it must feed the same requeue
+    // path — conservation and the ResilienceReport hold unchanged.
+    let skeleton = Skeleton::farm(TaskSpec::uniform(40, 2.0, 0, 0));
+    let backend = proc_backend(3)
+        .with_transport(Transport::Shm)
+        .with_spin_per_work_unit(2_000_000)
+        .with_kill_injection(1, 2);
+    let report = Grasp::new(GraspConfig::default())
+        .run(&backend, &skeleton)
+        .expect("a hard-killed shm worker must not fail the run");
+    assert_eq!(report.outcome.completed, 40);
+    assert!(report.outcome.conserves_units_of(&skeleton));
+    assert!(
+        report.outcome.resilience.nodes_lost >= 1,
+        "the kill must be accounted as a lost node: {:?}",
+        report.outcome.resilience
+    );
+    assert!(
+        report.outcome.resilience.requeued_tasks >= 1,
+        "in-flight units of the victim must be requeued: {:?}",
+        report.outcome.resilience
+    );
+    assert!(report.outcome.resilience.retried_tasks >= 1);
 }
 
 #[test]

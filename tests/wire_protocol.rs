@@ -2,7 +2,8 @@
 //! arbitrary messages, and truncated/corrupted frames always surface as
 //! typed `GraspError`s — never as panics or silently different messages.
 
-use grasp_repro::grasp_core::wire::{WireMsg, PAYLOAD_SPIN};
+use grasp_repro::grasp_core::wire::{FrameView, WireMsg, PAYLOAD_SPIN};
+use grasp_repro::grasp_core::GraspError;
 use proptest::prelude::*;
 
 proptest! {
@@ -141,8 +142,84 @@ proptest! {
     #[test]
     fn garbage_never_panics_the_decoder(bytes in prop::collection::vec(0u8..=255, 0..256)) {
         let _ = WireMsg::decode_slice(&bytes);
+        let _ = FrameView::decode_slice(&bytes);
         // Streaming reads over garbage are equally safe.
         let mut r = bytes.as_slice();
         let _ = WireMsg::read_from(&mut r);
+    }
+
+    /// The borrowed decoder agrees with the owned decoder on every message
+    /// kind: same consumed length, and `to_owned` reconstructs the original
+    /// message exactly.  Re-encoding through a dirty reused buffer emits the
+    /// identical frame bytes — the wire format cannot tell which path built
+    /// a frame.
+    #[test]
+    fn borrowed_and_owned_decoders_agree_on_every_message_kind(
+        unit_id in any::<u64>(),
+        work in -1e9f64..1e9,
+        kind in 0u32..8,
+        payload in prop::collection::vec(0u8..=255, 0..512),
+        elapsed in 0.0f64..1e6,
+        digest in any::<u64>(),
+        pid in any::<u64>(),
+        text in prop::collection::vec(32u8..127, 0..80),
+    ) {
+        let text = String::from_utf8(text.clone()).unwrap();
+        for msg in [
+            WireMsg::Task { unit_id, work, kind, payload: payload.clone() },
+            WireMsg::Init { heartbeat_interval_s: elapsed, spin_per_work_unit: digest },
+            WireMsg::Done { unit_id, elapsed_s: elapsed, digest },
+            WireMsg::Failed { unit_id, detail: text.clone() },
+            WireMsg::Hello { pid },
+            WireMsg::Join { pid, wire_version: kind, capabilities: kind },
+            WireMsg::Welcome { worker_id: unit_id, heartbeat_interval_s: elapsed, spin_per_work_unit: digest },
+            WireMsg::Goodbye { reason: text.clone() },
+            WireMsg::Heartbeat,
+            WireMsg::Shutdown,
+        ] {
+            let frame = msg.encode();
+            let (owned, owned_used) = WireMsg::decode_slice(&frame).unwrap();
+            let (view, view_used) = FrameView::decode_slice(&frame).unwrap();
+            prop_assert_eq!(view_used, owned_used);
+            prop_assert_eq!(view_used, frame.len());
+            prop_assert_eq!(&view.to_owned(), &owned);
+            prop_assert_eq!(&owned, &msg);
+            // Byte-identity through a dirty reused encode buffer.
+            let mut reused = vec![0xAA; 7];
+            view.encode_into(&mut reused);
+            prop_assert_eq!(&reused, &frame);
+        }
+    }
+
+    /// Every strict prefix of a frame is a *typed* wire-protocol error for
+    /// the borrowed decoder — never a panic, never a shorter message.
+    #[test]
+    fn truncated_frames_are_typed_for_the_borrowed_decoder(
+        unit_id in any::<u64>(),
+        payload in prop::collection::vec(0u8..=255, 0..64),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let frame = WireMsg::Task { unit_id, work: 1.0, kind: PAYLOAD_SPIN, payload: payload.clone() }.encode();
+        let cut = 1 + ((frame.len() - 2) as f64 * cut_frac) as usize; // 1..len-1
+        let err = FrameView::decode_slice(&frame[..cut]).unwrap_err();
+        prop_assert!(matches!(err, GraspError::WireProtocol { .. }), "{}", err);
+    }
+
+    /// Flipping any single byte of a frame is a *typed* wire-protocol error
+    /// for the borrowed decoder (magic, version, tag, length and checksum
+    /// are all validated before any field is handed out).
+    #[test]
+    fn corrupted_frames_are_typed_for_the_borrowed_decoder(
+        unit_id in any::<u64>(),
+        payload in prop::collection::vec(0u8..=255, 1..64),
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let frame = WireMsg::Task { unit_id, work: 2.5, kind: PAYLOAD_SPIN, payload: payload.clone() }.encode();
+        let mut bad = frame.clone();
+        let pos = ((bad.len() - 1) as f64 * pos_frac) as usize;
+        bad[pos] ^= flip;
+        let err = FrameView::decode_slice(&bad).unwrap_err();
+        prop_assert!(matches!(err, GraspError::WireProtocol { .. }), "{}", err);
     }
 }
