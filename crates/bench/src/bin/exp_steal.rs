@@ -1,0 +1,11 @@
+//! E16 at paper scale: work stealing vs demand-driven chunking on an
+//! asymmetric thread farm (see `experiments::e16_steal_rebalance`).
+//!
+//! `cargo run --release -p grasp-bench --bin exp_steal`
+
+use grasp_bench::experiments::e16_steal_rebalance;
+use grasp_bench::format_table;
+
+fn main() {
+    println!("{}", format_table(&e16_steal_rebalance(2_400, 8.0)));
+}

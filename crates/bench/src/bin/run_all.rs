@@ -1,4 +1,4 @@
-//! Run every experiment (E1–E15) and print all tables/series, additionally
+//! Run every experiment (E1–E16) and print all tables/series, additionally
 //! emitting a machine-readable `BENCH_results.json` so the performance
 //! trajectory can be tracked across commits without parsing text tables.
 //!
@@ -50,6 +50,7 @@ struct Scale {
     e13: (usize, usize),
     e14: (usize, usize),
     e15: (usize, usize),
+    e16: (usize, f64),
 }
 
 /// Paper scale: the numbers the committed experiment tables use.
@@ -69,6 +70,7 @@ const PAPER: Scale = Scale {
     e13: (400, 8),
     e14: (60, 8),
     e15: (4_096, 2_000_000),
+    e16: (2_400, 8.0),
 };
 
 /// Smoke scale: every experiment at a size that finishes in seconds.
@@ -90,6 +92,7 @@ const SMOKE: Scale = Scale {
     // The scale smoke keeps ad-hoc-grid numbers even at CI scale: thousands
     // of nodes, a million units.
     e15: (2_048, 1_000_000),
+    e16: (240, 8.0),
 };
 
 /// Collects printed experiment results and their JSON renderings.
@@ -247,6 +250,9 @@ fn main() {
     });
     out.experiment("E15", |out| {
         out.table(&e15_scale_smoke(scale.e15.0, scale.e15.1, seed));
+    });
+    out.experiment("E16", |out| {
+        out.table(&e16_steal_rebalance(scale.e16.0, scale.e16.1));
     });
 
     out.write(&json_path);

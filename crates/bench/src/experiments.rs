@@ -1,4 +1,4 @@
-//! The experiments of DESIGN.md's index (E1–E15), as reusable functions.
+//! The experiments of DESIGN.md's index (E1–E16), as reusable functions.
 //!
 //! Each function runs one experiment at a caller-chosen scale and returns a
 //! [`Table`] and/or [`Series`] ready to print.  The `exp_*` binaries call
@@ -129,12 +129,19 @@ pub fn e2_farm_comparison(
             "adaptive_s",
             "static_s",
             "selfsched_s",
+            "worksteal_s",
             "adaptive_speedup_vs_static",
         ],
     );
     let mut series = Series::new(
         "E2: completion time vs pool size",
-        &["nodes", "adaptive_s", "static_s", "selfsched_s"],
+        &[
+            "nodes",
+            "adaptive_s",
+            "static_s",
+            "selfsched_s",
+            "worksteal_s",
+        ],
     );
     for &n in node_counts {
         let tasks = standard_farm_tasks(tasks_n, 60.0);
@@ -144,17 +151,30 @@ pub fn e2_farm_comparison(
         let statics = farm_makespan(&grid, &tasks, GraspConfig::static_baseline());
         let grid = bursty_grid(n, 40.0, seed);
         let selfs = farm_makespan(&grid, &tasks, GraspConfig::self_scheduling_baseline());
+        let grid = bursty_grid(n, 40.0, seed);
+        // On the master-cursor sim farm the work-stealing policy degrades to
+        // its calibration-weighted chunk formula (deques need real threads).
+        let steals = farm_makespan(
+            &grid,
+            &tasks,
+            GraspConfig {
+                scheduler: SchedulePolicy::WorkStealing { min_chunk: 1 },
+                ..GraspConfig::default()
+            },
+        );
         let a = adaptive.makespan.as_secs();
         let s = statics.makespan.as_secs();
         let d = selfs.makespan.as_secs();
+        let w = steals.makespan.as_secs();
         table.push_row(vec![
             n.to_string(),
             format!("{a:.1}"),
             format!("{s:.1}"),
             format!("{d:.1}"),
+            format!("{w:.1}"),
             format!("{:.2}", s / a.max(1e-9)),
         ]);
-        series.push(vec![n as f64, a, s, d]);
+        series.push(vec![n as f64, a, s, d, w]);
     }
     (table, series)
 }
@@ -455,8 +475,13 @@ pub fn e10_churn(
             "requeued",
             "retried",
             "nodes_lost",
+            "worksteal_cost",
         ],
     );
+    let steal_config = || GraspConfig {
+        scheduler: SchedulePolicy::WorkStealing { min_chunk: 1 },
+        ..GraspConfig::default()
+    };
     let skeleton = Skeleton::farm(irregular_farm_tasks(tasks_n, 20.0));
     // Churn horizon ≈ the static run's expected span, so outages land mid-job.
     let horizon_s = 1.2 * skeleton.total_work() / (40.0 * nodes as f64);
@@ -481,17 +506,24 @@ pub fn e10_churn(
         };
         let mut a_sum = 0.0;
         let mut s_sum = 0.0;
+        let mut w_sum = 0.0;
         let mut resilience = ResilienceReport::default();
         for rep in 0..REPS {
             let adaptive = run_sim(GraspConfig::default(), rep);
             let statics = run_sim(GraspConfig::static_baseline(), rep);
+            let steals = run_sim(steal_config(), rep);
             a_sum += adaptive.outcome.makespan_s;
             s_sum += statics.outcome.makespan_s;
+            w_sum += steals.outcome.makespan_s;
             resilience.requeued_tasks += adaptive.outcome.resilience.requeued_tasks;
             resilience.retried_tasks += adaptive.outcome.resilience.retried_tasks;
             resilience.nodes_lost += adaptive.outcome.resilience.nodes_lost;
         }
-        let (a, s) = (a_sum / REPS as f64, s_sum / REPS as f64);
+        let (a, s, w) = (
+            a_sum / REPS as f64,
+            s_sum / REPS as f64,
+            w_sum / REPS as f64,
+        );
         table.push_row(vec![
             "sim".into(),
             format!("{p:.2}"),
@@ -501,17 +533,21 @@ pub fn e10_churn(
             resilience.requeued_tasks.to_string(),
             resilience.retried_tasks.to_string(),
             resilience.nodes_lost.to_string(),
+            format!("{w:.1}"),
         ]);
 
         // ---- real threads: injected worker panics as the churn analogue ----
         let injected = ((p * tasks_n as f64 * 0.1).round() as usize).max(1);
-        let run_threads = |mut config: GraspConfig| {
+        let run_threads = |mut config: GraspConfig, keep_stealing: bool| {
             // The adaptive side uses guided demand-driven chunking rather
             // than calibration-weighted chunks: the weights come from
             // wall-clock task timings, which an overcommitted/one-core CI
             // machine measures as scheduler noise — amplified into oversized
-            // chunks, they would turn this row into a coin flip.
-            if config.scheduler.is_adaptive() {
+            // chunks, they would turn this row into a coin flip.  The
+            // work-stealing contender keeps its policy: a noise-oversized
+            // owner chunk stays stealable, so the same amplification cannot
+            // strand work.
+            if config.scheduler.is_adaptive() && !keep_stealing {
                 config.scheduler = SchedulePolicy::Guided { min_chunk: 1 };
             }
             // Attempts exceed the whole injection budget, so no single task
@@ -542,17 +578,24 @@ pub fn e10_churn(
         };
         let mut a_sum = 0.0;
         let mut s_sum = 0.0;
+        let mut w_sum = 0.0;
         let mut resilience = ResilienceReport::default();
         for _ in 0..REPS {
-            let adaptive = run_threads(GraspConfig::default());
-            let statics = run_threads(GraspConfig::static_baseline());
+            let adaptive = run_threads(GraspConfig::default(), false);
+            let statics = run_threads(GraspConfig::static_baseline(), false);
+            let steals = run_threads(steal_config(), true);
             a_sum += critical_path(&adaptive.outcome);
             s_sum += critical_path(&statics.outcome);
+            w_sum += critical_path(&steals.outcome);
             resilience.requeued_tasks += adaptive.outcome.resilience.requeued_tasks;
             resilience.retried_tasks += adaptive.outcome.resilience.retried_tasks;
             resilience.nodes_lost += adaptive.outcome.resilience.nodes_lost;
         }
-        let (a, s) = (a_sum / REPS as f64, s_sum / REPS as f64);
+        let (a, s, w) = (
+            a_sum / REPS as f64,
+            s_sum / REPS as f64,
+            w_sum / REPS as f64,
+        );
         table.push_row(vec![
             "threads".into(),
             format!("{p:.2}"),
@@ -562,6 +605,7 @@ pub fn e10_churn(
             resilience.requeued_tasks.to_string(),
             resilience.retried_tasks.to_string(),
             resilience.nodes_lost.to_string(),
+            format!("{w:.0}"),
         ]);
     }
     table
@@ -1056,6 +1100,133 @@ pub fn e15_scale_smoke(nodes: usize, units: usize, seed: ScenarioSeed) -> Table 
     table
 }
 
+/// E16 — work stealing vs demand-driven chunking on an asymmetric thread
+/// farm.
+///
+/// Worker 0 of four degrades by `slow_factor`× after its first few units (an
+/// asymmetric-cores analogue: one core suddenly becomes much slower
+/// mid-run).  The demand-driven contender pulls guided chunks off the shared
+/// queue: a chunk the slow worker has already claimed is irrevocable, so one
+/// unlucky early grab strands a block of work at `slow_factor`× speed.  The
+/// work-stealing contender seeds per-worker deques instead: the slow
+/// worker's remaining range stays stealable, the engine's calibration ranks
+/// steer thieves toward it, and the stranded block is redistributed.
+///
+/// Both contenders run the shared adaptation engine with demotion blocked
+/// (`min_active_nodes` = pool size), so the comparison isolates the
+/// rebalancing mechanism itself rather than crediting the demotion path.
+/// Like E10's thread rows, each schedule is scored by a deterministic
+/// weighted critical path — worker 0's executed work counts `slow_factor`×
+/// — rather than raw wall-clock, so the result stays meaningful on shared
+/// CI machines where every schedule serialises to similar wall time.
+pub fn e16_steal_rebalance(tasks_n: usize, slow_factor: f64) -> Table {
+    let workers = 4usize;
+    let skeleton = Skeleton::farm(irregular_farm_tasks(tasks_n, 20.0));
+    let mut table = Table::new(
+        format!(
+            "E16: work stealing on an asymmetric farm \
+             ({tasks_n} irregular units, worker 0 slowed {slow_factor}x)"
+        ),
+        &[
+            "variant",
+            "cost",
+            "slow_worker_work",
+            "steals_attempted",
+            "steals_completed",
+            "units_stolen",
+            "steal_speedup",
+        ],
+    );
+    let run = |scheduler: SchedulePolicy| {
+        let backend = ThreadBackend::new(workers)
+            .with_spin_per_work_unit(30_000)
+            .with_worker_slowdown_injection(0, 8, slow_factor);
+        let mut cfg = GraspConfig {
+            scheduler,
+            ..GraspConfig::default()
+        };
+        cfg.execution.adaptive = true;
+        cfg.execution.monitor_interval_s = 3e-3; // wall seconds
+                                                 // Demotion is blocked: every worker stays in rotation, so any
+                                                 // rebalancing credit belongs to the dispatch mechanism alone.
+        cfg.execution.min_active_nodes = workers;
+        let report = Grasp::new(cfg)
+            .run(&backend, &skeleton)
+            .expect("steal rebalance run failed");
+        assert!(
+            report.outcome.conserves_units_of(&skeleton),
+            "both contenders must conserve the unit set"
+        );
+        report
+    };
+    // Weighted critical path: worker 0's executed work counts slow_factor×.
+    let cost_of = |outcome: &SkeletonOutcome| match &outcome.detail {
+        OutcomeDetail::ThreadFarm {
+            work_per_worker, ..
+        } => {
+            let slow = work_per_worker.first().copied().unwrap_or(0.0) * slow_factor;
+            let fast = work_per_worker.iter().skip(1).copied().fold(0.0, f64::max);
+            slow.max(fast)
+        }
+        _ => outcome.makespan_s,
+    };
+    let slow_work_of = |outcome: &SkeletonOutcome| match &outcome.detail {
+        OutcomeDetail::ThreadFarm {
+            work_per_worker, ..
+        } => work_per_worker.first().copied().unwrap_or(0.0),
+        _ => 0.0,
+    };
+    // Average over a few repetitions: which worker grabs which early chunk
+    // is a thread race, and a single run can land it kindly for either side.
+    const REPS: usize = 3;
+    let mut demand_cost = 0.0;
+    let mut steal_cost = 0.0;
+    let mut demand_slow_work = 0.0;
+    let mut steal_slow_work = 0.0;
+    let mut attempted = 0usize;
+    let mut completed = 0usize;
+    let mut stolen = 0usize;
+    for _ in 0..REPS {
+        let demand = run(SchedulePolicy::Guided { min_chunk: 1 });
+        let steal = run(SchedulePolicy::WorkStealing { min_chunk: 1 });
+        demand_cost += cost_of(&demand.outcome);
+        steal_cost += cost_of(&steal.outcome);
+        demand_slow_work += slow_work_of(&demand.outcome);
+        steal_slow_work += slow_work_of(&steal.outcome);
+        if let OutcomeDetail::ThreadFarm {
+            steals_attempted,
+            steals_completed,
+            units_stolen,
+            ..
+        } = &steal.outcome.detail
+        {
+            attempted += steals_attempted;
+            completed += steals_completed;
+            stolen += units_stolen;
+        }
+    }
+    let (d, w) = (demand_cost / REPS as f64, steal_cost / REPS as f64);
+    table.push_row(vec![
+        "demand-driven".into(),
+        format!("{d:.0}"),
+        format!("{:.0}", demand_slow_work / REPS as f64),
+        "0".into(),
+        "0".into(),
+        "0".into(),
+        "1.000".into(),
+    ]);
+    table.push_row(vec![
+        "work-stealing".into(),
+        format!("{w:.0}"),
+        format!("{:.0}", steal_slow_work / REPS as f64),
+        attempted.to_string(),
+        completed.to_string(),
+        stolen.to_string(),
+        format!("{:.3}", d / w.max(1e-9)),
+    ]);
+    table
+}
+
 /// E8 — forecaster accuracy on representative load signals.
 pub fn e8_forecaster_accuracy(samples: usize) -> Table {
     let signals: Vec<(&str, Box<dyn LoadModel>)> = vec![
@@ -1147,6 +1318,13 @@ mod tests {
             adaptive <= statics * 1.05,
             "adaptive {adaptive} should not lose clearly to static {statics}"
         );
+        // The work-stealing policy degrades to weighted chunking on the sim
+        // farm: it completes and stays in the same class as adaptive.
+        let worksteal = series.points[0][4];
+        assert!(
+            worksteal > 0.0 && worksteal <= statics * 1.05,
+            "worksteal {worksteal} should not lose clearly to static {statics}"
+        );
     }
 
     #[test]
@@ -1235,6 +1413,13 @@ mod tests {
         // The injected churn must be visible as recovery work.
         let retried: usize = threads[6].parse().unwrap();
         assert!(retried >= 1, "thread churn must report retries");
+        // The work-stealing contender completes on both backends and its
+        // critical path stays in the same class as the adaptive run's (the
+        // direction of the steal-vs-demand comparison is pinned by E16).
+        for row in &table.rows {
+            let worksteal: f64 = row[8].parse().unwrap();
+            assert!(worksteal > 0.0, "worksteal cost must be positive: {row:?}");
+        }
     }
 
     #[test]
@@ -1387,6 +1572,29 @@ mod tests {
         let makespan: f64 = row[2].parse().unwrap();
         let rate: f64 = row[4].parse().unwrap();
         assert!(makespan > 0.0 && rate > 0.0, "row {row:?}");
+    }
+
+    #[test]
+    fn e16_stealing_rebalances_the_asymmetric_farm() {
+        let table = e16_steal_rebalance(240, 8.0);
+        assert_eq!(table.len(), 2);
+        let demand = &table.rows[0];
+        let steal = &table.rows[1];
+        assert_eq!(demand[0], "demand-driven");
+        assert_eq!(steal[0], "work-stealing");
+        // Thieves must actually move work off the loaded deques.
+        let completed: usize = steal[4].parse().unwrap();
+        let stolen: usize = steal[5].parse().unwrap();
+        assert!(completed >= 1, "no completed steals recorded: {steal:?}");
+        assert!(stolen >= completed, "units_stolen below steal count");
+        // The headline claim: redistributing the slow worker's deque beats
+        // stranding an irrevocable demand chunk on it (weighted critical
+        // path, averaged over reps — schedule-determined, not wall-clock).
+        let speedup: f64 = steal[6].parse().unwrap();
+        assert!(
+            speedup > 1.0,
+            "work stealing must beat demand-driven on the asymmetric farm: {speedup}"
+        );
     }
 
     #[test]

@@ -37,6 +37,14 @@ pub const E10_MIN_SPEEDUP: f64 = 0.85;
 /// clearly losing" with CI-noise headroom).
 pub const E14_MIN_JOB_SPEEDUP: f64 = 0.9;
 
+/// Minimum acceptable `steal_speedup` in E16's work-stealing row.  The
+/// experiment's claim is a clear rebalancing win on the asymmetric farm;
+/// the metric is a rep-averaged weighted critical path (schedule-determined,
+/// not wall-clock), so parity is the honest floor: falling below 1.0 means
+/// deque dispatch has regressed into losing to the shared demand cursor it
+/// exists to beat.
+pub const E16_MIN_STEAL_SPEEDUP: f64 = 1.0;
+
 /// Absolute ceiling on E12's master-side frame-encode seconds in any row
 /// that crosses a wire.  The zero-copy data plane encodes each frame exactly
 /// once into a reused buffer, so even at paper scale the encode cost is
@@ -448,7 +456,7 @@ pub fn check_results(doc: &Json, baseline: Option<&Json>) -> Result<GateSummary,
     // The qualitative trajectory: the rows these checks read are asserted
     // strictly by the in-tree experiment tests; the gate re-checks the
     // committed story with generous tolerance on every CI run.
-    for required in ["E10", "E11", "E14"] {
+    for required in ["E10", "E11", "E14", "E16"] {
         if !ids.contains(required) {
             return Err(format!("required experiment {required} is missing"));
         }
@@ -533,6 +541,33 @@ pub fn check_results(doc: &Json, baseline: Option<&Json>) -> Result<GateSummary,
                 }
                 if !saw_service {
                     return Err("E14 table lost its service row".into());
+                }
+            }
+            Some("E16") if entry.get("type").and_then(Json::as_str) == Some("table") => {
+                let variant =
+                    table_column(entry, "variant").ok_or("E16 table lost its variant column")?;
+                let speedup = table_column(entry, "steal_speedup")
+                    .ok_or("E16 table lost its steal_speedup column")?;
+                let mut saw_stealing = false;
+                for row in entry.get("rows").and_then(Json::as_arr).unwrap_or(&[]) {
+                    let cells = row.as_arr().unwrap_or(&[]);
+                    if cells.get(variant).and_then(Json::as_str) == Some("work-stealing") {
+                        saw_stealing = true;
+                        let v = cells
+                            .get(speedup)
+                            .and_then(Json::as_f64)
+                            .ok_or("E16 steal_speedup cell is not numeric")?;
+                        if v < E16_MIN_STEAL_SPEEDUP {
+                            return Err(format!(
+                                "E16 regression: work stealing is {v:.2}x the demand-driven \
+                                 baseline on the asymmetric farm, below the \
+                                 {E16_MIN_STEAL_SPEEDUP} floor"
+                            ));
+                        }
+                    }
+                }
+                if !saw_stealing {
+                    return Err("E16 table lost its work-stealing row".into());
                 }
             }
             Some("E12") if entry.get("type").and_then(Json::as_str) == Some("table") => {
@@ -742,6 +777,26 @@ mod tests {
         table_json(&t)
     }
 
+    fn e16_table(speedup: f64) -> String {
+        let mut t = Table::new(
+            "E16: work stealing on an asymmetric farm (240 irregular units, worker 0 slowed 8x)",
+            &["variant", "cost", "steals_completed", "steal_speedup"],
+        );
+        t.push_row(vec![
+            "demand-driven".into(),
+            "4800".into(),
+            "0".into(),
+            "1.000".into(),
+        ]);
+        t.push_row(vec![
+            "work-stealing".into(),
+            format!("{:.0}", 4800.0 / speedup.max(1e-9)),
+            "6".into(),
+            format!("{speedup:.3}"),
+        ]);
+        table_json(&t)
+    }
+
     fn doc(parts: &[String]) -> Json {
         parse_json(&format!("{{\"experiments\":[{}]}}", parts.join(","))).unwrap()
     }
@@ -751,6 +806,7 @@ mod tests {
             e10_table(&[("sim", 1.4), ("threads", 1.2)]),
             e11_table(2),
             e14_table(1.3),
+            e16_table(1.4),
         ])
     }
 
@@ -774,9 +830,9 @@ mod tests {
     #[test]
     fn healthy_results_pass_and_report_ids() {
         let summary = check_results(&healthy(), None).unwrap();
-        assert_eq!(summary.experiments, 3);
+        assert_eq!(summary.experiments, 4);
         assert!(summary.ids.contains("E10") && summary.ids.contains("E11"));
-        assert!(summary.ids.contains("E14"));
+        assert!(summary.ids.contains("E14") && summary.ids.contains("E16"));
     }
 
     #[test]
@@ -785,6 +841,7 @@ mod tests {
             e10_table(&[("sim", 1.4), ("threads", 0.7)]),
             e11_table(1),
             e14_table(1.2),
+            e16_table(1.3),
         ]);
         let err = check_results(&bad, None).unwrap_err();
         assert!(err.contains("E10 regression"), "{err}");
@@ -793,7 +850,12 @@ mod tests {
 
     #[test]
     fn e11_losing_its_demotion_fails_the_gate() {
-        let bad = doc(&[e10_table(&[("sim", 1.3)]), e11_table(0), e14_table(1.2)]);
+        let bad = doc(&[
+            e10_table(&[("sim", 1.3)]),
+            e11_table(0),
+            e14_table(1.2),
+            e16_table(1.3),
+        ]);
         let err = check_results(&bad, None).unwrap_err();
         assert!(err.contains("E11 regression"), "{err}");
         assert!(
@@ -804,13 +866,48 @@ mod tests {
 
     #[test]
     fn e14_losing_its_throughput_win_fails_the_gate() {
-        let bad = doc(&[e10_table(&[("sim", 1.3)]), e11_table(1), e14_table(0.5)]);
+        let bad = doc(&[
+            e10_table(&[("sim", 1.3)]),
+            e11_table(1),
+            e14_table(0.5),
+            e16_table(1.3),
+        ]);
         let err = check_results(&bad, None).unwrap_err();
         assert!(err.contains("E14 regression"), "{err}");
         assert!(
             err.contains("0.50"),
             "the failure must print the offending metric value: {err}"
         );
+    }
+
+    #[test]
+    fn e16_losing_its_steal_win_fails_the_gate() {
+        let bad = doc(&[
+            e10_table(&[("sim", 1.3)]),
+            e11_table(1),
+            e14_table(1.2),
+            e16_table(0.8),
+        ]);
+        let err = check_results(&bad, None).unwrap_err();
+        assert!(err.contains("E16 regression"), "{err}");
+        assert!(
+            err.contains("0.80"),
+            "the failure must print the offending speedup: {err}"
+        );
+        // A table that dropped the work-stealing row entirely is also red.
+        let mut t = Table::new(
+            "E16: work stealing on an asymmetric farm",
+            &["variant", "steal_speedup"],
+        );
+        t.push_row(vec!["demand-driven".into(), "1.000".into()]);
+        let rowless = doc(&[
+            e10_table(&[("sim", 1.3)]),
+            e11_table(1),
+            e14_table(1.2),
+            table_json(&t),
+        ]);
+        let err = check_results(&rowless, None).unwrap_err();
+        assert!(err.contains("work-stealing row"), "{err}");
     }
 
     #[test]
@@ -826,6 +923,7 @@ mod tests {
             e10_table(&[("sim", 1.4)]),
             e11_table(1),
             e14_table(1.2),
+            e16_table(1.3),
             e12_table(rows),
         ]);
         check_results(&fresh, Some(&fresh)).unwrap();
@@ -836,6 +934,7 @@ mod tests {
             e10_table(&[("sim", 1.4)]),
             e11_table(1),
             e14_table(1.2),
+            e16_table(1.3),
             "{\"type\":\"table\",\"title\":\"E12: proc backend\",\
              \"headers\":[\"variant\",\"wire_bytes\"],\
              \"rows\":[[\"proc-spin\",\"2000\"]]}"
@@ -850,6 +949,7 @@ mod tests {
             e10_table(&[("sim", 1.4)]),
             e11_table(1),
             e14_table(1.2),
+            e16_table(1.3),
             e12_table(&[("proc-spin", 6.0, 2000.0, 0.40, 0.0)]),
         ]);
         let err = check_results(&bad, None).unwrap_err();
@@ -866,6 +966,7 @@ mod tests {
             e10_table(&[("sim", 1.4)]),
             e11_table(1),
             e14_table(1.2),
+            e16_table(1.3),
             e12_table(&[("proc-matmul", 6.0, 2600.0, 0.0002, 384.5)]),
         ]);
         let err = check_results(&bad, None).unwrap_err();
@@ -882,6 +983,7 @@ mod tests {
             e10_table(&[("sim", 1.4)]),
             e11_table(1),
             e14_table(1.2),
+            e16_table(1.3),
             e12_table(&[("proc-spin", 6.0, 1200.0, 0.0001, 0.0)]),
         ]);
         // Baseline: 200 bytes/unit → ceiling 200 × 1.5 + 256 = 556.  Fresh
@@ -890,6 +992,7 @@ mod tests {
             e10_table(&[("sim", 1.4)]),
             e11_table(1),
             e14_table(1.2),
+            e16_table(1.3),
             e12_table(&[("proc-spin", 6.0, 6000.0, 0.0001, 0.0)]),
         ]);
         let err = check_results(&fat, Some(&baseline)).unwrap_err();

@@ -217,6 +217,16 @@ impl AdaptationEngine {
         self.monitor.evaluations()
     }
 
+    /// Live per-node rank snapshot (executor mode): the mean of each node's
+    /// observations accumulated so far in the current monitoring interval,
+    /// in seconds per work unit, **without** evaluating or clearing the
+    /// window.  Work-stealing dispatchers read this mid-interval to weight
+    /// owner chunks and pick the slowest-ranked steal victim; nodes with no
+    /// observation yet are absent.
+    pub fn rank_snapshot(&self) -> Vec<(NodeId, f64)> {
+        self.monitor.recent_means()
+    }
+
     /// Recalibrations performed so far.
     pub fn recalibrations(&self) -> usize {
         self.recalibrations
@@ -555,6 +565,22 @@ mod tests {
         assert!(poll.directives.is_empty());
         assert!(!poll.verdict.recalibrate);
         assert_eq!(e.evaluations(), 1);
+    }
+
+    #[test]
+    fn rank_snapshot_reads_the_live_window_without_clearing_it() {
+        let mut e = AdaptationEngine::for_executors(&exec(1.0), &[1.0, 1.2], SimTime::ZERO);
+        assert!(e.rank_snapshot().is_empty());
+        e.observe(NodeId(0), 1.0);
+        e.observe(NodeId(0), 3.0);
+        e.observe(NodeId(1), 0.5);
+        let ranks = e.rank_snapshot();
+        assert_eq!(ranks, vec![(NodeId(0), 2.0), (NodeId(1), 0.5)]);
+        // Non-destructive: the interval evaluation still fires on the same
+        // observations afterwards.
+        let poll = e.poll(t(1.0)).unwrap();
+        assert_eq!(poll.verdict.per_node_mean, ranks);
+        assert!(e.rank_snapshot().is_empty(), "poll consumed the window");
     }
 
     #[test]

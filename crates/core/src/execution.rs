@@ -169,6 +169,18 @@ impl ExecutionMonitor {
         self.window.clear();
         self.last_evaluation = now;
     }
+
+    /// Per-node mean of the observations accumulated **so far this
+    /// interval**, without evaluating (the window is left intact, unlike
+    /// [`ExecutionMonitor::evaluate`]).  This is the live rank view the
+    /// work-stealing dispatcher uses mid-interval for victim selection;
+    /// nodes with no observation yet are absent.
+    pub fn recent_means(&self) -> Vec<(NodeId, f64)> {
+        self.window
+            .iter()
+            .filter_map(|(&n, times)| mean(times).map(|m| (n, m)))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -199,6 +211,23 @@ mod tests {
         assert!((v.min_time - 1.0).abs() < 1e-12);
         assert_eq!(v.per_node_mean.len(), 2);
         assert_eq!(m.evaluations(), 1);
+    }
+
+    #[test]
+    fn recent_means_are_non_destructive() {
+        let mut m = ExecutionMonitor::new(2.0, 1.0, 3.0);
+        assert!(m.recent_means().is_empty());
+        m.record(NodeId(0), 1.0);
+        m.record(NodeId(0), 3.0);
+        m.record(NodeId(1), 0.5);
+        let ranks = m.recent_means();
+        assert_eq!(ranks, vec![(NodeId(0), 2.0), (NodeId(1), 0.5)]);
+        // The window is untouched: the interval evaluation still sees the
+        // same observations afterwards.
+        assert_eq!(m.recent_means(), ranks);
+        let v = m.evaluate(t(1.0)).unwrap();
+        assert_eq!(v.per_node_mean, ranks);
+        assert!(m.recent_means().is_empty(), "evaluate clears the window");
     }
 
     #[test]

@@ -546,6 +546,16 @@ pub enum OutcomeDetail {
         /// gridmon registry from the workers' wall-clock per-work-unit
         /// observations.  All zeros when the adaptation engine was off.
         load_per_worker: Vec<f64>,
+        /// Steal attempts by idle workers (work-stealing policy only —
+        /// zero under every other scheduler; a chosen victim whose deque
+        /// drained first still counts as attempted).
+        steals_attempted: usize,
+        /// Steal attempts that actually moved a range between deques.
+        steals_completed: usize,
+        /// Task units moved between deques by completed steals — with the
+        /// attempt counters, the price sheet for E16's steal-overhead
+        /// accounting.
+        units_stolen: usize,
     },
     /// Thread-pipeline summary from the shared-memory backend.
     ThreadPipeline {
@@ -626,6 +636,13 @@ pub enum OutcomeDetail {
         workers: usize,
         /// Units this job completed per pool worker.
         tasks_per_worker: Vec<usize>,
+        /// Steal attempts during this job's dispatch round (work-stealing
+        /// rounds only; round-level, shared by every job in the batch).
+        steals_attempted: usize,
+        /// Steal attempts that moved units during this job's round.
+        steals_completed: usize,
+        /// Units moved between workers by steals during this job's round.
+        units_stolen: usize,
     },
 }
 

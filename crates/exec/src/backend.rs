@@ -32,7 +32,7 @@
 //! simulated load smooth wall-clock load (reported per worker in
 //! [`OutcomeDetail::ThreadFarm`]).
 
-use crate::farm::{ThreadFarm, WorkerGate};
+use crate::farm::{RankTable, ThreadFarm, WorkerGate};
 use crate::pipeline::ThreadPipeline;
 use grasp_core::adaptation::AdaptationLog;
 use grasp_core::config::ExecutionConfig;
@@ -242,6 +242,10 @@ struct ThreadAdaptation {
     engine: Mutex<AdaptationEngine>,
     clock: WallClock,
     gate: Arc<WorkerGate>,
+    /// Published per-worker calibration ranks: refreshed from the engine's
+    /// live window on every monitor flush, read lock-free by the farm's
+    /// work-stealing dispatch (owner chunk weighting, victim selection).
+    ranks: Arc<RankTable>,
     /// gridmon plumbing: per-worker wall observations → forecasters.
     registry: Mutex<MonitorRegistry>,
     /// Normalised times of the calibration prefix (arms the engine when
@@ -279,6 +283,7 @@ impl ThreadAdaptation {
             )),
             clock: WallClock::start(),
             gate: Arc::new(WorkerGate::new(workers)),
+            ranks: Arc::new(RankTable::new(workers)),
             registry: Mutex::new(MonitorRegistry::new(NodeId(0), 64)),
             calib: Mutex::new(Vec::with_capacity(calib_target)),
             calib_target: calib_target.max(1),
@@ -374,6 +379,12 @@ impl ThreadAdaptation {
             }
         }
         drop(registry);
+        // Publish the refreshed calibration ranks (the engine's live
+        // per-node means) before the evaluation clears the window, so the
+        // stealing dispatcher steers by this interval's observations.
+        for (node, mean) in engine.rank_snapshot() {
+            self.ranks.set(node.index(), mean);
+        }
         if let Some(poll) = engine.poll(now) {
             for directive in &poll.directives {
                 match directive {
@@ -535,7 +546,9 @@ impl Backend for ThreadBackend {
                     .with_max_task_attempts(self.max_task_attempts)
                     .with_worker_panic_budget(self.worker_panic_budget);
                 if let Some(driver) = &adaptation {
-                    farm = farm.with_gate(Arc::clone(&driver.gate));
+                    farm = farm
+                        .with_gate(Arc::clone(&driver.gate))
+                        .with_rank_table(Arc::clone(&driver.ranks));
                 }
                 let run_start = std::time::Instant::now();
                 // Declared work per worker: the outcome reports it so
@@ -604,6 +617,9 @@ impl Backend for ThreadBackend {
                         tasks_per_worker: stats.tasks_per_worker.clone(),
                         work_per_worker,
                         load_per_worker,
+                        steals_attempted: stats.steals_attempted,
+                        steals_completed: stats.steals_completed,
+                        units_stolen: stats.units_stolen,
                     },
                 })
             }

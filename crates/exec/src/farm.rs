@@ -25,6 +25,7 @@
 //! the dispatch hot path costs a handful of loads instead of locking every
 //! worker's history.
 
+use crate::deque::{StealDeque, MAX_RANGE};
 use grasp_core::error::GraspError;
 use grasp_core::SchedulePolicy;
 use parking_lot::Mutex;
@@ -32,6 +33,53 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Lock-free shared view of the adaptation engine's per-worker calibration
+/// ranks (mean per-unit execution times, seconds; lower = faster).
+///
+/// The adaptation layer publishes its latest rank snapshot here on every
+/// monitor flush; the farm's work-stealing mode reads it on the dispatch
+/// hot path — owner chunk sizes are weighted by `pool mean / my mean`, and
+/// thieves pick the *slowest*-ranked victim.  Entries are `f64` bits in
+/// atomics (`NaN` = no observation yet), so both sides stay lock-free.
+#[derive(Debug)]
+pub struct RankTable {
+    means: Vec<AtomicU64>,
+}
+
+impl RankTable {
+    /// A table for `workers` workers, all initially unranked.
+    pub fn new(workers: usize) -> Self {
+        RankTable {
+            means: (0..workers)
+                .map(|_| AtomicU64::new(f64::NAN.to_bits()))
+                .collect(),
+        }
+    }
+
+    /// Publish `worker`'s latest mean time (seconds).  Out-of-range ids and
+    /// non-positive / non-finite values are ignored.
+    pub fn set(&self, worker: usize, mean_s: f64) {
+        if mean_s.is_finite() && mean_s > 0.0 {
+            if let Some(m) = self.means.get(worker) {
+                m.store(mean_s.to_bits(), Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// `worker`'s latest published mean, `None` before its first rank.
+    pub fn get(&self, worker: usize) -> Option<f64> {
+        self.means
+            .get(worker)
+            .map(|m| f64::from_bits(m.load(Ordering::Relaxed)))
+            .filter(|v| v.is_finite() && *v > 0.0)
+    }
+
+    /// Number of workers the table covers.
+    pub fn workers(&self) -> usize {
+        self.means.len()
+    }
+}
 
 /// Shared per-worker demotion flags: the adaptation layer (the backend
 /// driving the shared `AdaptationEngine`) sets them, the farm's pull loop
@@ -142,6 +190,13 @@ pub struct FarmStats {
     /// Workers that stopped pulling after an external demotion through the
     /// [`WorkerGate`] (Algorithm 2's "drop the slow node", not a fault).
     pub workers_demoted: usize,
+    /// Steal attempts made by idle workers (work-stealing policy only; a
+    /// chosen victim whose deque drained first counts as attempted).
+    pub steals_attempted: usize,
+    /// Steal attempts that removed a non-empty range from a victim's deque.
+    pub steals_completed: usize,
+    /// Total task units moved between deques by completed steals.
+    pub units_stolen: usize,
 }
 
 impl FarmStats {
@@ -200,12 +255,15 @@ enum Job {
 }
 
 /// The shared dispensing state: a cursor over fresh tasks, the retry queue
-/// fed by caught panics, and the first permanently failed task (if any).
+/// fed by caught panics, the first permanently failed task (if any), and —
+/// in work-stealing mode — ranges drained from demoted or retired workers'
+/// deques awaiting re-circulation.
 struct Queue {
     next: usize,
     total: usize,
     retries: std::collections::VecDeque<(usize, usize)>,
     failed: Option<usize>,
+    reclaimed: std::collections::VecDeque<(usize, usize)>,
 }
 
 /// A shared-memory task farm.
@@ -217,6 +275,7 @@ pub struct ThreadFarm {
     max_task_attempts: usize,
     worker_panic_budget: usize,
     gate: Option<Arc<WorkerGate>>,
+    ranks: Option<Arc<RankTable>>,
 }
 
 impl Default for ThreadFarm {
@@ -239,6 +298,7 @@ impl ThreadFarm {
             max_task_attempts: 3,
             worker_panic_budget: 3,
             gate: None,
+            ranks: None,
         }
     }
 
@@ -253,6 +313,15 @@ impl ThreadFarm {
     /// Override the scheduling policy.
     pub fn with_policy(mut self, policy: SchedulePolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Attach a shared [`RankTable`] published by the adaptation layer.  The
+    /// work-stealing mode prefers these engine calibration ranks over the
+    /// farm-local running means for both owner chunk weighting and victim
+    /// selection; other policies ignore the table.
+    pub fn with_rank_table(mut self, ranks: Arc<RankTable>) -> Self {
+        self.ranks = Some(ranks);
         self
     }
 
@@ -346,6 +415,9 @@ impl ThreadFarm {
                     retried: 0,
                     workers_lost: 0,
                     workers_demoted: 0,
+                    steals_attempted: 0,
+                    steals_completed: 0,
+                    units_stolen: 0,
                 },
             ));
         }
@@ -357,6 +429,7 @@ impl ThreadFarm {
             total: n,
             retries: std::collections::VecDeque::new(),
             failed: None,
+            reclaimed: std::collections::VecDeque::new(),
         });
         let stats: Vec<WorkerStat> = (0..self.workers).map(|_| WorkerStat::default()).collect();
         let retried_total = AtomicUsize::new(0);
@@ -366,6 +439,17 @@ impl ThreadFarm {
         let active_workers = AtomicUsize::new(self.workers);
         let calibration_done = Mutex::new(Duration::ZERO);
         let initial_chunk = AtomicUsize::new(0);
+        // Lock-free mirrors of the queue's slow-path state, so the stealing
+        // owner fast path (pop own deque, execute) touches no lock at all.
+        // Both pending counters are bumped *before* the backing store they
+        // mirror is filled, so an idle worker's termination scan can never
+        // miss in-flight work (see the steal loop's exit arm).
+        let retries_pending = AtomicUsize::new(0);
+        let reclaimed_pending = AtomicUsize::new(0);
+        let failed_flag = AtomicBool::new(false);
+        let steals_attempted = AtomicUsize::new(0);
+        let steals_completed = AtomicUsize::new(0);
+        let units_stolen = AtomicUsize::new(0);
 
         let calib_samples = self.calibration_samples;
         let policy = self.policy;
@@ -373,6 +457,22 @@ impl ThreadFarm {
         let max_attempts = self.max_task_attempts;
         let panic_budget = self.worker_panic_budget;
         let gate = self.gate.as_deref();
+        let ranks = self.ranks.as_deref();
+
+        // Work-stealing mode: seed one deque per worker from a one-shot
+        // partition of the task range.  (Ranges beyond the packed 32-bit
+        // bound — far past any supported workload — fall back to the
+        // demand-driven queue.)
+        let steal_deques: Option<Vec<StealDeque>> =
+            if matches!(policy, SchedulePolicy::WorkStealing { .. }) && n <= MAX_RANGE {
+                Some(
+                    (0..workers)
+                        .map(|w| StealDeque::new(w * n / workers, (w + 1) * n / workers))
+                        .collect(),
+                )
+            } else {
+                None
+            };
 
         std::thread::scope(|scope| {
             for wid in 0..workers {
@@ -385,6 +485,13 @@ impl ThreadFarm {
                 let active_workers = &active_workers;
                 let calibration_done = &calibration_done;
                 let initial_chunk = &initial_chunk;
+                let retries_pending = &retries_pending;
+                let reclaimed_pending = &reclaimed_pending;
+                let failed_flag = &failed_flag;
+                let steals_attempted = &steals_attempted;
+                let steals_completed = &steals_completed;
+                let units_stolen = &units_stolen;
+                let steal_deques = steal_deques.as_deref();
                 let worker_fn = &worker;
                 scope.spawn(move || {
                     // Execute one task attempt, isolating panics.  Returns
@@ -407,8 +514,13 @@ impl ThreadFarm {
                                 let mut q = queue.lock();
                                 if attempt + 1 >= max_attempts {
                                     q.failed.get_or_insert(index);
+                                    failed_flag.store(true, Ordering::SeqCst);
                                     false
                                 } else {
+                                    // Counter before queue entry: a peer's
+                                    // termination scan must see the retry
+                                    // pending before it could see it queued.
+                                    retries_pending.fetch_add(1, Ordering::SeqCst);
                                     q.retries.push_back((index, attempt + 1));
                                     true
                                 }
@@ -443,6 +555,270 @@ impl ThreadFarm {
                         *retired = true;
                     };
                     let mut retired = false;
+
+                    // ============ work-stealing mode ============
+                    //
+                    // Each worker owns deques[wid], seeded with its slice of
+                    // the one-shot range partition.  The owner fast path —
+                    // rank-weighted pop from its own bottom — takes no lock
+                    // and allocates nothing; the queue lock is only touched
+                    // on the slow paths (retries, reclaimed ranges, faults).
+                    if let Some(deques) = steal_deques {
+                        let my_deque = &deques[wid];
+                        // Drain our own deque back into circulation (used on
+                        // demotion and retirement, so `conserves_units_of`
+                        // holds even when a worker leaves mid-partition).
+                        // The pending counter is bumped BEFORE the drain: a
+                        // peer that later sees this deque empty is thereby
+                        // guaranteed to also see the counter, so its
+                        // termination scan cannot strand the range.
+                        let drain_to_reclaimed = || {
+                            reclaimed_pending.fetch_add(1, Ordering::SeqCst);
+                            match my_deque.drain_all() {
+                                Some(range) => queue.lock().reclaimed.push_back(range),
+                                None => {
+                                    reclaimed_pending.fetch_sub(1, Ordering::SeqCst);
+                                }
+                            }
+                        };
+                        // Rank weight: prefer the engine's published
+                        // calibration ranks, fall back to the farm-local
+                        // atomic running means.  Either way: no locks.
+                        let rank_weight = || {
+                            let from_engine = ranks.and_then(|t| {
+                                let my = t.get(wid)?;
+                                let mut sum = 0.0;
+                                let mut k = 0usize;
+                                for v in 0..workers {
+                                    if let Some(m) = t.get(v) {
+                                        sum += m;
+                                        k += 1;
+                                    }
+                                }
+                                (k > 0).then(|| sum / k as f64 / my)
+                            });
+                            from_engine.unwrap_or_else(|| {
+                                let my_mean = stats[wid].mean_s().unwrap_or(0.0);
+                                let mut sum = 0.0;
+                                let mut k = 0usize;
+                                for s in stats.iter() {
+                                    if let Some(m) = s.mean_s() {
+                                        sum += m;
+                                        k += 1;
+                                    }
+                                }
+                                if my_mean > 0.0 && k > 0 {
+                                    (sum / k as f64) / my_mean
+                                } else {
+                                    1.0
+                                }
+                            })
+                        };
+
+                        // Calibration: probe tasks come from our own bottom.
+                        let calib_start = Instant::now();
+                        for _ in 0..calib_samples {
+                            if failed_flag.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            let Some((idx, _)) = my_deque.take_bottom(1) else {
+                                break;
+                            };
+                            if !exec_task(idx, 0) {
+                                break;
+                            }
+                            if should_retire() {
+                                drain_to_reclaimed();
+                                retire(&mut retired);
+                                break;
+                            }
+                        }
+                        if calib_samples > 0 {
+                            let elapsed = calib_start.elapsed();
+                            let mut cd = calibration_done.lock();
+                            if elapsed > *cd {
+                                *cd = elapsed;
+                            }
+                        }
+
+                        enum Slow {
+                            Retry { index: usize, attempt: usize },
+                            Range { start: usize, count: usize },
+                            Nothing,
+                        }
+                        'steal: while !retired {
+                            if failed_flag.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            // External demotion: drain our deque back into
+                            // circulation first, under the same progress
+                            // guards as the demand-driven loop.
+                            if gate.map(|g| g.is_demoted(wid)).unwrap_or(false)
+                                && queue.lock().retries.is_empty()
+                                && active_workers
+                                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |a| {
+                                        if a > 1 {
+                                            Some(a - 1)
+                                        } else {
+                                            None
+                                        }
+                                    })
+                                    .is_ok()
+                            {
+                                drain_to_reclaimed();
+                                workers_demoted.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            // Slow path first: panic retries, then ranges
+                            // reclaimed from departed workers.
+                            if retries_pending.load(Ordering::SeqCst) > 0
+                                || reclaimed_pending.load(Ordering::SeqCst) > 0
+                            {
+                                let slow = {
+                                    let mut q = queue.lock();
+                                    if q.failed.is_some() {
+                                        break;
+                                    }
+                                    if let Some((index, attempt)) = q.retries.pop_front() {
+                                        retries_pending.fetch_sub(1, Ordering::SeqCst);
+                                        Slow::Retry { index, attempt }
+                                    } else if let Some((start, count)) = q.reclaimed.pop_front() {
+                                        // Take one owner-sized bite; the rest
+                                        // goes back for the other workers.
+                                        let bite = policy.owner_chunk(count, workers, 1.0).max(1);
+                                        if bite < count {
+                                            q.reclaimed.push_back((start + bite, count - bite));
+                                        } else {
+                                            reclaimed_pending.fetch_sub(1, Ordering::SeqCst);
+                                        }
+                                        Slow::Range {
+                                            start,
+                                            count: bite.min(count),
+                                        }
+                                    } else {
+                                        Slow::Nothing
+                                    }
+                                };
+                                match slow {
+                                    Slow::Retry { index, attempt } => {
+                                        if !exec_task(index, attempt) {
+                                            break;
+                                        }
+                                        if should_retire() {
+                                            drain_to_reclaimed();
+                                            retire(&mut retired);
+                                        }
+                                        continue;
+                                    }
+                                    Slow::Range { start, count } => {
+                                        for idx in start..start + count {
+                                            if !exec_task(idx, 0) {
+                                                break 'steal;
+                                            }
+                                        }
+                                        if should_retire() {
+                                            drain_to_reclaimed();
+                                            retire(&mut retired);
+                                        }
+                                        continue;
+                                    }
+                                    Slow::Nothing => {}
+                                }
+                            }
+                            // Owner fast path: rank-weighted pop from our own
+                            // bottom.  Lock-free and allocation-free.
+                            let want = policy.owner_chunk(my_deque.len(), workers, rank_weight());
+                            if want > 0 {
+                                if let Some((start, count)) = my_deque.take_bottom(want) {
+                                    let _ = initial_chunk.compare_exchange(
+                                        0,
+                                        count,
+                                        Ordering::Relaxed,
+                                        Ordering::Relaxed,
+                                    );
+                                    for idx in start..start + count {
+                                        if !exec_task(idx, 0) {
+                                            break 'steal;
+                                        }
+                                    }
+                                    if should_retire() {
+                                        drain_to_reclaimed();
+                                        retire(&mut retired);
+                                    }
+                                    continue;
+                                }
+                            }
+                            // Steal phase: pick the slowest-ranked victim
+                            // with at least two tasks exposed (the lone last
+                            // task always stays with its owner); with no
+                            // ranks yet, the longest deque stands in.
+                            let mut victim: Option<(usize, usize, Option<f64>)> = None;
+                            for v in 0..workers {
+                                if v == wid {
+                                    continue;
+                                }
+                                let len = deques[v].len();
+                                if len < 2 {
+                                    continue;
+                                }
+                                let mean =
+                                    ranks.and_then(|t| t.get(v)).or_else(|| stats[v].mean_s());
+                                let better = match &victim {
+                                    None => true,
+                                    Some((_, best_len, best_mean)) => match (mean, best_mean) {
+                                        (Some(m), Some(b)) => {
+                                            m > *b || (m == *b && len > *best_len)
+                                        }
+                                        (Some(_), None) => true,
+                                        (None, Some(_)) => false,
+                                        (None, None) => len > *best_len,
+                                    },
+                                };
+                                if better {
+                                    victim = Some((v, len, mean));
+                                }
+                            }
+                            match victim {
+                                Some((v, _, _)) => {
+                                    steals_attempted.fetch_add(1, Ordering::Relaxed);
+                                    if let Some((start, count)) = deques[v].steal_top_half() {
+                                        steals_completed.fetch_add(1, Ordering::Relaxed);
+                                        units_stolen.fetch_add(count, Ordering::Relaxed);
+                                        for idx in start..start + count {
+                                            if !exec_task(idx, 0) {
+                                                break 'steal;
+                                            }
+                                        }
+                                        if should_retire() {
+                                            drain_to_reclaimed();
+                                            retire(&mut retired);
+                                        }
+                                    }
+                                    // A lost race (the victim drained its own
+                                    // deque first) just rescans.
+                                }
+                                None => {
+                                    // Nothing local, nothing stealable: done
+                                    // once no retries or reclaimed ranges are
+                                    // pending either.  Both counters are
+                                    // raised before their backing store
+                                    // drains/fills, so this unlocked scan
+                                    // cannot strand in-flight work; a task
+                                    // that panics later is requeued and
+                                    // finished by the panicking worker
+                                    // itself, which cannot be past this exit.
+                                    if my_deque.is_empty()
+                                        && retries_pending.load(Ordering::SeqCst) == 0
+                                        && reclaimed_pending.load(Ordering::SeqCst) == 0
+                                    {
+                                        break;
+                                    }
+                                    std::hint::spin_loop();
+                                }
+                            }
+                        }
+                        return;
+                    }
 
                     // ----------------- calibration pass -----------------
                     let calib_start = Instant::now();
@@ -524,6 +900,7 @@ impl ThreadFarm {
                                 break;
                             }
                             if let Some((index, attempt)) = q.retries.pop_front() {
+                                retries_pending.fetch_sub(1, Ordering::SeqCst);
                                 Job::Retry { index, attempt }
                             } else {
                                 let remaining = q.total - q.next;
@@ -606,6 +983,9 @@ impl ThreadFarm {
             retried: retried_total.load(Ordering::Relaxed),
             workers_lost: workers_lost.load(Ordering::Relaxed),
             workers_demoted: workers_demoted.load(Ordering::Relaxed),
+            steals_attempted: steals_attempted.load(Ordering::Relaxed),
+            steals_completed: steals_completed.load(Ordering::Relaxed),
+            units_stolen: units_stolen.load(Ordering::Relaxed),
         };
         Ok((output, stats))
     }
@@ -658,11 +1038,168 @@ mod tests {
             SchedulePolicy::Guided { min_chunk: 2 },
             SchedulePolicy::Factoring { factor: 0.5 },
             SchedulePolicy::AdaptiveWeighted { min_chunk: 1 },
+            SchedulePolicy::WorkStealing { min_chunk: 1 },
         ] {
             let farm = ThreadFarm::new(3).with_policy(policy);
             let (out, _) = farm.run(&items, |&x| spin_work(x % 64) ^ x);
             assert_eq!(out.len(), 300, "{policy:?}");
         }
+    }
+
+    #[test]
+    fn work_stealing_completes_and_preserves_order() {
+        let farm = ThreadFarm::new(4).with_policy(SchedulePolicy::WorkStealing { min_chunk: 1 });
+        let items: Vec<u64> = (0..500).collect();
+        let (out, stats) = farm.run(&items, |&x| x * 3);
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        assert_eq!(stats.tasks_per_worker.iter().sum::<usize>(), 500);
+        assert!(stats.steals_completed <= stats.steals_attempted);
+        assert_eq!(stats.panics, 0);
+    }
+
+    #[test]
+    fn stealing_rebalances_an_asymmetric_farm() {
+        // Worker 0 is ~50× slower per task: under one-shot partitioning it
+        // would hold a quarter of the range hostage, so thieves must visibly
+        // move units out of its deque.
+        let farm = ThreadFarm::new(4)
+            .with_policy(SchedulePolicy::WorkStealing { min_chunk: 1 })
+            .with_calibration_samples(1);
+        let items: Vec<u64> = (0..400).collect();
+        let (out, stats) = farm.run(&items, |&x| {
+            let w = if x < 100 { 60_000 } else { 1_200 };
+            spin_work(w) ^ x
+        });
+        assert_eq!(out.len(), 400);
+        assert!(
+            stats.steals_completed >= 1,
+            "no steals on an asymmetric farm: {stats:?}"
+        );
+        assert!(stats.units_stolen >= 1);
+        // The slow range's owner must have been relieved of part of its seed
+        // partition (100 tasks) by the fast workers.
+        assert!(
+            stats.tasks_per_worker.iter().sum::<usize>() == 400,
+            "conservation: {:?}",
+            stats.tasks_per_worker
+        );
+    }
+
+    #[test]
+    fn demoted_stealing_worker_drains_its_deque_back_into_circulation() {
+        let gate = Arc::new(WorkerGate::new(4));
+        gate.demote(0);
+        let farm = ThreadFarm::new(4)
+            .with_policy(SchedulePolicy::WorkStealing { min_chunk: 1 })
+            .with_calibration_samples(1)
+            .with_gate(Arc::clone(&gate));
+        let items: Vec<u64> = (0..200).collect();
+        let (out, stats) = farm.run(&items, |&x| x + 1);
+        assert_eq!(out.len(), 200, "demotion drain must not lose work");
+        assert_eq!(stats.workers_demoted, 1);
+        assert_eq!(stats.workers_lost, 0);
+        // The demoted worker executed at most its calibration probe; its
+        // seed partition (50 tasks) was drained or stolen, not stranded.
+        assert!(
+            stats.tasks_per_worker[0] <= 1,
+            "demoted worker kept pulling: {:?}",
+            stats.tasks_per_worker
+        );
+    }
+
+    #[test]
+    fn panicking_stealing_worker_retires_and_its_deque_is_reclaimed() {
+        // Worker-targeted transient faults: whoever executes the poisoned
+        // indices panics, and when a worker exhausts its budget and retires
+        // with seed tasks still in its deque, the drain must put them back
+        // into circulation.
+        let transient_faults = AtomicUsize::new(5);
+        let farm = ThreadFarm::new(4)
+            .with_policy(SchedulePolicy::WorkStealing { min_chunk: 1 })
+            .with_worker_panic_budget(1)
+            .with_max_task_attempts(10);
+        let items: Vec<u64> = (0..200).collect();
+        let (out, stats) = farm
+            .try_run(&items, |&x| {
+                if x % 4 == 0
+                    && transient_faults
+                        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+                        .is_ok()
+                {
+                    panic!("injected fault burst");
+                }
+                spin_work(x % 32) ^ x
+            })
+            .expect("fault burst must be survivable under stealing");
+        assert_eq!(out.len(), 200);
+        assert_eq!(stats.panics, 5);
+        assert!(stats.retried >= 1);
+        assert!(stats.workers_lost < 4);
+        assert_eq!(stats.tasks_per_worker.iter().sum::<usize>(), 200);
+    }
+
+    #[test]
+    fn work_stealing_persistent_panic_still_yields_a_typed_error() {
+        let farm = ThreadFarm::new(3)
+            .with_policy(SchedulePolicy::WorkStealing { min_chunk: 1 })
+            .with_max_task_attempts(2);
+        let items: Vec<u64> = (0..60).collect();
+        let err = farm
+            .try_run(&items, |&x| {
+                if x == 31 {
+                    panic!("permanently broken task");
+                }
+                x
+            })
+            .expect_err("a task failing every attempt must error");
+        match err {
+            GraspError::WorkerFailed { task, attempts } => {
+                assert_eq!(task, 31);
+                assert_eq!(attempts, 2);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rank_table_publishes_and_filters() {
+        let t = RankTable::new(3);
+        assert_eq!(t.workers(), 3);
+        assert_eq!(t.get(0), None, "unranked until first set");
+        t.set(0, 2.5e-3);
+        t.set(1, f64::NAN);
+        t.set(2, -1.0);
+        t.set(9, 1.0);
+        assert_eq!(t.get(0), Some(2.5e-3));
+        assert_eq!(t.get(1), None, "non-finite ranks are ignored");
+        assert_eq!(t.get(2), None, "non-positive ranks are ignored");
+        assert_eq!(t.get(9), None);
+    }
+
+    #[test]
+    fn rank_table_steers_victim_selection_toward_the_slow_worker() {
+        // Publish ranks marking worker 0 as the slowest before the run: the
+        // thieves should relieve it even though the farm-local stats start
+        // empty.
+        let ranks = Arc::new(RankTable::new(4));
+        ranks.set(0, 50e-3);
+        for w in 1..4 {
+            ranks.set(w, 1e-3);
+        }
+        let farm = ThreadFarm::new(4)
+            .with_policy(SchedulePolicy::WorkStealing { min_chunk: 1 })
+            .with_calibration_samples(0)
+            .with_rank_table(Arc::clone(&ranks));
+        let items: Vec<u64> = (0..400).collect();
+        let (out, stats) = farm.run(&items, |&x| {
+            let w = if x < 100 { 50_000 } else { 1_000 };
+            spin_work(w) ^ x
+        });
+        assert_eq!(out.len(), 400);
+        assert!(
+            stats.steals_completed >= 1,
+            "ranked slow worker was never relieved: {stats:?}"
+        );
     }
 
     #[test]

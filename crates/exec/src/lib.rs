@@ -34,11 +34,13 @@
 #![deny(unsafe_code)]
 
 pub mod backend;
+pub mod deque;
 pub mod farm;
 pub mod pipeline;
 pub mod pool;
 
 pub use backend::{spin, ThreadBackend};
-pub use farm::{FarmStats, ThreadFarm, WorkerGate};
+pub use deque::StealDeque;
+pub use farm::{FarmStats, RankTable, ThreadFarm, WorkerGate};
 pub use pipeline::{PipelineStats, ThreadPipeline};
 pub use pool::{PoolLease, RoundOutcome, WorkerPool};

@@ -22,6 +22,7 @@
 //! (the demotion hook for an adaptation engine driving the pool); the last
 //! active worker can never be deactivated, so a leased round always drains.
 
+use crate::deque::{StealDeque, MAX_RANGE};
 use grasp_core::error::GraspError;
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -29,12 +30,30 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+/// Work-stealing state of one round (present only for stealing rounds):
+/// per-worker deques over the pass's task positions, plus the reclaimed
+/// ranges of workers that left rotation mid-pass.
+struct StealState {
+    deques: Vec<StealDeque>,
+    /// Ranges drained from deactivated workers' deques, awaiting pickup.
+    reclaimed: Mutex<Vec<(usize, usize)>>,
+    /// Raised *before* a deque drains into `reclaimed`, so an idle worker's
+    /// termination scan (which reads the deques first) can never miss an
+    /// in-flight drain and strand its tasks.
+    reclaimed_pending: AtomicUsize,
+    steals_attempted: AtomicUsize,
+    steals_completed: AtomicUsize,
+    units_stolen: AtomicUsize,
+}
+
 /// One in-flight dispatch round: the shared cursor the workers pull from
 /// and the slots they deliver into.
 struct Round<T, R> {
     /// `(original index, task)` pairs for this attempt pass.
     tasks: Vec<(usize, T)>,
     cursor: AtomicUsize,
+    /// Work-stealing dispatch state; `None` = shared-cursor demand-driven.
+    steal: Option<StealState>,
     /// Delivered results, `(original index, result)`.
     results: Mutex<Vec<(usize, R)>>,
     /// Original indices whose handler panicked in this pass.
@@ -93,6 +112,13 @@ pub struct RoundOutcome<R> {
     pub attempts: Vec<usize>,
     /// Tasks completed per worker (successful attempts only).
     pub completed_per_worker: Vec<usize>,
+    /// Steal attempts across all passes (stealing rounds only; zero under
+    /// shared-cursor dispatch).
+    pub steals_attempted: usize,
+    /// Steal attempts that moved a non-empty range between deques.
+    pub steals_completed: usize,
+    /// Task units moved between workers by completed steals.
+    pub units_stolen: usize,
 }
 
 impl<T: Send + Sync + 'static, R: Send + 'static> WorkerPool<T, R> {
@@ -199,6 +225,35 @@ impl<T: Send + Sync + 'static, R: Send + 'static> PoolLease<'_, T, R> {
     where
         T: Clone,
     {
+        self.run_with(tasks, max_attempts, false)
+    }
+
+    /// [`PoolLease::run`] with work-stealing dispatch: each pass seeds one
+    /// deque per worker from a one-shot partition of the task positions,
+    /// workers pop from their own bottom, and an idle worker steals the top
+    /// half of the longest deque.  A worker taken out of rotation
+    /// mid-pass drains its deque back into circulation, so a round always
+    /// conserves its tasks.
+    pub fn run_stealing(
+        &self,
+        tasks: Vec<T>,
+        max_attempts: usize,
+    ) -> Result<RoundOutcome<R>, GraspError>
+    where
+        T: Clone,
+    {
+        self.run_with(tasks, max_attempts, true)
+    }
+
+    fn run_with(
+        &self,
+        tasks: Vec<T>,
+        max_attempts: usize,
+        steal: bool,
+    ) -> Result<RoundOutcome<R>, GraspError>
+    where
+        T: Clone,
+    {
         let shared = &self.pool.shared;
         let workers = self.pool.workers();
         let n = tasks.len();
@@ -207,14 +262,30 @@ impl<T: Send + Sync + 'static, R: Send + 'static> PoolLease<'_, T, R> {
         let mut attempts_per_task = vec![0usize; n];
         let mut panics = 0usize;
         let mut retried = 0usize;
+        let mut steals_attempted = 0usize;
+        let mut steals_completed = 0usize;
+        let mut units_stolen = 0usize;
         let max_attempts = max_attempts.max(1);
         let mut pass: Vec<(usize, T)> = tasks.into_iter().enumerate().collect();
         let mut attempt = 0usize;
         while !pass.is_empty() {
             attempt += 1;
+            let pass_len = pass.len();
             let round = Arc::new(Round {
                 tasks: pass,
                 cursor: AtomicUsize::new(0),
+                steal: (steal && pass_len <= MAX_RANGE).then(|| StealState {
+                    deques: (0..workers)
+                        .map(|w| {
+                            StealDeque::new(w * pass_len / workers, (w + 1) * pass_len / workers)
+                        })
+                        .collect(),
+                    reclaimed: Mutex::new(Vec::new()),
+                    reclaimed_pending: AtomicUsize::new(0),
+                    steals_attempted: AtomicUsize::new(0),
+                    steals_completed: AtomicUsize::new(0),
+                    units_stolen: AtomicUsize::new(0),
+                }),
                 results: Mutex::new(Vec::new()),
                 panicked: Mutex::new(Vec::new()),
                 per_worker: (0..workers).map(|_| AtomicUsize::new(0)).collect(),
@@ -248,6 +319,11 @@ impl<T: Send + Sync + 'static, R: Send + 'static> PoolLease<'_, T, R> {
             for (w, c) in round.per_worker.iter().enumerate() {
                 per_worker[w] += c.load(Ordering::Relaxed);
             }
+            if let Some(st) = &round.steal {
+                steals_attempted += st.steals_attempted.load(Ordering::Relaxed);
+                steals_completed += st.steals_completed.load(Ordering::Relaxed);
+                units_stolen += st.units_stolen.load(Ordering::Relaxed);
+            }
             let failed: Vec<usize> = round.panicked.lock().drain(..).collect();
             panics += failed.len();
             if let Some(&task) = failed.first() {
@@ -280,6 +356,9 @@ impl<T: Send + Sync + 'static, R: Send + 'static> PoolLease<'_, T, R> {
             retried,
             attempts: attempts_per_task,
             completed_per_worker: per_worker,
+            steals_attempted,
+            steals_completed,
+            units_stolen,
         })
     }
 }
@@ -306,20 +385,95 @@ fn worker_loop<T: Send + Sync, R: Send>(wid: usize, shared: Arc<Shared<T, R>>) {
                 shared.wake.wait(&mut state);
             }
         };
-        loop {
-            if !shared.active[wid].load(Ordering::Relaxed) {
-                break;
-            }
-            let i = round.cursor.fetch_add(1, Ordering::Relaxed);
-            let Some((idx, task)) = round.tasks.get(i) else {
-                break;
-            };
-            match catch_unwind(AssertUnwindSafe(|| (shared.handler)(wid, task))) {
-                Ok(r) => {
-                    round.results.lock().push((*idx, r));
-                    round.per_worker[wid].fetch_add(1, Ordering::Relaxed);
+        if let Some(st) = &round.steal {
+            let exec = |i: usize| {
+                let (idx, task) = &round.tasks[i];
+                match catch_unwind(AssertUnwindSafe(|| (shared.handler)(wid, task))) {
+                    Ok(r) => {
+                        round.results.lock().push((*idx, r));
+                        round.per_worker[wid].fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => round.panicked.lock().push(*idx),
                 }
-                Err(_) => round.panicked.lock().push(*idx),
+            };
+            loop {
+                if !shared.active[wid].load(Ordering::Relaxed) {
+                    // Raise the pending flag *before* draining so an idle
+                    // peer's termination scan (deques first, then the flag)
+                    // can never miss the in-flight hand-back.
+                    st.reclaimed_pending.fetch_add(1, Ordering::SeqCst);
+                    match st.deques[wid].drain_all() {
+                        Some((start, count)) => st.reclaimed.lock().push((start, count)),
+                        None => {
+                            st.reclaimed_pending.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    }
+                    break;
+                }
+                // Ranges handed back by deactivated workers come first.
+                let range = st.reclaimed.lock().pop();
+                if let Some((start, count)) = range {
+                    st.reclaimed_pending.fetch_sub(1, Ordering::SeqCst);
+                    for i in start..start + count {
+                        exec(i);
+                    }
+                    continue;
+                }
+                // Own-bottom fast path.
+                let len = st.deques[wid].len();
+                if len > 0 {
+                    if let Some((start, count)) = st.deques[wid].take_bottom((len / 4).max(1)) {
+                        for i in start..start + count {
+                            exec(i);
+                        }
+                        continue;
+                    }
+                }
+                // Steal the top half of the longest other deque.
+                let victim = (0..st.deques.len())
+                    .filter(|&v| v != wid)
+                    .map(|v| (st.deques[v].len(), v))
+                    .max();
+                if let Some((vlen, v)) = victim {
+                    if vlen >= 2 {
+                        st.steals_attempted.fetch_add(1, Ordering::Relaxed);
+                        if let Some((start, count)) = st.deques[v].steal_top_half() {
+                            st.steals_completed.fetch_add(1, Ordering::Relaxed);
+                            st.units_stolen.fetch_add(count, Ordering::Relaxed);
+                            for i in start..start + count {
+                                exec(i);
+                            }
+                        }
+                        continue;
+                    }
+                }
+                // Termination: every deque is completely empty (a demoted
+                // owner drains even a lone last task, so `len <= 1` is not
+                // enough) and no drained range awaits pickup.
+                if st.deques[wid].is_empty()
+                    && st.reclaimed_pending.load(Ordering::SeqCst) == 0
+                    && st.deques.iter().all(|d| d.is_empty())
+                {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        } else {
+            loop {
+                if !shared.active[wid].load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = round.cursor.fetch_add(1, Ordering::Relaxed);
+                let Some((idx, task)) = round.tasks.get(i) else {
+                    break;
+                };
+                match catch_unwind(AssertUnwindSafe(|| (shared.handler)(wid, task))) {
+                    Ok(r) => {
+                        round.results.lock().push((*idx, r));
+                        round.per_worker[wid].fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => round.panicked.lock().push(*idx),
+                }
             }
         }
         let mut finished = round.finished.lock();
@@ -422,5 +576,77 @@ mod tests {
         let pool: WorkerPool<usize, usize> = WorkerPool::start(2, |_w, &t| t);
         let out = pool.lease().run(Vec::new(), 3).unwrap();
         assert!(out.results.is_empty());
+    }
+
+    #[test]
+    fn stealing_rounds_complete_and_conserve_the_tasks() {
+        let pool: WorkerPool<u64, u64> = WorkerPool::start(4, |_w, &t| t * 2);
+        for _ in 0..3 {
+            let out = pool.lease().run_stealing((0..200).collect(), 3).unwrap();
+            assert_eq!(out.results, (0..200).map(|t| t * 2).collect::<Vec<_>>());
+            assert_eq!(out.completed_per_worker.iter().sum::<usize>(), 200);
+        }
+    }
+
+    #[test]
+    fn idle_workers_steal_from_a_loaded_deque() {
+        // Tasks in the first quarter (worker 0's seeded range) are far
+        // heavier, so the other workers drain their own deques and must
+        // steal to keep busy.
+        let pool: WorkerPool<usize, usize> = WorkerPool::start(4, |_w, &t| {
+            let spin = if t < 100 { 200_000u64 } else { 200 };
+            let mut acc = 0u64;
+            for i in 0..spin {
+                acc = acc.wrapping_add(i ^ acc.rotate_left(7));
+            }
+            std::hint::black_box(acc);
+            t
+        });
+        let out = pool.lease().run_stealing((0..400).collect(), 3).unwrap();
+        assert_eq!(out.results, (0..400).collect::<Vec<_>>());
+        assert!(out.steals_attempted >= out.steals_completed);
+        assert!(
+            out.steals_completed >= 1,
+            "no steals on an asymmetric round"
+        );
+        assert!(out.units_stolen >= 1);
+    }
+
+    #[test]
+    fn deactivated_worker_hands_its_deque_back_into_circulation() {
+        let pool: WorkerPool<usize, usize> = WorkerPool::start(4, |_w, &t| {
+            std::thread::sleep(std::time::Duration::from_micros(20));
+            t
+        });
+        assert!(pool.set_active(3, false));
+        let out = pool.lease().run_stealing((0..120).collect(), 3).unwrap();
+        assert_eq!(out.results, (0..120).collect::<Vec<_>>());
+        assert_eq!(out.completed_per_worker[3], 0, "demoted worker pulled");
+        assert_eq!(out.completed_per_worker.iter().sum::<usize>(), 120);
+    }
+
+    #[test]
+    fn stealing_rounds_retry_panicked_tasks_across_passes() {
+        let first = AtomicBool::new(true);
+        let pool: WorkerPool<usize, usize> = WorkerPool::start(3, move |_w, &t| {
+            if t == 11 && first.swap(false, Ordering::SeqCst) {
+                panic!("injected");
+            }
+            t
+        });
+        let out = pool.lease().run_stealing((0..60).collect(), 3).unwrap();
+        assert_eq!(out.results, (0..60).collect::<Vec<_>>());
+        assert_eq!(out.panics, 1);
+        assert_eq!(out.retried, 1);
+        assert_eq!(out.attempts[11], 2);
+    }
+
+    #[test]
+    fn demand_rounds_report_zero_steal_counters() {
+        let pool: WorkerPool<usize, usize> = WorkerPool::start(3, |_w, &t| t);
+        let out = pool.lease().run((0..30).collect(), 3).unwrap();
+        assert_eq!(out.steals_attempted, 0);
+        assert_eq!(out.steals_completed, 0);
+        assert_eq!(out.units_stolen, 0);
     }
 }

@@ -5,7 +5,7 @@ use crate::cache::{ProfileCache, ProfileCacheStats};
 use crate::job::{JobHandle, JobId, JobSpec};
 use grasp_core::prelude::{
     AdaptationDirective, AdaptationEngine, AdaptationLog, GraspConfig, GraspError, OutcomeDetail,
-    ResilienceReport, Skeleton, SkeletonOutcome, WallClock,
+    ResilienceReport, SchedulePolicy, Skeleton, SkeletonOutcome, WallClock,
 };
 use grasp_core::skeleton::UnitSpan;
 use grasp_exec::{spin, WorkerPool};
@@ -409,11 +409,18 @@ fn run_round(
         engine.calibrate(&reference, clock.now());
         *calibrated = true;
     }
-    // The dispatch round proper.
-    let round = match pool
-        .lease()
-        .run(unit_tasks.clone(), config.max_task_attempts)
-    {
+    // The dispatch round proper.  A work-stealing scheduler in the GRASP
+    // config selects deque dispatch on the resident pool; every other
+    // policy keeps the shared demand cursor.
+    let stealing = matches!(config.grasp.scheduler, SchedulePolicy::WorkStealing { .. });
+    let lease = pool.lease();
+    let dispatched = if stealing {
+        lease.run_stealing(unit_tasks.clone(), config.max_task_attempts)
+    } else {
+        lease.run(unit_tasks.clone(), config.max_task_attempts)
+    };
+    drop(lease);
+    let round = match dispatched {
         Ok(r) => r,
         Err(e) => {
             for job in jobs {
@@ -570,6 +577,9 @@ fn run_round(
                 profile_misses,
                 workers,
                 tasks_per_worker: per_worker,
+                steals_attempted: round.steals_attempted,
+                steals_completed: round.steals_completed,
+                units_stolen: round.units_stolen,
             },
         };
         let _ = adm.tx.send(Ok(outcome));
@@ -678,6 +688,34 @@ mod tests {
             }
         }
         assert_eq!(service.stats().rounds, 2, "three jobs, two rounds");
+    }
+
+    #[test]
+    fn a_work_stealing_service_conserves_units_and_reports_counters() {
+        let mut cfg = quick_config(3);
+        cfg.grasp.scheduler = SchedulePolicy::WorkStealing { min_chunk: 1 };
+        let service = GraspService::start(cfg);
+        let skeleton = farm(60, 1.0);
+        let outcome = service
+            .submit(skeleton.clone(), JobSpec::default())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(outcome.conserves_units_of(&skeleton));
+        match &outcome.detail {
+            OutcomeDetail::Service {
+                tasks_per_worker,
+                steals_attempted,
+                steals_completed,
+                units_stolen,
+                ..
+            } => {
+                assert_eq!(tasks_per_worker.iter().sum::<usize>(), 60);
+                assert!(steals_attempted >= steals_completed);
+                assert!(units_stolen >= steals_completed);
+            }
+            other => panic!("expected service detail, got {other:?}"),
+        }
     }
 
     #[test]

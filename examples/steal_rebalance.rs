@@ -1,0 +1,105 @@
+//! Work stealing rebalances an asymmetric multicore farm, end to end.
+//!
+//! ```console
+//! $ cargo run --release --example steal_rebalance
+//! ```
+//!
+//! One core of a four-worker farm is slowed 8x mid-run (after its
+//! calibration prefix), the way a shared grid node degrades when a
+//! competing job lands on it.  The same irregular farm runs twice:
+//!
+//! 1. **Demand-driven** (`Guided`) — workers pull chunks from a shared
+//!    queue.  A chunk handed to the slow core before the slowdown is
+//!    irrevocable: the farm waits on it.
+//! 2. **Work-stealing** (`WorkStealing`) — every worker owns a deque
+//!    seeded from a one-shot partition; idle workers steal the top half
+//!    of the most-loaded victim's deque, so the slow core's backlog is
+//!    redistributed instead of awaited.
+//!
+//! Demotion is disabled (`min_active_nodes = workers`) so the whole
+//! rebalancing credit belongs to the dispatch mechanism.  The cost metric
+//! is the weighted critical path — the slow worker's executed work counts
+//! 8x — which is schedule-determined, not wall-clock noise.
+
+use grasp_repro::grasp_core::prelude::*;
+use grasp_repro::grasp_core::SchedulePolicy;
+use grasp_repro::grasp_exec::ThreadBackend;
+
+const WORKERS: usize = 4;
+const SLOW_FACTOR: f64 = 8.0;
+
+/// Per-run summary pulled out of the `ThreadFarm` outcome detail.
+struct RunStats {
+    cost: f64,
+    tasks_per_worker: Vec<usize>,
+    steals_completed: usize,
+    units_stolen: usize,
+}
+
+fn run(scheduler: SchedulePolicy, skeleton: &Skeleton) -> RunStats {
+    let backend = ThreadBackend::new(WORKERS)
+        .with_spin_per_work_unit(30_000)
+        .with_worker_slowdown_injection(0, 8, SLOW_FACTOR);
+    let mut cfg = GraspConfig {
+        scheduler,
+        ..GraspConfig::default()
+    };
+    cfg.execution.adaptive = true;
+    cfg.execution.monitor_interval_s = 3e-3; // wall seconds
+    cfg.execution.min_active_nodes = WORKERS;
+    let report = Grasp::new(cfg)
+        .run(&backend, skeleton)
+        .expect("the asymmetric farm must complete");
+    assert!(report.outcome.conserves_units_of(skeleton));
+    match &report.outcome.detail {
+        OutcomeDetail::ThreadFarm {
+            work_per_worker,
+            tasks_per_worker,
+            steals_completed,
+            units_stolen,
+            ..
+        } => {
+            let slow = work_per_worker.first().copied().unwrap_or(0.0) * SLOW_FACTOR;
+            let fast = work_per_worker.iter().skip(1).copied().fold(0.0, f64::max);
+            RunStats {
+                cost: slow.max(fast),
+                tasks_per_worker: tasks_per_worker.clone(),
+                steals_completed: *steals_completed,
+                units_stolen: *units_stolen,
+            }
+        }
+        other => panic!("unexpected outcome detail {other:?}"),
+    }
+}
+
+fn main() {
+    // An irregular stream: per-unit work ramps 1x..21x, so late chunks are
+    // expensive and a backlog stranded on the slow core really hurts.
+    let n = 600;
+    let tasks: Vec<TaskSpec> = (0..n)
+        .map(|i| TaskSpec::new(i, 20.0 * (1.0 + 20.0 * i as f64 / n as f64), 0, 0))
+        .collect();
+    let skeleton = Skeleton::farm(tasks);
+
+    println!("== worker 0 slowed {SLOW_FACTOR}x after its calibration prefix ==");
+    let demand = run(SchedulePolicy::Guided { min_chunk: 1 }, &skeleton);
+    let steal = run(SchedulePolicy::WorkStealing { min_chunk: 1 }, &skeleton);
+
+    println!(
+        "demand-driven  weighted cost {:8.0}  tasks/worker {:?}",
+        demand.cost, demand.tasks_per_worker
+    );
+    println!(
+        "work-stealing  weighted cost {:8.0}  tasks/worker {:?}  \
+         steals {}  units moved {}",
+        steal.cost, steal.tasks_per_worker, steal.steals_completed, steal.units_stolen
+    );
+    println!(
+        "\nsteal speedup on the weighted critical path: {:.2}x",
+        demand.cost / steal.cost.max(1e-9)
+    );
+    assert!(
+        steal.steals_completed >= 1,
+        "thieves must move work off the slowed deque"
+    );
+}

@@ -181,6 +181,53 @@ fn thread_backend_with_injected_worker_panic_completes_and_reports_retries() {
 }
 
 #[test]
+fn work_stealing_farm_with_injected_panics_conserves_and_reports_recovery() {
+    // Steal-path fault coverage: with the work-stealing scheduler the farm
+    // dispatches through per-worker deques, so a panicking worker dies with
+    // a non-empty deque.  The demotion drain plus the retry pass must still
+    // complete every unit exactly once, and the recovery must be visible in
+    // the ResilienceReport alongside the new steal counters.
+    let skeleton = Skeleton::farm(TaskSpec::uniform(80, 2.0, 0, 0));
+    let backend = ThreadBackend::new(4)
+        .with_spin_per_work_unit(1)
+        .with_panic_injection(3)
+        .with_max_task_attempts(5);
+    let cfg = GraspConfig {
+        scheduler: SchedulePolicy::WorkStealing { min_chunk: 1 },
+        ..GraspConfig::default()
+    };
+    let report = Grasp::new(cfg)
+        .run(&backend, &skeleton)
+        .expect("injected panics on the stealing farm must be survived");
+    assert_eq!(report.outcome.completed, 80);
+    assert!(report.outcome.conserves_units_of(&skeleton));
+    assert!(
+        report.outcome.resilience.retried_tasks > 0,
+        "recovery must be visible in the outcome: {:?}",
+        report.outcome.resilience
+    );
+    assert!(report.outcome.resilience.requeued_tasks >= report.outcome.resilience.retried_tasks);
+    match &report.outcome.detail {
+        OutcomeDetail::ThreadFarm {
+            tasks_per_worker,
+            steals_attempted,
+            steals_completed,
+            units_stolen,
+            ..
+        } => {
+            assert_eq!(tasks_per_worker.iter().sum::<usize>(), 80);
+            assert!(
+                steals_attempted >= steals_completed,
+                "completed steals are a subset of attempts: {steals_attempted} < {steals_completed}"
+            );
+            // Every completed steal moved at least one unit.
+            assert!(units_stolen >= steals_completed);
+        }
+        other => panic!("unexpected detail {other:?}"),
+    }
+}
+
+#[test]
 fn injected_slowdown_worker_is_demoted_through_the_shared_engine() {
     // The acceptance check of the backend-neutral adaptation engine: the
     // SAME monitor→threshold→recalibrate loop that steers the simulated

@@ -187,6 +187,40 @@ fn proc_backend_survives_a_hard_killed_worker_and_conserves_units() {
 }
 
 #[test]
+fn work_stealing_config_survives_a_hard_killed_proc_worker() {
+    // The stealing policy's config must flow through the proc master intact:
+    // on this backend `WorkStealing` degrades to its demand-driven chunk
+    // formula (there are no shared deques across a process boundary), and a
+    // SIGKILLed worker with outstanding units must still feed the same
+    // requeue path — conservation and the ResilienceReport hold exactly as
+    // under the default policy.
+    use grasp_repro::grasp_core::SchedulePolicy;
+    let skeleton = Skeleton::farm(TaskSpec::uniform(40, 2.0, 0, 0));
+    let backend = proc_backend(3)
+        .with_spin_per_work_unit(2_000_000)
+        .with_kill_injection(1, 2);
+    let cfg = GraspConfig {
+        scheduler: SchedulePolicy::WorkStealing { min_chunk: 1 },
+        ..GraspConfig::default()
+    };
+    let report = Grasp::new(cfg)
+        .run(&backend, &skeleton)
+        .expect("a hard-killed worker under the stealing policy must not fail the run");
+    assert_eq!(report.outcome.completed, 40);
+    assert!(report.outcome.conserves_units_of(&skeleton));
+    assert!(
+        report.outcome.resilience.nodes_lost >= 1,
+        "the kill must be accounted as a lost node: {:?}",
+        report.outcome.resilience
+    );
+    assert!(
+        report.outcome.resilience.requeued_tasks >= 1,
+        "in-flight units of the victim must be requeued: {:?}",
+        report.outcome.resilience
+    );
+}
+
+#[test]
 fn shm_transport_computes_real_kernels_with_matching_digests() {
     // The shared-memory ring is a drop-in transport: the same serialized
     // matmul bands cross it, the same digests come back, and the wire

@@ -162,6 +162,7 @@ proptest! {
             SchedulePolicy::Guided { min_chunk: chunk },
             SchedulePolicy::Factoring { factor },
             SchedulePolicy::AdaptiveWeighted { min_chunk: chunk },
+            SchedulePolicy::WorkStealing { min_chunk: chunk },
         ];
         for p in policies {
             // Total-less view: the dynamic policies ignore the job total, so
@@ -170,6 +171,80 @@ proptest! {
             let c = p.next_chunk_with_total(remaining, remaining, workers, weight);
             prop_assert!(c >= 1 && c <= remaining, "{:?} gave {}", p, c);
         }
+    }
+
+    /// Every policy drains any job: chunks never go to zero while work
+    /// remains (liveness), and the handed-out chunks sum exactly to the
+    /// total (conservation).
+    #[test]
+    fn scheduler_drains_and_conserves(
+        total in 1usize..5_000,
+        workers in 1usize..64,
+        weight in 0.01f64..20.0,
+        chunk in 1usize..64,
+        factor in 0.01f64..1.0,
+    ) {
+        let policies = [
+            SchedulePolicy::StaticBlock,
+            SchedulePolicy::SelfScheduling,
+            SchedulePolicy::FixedChunk { chunk },
+            SchedulePolicy::Guided { min_chunk: chunk },
+            SchedulePolicy::Factoring { factor },
+            SchedulePolicy::AdaptiveWeighted { min_chunk: chunk },
+            SchedulePolicy::WorkStealing { min_chunk: chunk },
+        ];
+        for p in policies {
+            let mut remaining = total;
+            let mut handed = 0usize;
+            let mut rounds = 0usize;
+            while remaining > 0 {
+                let c = p.next_chunk_with_total(remaining, total, workers, weight);
+                prop_assert!(c >= 1 && c <= remaining, "{:?} gave {} of {}", p, c, remaining);
+                remaining -= c;
+                handed += c;
+                rounds += 1;
+                prop_assert!(rounds <= total, "{:?} failed to make progress", p);
+            }
+            prop_assert_eq!(handed, total);
+        }
+    }
+
+    /// The work-stealing owner/thief protocol partitions any seeded range
+    /// exactly, for any interleaving of owner bites and top-half steals:
+    /// neither side hands out zero while work remains, and the pieces sum
+    /// to the range length.
+    #[test]
+    fn work_stealing_owner_and_thief_conserve_the_range(
+        len in 1usize..5_000,
+        workers in 1usize..64,
+        weight in 0.0f64..20.0,
+        chunk in 1usize..64,
+        interleave in any::<u64>(),
+    ) {
+        let policy = SchedulePolicy::WorkStealing { min_chunk: chunk };
+        let mut remaining = len;
+        let mut handed = 0usize;
+        let mut turn = interleave;
+        while remaining > 0 {
+            // A pseudo-random interleaving of thief and owner turns; a
+            // thief's share is 0 on a lone last task, which the owner then
+            // takes (the protocol's liveness guarantee).
+            let steal_turn = turn & 1 == 1;
+            turn = turn.rotate_right(1) ^ 0x9e37_79b9_7f4a_7c15;
+            let c = if steal_turn {
+                SchedulePolicy::steal_share(remaining)
+            } else {
+                policy.owner_chunk(remaining, workers, weight)
+            };
+            if c == 0 {
+                prop_assert!(steal_turn && remaining == 1, "owner gave 0 of {}", remaining);
+                continue;
+            }
+            prop_assert!(c <= remaining);
+            remaining -= c;
+            handed += c;
+        }
+        prop_assert_eq!(handed, len);
     }
 
     /// Thresholds grow monotonically with the factor and never fall below the

@@ -12,6 +12,8 @@
 use allocation_counter::measure;
 use grasp_repro::grasp_core::transport::Acceptor;
 use grasp_repro::grasp_core::wire::{FrameView, WireMsg, PAYLOAD_SPIN};
+use grasp_repro::grasp_core::SchedulePolicy;
+use grasp_repro::grasp_exec::StealDeque;
 use grasp_repro::grasp_net::LoopbackNet;
 
 #[test]
@@ -73,6 +75,72 @@ fn steady_state_frame_receive_and_decode_allocates_nothing() {
         info.count_total, 0,
         "steady-state recv_view must not touch the heap, but allocated \
          {} times ({} bytes) over {MEASURED} frames: {info:?}",
+        info.count_total, info.bytes_total
+    );
+}
+
+#[test]
+fn steady_state_work_stealing_dispatch_allocates_nothing() {
+    // The work-stealing scheduler exists to cut dispatch overhead on hot
+    // farms, so its steady-state owner path must stay off the heap: sizing
+    // a chunk (`owner_chunk`), claiming it (`take_bottom`), and a thief's
+    // `steal_top_half` are each one CAS on a packed word.  The whole drain
+    // loop below — owner bites interleaved with steals until four deques
+    // are empty — must therefore perform **zero** allocations.
+    const WORKERS: usize = 4;
+    const RANGE: usize = 4_096;
+    let policy = SchedulePolicy::WorkStealing { min_chunk: 1 };
+
+    let drain = |deques: &[StealDeque]| -> usize {
+        let mut claimed = 0;
+        loop {
+            let mut progress = false;
+            for w in 0..deques.len() {
+                let len = deques[w].len();
+                if len > 0 {
+                    // Owner bite, sized by the calibration-weighted formula
+                    // (weight 1.0 = an unranked, healthy worker).
+                    let want = policy.owner_chunk(len, WORKERS, 1.0);
+                    if let Some((_, count)) = deques[w].take_bottom(want) {
+                        claimed += count;
+                        progress = true;
+                    }
+                }
+                // An idle peer steals the top half of the longest deque.
+                let victim = (w + 1) % deques.len();
+                if let Some((_, count)) = deques[victim].steal_top_half() {
+                    claimed += count;
+                    progress = true;
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+        claimed
+    };
+
+    let seed = || -> Vec<StealDeque> {
+        (0..WORKERS)
+            .map(|w| StealDeque::new(w * RANGE / WORKERS, (w + 1) * RANGE / WORKERS))
+            .collect()
+    };
+
+    // Warmup pass: one full drain outside the measurement window.
+    assert_eq!(drain(&seed()), RANGE);
+
+    // Steady state: the deques are seeded ahead of the window (seeding
+    // allocates the Vec of deques, dispatch must not allocate anything).
+    let deques = seed();
+    let mut claimed = 0;
+    let info = measure(|| {
+        claimed = drain(&deques);
+    });
+    assert_eq!(claimed, RANGE, "the drain loop must claim every index");
+    assert_eq!(
+        info.count_total, 0,
+        "steady-state owner/thief dispatch must not touch the heap, but \
+         allocated {} times ({} bytes) over {RANGE} tasks: {info:?}",
         info.count_total, info.bytes_total
     );
 }
