@@ -1,5 +1,6 @@
 //! Criterion bench: the real-thread shared-memory backend (farm + pipeline).
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grasp_core::config::BackendConfig;
 use grasp_core::SchedulePolicy;
 use grasp_exec::{ThreadFarm, ThreadPipeline};
 use grasp_workloads::mandelbrot::MandelbrotJob;
@@ -76,7 +77,8 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::new("farm_of_pipelines_workers", workers),
             &workers,
             |b, &w| {
-                let backend = ThreadBackend::new(w).with_spin_per_work_unit(200);
+                let backend =
+                    ThreadBackend::new(w).with_config(BackendConfig::new().spin_per_work_unit(200));
                 let grasp = Grasp::new(GraspConfig::default());
                 b.iter(|| grasp.run(&backend, &nested).unwrap())
             },

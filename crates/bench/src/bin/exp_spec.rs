@@ -1,0 +1,12 @@
+//! E17 at paper scale: tail speculation vs none on the Time-Warp
+//! transaction farm with a slowed worker (see
+//! `experiments::e17_speculation`).
+//!
+//! `cargo run --release -p grasp-bench --bin exp_spec`
+
+use grasp_bench::experiments::e17_speculation;
+use grasp_bench::format_table;
+
+fn main() {
+    println!("{}", format_table(&e17_speculation(16, 25.0)));
+}

@@ -1,4 +1,4 @@
-//! Run every experiment (E1–E16) and print all tables/series, additionally
+//! Run every experiment (E1–E17) and print all tables/series, additionally
 //! emitting a machine-readable `BENCH_results.json` so the performance
 //! trajectory can be tracked across commits without parsing text tables.
 //!
@@ -51,6 +51,7 @@ struct Scale {
     e14: (usize, usize),
     e15: (usize, usize),
     e16: (usize, f64),
+    e17: (usize, f64),
 }
 
 /// Paper scale: the numbers the committed experiment tables use.
@@ -71,6 +72,7 @@ const PAPER: Scale = Scale {
     e14: (60, 8),
     e15: (4_096, 2_000_000),
     e16: (2_400, 8.0),
+    e17: (16, 25.0),
 };
 
 /// Smoke scale: every experiment at a size that finishes in seconds.
@@ -93,6 +95,7 @@ const SMOKE: Scale = Scale {
     // of nodes, a million units.
     e15: (2_048, 1_000_000),
     e16: (240, 8.0),
+    e17: (12, 25.0),
 };
 
 /// Collects printed experiment results and their JSON renderings.
@@ -253,6 +256,9 @@ fn main() {
     });
     out.experiment("E16", |out| {
         out.table(&e16_steal_rebalance(scale.e16.0, scale.e16.1));
+    });
+    out.experiment("E17", |out| {
+        out.table(&e17_speculation(scale.e17.0, scale.e17.1));
     });
 
     out.write(&json_path);

@@ -1,4 +1,4 @@
-//! The experiments of DESIGN.md's index (E1–E16), as reusable functions.
+//! The experiments of DESIGN.md's index (E1–E17), as reusable functions.
 //!
 //! Each function runs one experiment at a caller-chosen scale and returns a
 //! [`Table`] and/or [`Series`] ready to print.  The `exp_*` binaries call
@@ -19,7 +19,7 @@ use grasp_net::{LoopbackNet, NetBackend};
 use grasp_proc::ProcBackend;
 use grasp_service::{GraspService, JobSpec, ServiceConfig};
 use grasp_workloads::matmul::MatMulJob;
-use grasp_workloads::ServiceMixJob;
+use grasp_workloads::{ServiceMixJob, TranSimJob};
 use gridmon::{
     mean_absolute_error, AdaptiveForecaster, Ar1Forecaster, ExponentialSmoothing, Forecaster,
     LastValue, RunningMean, SlidingWindowMean, SlidingWindowMedian,
@@ -555,11 +555,13 @@ pub fn e10_churn(
             // likewise the panic budget, so no worker retires — which worker
             // happens to absorb the injections is scheduler luck, and
             // retirement would fold that luck into the balance comparison.
-            let backend = ThreadBackend::new(4)
-                .with_spin_per_work_unit(20_000)
-                .with_max_task_attempts(injected + 2)
-                .with_worker_panic_budget(injected + 1)
-                .with_panic_injection(injected);
+            let backend = ThreadBackend::new(4).with_config(
+                BackendConfig::new()
+                    .spin_per_work_unit(20_000)
+                    .max_task_attempts(injected + 2)
+                    .worker_panic_budget(injected + 1)
+                    .faults(FaultInjection::none().panics(injected)),
+            );
             Grasp::new(config)
                 .run(&backend, &skeleton)
                 .expect("thread churn run failed (injection below the retry budget)")
@@ -643,9 +645,11 @@ pub fn e11_thread_slowdown(tasks_n: usize, slow_factor: f64) -> Table {
     );
     let skeleton = Skeleton::farm(TaskSpec::uniform(tasks_n, 1.0, 0, 0));
     let run = |engine_on: bool| {
-        let backend = ThreadBackend::new(4)
-            .with_spin_per_work_unit(30_000)
-            .with_worker_slowdown_injection(0, 8, slow_factor);
+        let backend = ThreadBackend::new(4).with_config(
+            BackendConfig::new()
+                .spin_per_work_unit(30_000)
+                .faults(FaultInjection::none().worker_slowdown(0, 8, slow_factor)),
+        );
         let mut cfg = GraspConfig {
             scheduler: SchedulePolicy::SelfScheduling,
             ..GraspConfig::default()
@@ -757,14 +761,14 @@ pub fn e12_proc_backend(matmul_n: usize, block_rows: usize) -> Table {
     let grasp = Grasp::new(GraspConfig::default());
     let threads = grasp
         .run(
-            &ThreadBackend::new(4).with_spin_per_work_unit(spin),
+            &ThreadBackend::new(4).with_config(BackendConfig::new().spin_per_work_unit(spin)),
             &skeleton,
         )
         .expect("thread matmul run failed");
     push("threads", &threads.outcome);
     let proc_spin = grasp
         .run(
-            &ProcBackend::new(4).with_spin_per_work_unit(spin),
+            &ProcBackend::new(4).with_config(BackendConfig::new().spin_per_work_unit(spin)),
             &skeleton,
         )
         .expect("proc (spin) run failed — build grasp-proc-worker (cargo build) first");
@@ -818,9 +822,11 @@ pub fn e13_net_membership(tasks_n: usize, pool: usize) -> Table {
 
     let mut run = |name: &str, wait_for: usize, grow: bool| {
         let (net, acceptor) = LoopbackNet::new();
-        let mut backend = NetBackend::over(Box::new(acceptor), wait_for)
-            .with_heartbeat(0.0, 1.0)
-            .with_spin_per_work_unit(20_000);
+        let mut backend = NetBackend::over(Box::new(acceptor), wait_for).with_config(
+            BackendConfig::new()
+                .heartbeat(0.0, 1.0)
+                .spin_per_work_unit(20_000),
+        );
         if grow {
             backend = backend
                 .with_hold_joins_until(hold_until)
@@ -948,7 +954,8 @@ pub fn e14_service(jobs: usize, workers: usize) -> Table {
     let mut spinup_latencies = Vec::with_capacity(jobs);
     for a in &arrivals {
         pace(spinup_epoch, a.arrival_s);
-        let backend = ThreadBackend::new(workers).with_spin_per_work_unit(spin);
+        let backend =
+            ThreadBackend::new(workers).with_config(BackendConfig::new().spin_per_work_unit(spin));
         let report = Grasp::new(GraspConfig::default())
             .run(&backend, &a.skeleton)
             .expect("per-job spin-up run failed");
@@ -1138,9 +1145,11 @@ pub fn e16_steal_rebalance(tasks_n: usize, slow_factor: f64) -> Table {
         ],
     );
     let run = |scheduler: SchedulePolicy| {
-        let backend = ThreadBackend::new(workers)
-            .with_spin_per_work_unit(30_000)
-            .with_worker_slowdown_injection(0, 8, slow_factor);
+        let backend = ThreadBackend::new(workers).with_config(
+            BackendConfig::new()
+                .spin_per_work_unit(30_000)
+                .faults(FaultInjection::none().worker_slowdown(0, 8, slow_factor)),
+        );
         let mut cfg = GraspConfig {
             scheduler,
             ..GraspConfig::default()
@@ -1223,6 +1232,138 @@ pub fn e16_steal_rebalance(tasks_n: usize, slow_factor: f64) -> Table {
         completed.to_string(),
         stolen.to_string(),
         format!("{:.3}", d / w.max(1e-9)),
+    ]);
+    table
+}
+
+/// E17 — tail speculation on the Time-Warp transaction farm.
+///
+/// The straggler scenario the adaptive loop alone cannot fix: near the end
+/// of a farm run the only work left is already in flight on a degraded
+/// worker, and every healthy worker idles behind it — demotion is useless
+/// (the unit is claimed) and rebalancing has nothing left to move.  With
+/// `speculate_tail_fraction > 0` the engine lets an idle worker duplicate
+/// such an in-flight unit; the first result wins, the loser is discarded
+/// unrecorded.  The workload is the optimistic transaction simulation:
+/// declared work = the partition's exact processed-event count (rollback
+/// re-executions included), so rollback-heavy partitions are genuinely
+/// bigger tasks and whichever of them the slowed worker holds is the
+/// classic tail straggler.
+///
+/// Scored like E16 by the rep-averaged weighted critical path (worker 0's
+/// credited work counts `slow_factor`×) rather than wall-clock: first-wins
+/// accounting credits each unit to the worker whose result landed, so a
+/// speculation win moves the superseded tail unit's cost off the slowed
+/// worker — the path shortens by exactly what the duplicate saved.
+/// Demotion is blocked (`min_active_nodes = workers`) so the comparison
+/// isolates speculation from the engine's other remedies.
+///
+/// The farm is deliberately small (a few large partitions per worker) and
+/// worker 0 is slowed from its very first unit: under self-scheduling it
+/// then claims exactly one task for the whole run, so the no-speculation
+/// path is dominated by that single `slow_factor`-amplified unit while the
+/// speculative run supersedes it — the signal is the whole straggler task,
+/// not a noise-sized reallocation.
+pub fn e17_speculation(partitions: usize, slow_factor: f64) -> Table {
+    let workers = 4usize;
+    let job = TranSimJob {
+        partitions,
+        ..TranSimJob::default()
+    };
+    let skeleton = Skeleton::farm(job.as_tasks(40.0));
+    let mut table = Table::new(
+        format!(
+            "E17: tail speculation on the Time-Warp transaction farm \
+             ({partitions} partitions, worker 0 slowed {slow_factor}x)"
+        ),
+        &[
+            "variant",
+            "cost",
+            "slow_worker_work",
+            "speculated_units",
+            "speculation_wins",
+            "spec_tail_speedup",
+        ],
+    );
+    let run = |tail_fraction: f64| {
+        let backend = ThreadBackend::new(workers).with_config(
+            BackendConfig::new()
+                .spin_per_work_unit(30_000)
+                .faults(FaultInjection::none().worker_slowdown(0, 0, slow_factor)),
+        );
+        let mut cfg = GraspConfig {
+            scheduler: SchedulePolicy::SelfScheduling,
+            ..GraspConfig::default()
+        };
+        cfg.execution.adaptive = true;
+        cfg.execution.monitor_interval_s = 3e-3; // wall seconds
+        cfg.execution.min_active_nodes = workers;
+        cfg.execution.speculate_tail_fraction = tail_fraction;
+        let report = Grasp::new(cfg)
+            .run(&backend, &skeleton)
+            .expect("speculation experiment run failed");
+        assert!(
+            report.outcome.conserves_units_of(&skeleton),
+            "first-result-wins must conserve the unit set"
+        );
+        report
+    };
+    // Weighted critical path: worker 0's credited work counts slow_factor×.
+    let cost_of = |outcome: &SkeletonOutcome| match &outcome.detail {
+        OutcomeDetail::ThreadFarm {
+            work_per_worker, ..
+        } => {
+            let slow = work_per_worker.first().copied().unwrap_or(0.0) * slow_factor;
+            let fast = work_per_worker.iter().skip(1).copied().fold(0.0, f64::max);
+            slow.max(fast)
+        }
+        _ => outcome.makespan_s,
+    };
+    let slow_work_of = |outcome: &SkeletonOutcome| match &outcome.detail {
+        OutcomeDetail::ThreadFarm {
+            work_per_worker, ..
+        } => work_per_worker.first().copied().unwrap_or(0.0),
+        _ => 0.0,
+    };
+    // Average over repetitions: which task the slowed worker holds at the
+    // tail is a thread race, and a single run can land it kindly.
+    const REPS: usize = 3;
+    let mut plain_cost = 0.0;
+    let mut spec_cost = 0.0;
+    let mut plain_slow_work = 0.0;
+    let mut spec_slow_work = 0.0;
+    let mut speculated = 0usize;
+    let mut wins = 0usize;
+    for _ in 0..REPS {
+        let plain = run(0.0);
+        let spec = run(0.25);
+        assert!(
+            plain.outcome.resilience.speculated_units == 0,
+            "a zero tail fraction must never speculate"
+        );
+        plain_cost += cost_of(&plain.outcome);
+        spec_cost += cost_of(&spec.outcome);
+        plain_slow_work += slow_work_of(&plain.outcome);
+        spec_slow_work += slow_work_of(&spec.outcome);
+        speculated += spec.outcome.resilience.speculated_units;
+        wins += spec.outcome.resilience.speculation_wins;
+    }
+    let (p, s) = (plain_cost / REPS as f64, spec_cost / REPS as f64);
+    table.push_row(vec![
+        "no-speculation".into(),
+        format!("{p:.0}"),
+        format!("{:.0}", plain_slow_work / REPS as f64),
+        "0".into(),
+        "0".into(),
+        "1.000".into(),
+    ]);
+    table.push_row(vec![
+        "speculation".into(),
+        format!("{s:.0}"),
+        format!("{:.0}", spec_slow_work / REPS as f64),
+        speculated.to_string(),
+        wins.to_string(),
+        format!("{:.3}", p / s.max(1e-9)),
     ]);
     table
 }
@@ -1594,6 +1735,31 @@ mod tests {
         assert!(
             speedup > 1.0,
             "work stealing must beat demand-driven on the asymmetric farm: {speedup}"
+        );
+    }
+
+    #[test]
+    fn e17_speculation_absorbs_the_tail_straggler() {
+        let table = e17_speculation(12, 25.0);
+        assert_eq!(table.len(), 2);
+        let plain = &table.rows[0];
+        let spec = &table.rows[1];
+        assert_eq!(plain[0], "no-speculation");
+        assert_eq!(spec[0], "speculation");
+        // Duplicates must actually launch and at least one must win the
+        // race against the 25x-slowed straggler (summed across reps).
+        let speculated: usize = spec[3].parse().unwrap();
+        let wins: usize = spec[4].parse().unwrap();
+        assert!(speculated >= 1, "no duplicates launched: {spec:?}");
+        assert!(wins >= 1, "no speculation win recorded: {spec:?}");
+        assert!(speculated >= wins, "wins cannot exceed launches");
+        // The headline claim: first-result-wins moves the superseded tail
+        // units off the slowed worker, so the weighted critical path must
+        // not lose to the no-speculation baseline.
+        let speedup: f64 = spec[5].parse().unwrap();
+        assert!(
+            speedup >= 1.0,
+            "speculation must not lose the tail to the straggler: {speedup}"
         );
     }
 

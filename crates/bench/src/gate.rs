@@ -12,7 +12,8 @@
 //!    does not flake the build: adaptive must still beat static under churn
 //!    (E10), the engine-backed thread variant must still demote the slowed
 //!    worker (E11), the resident service must still out-throughput per-job
-//!    pool spin-up (E14), the data plane must stay zero-copy and cheap to
+//!    pool spin-up (E14), tail speculation must not lose to its own
+//!    baseline (E17), the data plane must stay zero-copy and cheap to
 //!    encode (E12 — absolute ceilings plus per-variant `wire_bytes_per_unit`
 //!    / `encode_s` ceilings *learned* from the committed baseline), and —
 //!    against that baseline (`BENCH_baseline.json`) — the experiment set
@@ -44,6 +45,13 @@ pub const E14_MIN_JOB_SPEEDUP: f64 = 0.9;
 /// deque dispatch has regressed into losing to the shared demand cursor it
 /// exists to beat.
 pub const E16_MIN_STEAL_SPEEDUP: f64 = 1.0;
+
+/// Minimum acceptable `spec_tail_speedup` in E17's speculation row.  The
+/// metric is a rep-averaged weighted critical path (like E16's), and a
+/// speculation win can only move credited work *off* the slowed worker, so
+/// parity is the honest floor: falling below 1.0 means launching duplicates
+/// has started costing more path than the wins recover.
+pub const E17_MIN_SPEC_TAIL_SPEEDUP: f64 = 1.0;
 
 /// Absolute ceiling on E12's master-side frame-encode seconds in any row
 /// that crosses a wire.  The zero-copy data plane encodes each frame exactly
@@ -456,7 +464,7 @@ pub fn check_results(doc: &Json, baseline: Option<&Json>) -> Result<GateSummary,
     // The qualitative trajectory: the rows these checks read are asserted
     // strictly by the in-tree experiment tests; the gate re-checks the
     // committed story with generous tolerance on every CI run.
-    for required in ["E10", "E11", "E14", "E16"] {
+    for required in ["E10", "E11", "E14", "E16", "E17"] {
         if !ids.contains(required) {
             return Err(format!("required experiment {required} is missing"));
         }
@@ -568,6 +576,33 @@ pub fn check_results(doc: &Json, baseline: Option<&Json>) -> Result<GateSummary,
                 }
                 if !saw_stealing {
                     return Err("E16 table lost its work-stealing row".into());
+                }
+            }
+            Some("E17") if entry.get("type").and_then(Json::as_str) == Some("table") => {
+                let variant =
+                    table_column(entry, "variant").ok_or("E17 table lost its variant column")?;
+                let speedup = table_column(entry, "spec_tail_speedup")
+                    .ok_or("E17 table lost its spec_tail_speedup column")?;
+                let mut saw_speculation = false;
+                for row in entry.get("rows").and_then(Json::as_arr).unwrap_or(&[]) {
+                    let cells = row.as_arr().unwrap_or(&[]);
+                    if cells.get(variant).and_then(Json::as_str) == Some("speculation") {
+                        saw_speculation = true;
+                        let v = cells
+                            .get(speedup)
+                            .and_then(Json::as_f64)
+                            .ok_or("E17 spec_tail_speedup cell is not numeric")?;
+                        if v < E17_MIN_SPEC_TAIL_SPEEDUP {
+                            return Err(format!(
+                                "E17 regression: tail speculation is {v:.2}x the \
+                                 no-speculation baseline on the straggler farm, below \
+                                 the {E17_MIN_SPEC_TAIL_SPEEDUP} floor"
+                            ));
+                        }
+                    }
+                }
+                if !saw_speculation {
+                    return Err("E17 table lost its speculation row".into());
                 }
             }
             Some("E12") if entry.get("type").and_then(Json::as_str) == Some("table") => {
@@ -797,6 +832,27 @@ mod tests {
         table_json(&t)
     }
 
+    fn e17_table(speedup: f64) -> String {
+        let mut t = Table::new(
+            "E17: tail speculation on the Time-Warp transaction farm \
+             (24 partitions, worker 0 slowed 25x)",
+            &["variant", "cost", "speculation_wins", "spec_tail_speedup"],
+        );
+        t.push_row(vec![
+            "no-speculation".into(),
+            "1200".into(),
+            "0".into(),
+            "1.000".into(),
+        ]);
+        t.push_row(vec![
+            "speculation".into(),
+            format!("{:.0}", 1200.0 / speedup.max(1e-9)),
+            "3".into(),
+            format!("{speedup:.3}"),
+        ]);
+        table_json(&t)
+    }
+
     fn doc(parts: &[String]) -> Json {
         parse_json(&format!("{{\"experiments\":[{}]}}", parts.join(","))).unwrap()
     }
@@ -807,6 +863,7 @@ mod tests {
             e11_table(2),
             e14_table(1.3),
             e16_table(1.4),
+            e17_table(1.4),
         ])
     }
 
@@ -830,9 +887,10 @@ mod tests {
     #[test]
     fn healthy_results_pass_and_report_ids() {
         let summary = check_results(&healthy(), None).unwrap();
-        assert_eq!(summary.experiments, 4);
+        assert_eq!(summary.experiments, 5);
         assert!(summary.ids.contains("E10") && summary.ids.contains("E11"));
         assert!(summary.ids.contains("E14") && summary.ids.contains("E16"));
+        assert!(summary.ids.contains("E17"));
     }
 
     #[test]
@@ -842,6 +900,7 @@ mod tests {
             e11_table(1),
             e14_table(1.2),
             e16_table(1.3),
+            e17_table(1.3),
         ]);
         let err = check_results(&bad, None).unwrap_err();
         assert!(err.contains("E10 regression"), "{err}");
@@ -855,6 +914,7 @@ mod tests {
             e11_table(0),
             e14_table(1.2),
             e16_table(1.3),
+            e17_table(1.3),
         ]);
         let err = check_results(&bad, None).unwrap_err();
         assert!(err.contains("E11 regression"), "{err}");
@@ -871,6 +931,7 @@ mod tests {
             e11_table(1),
             e14_table(0.5),
             e16_table(1.3),
+            e17_table(1.3),
         ]);
         let err = check_results(&bad, None).unwrap_err();
         assert!(err.contains("E14 regression"), "{err}");
@@ -887,6 +948,7 @@ mod tests {
             e11_table(1),
             e14_table(1.2),
             e16_table(0.8),
+            e17_table(1.3),
         ]);
         let err = check_results(&bad, None).unwrap_err();
         assert!(err.contains("E16 regression"), "{err}");
@@ -904,10 +966,43 @@ mod tests {
             e10_table(&[("sim", 1.3)]),
             e11_table(1),
             e14_table(1.2),
+            e17_table(1.3),
             table_json(&t),
         ]);
         let err = check_results(&rowless, None).unwrap_err();
         assert!(err.contains("work-stealing row"), "{err}");
+    }
+
+    #[test]
+    fn e17_losing_its_speculation_win_fails_the_gate() {
+        let bad = doc(&[
+            e10_table(&[("sim", 1.3)]),
+            e11_table(1),
+            e14_table(1.2),
+            e16_table(1.3),
+            e17_table(0.7),
+        ]);
+        let err = check_results(&bad, None).unwrap_err();
+        assert!(err.contains("E17 regression"), "{err}");
+        assert!(
+            err.contains("0.70"),
+            "the failure must print the offending speedup: {err}"
+        );
+        // A table that dropped the speculation row entirely is also red.
+        let mut t = Table::new(
+            "E17: tail speculation on the Time-Warp transaction farm",
+            &["variant", "spec_tail_speedup"],
+        );
+        t.push_row(vec!["no-speculation".into(), "1.000".into()]);
+        let rowless = doc(&[
+            e10_table(&[("sim", 1.3)]),
+            e11_table(1),
+            e14_table(1.2),
+            e16_table(1.3),
+            table_json(&t),
+        ]);
+        let err = check_results(&rowless, None).unwrap_err();
+        assert!(err.contains("speculation row"), "{err}");
     }
 
     #[test]
@@ -924,6 +1019,7 @@ mod tests {
             e11_table(1),
             e14_table(1.2),
             e16_table(1.3),
+            e17_table(1.3),
             e12_table(rows),
         ]);
         check_results(&fresh, Some(&fresh)).unwrap();
@@ -935,6 +1031,7 @@ mod tests {
             e11_table(1),
             e14_table(1.2),
             e16_table(1.3),
+            e17_table(1.3),
             "{\"type\":\"table\",\"title\":\"E12: proc backend\",\
              \"headers\":[\"variant\",\"wire_bytes\"],\
              \"rows\":[[\"proc-spin\",\"2000\"]]}"
@@ -950,6 +1047,7 @@ mod tests {
             e11_table(1),
             e14_table(1.2),
             e16_table(1.3),
+            e17_table(1.3),
             e12_table(&[("proc-spin", 6.0, 2000.0, 0.40, 0.0)]),
         ]);
         let err = check_results(&bad, None).unwrap_err();
@@ -967,6 +1065,7 @@ mod tests {
             e11_table(1),
             e14_table(1.2),
             e16_table(1.3),
+            e17_table(1.3),
             e12_table(&[("proc-matmul", 6.0, 2600.0, 0.0002, 384.5)]),
         ]);
         let err = check_results(&bad, None).unwrap_err();
@@ -984,6 +1083,7 @@ mod tests {
             e11_table(1),
             e14_table(1.2),
             e16_table(1.3),
+            e17_table(1.3),
             e12_table(&[("proc-spin", 6.0, 1200.0, 0.0001, 0.0)]),
         ]);
         // Baseline: 200 bytes/unit → ceiling 200 × 1.5 + 256 = 556.  Fresh
@@ -993,6 +1093,7 @@ mod tests {
             e11_table(1),
             e14_table(1.2),
             e16_table(1.3),
+            e17_table(1.3),
             e12_table(&[("proc-spin", 6.0, 6000.0, 0.0001, 0.0)]),
         ]);
         let err = check_results(&fat, Some(&baseline)).unwrap_err();

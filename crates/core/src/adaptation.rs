@@ -58,6 +58,38 @@ pub enum AdaptationAction {
         /// Worker count serving the stage after the replication.
         replicas: usize,
     },
+    /// A pipeline stage was **live-migrated**: its queued items were
+    /// checkpointed (serialized through the wire payload machinery) and the
+    /// stage re-homed on a different worker, the old one stopping — the
+    /// Cactus-Worm move, as opposed to [`StageReplicated`](Self::StageReplicated)'s
+    /// "add a helper" move.
+    StageMigrated {
+        /// Index of the migrated stage.
+        stage: usize,
+        /// Worker the stage ran on before.
+        from: NodeId,
+        /// Worker the stage runs on now.
+        to: NodeId,
+        /// Queued items carried across in the checkpoint.
+        checkpointed_items: usize,
+    },
+    /// An in-flight unit was speculatively duplicated on an idle worker
+    /// near the tail (Time-Warp-style optimistic execution: the duplicate
+    /// races the straggler, the first verified result wins).
+    UnitSpeculated {
+        /// The duplicated unit's id.
+        unit: usize,
+        /// The idle worker running the duplicate.
+        on: NodeId,
+    },
+    /// A speculative duplicate delivered the winning (first) result; the
+    /// straggler's copy is cancelled/discarded on arrival.
+    SpeculationWon {
+        /// The rescued unit's id.
+        unit: usize,
+        /// The worker whose duplicate won.
+        on: NodeId,
+    },
 }
 
 impl AdaptationAction {
@@ -70,6 +102,9 @@ impl AdaptationAction {
             AdaptationAction::NodeJoined { .. } => "node-joined",
             AdaptationAction::StageRemapped { .. } => "stage-remapped",
             AdaptationAction::StageReplicated { .. } => "stage-replicated",
+            AdaptationAction::StageMigrated { .. } => "stage-migrated",
+            AdaptationAction::UnitSpeculated { .. } => "unit-speculated",
+            AdaptationAction::SpeculationWon { .. } => "speculation-won",
         }
     }
 }
@@ -171,6 +206,21 @@ impl AdaptationLog {
         self.count_kind("stage-replicated")
     }
 
+    /// Number of live stage migrations (checkpoint + re-home).
+    pub fn stage_migrations(&self) -> usize {
+        self.count_kind("stage-migrated")
+    }
+
+    /// Number of speculative duplicates launched.
+    pub fn speculations(&self) -> usize {
+        self.count_kind("unit-speculated")
+    }
+
+    /// Number of speculative duplicates that delivered the winning result.
+    pub fn speculation_wins(&self) -> usize {
+        self.count_kind("speculation-won")
+    }
+
     fn count_kind(&self, kind: &str) -> usize {
         self.events
             .iter()
@@ -181,13 +231,17 @@ impl AdaptationLog {
     /// Render a compact text summary for reports.
     pub fn summary(&self) -> String {
         format!(
-            "adaptations: {} (recalibrations {}, demotions {}, losses {}, remaps {}, replications {})",
+            "adaptations: {} (recalibrations {}, demotions {}, losses {}, remaps {}, \
+             replications {}, migrations {}, speculations {}, spec wins {})",
             self.len(),
             self.recalibrations(),
             self.demotions(),
             self.node_losses(),
             self.stage_remaps(),
-            self.stage_replications()
+            self.stage_replications(),
+            self.stage_migrations(),
+            self.speculations(),
+            self.speculation_wins()
         )
     }
 }
@@ -272,8 +326,64 @@ mod tests {
                 replicas: 2,
             }
             .kind(),
+            AdaptationAction::StageMigrated {
+                stage: 0,
+                from: NodeId(0),
+                to: NodeId(1),
+                checkpointed_items: 3,
+            }
+            .kind(),
+            AdaptationAction::UnitSpeculated {
+                unit: 7,
+                on: NodeId(1),
+            }
+            .kind(),
+            AdaptationAction::SpeculationWon {
+                unit: 7,
+                on: NodeId(1),
+            }
+            .kind(),
         ];
         let unique: std::collections::HashSet<&str> = kinds.into_iter().collect();
-        assert_eq!(unique.len(), 6);
+        assert_eq!(unique.len(), 9);
+    }
+
+    #[test]
+    fn speculation_and_migration_counters() {
+        let mut log = AdaptationLog::new();
+        log.record(
+            SimTime::new(1.0),
+            AdaptationAction::UnitSpeculated {
+                unit: 9,
+                on: NodeId(2),
+            },
+            2.0,
+            1.0,
+        );
+        log.record(
+            SimTime::new(1.5),
+            AdaptationAction::SpeculationWon {
+                unit: 9,
+                on: NodeId(2),
+            },
+            2.0,
+            1.0,
+        );
+        log.record(
+            SimTime::new(2.0),
+            AdaptationAction::StageMigrated {
+                stage: 1,
+                from: NodeId(0),
+                to: NodeId(3),
+                checkpointed_items: 5,
+            },
+            2.0,
+            8.0,
+        );
+        assert_eq!(log.speculations(), 1);
+        assert_eq!(log.speculation_wins(), 1);
+        assert_eq!(log.stage_migrations(), 1);
+        assert!(log.summary().contains("speculations 1"));
+        assert!(log.summary().contains("migrations 1"));
     }
 }

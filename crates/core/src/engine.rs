@@ -107,6 +107,15 @@ pub enum AdaptationDirective {
         /// Its recent mean service time (seconds per item).
         recent_mean: f64,
     },
+    /// The job is in its tail (every unit handed out, few enough still in
+    /// flight): idle workers may duplicate in-flight units, first verified
+    /// result wins.  Emitted by [`AdaptationEngine::maybe_speculate`]; the
+    /// caller picks the concrete units, launches the duplicates, and
+    /// reports each one via [`AdaptationEngine::note_speculated`].
+    Speculate {
+        /// Units still in flight when the directive fired.
+        in_flight: usize,
+    },
 }
 
 /// The result of one executor-mode monitoring evaluation: the raw monitor
@@ -139,6 +148,9 @@ pub struct AdaptationEngine {
     /// actions by the monitor interval so scheduler jitter cannot thrash).
     stage_action_interval_s: f64,
     last_stage_action: SimTime,
+    /// Tail fraction below which in-flight units may be duplicated
+    /// (`ExecutionConfig::speculate_tail_fraction`; 0 disables speculation).
+    speculate_tail_fraction: f64,
     log: AdaptationLog,
 }
 
@@ -167,6 +179,7 @@ impl AdaptationEngine {
             stage_window_cap: exec.monitor_window.max(1),
             stage_action_interval_s: 0.0,
             last_stage_action: SimTime::ZERO,
+            speculate_tail_fraction: exec.speculate_tail_fraction.clamp(0.0, 1.0),
             log: AdaptationLog::new(),
         }
     }
@@ -320,6 +333,53 @@ impl AdaptationEngine {
             verdict,
             directives,
         })
+    }
+
+    /// Tail-speculation decision (Time-Warp-flavoured optimistic execution):
+    /// the caller reports that every unit has been handed out (nothing
+    /// pending) and `in_flight` of `total` units are still running; the
+    /// engine answers with [`AdaptationDirective::Speculate`] when idle
+    /// workers may duplicate them.
+    ///
+    /// Fires only when adaptation is on, speculation is enabled
+    /// (`speculate_tail_fraction > 0`), at least one unit is in flight, and
+    /// the in-flight count is within the configured tail fraction of the
+    /// job (`in_flight ≤ max(1, ⌈fraction × total⌉)`) — duplicating earlier
+    /// than the tail would burn capacity the pending queue still wants.
+    /// Like every directive this is a *request*: the caller picks concrete
+    /// units (each at most once), launches duplicates on workers that would
+    /// otherwise go idle, and reports launches/wins back via
+    /// [`AdaptationEngine::note_speculated`] /
+    /// [`AdaptationEngine::note_speculation_won`].
+    pub fn maybe_speculate(&self, in_flight: usize, total: usize) -> Option<AdaptationDirective> {
+        if !self.adaptive || self.speculate_tail_fraction <= 0.0 || in_flight == 0 {
+            return None;
+        }
+        let allowance = ((self.speculate_tail_fraction * total as f64).ceil() as usize).max(1);
+        (in_flight <= allowance).then_some(AdaptationDirective::Speculate { in_flight })
+    }
+
+    /// Record that the caller launched a speculative duplicate of `unit` on
+    /// idle worker `on`.
+    pub fn note_speculated(&mut self, now: SimTime, unit: usize, on: NodeId) {
+        self.log.record(
+            now,
+            AdaptationAction::UnitSpeculated { unit, on },
+            self.monitor.threshold(),
+            0.0,
+        );
+    }
+
+    /// Record that the speculative duplicate of `unit` on worker `on` won
+    /// the race (its result arrived first; the straggler's copy will be
+    /// discarded on arrival).
+    pub fn note_speculation_won(&mut self, now: SimTime, unit: usize, on: NodeId) {
+        self.log.record(
+            now,
+            AdaptationAction::SpeculationWon { unit, on },
+            self.monitor.threshold(),
+            0.0,
+        );
     }
 
     /// Record that the caller admitted an executor to the pool while
@@ -489,6 +549,35 @@ impl AdaptationEngine {
         self.log.record(
             now,
             AdaptationAction::StageReplicated { stage, replicas },
+            threshold,
+            trigger_value,
+        );
+        self.last_stage_action = now;
+    }
+
+    /// Record that the caller **live-migrated** a stage: checkpointed its
+    /// `checkpointed_items` queued items and re-homed it from worker `from`
+    /// to worker `to`, the old worker stopping (the Cactus-Worm realisation
+    /// of a stage remap, chosen over replication when
+    /// `ExecutionConfig::migrate_stages` is set).
+    pub fn note_stage_migrated(
+        &mut self,
+        now: SimTime,
+        stage: usize,
+        from: NodeId,
+        to: NodeId,
+        checkpointed_items: usize,
+        trigger_value: f64,
+    ) {
+        let threshold = self.stage_threshold(stage);
+        self.log.record(
+            now,
+            AdaptationAction::StageMigrated {
+                stage,
+                from,
+                to,
+                checkpointed_items,
+            },
             threshold,
             trigger_value,
         );
@@ -730,5 +819,78 @@ mod tests {
         let b = clock.now();
         assert!(b >= a);
         assert!(a.as_secs() >= 0.0);
+    }
+
+    #[test]
+    fn speculation_fires_only_inside_the_configured_tail() {
+        let mut cfg = exec(1.0);
+        cfg.speculate_tail_fraction = 0.25;
+        let e = AdaptationEngine::for_executors(&cfg, &[1.0], SimTime::ZERO);
+        // 100 units, fraction 0.25 → allowance 25 in flight.
+        assert!(e.maybe_speculate(26, 100).is_none(), "still mid-job");
+        assert_eq!(
+            e.maybe_speculate(25, 100),
+            Some(AdaptationDirective::Speculate { in_flight: 25 })
+        );
+        assert_eq!(
+            e.maybe_speculate(1, 100),
+            Some(AdaptationDirective::Speculate { in_flight: 1 })
+        );
+        assert!(e.maybe_speculate(0, 100).is_none(), "nothing to duplicate");
+        // Tiny jobs: the allowance never rounds below one unit.
+        let mut tiny = exec(1.0);
+        tiny.speculate_tail_fraction = 0.01;
+        let e = AdaptationEngine::for_executors(&tiny, &[1.0], SimTime::ZERO);
+        assert!(e.maybe_speculate(1, 3).is_some());
+    }
+
+    #[test]
+    fn speculation_respects_the_master_switches() {
+        // Disabled by default (fraction 0).
+        let e = AdaptationEngine::for_executors(&exec(1.0), &[1.0], SimTime::ZERO);
+        assert!(e.maybe_speculate(1, 100).is_none());
+        // Disabled when Algorithm 2 is off, whatever the fraction says.
+        let mut cfg = exec(1.0);
+        cfg.speculate_tail_fraction = 1.0;
+        cfg.adaptive = false;
+        let e = AdaptationEngine::for_executors(&cfg, &[1.0], SimTime::ZERO);
+        assert!(e.maybe_speculate(1, 100).is_none());
+    }
+
+    #[test]
+    fn speculation_launches_and_wins_are_logged() {
+        let mut cfg = exec(1.0);
+        cfg.speculate_tail_fraction = 0.5;
+        let mut e = AdaptationEngine::for_executors(&cfg, &[1.0], SimTime::ZERO);
+        e.note_speculated(t(1.0), 7, NodeId(2));
+        e.note_speculation_won(t(1.1), 7, NodeId(2));
+        assert_eq!(e.log().speculations(), 1);
+        assert_eq!(e.log().speculation_wins(), 1);
+    }
+
+    #[test]
+    fn stage_migration_is_logged_and_spaces_like_other_stage_actions() {
+        let mut cfg = exec(1.0);
+        cfg.monitor_window = 1;
+        let mut e = AdaptationEngine::for_stages(&cfg, vec![0.1]).with_stage_action_interval(10.0);
+        assert!(e.observe_stage(t(10.5), 0, 9.0).is_some());
+        e.note_stage_migrated(t(10.5), 0, NodeId(0), NodeId(4), 6, 9.0);
+        assert_eq!(e.log().stage_migrations(), 1);
+        match &e.log().events()[0].action {
+            AdaptationAction::StageMigrated {
+                stage,
+                from,
+                to,
+                checkpointed_items,
+            } => {
+                assert_eq!(
+                    (*stage, *from, *to, *checkpointed_items),
+                    (0, NodeId(0), NodeId(4), 6)
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The migration consumed the action slot: the next breach waits.
+        assert!(e.observe_stage(t(11.0), 0, 9.0).is_none());
     }
 }

@@ -81,7 +81,9 @@ pub mod wire;
 pub mod prelude {
     pub use crate::adaptation::{AdaptationAction, AdaptationLog};
     pub use crate::calibration::{CalibrationMode, CalibrationReport, Calibrator};
-    pub use crate::config::{CalibrationConfig, ExecutionConfig, GraspConfig};
+    pub use crate::config::{
+        BackendConfig, CalibrationConfig, ExecutionConfig, FaultInjection, GraspConfig,
+    };
     pub use crate::engine::{AdaptationDirective, AdaptationEngine, EnginePoll, WallClock};
     pub use crate::error::GraspError;
     pub use crate::execution::ExecutionMonitor;

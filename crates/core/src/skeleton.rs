@@ -460,10 +460,20 @@ pub struct ResilienceReport {
     /// dropped from the active set; threads: workers retired after
     /// exhausting their panic budget).
     pub nodes_lost: usize,
+    /// In-flight units speculatively duplicated on idle workers near the
+    /// tail (straggler speculation; each unit is duplicated at most once).
+    pub speculated_units: usize,
+    /// Speculative duplicates whose result arrived first and won the race
+    /// (the straggler's copy was discarded on arrival).
+    pub speculation_wins: usize,
 }
 
 impl ResilienceReport {
-    /// `true` when the run needed no fault handling at all.
+    /// `true` when the run needed no fault handling at all.  Speculation is
+    /// proactive adaptation rather than fault *handling*, so the
+    /// speculation counters do not dirty a run: a job whose tail was
+    /// rescued by duplicates but that never lost, requeued, or retried
+    /// anything is still clean.
     pub fn is_clean(&self) -> bool {
         self.requeued_tasks == 0
             && self.retried_tasks == 0
@@ -471,10 +481,16 @@ impl ResilienceReport {
             && self.nodes_lost == 0
     }
 
-    /// Total recovery events across all counters (overlapping views are
-    /// summed — useful only as a "did anything happen" magnitude).
+    /// Total recovery **and adaptation** events across all counters
+    /// (overlapping views are summed — useful only as a "did anything
+    /// happen" magnitude).
     pub fn total_events(&self) -> usize {
-        self.requeued_tasks + self.retried_tasks + self.migrated_stages + self.nodes_lost
+        self.requeued_tasks
+            + self.retried_tasks
+            + self.migrated_stages
+            + self.nodes_lost
+            + self.speculated_units
+            + self.speculation_wins
     }
 }
 
@@ -826,6 +842,8 @@ impl<'g> SimBackend<'g> {
             // again on a surviving node.
             retried_tasks: requeued,
             migrated_stages: 0,
+            speculated_units: outcome.adaptation.speculations(),
+            speculation_wins: outcome.adaptation.speculation_wins(),
             nodes_lost: outcome.adaptation.node_losses(),
         };
         SkeletonOutcome {
@@ -845,8 +863,11 @@ impl<'g> SimBackend<'g> {
         let resilience = ResilienceReport {
             requeued_tasks: 0,
             retried_tasks: 0,
-            migrated_stages: outcome.adaptation.stage_remaps(),
+            migrated_stages: outcome.adaptation.stage_remaps()
+                + outcome.adaptation.stage_migrations(),
             nodes_lost: 0,
+            speculated_units: 0,
+            speculation_wins: 0,
         };
         SkeletonOutcome {
             kind,

@@ -32,10 +32,10 @@
 //! simulated load smooth wall-clock load (reported per worker in
 //! [`OutcomeDetail::ThreadFarm`]).
 
-use crate::farm::{RankTable, ThreadFarm, WorkerGate};
+use crate::farm::{RankTable, SpeculationPolicy, ThreadFarm, WorkerGate};
 use crate::pipeline::ThreadPipeline;
 use grasp_core::adaptation::AdaptationLog;
-use grasp_core::config::ExecutionConfig;
+use grasp_core::config::{BackendConfig, ExecutionConfig, FaultInjection};
 use grasp_core::engine::{AdaptationDirective, AdaptationEngine, WallClock};
 use grasp_core::error::GraspError;
 use grasp_core::skeleton::{
@@ -148,9 +148,50 @@ impl ThreadBackend {
         self
     }
 
+    /// Apply a shared [`BackendConfig`]: the one builder every backend
+    /// understands.  Unset fields keep this backend's defaults.  The
+    /// `heartbeat` and `worker_bin` knobs have no thread analogue — workers
+    /// share the master's address space and fate, so there is no wire to
+    /// time out on and no separate binary to spawn — and are ignored.  The
+    /// plan's [`FaultInjection`] is applied as by
+    /// [`ThreadBackend::with_fault_injection`].
+    pub fn with_config(mut self, cfg: BackendConfig) -> Self {
+        if let Some(samples) = cfg.calibration_samples {
+            self.calibration_samples = Some(samples);
+        }
+        if let Some(iters) = cfg.spin_per_work_unit {
+            self.spin_per_work_unit = iters.max(1);
+        }
+        if let Some(attempts) = cfg.max_task_attempts {
+            self.max_task_attempts = attempts.max(1);
+        }
+        if let Some(budget) = cfg.worker_panic_budget {
+            self.worker_panic_budget = budget;
+        }
+        self.with_fault_injection(cfg.faults)
+    }
+
+    /// Apply a typed [`FaultInjection`] plan, replacing any previously
+    /// configured injection outright (the plan is the complete description
+    /// of the run's faults).  Threads realise `panics` as unit executions
+    /// that panic before doing work (the shared-memory analogue of node
+    /// revocation) and `slowdown` as a spin multiplier; `kill` and
+    /// `join_spawn` have no thread analogue — there is no separate process
+    /// to kill and no wire for late joiners — and are ignored.
+    pub fn with_fault_injection(mut self, faults: FaultInjection) -> Self {
+        self.inject_panics = faults.panics;
+        self.slowdown = faults.slowdown.map(|s| SlowdownInjection {
+            after_units: s.after_units,
+            factor: s.factor.max(1.0),
+            worker: s.worker,
+        });
+        self
+    }
+
     /// Override how many probe tasks each farm worker executes during the
     /// calibration pass (0 disables it; otherwise
     /// `config.calibration.samples_per_node`).
+    #[deprecated(note = "use with_config(BackendConfig::new().calibration_samples(n))")]
     pub fn with_calibration_samples(mut self, samples: usize) -> Self {
         self.calibration_samples = Some(samples);
         self
@@ -158,6 +199,7 @@ impl ThreadBackend {
 
     /// Override how many spin iterations one declared work unit costs
     /// (lower = faster tests, higher = more realistic load).
+    #[deprecated(note = "use with_config(BackendConfig::new().spin_per_work_unit(iters))")]
     pub fn with_spin_per_work_unit(mut self, iters: u64) -> Self {
         self.spin_per_work_unit = iters.max(1);
         self
@@ -165,6 +207,7 @@ impl ThreadBackend {
 
     /// Override how many times one unit may be attempted before the run
     /// fails with [`GraspError::WorkerFailed`] (clamped to ≥ 1; default 3).
+    #[deprecated(note = "use with_config(BackendConfig::new().max_task_attempts(n))")]
     pub fn with_max_task_attempts(mut self, attempts: usize) -> Self {
         self.max_task_attempts = attempts.max(1);
         self
@@ -173,6 +216,7 @@ impl ThreadBackend {
     /// Override how many panics one farm worker may absorb before it
     /// retires from the pool (see `ThreadFarm::with_worker_panic_budget`;
     /// the last active worker never retires).
+    #[deprecated(note = "use with_config(BackendConfig::new().worker_panic_budget(n))")]
     pub fn with_worker_panic_budget(mut self, budget: usize) -> Self {
         self.worker_panic_budget = budget;
         self
@@ -184,6 +228,7 @@ impl ThreadBackend {
     /// panics, retry the units on surviving workers and report the recovery
     /// in the outcome's [`ResilienceReport`].  Intended for churn
     /// experiments and fault-path tests; 0 (the default) disables injection.
+    #[deprecated(note = "use with_fault_injection(FaultInjection::none().panics(n))")]
     pub fn with_panic_injection(mut self, panics: usize) -> Self {
         self.inject_panics = panics;
         self
@@ -194,6 +239,9 @@ impl ThreadBackend {
     /// spin — the wall-clock analogue of gridsim's external-load spike
     /// hitting the whole pool.  Algorithm 2 should respond with a
     /// recalibration (`min T > Z`).  Intended for experiments and tests.
+    #[deprecated(
+        note = "use with_fault_injection(FaultInjection::none().slowdown(after_units, factor))"
+    )]
     pub fn with_slowdown_injection(mut self, after_units: usize, factor: f64) -> Self {
         self.slowdown = Some(SlowdownInjection {
             after_units,
@@ -207,6 +255,9 @@ impl ThreadBackend {
     /// unit executions (across the pool), units executed by `worker` cost
     /// `factor`× the spin — the analogue of one grid node degrading.
     /// Algorithm 2 should respond by demoting that worker.
+    #[deprecated(
+        note = "use with_fault_injection(FaultInjection::none().worker_slowdown(worker, after_units, factor))"
+    )]
     pub fn with_worker_slowdown_injection(
         mut self,
         worker: usize,
@@ -422,6 +473,11 @@ impl ThreadAdaptation {
                         engine.begin_resample(now, chosen, &poll.verdict);
                     }
                     AdaptationDirective::RemapStage { .. } => {}
+                    // Speculation is pull-driven here: idle farm workers ask
+                    // the engine directly through the [`SpeculationPolicy`]
+                    // bridge, so a poll-emitted directive has nothing left
+                    // to do.
+                    AdaptationDirective::Speculate { .. } => {}
                 }
             }
         }
@@ -451,6 +507,33 @@ impl ThreadAdaptation {
 
     fn into_log(self) -> AdaptationLog {
         self.engine.into_inner().into_log()
+    }
+}
+
+/// The farm asks the engine before duplicating a straggler, and reports
+/// launches/wins back so the run's [`AdaptationLog`] records them — the
+/// Speculate directive routed through the same decision point as demotion
+/// and recalibration.
+impl SpeculationPolicy for ThreadAdaptation {
+    fn allow(&self, in_flight: usize, total: usize) -> bool {
+        self.engine
+            .lock()
+            .maybe_speculate(in_flight, total)
+            .is_some()
+    }
+
+    fn note_launched(&self, unit: usize, worker: usize) {
+        let now = self.clock.now();
+        self.engine
+            .lock()
+            .note_speculated(now, unit, NodeId(worker));
+    }
+
+    fn note_win(&self, unit: usize, worker: usize) {
+        let now = self.clock.now();
+        self.engine
+            .lock()
+            .note_speculation_won(now, unit, NodeId(worker));
     }
 }
 
@@ -538,7 +621,11 @@ impl Backend for ThreadBackend {
                 // calibration sample there is no Z, hence no engine.
                 let job_has_work = units.iter().any(|&(_, w)| w > 0.0);
                 let adaptation = (config.execution.adaptive && samples > 0).then(|| {
-                    ThreadAdaptation::new(&config.execution, self.workers, self.workers * samples)
+                    Arc::new(ThreadAdaptation::new(
+                        &config.execution,
+                        self.workers,
+                        self.workers * samples,
+                    ))
                 });
                 let mut farm = ThreadFarm::new(self.workers)
                     .with_policy(policy)
@@ -549,15 +636,33 @@ impl Backend for ThreadBackend {
                     farm = farm
                         .with_gate(Arc::clone(&driver.gate))
                         .with_rank_table(Arc::clone(&driver.ranks));
+                    // Tail speculation routes through the engine: idle
+                    // workers consult `maybe_speculate` before duplicating
+                    // an in-flight straggler.
+                    if config.execution.speculate_tail_fraction > 0.0 {
+                        farm =
+                            farm.with_speculation(Arc::clone(driver) as Arc<dyn SpeculationPolicy>);
+                    }
                 }
                 let run_start = std::time::Instant::now();
                 // Declared work per worker: the outcome reports it so
                 // experiments can judge schedule balance on any hardware
                 // (see `OutcomeDetail::ThreadFarm`).  One atomic per worker
                 // (micro-work-units) keeps the accounting off the task hot
-                // path — no shared lock.
-                let work_acc: Vec<AtomicU64> =
-                    (0..self.workers).map(|_| AtomicU64::new(0)).collect();
+                // path — no shared lock.  Credited through the farm's record
+                // hook, not in the task closure: under speculation the
+                // closure also runs for losing copies, and a superseded
+                // straggler must not be charged to its worker.
+                let work_acc: Arc<Vec<AtomicU64>> =
+                    Arc::new((0..self.workers).map(|_| AtomicU64::new(0)).collect());
+                {
+                    let work_acc = Arc::clone(&work_acc);
+                    let unit_works: Vec<f64> = units.iter().map(|&(_, w)| w).collect();
+                    farm = farm.with_record_hook(Arc::new(move |wid, index| {
+                        work_acc[wid]
+                            .fetch_add((unit_works[index] * 1e6) as u64, Ordering::Relaxed);
+                    }));
+                }
                 let executed_units = AtomicUsize::new(0);
                 let (results, stats) = farm.try_run_indexed(units, |wid, &(id, work)| {
                     maybe_inject(&injector);
@@ -573,16 +678,22 @@ impl Backend for ThreadBackend {
                     if let Some(driver) = &adaptation {
                         driver.report(wid, work, t0.elapsed().as_secs_f64(), job_has_work);
                     }
-                    work_acc[wid].fetch_add((work * 1e6) as u64, Ordering::Relaxed);
                     (id, run_start.elapsed().as_secs_f64())
                 })?;
                 let work_per_worker: Vec<f64> = work_acc
                     .iter()
                     .map(|a| a.load(Ordering::Relaxed) as f64 / 1e6)
                     .collect();
+                // The farm holds the only other handle on the driver (its
+                // speculation policy); dropping it lets the driver unwrap
+                // so the engine's log can be consumed.
+                drop(farm);
                 let (load_per_worker, adaptation_log) = match adaptation {
                     Some(driver) => {
                         let load = driver.load_per_worker();
+                        let driver = Arc::try_unwrap(driver)
+                            .ok()
+                            .expect("the dropped farm held the last other driver handle");
                         (load, driver.into_log())
                     }
                     None => (vec![0.0; self.workers], AdaptationLog::new()),
@@ -610,6 +721,8 @@ impl Backend for ThreadBackend {
                         retried_tasks: stats.retried,
                         migrated_stages: 0,
                         nodes_lost: stats.workers_lost,
+                        speculated_units: stats.speculated_units,
+                        speculation_wins: stats.speculation_wins,
                     },
                     children: spans.iter().map(|s| s.outcome_from(&completions)).collect(),
                     detail: OutcomeDetail::ThreadFarm {
@@ -634,6 +747,15 @@ impl Backend for ThreadBackend {
                     // stage, breach → standby replica (a no-op when the
                     // config disables adaptation).
                     .with_adaptation(config.execution);
+                if config.execution.migrate_stages {
+                    // Stream items are indices: the checkpoint codec is one
+                    // u64 through the wire payload format, and a breach
+                    // re-homes the stage instead of replicating it.
+                    pipeline = pipeline.with_migration(
+                        |x, w| w.put_u64(*x as u64),
+                        |r| r.take_u64().map(|v| v as usize),
+                    );
+                }
                 for (stage, &r) in stages.iter().zip(replicas) {
                     let iters = self.iters_for(stage.work_per_item);
                     let injector = Arc::clone(&injector);
@@ -661,8 +783,10 @@ impl Backend for ThreadBackend {
                     resilience: ResilienceReport {
                         requeued_tasks: 0,
                         retried_tasks: stats.retried,
-                        migrated_stages: 0,
+                        migrated_stages: stats.adaptation.stage_migrations(),
                         nodes_lost: 0,
+                        speculated_units: 0,
+                        speculation_wins: 0,
                     },
                     children: Vec::new(),
                     detail: OutcomeDetail::ThreadPipeline {
@@ -681,7 +805,7 @@ mod tests {
     use grasp_core::{Grasp, SkeletonKind, TaskSpec};
 
     fn fast_backend() -> ThreadBackend {
-        ThreadBackend::new(3).with_spin_per_work_unit(1)
+        ThreadBackend::new(3).with_config(BackendConfig::new().spin_per_work_unit(1))
     }
 
     fn lane(items: usize) -> Skeleton {
@@ -734,16 +858,21 @@ mod tests {
         cfg.calibration.samples_per_node = 0;
         cfg.scheduler = grasp_core::SchedulePolicy::SelfScheduling;
         let report = Grasp::new(cfg)
-            .run(&ThreadBackend::new(2).with_spin_per_work_unit(1), &skeleton)
+            .run(
+                &ThreadBackend::new(2).with_config(BackendConfig::new().spin_per_work_unit(1)),
+                &skeleton,
+            )
             .unwrap();
         assert_eq!(report.outcome.calibration_s, 0.0);
         assert_eq!(report.outcome.completed, 30);
         // An explicit backend override wins over the config.
         let report = Grasp::new(cfg)
             .run(
-                &ThreadBackend::new(2)
-                    .with_spin_per_work_unit(1)
-                    .with_calibration_samples(2),
+                &ThreadBackend::new(2).with_config(
+                    BackendConfig::new()
+                        .spin_per_work_unit(1)
+                        .calibration_samples(2),
+                ),
                 &skeleton,
             )
             .unwrap();
@@ -795,7 +924,7 @@ mod tests {
     #[test]
     fn injected_farm_panics_are_survived_and_reported() {
         let skeleton = Skeleton::farm(TaskSpec::uniform(40, 2.0, 0, 0));
-        let backend = fast_backend().with_panic_injection(2);
+        let backend = fast_backend().with_fault_injection(FaultInjection::none().panics(2));
         let report = Grasp::new(GraspConfig::default())
             .run(&backend, &skeleton)
             .expect("injected panics must not fail the run");
@@ -810,8 +939,8 @@ mod tests {
     fn injected_pipeline_panics_are_survived_and_reported() {
         let skeleton = lane(12);
         let backend = fast_backend()
-            .with_panic_injection(1)
-            .with_max_task_attempts(4);
+            .with_config(BackendConfig::new().max_task_attempts(4))
+            .with_fault_injection(FaultInjection::none().panics(1));
         let report = Grasp::new(GraspConfig::default())
             .run(&backend, &skeleton)
             .expect("injected stage panic must not fail the run");
@@ -852,9 +981,11 @@ mod tests {
         // sample — visible as a `Recalibrated` entry in the outcome's
         // adaptation log, exactly as on the simulated grid.
         let skeleton = Skeleton::farm(TaskSpec::uniform(260, 4.0, 0, 0));
-        let backend = ThreadBackend::new(3)
-            .with_spin_per_work_unit(2_000)
-            .with_slowdown_injection(20, 40.0);
+        let backend = ThreadBackend::new(3).with_config(
+            BackendConfig::new()
+                .spin_per_work_unit(2_000)
+                .faults(FaultInjection::none().slowdown(20, 40.0)),
+        );
         let mut cfg = GraspConfig::default();
         cfg.execution.monitor_interval_s = 2e-3; // wall seconds
         let report = Grasp::new(cfg)
@@ -879,10 +1010,12 @@ mod tests {
         // unit must fail every attempt, and the error must be typed, not a
         // process abort.
         let skeleton = Skeleton::farm(TaskSpec::uniform(4, 1.0, 0, 0));
-        let backend = ThreadBackend::new(2)
-            .with_spin_per_work_unit(1)
-            .with_max_task_attempts(2)
-            .with_panic_injection(1000);
+        let backend = ThreadBackend::new(2).with_config(
+            BackendConfig::new()
+                .spin_per_work_unit(1)
+                .max_task_attempts(2)
+                .faults(FaultInjection::none().panics(1000)),
+        );
         let err = Grasp::new(GraspConfig::default())
             .run(&backend, &skeleton)
             .expect_err("saturated fault injection must fail the run");

@@ -197,6 +197,11 @@ pub struct FarmStats {
     pub steals_completed: usize,
     /// Total task units moved between deques by completed steals.
     pub units_stolen: usize,
+    /// In-flight units speculatively duplicated on idle workers near the
+    /// tail (each unit at most once; demand-driven policies only).
+    pub speculated_units: usize,
+    /// Speculative duplicates that delivered the winning (first) result.
+    pub speculation_wins: usize,
 }
 
 impl FarmStats {
@@ -266,8 +271,29 @@ struct Queue {
     reclaimed: std::collections::VecDeque<(usize, usize)>,
 }
 
+/// Decides whether an idle worker may duplicate an in-flight unit near the
+/// tail, and receives the launch/win reports.
+///
+/// The farm consults the policy only once every fresh unit has been handed
+/// out (`pending == 0`): `allow` is asked with the current in-flight count,
+/// and an affirmative answer lets the idle worker duplicate **one** not-yet-
+/// speculated in-flight unit (first result to land wins; the loser is
+/// discarded on arrival).  The adaptation layer implements this by routing
+/// the question through
+/// [`grasp_core::engine::AdaptationEngine::maybe_speculate`], so speculation
+/// is audited like every other adaptation.
+pub trait SpeculationPolicy: Send + Sync {
+    /// May one more speculative duplicate launch, with `in_flight` of
+    /// `total` units still running and nothing left pending?
+    fn allow(&self, in_flight: usize, total: usize) -> bool;
+    /// A duplicate of unit `unit` was launched on worker `worker`.
+    fn note_launched(&self, unit: usize, worker: usize);
+    /// The duplicate of `unit` on `worker` delivered the winning result.
+    fn note_win(&self, unit: usize, worker: usize);
+}
+
 /// A shared-memory task farm.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ThreadFarm {
     workers: usize,
     policy: SchedulePolicy,
@@ -276,6 +302,27 @@ pub struct ThreadFarm {
     worker_panic_budget: usize,
     gate: Option<Arc<WorkerGate>>,
     ranks: Option<Arc<RankTable>>,
+    speculation: Option<Arc<dyn SpeculationPolicy>>,
+    record_hook: Option<Arc<dyn Fn(usize, usize) + Send + Sync>>,
+}
+
+impl std::fmt::Debug for ThreadFarm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadFarm")
+            .field("workers", &self.workers)
+            .field("policy", &self.policy)
+            .field("calibration_samples", &self.calibration_samples)
+            .field("max_task_attempts", &self.max_task_attempts)
+            .field("worker_panic_budget", &self.worker_panic_budget)
+            .field("gate", &self.gate)
+            .field("ranks", &self.ranks)
+            .field(
+                "speculation",
+                &self.speculation.as_ref().map(|_| "<policy>"),
+            )
+            .field("record_hook", &self.record_hook.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
 }
 
 impl Default for ThreadFarm {
@@ -299,7 +346,29 @@ impl ThreadFarm {
             worker_panic_budget: 3,
             gate: None,
             ranks: None,
+            speculation: None,
+            record_hook: None,
         }
+    }
+
+    /// Attach a [`SpeculationPolicy`]: near the tail, idle workers duplicate
+    /// in-flight units instead of exiting (demand-driven policies only; the
+    /// work-stealing mode already rebalances its tail by stealing).
+    pub fn with_speculation(mut self, policy: Arc<dyn SpeculationPolicy>) -> Self {
+        self.speculation = Some(policy);
+        self
+    }
+
+    /// Attach a hook called as `(worker, item_index)` each time a result is
+    /// *recorded* under the first-result-wins rule.  Losing executions —
+    /// a speculative duplicate beaten by its primary, or a primary superseded
+    /// by its duplicate — never reach the hook, so accounting attached here
+    /// counts every unit exactly once even under speculation.  (The task
+    /// closure itself cannot tell: it runs before the farm resolves the
+    /// race.)
+    pub fn with_record_hook(mut self, hook: Arc<dyn Fn(usize, usize) + Send + Sync>) -> Self {
+        self.record_hook = Some(hook);
+        self
     }
 
     /// Attach a [`WorkerGate`] whose demotion flags the pull loop honours
@@ -418,6 +487,8 @@ impl ThreadFarm {
                     steals_attempted: 0,
                     steals_completed: 0,
                     units_stolen: 0,
+                    speculated_units: 0,
+                    speculation_wins: 0,
                 },
             ));
         }
@@ -450,6 +521,15 @@ impl ThreadFarm {
         let steals_attempted = AtomicUsize::new(0);
         let steals_completed = AtomicUsize::new(0);
         let units_stolen = AtomicUsize::new(0);
+        let speculated_units = AtomicUsize::new(0);
+        let speculation_wins = AtomicUsize::new(0);
+        // One claim flag per unit so each in-flight unit is duplicated at
+        // most once (allocated only when a speculation policy is attached).
+        let speculated_flags: Vec<AtomicBool> = if self.speculation.is_some() {
+            (0..n).map(|_| AtomicBool::new(false)).collect()
+        } else {
+            Vec::new()
+        };
 
         let calib_samples = self.calibration_samples;
         let policy = self.policy;
@@ -458,6 +538,8 @@ impl ThreadFarm {
         let panic_budget = self.worker_panic_budget;
         let gate = self.gate.as_deref();
         let ranks = self.ranks.as_deref();
+        let speculation = self.speculation.as_deref();
+        let record_hook = self.record_hook.as_deref();
 
         // Work-stealing mode: seed one deque per worker from a one-shot
         // partition of the task range.  (Ranges beyond the packed 32-bit
@@ -491,6 +573,9 @@ impl ThreadFarm {
                 let steals_attempted = &steals_attempted;
                 let steals_completed = &steals_completed;
                 let units_stolen = &units_stolen;
+                let speculated_units = &speculated_units;
+                let speculation_wins = &speculation_wins;
+                let speculated_flags = &speculated_flags;
                 let steal_deques = steal_deques.as_deref();
                 let worker_fn = &worker;
                 scope.spawn(move || {
@@ -502,14 +587,35 @@ impl ThreadFarm {
                         match catch_unwind(AssertUnwindSafe(|| worker_fn(wid, &items[index]))) {
                             Ok(out) => {
                                 let dt = t0.elapsed();
-                                *results_slots[index].lock().first_mut().unwrap() = Some(out);
-                                stats[wid].record(dt);
-                                if attempt > 0 {
-                                    retried_total.fetch_add(1, Ordering::Relaxed);
+                                // First result wins: under speculation a
+                                // duplicate may already have filled the slot,
+                                // in which case this copy is the cancelled
+                                // loser — discarded, not recorded, so each
+                                // unit is counted by exactly one worker.
+                                let mut guard = results_slots[index].lock();
+                                let slot = guard.first_mut().unwrap();
+                                if slot.is_none() {
+                                    *slot = Some(out);
+                                    drop(guard);
+                                    stats[wid].record(dt);
+                                    if let Some(hook) = record_hook {
+                                        hook(wid, index);
+                                    }
+                                    if attempt > 0 {
+                                        retried_total.fetch_add(1, Ordering::Relaxed);
+                                    }
                                 }
                                 true
                             }
                             Err(_) => {
+                                // A unit whose speculative duplicate already
+                                // won needs no retry: the panic of the losing
+                                // copy is swallowed (the unit is complete).
+                                if speculation.is_some()
+                                    && results_slots[index].lock().first().unwrap().is_some()
+                                {
+                                    return true;
+                                }
                                 stats[wid].panics.fetch_add(1, Ordering::Relaxed);
                                 let mut q = queue.lock();
                                 if attempt + 1 >= max_attempts {
@@ -526,6 +632,72 @@ impl ThreadFarm {
                                 }
                             }
                         }
+                    };
+                    // Tail speculation (demand-driven modes): duplicate one
+                    // in-flight unit on this otherwise-idle worker.  Returns
+                    // `true` when a duplicate ran (the caller keeps looping:
+                    // retries may have appeared, more tail may remain).
+                    let try_speculate = || -> bool {
+                        let Some(spec) = speculation else {
+                            return false;
+                        };
+                        // In-flight = claimed units with no result yet
+                        // (includes panicked units awaiting retry — their
+                        // re-execution is exactly what a duplicate races).
+                        // The slot scan is racy by design: a unit completing
+                        // mid-scan only makes the in-flight count stale by
+                        // one, and the claim flag still guards uniqueness.
+                        let claimed = queue.lock().next;
+                        let mut in_flight = 0usize;
+                        let mut candidate = None;
+                        for idx in 0..claimed {
+                            if results_slots[idx].lock().first().unwrap().is_none() {
+                                in_flight += 1;
+                                if candidate.is_none()
+                                    && !speculated_flags[idx].load(Ordering::Relaxed)
+                                {
+                                    candidate = Some(idx);
+                                }
+                            }
+                        }
+                        let Some(index) = candidate else {
+                            return false;
+                        };
+                        if !spec.allow(in_flight, n) {
+                            return false;
+                        }
+                        if speculated_flags[index]
+                            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                            .is_err()
+                        {
+                            return true; // lost the claim race — rescan
+                        }
+                        speculated_units.fetch_add(1, Ordering::Relaxed);
+                        spec.note_launched(index, wid);
+                        let t0 = Instant::now();
+                        if let Ok(out) =
+                            catch_unwind(AssertUnwindSafe(|| worker_fn(wid, &items[index])))
+                        {
+                            let dt = t0.elapsed();
+                            let mut guard = results_slots[index].lock();
+                            let slot = guard.first_mut().unwrap();
+                            if slot.is_none() {
+                                *slot = Some(out);
+                                drop(guard);
+                                stats[wid].record(dt);
+                                if let Some(hook) = record_hook {
+                                    hook(wid, index);
+                                }
+                                speculation_wins.fetch_add(1, Ordering::Relaxed);
+                                spec.note_win(index, wid);
+                            }
+                            // else: the straggler finished first after all —
+                            // this duplicate is the discarded loser.
+                        }
+                        // A panicked duplicate is simply dropped: the primary
+                        // still owns the unit, so the ordinary retry path
+                        // (not the speculative one) decides its fate.
+                        true
                     };
                     // A worker past its panic budget retires — unless it is
                     // the last one still pulling, which must soldier on to
@@ -901,17 +1073,31 @@ impl ThreadFarm {
                             }
                             if let Some((index, attempt)) = q.retries.pop_front() {
                                 retries_pending.fetch_sub(1, Ordering::SeqCst);
-                                Job::Retry { index, attempt }
+                                Some(Job::Retry { index, attempt })
                             } else {
                                 let remaining = q.total - q.next;
                                 if remaining == 0 {
-                                    break;
+                                    None
+                                } else {
+                                    let c =
+                                        policy.next_chunk_with_total(remaining, n, workers, weight);
+                                    let start = q.next;
+                                    q.next += c;
+                                    Some(Job::Chunk { start, count: c })
                                 }
-                                let c = policy.next_chunk_with_total(remaining, n, workers, weight);
-                                let start = q.next;
-                                q.next += c;
-                                Job::Chunk { start, count: c }
                             }
+                        };
+                        let Some(job) = job else {
+                            // The tail: every fresh unit is claimed and no
+                            // retry is queued.  Instead of going idle, a
+                            // worker with a speculation policy duplicates an
+                            // in-flight unit and rescans (retries may have
+                            // appeared meanwhile); with none, it exits as
+                            // before.
+                            if try_speculate() {
+                                continue;
+                            }
+                            break;
                         };
                         match job {
                             Job::Retry { index, attempt } => {
@@ -986,6 +1172,8 @@ impl ThreadFarm {
             steals_attempted: steals_attempted.load(Ordering::Relaxed),
             steals_completed: steals_completed.load(Ordering::Relaxed),
             units_stolen: units_stolen.load(Ordering::Relaxed),
+            speculated_units: speculated_units.load(Ordering::Relaxed),
+            speculation_wins: speculation_wins.load(Ordering::Relaxed),
         };
         Ok((output, stats))
     }
@@ -1159,6 +1347,119 @@ mod tests {
             }
             other => panic!("unexpected error {other:?}"),
         }
+    }
+
+    /// Test policy: always allow, count the reports.
+    struct AlwaysSpeculate {
+        launched: AtomicUsize,
+        wins: AtomicUsize,
+    }
+
+    impl AlwaysSpeculate {
+        fn new() -> Arc<Self> {
+            Arc::new(AlwaysSpeculate {
+                launched: AtomicUsize::new(0),
+                wins: AtomicUsize::new(0),
+            })
+        }
+    }
+
+    impl SpeculationPolicy for AlwaysSpeculate {
+        fn allow(&self, _in_flight: usize, _total: usize) -> bool {
+            true
+        }
+        fn note_launched(&self, _unit: usize, _worker: usize) {
+            self.launched.fetch_add(1, Ordering::Relaxed);
+        }
+        fn note_win(&self, _unit: usize, _worker: usize) {
+            self.wins.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn idle_worker_duplicates_the_tail_straggler_and_first_result_wins() {
+        // Whoever executes item 2 first sleeps; the duplicate (or the
+        // straggler, if the duplicate lost the start race) returns at once.
+        // Either way the run must finish long before the sleeper wakes only
+        // if the duplicate's result is accepted.
+        let policy = AlwaysSpeculate::new();
+        let farm = ThreadFarm::new(2)
+            .with_policy(SchedulePolicy::SelfScheduling)
+            .with_calibration_samples(0)
+            .with_speculation(Arc::clone(&policy) as Arc<dyn SpeculationPolicy>);
+        let slow_exec_taken = AtomicUsize::new(0);
+        let items: Vec<u64> = vec![10, 20, 30];
+        let (out, stats) = farm.run(&items, |&x| {
+            if x == 30 && slow_exec_taken.fetch_add(1, Ordering::SeqCst) == 0 {
+                std::thread::sleep(Duration::from_millis(200));
+            }
+            x * 2
+        });
+        assert_eq!(out, vec![20, 40, 60]);
+        // Exactly one worker recorded each unit, duplicates included.
+        assert_eq!(stats.tasks_per_worker.iter().sum::<usize>(), 3);
+        assert!(
+            stats.speculated_units >= 1,
+            "the idle worker never speculated: {stats:?}"
+        );
+        assert!(stats.speculation_wins <= stats.speculated_units);
+        assert_eq!(
+            policy.launched.load(Ordering::Relaxed),
+            stats.speculated_units,
+            "every launch must be reported to the policy"
+        );
+        assert_eq!(policy.wins.load(Ordering::Relaxed), stats.speculation_wins);
+        assert_eq!(stats.panics, 0);
+    }
+
+    #[test]
+    fn speculation_under_panics_still_counts_every_unit_exactly_once() {
+        // Transient panics + a slow straggler + always-on speculation: the
+        // result set and the per-worker task accounting must both stay
+        // exact (no unit double-counted by a winner and its loser).
+        let policy = AlwaysSpeculate::new();
+        let farm = ThreadFarm::new(3)
+            .with_policy(SchedulePolicy::SelfScheduling)
+            .with_calibration_samples(0)
+            .with_max_task_attempts(10)
+            .with_speculation(Arc::clone(&policy) as Arc<dyn SpeculationPolicy>);
+        let transient_faults = AtomicUsize::new(4);
+        let slow_exec_taken = AtomicUsize::new(0);
+        let items: Vec<u64> = (0..24).collect();
+        let (out, stats) = farm
+            .try_run(&items, |&x| {
+                if x % 6 == 0
+                    && transient_faults
+                        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+                        .is_ok()
+                {
+                    panic!("injected transient fault");
+                }
+                if x == 23 && slow_exec_taken.fetch_add(1, Ordering::SeqCst) == 0 {
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                x + 1
+            })
+            .expect("speculation must not break fault recovery");
+        assert_eq!(out, (1..=24).collect::<Vec<u64>>());
+        assert_eq!(
+            stats.tasks_per_worker.iter().sum::<usize>(),
+            24,
+            "winner/loser races double- or under-counted units: {stats:?}"
+        );
+        assert_eq!(
+            policy.launched.load(Ordering::Relaxed),
+            stats.speculated_units
+        );
+    }
+
+    #[test]
+    fn without_a_policy_the_farm_never_speculates() {
+        let farm = ThreadFarm::new(4).with_policy(SchedulePolicy::SelfScheduling);
+        let items: Vec<u64> = (0..50).collect();
+        let (_, stats) = farm.run(&items, |&x| spin_work(x % 16) ^ x);
+        assert_eq!(stats.speculated_units, 0);
+        assert_eq!(stats.speculation_wins, 0);
     }
 
     #[test]

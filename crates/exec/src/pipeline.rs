@@ -32,6 +32,8 @@ use grasp_core::adaptation::AdaptationLog;
 use grasp_core::config::ExecutionConfig;
 use grasp_core::engine::{AdaptationDirective, AdaptationEngine, WallClock};
 use grasp_core::error::GraspError;
+use grasp_core::wire::{ByteReader, ByteWriter};
+use gridsim::NodeId;
 use gridstats::mean;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -42,6 +44,17 @@ use std::time::{Duration, Instant};
 
 /// A boxed stage function.
 pub type StageFn<T> = Box<dyn Fn(T) -> T + Send + Sync>;
+
+/// Serializes one queued item into a checkpoint buffer (wire payload
+/// format) during a live stage migration.
+pub type EncodeItemFn<T> = dyn Fn(&T, &mut ByteWriter) + Send + Sync;
+
+/// Rebuilds one queued item from a checkpoint buffer on the stage's new
+/// home.
+pub type DecodeItemFn<T> = dyn Fn(&mut ByteReader<'_>) -> Result<T, GraspError> + Send + Sync;
+
+/// The encode/decode pair installed by [`ThreadPipeline::with_migration`].
+pub type MigrationCodec<T> = (Arc<EncodeItemFn<T>>, Arc<DecodeItemFn<T>>);
 
 /// Per-run statistics reported by [`ThreadPipeline::run`].
 #[derive(Debug, Clone, PartialEq)]
@@ -98,6 +111,11 @@ pub struct ThreadPipeline<T> {
     /// Engine-driven mid-run adaptation (see
     /// [`ThreadPipeline::with_adaptation`]); `None` disables it.
     adaptation: Option<ExecutionConfig>,
+    /// Checkpoint codec for live stage migration (see
+    /// [`ThreadPipeline::with_migration`]); `None` keeps the
+    /// replicate-on-breach behaviour even when the execution config asks
+    /// for migration (items that cannot be serialized cannot move homes).
+    migration: Option<MigrationCodec<T>>,
 }
 
 impl<T: Send + 'static> ThreadPipeline<T> {
@@ -111,7 +129,28 @@ impl<T: Send + 'static> ThreadPipeline<T> {
             replicas: 2,
             max_task_attempts: 3,
             adaptation: None,
+            migration: None,
         }
+    }
+
+    /// Enable **live stage migration**: when the adaptation engine flags a
+    /// sustained stage breach *and* the execution config sets
+    /// `migrate_stages`, the breaching worker checkpoints the stage's
+    /// queued items — serialized through the wire payload machinery
+    /// ([`ByteWriter`]/[`ByteReader`], the same format the process and
+    /// network backends frame tasks with) — hands queue and checkpoint to
+    /// the stage's standby worker, and **stops serving the stage**.  The
+    /// stage is re-homed (logged as `StageMigrated`), not replicated: the
+    /// worker count stays the same.  Without a codec (or without
+    /// `migrate_stages`) a breach falls back to activating the standby as
+    /// an extra replica.
+    pub fn with_migration(
+        mut self,
+        encode: impl Fn(&T, &mut ByteWriter) + Send + Sync + 'static,
+        decode: impl Fn(&mut ByteReader<'_>) -> Result<T, GraspError> + Send + Sync + 'static,
+    ) -> Self {
+        self.migration = Some((Arc::new(encode), Arc::new(decode)));
+        self
     }
 
     /// Run the shared Algorithm-2 loop ([`AdaptationEngine`]) over this
@@ -270,6 +309,13 @@ impl<T: Send + 'static> ThreadPipeline<T> {
         // The probe doubles as the engine's calibration phase: per-stage
         // thresholds Zₛ derive from the probe's measured service times.
         let adapt_cfg = self.adaptation.filter(|e| e.adaptive);
+        // Live migration needs both the config's consent and a codec; with
+        // either missing, a breach falls back to replication.
+        let migration = if adapt_cfg.is_some_and(|e| e.migrate_stages) {
+            self.migration.clone()
+        } else {
+            None
+        };
         let mut items = items;
         let mut probe_results: Vec<(usize, T)> = Vec::new();
         let mut probe_offset = 0usize;
@@ -356,8 +402,11 @@ impl<T: Send + 'static> ThreadPipeline<T> {
         // activation message, so an idle standby holds no endpoints and can
         // never keep the pipeline from draining: when the last real worker
         // of its stage exits, the activation channel closes and the standby
-        // exits with it.
-        type Activation<T> = (Receiver<(usize, T)>, Sender<(usize, T)>);
+        // exits with it.  The third slot is a migration checkpoint: `None`
+        // activates the standby as an extra replica, `Some(buf)` re-homes
+        // the stage (the sender stops serving it) with `buf` holding the
+        // drained queue in wire payload format.
+        type Activation<T> = (Receiver<(usize, T)>, Sender<(usize, T)>, Option<Vec<u8>>);
         let mut act_txs: Vec<Sender<Activation<T>>> = Vec::new();
         let mut act_rxs: Vec<Receiver<Activation<T>>> = Vec::new();
         if engines.is_some() {
@@ -403,6 +452,7 @@ impl<T: Send + 'static> ThreadPipeline<T> {
                     let act_tx = act_txs.get(i).cloned();
                     let activated = &activated;
                     let extra_replicas = &extra_replicas;
+                    let codec = migration.as_ref();
                     scope.spawn(move || {
                         while let Ok((seq, item)) = rx.recv() {
                             let t0 = Instant::now();
@@ -411,11 +461,14 @@ impl<T: Send + 'static> ThreadPipeline<T> {
                                     // Feed this stage's engine its observed
                                     // service time; a breach directive is
                                     // applied by activating the stage's
-                                    // standby replica — once, first breach
+                                    // standby — as an extra replica, or
+                                    // (with a migration codec) as the
+                                    // stage's new home — once, first breach
                                     // wins.  An activated stage skips its
                                     // engine entirely: no further action is
                                     // possible for it, so observing on
                                     // would be pure lock traffic.
+                                    let mut migrated_away = false;
                                     if !activated[i].load(Ordering::Relaxed) {
                                         if let Some(engines) = engines_ref {
                                             let service = t0.elapsed().as_secs_f64();
@@ -428,24 +481,80 @@ impl<T: Send + 'static> ThreadPipeline<T> {
                                             {
                                                 if !activated[i].swap(true, Ordering::Relaxed) {
                                                     eng.try_consume_recalibration();
-                                                    extra_replicas[i]
-                                                        .fetch_add(1, Ordering::Relaxed);
-                                                    eng.note_stage_replicated(
-                                                        now,
-                                                        i,
-                                                        worker_count + 1,
-                                                        recent_mean,
-                                                    );
-                                                    drop(eng);
-                                                    if let Some(act_tx) = &act_tx {
-                                                        let _ =
-                                                            act_tx.send((rx.clone(), tx.clone()));
+                                                    let checkpoint = codec.map(|(encode, _)| {
+                                                        // Live migration:
+                                                        // checkpoint the queued
+                                                        // items through the wire
+                                                        // payload format.  The
+                                                        // drain frees channel
+                                                        // slots, so the source
+                                                        // never blocks on a
+                                                        // stopped stage.
+                                                        let mut drained = Vec::new();
+                                                        while let Ok(q) = rx.try_recv() {
+                                                            drained.push(q);
+                                                        }
+                                                        let mut w = ByteWriter::new();
+                                                        w.put_u64(drained.len() as u64);
+                                                        for (s, it) in &drained {
+                                                            w.put_u64(*s as u64);
+                                                            encode(it, &mut w);
+                                                        }
+                                                        (drained.len(), w.into_vec())
+                                                    });
+                                                    match checkpoint {
+                                                        Some((count, buf)) => {
+                                                            // The standby's home
+                                                            // is named after its
+                                                            // slot beyond the
+                                                            // primary stage ids.
+                                                            eng.note_stage_migrated(
+                                                                now,
+                                                                i,
+                                                                NodeId(i),
+                                                                NodeId(n_stages + i),
+                                                                count,
+                                                                recent_mean,
+                                                            );
+                                                            drop(eng);
+                                                            if let Some(act_tx) = &act_tx {
+                                                                let _ = act_tx.send((
+                                                                    rx.clone(),
+                                                                    tx.clone(),
+                                                                    Some(buf),
+                                                                ));
+                                                            }
+                                                            migrated_away = true;
+                                                        }
+                                                        None => {
+                                                            extra_replicas[i]
+                                                                .fetch_add(1, Ordering::Relaxed);
+                                                            eng.note_stage_replicated(
+                                                                now,
+                                                                i,
+                                                                worker_count + 1,
+                                                                recent_mean,
+                                                            );
+                                                            drop(eng);
+                                                            if let Some(act_tx) = &act_tx {
+                                                                let _ = act_tx.send((
+                                                                    rx.clone(),
+                                                                    tx.clone(),
+                                                                    None,
+                                                                ));
+                                                            }
+                                                        }
                                                     }
                                                 }
                                             }
                                         }
                                     }
                                     if tx.send((seq, out)).is_err() {
+                                        break;
+                                    }
+                                    if migrated_away {
+                                        // Re-homed, not replicated: the old
+                                        // worker stops serving the stage.
                                         break;
                                     }
                                 }
@@ -461,13 +570,44 @@ impl<T: Send + 'static> ThreadPipeline<T> {
 
             // Standby replicas: parked on their activation channel, holding
             // no stage endpoints until (unless) a breach hands them some.
+            // A migration activation additionally ships the checkpointed
+            // queue, replayed from the wire payload before the live queue.
             for (i, act_rx) in act_rxs.into_iter().enumerate() {
                 let stage = Arc::clone(&self.stages[i]);
                 let times = &service_times[i];
                 let apply = &apply_stage;
                 let failed = &failed;
+                let codec = migration.as_ref();
                 scope.spawn(move || {
-                    if let Ok((rx, tx)) = act_rx.recv() {
+                    if let Ok((rx, tx, checkpoint)) = act_rx.recv() {
+                        if let Some(buf) = checkpoint {
+                            let (_, decode) =
+                                codec.expect("a checkpoint only ships when a codec is configured");
+                            let mut r = ByteReader::new(&buf);
+                            let count = r.take_u64().unwrap_or(0);
+                            for _ in 0..count {
+                                let Ok(seq) = r.take_u64() else { break };
+                                let seq = seq as usize;
+                                match decode(&mut r) {
+                                    Ok(item) => match apply(&stage, item, times) {
+                                        Some(out) => {
+                                            if tx.send((seq, out)).is_err() {
+                                                return;
+                                            }
+                                        }
+                                        None => failed.lock().push(seq),
+                                    },
+                                    // A checkpoint that cannot be decoded
+                                    // loses its remaining items: report
+                                    // them failed rather than hang the
+                                    // reorder sink.
+                                    Err(_) => {
+                                        failed.lock().push(seq);
+                                        break;
+                                    }
+                                }
+                            }
+                        }
                         while let Ok((seq, item)) = rx.recv() {
                             match apply(&stage, item, times) {
                                 Some(out) => {
@@ -723,6 +863,90 @@ mod tests {
             stats.replicas_per_stage[1], 2,
             "the degraded stage gained its standby: {:?}",
             stats.replicas_per_stage
+        );
+    }
+
+    #[test]
+    fn engine_breach_migrates_the_stage_when_a_codec_is_configured() {
+        use grasp_core::ThresholdPolicy;
+        use std::sync::atomic::AtomicUsize;
+        // Same breach as the replication test, but the config asks for
+        // migration and the pipeline has a checkpoint codec: the degraded
+        // stage must be re-homed on its standby (queued items round-tripped
+        // through the wire payload), not replicated — the worker count
+        // stays 1 and the log says StageMigrated.
+        let done = std::sync::Arc::new(AtomicUsize::new(0));
+        let hook = done.clone();
+        let exec = ExecutionConfig {
+            threshold: ThresholdPolicy::Factor { factor: 3.0 },
+            monitor_interval_s: 1e-4,
+            migrate_stages: true,
+            ..ExecutionConfig::default()
+        };
+        let pipeline = ThreadPipeline::new()
+            .stage(|x: u64| {
+                crate::backend::spin(2_000);
+                x + 1
+            })
+            .stage(move |x: u64| {
+                let n = hook.fetch_add(1, Ordering::Relaxed);
+                crate::backend::spin(if n >= 30 { 80_000 } else { 2_000 });
+                x * 2
+            })
+            .with_adaptation(exec)
+            .with_migration(|x, w| w.put_u64(*x), |r| r.take_u64());
+        let items: Vec<u64> = (0..150).collect();
+        let expected: Vec<u64> = items.iter().map(|x| (x + 1) * 2).collect();
+        let (out, stats) = pipeline
+            .try_run(items)
+            .expect("migration must not fail the run");
+        assert_eq!(out, expected, "migration preserves order and results");
+        assert_eq!(stats.items_per_stage, vec![150, 150]);
+        assert!(
+            stats.adaptation.stage_migrations() >= 1,
+            "{}",
+            stats.adaptation.summary()
+        );
+        assert_eq!(
+            stats.adaptation.stage_replications(),
+            0,
+            "migration replaces replication: {}",
+            stats.adaptation.summary()
+        );
+        assert_eq!(
+            stats.replicas_per_stage,
+            vec![1, 1],
+            "a re-homed stage gains no workers"
+        );
+    }
+
+    #[test]
+    fn migration_config_without_a_codec_falls_back_to_replication() {
+        use grasp_core::ThresholdPolicy;
+        use std::sync::atomic::AtomicUsize;
+        let done = std::sync::Arc::new(AtomicUsize::new(0));
+        let hook = done.clone();
+        let exec = ExecutionConfig {
+            threshold: ThresholdPolicy::Factor { factor: 3.0 },
+            monitor_interval_s: 1e-4,
+            migrate_stages: true,
+            ..ExecutionConfig::default()
+        };
+        let pipeline = ThreadPipeline::new()
+            .stage(move |x: u64| {
+                let n = hook.fetch_add(1, Ordering::Relaxed);
+                crate::backend::spin(if n >= 30 { 80_000 } else { 2_000 });
+                x * 2
+            })
+            .with_adaptation(exec);
+        let items: Vec<u64> = (0..120).collect();
+        let (out, stats) = pipeline.try_run(items).expect("fallback must not fail");
+        assert_eq!(out.len(), 120);
+        assert_eq!(
+            stats.adaptation.stage_migrations(),
+            0,
+            "no codec, no checkpoint, no migration: {}",
+            stats.adaptation.summary()
         );
     }
 

@@ -31,7 +31,7 @@
 //! tests — same code, byte-identical frames.
 
 use grasp_core::adaptation::AdaptationLog;
-use grasp_core::config::ExecutionConfig;
+use grasp_core::config::{BackendConfig, ExecutionConfig, FaultInjection};
 use grasp_core::engine::{AdaptationDirective, AdaptationEngine, WallClock};
 use grasp_core::error::GraspError;
 use grasp_core::execution::MonitorVerdict;
@@ -173,7 +173,54 @@ impl NetBackend {
         self
     }
 
+    /// Apply a shared [`BackendConfig`]: the one builder every backend
+    /// understands.  Unset fields keep this backend's defaults.  Heartbeat
+    /// semantics are this backend's: `interval_s = 0` disables worker
+    /// heartbeats *and* the timeout sweep (deaths are then detected by
+    /// socket EOF / frame errors only).  The `worker_panic_budget` knob has
+    /// no socket analogue — a worker process dies with its panic and the
+    /// requeue path takes over — and is ignored.  The plan's
+    /// [`FaultInjection`] is applied as by
+    /// [`NetBackend::with_fault_injection`].
+    pub fn with_config(mut self, cfg: BackendConfig) -> Self {
+        if let Some(samples) = cfg.calibration_samples {
+            self.calibration_samples = Some(samples);
+        }
+        if let Some(iters) = cfg.spin_per_work_unit {
+            self.spin_per_work_unit = iters.max(1);
+        }
+        if let Some(attempts) = cfg.max_task_attempts {
+            self.max_task_attempts = attempts.max(1);
+        }
+        if let Some((interval_s, timeout_s)) = cfg.heartbeat {
+            if interval_s <= 0.0 {
+                self.heartbeat_interval_s = 0.0;
+                self.heartbeat_timeout_s = timeout_s.max(1e-3);
+            } else {
+                self.heartbeat_interval_s = interval_s;
+                self.heartbeat_timeout_s = timeout_s.max(10.0 * interval_s);
+            }
+        }
+        if let Some(path) = cfg.worker_bin {
+            self.worker_bin = Some(path);
+        }
+        self.with_fault_injection(cfg.faults)
+    }
+
+    /// Apply a typed [`FaultInjection`] plan, replacing any previously
+    /// configured injection outright.  Sockets realise `kill` as a mid-run
+    /// SIGKILL of the member's process (TCP mode) and `join_spawn` as the
+    /// dynamic-membership driver (spawn extra workers once `after_results`
+    /// units completed); `panics` and `slowdown` have no socket-master
+    /// analogue and are ignored.
+    pub fn with_fault_injection(mut self, faults: FaultInjection) -> Self {
+        self.kill_injection = faults.kill.map(|k| (k.worker, k.after_results));
+        self.join_spawn = faults.join_spawn.map(|j| (j.after_results, j.extra.max(1)));
+        self
+    }
+
     /// Use an explicit worker binary instead of [`crate::find_worker_bin`].
+    #[deprecated(note = "use with_config(BackendConfig::new().worker_bin(path))")]
     pub fn with_worker_bin(mut self, path: impl Into<PathBuf>) -> Self {
         self.worker_bin = Some(path.into());
         self
@@ -181,6 +228,7 @@ impl NetBackend {
 
     /// Override how many spin iterations one declared work unit costs on a
     /// worker (spin payloads and calibration probes; clamped to ≥ 1).
+    #[deprecated(note = "use with_config(BackendConfig::new().spin_per_work_unit(iters))")]
     pub fn with_spin_per_work_unit(mut self, iters: u64) -> Self {
         self.spin_per_work_unit = iters.max(1);
         self
@@ -189,6 +237,7 @@ impl NetBackend {
     /// Override how many observations per waited-for worker form the
     /// Algorithm-1 calibration sample (0 disables the adaptation engine;
     /// otherwise `config.calibration.samples_per_node`).
+    #[deprecated(note = "use with_config(BackendConfig::new().calibration_samples(n))")]
     pub fn with_calibration_samples(mut self, samples: usize) -> Self {
         self.calibration_samples = Some(samples);
         self
@@ -205,6 +254,7 @@ impl NetBackend {
     /// heartbeats *and* the timeout sweep: deaths are then detected by
     /// socket EOF / frame errors only, which keeps loopback frame indices
     /// deterministic for the fault-injection tests.
+    #[deprecated(note = "use with_config(BackendConfig::new().heartbeat(interval_s, timeout_s))")]
     pub fn with_heartbeat(mut self, interval_s: f64, timeout_s: f64) -> Self {
         if interval_s <= 0.0 {
             self.heartbeat_interval_s = 0.0;
@@ -225,6 +275,7 @@ impl NetBackend {
 
     /// Override how many times one unit may be dispatched before the run
     /// fails with [`GraspError::WorkerFailed`] (clamped to ≥ 1; default 3).
+    #[deprecated(note = "use with_config(BackendConfig::new().max_task_attempts(n))")]
     pub fn with_max_task_attempts(mut self, attempts: usize) -> Self {
         self.max_task_attempts = attempts.max(1);
         self
@@ -233,6 +284,7 @@ impl NetBackend {
     /// Inject a **hard kill**: after member `worker` has delivered
     /// `results` completed units, SIGKILL its process mid-run (TCP mode;
     /// members without a spawned process are unaffected).
+    #[deprecated(note = "use with_fault_injection(FaultInjection::none().kill(worker, results))")]
     pub fn with_kill_injection(mut self, worker: usize, results: usize) -> Self {
         self.kill_injection = Some((worker, results));
         self
@@ -241,6 +293,9 @@ impl NetBackend {
     /// Grow the pool mid-run (TCP mode): once `after_results` units have
     /// completed, spawn `extra` additional worker processes; each joins
     /// through the full handshake + calibration-prefix path.
+    #[deprecated(
+        note = "use with_fault_injection(FaultInjection::none().join_spawn(after_results, extra))"
+    )]
     pub fn with_join_spawn(mut self, after_results: usize, extra: usize) -> Self {
         self.join_spawn = Some((after_results, extra.max(1)));
         self
@@ -977,6 +1032,12 @@ impl<'a> NetMaster<'a> {
                     }
                 }
                 AdaptationDirective::RemapStage { .. } => {}
+                // This backend does not speculate: duplicating a straggler
+                // over the wire would spend scarce cross-node bandwidth on
+                // work that is already paid for, and the timeout-requeue
+                // path covers genuine losses.  The directive is
+                // acknowledged and dropped.
+                AdaptationDirective::Speculate { .. } => {}
             }
         }
     }
@@ -1259,6 +1320,9 @@ impl<'a> NetMaster<'a> {
                 retried_tasks: self.retried_tasks,
                 migrated_stages: 0,
                 nodes_lost: self.nodes_lost,
+                // This backend never speculates (see `apply_directives`).
+                speculated_units: 0,
+                speculation_wins: 0,
             },
             children: self
                 .spans

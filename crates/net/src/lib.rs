@@ -27,8 +27,9 @@
 //! TCP workers are the `grasp-net-worker` binary of the workspace root
 //! (`cargo build` produces it); it connects to the endpoint given as its
 //! first argument.  The backend resolves the binary through, in order: an
-//! explicit [`NetBackend::with_worker_bin`] path, the [`WORKER_BIN_ENV`]
-//! environment variable, and a search next to the current executable
+//! explicit [`grasp_core::config::BackendConfig::worker_bin`] path (applied
+//! via [`NetBackend::with_config`]), the [`WORKER_BIN_ENV`] environment
+//! variable, and a search next to the current executable
 //! ([`find_worker_bin`]).
 //!
 //! ```no_run

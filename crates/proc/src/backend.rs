@@ -26,7 +26,7 @@
 //! model made concrete on one machine.
 
 use grasp_core::adaptation::AdaptationLog;
-use grasp_core::config::ExecutionConfig;
+use grasp_core::config::{BackendConfig, ExecutionConfig, FaultInjection};
 use grasp_core::engine::{AdaptationDirective, AdaptationEngine, WallClock};
 use grasp_core::error::GraspError;
 use grasp_core::execution::MonitorVerdict;
@@ -123,7 +123,46 @@ impl ProcBackend {
         self
     }
 
+    /// Apply a shared [`BackendConfig`]: the one builder every backend
+    /// understands.  Unset fields keep this backend's defaults.  The
+    /// `worker_panic_budget` knob has no process analogue — a worker
+    /// process dies with its panic and the master's requeue path takes
+    /// over — and is ignored.  The plan's [`FaultInjection`] is applied as
+    /// by [`ProcBackend::with_fault_injection`].
+    pub fn with_config(mut self, cfg: BackendConfig) -> Self {
+        if let Some(samples) = cfg.calibration_samples {
+            self.calibration_samples = Some(samples);
+        }
+        if let Some(iters) = cfg.spin_per_work_unit {
+            self.spin_per_work_unit = iters.max(1);
+        }
+        if let Some(attempts) = cfg.max_task_attempts {
+            self.max_task_attempts = attempts.max(1);
+        }
+        if let Some((interval_s, timeout_s)) = cfg.heartbeat {
+            self.heartbeat_interval_s = interval_s.max(1e-3);
+            self.heartbeat_timeout_s = timeout_s.max(10.0 * self.heartbeat_interval_s);
+        }
+        if let Some(path) = cfg.worker_bin {
+            self.worker_bin = Some(path);
+        }
+        self.with_fault_injection(cfg.faults)
+    }
+
+    /// Apply a typed [`FaultInjection`] plan, replacing any previously
+    /// configured injection outright.  Processes realise `kill` as a
+    /// mid-run SIGKILL of the worker (no unwinding, no goodbye frame —
+    /// exactly what a revoked grid node looks like); `panics`, `slowdown`
+    /// and `join_spawn` have no process-master analogue — a worker panic
+    /// *is* a death (use `kill`), and membership is fixed at spawn — and
+    /// are ignored.
+    pub fn with_fault_injection(mut self, faults: FaultInjection) -> Self {
+        self.kill_injection = faults.kill.map(|k| (k.worker, k.after_results));
+        self
+    }
+
     /// Use an explicit worker binary instead of [`crate::find_worker_bin`].
+    #[deprecated(note = "use with_config(BackendConfig::new().worker_bin(path))")]
     pub fn with_worker_bin(mut self, path: impl Into<PathBuf>) -> Self {
         self.worker_bin = Some(path.into());
         self
@@ -131,6 +170,7 @@ impl ProcBackend {
 
     /// Override how many spin iterations one declared work unit costs on a
     /// worker (spin payloads only; clamped to ≥ 1).
+    #[deprecated(note = "use with_config(BackendConfig::new().spin_per_work_unit(iters))")]
     pub fn with_spin_per_work_unit(mut self, iters: u64) -> Self {
         self.spin_per_work_unit = iters.max(1);
         self
@@ -139,6 +179,7 @@ impl ProcBackend {
     /// Override how many probe units form the Algorithm-1 calibration sample
     /// per worker (0 disables the adaptation engine; otherwise
     /// `config.calibration.samples_per_node`).
+    #[deprecated(note = "use with_config(BackendConfig::new().calibration_samples(n))")]
     pub fn with_calibration_samples(mut self, samples: usize) -> Self {
         self.calibration_samples = Some(samples);
         self
@@ -147,6 +188,7 @@ impl ProcBackend {
     /// Override the liveness cadence: workers heartbeat every `interval_s`,
     /// and a worker silent for `timeout_s` is declared dead and its
     /// in-flight units requeued.
+    #[deprecated(note = "use with_config(BackendConfig::new().heartbeat(interval_s, timeout_s))")]
     pub fn with_heartbeat(mut self, interval_s: f64, timeout_s: f64) -> Self {
         self.heartbeat_interval_s = interval_s.max(1e-3);
         self.heartbeat_timeout_s = timeout_s.max(10.0 * self.heartbeat_interval_s);
@@ -155,6 +197,7 @@ impl ProcBackend {
 
     /// Override how many times one unit may be dispatched before the run
     /// fails with [`GraspError::WorkerFailed`] (clamped to ≥ 1; default 3).
+    #[deprecated(note = "use with_config(BackendConfig::new().max_task_attempts(n))")]
     pub fn with_max_task_attempts(mut self, attempts: usize) -> Self {
         self.max_task_attempts = attempts.max(1);
         self
@@ -165,6 +208,7 @@ impl ProcBackend {
     /// handler, no unwinding, no goodbye frame; exactly what a revoked grid
     /// node looks like.  The run must survive it (requeue + continue) and
     /// report the loss in the outcome's [`ResilienceReport`].
+    #[deprecated(note = "use with_fault_injection(FaultInjection::none().kill(worker, results))")]
     pub fn with_kill_injection(mut self, worker: usize, results: usize) -> Self {
         self.kill_injection = Some((worker, results));
         self
@@ -404,6 +448,12 @@ struct Master<'a> {
     requeued_tasks: usize,
     retried_tasks: usize,
     nodes_lost: usize,
+    /// Speculative duplicates in flight: unit index → the idle worker the
+    /// duplicate was dispatched to.  Duplicates never touch the attempt
+    /// budget; `completions`' first-wins dedup settles each race.
+    spec_in_flight: HashMap<usize, usize>,
+    speculated_units: usize,
+    speculation_wins: usize,
     /// Shared with the writer threads, which account bytes, encode time,
     /// write time, and extra payload copies per frame they put on the wire.
     counters: WireCounters,
@@ -544,6 +594,9 @@ impl<'a> Master<'a> {
             requeued_tasks: 0,
             retried_tasks: 0,
             nodes_lost: 0,
+            spec_in_flight: HashMap::new(),
+            speculated_units: 0,
+            speculation_wins: 0,
             counters,
             bytes_received,
             kill_injection: backend.kill_injection,
@@ -621,6 +674,79 @@ impl<'a> Master<'a> {
         Ok(())
     }
 
+    /// Near the tail — pending queue drained, a few stragglers in flight —
+    /// duplicate in-flight units on idle workers when the engine's
+    /// `Speculate` directive allows it.  The first result to arrive wins
+    /// (`completions`' first-wins dedup settles each race) and the loser
+    /// is discarded on arrival; duplicates never touch the attempt budget,
+    /// because the primary dispatch owns the retry path.
+    fn try_speculate(&mut self) {
+        let total = self.units.len();
+        if !self.pending.is_empty() || self.completions.len() >= total {
+            return;
+        }
+        loop {
+            let in_flight = self.total_in_flight();
+            let allowed = match &self.adaptation {
+                Some(ad) => ad.engine.maybe_speculate(in_flight, total).is_some(),
+                None => false,
+            };
+            if !allowed {
+                return;
+            }
+            // An idle window slot on a dispatchable worker, counting its
+            // speculative duplicates against the same outstanding budget.
+            let Some(w) = (0..self.pool.len()).find(|&w| {
+                let p = &self.pool[w];
+                let spec_held = self.spec_in_flight.values().filter(|&&sw| sw == w).count();
+                p.alive
+                    && !p.demoted
+                    && p.ready
+                    && p.tx.is_some()
+                    && p.in_flight.len() + spec_held < self.backend.outstanding_per_worker
+            }) else {
+                return;
+            };
+            // A straggler worth racing: in flight on a *different* worker
+            // and not already duplicated.
+            let candidate = self
+                .pool
+                .iter()
+                .enumerate()
+                .filter(|&(pw, _)| pw != w)
+                .flat_map(|(_, p)| p.in_flight.iter().copied())
+                .find(|idx| {
+                    !self.spec_in_flight.contains_key(idx)
+                        && !self.completions.contains_key(&self.units[*idx].0)
+                });
+            let Some(idx) = candidate else {
+                return;
+            };
+            let (id, work) = self.units[idx];
+            let msg = match self.backend.payloads.get(&id) {
+                Some((kind, bytes)) => OutMsg::Task {
+                    unit_id: id as u64,
+                    work,
+                    kind: *kind,
+                    payload: Arc::clone(bytes),
+                },
+                None => OutMsg::spin_task(id as u64, work),
+            };
+            if !self.send_to(w, msg) {
+                // Broken pipe: the worker's fate is settled by its Closed
+                // event; nothing was duplicated.
+                self.pool[w].tx = None;
+                continue;
+            }
+            let now = self.clock.now();
+            self.spec_in_flight.insert(idx, w);
+            self.speculated_units += 1;
+            if let Some(ad) = &mut self.adaptation {
+                ad.engine.note_speculated(now, id, NodeId(w));
+            }
+        }
+    }
+
     /// A worker is gone (EOF, frame error, or heartbeat timeout): requeue
     /// its in-flight units and account the loss.  Demoted workers drain and
     /// exit by design — their end is not a node loss.
@@ -638,6 +764,10 @@ impl<'a> Master<'a> {
         let stranded: Vec<usize> = std::mem::take(&mut p.in_flight);
         let was_demoted = p.demoted;
         self.registry.forget_heartbeat(NodeId(w));
+        // Speculative duplicates stranded on the dead worker are simply
+        // gone — the primary copy lives elsewhere and owns the unit, so
+        // requeueing them would double-schedule.
+        self.spec_in_flight.retain(|_, &mut sw| sw != w);
         for idx in stranded.iter().rev() {
             self.pending.push_front(*idx);
             self.requeued_open.insert(*idx);
@@ -697,6 +827,10 @@ impl<'a> Master<'a> {
                     }
                 }
                 AdaptationDirective::RemapStage { .. } => {}
+                // Speculation is driven from the dispatch loop (the master
+                // asks `maybe_speculate` whenever the pending queue drains),
+                // so a poll-emitted directive has nothing left to do.
+                AdaptationDirective::Speculate { .. } => {}
             }
         }
     }
@@ -733,15 +867,33 @@ impl<'a> Master<'a> {
                 self.pool[w].in_flight.retain(|&i| i != idx);
                 self.pool[w].completed += 1;
                 let id = self.units[idx].0;
-                // A unit presumed lost (timeout requeue) can in principle be
-                // completed by both the old and a new worker: the first
-                // completion wins, and the map keeps conservation intact.
-                if let std::collections::btree_map::Entry::Vacant(slot) = self.completions.entry(id)
-                {
-                    slot.insert(now.as_secs());
-                    self.digests.insert(id, digest);
-                    if self.requeued_open.remove(&idx) {
-                        self.retried_tasks += 1;
+                // A unit presumed lost (timeout requeue) or speculatively
+                // duplicated can be completed by more than one worker: the
+                // first digest-carrying completion wins, and the map keeps
+                // conservation intact — later copies are discarded on
+                // arrival.
+                match self.completions.entry(id) {
+                    std::collections::btree_map::Entry::Vacant(slot) => {
+                        slot.insert(now.as_secs());
+                        self.digests.insert(id, digest);
+                        if self.requeued_open.remove(&idx) {
+                            self.retried_tasks += 1;
+                        }
+                        // A settled speculation race: if the winning copy is
+                        // the duplicate, the straggler was rescued.
+                        if let Some(spec_w) = self.spec_in_flight.remove(&idx) {
+                            if spec_w == w {
+                                self.speculation_wins += 1;
+                                if let Some(ad) = &mut self.adaptation {
+                                    ad.engine.note_speculation_won(now, id, NodeId(w));
+                                }
+                            }
+                        }
+                    }
+                    std::collections::btree_map::Entry::Occupied(_) => {
+                        // The losing copy (speculation or timeout-requeue
+                        // race): cancelled by discarding its result.
+                        self.spec_in_flight.remove(&idx);
                     }
                 }
                 let directives = match &mut self.adaptation {
@@ -779,6 +931,14 @@ impl<'a> Master<'a> {
                     });
                 };
                 self.pool[w].in_flight.retain(|&i| i != idx);
+                // A failed speculative duplicate is discarded outright: the
+                // primary copy owns the unit's retry budget, so requeueing
+                // here would double-schedule (and could even fail the run
+                // on the duplicate's account).
+                if self.spec_in_flight.get(&idx) == Some(&w) {
+                    self.spec_in_flight.remove(&idx);
+                    return Ok(());
+                }
                 if self.attempts[idx] >= self.backend.max_task_attempts {
                     return Err(GraspError::WorkerFailed {
                         task: unit_id as usize,
@@ -832,6 +992,7 @@ impl<'a> Master<'a> {
                 self.on_worker_gone(node.index());
             }
             self.dispatch_all()?;
+            self.try_speculate();
             if self.completions.len() < total
                 && self.dispatchable() == 0
                 && (!self.pending.is_empty() || self.total_in_flight() == 0)
@@ -877,6 +1038,8 @@ impl<'a> Master<'a> {
                 retried_tasks: self.retried_tasks,
                 migrated_stages: 0,
                 nodes_lost: self.nodes_lost,
+                speculated_units: self.speculated_units,
+                speculation_wins: self.speculation_wins,
             },
             children: self
                 .spans

@@ -29,9 +29,10 @@
 //! Workers are a re-exec of [`worker::run_stdio`] packaged as the
 //! `grasp-proc-worker` binary of the workspace root (`cargo build` produces
 //! it next to every other artefact).  The backend resolves it through, in
-//! order: an explicit [`ProcBackend::with_worker_bin`] path, the
-//! [`WORKER_BIN_ENV`] environment variable, and a search next to the current
-//! executable ([`find_worker_bin`]).
+//! order: an explicit [`grasp_core::config::BackendConfig::worker_bin`] path
+//! (applied via [`ProcBackend::with_config`]), the [`WORKER_BIN_ENV`]
+//! environment variable, and a search next to the current executable
+//! ([`find_worker_bin`]).
 //!
 //! ```no_run
 //! use grasp_core::{Grasp, GraspConfig, Skeleton, TaskSpec};

@@ -523,6 +523,9 @@ fn run_round(
                         inner.recalibrations.fetch_add(1, Ordering::Relaxed);
                     }
                     AdaptationDirective::RemapStage { .. } => {}
+                    // The resident pool batches whole jobs per round; there
+                    // is no per-unit tail to speculate on at this level.
+                    AdaptationDirective::Speculate { .. } => {}
                 }
             }
         }
@@ -568,6 +571,8 @@ fn run_round(
                 retried_tasks: retried,
                 migrated_stages: 0,
                 nodes_lost: 0,
+                speculated_units: 0,
+                speculation_wins: 0,
             },
             children,
             detail: OutcomeDetail::Service {

@@ -36,6 +36,7 @@ pub mod matmul;
 pub mod quadrature;
 pub mod seqmatch;
 pub mod servicemix;
+pub mod transim;
 
 pub use blackscholes::BlackScholesSweep;
 pub use imaging::{ImagePipeline, SyntheticImage};
@@ -44,3 +45,4 @@ pub use matmul::MatMulJob;
 pub use quadrature::QuadratureJob;
 pub use seqmatch::SequenceMatchJob;
 pub use servicemix::{ServiceArrival, ServiceMixJob};
+pub use transim::{PartitionOutcome, TranSimJob};

@@ -75,10 +75,12 @@ fn main() {
 
     // ------------------------- thread backend --------------------------
     println!("\n== real threads: injected worker panics as churn ==");
-    let backend = ThreadBackend::new(4)
-        .with_spin_per_work_unit(2_000)
-        .with_max_task_attempts(8)
-        .with_panic_injection(5);
+    let backend = ThreadBackend::new(4).with_config(
+        BackendConfig::new()
+            .spin_per_work_unit(2_000)
+            .max_task_attempts(8)
+            .faults(FaultInjection::none().panics(5)),
+    );
     let report = Grasp::new(GraspConfig::default())
         .run(&backend, &skeleton)
         .expect("injected panics must be isolated, not fatal");

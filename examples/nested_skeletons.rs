@@ -46,7 +46,7 @@ fn main() {
 
     let grid = Grid::dedicated(TopologyBuilder::heterogeneous_cluster(8, 20.0, 80.0, 11));
     let sim = SimBackend::new(&grid);
-    let threads = ThreadBackend::new(4).with_spin_per_work_unit(2_000);
+    let threads = ThreadBackend::new(4).with_config(BackendConfig::new().spin_per_work_unit(2_000));
     let grasp = Grasp::new(GraspConfig::default());
 
     println!(

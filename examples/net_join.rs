@@ -34,7 +34,7 @@ fn main() {
 
     let backend = NetBackend::new(2)
         .with_payloads(job.wire_payloads())
-        .with_join_spawn(join_after, 1);
+        .with_fault_injection(FaultInjection::none().join_spawn(join_after, 1));
     let report = Grasp::new(GraspConfig::default())
         .run(&backend, &skeleton)
         .expect("a worker joining mid-run must not fail the run");

@@ -36,7 +36,7 @@ fn main() {
         .with_payloads(job.wire_payloads())
         // Slow the pool slightly via real work only — the matmul bands are
         // the computation; the kill must land while units are in flight.
-        .with_kill_injection(1, 2);
+        .with_fault_injection(FaultInjection::none().kill(1, 2));
     let report = Grasp::new(GraspConfig::default())
         .run(&backend, &skeleton)
         .expect("a hard-killed worker must not fail the run");

@@ -37,9 +37,11 @@ struct RunStats {
 }
 
 fn run(scheduler: SchedulePolicy, skeleton: &Skeleton) -> RunStats {
-    let backend = ThreadBackend::new(WORKERS)
-        .with_spin_per_work_unit(30_000)
-        .with_worker_slowdown_injection(0, 8, SLOW_FACTOR);
+    let backend = ThreadBackend::new(WORKERS).with_config(
+        BackendConfig::new()
+            .spin_per_work_unit(30_000)
+            .faults(FaultInjection::none().worker_slowdown(0, 8, SLOW_FACTOR)),
+    );
     let mut cfg = GraspConfig {
         scheduler,
         ..GraspConfig::default()

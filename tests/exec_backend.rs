@@ -123,7 +123,7 @@ fn sim_and_thread_backends_agree_on_a_fixed_seed_farm_of_pipelines() {
         .expect("sim backend run failed");
     let threads = grasp
         .run(
-            &ThreadBackend::new(4).with_spin_per_work_unit(10),
+            &ThreadBackend::new(4).with_config(BackendConfig::new().spin_per_work_unit(10)),
             &skeleton,
         )
         .expect("thread backend run failed");
@@ -157,10 +157,12 @@ fn thread_backend_with_injected_worker_panic_completes_and_reports_retries() {
     // scheduler can hand every retry of one task to the same point in the
     // injection sequence, so with attempts == injections a single task may
     // absorb all three injected panics and legitimately fail the run.
-    let backend = ThreadBackend::new(4)
-        .with_spin_per_work_unit(1)
-        .with_panic_injection(3)
-        .with_max_task_attempts(5);
+    let backend = ThreadBackend::new(4).with_config(
+        BackendConfig::new()
+            .spin_per_work_unit(1)
+            .max_task_attempts(5)
+            .faults(FaultInjection::none().panics(3)),
+    );
     let report = Grasp::new(GraspConfig::default())
         .run(&backend, &skeleton)
         .expect("injected worker panics must be survived");
@@ -175,7 +177,10 @@ fn thread_backend_with_injected_worker_panic_completes_and_reports_retries() {
 
     // The same expression on a fault-free backend reports a clean run.
     let clean = Grasp::new(GraspConfig::default())
-        .run(&ThreadBackend::new(4).with_spin_per_work_unit(1), &skeleton)
+        .run(
+            &ThreadBackend::new(4).with_config(BackendConfig::new().spin_per_work_unit(1)),
+            &skeleton,
+        )
         .unwrap();
     assert!(clean.outcome.resilience.is_clean());
 }
@@ -188,10 +193,12 @@ fn work_stealing_farm_with_injected_panics_conserves_and_reports_recovery() {
     // complete every unit exactly once, and the recovery must be visible in
     // the ResilienceReport alongside the new steal counters.
     let skeleton = Skeleton::farm(TaskSpec::uniform(80, 2.0, 0, 0));
-    let backend = ThreadBackend::new(4)
-        .with_spin_per_work_unit(1)
-        .with_panic_injection(3)
-        .with_max_task_attempts(5);
+    let backend = ThreadBackend::new(4).with_config(
+        BackendConfig::new()
+            .spin_per_work_unit(1)
+            .max_task_attempts(5)
+            .faults(FaultInjection::none().panics(3)),
+    );
     let cfg = GraspConfig {
         scheduler: SchedulePolicy::WorkStealing { min_chunk: 1 },
         ..GraspConfig::default()
@@ -253,9 +260,11 @@ fn injected_slowdown_worker_is_demoted_through_the_shared_engine() {
     // scheduler noise demotes a healthy worker spuriously (the gate itself
     // keeps the last active worker running).
     let skeleton = Skeleton::farm(TaskSpec::uniform(3000, 1.0, 0, 0));
-    let backend = ThreadBackend::new(4)
-        .with_spin_per_work_unit(30_000)
-        .with_worker_slowdown_injection(0, 8, 25.0);
+    let backend = ThreadBackend::new(4).with_config(
+        BackendConfig::new()
+            .spin_per_work_unit(30_000)
+            .faults(FaultInjection::none().worker_slowdown(0, 8, 25.0)),
+    );
     let mut cfg = GraspConfig {
         scheduler: SchedulePolicy::SelfScheduling,
         ..GraspConfig::default()

@@ -26,9 +26,11 @@ fn worker_bin() -> &'static str {
 /// every connection's frame sequence is deterministic, so fault scripts can
 /// address exact frames.
 fn loopback_backend(acceptor: Box<dyn Acceptor>, wait_for: usize) -> NetBackend {
-    NetBackend::over(acceptor, wait_for)
-        .with_heartbeat(0.0, 1.0)
-        .with_spin_per_work_unit(10)
+    NetBackend::over(acceptor, wait_for).with_config(
+        BackendConfig::new()
+            .heartbeat(0.0, 1.0)
+            .spin_per_work_unit(10),
+    )
 }
 
 /// Spawn a loopback worker thread serving the standard protocol.
@@ -343,9 +345,12 @@ fn a_sigkilled_tcp_worker_mid_task_conserves_units() {
     // conservation intact and the loss on the ResilienceReport.
     let skeleton = Skeleton::farm(TaskSpec::uniform(40, 2.0, 0, 0));
     let backend = NetBackend::new(3)
-        .with_worker_bin(worker_bin())
-        .with_spin_per_work_unit(2_000_000)
-        .with_kill_injection(1, 2);
+        .with_config(
+            BackendConfig::new()
+                .worker_bin(worker_bin())
+                .spin_per_work_unit(2_000_000),
+        )
+        .with_fault_injection(FaultInjection::none().kill(1, 2));
     let report = Grasp::new(GraspConfig::default())
         .run(&backend, &skeleton)
         .expect("a hard-killed TCP worker must not fail the run");
@@ -381,15 +386,17 @@ fn thread_proc_and_net_backends_agree_on_a_fixed_seed_matmul_farm() {
 
     let threads = grasp
         .run(
-            &ThreadBackend::new(3).with_spin_per_work_unit(10),
+            &ThreadBackend::new(3).with_config(BackendConfig::new().spin_per_work_unit(10)),
             &skeleton,
         )
         .expect("thread backend run failed");
     let procs = grasp
         .run(
-            &ProcBackend::new(3)
-                .with_worker_bin(env!("CARGO_BIN_EXE_grasp-proc-worker"))
-                .with_spin_per_work_unit(10),
+            &ProcBackend::new(3).with_config(
+                BackendConfig::new()
+                    .worker_bin(env!("CARGO_BIN_EXE_grasp-proc-worker"))
+                    .spin_per_work_unit(10),
+            ),
             &skeleton,
         )
         .expect("proc backend run failed");

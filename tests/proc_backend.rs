@@ -18,7 +18,7 @@ fn worker_bin() -> &'static str {
 }
 
 fn proc_backend(workers: usize) -> ProcBackend {
-    ProcBackend::new(workers).with_worker_bin(worker_bin())
+    ProcBackend::new(workers).with_config(BackendConfig::new().worker_bin(worker_bin()))
 }
 
 #[test]
@@ -41,12 +41,15 @@ fn proc_and_thread_backends_agree_on_a_fixed_seed_matmul_farm() {
 
     let threads = grasp
         .run(
-            &ThreadBackend::new(4).with_spin_per_work_unit(10),
+            &ThreadBackend::new(4).with_config(BackendConfig::new().spin_per_work_unit(10)),
             &skeleton,
         )
         .expect("thread backend run failed");
     let procs = grasp
-        .run(&proc_backend(4).with_spin_per_work_unit(10), &skeleton)
+        .run(
+            &proc_backend(4).with_config(BackendConfig::new().spin_per_work_unit(10)),
+            &skeleton,
+        )
         .expect("proc backend run failed");
 
     assert_eq!(procs.outcome.kind, threads.outcome.kind);
@@ -147,8 +150,8 @@ fn proc_backend_survives_a_hard_killed_worker_and_conserves_units() {
     // outstanding window cannot drain between dispatch and kill.
     let skeleton = Skeleton::farm(TaskSpec::uniform(40, 2.0, 0, 0));
     let backend = proc_backend(3)
-        .with_spin_per_work_unit(2_000_000)
-        .with_kill_injection(1, 2);
+        .with_config(BackendConfig::new().spin_per_work_unit(2_000_000))
+        .with_fault_injection(FaultInjection::none().kill(1, 2));
     let report = Grasp::new(GraspConfig::default())
         .run(&backend, &skeleton)
         .expect("a hard-killed worker must not fail the run");
@@ -197,8 +200,8 @@ fn work_stealing_config_survives_a_hard_killed_proc_worker() {
     use grasp_repro::grasp_core::SchedulePolicy;
     let skeleton = Skeleton::farm(TaskSpec::uniform(40, 2.0, 0, 0));
     let backend = proc_backend(3)
-        .with_spin_per_work_unit(2_000_000)
-        .with_kill_injection(1, 2);
+        .with_config(BackendConfig::new().spin_per_work_unit(2_000_000))
+        .with_fault_injection(FaultInjection::none().kill(1, 2));
     let cfg = GraspConfig {
         scheduler: SchedulePolicy::WorkStealing { min_chunk: 1 },
         ..GraspConfig::default()
@@ -269,8 +272,8 @@ fn shm_transport_survives_a_hard_killed_worker_and_conserves_units() {
     let skeleton = Skeleton::farm(TaskSpec::uniform(40, 2.0, 0, 0));
     let backend = proc_backend(3)
         .with_transport(Transport::Shm)
-        .with_spin_per_work_unit(2_000_000)
-        .with_kill_injection(1, 2);
+        .with_config(BackendConfig::new().spin_per_work_unit(2_000_000))
+        .with_fault_injection(FaultInjection::none().kill(1, 2));
     let report = Grasp::new(GraspConfig::default())
         .run(&backend, &skeleton)
         .expect("a hard-killed shm worker must not fail the run");
@@ -302,7 +305,10 @@ fn nested_skeletons_lower_and_conserve_on_the_proc_backend() {
         children.push(Skeleton::farm(TaskSpec::uniform(5, 3.0, 64, 64)));
     }
     let report = Grasp::new(GraspConfig::default())
-        .run(&proc_backend(3).with_spin_per_work_unit(10), &skeleton)
+        .run(
+            &proc_backend(3).with_config(BackendConfig::new().spin_per_work_unit(10)),
+            &skeleton,
+        )
         .expect("nested proc run failed");
     assert_eq!(report.outcome.completed, 17);
     assert!(report.outcome.conserves_units_of(&skeleton));
@@ -312,7 +318,8 @@ fn nested_skeletons_lower_and_conserve_on_the_proc_backend() {
 
 #[test]
 fn a_missing_worker_binary_is_a_typed_compile_error() {
-    let backend = ProcBackend::new(2).with_worker_bin("/nonexistent/grasp-proc-worker");
+    let backend = ProcBackend::new(2)
+        .with_config(BackendConfig::new().worker_bin("/nonexistent/grasp-proc-worker"));
     let err = Grasp::new(GraspConfig::default())
         .run(&backend, &Skeleton::farm(TaskSpec::uniform(4, 1.0, 0, 0)))
         .expect_err("a missing worker binary must not panic");
@@ -338,9 +345,11 @@ fn wedged_workers_are_detected_by_the_heartbeat_timeout() {
     }
     std::fs::set_permissions(&script, std::fs::Permissions::from_mode(0o755)).unwrap();
 
-    let backend = ProcBackend::new(2)
-        .with_worker_bin(&script)
-        .with_heartbeat(0.05, 0.5);
+    let backend = ProcBackend::new(2).with_config(
+        BackendConfig::new()
+            .worker_bin(&script)
+            .heartbeat(0.05, 0.5),
+    );
     let start = std::time::Instant::now();
     let err = Grasp::new(GraspConfig::default())
         .run(&backend, &Skeleton::farm(TaskSpec::uniform(8, 1.0, 0, 0)))
@@ -358,7 +367,7 @@ fn foreign_frames_from_a_worker_are_a_typed_protocol_error() {
     // `/bin/cat` echoes the master's own Init frame straight back — a valid
     // frame, but one only a master may send.  The run must fail with a typed
     // wire-protocol error instead of misbehaving.
-    let backend = ProcBackend::new(1).with_worker_bin("/bin/cat");
+    let backend = ProcBackend::new(1).with_config(BackendConfig::new().worker_bin("/bin/cat"));
     let err = Grasp::new(GraspConfig::default())
         .run(&backend, &Skeleton::farm(TaskSpec::uniform(4, 1.0, 0, 0)))
         .expect_err("an echoing peer must be rejected");
@@ -378,7 +387,10 @@ fn calibration_arms_without_noise_on_a_healthy_quick_run() {
     // actions are ever logged — same discipline as the thread backend.
     let skeleton = Skeleton::farm(TaskSpec::uniform(30, 1.0, 0, 0));
     let report = Grasp::new(GraspConfig::default())
-        .run(&proc_backend(2).with_spin_per_work_unit(10), &skeleton)
+        .run(
+            &proc_backend(2).with_config(BackendConfig::new().spin_per_work_unit(10)),
+            &skeleton,
+        )
         .unwrap();
     assert!(report.outcome.calibration_s >= 0.0);
     assert!(report.outcome.adaptation_log.is_empty());

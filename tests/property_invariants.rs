@@ -2,6 +2,8 @@
 //! cross-crate invariants of the GRASP system.
 
 use grasp_repro::grasp_core::prelude::*;
+use grasp_repro::grasp_exec::{ThreadBackend, ThreadPipeline};
+use grasp_repro::grasp_proc::ProcBackend;
 use grasp_repro::gridsim::{
     ConstantLoad, EventQueue, Grid, GridBuilder, LoadModel, PeriodicLoad, RandomWalkLoad, SimTime,
     TopologyBuilder,
@@ -303,5 +305,163 @@ proptest! {
         prop_assert_eq!(out.items, items);
         prop_assert_eq!(out.item_completions.len(), items);
         prop_assert!(out.item_completions.windows(2).all(|w| w[0] <= w[1]));
+    }
+}
+
+// ---------------- speculation / migration invariants ----------------
+//
+// These cases drive real worker threads (and, for the proc backend, real
+// worker processes), so the case counts are kept deliberately small: the
+// point is to randomise the race geometry — task counts, pool sizes, tail
+// fractions, degradation points — not to grind thousands of executions.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// First-result-wins speculation must count every unit exactly once,
+    /// whatever the winner/loser races do: the unit-id multiset equals the
+    /// skeleton's, and wins never exceed launches.
+    #[test]
+    fn thread_speculation_never_double_counts_a_unit(
+        tasks in 6usize..40,
+        workers in 2usize..5,
+        fraction in 0.05f64..1.0,
+        slow_factor in 2.0f64..30.0,
+    ) {
+        let skeleton = Skeleton::farm(TaskSpec::uniform(tasks, 2.0, 0, 0));
+        let backend = ThreadBackend::new(workers).with_config(
+            BackendConfig::new()
+                .spin_per_work_unit(500)
+                .faults(FaultInjection::none().worker_slowdown(0, 0, slow_factor)),
+        );
+        let mut cfg = GraspConfig {
+            scheduler: SchedulePolicy::SelfScheduling,
+            ..GraspConfig::default()
+        };
+        cfg.execution.adaptive = true;
+        cfg.execution.min_active_nodes = workers;
+        cfg.execution.speculate_tail_fraction = fraction;
+        let report = Grasp::new(cfg).run(&backend, &skeleton).unwrap();
+        prop_assert_eq!(report.outcome.completed, tasks);
+        prop_assert!(report.outcome.conserves_units_of(&skeleton));
+        let r = &report.outcome.resilience;
+        prop_assert!(
+            r.speculation_wins <= r.speculated_units,
+            "wins {} above launches {}", r.speculation_wins, r.speculated_units
+        );
+    }
+
+    /// Live stage migration under a randomised breach point must never lose,
+    /// duplicate, or reorder an item: the output equals the sequential
+    /// reference whether or not the checkpoint/re-home path fired.
+    #[test]
+    fn pipeline_migration_preserves_the_stream(
+        items in 40usize..120,
+        degrade_after in 10usize..40,
+        degrade_spin in 40_000u64..120_000,
+    ) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let done = std::sync::Arc::new(AtomicUsize::new(0));
+        let hook = done.clone();
+        let exec = ExecutionConfig {
+            threshold: ThresholdPolicy::Factor { factor: 3.0 },
+            monitor_interval_s: 1e-4,
+            migrate_stages: true,
+            ..ExecutionConfig::default()
+        };
+        let pipeline = ThreadPipeline::new()
+            .stage(|x: u64| x + 1)
+            .stage(move |x: u64| {
+                let n = hook.fetch_add(1, Ordering::Relaxed);
+                grasp_repro::grasp_exec::spin(if n >= degrade_after {
+                    degrade_spin
+                } else {
+                    1_000
+                });
+                x * 2
+            })
+            .with_adaptation(exec)
+            .with_migration(|x, w| w.put_u64(*x), |r| r.take_u64());
+        let stream: Vec<u64> = (0..items as u64).collect();
+        let expected: Vec<u64> = stream.iter().map(|x| (x + 1) * 2).collect();
+        let (out, _stats) = pipeline.try_run(stream).unwrap();
+        prop_assert_eq!(out, expected);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The `migrate_stages` flag must be conservation-neutral on every
+    /// backend that accepts a pipeline expression: the simulator (which
+    /// re-homes via its own StageRemapped path), real threads (checkpoint +
+    /// standby re-home), and worker processes (pipelines lower to farms —
+    /// the flag must simply never corrupt the unit set).
+    #[test]
+    fn migration_config_conserves_units_on_sim_thread_and_proc(
+        stage_works in prop::collection::vec(1.0f64..30.0, 2..4),
+        items in 10usize..40,
+    ) {
+        let stages: Vec<StageSpec> = stage_works
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| StageSpec::new(i, w, 128, 128))
+            .collect();
+        let skeleton = Skeleton::pipeline(stages, items);
+        let mut cfg = GraspConfig::default();
+        cfg.execution.migrate_stages = true;
+        cfg.execution.monitor_interval_s = 1e-3;
+        let grasp = Grasp::new(cfg);
+
+        let grid = Grid::dedicated(TopologyBuilder::uniform_cluster(4, 40.0));
+        let sim = grasp.run(&SimBackend::new(&grid), &skeleton).unwrap();
+        prop_assert!(sim.outcome.conserves_units_of(&skeleton));
+        prop_assert_eq!(sim.outcome.completed, items);
+
+        let threads = grasp
+            .run(
+                &ThreadBackend::new(3).with_config(BackendConfig::new().spin_per_work_unit(10)),
+                &skeleton,
+            )
+            .unwrap();
+        prop_assert!(threads.outcome.conserves_units_of(&skeleton));
+        prop_assert_eq!(threads.outcome.completed, items);
+
+        let procs = grasp
+            .run(
+                &ProcBackend::new(2).with_config(
+                    BackendConfig::new()
+                        .worker_bin(env!("CARGO_BIN_EXE_grasp-proc-worker"))
+                        .spin_per_work_unit(10),
+                ),
+                &skeleton,
+            )
+            .unwrap();
+        prop_assert!(procs.outcome.conserves_units_of(&skeleton));
+        prop_assert_eq!(procs.outcome.completed, items);
+    }
+
+    /// Master-side speculation on the process backend: duplicated dispatches
+    /// settle first-result-wins in the completion map, so the unit set must
+    /// stay exact and the counters ordered even across worker processes.
+    #[test]
+    fn proc_speculation_never_double_counts_a_unit(
+        tasks in 8usize..20,
+        fraction in 0.1f64..0.8,
+    ) {
+        let skeleton = Skeleton::farm(TaskSpec::uniform(tasks, 1.0, 0, 0));
+        let backend = ProcBackend::new(3).with_config(
+            BackendConfig::new()
+                .worker_bin(env!("CARGO_BIN_EXE_grasp-proc-worker"))
+                .spin_per_work_unit(20_000),
+        );
+        let mut cfg = GraspConfig::default();
+        cfg.execution.adaptive = true;
+        cfg.execution.speculate_tail_fraction = fraction;
+        let report = Grasp::new(cfg).run(&backend, &skeleton).unwrap();
+        prop_assert_eq!(report.outcome.completed, tasks);
+        prop_assert!(report.outcome.conserves_units_of(&skeleton));
+        let r = &report.outcome.resilience;
+        prop_assert!(r.speculation_wins <= r.speculated_units);
     }
 }
